@@ -1,0 +1,33 @@
+//! Criterion bench: hash-recipe evaluation cost.
+//!
+//! The paper's hash functions range from the kernel's "oversimplified"
+//! masked XOR to robust multi-constant mixers (up to 68 % of lookup
+//! time). This bench measures the software cost of each recipe tier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use widx_db::hash::HashRecipe;
+
+fn bench_hashes(c: &mut Criterion) {
+    let keys: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let mut group = c.benchmark_group("hash_functions");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    for recipe in [HashRecipe::trivial(), HashRecipe::robust64(), HashRecipe::heavy128()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(recipe.name()),
+            &recipe,
+            |b, recipe| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for k in &keys {
+                        acc ^= recipe.eval(*k);
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes);
+criterion_main!(benches);

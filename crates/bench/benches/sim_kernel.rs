@@ -1,0 +1,32 @@
+//! Criterion bench: simulator throughput on the hash-join kernel.
+//!
+//! Measures host-seconds per simulated probe for the Widx model and the
+//! OoO baseline — the cost of the reproduction itself, useful for
+//! sizing experiment sample counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use widx_bench::runner::ProbeSetup;
+use widx_core::config::WidxConfig;
+use widx_workloads::kernel::{KernelConfig, KernelSize};
+
+fn bench_sim(c: &mut Criterion) {
+    let probes = 1024usize;
+    let setup = ProbeSetup::kernel(&KernelConfig::new(KernelSize::Medium).with_probes(probes));
+
+    let mut group = c.benchmark_group("sim_kernel_medium");
+    group.throughput(Throughput::Elements(probes as u64));
+    group.sample_size(10);
+
+    for walkers in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("widx", walkers), &walkers, |b, w| {
+            b.iter(|| setup.run_widx(&WidxConfig::with_walkers(*w)).0.stats.total_cycles);
+        });
+    }
+    group.bench_function("ooo_baseline", |b| {
+        b.iter(|| setup.run_ooo().cycles);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

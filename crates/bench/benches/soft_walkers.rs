@@ -1,0 +1,66 @@
+//! Criterion bench: software walkers on the host CPU.
+//!
+//! The real-hardware counterpart of Figure 8b — scalar probing vs group
+//! prefetching vs AMAC interleaving on a DRAM-resident index. AMAC's
+//! in-flight count plays the role of the paper's walker count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use widx_db::hash::HashRecipe;
+use widx_db::index::HashIndex;
+use widx_soft::{probe_amac, probe_group_prefetch, probe_scalar};
+use widx_workloads::datagen;
+
+fn build(entries: usize, probes: usize) -> (HashIndex, Vec<u64>) {
+    let keys = datagen::unique_shuffled_keys(0xBEEF, entries);
+    let index = HashIndex::build(
+        HashRecipe::robust64(),
+        entries / 2,
+        keys.iter().enumerate().map(|(r, k)| (*k, r as u64)),
+    );
+    let probes = datagen::uniform_keys(0xF00D, probes, entries as u64);
+    (index, probes)
+}
+
+fn bench_walkers(c: &mut Criterion) {
+    // ~96 MB of buckets+nodes: decisively DRAM-resident.
+    let entries = 1 << 21;
+    let probe_count = 1 << 14;
+    let (index, probes) = build(entries, probe_count);
+
+    let mut group = c.benchmark_group("soft_walkers");
+    group.throughput(Throughput::Elements(probe_count as u64));
+
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(probe_count);
+            probe_scalar(&index, &probes, &mut out);
+            out
+        });
+    });
+    for g in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("group_prefetch", g), &g, |b, g| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(probe_count);
+                probe_group_prefetch(&index, &probes, *g, &mut out);
+                out
+            });
+        });
+    }
+    for w in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("amac", w), &w, |b, w| {
+            b.iter(|| {
+                let mut out = Vec::with_capacity(probe_count);
+                probe_amac(&index, &probes, *w, &mut out);
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_walkers
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablation — Widx on a B+-tree index (paper Section 7: "Widx can
+//! easily be extended to accelerate other index structures, such as
+//! balanced trees").
+//!
+//! Compares the OoO baseline descending the tree in software against
+//! Widx walkers running the tree-walker program, across fanouts, plus a
+//! hash-index reference on the same data.
+//!
+//! Usage: `ablation_btree [probes]`.
+
+use widx_bench::runner::ProbeSetup;
+use widx_bench::table::{f2, Table};
+use widx_core::btree::offload_btree_probe;
+use widx_core::config::WidxConfig;
+use widx_db::index::{BTreeIndex, NodeLayout};
+use widx_sim::config::SystemConfig;
+use widx_sim::core::run_ooo;
+use widx_sim::mem::{MemorySystem, RegionAllocator};
+use widx_workloads::btree_img::materialize_btree;
+use widx_workloads::trace::btree_probe_trace;
+use widx_workloads::datagen;
+
+fn main() {
+    let probes_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let entries = 400_000u64; // DRAM-resident tree
+
+    println!("== Ablation: B+-tree index traversal on Widx (Section 7 extension) ==\n");
+    let mut t = Table::new(&["index", "height", "ooo cpt", "1w", "2w", "4w (speedup)"]);
+
+    for fanout in [8usize, 16] {
+        let keys = datagen::unique_shuffled_keys(51, entries as usize);
+        let tree = BTreeIndex::build(fanout, keys.iter().enumerate().map(|(r, k)| (*k, r as u64)));
+        let probes = datagen::uniform_keys(52, probes_n, entries);
+
+        let mut mem = MemorySystem::new(SystemConfig::default());
+        let mut alloc = RegionAllocator::new();
+        let expected = probes.iter().filter(|p| tree.lookup(**p).is_some()).count() as u64;
+        let image = materialize_btree(&mut mem, &mut alloc, &tree, &probes, expected);
+
+        let trace = btree_probe_trace(&tree, &image, &probes);
+        let sys = SystemConfig::default();
+        let ooo = run_ooo(&sys.ooo, &trace, &mut mem.clone(), 0);
+
+        let mut cpts = Vec::new();
+        for walkers in [1usize, 2, 4] {
+            let mut m = mem.clone();
+            let r = offload_btree_probe(&mut m, &image, &WidxConfig::with_walkers(walkers));
+            cpts.push(r.stats.cycles_per_tuple());
+        }
+        t.row(&[
+            format!("btree f={fanout}"),
+            tree.height().to_string(),
+            f2(ooo.cycles_per_tuple()),
+            f2(ooo.cycles_per_tuple() / cpts[0]),
+            f2(ooo.cycles_per_tuple() / cpts[1]),
+            f2(ooo.cycles_per_tuple() / cpts[2]),
+        ]);
+    }
+
+    // Hash-index reference on the same scale.
+    let setup = ProbeSetup::kernel(
+        &widx_workloads::kernel::KernelConfig::new(widx_workloads::kernel::KernelSize::Large)
+            .with_probes(probes_n),
+    );
+    let ooo = setup.run_ooo();
+    let mut row = vec!["hash (Large)".to_string(), "2".to_string(), f2(ooo.cpt)];
+    for walkers in [1usize, 2, 4] {
+        let (r, _) = setup.run_widx(&WidxConfig::with_walkers(walkers));
+        row.push(f2(ooo.cpt / r.stats.cycles_per_tuple()));
+    }
+    t.row(&row);
+    let _ = NodeLayout::kernel4();
+
+    println!("{}", t.render());
+    println!(
+        "(tree descents are longer pointer chases than hash chains, so \
+         parallel walkers pay off on trees too — the paper's Section 7 claim)"
+    );
+}

@@ -1,0 +1,62 @@
+//! Ablation — decoupled hashing (Figure 3d, the Widx design) vs the
+//! coupled design (Figure 3b: walkers hash their own keys).
+//!
+//! The paper's Section 1 claim: "decoupling key hashing from list
+//! traversal takes the hashing operation off the critical path, which
+//! reduces the time per list traversal by 29% on average". The coupled
+//! walkers also lose the dispatcher-only fused `XOR-SHF`/`AND-SHF`
+//! instructions (Table 1), paying the unfused expansion.
+//!
+//! Usage: `ablation_dispatcher [probes]`.
+
+use widx_bench::runner::ProbeSetup;
+use widx_bench::table::{f2, pct, Table};
+use widx_core::config::WidxConfig;
+use widx_core::offload::offload_probe_coupled;
+use widx_db::hash::HashRecipe;
+use widx_db::index::NodeLayout;
+use widx_workloads::datagen;
+
+fn main() {
+    let probes_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8192);
+    println!("== Ablation: shared decoupled dispatcher (Fig. 3d) vs coupled hashing (Fig. 3b) ==\n");
+
+    let mut t = Table::new(&["hash", "walkers", "decoupled cpt", "coupled cpt", "saving"]);
+    for recipe in [HashRecipe::robust64(), HashRecipe::heavy128()] {
+        // LLC-resident index so hashing is a meaningful share of time.
+        let entries = 32 * 1024;
+        let build = datagen::unique_shuffled_keys(7, entries);
+        let index = widx_db::index::HashIndex::build(
+            recipe.clone(),
+            entries,
+            build.iter().enumerate().map(|(r, k)| (*k, r as u64)),
+        );
+        let probes = datagen::uniform_keys(11, probes_n, entries as u64);
+        let setup = ProbeSetup::new(index, probes, NodeLayout::direct8());
+        for walkers in [1usize, 2, 4] {
+            let cfg = WidxConfig::with_walkers(walkers);
+            let (dec, _) = setup.run_widx(&cfg);
+            let mut mem = setup.mem.clone();
+            widx_workloads::memimg::warm(&mut mem, &setup.image);
+            let cou = offload_probe_coupled(&mut mem, &setup.index, &setup.image, &setup.probes, &cfg);
+            let d = dec.stats.cycles_per_tuple();
+            let c = cou.stats.cycles_per_tuple();
+            t.row(&[
+                recipe.name().into(),
+                walkers.to_string(),
+                f2(d),
+                f2(c),
+                pct((c - d) / c),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "(paper: decoupling cuts time per traversal by ~29% on average — visible \
+         at 1-2 walkers. At 4 walkers over an LLC-resident index the coupled \
+         design wins because it has four private hash units while the shared \
+         dispatcher saturates: exactly the Figure 3c vs 3d trade-off, and the \
+         \"very shallow buckets with low LLC miss ratios\" exception the \
+         paper's Equation 6 analysis calls out.)"
+    );
+}

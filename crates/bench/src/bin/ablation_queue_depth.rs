@@ -1,0 +1,34 @@
+//! Ablation — inter-unit queue depth.
+//!
+//! The paper's Section 3.2 model assumes an "infinite queue" between
+//! hashing units and walkers, then notes that real designs throttle the
+//! dispatcher through finite buffers; the evaluated hardware uses
+//! 2-entry queues. This sweep quantifies what depth buys.
+//!
+//! Usage: `ablation_queue_depth [probes]`.
+
+use widx_bench::runner::ProbeSetup;
+use widx_bench::table::{f2, Table};
+use widx_core::config::WidxConfig;
+use widx_workloads::kernel::{KernelConfig, KernelSize};
+
+fn main() {
+    let probes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8192);
+    println!("== Ablation: walker input-queue depth (4 walkers) ==\n");
+    let mut t = Table::new(&["size", "depth 1", "depth 2 (paper)", "depth 4", "depth 8"]);
+    for size in KernelSize::ALL {
+        let setup = ProbeSetup::kernel(&KernelConfig::new(size).with_probes(probes));
+        let mut row = vec![size.name().to_string()];
+        for depth in [1usize, 2, 4, 8] {
+            let cfg = WidxConfig::with_walkers(4).with_queue_depth(depth);
+            let (r, _) = setup.run_widx(&cfg);
+            row.push(f2(r.stats.cycles_per_tuple()));
+        }
+        t.row(&row);
+    }
+    println!("{}", t.render());
+    println!(
+        "(cycles per tuple; deeper queues mainly help when walker service \
+         times vary — diminishing returns past the paper's 2 entries)"
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 10 — indexing speedup of Widx over the OoO baseline on the
+//! twelve DSS queries, plus the Section 6.2 whole-query projection.
+//!
+//! The paper reports 1.5x–5.5x indexing speedups (geomean 3.1x) for
+//! four walkers — maximum on TPC-H q20 (large index, heavy hashing),
+//! minimum on TPC-DS q37 (L1-resident index) — and, projecting onto the
+//! Figure 2a indexing fractions, whole-query speedups of up to 3.1x
+//! (q17) with a 1.5x geomean.
+//!
+//! Usage: `fig10_speedup [probes]` (default 12288).
+
+use widx_bench::runner::{geomean, ProbeSetup};
+use widx_bench::table::{f2, Table};
+use widx_core::config::WidxConfig;
+use widx_workloads::profiles::QueryProfile;
+
+fn main() {
+    let probes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(QueryProfile::DEFAULT_PROBES);
+
+    println!("== Figure 10: indexing speedup over OoO ==\n");
+    let mut t = Table::new(&["suite", "query", "ooo cpt", "1w", "2w", "4w", "query-level (4w)"]);
+    let mut speedups_4w = Vec::new();
+    let mut query_speedups = Vec::new();
+    for q in QueryProfile::all() {
+        let setup = ProbeSetup::profile(&q.clone().with_probes(probes));
+        let ooo = setup.run_ooo();
+        let mut s = Vec::new();
+        for walkers in [1usize, 2, 4] {
+            let (r, _) = setup.run_widx(&WidxConfig::with_walkers(walkers));
+            s.push(ooo.cpt / r.stats.cycles_per_tuple());
+        }
+        // Section 6.2 projection: only the indexing fraction accelerates.
+        let f = q.index_fraction;
+        let query_level = 1.0 / ((1.0 - f) + f / s[2]);
+        speedups_4w.push(s[2]);
+        query_speedups.push(query_level);
+        t.row(&[
+            q.suite.name().into(),
+            q.name.into(),
+            f2(ooo.cpt),
+            f2(s[0]),
+            f2(s[1]),
+            f2(s[2]),
+            f2(query_level),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "4-walker indexing speedup: geomean {:.2}x, min {:.2}x, max {:.2}x \
+         (paper: 3.1x geomean, 1.5x min on qry37, 5.5x max on qry20)",
+        geomean(&speedups_4w),
+        speedups_4w.iter().copied().fold(f64::INFINITY, f64::min),
+        speedups_4w.iter().copied().fold(0.0f64, f64::max),
+    );
+    println!(
+        "whole-query projection: geomean {:.2}x, max {:.2}x \
+         (paper: 1.5x geomean, 3.1x max on qry17)",
+        geomean(&query_speedups),
+        query_speedups.iter().copied().fold(0.0f64, f64::max),
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 11 — indexing runtime, energy, and energy-delay product of
+//! OoO vs in-order vs Widx (normalized to OoO, lower is better).
+//!
+//! Runtimes are measured on the DSS query profiles (summed
+//! cycles-per-tuple across the mix, i.e. time-weighted); powers are the
+//! published constants of `widx-energy`.
+//!
+//! Usage: `fig11_energy [probes]` (default 8192).
+
+use widx_bench::runner::ProbeSetup;
+use widx_bench::table::{f2, pct, Table};
+use widx_core::config::WidxConfig;
+use widx_energy::{figure11, PowerParams, Runtimes};
+use widx_workloads::profiles::QueryProfile;
+
+fn main() {
+    let probes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8192);
+
+    let mut ooo_cpts = Vec::new();
+    let mut inorder_cpts = Vec::new();
+    let mut widx_cpts = Vec::new();
+    for q in QueryProfile::all() {
+        let setup = ProbeSetup::profile(&q.with_probes(probes));
+        ooo_cpts.push(setup.run_ooo().cpt);
+        inorder_cpts.push(setup.run_inorder().cpt);
+        let (r, _) = setup.run_widx(&WidxConfig::paper_default());
+        widx_cpts.push(r.stats.cycles_per_tuple());
+    }
+    // Aggregate as *total indexing time* across the query mix (the
+    // paper's Figure 11 is the runtime of the indexing portions, which
+    // the memory-heavy queries dominate), i.e. arithmetic sums of
+    // cycles-per-tuple at equal probe counts.
+    let total = |v: &[f64]| v.iter().sum::<f64>();
+    let runtimes = Runtimes {
+        ooo: total(&ooo_cpts),
+        inorder: total(&inorder_cpts),
+        widx: total(&widx_cpts),
+    };
+    println!(
+        "total indexing cycles across the 12-query mix (normalized): \
+         OoO {:.0}, in-order {:.0} ({:.2}x slower; paper: 2.2x), \
+         Widx-4 {:.0} ({:.2}x faster; paper: 3.1x)\n",
+        runtimes.ooo,
+        runtimes.inorder,
+        runtimes.inorder / runtimes.ooo,
+        runtimes.widx,
+        runtimes.ooo / runtimes.widx,
+    );
+
+    let fig = figure11(runtimes, &PowerParams::default());
+    println!("== Figure 11 (normalized to OoO; lower is better) ==\n");
+    let mut t = Table::new(&["design", "Indexing Runtime", "Energy", "Energy-Delay"]);
+    for p in [fig.ooo, fig.inorder, fig.widx] {
+        t.row(&[p.name.into(), f2(p.runtime), f2(p.energy), f2(p.edp)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "energy reduction: in-order {} (paper 86%), Widx {} (paper 83%)",
+        pct(fig.inorder_energy_reduction()),
+        pct(fig.widx_energy_reduction()),
+    );
+    println!(
+        "EDP improvement of Widx: {:.1}x over OoO (paper 17.5x), {:.1}x over in-order (paper 5.5x)",
+        fig.widx_edp_gain_vs_ooo(),
+        fig.widx_edp_gain_vs_inorder(),
+    );
+}

@@ -1,0 +1,101 @@
+//! Figure 2 — query execution-time breakdown on the software engine.
+//!
+//! * **2a**: % of execution time in Index / Scan / Sort&Join / Other for
+//!   16 TPC-H + 9 TPC-DS synthetic query plans, executed for real on the
+//!   `widx-db` operators (wall-clock attribution).
+//! * **2b**: index time split into Hash vs Walk, from the decoupled
+//!   probe passes of the hash-join operator, for the 12 queries the
+//!   paper simulates.
+//!
+//! Usage: `fig2_breakdown [scale]` — scale factor on operator row
+//! counts (default 1.0; use 0.05 for a quick run).
+
+use widx_bench::table::{pct, Table};
+use widx_db::exec::OpClass;
+use widx_db::hash::HashRecipe;
+use widx_db::ops::hash_join;
+use widx_db::column::{Column, ColumnType};
+use widx_workloads::datagen;
+use widx_workloads::dss::{tpcds_fig2_with, tpch_fig2_with, OperatorCosts};
+use widx_workloads::profiles::QueryProfile;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let costs = OperatorCosts::measure();
+    println!(
+        "host-calibrated operator costs (ns/row): probe {:.1}, scan {:.2}, sort {:.1}, agg {:.1}",
+        costs.probe_ns, costs.scan_ns, costs.sort_ns, costs.agg_ns
+    );
+    println!("== Figure 2a: execution-time breakdown (scale {scale}) ==\n");
+
+    let mut t = Table::new(&["suite", "query", "Index", "Scan", "Sort&Join", "Other"]);
+    let mut index_fracs_h = Vec::new();
+    let mut index_fracs_ds = Vec::new();
+    for spec in tpch_fig2_with(&costs).into_iter().chain(tpcds_fig2_with(&costs)) {
+        let suite = spec.suite;
+        let name = spec.name;
+        let run = spec.scaled(scale).run();
+        let b = run.breakdown();
+        match suite {
+            widx_workloads::profiles::Suite::TpcH => index_fracs_h.push(b[0]),
+            widx_workloads::profiles::Suite::TpcDs => index_fracs_ds.push(b[0]),
+        }
+        t.row(&[
+            suite.name().into(),
+            name.into(),
+            pct(b[0]),
+            pct(b[1]),
+            pct(b[2]),
+            pct(b[3]),
+        ]);
+    }
+    println!("{}", t.render());
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let max = |v: &[f64]| v.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "TPC-H: indexing mean {} / max {} (paper: 35% / 94%); \
+         TPC-DS: mean {} / max {} (paper: 45% / 77%)\n",
+        pct(mean(&index_fracs_h)),
+        pct(max(&index_fracs_h)),
+        pct(mean(&index_fracs_ds)),
+        pct(max(&index_fracs_ds)),
+    );
+
+    println!("== Figure 2b: index time split (Hash vs Walk) ==\n");
+    let mut t = Table::new(&["suite", "query", "Walk", "Hash"]);
+    let mut hash_fracs = Vec::new();
+    for q in QueryProfile::all() {
+        // Execute the probe on the software engine with the profile's
+        // own hash recipe and size; the decoupled hash/walk passes give
+        // the split directly.
+        // Index sizes x4 so the big queries exceed the *host* LLC and
+        // the hash/walk split reflects real memory behaviour.
+        let entries = ((q.entries as f64 * 4.0 * scale) as usize).max(512);
+        let probes = ((q.probes as f64 * 16.0 * scale.max(0.2)) as usize).max(2048);
+        let dim = Column::new("dim", ColumnType::U64, datagen::unique_shuffled_keys(q.seed, entries));
+        let fact = Column::new(
+            "fact",
+            ColumnType::U64,
+            datagen::uniform_keys(q.seed ^ 1, probes, entries as u64),
+        );
+        let recipe = match q.recipe {
+            widx_workloads::profiles::RecipeKind::Robust => HashRecipe::robust64(),
+            widx_workloads::profiles::RecipeKind::Heavy => HashRecipe::heavy128(),
+        };
+        let join = hash_join(&dim, &fact, recipe, entries);
+        let hash_frac = join.hash_fraction();
+        hash_fracs.push(hash_frac);
+        t.row(&[
+            q.suite.name().into(),
+            q.name.into(),
+            pct(1.0 - hash_frac),
+            pct(hash_frac),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "mean hash fraction {} (paper: 30% mean, up to 68% for L1-resident indexes)",
+        pct(hash_fracs.iter().sum::<f64>() / hash_fracs.len() as f64)
+    );
+    let _ = OpClass::ALL; // (class enumeration re-exported for plot scripts)
+}

@@ -1,0 +1,59 @@
+//! Figure 4 — accelerator bottleneck analysis (Section 3.2 model).
+//!
+//! * **4a**: L1-D accesses/cycle vs LLC miss ratio for 1–10 walkers,
+//!   against the 1- and 2-port limits.
+//! * **4b**: outstanding L1 misses vs walker count, against 8–10 MSHRs.
+//! * **4c**: walkers one 9 GB/s memory controller sustains vs LLC miss
+//!   ratio.
+
+use widx_bench::table::{f2, Table};
+use widx_model::{l1_bandwidth_series, mshr_series, walkers_per_mc_series, ModelParams};
+
+fn main() {
+    let p = ModelParams::default();
+
+    println!("== Figure 4a: L1-D bandwidth constraint ==");
+    println!("(mem ops/cycle; a value above the port count saturates the L1)\n");
+    let walkers = [1u32, 2, 4, 8, 10];
+    let series = l1_bandwidth_series(&p, &walkers, 10);
+    let mut header = vec!["llc miss".to_string()];
+    header.extend(walkers.iter().map(|w| format!("{w}w")));
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+    for i in 0..=10 {
+        let mut row = vec![f2(i as f64 / 10.0)];
+        for (_, points) in &series {
+            row.push(f2(points[i].y));
+        }
+        t.row(&row);
+    }
+    println!("{}", t.render());
+    let at_low = |n: f64| widx_model::l1_pressure(&p, 0.0, n);
+    let single_port_limit = (1..=16).take_while(|n| at_low(f64::from(*n)) <= 1.0).count();
+    println!(
+        "single-ported L1 saturates beyond {single_port_limit} walkers; two ports sustain 10 \
+         (pressure at 10w, low miss: {:.2} <= 2)\n",
+        at_low(10.0)
+    );
+
+    println!("== Figure 4b: MSHR constraint ==\n");
+    let mut t = Table::new(&["walkers", "outstanding L1 misses"]);
+    for pt in mshr_series(&p, 10) {
+        t.row(&[format!("{}", pt.x as u32), f2(pt.y)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "8-10 MSHRs limit concurrent walkers to 4-5 (paper Section 3.2)\n"
+    );
+
+    println!("== Figure 4c: off-chip bandwidth constraint ==\n");
+    let mut t = Table::new(&["llc miss", "walkers per MC"]);
+    for pt in walkers_per_mc_series(&p, 10) {
+        t.row(&[f2(pt.x), f2(pt.y)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "one MC serves ~{:.0} walkers at 10% LLC misses, ~{:.0} at 100% (paper: ~8 down to 4)",
+        widx_model::walkers_per_mc(&p, 0.1),
+        widx_model::walkers_per_mc(&p, 1.0),
+    );
+}

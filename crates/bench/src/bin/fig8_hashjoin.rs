@@ -1,0 +1,76 @@
+//! Figure 8 — Hash Join kernel analysis.
+//!
+//! * **Fig. 8a**: Widx walker cycles-per-tuple breakdown
+//!   (Comp/Mem/TLB/Idle) for Small/Medium/Large × 1/2/4 walkers,
+//!   normalized to Small on 1 walker.
+//! * **Fig. 8b**: indexing speedup over the OoO baseline for the same
+//!   sweep (the paper reports a 4 % geomean win for 1 walker and up to
+//!   4x for the Large index with 4 walkers).
+//!
+//! Usage: `fig8_hashjoin [probes]` (default 16384; use fewer for a
+//! quick run).
+
+use widx_bench::runner::{geomean, ProbeSetup};
+use widx_bench::table::{f2, Table};
+use widx_core::config::WidxConfig;
+use widx_workloads::kernel::{KernelConfig, KernelSize};
+
+fn main() {
+    let probes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(KernelConfig::DEFAULT_PROBES);
+
+    println!("== Figure 8: Hash Join kernel (probes/sample = {probes}) ==\n");
+
+    let mut fig8a = Table::new(&[
+        "size", "walkers", "comp/t", "mem/t", "tlb/t", "idle/t", "total/t", "norm",
+    ]);
+    let mut fig8b = Table::new(&["size", "ooo cpt", "1w", "2w", "4w"]);
+    let mut norm_base = None;
+    let mut speedups_1w = Vec::new();
+    let mut speedups_4w = Vec::new();
+
+    for size in KernelSize::ALL {
+        let cfg = KernelConfig::new(size).with_probes(probes);
+        println!("building {} ({} tuples, seed {:#x})...", size.name(), size.tuples(), cfg.seed);
+        let setup = ProbeSetup::kernel(&cfg);
+        let ooo = setup.run_ooo();
+
+        let mut cpts = Vec::new();
+        for walkers in [1usize, 2, 4] {
+            let (r, _) = setup.run_widx(&WidxConfig::with_walkers(walkers));
+            let per = r.stats.walker_cycles_per_tuple();
+            let norm_denominator = *norm_base.get_or_insert(per.total());
+            fig8a.row(&[
+                size.name().into(),
+                walkers.to_string(),
+                f2(per.comp),
+                f2(per.mem),
+                f2(per.tlb),
+                f2(per.idle),
+                f2(per.total()),
+                f2(per.total() / norm_denominator),
+            ]);
+            cpts.push(r.stats.cycles_per_tuple());
+        }
+        speedups_1w.push(ooo.cpt / cpts[0]);
+        speedups_4w.push(ooo.cpt / cpts[2]);
+        fig8b.row(&[
+            size.name().into(),
+            f2(ooo.cpt),
+            f2(ooo.cpt / cpts[0]),
+            f2(ooo.cpt / cpts[1]),
+            f2(ooo.cpt / cpts[2]),
+        ]);
+    }
+
+    println!("\n-- Fig. 8a: Widx walker cycle breakdown per tuple --");
+    println!("(norm = total normalized to Small/1-walker; paper's y-axis)\n{}", fig8a.render());
+    println!("-- Fig. 8b: indexing speedup over OoO --\n{}", fig8b.render());
+    println!(
+        "geomean speedup: 1 walker {:.2}x (paper: ~1.04x), 4 walkers {:.2}x (paper: up to 4x on Large)",
+        geomean(&speedups_1w),
+        geomean(&speedups_4w),
+    );
+}

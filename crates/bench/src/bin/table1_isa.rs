@@ -1,0 +1,26 @@
+//! Table 1 — the Widx ISA and its per-unit-class usage matrix, printed
+//! directly from the `widx-isa` implementation (so the table can never
+//! drift from the code).
+
+use widx_bench::table::Table;
+use widx_isa::{Opcode, UnitClass};
+
+fn main() {
+    println!("== Table 1: Widx ISA ==\n");
+    let mut t = Table::new(&["Instruction", "H", "W", "P"]);
+    for op in Opcode::ALL {
+        let cell = |c: UnitClass| if c.allows(op) { "X".to_string() } else { String::new() };
+        t.row(&[
+            op.mnemonic().to_uppercase(),
+            cell(UnitClass::Dispatcher),
+            cell(UnitClass::Walker),
+            cell(UnitClass::Producer),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(HALT is this implementation's explicit form of the unit-done status \
+         write implied by the paper's configuration interface; queue transfers \
+         use the IN/OUT port registers rather than extra instructions.)"
+    );
+}

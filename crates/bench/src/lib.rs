@@ -1,0 +1,11 @@
+//! # widx-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), built on
+//! the shared runners here. Every harness prints the same rows/series
+//! the paper reports, plus the workload seeds for reproducibility.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod runner;
+pub mod table;

@@ -1,0 +1,291 @@
+//! Widx programs for B+-tree traversal — the paper's Section 7
+//! extension to "other index structures, such as balanced trees".
+//!
+//! The division of labour mirrors the hash pipeline: the dispatcher
+//! streams `(key, root address)` pairs (trees need no key hashing — the
+//! dispatcher is pure key fetch), walkers descend the tree comparing
+//! separator keys and chasing child pointers, and the shared producer
+//! writes `(key, payload)` matches.
+
+use widx_db::index::BTreeIndex;
+use widx_isa::{Program, ProgramBuilder, Reg, Src, UnitClass};
+use widx_sim::mem::MemorySystem;
+use widx_workloads::btree_img::BTreeImage;
+
+use crate::config::{ConfigRegisters, WidxConfig};
+use crate::programs::ProgramSet;
+use crate::widx::Widx;
+use crate::POISON_KEY;
+
+/// Builds the B+-tree dispatcher: stream `(key, root)` pairs, then
+/// poison pills.
+#[must_use]
+pub fn btree_dispatcher_program(image: &BTreeImage, walkers: usize) -> Program {
+    let mut b = ProgramBuilder::new(UnitClass::Dispatcher);
+    b.init_reg(Reg::R1, image.input_base.get());
+    b.init_reg(Reg::R2, image.input_base.get() + image.input_count * 8);
+    b.init_reg(Reg::R7, image.root_addr.get());
+    b.init_reg(Reg::R26, POISON_KEY);
+    let top = b.new_label();
+    let done = b.new_label();
+    b.bind(top);
+    b.ble(Reg::R2, Src::Reg(Reg::R1), done);
+    b.ld_d(Reg::R3, Reg::R1, 0);
+    b.add(Reg::OUT, Reg::R3, Src::Imm(0));
+    b.add(Reg::OUT, Reg::R7, Src::Imm(0));
+    b.add(Reg::R1, Reg::R1, Src::Imm(8));
+    b.ba(top);
+    b.bind(done);
+    for _ in 0..walkers {
+        b.add(Reg::OUT, Reg::R26, Src::Imm(0));
+        b.add(Reg::OUT, Reg::ZERO, Src::Imm(0));
+    }
+    b.halt();
+    b.build().expect("btree dispatcher verifies")
+}
+
+/// Builds the B+-tree walker: descend `inner_levels` inner nodes by
+/// scanning separators, then scan the leaf and emit the first match
+/// (the tree's `lookup` semantics).
+///
+/// # Panics
+///
+/// Panics if the fanout's field offsets exceed the load-offset
+/// immediate range (fanout ≤ 128 is always safe).
+#[must_use]
+pub fn btree_walker_program(image: &BTreeImage) -> Program {
+    let f = image.fanout;
+    let child_off = i16::try_from(BTreeImage::child_array_offset(f)).expect("fanout in range");
+    let payload_delta = i16::try_from(8 * f).expect("fanout in range");
+    let mut b = ProgramBuilder::new(UnitClass::Walker);
+    b.init_reg(Reg::R20, POISON_KEY);
+    b.init_reg(Reg::R12, image.inner_levels);
+
+    let item = b.new_label();
+    let descend = b.new_label();
+    let inner_top = b.new_label();
+    let scan = b.new_label();
+    let pick = b.new_label();
+    let leaf = b.new_label();
+    let lscan = b.new_label();
+    let lnext = b.new_label();
+
+    b.bind(item);
+    b.add(Reg::R1, Reg::IN, Src::Imm(0)); // key
+    b.add(Reg::R2, Reg::IN, Src::Imm(0)); // root address
+    b.cmp(Reg::R9, Reg::R1, Src::Reg(Reg::R20));
+    b.ble(Reg::R9, Src::Imm(0), descend);
+    b.add(Reg::OUT, Reg::R20, Src::Imm(0)); // forward poison
+    b.add(Reg::OUT, Reg::ZERO, Src::Imm(0));
+    b.halt();
+
+    b.bind(descend);
+    b.mov(Reg::R10, Reg::R12); // levels remaining
+
+    b.bind(inner_top);
+    b.ble(Reg::R10, Src::Imm(0), leaf);
+    b.ld_d(Reg::R3, Reg::R2, 0); // separator count
+    b.li(Reg::R6, 0); // slot i
+    b.add(Reg::R5, Reg::R2, Src::Imm(8)); // cursor at keys[0]
+    b.bind(scan);
+    b.ble(Reg::R3, Src::Reg(Reg::R6), pick); // i >= count -> last child
+    b.ld_d(Reg::R4, Reg::R5, 0);
+    b.cmp_le(Reg::R9, Reg::R4, Src::Reg(Reg::R1)); // keys[i] <= key ?
+    b.ble(Reg::R9, Src::Imm(0), pick); // key < keys[i] -> child i
+    b.add(Reg::R6, Reg::R6, Src::Imm(1));
+    b.add(Reg::R5, Reg::R5, Src::Imm(8));
+    b.ba(scan);
+    b.bind(pick);
+    b.shl(Reg::R7, Reg::R6, Src::Imm(3));
+    b.add(Reg::R7, Reg::R7, Src::Reg(Reg::R2));
+    b.ld_d(Reg::R2, Reg::R7, child_off); // child address
+    b.add(Reg::R10, Reg::R10, Src::Imm(-1));
+    b.ba(inner_top);
+
+    b.bind(leaf);
+    b.ld_d(Reg::R3, Reg::R2, 0); // key count
+    b.li(Reg::R6, 0);
+    b.add(Reg::R5, Reg::R2, Src::Imm(8));
+    b.bind(lscan);
+    b.ble(Reg::R3, Src::Reg(Reg::R6), item); // exhausted -> next item
+    b.ld_d(Reg::R4, Reg::R5, 0);
+    b.cmp(Reg::R9, Reg::R4, Src::Reg(Reg::R1));
+    b.ble(Reg::R9, Src::Imm(0), lnext);
+    b.ld_d(Reg::R8, Reg::R5, payload_delta); // payloads sit 8*F past keys
+    b.add(Reg::OUT, Reg::R1, Src::Imm(0));
+    b.add(Reg::OUT, Reg::R8, Src::Imm(0));
+    b.ba(item); // first-match semantics
+    b.bind(lnext);
+    b.add(Reg::R6, Reg::R6, Src::Imm(1));
+    b.add(Reg::R5, Reg::R5, Src::Imm(8));
+    b.ba(lscan);
+
+    b.build().expect("btree walker verifies")
+}
+
+/// Builds the producer for a B+-tree offload (identical role to the
+/// hash producer; only the output base differs).
+#[must_use]
+pub fn btree_producer_program(image: &BTreeImage, walkers: usize) -> Program {
+    let mut b = ProgramBuilder::new(UnitClass::Producer);
+    b.init_reg(Reg::R1, image.output_base.get());
+    b.init_reg(Reg::R20, POISON_KEY);
+    b.init_reg(Reg::R21, walkers as u64);
+    let top = b.new_label();
+    let store = b.new_label();
+    let done = b.new_label();
+    b.bind(top);
+    b.add(Reg::R3, Reg::IN, Src::Imm(0));
+    b.add(Reg::R4, Reg::IN, Src::Imm(0));
+    b.cmp(Reg::R9, Reg::R3, Src::Reg(Reg::R20));
+    b.ble(Reg::R9, Src::Imm(0), store);
+    b.add(Reg::R21, Reg::R21, Src::Imm(-1));
+    b.ble(Reg::R21, Src::Imm(0), done);
+    b.ba(top);
+    b.bind(store);
+    b.st_d(Reg::R3, Reg::R1, 0);
+    b.st_d(Reg::R4, Reg::R1, 8);
+    b.add(Reg::R1, Reg::R1, Src::Imm(16));
+    b.ba(top);
+    b.bind(done);
+    b.halt();
+    b.build().expect("btree producer verifies")
+}
+
+/// Result of a B+-tree offload.
+#[derive(Clone, Debug)]
+pub struct BTreeOffloadResult {
+    /// Timing and per-unit accounting.
+    pub stats: crate::widx::WidxRunStats,
+    /// `(key, payload)` matches read back from the output region.
+    pub matches: Vec<(u64, u64)>,
+    /// Configuration registers used.
+    pub registers: ConfigRegisters,
+}
+
+/// Offloads a B+-tree probe batch (already materialized as `image`).
+#[must_use]
+pub fn offload_btree_probe(
+    mem: &mut MemorySystem,
+    image: &BTreeImage,
+    config: &WidxConfig,
+) -> BTreeOffloadResult {
+    let set = ProgramSet {
+        dispatcher: btree_dispatcher_program(image, config.walkers),
+        walker: btree_walker_program(image),
+        producer: btree_producer_program(image, config.walkers),
+    };
+    let mut widx = Widx::new(&set, config, 0);
+    let stats = widx.run(mem);
+    let matches = (0..stats.matches)
+        .map(|i| {
+            let slot = image.output_addr(i);
+            (mem.read_u64(slot), mem.read_u64(slot.offset(8)))
+        })
+        .collect();
+    BTreeOffloadResult {
+        registers: ConfigRegisters {
+            input_base: image.input_base,
+            input_len: image.input_count,
+            hash_table_base: image.root_addr,
+            results_base: image.output_base,
+            null_id: POISON_KEY,
+        },
+        stats,
+        matches,
+    }
+}
+
+/// Builds a tree + probes, materializes, and offloads in one call (used
+/// by tests and the ablation harness).
+#[must_use]
+pub fn run_btree(
+    tree: &BTreeIndex,
+    probes: &[u64],
+    config: &WidxConfig,
+) -> (BTreeOffloadResult, BTreeImage) {
+    use widx_sim::config::SystemConfig;
+    use widx_sim::mem::RegionAllocator;
+    let mut mem = MemorySystem::new(SystemConfig::default());
+    let mut alloc = RegionAllocator::new();
+    let expected = probes.iter().filter(|p| tree.lookup(**p).is_some()).count() as u64;
+    let image =
+        widx_workloads::btree_img::materialize_btree(&mut mem, &mut alloc, tree, probes, expected);
+    let result = offload_btree_probe(&mut mem, &image, config);
+    (result, image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(entries: u64, fanout: usize) -> BTreeIndex {
+        BTreeIndex::build(fanout, (0..entries).map(|k| (k * 3, k)))
+    }
+
+    fn check(tree: &BTreeIndex, probes: &[u64], walkers: usize) {
+        let (result, _) = run_btree(tree, probes, &WidxConfig::with_walkers(walkers));
+        let mut got = result.matches.clone();
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> = probes
+            .iter()
+            .filter_map(|p| tree.lookup(*p).map(|v| (*p, v)))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want, "walkers={walkers}");
+    }
+
+    #[test]
+    fn matches_oracle_across_walker_counts() {
+        let t = tree(2000, 8);
+        let probes: Vec<u64> = (0..500u64).map(|i| i * 7 % 6600).collect();
+        for walkers in [1, 2, 4] {
+            check(&t, &probes, walkers);
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree_works() {
+        let t = tree(5, 8);
+        check(&t, &[0, 3, 6, 9, 100], 2);
+    }
+
+    #[test]
+    fn deep_narrow_tree_works() {
+        let t = tree(3000, 4);
+        let probes: Vec<u64> = (0..300u64).map(|i| i * 31 % 9100).collect();
+        check(&t, &probes, 4);
+    }
+
+    #[test]
+    fn walkers_scale_on_dram_resident_tree() {
+        // Large tree: descents are pointer chases through DRAM.
+        let t = tree(200_000, 8);
+        let probes: Vec<u64> = (0..600u64).map(|i| (i * 997) % 600_000).collect();
+        let (one, _) = run_btree(&t, &probes, &WidxConfig::with_walkers(1));
+        let (four, _) = run_btree(&t, &probes, &WidxConfig::with_walkers(4));
+        assert!(
+            four.stats.total_cycles * 2 < one.stats.total_cycles,
+            "4 walkers {} vs 1 walker {}",
+            four.stats.total_cycles,
+            one.stats.total_cycles
+        );
+    }
+
+    #[test]
+    fn programs_verify_and_encode() {
+        let t = tree(1000, 16);
+        let probes = vec![1u64];
+        let mut mem = MemorySystem::new(widx_sim::config::SystemConfig::default());
+        let mut alloc = widx_sim::mem::RegionAllocator::new();
+        let image = widx_workloads::btree_img::materialize_btree(&mut mem, &mut alloc, &t, &probes, 1);
+        for p in [
+            btree_dispatcher_program(&image, 4),
+            btree_walker_program(&image),
+            btree_producer_program(&image, 4),
+        ] {
+            assert!(p.verify().is_ok());
+            assert!(p.encode_words().is_ok());
+        }
+    }
+}

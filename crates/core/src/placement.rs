@@ -1,0 +1,51 @@
+//! Widx placement: core-coupled (the paper's design) vs. LLC-side (the
+//! Section 7 ablation).
+//!
+//! The paper argues the balance favours coupling Widx to a host core —
+//! reusing its MMU and L1-D — but notes an LLC-side Widx would enjoy
+//! lower LLC access latency and reduced L1 MSHR pressure at the cost of
+//! dedicated translation hardware and the loss of L1 locality. This
+//! module provides the alternative placement so the
+//! `ablation_llc_widx` harness can quantify that trade-off.
+
+use widx_sim::config::TlbConfig;
+
+/// Where the Widx units' memory accesses enter the hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Tightly coupled to the host core: translation through the host
+    /// MMU, data through the host L1-D (the paper's design).
+    #[default]
+    CoreCoupled,
+    /// Next to the LLC: a dedicated (smaller) TLB, accesses enter at
+    /// the LLC — no L1 hits, but no L1-port/MSHR contention and one
+    /// crossbar traversal less per access.
+    LlcSide,
+}
+
+impl Placement {
+    /// The dedicated TLB an LLC-side Widx carries (smaller than the
+    /// core MMU's: translation hardware is expensive next to the LLC).
+    #[must_use]
+    pub fn dedicated_tlb_config() -> TlbConfig {
+        TlbConfig { entries: 32, in_flight: 2, walk_latency: 60, page_bytes: 4096 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_core_coupled() {
+        assert_eq!(Placement::default(), Placement::CoreCoupled);
+    }
+
+    #[test]
+    fn dedicated_tlb_is_smaller_and_slower() {
+        let dedicated = Placement::dedicated_tlb_config();
+        let host = widx_sim::config::SystemConfig::default().tlb;
+        assert!(dedicated.entries < host.entries);
+        assert!(dedicated.walk_latency > host.walk_latency);
+    }
+}

@@ -1,0 +1,169 @@
+//! Timed bounded queues of 64-bit word *pairs*.
+//!
+//! Figure 6 of the paper shows "Key, Hashed key" flowing from the
+//! dispatcher to the walkers — queue entries are two words wide. Units
+//! push and pop single words through their [`Reg::OUT`]/[`Reg::IN`]
+//! ports; the routing layer latches the first word and enqueues the
+//! completed pair atomically, and consumers pop the two halves in order.
+//!
+//! [`Reg::OUT`]: widx_isa::Reg::OUT
+//! [`Reg::IN`]: widx_isa::Reg::IN
+
+use std::collections::VecDeque;
+
+use widx_sim::Cycle;
+
+/// A two-word queue entry.
+pub type Pair = [u64; 2];
+
+/// Forwarding latency: a pair pushed at cycle `t` is visible to the
+/// consumer from cycle `t + 1`.
+pub const FORWARD_LATENCY: Cycle = 1;
+
+/// A bounded queue of pairs with per-entry availability times.
+#[derive(Clone, Debug)]
+pub struct PairQueue {
+    cap: usize,
+    items: VecDeque<(Pair, Cycle)>,
+    /// Second word of a half-consumed pair (its slot stays occupied).
+    half: Option<(u64, Cycle)>,
+    pushes: u64,
+    pops: u64,
+}
+
+impl PairQueue {
+    /// Creates a queue holding at most `cap` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn new(cap: usize) -> PairQueue {
+        assert!(cap > 0, "queue capacity must be positive");
+        PairQueue { cap, items: VecDeque::with_capacity(cap), half: None, pushes: 0, pops: 0 }
+    }
+
+    /// Pairs currently occupying slots (a half-popped pair still counts).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.items.len() + usize::from(self.half.is_some())
+    }
+
+    /// Whether a new pair can be accepted.
+    #[must_use]
+    pub fn has_space(&self) -> bool {
+        self.occupancy() < self.cap
+    }
+
+    /// Whether no words are available at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty() && self.half.is_none()
+    }
+
+    /// Enqueues a pair pushed at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full; callers must check [`has_space`](Self::has_space).
+    pub fn push(&mut self, pair: Pair, now: Cycle) {
+        assert!(self.has_space(), "push into full queue");
+        self.items.push_back((pair, now + FORWARD_LATENCY));
+        self.pushes += 1;
+    }
+
+    /// Pops the next word if one exists, returning it with the cycle it
+    /// became (or becomes) visible. The caller stalls until that cycle
+    /// if it is in the future.
+    ///
+    /// Returns `None` when the queue is empty. A pair's slot frees when
+    /// its *second* word is popped.
+    pub fn pop_word(&mut self) -> Option<(u64, Cycle)> {
+        if let Some((word, at)) = self.half.take() {
+            self.pops += 1;
+            return Some((word, at));
+        }
+        let (pair, at) = self.items.pop_front()?;
+        self.half = Some((pair[1], at));
+        self.pops += 1;
+        Some((pair[0], at))
+    }
+
+    /// Whether the most recent pop freed a slot (i.e. no half remains).
+    #[must_use]
+    pub fn half_pending(&self) -> bool {
+        self.half.is_some()
+    }
+
+    /// Total pairs pushed.
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// The queue's capacity in pairs.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_pair_in_order() {
+        let mut q = PairQueue::new(2);
+        q.push([1, 2], 10);
+        q.push([3, 4], 11);
+        assert!(!q.has_space());
+        assert_eq!(q.pop_word(), Some((1, 11)));
+        // Slot not yet free: second word pending.
+        assert!(!q.has_space());
+        assert_eq!(q.pop_word(), Some((2, 11)));
+        assert!(q.has_space());
+        assert_eq!(q.pop_word(), Some((3, 12)));
+        assert_eq!(q.pop_word(), Some((4, 12)));
+        assert_eq!(q.pop_word(), None);
+    }
+
+    #[test]
+    fn forwarding_latency_applied() {
+        let mut q = PairQueue::new(1);
+        q.push([7, 8], 100);
+        let (w, at) = q.pop_word().unwrap();
+        assert_eq!(w, 7);
+        assert_eq!(at, 100 + FORWARD_LATENCY);
+    }
+
+    #[test]
+    #[should_panic(expected = "full queue")]
+    fn overfill_panics() {
+        let mut q = PairQueue::new(1);
+        q.push([0, 0], 0);
+        q.push([1, 1], 0);
+    }
+
+    #[test]
+    fn occupancy_counts_half_popped() {
+        let mut q = PairQueue::new(2);
+        q.push([1, 2], 0);
+        let _ = q.pop_word();
+        assert_eq!(q.occupancy(), 1);
+        assert!(q.half_pending());
+        let _ = q.pop_word();
+        assert_eq!(q.occupancy(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = PairQueue::new(4);
+        q.push([1, 2], 0);
+        q.push([3, 4], 0);
+        let _ = q.pop_word();
+        assert_eq!(q.pushes(), 2);
+        assert_eq!(q.capacity(), 4);
+    }
+}

@@ -1,0 +1,546 @@
+//! The Widx unit: a 2-stage pipelined RISC core (paper Figure 7)
+//! interpreting `widx-isa` programs against the simulated memory system.
+//!
+//! Timing rules:
+//!
+//! * one pipeline slot (1 cycle, charged as **Comp**) per instruction;
+//! * taken branches pay one extra bubble (the branch resolves in the
+//!   second stage — the paper calls the relative branch address
+//!   calculation its critical path);
+//! * `LD` blocks until the data returns; the wait beyond the pipeline
+//!   slot is charged as **Mem**. A blocking load means one outstanding
+//!   miss per unit — the `MLP = 1` per walker assumed by the paper's
+//!   Section 3.2 model (inter-key parallelism comes from *multiple
+//!   walkers*, not from within one);
+//! * a TLB miss triggers the paper's Section 4.3 retry: the PC is rolled
+//!   back, the 2-stage pipeline refills, and the access replays once the
+//!   host MMU delivers the translation — all charged as **Tlb**;
+//! * `TOUCH` issues a non-binding prefetch and does not block;
+//! * `ST` retires through the store buffer (1 slot, no stall);
+//! * reading [`Reg::IN`] pops the input queue, writing [`Reg::OUT`]
+//!   pushes the output queue; stalls on either are charged as **Idle**
+//!   by the scheduler.
+
+use widx_isa::{Instruction, Opcode, Program, Reg, Src, UnitClass};
+use widx_sim::mem::{MemorySystem, VAddr};
+use widx_sim::stats::CycleBreakdown;
+use widx_sim::Cycle;
+
+use crate::placement::Placement;
+
+/// Pipeline refill cost after a TLB-miss replay (2-stage pipe).
+pub const TLB_REPLAY_CYCLES: Cycle = 2;
+
+/// Queue interface a unit sees during one step. Implemented by the
+/// accelerator's routing layer ([`crate::widx`]).
+pub trait UnitIo {
+    /// Pops one word from the unit's input queue; `None` when empty.
+    /// The returned cycle is when the word becomes visible (the unit
+    /// stalls until then, charged as Idle).
+    fn try_pop(&mut self) -> Option<(u64, Cycle)>;
+    /// Whether the output can accept one word right now.
+    fn can_push(&mut self) -> bool;
+    /// Pushes one word; must follow a successful [`can_push`](Self::can_push).
+    fn push(&mut self, word: u64, now: Cycle);
+}
+
+/// Result of stepping a unit by one instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An instruction completed.
+    Progress,
+    /// Blocked: input queue empty (no state was consumed).
+    NeedPop,
+    /// Blocked: output queue full (no state was consumed).
+    NeedPush,
+    /// The unit executed `HALT` (now or earlier).
+    Halted,
+}
+
+/// One Widx unit: registers, PC, local clock, and cycle accounting.
+#[derive(Clone, Debug)]
+pub struct Unit {
+    label: String,
+    class: UnitClass,
+    code: Vec<Instruction>,
+    regs: [u64; Reg::COUNT],
+    pc: usize,
+    now: Cycle,
+    halted: bool,
+    breakdown: CycleBreakdown,
+    executed: u64,
+    tlb_replays: u64,
+    stores: u64,
+    placement: Placement,
+}
+
+impl Unit {
+    /// Creates a unit at `start` executing `program` (whose initial
+    /// register image is applied).
+    #[must_use]
+    pub fn new(label: &str, program: &Program, start: Cycle) -> Unit {
+        Unit {
+            label: label.to_string(),
+            class: program.class(),
+            code: program.code().to_vec(),
+            regs: program.init().to_register_file(),
+            pc: 0,
+            now: start,
+            halted: false,
+            breakdown: CycleBreakdown::new(),
+            executed: 0,
+            tlb_replays: 0,
+            stores: 0,
+            placement: Placement::CoreCoupled,
+        }
+    }
+
+    /// Sets the unit's memory-path placement (see [`Placement`]).
+    pub fn set_placement(&mut self, placement: Placement) {
+        self.placement = placement;
+    }
+
+    /// The unit's diagnostic label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The unit's class.
+    #[must_use]
+    pub fn class(&self) -> UnitClass {
+        self.class
+    }
+
+    /// The unit's local clock.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Whether the unit has halted.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Cycle accounting so far.
+    #[must_use]
+    pub fn breakdown(&self) -> CycleBreakdown {
+        self.breakdown
+    }
+
+    /// Instructions executed.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// TLB-miss replays performed.
+    #[must_use]
+    pub fn tlb_replays(&self) -> u64 {
+        self.tlb_replays
+    }
+
+    /// Stores executed (producer result words).
+    #[must_use]
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Advances the local clock to `at`, charging the gap as Idle.
+    /// Used by the scheduler when un-parking a queue-blocked unit.
+    pub fn wake_at(&mut self, at: Cycle) {
+        if at > self.now {
+            self.breakdown.idle += at - self.now;
+            self.now = at;
+        }
+    }
+
+    fn reg(&self, r: Reg, popped: Option<u64>) -> u64 {
+        if r.is_zero() {
+            0
+        } else if r.is_in_port() {
+            popped.expect("IN port read without a popped word")
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    fn src(&self, s: Src, popped: Option<u64>) -> u64 {
+        match s {
+            Src::Reg(r) => self.reg(r, popped),
+            Src::Imm(i) => i as i64 as u64,
+        }
+    }
+
+    fn write(&mut self, r: Reg, value: u64, io: &mut dyn UnitIo) {
+        if r.is_zero() {
+            // hardwired zero: discard
+        } else if r.is_out_port() {
+            io.push(value, self.now);
+        } else {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Translates `addr`, applying the retry-on-TLB-miss protocol:
+    /// a miss stalls the unit until the walk completes plus the pipeline
+    /// refill, charged as Tlb.
+    fn translate_with_retry(&mut self, mem: &mut MemorySystem, addr: VAddr) {
+        let tlb = match self.placement {
+            Placement::CoreCoupled => mem.translate(addr, self.now),
+            Placement::LlcSide => mem.translate_dedicated(addr, self.now),
+        };
+        if tlb.miss {
+            let stall = (tlb.ready - self.now) + TLB_REPLAY_CYCLES;
+            self.breakdown.tlb += stall;
+            self.now += stall;
+            self.tlb_replays += 1;
+        }
+    }
+
+    /// Executes one instruction to completion.
+    ///
+    /// Blocking on queues returns [`StepOutcome::NeedPop`] /
+    /// [`StepOutcome::NeedPush`] *before* any architectural state
+    /// changes, so the step can simply be retried once the scheduler
+    /// unblocks the unit.
+    pub fn step(&mut self, mem: &mut MemorySystem, io: &mut dyn UnitIo) -> StepOutcome {
+        if self.halted {
+            return StepOutcome::Halted;
+        }
+        let inst = self.code[self.pc];
+
+        // Pre-flight queue checks (replay-safe: nothing consumed yet).
+        if inst.writes_out_port() && !io.can_push() {
+            return StepOutcome::NeedPush;
+        }
+        let mut popped: Option<u64> = None;
+        if inst.in_port_reads() == 1 {
+            match io.try_pop() {
+                None => return StepOutcome::NeedPop,
+                Some((word, at)) => {
+                    if at > self.now {
+                        self.breakdown.idle += at - self.now;
+                        self.now = at;
+                    }
+                    popped = Some(word);
+                }
+            }
+        }
+
+        // The pipeline slot.
+        self.breakdown.comp += 1;
+        self.now += 1;
+        self.executed += 1;
+        self.pc += 1;
+
+        match inst {
+            Instruction::Alu { op, rd, rs1, src2 } => {
+                let a = self.reg(rs1, popped);
+                let b = self.src(src2, popped);
+                let v = match op {
+                    Opcode::Add => a.wrapping_add(b),
+                    Opcode::And => a & b,
+                    Opcode::Xor => a ^ b,
+                    Opcode::Shl => a << (b & 63),
+                    Opcode::Shr => a >> (b & 63),
+                    Opcode::Cmp => u64::from(a == b),
+                    Opcode::CmpLe => u64::from(a <= b),
+                    other => unreachable!("{other} is not an ALU opcode"),
+                };
+                self.write(rd, v, io);
+            }
+            Instruction::AluShf { op, rd, rs1, rs2, shift } => {
+                let a = self.reg(rs1, popped);
+                let b = shift.apply(self.reg(rs2, popped));
+                let v = match op {
+                    Opcode::AddShf => a.wrapping_add(b),
+                    Opcode::AndShf => a & b,
+                    Opcode::XorShf => a ^ b,
+                    other => unreachable!("{other} is not a fused opcode"),
+                };
+                self.write(rd, v, io);
+            }
+            Instruction::Ba { target } => {
+                self.pc = target as usize;
+                // Taken-branch bubble.
+                self.breakdown.comp += 1;
+                self.now += 1;
+            }
+            Instruction::Ble { rs1, src2, target } => {
+                let a = self.reg(rs1, popped);
+                let b = self.src(src2, popped);
+                if a <= b {
+                    self.pc = target as usize;
+                    self.breakdown.comp += 1;
+                    self.now += 1;
+                }
+            }
+            Instruction::Ld { rd, base, offset, width } => {
+                let addr = VAddr::new(self.reg(base, popped).wrapping_add_signed(i64::from(offset)));
+                self.translate_with_retry(mem, addr);
+                let (value, r) = match self.placement {
+                    Placement::CoreCoupled => mem.load_translated(addr, width.bytes(), self.now),
+                    Placement::LlcSide => mem.load_llc_direct(addr, width.bytes(), self.now),
+                };
+                if r.ready > self.now {
+                    self.breakdown.mem += r.ready - self.now;
+                    self.now = r.ready;
+                }
+                self.write(rd, value, io);
+            }
+            Instruction::St { rs, base, offset, width } => {
+                let addr = VAddr::new(self.reg(base, popped).wrapping_add_signed(i64::from(offset)));
+                self.translate_with_retry(mem, addr);
+                let value = self.reg(rs, popped);
+                match self.placement {
+                    Placement::CoreCoupled => {
+                        let _ = mem.store_translated(addr, width.bytes(), value, self.now);
+                    }
+                    Placement::LlcSide => {
+                        let _ = mem.store_llc_direct(addr, width.bytes(), value, self.now);
+                    }
+                }
+                self.stores += 1;
+            }
+            Instruction::Touch { base, offset } => {
+                let addr = VAddr::new(self.reg(base, popped).wrapping_add_signed(i64::from(offset)));
+                self.translate_with_retry(mem, addr);
+                match self.placement {
+                    Placement::CoreCoupled => {
+                        let _ = mem.prefetch_translated(addr, self.now);
+                    }
+                    Placement::LlcSide => {
+                        // Non-binding: start the LLC fill, do not wait.
+                        let _ = mem.load_llc_direct(addr, 1, self.now);
+                    }
+                }
+            }
+            Instruction::Halt => {
+                self.halted = true;
+                return StepOutcome::Halted;
+            }
+        }
+        StepOutcome::Progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widx_isa::ProgramBuilder;
+    use widx_sim::config::SystemConfig;
+
+    /// Test IO: scripted input words, unbounded output.
+    struct TestIo {
+        input: Vec<u64>,
+        cursor: usize,
+        out: Vec<u64>,
+        push_ok: bool,
+    }
+
+    impl TestIo {
+        fn new(input: Vec<u64>) -> TestIo {
+            TestIo { input, cursor: 0, out: Vec::new(), push_ok: true }
+        }
+    }
+
+    impl UnitIo for TestIo {
+        fn try_pop(&mut self) -> Option<(u64, Cycle)> {
+            let w = *self.input.get(self.cursor)?;
+            self.cursor += 1;
+            Some((w, 0))
+        }
+        fn can_push(&mut self) -> bool {
+            self.push_ok
+        }
+        fn push(&mut self, word: u64, _now: Cycle) {
+            self.out.push(word);
+        }
+    }
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(SystemConfig::default())
+    }
+
+    fn run_to_halt(unit: &mut Unit, mem: &mut MemorySystem, io: &mut TestIo) {
+        for _ in 0..10_000 {
+            match unit.step(mem, io) {
+                StepOutcome::Halted => return,
+                StepOutcome::Progress => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        panic!("program did not halt");
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut b = ProgramBuilder::new(UnitClass::Dispatcher);
+        b.init_reg(Reg::R1, 40);
+        b.add(Reg::R2, Reg::R1, Src::Imm(2));
+        b.xor(Reg::R3, Reg::R2, Src::Reg(Reg::R1));
+        b.shl(Reg::R4, Reg::R1, Src::Imm(2));
+        b.cmp(Reg::R5, Reg::R2, Src::Imm(42));
+        b.cmp_le(Reg::R6, Reg::R2, Src::Imm(41));
+        b.halt();
+        let p = b.build().unwrap();
+        let mut u = Unit::new("t", &p, 0);
+        let mut io = TestIo::new(vec![]);
+        run_to_halt(&mut u, &mut mem(), &mut io);
+        assert_eq!(u.regs[2], 42);
+        assert_eq!(u.regs[3], 42 ^ 40);
+        assert_eq!(u.regs[4], 160);
+        assert_eq!(u.regs[5], 1);
+        assert_eq!(u.regs[6], 0);
+        assert_eq!(u.executed(), 6);
+    }
+
+    #[test]
+    fn fused_shift_semantics() {
+        let mut b = ProgramBuilder::new(UnitClass::Dispatcher);
+        b.init_reg(Reg::R1, 0xFF00);
+        b.xor_shf(Reg::R2, Reg::R1, Reg::R1, widx_isa::Shift::right(8));
+        b.add_shf(Reg::R3, Reg::R1, Reg::R1, widx_isa::Shift::left(1));
+        b.halt();
+        let p = b.build().unwrap();
+        let mut u = Unit::new("t", &p, 0);
+        run_to_halt(&mut u, &mut mem(), &mut TestIo::new(vec![]));
+        assert_eq!(u.regs[2], 0xFF00 ^ 0xFF);
+        assert_eq!(u.regs[3], 0xFF00 + 0x1FE00);
+    }
+
+    #[test]
+    fn loop_counts_and_branch_bubbles() {
+        // Count 0..5 with a backwards BLE.
+        let mut b = ProgramBuilder::new(UnitClass::Walker);
+        let top = b.new_label();
+        b.bind(top);
+        b.add(Reg::R1, Reg::R1, Src::Imm(1));
+        b.ble(Reg::R1, Src::Imm(4), top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut u = Unit::new("t", &p, 0);
+        run_to_halt(&mut u, &mut mem(), &mut TestIo::new(vec![]));
+        assert_eq!(u.regs[1], 5);
+        // 5 adds + 5 bles + halt = 11 instructions; 4 taken branches add
+        // 4 bubbles: comp = 11 + 4.
+        assert_eq!(u.executed(), 11);
+        assert_eq!(u.breakdown().comp, 15);
+    }
+
+    #[test]
+    fn load_blocks_and_charges_mem() {
+        let mut m = mem();
+        m.write_u64(VAddr::new(0x2000), 77);
+        let mut b = ProgramBuilder::new(UnitClass::Walker);
+        b.init_reg(Reg::R1, 0x2000);
+        b.ld_d(Reg::R2, Reg::R1, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut u = Unit::new("t", &p, 0);
+        run_to_halt(&mut u, &mut m, &mut TestIo::new(vec![]));
+        assert_eq!(u.regs[2], 77);
+        // Cold access: TLB walk charged as Tlb, DRAM as Mem.
+        assert!(u.breakdown().tlb >= 40, "tlb {}", u.breakdown().tlb);
+        assert!(u.breakdown().mem >= 90, "mem {}", u.breakdown().mem);
+        assert_eq!(u.tlb_replays(), 1);
+    }
+
+    #[test]
+    fn store_does_not_block() {
+        let mut m = mem();
+        let mut b = ProgramBuilder::new(UnitClass::Producer);
+        b.init_reg(Reg::R1, 0x3000);
+        b.init_reg(Reg::R2, 123);
+        b.st_d(Reg::R2, Reg::R1, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut u = Unit::new("t", &p, 0);
+        run_to_halt(&mut u, &mut m, &mut TestIo::new(vec![]));
+        assert_eq!(m.read_u64(VAddr::new(0x3000)), 123);
+        assert_eq!(u.stores(), 1);
+        // Mem stall is only the TLB walk, not DRAM latency.
+        assert_eq!(u.breakdown().mem, 0);
+    }
+
+    #[test]
+    fn queue_ports_pop_and_push() {
+        let mut b = ProgramBuilder::new(UnitClass::Walker);
+        b.add(Reg::R1, Reg::IN, Src::Imm(0));
+        b.add(Reg::OUT, Reg::R1, Src::Imm(1));
+        b.halt();
+        let p = b.build().unwrap();
+        let mut u = Unit::new("t", &p, 0);
+        let mut io = TestIo::new(vec![41]);
+        run_to_halt(&mut u, &mut mem(), &mut io);
+        assert_eq!(io.out, vec![42]);
+    }
+
+    #[test]
+    fn blocked_pop_is_replay_safe() {
+        let mut b = ProgramBuilder::new(UnitClass::Walker);
+        b.add(Reg::R1, Reg::IN, Src::Imm(0));
+        b.halt();
+        let p = b.build().unwrap();
+        let mut u = Unit::new("t", &p, 0);
+        let mut io = TestIo::new(vec![]);
+        let mut m = mem();
+        assert_eq!(u.step(&mut m, &mut io), StepOutcome::NeedPop);
+        assert_eq!(u.executed(), 0);
+        // Words arrive; the retried step succeeds.
+        io.input.push(9);
+        assert_eq!(u.step(&mut m, &mut io), StepOutcome::Progress);
+        assert_eq!(u.regs[1], 9);
+    }
+
+    #[test]
+    fn blocked_push_is_replay_safe() {
+        let mut b = ProgramBuilder::new(UnitClass::Walker);
+        b.init_reg(Reg::R1, 5);
+        b.add(Reg::OUT, Reg::R1, Src::Imm(0));
+        b.halt();
+        let p = b.build().unwrap();
+        let mut u = Unit::new("t", &p, 0);
+        let mut io = TestIo::new(vec![]);
+        io.push_ok = false;
+        let mut m = mem();
+        assert_eq!(u.step(&mut m, &mut io), StepOutcome::NeedPush);
+        assert_eq!(u.executed(), 0);
+        io.push_ok = true;
+        assert_eq!(u.step(&mut m, &mut io), StepOutcome::Progress);
+        assert_eq!(io.out, vec![5]);
+    }
+
+    #[test]
+    fn wake_charges_idle() {
+        let p = {
+            let mut b = ProgramBuilder::new(UnitClass::Walker);
+            b.halt();
+            b.build().unwrap()
+        };
+        let mut u = Unit::new("t", &p, 100);
+        u.wake_at(150);
+        assert_eq!(u.breakdown().idle, 50);
+        assert_eq!(u.now(), 150);
+        u.wake_at(120); // never goes backwards
+        assert_eq!(u.now(), 150);
+    }
+
+    #[test]
+    fn touch_prefetches_without_blocking() {
+        let mut m = mem();
+        let mut b = ProgramBuilder::new(UnitClass::Walker);
+        b.init_reg(Reg::R1, 0x9000);
+        b.touch(Reg::R1, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut u = Unit::new("t", &p, 0);
+        run_to_halt(&mut u, &mut m, &mut TestIo::new(vec![]));
+        // No Mem stall charged; but the prefetch was issued.
+        assert_eq!(u.breakdown().mem, 0);
+        assert_eq!(m.stats().prefetches, 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Typed columns — the storage unit of a column-store.
+
+use std::fmt;
+
+/// Logical type of a column's 64-bit-encoded values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ColumnType {
+    /// 32-bit unsigned integers (stored zero-extended).
+    U32,
+    /// 64-bit unsigned integers.
+    #[default]
+    U64,
+    /// IEEE-754 doubles stored by bit pattern ("double integers" in the
+    /// paper's TPC-H query 20 discussion).
+    F64Bits,
+}
+
+impl ColumnType {
+    /// Bytes per value as stored in a physical column image.
+    #[must_use]
+    pub fn width(self) -> usize {
+        match self {
+            ColumnType::U32 => 4,
+            ColumnType::U64 | ColumnType::F64Bits => 8,
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::U32 => write!(f, "u32"),
+            ColumnType::U64 => write!(f, "u64"),
+            ColumnType::F64Bits => write!(f, "f64"),
+        }
+    }
+}
+
+/// A named, typed column of 64-bit-encoded values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Column {
+    name: String,
+    ty: ColumnType,
+    data: Vec<u64>,
+}
+
+impl Column {
+    /// Creates a column from values already encoded as `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value does not fit the declared type (e.g. a `U32`
+    /// column containing a value above `u32::MAX`).
+    #[must_use]
+    pub fn new(name: &str, ty: ColumnType, data: Vec<u64>) -> Column {
+        if ty == ColumnType::U32 {
+            assert!(
+                data.iter().all(|v| *v <= u64::from(u32::MAX)),
+                "u32 column `{name}` contains out-of-range values"
+            );
+        }
+        Column { name: name.to_string(), ty, data }
+    }
+
+    /// Creates an `F64Bits` column from doubles.
+    #[must_use]
+    pub fn from_f64(name: &str, values: &[f64]) -> Column {
+        Column {
+            name: name.to_string(),
+            ty: ColumnType::F64Bits,
+            data: values.iter().map(|v| v.to_bits()).collect(),
+        }
+    }
+
+    /// The column's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column's type.
+    #[must_use]
+    pub fn ty(&self) -> ColumnType {
+        self.ty
+    }
+
+    /// Raw encoded values.
+    #[must_use]
+    pub fn data(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the column has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The value at `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize) -> u64 {
+        self.data[row]
+    }
+
+    /// Physical bytes of the column when laid out densely.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.len() * self.ty.width()
+    }
+
+    /// Iterates over the encoded values.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.data.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_width_and_size() {
+        let c = Column::new("age", ColumnType::U32, vec![1, 2, 3]);
+        assert_eq!(c.byte_size(), 12);
+        assert_eq!(c.ty().width(), 4);
+        assert_eq!(c.get(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn u32_overflow_rejected() {
+        let _ = Column::new("bad", ColumnType::U32, vec![u64::from(u32::MAX) + 1]);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let c = Column::from_f64("price", &[1.5, -2.25]);
+        assert_eq!(f64::from_bits(c.get(0)), 1.5);
+        assert_eq!(f64::from_bits(c.get(1)), -2.25);
+        assert_eq!(c.ty(), ColumnType::F64Bits);
+    }
+
+    #[test]
+    fn iteration() {
+        let c = Column::new("k", ColumnType::U64, vec![5, 6]);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![5, 6]);
+        assert!(!c.is_empty());
+    }
+}

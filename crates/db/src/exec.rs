@@ -1,0 +1,154 @@
+//! A minimal instrumented executor: runs operator closures, attributes
+//! wall time to the operator classes of the paper's Figure 2a (Index,
+//! Scan, Sort & Join, Other), and reports the per-class breakdown.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Operator classes of Figure 2a.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Hash-index build and probe work.
+    Index,
+    /// Table scans.
+    Scan,
+    /// Sort and non-index join work.
+    SortJoin,
+    /// Everything else (aggregation, projection, glue).
+    Other,
+}
+
+impl OpClass {
+    /// All classes in Figure 2a's legend order.
+    pub const ALL: [OpClass; 4] = [OpClass::Index, OpClass::Scan, OpClass::SortJoin, OpClass::Other];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpClass::Index => write!(f, "Index"),
+            OpClass::Scan => write!(f, "Scan"),
+            OpClass::SortJoin => write!(f, "Sort&Join"),
+            OpClass::Other => write!(f, "Other"),
+        }
+    }
+}
+
+/// One timed operator invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpTiming {
+    /// The operator's class.
+    pub class: OpClass,
+    /// A short operator name for reports.
+    pub name: String,
+    /// Wall time in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Records operator timings for one query execution.
+#[derive(Clone, Debug, Default)]
+pub struct QueryRun {
+    timings: Vec<OpTiming>,
+}
+
+impl QueryRun {
+    /// Creates an empty run.
+    #[must_use]
+    pub fn new() -> QueryRun {
+        QueryRun::default()
+    }
+
+    /// Runs `f`, attributing its wall time to `class`, and returns its
+    /// result.
+    pub fn run<T>(&mut self, class: OpClass, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.timings.push(OpTiming {
+            class,
+            name: name.to_string(),
+            nanos: t0.elapsed().as_nanos() as u64,
+        });
+        out
+    }
+
+    /// Records a pre-measured timing (for operators that time
+    /// themselves, like [`crate::ops::hash_join`]).
+    pub fn record(&mut self, class: OpClass, name: &str, nanos: u64) {
+        self.timings.push(OpTiming { class, name: name.to_string(), nanos });
+    }
+
+    /// All recorded timings in execution order.
+    #[must_use]
+    pub fn timings(&self) -> &[OpTiming] {
+        &self.timings
+    }
+
+    /// Total nanoseconds across all operators.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        self.timings.iter().map(|t| t.nanos).sum()
+    }
+
+    /// Nanoseconds attributed to `class`.
+    #[must_use]
+    pub fn class_nanos(&self, class: OpClass) -> u64 {
+        self.timings.iter().filter(|t| t.class == class).map(|t| t.nanos).sum()
+    }
+
+    /// Fraction of total time in `class` (0 when nothing ran).
+    #[must_use]
+    pub fn class_fraction(&self, class: OpClass) -> f64 {
+        let total = self.total_nanos();
+        if total == 0 {
+            0.0
+        } else {
+            self.class_nanos(class) as f64 / total as f64
+        }
+    }
+
+    /// The Figure 2a row: fractions for Index / Scan / Sort&Join / Other.
+    #[must_use]
+    pub fn breakdown(&self) -> [f64; 4] {
+        [
+            self.class_fraction(OpClass::Index),
+            self.class_fraction(OpClass::Scan),
+            self.class_fraction(OpClass::SortJoin),
+            self.class_fraction(OpClass::Other),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_time_to_classes() {
+        let mut q = QueryRun::new();
+        let v = q.run(OpClass::Scan, "scan", || 41 + 1);
+        assert_eq!(v, 42);
+        q.record(OpClass::Index, "probe", 1000);
+        q.record(OpClass::Index, "build", 500);
+        q.record(OpClass::Other, "agg", 500);
+        assert_eq!(q.class_nanos(OpClass::Index), 1500);
+        assert_eq!(q.timings().len(), 4);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut q = QueryRun::new();
+        q.record(OpClass::Index, "i", 600);
+        q.record(OpClass::Scan, "s", 300);
+        q.record(OpClass::SortJoin, "j", 100);
+        let b = q.breakdown();
+        assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((b[0] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let q = QueryRun::new();
+        assert_eq!(q.total_nanos(), 0);
+        assert_eq!(q.breakdown(), [0.0; 4]);
+    }
+}

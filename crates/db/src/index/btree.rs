@@ -1,0 +1,240 @@
+//! A static B+-tree index — the paper's Section 7 notes Widx "can easily
+//! be extended to accelerate other index structures, such as balanced
+//! trees, which are also common in DBMSs"; this is the tree that
+//! extension targets.
+//!
+//! The tree is built bottom-up over sorted entries into flat node
+//! arrays, which both keeps lookups allocation-free and makes the
+//! structure directly materializable into simulated memory.
+
+/// Sentinel child index.
+const NONE: u32 = u32::MAX;
+
+/// An inner node: separator keys and child indices.
+#[derive(Clone, Debug)]
+struct Inner {
+    /// `keys[i]` is the smallest key reachable through `children[i+1]`.
+    keys: Vec<u64>,
+    /// Child node indices (into the next level down).
+    children: Vec<u32>,
+}
+
+/// A leaf node: sorted keys with payloads.
+#[derive(Clone, Debug)]
+struct Leaf {
+    keys: Vec<u64>,
+    payloads: Vec<u64>,
+}
+
+/// A static B+-tree over `u64` keys (duplicates allowed).
+#[derive(Clone, Debug)]
+pub struct BTreeIndex {
+    fanout: usize,
+    /// Levels of inner nodes, root level last. Empty when the tree is a
+    /// single leaf.
+    levels: Vec<Vec<Inner>>,
+    leaves: Vec<Leaf>,
+}
+
+impl BTreeIndex {
+    /// Builds a tree with the given `fanout` from `pairs` (sorted
+    /// internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout < 2`.
+    #[must_use]
+    pub fn build(fanout: usize, pairs: impl IntoIterator<Item = (u64, u64)>) -> BTreeIndex {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        let mut entries: Vec<(u64, u64)> = pairs.into_iter().collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+
+        let mut leaves = Vec::new();
+        for chunk in entries.chunks(fanout.max(1)) {
+            leaves.push(Leaf {
+                keys: chunk.iter().map(|(k, _)| *k).collect(),
+                payloads: chunk.iter().map(|(_, p)| *p).collect(),
+            });
+        }
+        if leaves.is_empty() {
+            leaves.push(Leaf { keys: Vec::new(), payloads: Vec::new() });
+        }
+
+        // Build inner levels bottom-up until one root remains.
+        let mut levels: Vec<Vec<Inner>> = Vec::new();
+        let mut level_first_keys: Vec<u64> = leaves
+            .iter()
+            .map(|l| l.keys.first().copied().unwrap_or(0))
+            .collect();
+        let mut width = leaves.len();
+        while width > 1 {
+            let mut inners = Vec::new();
+            let mut next_first_keys = Vec::new();
+            let mut child = 0u32;
+            while (child as usize) < width {
+                let end = (child as usize + fanout).min(width);
+                let children: Vec<u32> = (child..end as u32).collect();
+                let keys = children[1..]
+                    .iter()
+                    .map(|c| level_first_keys[*c as usize])
+                    .collect();
+                next_first_keys.push(level_first_keys[child as usize]);
+                inners.push(Inner { keys, children });
+                child = end as u32;
+            }
+            width = inners.len();
+            levels.push(inners);
+            level_first_keys = next_first_keys;
+        }
+
+        BTreeIndex { fanout, levels, leaves }
+    }
+
+    /// The tree's fanout.
+    #[must_use]
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Tree height in node visits per lookup (1 for a lone leaf).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// Total entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.leaves.iter().map(|l| l.keys.len()).sum()
+    }
+
+    /// Whether the tree holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the first payload under `key`, also reporting the number
+    /// of nodes visited (the traversal length Widx would walk).
+    #[must_use]
+    pub fn lookup_counted(&self, key: u64) -> (Option<u64>, usize) {
+        let mut visits = 0usize;
+        let mut idx = 0u32;
+        // Descend inner levels from the root (last level) downwards.
+        for level in self.levels.iter().rev() {
+            visits += 1;
+            let node = &level[idx as usize];
+            let slot = node.keys.partition_point(|k| *k <= key);
+            idx = node.children[slot];
+            debug_assert_ne!(idx, NONE);
+        }
+        visits += 1;
+        let leaf = &self.leaves[idx as usize];
+        let slot = leaf.keys.partition_point(|k| *k < key);
+        let hit = leaf
+            .keys
+            .get(slot)
+            .filter(|k| **k == key)
+            .map(|_| leaf.payloads[slot]);
+        (hit, visits)
+    }
+
+    /// Looks up the first payload under `key`.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        self.lookup_counted(key).0
+    }
+
+    /// Exports the tree's structure as plain data, for materialization
+    /// into simulated memory.
+    #[must_use]
+    pub fn export(&self) -> BTreeExport {
+        BTreeExport {
+            fanout: self.fanout,
+            levels: self
+                .levels
+                .iter()
+                .map(|level| {
+                    level
+                        .iter()
+                        .map(|n| (n.keys.clone(), n.children.clone()))
+                        .collect()
+                })
+                .collect(),
+            leaves: self
+                .leaves
+                .iter()
+                .map(|l| (l.keys.clone(), l.payloads.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data view of a [`BTreeIndex`]'s structure.
+///
+/// `levels` are bottom-up (level 0's children index into `leaves`, the
+/// last level holds the single root); each inner node is its separator
+/// keys plus child indices into the level below.
+#[derive(Clone, Debug)]
+pub struct BTreeExport {
+    /// Tree fanout.
+    pub fanout: usize,
+    /// Inner levels, bottom-up; `(separator keys, child indices)`.
+    pub levels: Vec<Vec<(Vec<u64>, Vec<u32>)>>,
+    /// Leaves as `(keys, payloads)`.
+    pub leaves: Vec<(Vec<u64>, Vec<u64>)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t = BTreeIndex::build(4, std::iter::empty());
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(5), None);
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn single_leaf() {
+        let t = BTreeIndex::build(8, (0..5u64).map(|k| (k, k * 10)));
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.lookup(3), Some(30));
+        assert_eq!(t.lookup(9), None);
+    }
+
+    #[test]
+    fn multi_level_lookups() {
+        let t = BTreeIndex::build(4, (0..1000u64).map(|k| (k * 2, k)));
+        assert!(t.height() >= 4, "height {}", t.height());
+        for k in 0..1000u64 {
+            assert_eq!(t.lookup(k * 2), Some(k), "key {}", k * 2);
+            assert_eq!(t.lookup(k * 2 + 1), None);
+        }
+    }
+
+    #[test]
+    fn visits_equal_height() {
+        let t = BTreeIndex::build(4, (0..256u64).map(|k| (k, k)));
+        let (_, visits) = t.lookup_counted(17);
+        assert_eq!(visits, t.height());
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let t = BTreeIndex::build(4, [(5u64, 50u64), (1, 10), (3, 30), (2, 20), (4, 40)]);
+        for k in 1..=5u64 {
+            assert_eq!(t.lookup(k), Some(k * 10));
+        }
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let small = BTreeIndex::build(8, (0..64u64).map(|k| (k, k)));
+        let large = BTreeIndex::build(8, (0..4096u64).map(|k| (k, k)));
+        assert!(large.height() > small.height());
+        assert!(large.height() <= 5);
+    }
+}

@@ -1,0 +1,62 @@
+//! Group-by aggregation — part of the paper's "Other" operator class
+//! ("aggregation operators (e.g., sum, max)").
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::column::Column;
+
+/// Result of a grouped sum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupSum {
+    /// `(group key, sum of values)` in ascending group order.
+    pub groups: Vec<(u64, u64)>,
+    /// Wall time in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Computes `SELECT key, SUM(value) GROUP BY key` over two parallel
+/// columns.
+///
+/// # Panics
+///
+/// Panics if the columns have different lengths.
+pub fn group_sum(keys: &Column, values: &Column) -> GroupSum {
+    assert_eq!(keys.len(), values.len(), "group_sum inputs must align");
+    let t0 = Instant::now();
+    let mut map: HashMap<u64, u64> = HashMap::new();
+    for (k, v) in keys.iter().zip(values.iter()) {
+        *map.entry(k).or_default() += v;
+    }
+    let mut groups: Vec<(u64, u64)> = map.into_iter().collect();
+    groups.sort_unstable();
+    GroupSum { groups, nanos: t0.elapsed().as_nanos() as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnType;
+
+    fn col(data: Vec<u64>) -> Column {
+        Column::new("c", ColumnType::U64, data)
+    }
+
+    #[test]
+    fn sums_per_group() {
+        let g = group_sum(&col(vec![1, 2, 1, 2, 3]), &col(vec![10, 20, 30, 40, 50]));
+        assert_eq!(g.groups, vec![(1, 40), (2, 60), (3, 50)]);
+    }
+
+    #[test]
+    fn empty() {
+        let g = group_sum(&col(vec![]), &col(vec![]));
+        assert!(g.groups.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = group_sum(&col(vec![1]), &col(vec![]));
+    }
+}

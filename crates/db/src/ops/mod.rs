@@ -1,0 +1,18 @@
+//! Physical operators: scan, hash join ("no partitioning"), sort-merge
+//! join, sort, and aggregation — the operator classes of the paper's
+//! Figure 2a breakdown.
+
+mod aggregate;
+mod hash_join;
+mod scan;
+mod sort;
+mod sort_merge_join;
+
+pub use aggregate::{group_sum, GroupSum};
+pub use hash_join::{hash_join, HashJoinResult};
+pub use scan::{scan_filter, ScanResult};
+pub use sort::{sort_column, SortResult};
+pub use sort_merge_join::{sort_merge_join, SortMergeResult};
+
+/// A matched pair of row ids `(build_row, probe_row)` produced by a join.
+pub type JoinPair = (u32, u32);

@@ -1,0 +1,65 @@
+//! The scan operator: select row ids satisfying a predicate.
+
+use crate::column::Column;
+
+/// Result of a predicate scan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanResult {
+    /// Row ids whose values satisfied the predicate, in row order.
+    pub rows: Vec<u32>,
+    /// Rows examined (= column length).
+    pub examined: usize,
+}
+
+impl ScanResult {
+    /// Selectivity of the scan (`matched / examined`, 0 for empty input).
+    #[must_use]
+    pub fn selectivity(&self) -> f64 {
+        if self.examined == 0 {
+            0.0
+        } else {
+            self.rows.len() as f64 / self.examined as f64
+        }
+    }
+}
+
+/// Scans `column`, returning the rows for which `pred` holds.
+pub fn scan_filter(column: &Column, pred: impl Fn(u64) -> bool) -> ScanResult {
+    let mut rows = Vec::new();
+    for (i, v) in column.iter().enumerate() {
+        if pred(v) {
+            rows.push(i as u32);
+        }
+    }
+    ScanResult { rows, examined: column.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnType;
+
+    #[test]
+    fn filters_by_predicate() {
+        let c = Column::new("v", ColumnType::U64, (0..10).collect());
+        let r = scan_filter(&c, |v| v % 3 == 0);
+        assert_eq!(r.rows, vec![0, 3, 6, 9]);
+        assert_eq!(r.examined, 10);
+        assert!((r.selectivity() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::new("v", ColumnType::U64, vec![]);
+        let r = scan_filter(&c, |_| true);
+        assert!(r.rows.is_empty());
+        assert_eq!(r.selectivity(), 0.0);
+    }
+
+    #[test]
+    fn all_and_none() {
+        let c = Column::new("v", ColumnType::U64, vec![1, 2, 3]);
+        assert_eq!(scan_filter(&c, |_| true).rows.len(), 3);
+        assert_eq!(scan_filter(&c, |_| false).rows.len(), 0);
+    }
+}

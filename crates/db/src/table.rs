@@ -1,0 +1,140 @@
+//! Tables: named collections of equal-length columns.
+
+use std::fmt;
+
+use crate::column::{Column, ColumnType};
+
+/// A relational table in column-store layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates a table from columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns have differing lengths or duplicate names.
+    #[must_use]
+    pub fn new(name: &str, columns: Vec<Column>) -> Table {
+        if let Some(first) = columns.first() {
+            assert!(
+                columns.iter().all(|c| c.len() == first.len()),
+                "all columns of `{name}` must have the same length"
+            );
+        }
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert!(a.name() != b.name(), "duplicate column `{}` in `{name}`", a.name());
+            }
+        }
+        Table { name: name.to_string(), columns }
+    }
+
+    /// The table's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// The columns in declaration order.
+    #[must_use]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Looks up a column by name.
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name() == name)
+    }
+
+    /// Looks up a column by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when the column is absent.
+    #[must_use]
+    pub fn expect_column(&self, name: &str) -> &Column {
+        self.column(name)
+            .unwrap_or_else(|| panic!("table `{}` has no column `{name}`", self.name))
+    }
+
+    /// Total bytes across all columns.
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Column::byte_size).sum()
+    }
+
+    /// Builds a single-column `u64` table — the common shape for join
+    /// inputs in the microbenchmarks.
+    #[must_use]
+    pub fn single_u64(table_name: &str, column_name: &str, data: Vec<u64>) -> Table {
+        Table::new(table_name, vec![Column::new(column_name, ColumnType::U64, data)])
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({} rows, {} cols)", self.name, self.rows(), self.columns.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let t = Table::new(
+            "a",
+            vec![
+                Column::new("age", ColumnType::U32, vec![10, 20]),
+                Column::new("id", ColumnType::U64, vec![100, 200]),
+            ],
+        );
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.expect_column("age").get(1), 20);
+        assert!(t.column("name").is_none());
+        assert_eq!(t.byte_size(), 2 * 4 + 2 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_rejected() {
+        let _ = Table::new(
+            "bad",
+            vec![
+                Column::new("a", ColumnType::U64, vec![1]),
+                Column::new("b", ColumnType::U64, vec![1, 2]),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_rejected() {
+        let _ = Table::new(
+            "bad",
+            vec![
+                Column::new("a", ColumnType::U64, vec![1]),
+                Column::new("a", ColumnType::U64, vec![2]),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn expect_column_panics_descriptively() {
+        let t = Table::single_u64("t", "k", vec![]);
+        let _ = t.expect_column("missing");
+    }
+}

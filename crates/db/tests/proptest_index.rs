@@ -1,0 +1,100 @@
+//! Property tests: the hash index and the joins agree with standard
+//! library oracles for arbitrary key multisets.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use widx_db::column::{Column, ColumnType};
+use widx_db::hash::HashRecipe;
+use widx_db::index::{BTreeIndex, HashIndex};
+use widx_db::ops::{hash_join, sort_merge_join};
+
+fn oracle(pairs: &[(u64, u64)]) -> HashMap<u64, Vec<u64>> {
+    let mut m: HashMap<u64, Vec<u64>> = HashMap::new();
+    for (k, v) in pairs {
+        m.entry(*k).or_default().push(*v);
+    }
+    m
+}
+
+proptest! {
+    #[test]
+    fn hash_index_agrees_with_map(
+        pairs in prop::collection::vec((any::<u64>(), any::<u64>()), 0..300),
+        probes in prop::collection::vec(any::<u64>(), 0..100),
+        buckets in 1usize..128,
+    ) {
+        let idx = HashIndex::build(HashRecipe::robust64(), buckets, pairs.iter().copied());
+        let oracle = oracle(&pairs);
+        // Every inserted key is found with all payloads.
+        for (k, expected) in &oracle {
+            let mut got = idx.lookup_all(*k);
+            got.sort_unstable();
+            let mut want = expected.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+        // Random probes agree on membership.
+        for p in probes {
+            prop_assert_eq!(idx.lookup(p).is_some(), oracle.contains_key(&p));
+        }
+        prop_assert_eq!(idx.len(), pairs.len());
+    }
+
+    #[test]
+    fn trivial_hash_also_correct(
+        pairs in prop::collection::vec((0u64..1000, any::<u64>()), 0..200),
+    ) {
+        // Correctness must not depend on hash quality.
+        let idx = HashIndex::build(HashRecipe::trivial(), 8, pairs.iter().copied());
+        let oracle = oracle(&pairs);
+        for (k, expected) in &oracle {
+            prop_assert_eq!(idx.lookup_all(*k).len(), expected.len());
+        }
+    }
+
+    #[test]
+    fn btree_agrees_with_map(
+        pairs in prop::collection::vec((any::<u64>(), any::<u64>()), 0..300),
+        probes in prop::collection::vec(any::<u64>(), 0..100),
+        fanout in 2usize..16,
+    ) {
+        let tree = BTreeIndex::build(fanout, pairs.iter().copied());
+        let oracle = oracle(&pairs);
+        for p in pairs.iter().map(|(k, _)| *k).chain(probes) {
+            let got = tree.lookup(p);
+            match oracle.get(&p) {
+                Some(values) => prop_assert!(values.contains(&got.expect("present key found"))),
+                None => prop_assert!(got.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn joins_agree(
+        build in prop::collection::vec(0u64..64, 0..120),
+        probe in prop::collection::vec(0u64..64, 0..120),
+    ) {
+        let b = Column::new("b", ColumnType::U64, build);
+        let p = Column::new("p", ColumnType::U64, probe);
+        let mut hj = hash_join(&b, &p, HashRecipe::robust64(), 32).pairs;
+        let mut sm = sort_merge_join(&b, &p).pairs;
+        hj.sort_unstable();
+        sm.sort_unstable();
+        prop_assert_eq!(hj, sm);
+    }
+
+    #[test]
+    fn probe_visits_at_least_chain_on_hit(
+        keys in prop::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let idx = HashIndex::build(
+            HashRecipe::robust64(),
+            16,
+            keys.iter().map(|k| (*k, 0u64)),
+        );
+        for k in &keys {
+            prop_assert!(idx.probe_visits(*k) >= 1);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Area parameters (paper Section 6.3).
+
+/// Synthesized and published areas in mm² at 40 nm.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AreaParams {
+    /// One Widx unit including its two-entry input/output buffers.
+    pub widx_unit_mm2: f64,
+    /// The 6-unit Widx complex (dispatcher + 4 walkers + producer).
+    pub widx_total_mm2: f64,
+    /// ARM Cortex-A8-like in-order core including L1 caches.
+    pub a8_mm2: f64,
+    /// ARM Cortex-M4 microcontroller (the paper: "roughly the same area
+    /// as the single Widx unit").
+    pub m4_mm2: f64,
+}
+
+impl Default for AreaParams {
+    fn default() -> AreaParams {
+        AreaParams {
+            widx_unit_mm2: 0.039,
+            widx_total_mm2: 0.24,
+            a8_mm2: 1.3,
+            m4_mm2: 0.04,
+        }
+    }
+}
+
+impl AreaParams {
+    /// Widx area as a fraction of the A8 — the paper's headline "18 % of
+    /// Cortex A8".
+    #[must_use]
+    pub fn widx_vs_a8(&self) -> f64 {
+        self.widx_total_mm2 / self.a8_mm2
+    }
+
+    /// Area of `n` Widx units plus shared wiring (linear in units; the
+    /// paper's 6-unit total is consistent with 6x the unit area).
+    #[must_use]
+    pub fn units_mm2(&self, n: usize) -> f64 {
+        self.widx_unit_mm2 * n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_area_anchors() {
+        let a = AreaParams::default();
+        assert!((a.widx_unit_mm2 - 0.039).abs() < 1e-12);
+        assert!((a.widx_total_mm2 - 0.24).abs() < 1e-12);
+        // "Widx's area overhead is only 18% of Cortex A8".
+        let frac = a.widx_vs_a8();
+        assert!((0.17..=0.19).contains(&frac), "A8 fraction {frac}");
+    }
+
+    #[test]
+    fn unit_scaling_consistent_with_total() {
+        let a = AreaParams::default();
+        let six = a.units_mm2(6);
+        assert!((six - a.widx_total_mm2).abs() < 0.01);
+    }
+
+    #[test]
+    fn m4_comparison() {
+        let a = AreaParams::default();
+        assert!((a.m4_mm2 - a.widx_unit_mm2).abs() < 0.01, "M4 ~ one unit");
+    }
+}

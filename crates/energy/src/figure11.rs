@@ -1,0 +1,151 @@
+//! Figure 11: indexing runtime, energy, and energy-delay product of the
+//! OoO baseline, the in-order core, and Widx (on an idling OoO host),
+//! all normalized to the OoO baseline (lower is better).
+
+use crate::PowerParams;
+
+/// Measured indexing runtimes (any consistent unit — cycles work) for
+/// the three design points.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Runtimes {
+    /// OoO baseline runtime.
+    pub ooo: f64,
+    /// In-order core runtime.
+    pub inorder: f64,
+    /// Widx runtime (full offload).
+    pub widx: f64,
+}
+
+/// One design point's normalized metrics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DesignPoint {
+    /// Design-point name.
+    pub name: &'static str,
+    /// Runtime normalized to OoO.
+    pub runtime: f64,
+    /// Energy normalized to OoO.
+    pub energy: f64,
+    /// Energy-delay product normalized to OoO.
+    pub edp: f64,
+}
+
+/// The full Figure 11 row set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Figure11 {
+    /// The OoO baseline (all ones by construction).
+    pub ooo: DesignPoint,
+    /// The in-order core.
+    pub inorder: DesignPoint,
+    /// Widx attached to the (idling) OoO core.
+    pub widx: DesignPoint,
+}
+
+impl Figure11 {
+    /// Energy reduction of Widx vs. the OoO baseline (paper: 83 %).
+    #[must_use]
+    pub fn widx_energy_reduction(&self) -> f64 {
+        1.0 - self.widx.energy
+    }
+
+    /// Energy reduction of the in-order core vs. OoO (paper: 86 %).
+    #[must_use]
+    pub fn inorder_energy_reduction(&self) -> f64 {
+        1.0 - self.inorder.energy
+    }
+
+    /// EDP improvement of Widx over the OoO baseline (paper: 17.5x).
+    #[must_use]
+    pub fn widx_edp_gain_vs_ooo(&self) -> f64 {
+        self.ooo.edp / self.widx.edp
+    }
+
+    /// EDP improvement of Widx over the in-order core (paper: 5.5x).
+    #[must_use]
+    pub fn widx_edp_gain_vs_inorder(&self) -> f64 {
+        self.inorder.edp / self.widx.edp
+    }
+}
+
+/// Computes Figure 11 from measured runtimes and power parameters.
+///
+/// # Panics
+///
+/// Panics if any runtime is non-positive.
+#[must_use]
+pub fn figure11(runtimes: Runtimes, power: &PowerParams) -> Figure11 {
+    assert!(
+        runtimes.ooo > 0.0 && runtimes.inorder > 0.0 && runtimes.widx > 0.0,
+        "runtimes must be positive"
+    );
+    let point = |name, time: f64, watts: f64| {
+        let t = time / runtimes.ooo;
+        let energy = (watts * time) / (power.ooo_mode_w() * runtimes.ooo);
+        DesignPoint { name, runtime: t, energy, edp: energy * t }
+    };
+    Figure11 {
+        ooo: point("OoO", runtimes.ooo, power.ooo_mode_w()),
+        inorder: point("In-order", runtimes.inorder, power.inorder_mode_w()),
+        widx: point("Widx (w/ OoO)", runtimes.widx, power.widx_mode_w()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's own runtime ratios (Sec. 6.3: in-order 2.2x slower
+    /// than OoO; Widx 3.1x faster).
+    fn paper_runtimes() -> Runtimes {
+        Runtimes { ooo: 1.0, inorder: 2.2, widx: 1.0 / 3.1 }
+    }
+
+    #[test]
+    fn ooo_is_unity() {
+        let f = figure11(paper_runtimes(), &PowerParams::default());
+        assert!((f.ooo.runtime - 1.0).abs() < 1e-12);
+        assert!((f.ooo.energy - 1.0).abs() < 1e-12);
+        assert!((f.ooo.edp - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_anchor_energy_reductions() {
+        let f = figure11(paper_runtimes(), &PowerParams::default());
+        let inorder = f.inorder_energy_reduction();
+        let widx = f.widx_energy_reduction();
+        assert!((0.84..=0.88).contains(&inorder), "in-order reduction {inorder} (paper 86%)");
+        assert!((0.81..=0.85).contains(&widx), "Widx reduction {widx} (paper 83%)");
+    }
+
+    #[test]
+    fn paper_anchor_edp_gains() {
+        let f = figure11(paper_runtimes(), &PowerParams::default());
+        let vs_ooo = f.widx_edp_gain_vs_ooo();
+        let vs_inorder = f.widx_edp_gain_vs_inorder();
+        assert!((15.0..=20.0).contains(&vs_ooo), "EDP vs OoO {vs_ooo} (paper 17.5x)");
+        assert!((5.0..=6.0).contains(&vs_inorder), "EDP vs in-order {vs_inorder} (paper 5.5x)");
+    }
+
+    #[test]
+    fn inorder_trades_time_for_energy() {
+        let f = figure11(paper_runtimes(), &PowerParams::default());
+        assert!(f.inorder.runtime > 2.0);
+        assert!(f.inorder.energy < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_runtime_rejected() {
+        let _ = figure11(Runtimes { ooo: 0.0, inorder: 1.0, widx: 1.0 }, &PowerParams::default());
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // Absolute cycle counts should not matter, only ratios.
+        let a = figure11(paper_runtimes(), &PowerParams::default());
+        let b = figure11(
+            Runtimes { ooo: 1e9, inorder: 2.2e9, widx: 1e9 / 3.1 },
+            &PowerParams::default(),
+        );
+        assert!((a.widx.edp - b.widx.edp).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,24 @@
+//! # widx-energy — area, power, energy, and energy-delay models
+//!
+//! Reproduces the paper's Section 6.3 analysis: Widx's synthesized area
+//! and power (TSMC 40 nm, 2 GHz), the comparison cores' published
+//! numbers, and the Figure 11 runtime / energy / energy-delay summary.
+//!
+//! The paper composes *published* power figures with *simulated*
+//! runtimes; this crate does the same arithmetic with this repository's
+//! measured cycle counts. The default [`PowerParams`] are chosen so
+//! that, at the paper's own runtime ratios (in-order 2.2x slower than
+//! OoO; Widx 3.1x faster), the paper's four headline efficiency numbers
+//! all fall out: 86 % energy reduction for in-order, 83 % for Widx,
+//! 5.5x EDP improvement over in-order, and 17.5x over OoO.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod area;
+pub mod figure11;
+pub mod power;
+
+pub use area::AreaParams;
+pub use figure11::{figure11, DesignPoint, Figure11, Runtimes};
+pub use power::PowerParams;

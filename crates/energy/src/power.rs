@@ -1,0 +1,91 @@
+//! Power parameters (paper Section 5 "Power and Area" + Section 6.3).
+
+/// Power figures in watts at 2 GHz, 40 nm.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PowerParams {
+    /// Nominal operating power of the OoO (Xeon-like) core including
+    /// its private caches — the paper assumes "the power consumption of
+    /// the baseline OoO core to be equal to Xeon's nominal operating
+    /// power".
+    pub ooo_core_w: f64,
+    /// Idle power as a fraction of nominal ("idle power is estimated to
+    /// be 30% of the nominal power").
+    pub idle_fraction: f64,
+    /// In-order (Cortex-A8-like) core power including L1 caches — the
+    /// paper quotes 480 mW from the scale-out-processors study.
+    pub inorder_w: f64,
+    /// One Widx unit with its queues — synthesized at 53 mW.
+    pub widx_unit_w: f64,
+    /// The full 6-unit Widx complex — synthesized at 320 mW.
+    pub widx_total_w: f64,
+    /// Host private-cache power kept active while Widx runs (the
+    /// "Widx-enabled design relies on the core's data caches"; estimated
+    /// with CACTI in the paper).
+    pub cache_w: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> PowerParams {
+        PowerParams {
+            ooo_core_w: 7.5,
+            idle_fraction: 0.30,
+            inorder_w: 0.48,
+            widx_unit_w: 0.053,
+            widx_total_w: 0.32,
+            cache_w: 1.5,
+        }
+    }
+}
+
+impl PowerParams {
+    /// Power drawn while Widx runs: the host core idles (at the idle
+    /// fraction of nominal), its caches stay active for Widx, and the
+    /// six Widx units draw their synthesized power.
+    #[must_use]
+    pub fn widx_mode_w(&self) -> f64 {
+        self.ooo_core_w * self.idle_fraction + self.cache_w + self.widx_total_w
+    }
+
+    /// Power of the OoO design point.
+    #[must_use]
+    pub fn ooo_mode_w(&self) -> f64 {
+        self.ooo_core_w
+    }
+
+    /// Power of the in-order design point.
+    #[must_use]
+    pub fn inorder_mode_w(&self) -> f64 {
+        self.inorder_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let p = PowerParams::default();
+        assert!((p.widx_unit_w - 0.053).abs() < 1e-12, "53 mW per unit");
+        assert!((p.widx_total_w - 0.32).abs() < 1e-12, "320 mW for 6 units");
+        assert!((p.inorder_w - 0.48).abs() < 1e-12, "A8 at 480 mW");
+        assert!((p.idle_fraction - 0.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn widx_mode_is_idle_core_plus_widx() {
+        let p = PowerParams::default();
+        let w = p.widx_mode_w();
+        assert!(w < p.ooo_core_w, "offload must save power");
+        assert!(w > p.widx_total_w, "idle host + caches dominate");
+        assert!((w - (2.25 + 1.5 + 0.32)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn six_units_cost_less_than_six_times_one() {
+        // 6 x 53 mW = 318 mW ~ 320 mW: the paper's total is consistent
+        // with its per-unit figure.
+        let p = PowerParams::default();
+        assert!((6.0 * p.widx_unit_w - p.widx_total_w).abs() < 0.01);
+    }
+}

@@ -1,0 +1,481 @@
+//! Text assembler / disassembler for Widx unit programs.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! ; walker inner loop (comments start with ';' or '#')
+//! .reg r20 = 0xff51afd7ed558ccd     ; initial register image entry
+//! loop:
+//!     ble r4, 0, done               ; node == NULL?
+//!     ld.d r5, [r4+0]               ; node->key
+//!     cmp r9, r5, r3
+//!     ble r9, 0, next               ; no match
+//!     add out, r5, 0                ; emit
+//! next:
+//!     ld.d r4, [r4+8]               ; node->next
+//!     ba loop
+//! done:
+//!     halt
+//! ```
+//!
+//! Registers are written `r0`..`r29`, with `in` and `out` accepted as
+//! aliases for the queue ports `r30`/`r31`. Loads and stores use
+//! `ld.b/.h/.w/.d` and `st.*` with `[base+offset]` operands. Fused shifts
+//! take a trailing `<<n` or `>>n` operand.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{Instruction, Opcode, Shift, Src, Width};
+use crate::{Program, Reg, RegImage, UnitClass, VerifyError};
+
+/// Error produced by [`assemble`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A branch referenced an undefined label.
+    UndefinedLabel {
+        /// 1-based line number of the branch.
+        line: usize,
+        /// The label name.
+        label: String,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// 1-based line number of the second definition.
+        line: usize,
+        /// The label name.
+        label: String,
+    },
+    /// The assembled program failed static verification.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            AsmError::UndefinedLabel { line, label } => {
+                write!(f, "line {line}: undefined label `{label}`")
+            }
+            AsmError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: duplicate label `{label}`")
+            }
+            AsmError::Verify(e) => write!(f, "verify: {e}"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+impl From<VerifyError> for AsmError {
+    fn from(e: VerifyError) -> AsmError {
+        AsmError::Verify(e)
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let err = || AsmError::Parse { line, message: format!("expected register, found `{tok}`") };
+    match tok {
+        "in" => return Ok(Reg::IN),
+        "out" => return Ok(Reg::OUT),
+        _ => {}
+    }
+    let rest = tok.strip_prefix('r').ok_or_else(err)?;
+    let idx: u8 = rest.parse().map_err(|_| err())?;
+    Reg::try_new(idx).ok_or_else(err)
+}
+
+fn parse_int(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let err = || AsmError::Parse { line, message: format!("expected integer, found `{tok}`") };
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|_| err())?
+    } else {
+        body.parse::<i64>().map_err(|_| err())?
+    };
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_src(tok: &str, line: usize) -> Result<Src, AsmError> {
+    if tok == "in" || tok == "out" || tok.starts_with('r') && tok[1..].chars().all(|c| c.is_ascii_digit()) {
+        Ok(Src::Reg(parse_reg(tok, line)?))
+    } else {
+        let v = parse_int(tok, line)?;
+        let imm = i16::try_from(v).ok().filter(|i| Src::imm_fits(*i)).ok_or(AsmError::Parse {
+            line,
+            message: format!("immediate {v} out of range"),
+        })?;
+        Ok(Src::Imm(imm))
+    }
+}
+
+/// Parses `[base+offset]` / `[base-offset]` / `[base]`.
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i16), AsmError> {
+    let err = |m: &str| AsmError::Parse { line, message: format!("{m} in `{tok}`") };
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err("expected [base+offset]"))?;
+    let (base_str, off) = if let Some(pos) = inner.rfind(['+', '-']) {
+        if pos == 0 {
+            (inner, 0i64)
+        } else {
+            let (b, o) = inner.split_at(pos);
+            (b, parse_int(o, line)?)
+        }
+    } else {
+        (inner, 0)
+    };
+    let base = parse_reg(base_str.trim(), line)?;
+    let offset =
+        i16::try_from(off).ok().filter(|o| (-2048..=2047).contains(o)).ok_or_else(|| err("offset out of range"))?;
+    Ok((base, offset))
+}
+
+fn parse_shift(tok: &str, line: usize) -> Result<Shift, AsmError> {
+    let err = || AsmError::Parse { line, message: format!("expected <<n or >>n, found `{tok}`") };
+    let (dir, body) = if let Some(rest) = tok.strip_prefix("<<") {
+        (crate::ShiftDir::Left, rest)
+    } else if let Some(rest) = tok.strip_prefix(">>") {
+        (crate::ShiftDir::Right, rest)
+    } else {
+        return Err(err());
+    };
+    let amount: u8 = body.parse().map_err(|_| err())?;
+    if amount >= 64 {
+        return Err(err());
+    }
+    Ok(Shift { dir, amount })
+}
+
+/// Splits an operand list on commas, trimming whitespace.
+fn operands(rest: &str) -> Vec<&str> {
+    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+}
+
+enum PendingTarget {
+    None,
+    Label(String),
+}
+
+/// Assembles `text` into a verified [`Program`] for `class`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] describing the first parse, label, or
+/// verification problem.
+pub fn assemble(class: UnitClass, text: &str) -> Result<Program, AsmError> {
+    let mut init = RegImage::new();
+    let mut code: Vec<Instruction> = Vec::new();
+    let mut pending: Vec<(usize, usize, String)> = Vec::new(); // (pc, line, label)
+    let mut labels: HashMap<String, u32> = HashMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let mut s = raw;
+        if let Some(pos) = s.find([';', '#']) {
+            s = &s[..pos];
+        }
+        let mut s = s.trim();
+        if s.is_empty() {
+            continue;
+        }
+        // Labels (possibly several) at the start of the line.
+        while let Some(colon) = s.find(':') {
+            let (label, rest) = s.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break;
+            }
+            if labels.insert(label.to_string(), code.len() as u32).is_some() {
+                return Err(AsmError::DuplicateLabel { line, label: label.to_string() });
+            }
+            s = rest[1..].trim();
+        }
+        if s.is_empty() {
+            continue;
+        }
+        // Directives.
+        if let Some(rest) = s.strip_prefix(".reg") {
+            let parts: Vec<&str> = rest.splitn(2, '=').map(str::trim).collect();
+            if parts.len() != 2 {
+                return Err(AsmError::Parse { line, message: "expected `.reg rN = value`".into() });
+            }
+            let reg = parse_reg(parts[0], line)?;
+            let value = parse_u64(parts[1], line)?;
+            init.set(reg, value);
+            continue;
+        }
+        // Instruction.
+        let (mnemonic, rest) = match s.find(char::is_whitespace) {
+            Some(pos) => (&s[..pos], s[pos..].trim()),
+            None => (s, ""),
+        };
+        let ops = operands(rest);
+        let expect = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(AsmError::Parse {
+                    line,
+                    message: format!("{mnemonic} expects {n} operands, found {}", ops.len()),
+                })
+            }
+        };
+        let mut target = PendingTarget::None;
+        let inst = match mnemonic {
+            "add" | "and" | "xor" | "shl" | "shr" | "cmp" | "cmp-le" => {
+                expect(3)?;
+                let op = match mnemonic {
+                    "add" => Opcode::Add,
+                    "and" => Opcode::And,
+                    "xor" => Opcode::Xor,
+                    "shl" => Opcode::Shl,
+                    "shr" => Opcode::Shr,
+                    "cmp" => Opcode::Cmp,
+                    _ => Opcode::CmpLe,
+                };
+                Instruction::Alu {
+                    op,
+                    rd: parse_reg(ops[0], line)?,
+                    rs1: parse_reg(ops[1], line)?,
+                    src2: parse_src(ops[2], line)?,
+                }
+            }
+            "add-shf" | "and-shf" | "xor-shf" => {
+                expect(4)?;
+                let op = match mnemonic {
+                    "add-shf" => Opcode::AddShf,
+                    "and-shf" => Opcode::AndShf,
+                    _ => Opcode::XorShf,
+                };
+                Instruction::AluShf {
+                    op,
+                    rd: parse_reg(ops[0], line)?,
+                    rs1: parse_reg(ops[1], line)?,
+                    rs2: parse_reg(ops[2], line)?,
+                    shift: parse_shift(ops[3], line)?,
+                }
+            }
+            "ba" => {
+                expect(1)?;
+                target = PendingTarget::Label(ops[0].to_string());
+                Instruction::Ba { target: 0 }
+            }
+            "ble" => {
+                expect(3)?;
+                target = PendingTarget::Label(ops[2].to_string());
+                Instruction::Ble {
+                    rs1: parse_reg(ops[0], line)?,
+                    src2: parse_src(ops[1], line)?,
+                    target: 0,
+                }
+            }
+            "touch" => {
+                expect(1)?;
+                let (base, offset) = parse_mem(ops[0], line)?;
+                Instruction::Touch { base, offset }
+            }
+            "halt" => {
+                expect(0)?;
+                Instruction::Halt
+            }
+            m if m.starts_with("ld.") || m.starts_with("st.") => {
+                expect(2)?;
+                let width = match &m[3..] {
+                    "b" => Width::B,
+                    "h" => Width::H,
+                    "w" => Width::W,
+                    "d" => Width::D,
+                    other => {
+                        return Err(AsmError::Parse {
+                            line,
+                            message: format!("unknown width suffix `.{other}`"),
+                        })
+                    }
+                };
+                let r = parse_reg(ops[0], line)?;
+                let (base, offset) = parse_mem(ops[1], line)?;
+                if m.starts_with("ld.") {
+                    Instruction::Ld { rd: r, base, offset, width }
+                } else {
+                    Instruction::St { rs: r, base, offset, width }
+                }
+            }
+            other => {
+                return Err(AsmError::Parse { line, message: format!("unknown mnemonic `{other}`") })
+            }
+        };
+        if let PendingTarget::Label(l) = target {
+            pending.push((code.len(), line, l));
+        }
+        code.push(inst);
+    }
+
+    for (pc, line, label) in pending {
+        let target = *labels
+            .get(&label)
+            .ok_or(AsmError::UndefinedLabel { line, label: label.clone() })?;
+        code[pc] = code[pc].with_branch_target(target);
+    }
+
+    Ok(Program::from_parts(class, code, init)?)
+}
+
+fn parse_u64(tok: &str, line: usize) -> Result<u64, AsmError> {
+    let err = || AsmError::Parse { line, message: format!("expected unsigned integer, found `{tok}`") };
+    if let Some(hex) = tok.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|_| err())
+    } else {
+        tok.parse::<u64>().map_err(|_| err())
+    }
+}
+
+/// Renders a program as assembler text accepted by [`assemble`].
+///
+/// Branch targets become synthesized labels `L0`, `L1`, … in target
+/// order; the initial register image is emitted as `.reg` directives.
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    use std::fmt::Write as _;
+
+    let mut targets: Vec<u32> = program
+        .code()
+        .iter()
+        .filter_map(Instruction::branch_target)
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    let label_of = |t: u32| format!("L{}", targets.binary_search(&t).expect("target collected"));
+
+    let mut out = String::new();
+    for (reg, value) in program.init().iter() {
+        let _ = writeln!(out, ".reg {reg} = {value:#x}");
+    }
+    for (pc, inst) in program.code().iter().enumerate() {
+        if targets.binary_search(&(pc as u32)).is_ok() {
+            let _ = writeln!(out, "{}:", label_of(pc as u32));
+        }
+        match inst {
+            Instruction::Ba { target } => {
+                let _ = writeln!(out, "    ba {}", label_of(*target));
+            }
+            Instruction::Ble { rs1, src2, target } => {
+                let _ = writeln!(out, "    ble {rs1}, {src2}, {}", label_of(*target));
+            }
+            other => {
+                let _ = writeln!(out, "    {other}");
+            }
+        }
+    }
+    // Labels pointing one past the last instruction are impossible: the
+    // verifier bounds branch targets to existing instructions.
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WALKER_SRC: &str = "
+; walker: traverse a node list emitting matches
+.reg r3 = 0x7777
+loop:
+    ble r4, 0, done
+    ld.d r5, [r4+0]
+    cmp r9, r5, r3
+    ble r9, 0, next
+    add out, r5, 0
+next:
+    ld.d r4, [r4+8]
+    ba loop
+done:
+    halt
+";
+
+    #[test]
+    fn assemble_walker() {
+        let p = assemble(UnitClass::Walker, WALKER_SRC).unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.init().get(Reg::R3), 0x7777);
+        assert_eq!(p.code()[0].branch_target(), Some(7));
+        assert_eq!(p.code()[3].branch_target(), Some(5));
+        assert_eq!(p.code()[6].branch_target(), Some(0));
+    }
+
+    #[test]
+    fn disassemble_round_trip() {
+        let p = assemble(UnitClass::Walker, WALKER_SRC).unwrap();
+        let text = disassemble(&p);
+        let p2 = assemble(UnitClass::Walker, &text).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let err = assemble(UnitClass::Walker, "ba nowhere\nhalt\n").unwrap_err();
+        assert!(matches!(err, AsmError::UndefinedLabel { label, .. } if label == "nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_reported() {
+        let err = assemble(UnitClass::Walker, "x:\nhalt\nx:\nhalt\n").unwrap_err();
+        assert!(matches!(err, AsmError::DuplicateLabel { label, .. } if label == "x"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reported() {
+        let err = assemble(UnitClass::Walker, "mul r1, r2, r3\n").unwrap_err();
+        assert!(matches!(err, AsmError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn class_violation_reported() {
+        let err = assemble(UnitClass::Walker, "st.d r1, [r2+0]\nhalt\n").unwrap_err();
+        assert!(matches!(err, AsmError::Verify(_)));
+    }
+
+    #[test]
+    fn fused_and_mem_syntax() {
+        let src = "
+    xor-shf r1, r2, r3, >>33
+    add-shf r4, r5, r6, <<3
+    touch [r7+64]
+    ld.w r8, [r9-4]
+    halt
+";
+        let p = assemble(UnitClass::Dispatcher, src).unwrap();
+        assert_eq!(p.len(), 5);
+        let text = disassemble(&p);
+        let p2 = assemble(UnitClass::Dispatcher, &text).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn negative_offsets_and_hex() {
+        let p = assemble(UnitClass::Producer, ".reg r1 = 0xff\nst.d r2, [r1-8]\nhalt\n").unwrap();
+        assert_eq!(p.init().get(Reg::R1), 0xff);
+        match p.code()[0] {
+            Instruction::St { offset, .. } => assert_eq!(offset, -8),
+            _ => panic!("expected store"),
+        }
+    }
+
+    #[test]
+    fn in_out_aliases() {
+        let p = assemble(UnitClass::Walker, "add r1, in, 0\nadd out, r1, 0\nhalt\n").unwrap();
+        assert_eq!(p.code()[0].sources(), vec![Reg::IN]);
+        assert!(p.code()[1].writes_out_port());
+    }
+}

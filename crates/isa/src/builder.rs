@@ -1,0 +1,337 @@
+use crate::inst::{Instruction, Opcode, Shift, Src, Width};
+use crate::reg::Reg;
+use crate::{Program, RegImage, UnitClass, VerifyError};
+
+/// A forward-referenceable instruction label used by [`ProgramBuilder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Label-aware builder for Widx unit programs.
+///
+/// Branch instructions may reference labels before they are bound;
+/// [`ProgramBuilder::build`] patches all targets and runs the static
+/// verifier.
+///
+/// # Example
+///
+/// ```
+/// use widx_isa::{ProgramBuilder, Reg, Src, UnitClass};
+///
+/// # fn main() -> Result<(), widx_isa::VerifyError> {
+/// let mut b = ProgramBuilder::new(UnitClass::Producer);
+/// b.init_reg(Reg::R1, 0x1000);        // output cursor
+/// let head = b.new_label();
+/// b.bind(head);
+/// b.add(Reg::R2, Reg::IN, Src::Imm(0));   // pop a result word
+/// b.st_d(Reg::R2, Reg::R1, 0);            // store it
+/// b.add(Reg::R1, Reg::R1, Src::Imm(8));   // bump cursor
+/// b.ba(head);
+/// let program = b.build()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProgramBuilder {
+    class: UnitClass,
+    code: Vec<Instruction>,
+    init: RegImage,
+    /// For each label id: its bound pc, if bound.
+    labels: Vec<Option<u32>>,
+    /// (instruction index, label) pairs awaiting patch.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder for a program targeting `class`.
+    #[must_use]
+    pub fn new(class: UnitClass) -> ProgramBuilder {
+        ProgramBuilder {
+            class,
+            code: Vec::new(),
+            init: RegImage::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// The unit class this builder targets.
+    #[must_use]
+    pub fn class(&self) -> UnitClass {
+        self.class
+    }
+
+    /// Current instruction count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether no instruction has been emitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Sets the initial (control-block-loaded) value of a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is the zero register or a queue port.
+    pub fn init_reg(&mut self, reg: Reg, value: u64) -> &mut ProgramBuilder {
+        self.init.set(reg, value);
+        self
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound or belongs to another builder.
+    pub fn bind(&mut self, label: Label) -> &mut ProgramBuilder {
+        let slot = self
+            .labels
+            .get_mut(label.0)
+            .expect("label belongs to this builder");
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.code.len() as u32);
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, inst: Instruction) -> &mut ProgramBuilder {
+        self.code.push(inst);
+        self
+    }
+
+    fn push_branch(&mut self, inst: Instruction, label: Label) -> &mut ProgramBuilder {
+        assert!(label.0 < self.labels.len(), "label belongs to this builder");
+        self.fixups.push((self.code.len(), label));
+        self.code.push(inst);
+        self
+    }
+
+    /// Emits `ADD rd, rs1, src2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
+        self.push(Instruction::Alu { op: Opcode::Add, rd, rs1, src2 })
+    }
+
+    /// Emits `AND rd, rs1, src2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
+        self.push(Instruction::Alu { op: Opcode::And, rd, rs1, src2 })
+    }
+
+    /// Emits `XOR rd, rs1, src2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
+        self.push(Instruction::Alu { op: Opcode::Xor, rd, rs1, src2 })
+    }
+
+    /// Emits `SHL rd, rs1, src2`.
+    pub fn shl(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
+        self.push(Instruction::Alu { op: Opcode::Shl, rd, rs1, src2 })
+    }
+
+    /// Emits `SHR rd, rs1, src2`.
+    pub fn shr(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
+        self.push(Instruction::Alu { op: Opcode::Shr, rd, rs1, src2 })
+    }
+
+    /// Emits `CMP rd, rs1, src2` (`rd = rs1 == src2`).
+    pub fn cmp(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
+        self.push(Instruction::Alu { op: Opcode::Cmp, rd, rs1, src2 })
+    }
+
+    /// Emits `CMP-LE rd, rs1, src2` (`rd = rs1 <= src2`).
+    pub fn cmp_le(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
+        self.push(Instruction::Alu { op: Opcode::CmpLe, rd, rs1, src2 })
+    }
+
+    /// Emits `ADD-SHF rd, rs1, rs2, shift`.
+    pub fn add_shf(&mut self, rd: Reg, rs1: Reg, rs2: Reg, shift: Shift) -> &mut ProgramBuilder {
+        self.push(Instruction::AluShf { op: Opcode::AddShf, rd, rs1, rs2, shift })
+    }
+
+    /// Emits `AND-SHF rd, rs1, rs2, shift`.
+    pub fn and_shf(&mut self, rd: Reg, rs1: Reg, rs2: Reg, shift: Shift) -> &mut ProgramBuilder {
+        self.push(Instruction::AluShf { op: Opcode::AndShf, rd, rs1, rs2, shift })
+    }
+
+    /// Emits `XOR-SHF rd, rs1, rs2, shift`.
+    pub fn xor_shf(&mut self, rd: Reg, rs1: Reg, rs2: Reg, shift: Shift) -> &mut ProgramBuilder {
+        self.push(Instruction::AluShf { op: Opcode::XorShf, rd, rs1, rs2, shift })
+    }
+
+    /// Emits `BA label`.
+    pub fn ba(&mut self, label: Label) -> &mut ProgramBuilder {
+        self.push_branch(Instruction::Ba { target: 0 }, label)
+    }
+
+    /// Emits `BLE rs1, src2, label` (branch if `rs1 <= src2`).
+    pub fn ble(&mut self, rs1: Reg, src2: Src, label: Label) -> &mut ProgramBuilder {
+        self.push_branch(Instruction::Ble { rs1, src2, target: 0 }, label)
+    }
+
+    /// Emits `BEQ rs1, rs2, label` as the two-instruction `CMP` +
+    /// `BLE 1 <= tmp` idiom, using `tmp` as scratch.
+    ///
+    /// The Widx ISA has no direct equality branch; this is the canonical
+    /// expansion (compare produces 0/1, branch when the flag is 1).
+    pub fn beq_via(
+        &mut self,
+        tmp: Reg,
+        rs1: Reg,
+        src2: Src,
+        label: Label,
+    ) -> &mut ProgramBuilder {
+        self.cmp(tmp, rs1, src2);
+        self.ble(Reg::new(1), Src::Reg(tmp), label);
+        self
+    }
+
+    /// Emits a load of `width` bytes.
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i16, width: Width) -> &mut ProgramBuilder {
+        self.push(Instruction::Ld { rd, base, offset, width })
+    }
+
+    /// Emits `LD.D rd, [base+offset]`.
+    pub fn ld_d(&mut self, rd: Reg, base: Reg, offset: i16) -> &mut ProgramBuilder {
+        self.ld(rd, base, offset, Width::D)
+    }
+
+    /// Emits `LD.W rd, [base+offset]`.
+    pub fn ld_w(&mut self, rd: Reg, base: Reg, offset: i16) -> &mut ProgramBuilder {
+        self.ld(rd, base, offset, Width::W)
+    }
+
+    /// Emits a store of `width` bytes.
+    pub fn st(&mut self, rs: Reg, base: Reg, offset: i16, width: Width) -> &mut ProgramBuilder {
+        self.push(Instruction::St { rs, base, offset, width })
+    }
+
+    /// Emits `ST.D rs, [base+offset]`.
+    pub fn st_d(&mut self, rs: Reg, base: Reg, offset: i16) -> &mut ProgramBuilder {
+        self.st(rs, base, offset, Width::D)
+    }
+
+    /// Emits `ST.W rs, [base+offset]`.
+    pub fn st_w(&mut self, rs: Reg, base: Reg, offset: i16) -> &mut ProgramBuilder {
+        self.st(rs, base, offset, Width::W)
+    }
+
+    /// Emits `TOUCH [base+offset]`.
+    pub fn touch(&mut self, base: Reg, offset: i16) -> &mut ProgramBuilder {
+        self.push(Instruction::Touch { base, offset })
+    }
+
+    /// Emits `HALT`.
+    pub fn halt(&mut self) -> &mut ProgramBuilder {
+        self.push(Instruction::Halt)
+    }
+
+    /// Emits a register move (`ADD rd, rs, 0`).
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut ProgramBuilder {
+        self.add(rd, rs, Src::Imm(0))
+    }
+
+    /// Emits a small-immediate load (`ADD rd, r0, imm`). Larger constants
+    /// belong in the initial register image ([`ProgramBuilder::init_reg`]).
+    pub fn li(&mut self, rd: Reg, imm: i16) -> &mut ProgramBuilder {
+        self.add(rd, Reg::ZERO, Src::Imm(imm))
+    }
+
+    /// Patches branch targets and verifies the finished program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] when the program violates the Widx
+    /// programming model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never bound.
+    pub fn build(&self) -> Result<Program, VerifyError> {
+        let mut code = self.code.clone();
+        for (pc, label) in &self.fixups {
+            let target = self.labels[label.0].expect("all referenced labels must be bound");
+            code[*pc] = code[*pc].with_branch_target(target);
+        }
+        Program::from_parts(self.class, code, self.init.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new(UnitClass::Walker);
+        let end = b.new_label();
+        let top = b.new_label();
+        b.bind(top);
+        b.add(Reg::R1, Reg::R1, Src::Imm(1));
+        b.ble(Reg::R1, Src::Imm(5), top); // backward
+        b.ba(end); // forward
+        b.bind(end);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.code()[1].branch_target(), Some(0));
+        assert_eq!(p.code()[2].branch_target(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new(UnitClass::Walker);
+        let l = b.new_label();
+        b.ba(l);
+        b.halt();
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new(UnitClass::Walker);
+        let l = b.new_label();
+        b.bind(l);
+        b.halt();
+        b.bind(l);
+    }
+
+    #[test]
+    fn class_restrictions_surface_in_build() {
+        let mut b = ProgramBuilder::new(UnitClass::Walker);
+        b.st_d(Reg::R1, Reg::R2, 0);
+        b.halt();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn beq_via_expansion() {
+        let mut b = ProgramBuilder::new(UnitClass::Walker);
+        let hit = b.new_label();
+        b.beq_via(Reg::R9, Reg::R1, Src::Reg(Reg::R2), hit);
+        b.bind(hit);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.code()[0].opcode(), Opcode::Cmp);
+        assert_eq!(p.code()[1].opcode(), Opcode::Ble);
+    }
+
+    #[test]
+    fn init_regs_flow_through() {
+        let mut b = ProgramBuilder::new(UnitClass::Dispatcher);
+        b.init_reg(Reg::R10, 0xdead_beef);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.init().get(Reg::R10), 0xdead_beef);
+    }
+}

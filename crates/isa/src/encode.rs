@@ -1,0 +1,373 @@
+//! Fixed 32-bit binary encoding of Widx instructions.
+//!
+//! Programs are shipped to the accelerator through the in-memory *Widx
+//! control block* (paper Section 4.3): the host writes the encoded
+//! instruction words and initial register values to consecutive virtual
+//! addresses, and Widx loads them through the host core's MMU. The
+//! encoding below is this repository's concrete realization of that
+//! format.
+//!
+//! Field layout (bit ranges are `[lo..hi)`, LSB = 0):
+//!
+//! ```text
+//! all      op[28..32)
+//! ALU      rd[23..28) rs1[18..23) immflag[17] rs2[12..17) | imm12[0..12)
+//! ALU-SHF  rd[23..28) rs1[18..23) rs2[13..18) dir[12] shamt[6..12)
+//! BA       rel16[0..16)                    (signed, PC-relative)
+//! BLE      rs1[18..23) immflag[17] rs2[8..13) | imm8[8..16)  rel8[0..8)
+//! LD/ST    r[23..28) base[18..23) width[16..18) off12[0..12)
+//! TOUCH    base[18..23) off12[0..12)
+//! HALT     (no fields)
+//! ```
+//!
+//! Branch *targets* in [`Instruction`] are absolute instruction indices;
+//! the encoding stores them PC-relative (the paper's units use relative
+//! branch addressing — it is called out as the critical path of the
+//! 2-stage pipeline).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{Instruction, Opcode, Shift, ShiftDir, Src, Width};
+use crate::Reg;
+
+/// Error produced when an instruction's fields do not fit the binary
+/// encoding (out-of-range immediate, offset, or branch displacement).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodeError {
+    what: &'static str,
+    value: i64,
+    range: (i64, i64),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} does not fit encoding range {}..={}",
+            self.what, self.value, self.range.0, self.range.1
+        )
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Error produced when decoding a malformed instruction word.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode field does not name an instruction.
+    BadOpcode(u32),
+    /// A PC-relative displacement pointed before instruction 0.
+    NegativeTarget {
+        /// The PC of the branch being decoded.
+        pc: u32,
+        /// The decoded displacement.
+        rel: i32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "invalid opcode field {op:#x}"),
+            DecodeError::NegativeTarget { pc, rel } => {
+                write!(f, "branch at pc {pc} with displacement {rel} targets a negative index")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+fn op_code(op: Opcode) -> u32 {
+    Opcode::ALL.iter().position(|o| *o == op).expect("opcode in ALL") as u32
+}
+
+fn op_from_code(code: u32) -> Option<Opcode> {
+    Opcode::ALL.get(code as usize).copied()
+}
+
+fn field(word: u32, lo: u32, bits: u32) -> u32 {
+    (word >> lo) & ((1 << bits) - 1)
+}
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn check(what: &'static str, value: i64, lo: i64, hi: i64) -> Result<i64, EncodeError> {
+    if (lo..=hi).contains(&value) {
+        Ok(value)
+    } else {
+        Err(EncodeError { what, value, range: (lo, hi) })
+    }
+}
+
+fn rel_from(pc: u32, target: u32) -> i64 {
+    i64::from(target) - i64::from(pc)
+}
+
+impl Instruction {
+    /// Encodes the instruction into its 32-bit word form.
+    ///
+    /// `pc` is the absolute index of this instruction within its program;
+    /// branch targets are stored relative to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when an immediate, offset, shift amount, or
+    /// branch displacement exceeds its field width.
+    pub fn encode(&self, pc: u32) -> Result<u32, EncodeError> {
+        let op = op_code(self.opcode()) << 28;
+        match *self {
+            Instruction::Alu { rd, rs1, src2, .. } => {
+                let mut w = op | ((rd.index() as u32) << 23) | ((rs1.index() as u32) << 18);
+                match src2 {
+                    Src::Reg(r) => w |= (r.index() as u32) << 12,
+                    Src::Imm(i) => {
+                        let v = check("immediate", i64::from(i), -2048, 2047)?;
+                        w |= 1 << 17;
+                        w |= (v as u32) & 0xfff;
+                    }
+                }
+                Ok(w)
+            }
+            Instruction::AluShf { rd, rs1, rs2, shift, .. } => {
+                let dir = match shift.dir {
+                    ShiftDir::Left => 0,
+                    ShiftDir::Right => 1,
+                };
+                Ok(op
+                    | ((rd.index() as u32) << 23)
+                    | ((rs1.index() as u32) << 18)
+                    | ((rs2.index() as u32) << 13)
+                    | (dir << 12)
+                    | ((shift.amount as u32) << 6))
+            }
+            Instruction::Ba { target } => {
+                let rel = check("branch displacement", rel_from(pc, target), -32768, 32767)?;
+                Ok(op | ((rel as u32) & 0xffff))
+            }
+            Instruction::Ble { rs1, src2, target } => {
+                let rel = check("branch displacement", rel_from(pc, target), -128, 127)?;
+                let mut w = op | ((rs1.index() as u32) << 18) | ((rel as u32) & 0xff);
+                match src2 {
+                    Src::Reg(r) => w |= (r.index() as u32) << 8,
+                    Src::Imm(i) => {
+                        let v = check("immediate", i64::from(i), -128, 127)?;
+                        w |= 1 << 17;
+                        w |= ((v as u32) & 0xff) << 8;
+                    }
+                }
+                Ok(w)
+            }
+            Instruction::Ld { rd, base, offset, width } => {
+                let off = check("offset", i64::from(offset), -2048, 2047)?;
+                Ok(op
+                    | ((rd.index() as u32) << 23)
+                    | ((base.index() as u32) << 18)
+                    | (width.code() << 16)
+                    | ((off as u32) & 0xfff))
+            }
+            Instruction::St { rs, base, offset, width } => {
+                let off = check("offset", i64::from(offset), -2048, 2047)?;
+                Ok(op
+                    | ((rs.index() as u32) << 23)
+                    | ((base.index() as u32) << 18)
+                    | (width.code() << 16)
+                    | ((off as u32) & 0xfff))
+            }
+            Instruction::Touch { base, offset } => {
+                let off = check("offset", i64::from(offset), -2048, 2047)?;
+                Ok(op | ((base.index() as u32) << 18) | ((off as u32) & 0xfff))
+            }
+            Instruction::Halt => Ok(op),
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// `pc` is the absolute index the word was fetched from; it is used to
+    /// reconstruct absolute branch targets from stored displacements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for an unknown opcode field or a branch
+    /// displacement that points before instruction 0.
+    pub fn decode(word: u32, pc: u32) -> Result<Instruction, DecodeError> {
+        let opcode = op_from_code(field(word, 28, 4)).ok_or(DecodeError::BadOpcode(field(word, 28, 4)))?;
+        let reg = |lo: u32| Reg::new(field(word, lo, 5) as u8);
+        let abs_target = |rel: i32| -> Result<u32, DecodeError> {
+            let t = i64::from(pc) + i64::from(rel);
+            u32::try_from(t).map_err(|_| DecodeError::NegativeTarget { pc, rel })
+        };
+        match opcode {
+            Opcode::Add
+            | Opcode::And
+            | Opcode::Xor
+            | Opcode::Shl
+            | Opcode::Shr
+            | Opcode::Cmp
+            | Opcode::CmpLe => {
+                let src2 = if field(word, 17, 1) == 1 {
+                    Src::Imm(sext(field(word, 0, 12), 12) as i16)
+                } else {
+                    Src::Reg(reg(12))
+                };
+                Ok(Instruction::Alu { op: opcode, rd: reg(23), rs1: reg(18), src2 })
+            }
+            Opcode::AddShf | Opcode::AndShf | Opcode::XorShf => {
+                let dir = if field(word, 12, 1) == 1 { ShiftDir::Right } else { ShiftDir::Left };
+                Ok(Instruction::AluShf {
+                    op: opcode,
+                    rd: reg(23),
+                    rs1: reg(18),
+                    rs2: reg(13),
+                    shift: Shift { dir, amount: field(word, 6, 6) as u8 },
+                })
+            }
+            Opcode::Ba => {
+                let rel = sext(field(word, 0, 16), 16);
+                Ok(Instruction::Ba { target: abs_target(rel)? })
+            }
+            Opcode::Ble => {
+                let rel = sext(field(word, 0, 8), 8);
+                let src2 = if field(word, 17, 1) == 1 {
+                    Src::Imm(sext(field(word, 8, 8), 8) as i16)
+                } else {
+                    Src::Reg(reg(8))
+                };
+                Ok(Instruction::Ble { rs1: reg(18), src2, target: abs_target(rel)? })
+            }
+            Opcode::Ld => Ok(Instruction::Ld {
+                rd: reg(23),
+                base: reg(18),
+                offset: sext(field(word, 0, 12), 12) as i16,
+                width: Width::from_code(field(word, 16, 2)),
+            }),
+            Opcode::St => Ok(Instruction::St {
+                rs: reg(23),
+                base: reg(18),
+                offset: sext(field(word, 0, 12), 12) as i16,
+                width: Width::from_code(field(word, 16, 2)),
+            }),
+            Opcode::Touch => Ok(Instruction::Touch {
+                base: reg(18),
+                offset: sext(field(word, 0, 12), 12) as i16,
+            }),
+            Opcode::Halt => Ok(Instruction::Halt),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(inst: Instruction, pc: u32) {
+        let word = inst.encode(pc).expect("encode");
+        let back = Instruction::decode(word, pc).expect("decode");
+        assert_eq!(inst, back, "round trip at pc {pc} (word {word:#010x})");
+    }
+
+    #[test]
+    fn alu_reg_round_trip() {
+        round_trip(
+            Instruction::Alu { op: Opcode::Add, rd: Reg::R3, rs1: Reg::R1, src2: Src::Reg(Reg::OUT) },
+            0,
+        );
+    }
+
+    #[test]
+    fn alu_imm_extremes() {
+        for imm in [-2048i16, -1, 0, 1, 2047] {
+            round_trip(
+                Instruction::Alu { op: Opcode::Xor, rd: Reg::R9, rs1: Reg::IN, src2: Src::Imm(imm) },
+                5,
+            );
+        }
+    }
+
+    #[test]
+    fn alu_imm_overflow_errors() {
+        let i = Instruction::Alu { op: Opcode::Add, rd: Reg::R1, rs1: Reg::R1, src2: Src::Imm(2048) };
+        assert!(i.encode(0).is_err());
+    }
+
+    #[test]
+    fn fused_shift_round_trip() {
+        for (dir, amount) in [(ShiftDir::Left, 0u8), (ShiftDir::Right, 33), (ShiftDir::Left, 63)] {
+            round_trip(
+                Instruction::AluShf {
+                    op: Opcode::XorShf,
+                    rd: Reg::R1,
+                    rs1: Reg::R2,
+                    rs2: Reg::R3,
+                    shift: Shift { dir, amount },
+                },
+                9,
+            );
+        }
+    }
+
+    #[test]
+    fn branch_round_trips() {
+        round_trip(Instruction::Ba { target: 0 }, 100);
+        round_trip(Instruction::Ba { target: 200 }, 100);
+        round_trip(
+            Instruction::Ble { rs1: Reg::R4, src2: Src::Imm(0), target: 3 },
+            10,
+        );
+        round_trip(
+            Instruction::Ble { rs1: Reg::R4, src2: Src::Reg(Reg::R5), target: 130 },
+            10,
+        );
+    }
+
+    #[test]
+    fn branch_out_of_range_errors() {
+        // BLE has only 8 bits of displacement.
+        let b = Instruction::Ble { rs1: Reg::R1, src2: Src::Imm(0), target: 1000 };
+        assert!(b.encode(0).is_err());
+        // BA has 16 bits of signed displacement.
+        let ba = Instruction::Ba { target: 30000 };
+        assert!(ba.encode(0).is_ok());
+        let ba_far = Instruction::Ba { target: 40000 };
+        assert!(ba_far.encode(0).is_err());
+    }
+
+    #[test]
+    fn negative_displacement_decode() {
+        // A backwards branch from pc 50 to 40.
+        let w = Instruction::Ba { target: 40 }.encode(50).unwrap();
+        assert_eq!(Instruction::decode(w, 50).unwrap(), Instruction::Ba { target: 40 });
+        // The same word decoded at pc 5 would target -5: error.
+        assert!(matches!(
+            Instruction::decode(w, 5),
+            Err(DecodeError::NegativeTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_round_trips() {
+        for off in [-2048i16, -64, 0, 8, 2047] {
+            for width in Width::ALL {
+                round_trip(Instruction::Ld { rd: Reg::R5, base: Reg::R4, offset: off, width }, 0);
+                round_trip(Instruction::St { rs: Reg::R5, base: Reg::R4, offset: off, width }, 0);
+            }
+            round_trip(Instruction::Touch { base: Reg::R2, offset: off }, 0);
+        }
+    }
+
+    #[test]
+    fn halt_round_trip() {
+        round_trip(Instruction::Halt, 1234);
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        // No opcode uses no-op high bits beyond ALL's length.
+        assert!(Instruction::decode(u32::MAX, 0).is_err() || op_from_code(0xf).is_some());
+    }
+}

@@ -1,0 +1,605 @@
+use std::fmt;
+
+use crate::Reg;
+
+/// Access width of a memory instruction.
+///
+/// The paper's programming model must support "a variety of ... data
+/// types" (Section 4.2) — e.g. the hash-join kernel of the evaluation uses
+/// 4-byte keys while MonetDB columns use 8-byte object identifiers — so
+/// `LD`/`ST` carry an explicit width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Width {
+    /// 1 byte.
+    B,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+    /// 8 bytes.
+    #[default]
+    D,
+}
+
+impl Width {
+    /// The number of bytes transferred.
+    #[must_use]
+    pub fn bytes(self) -> usize {
+        match self {
+            Width::B => 1,
+            Width::H => 2,
+            Width::W => 4,
+            Width::D => 8,
+        }
+    }
+
+    /// All widths, smallest first.
+    pub const ALL: [Width; 4] = [Width::B, Width::H, Width::W, Width::D];
+
+    pub(crate) fn code(self) -> u32 {
+        match self {
+            Width::B => 0,
+            Width::H => 1,
+            Width::W => 2,
+            Width::D => 3,
+        }
+    }
+
+    pub(crate) fn from_code(code: u32) -> Width {
+        match code & 0b11 {
+            0 => Width::B,
+            1 => Width::H,
+            2 => Width::W,
+            _ => Width::D,
+        }
+    }
+
+    /// The assembler suffix (`.b`, `.h`, `.w`, `.d`).
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Width::B => ".b",
+            Width::H => ".h",
+            Width::W => ".w",
+            Width::D => ".d",
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Direction of the shift embedded in a fused `*-SHF` instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShiftDir {
+    /// Logical shift left.
+    Left,
+    /// Logical shift right.
+    Right,
+}
+
+/// The shift half of a fused ALU-shift instruction.
+///
+/// Fused instructions were added to the Widx ISA specifically "to
+/// accelerate hash functions" (Section 4.1): robust hash mixers are chains
+/// of `x op (x >> k)` steps that would otherwise take two ALU operations
+/// each. The three-operand ALU of Figure 7 performs the shift and the
+/// logic operation in one pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Shift {
+    /// Shift direction.
+    pub dir: ShiftDir,
+    /// Shift amount in bits, `0..64`.
+    pub amount: u8,
+}
+
+impl Shift {
+    /// A left shift by `amount` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount >= 64`.
+    #[must_use]
+    pub fn left(amount: u8) -> Shift {
+        assert!(amount < 64, "shift amount {amount} out of range (0..64)");
+        Shift { dir: ShiftDir::Left, amount }
+    }
+
+    /// A right shift by `amount` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount >= 64`.
+    #[must_use]
+    pub fn right(amount: u8) -> Shift {
+        assert!(amount < 64, "shift amount {amount} out of range (0..64)");
+        Shift { dir: ShiftDir::Right, amount }
+    }
+
+    /// Applies the shift to a value.
+    #[must_use]
+    pub fn apply(self, value: u64) -> u64 {
+        match self.dir {
+            ShiftDir::Left => value << self.amount,
+            ShiftDir::Right => value >> self.amount,
+        }
+    }
+}
+
+impl fmt::Display for Shift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dir {
+            ShiftDir::Left => write!(f, "<<{}", self.amount),
+            ShiftDir::Right => write!(f, ">>{}", self.amount),
+        }
+    }
+}
+
+/// Second source operand of an ALU or branch instruction: a register or a
+/// sign-extended 12-bit immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand in `-2048..=2047`.
+    Imm(i16),
+}
+
+impl Src {
+    /// Smallest representable immediate.
+    pub const IMM_MIN: i16 = -2048;
+    /// Largest representable immediate.
+    pub const IMM_MAX: i16 = 2047;
+
+    /// Whether an immediate value fits in the 12-bit encoding.
+    #[must_use]
+    pub fn imm_fits(value: i16) -> bool {
+        (Src::IMM_MIN..=Src::IMM_MAX).contains(&value)
+    }
+
+    /// The register, if this operand is a register.
+    #[must_use]
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Src::Reg(r) => Some(r),
+            Src::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Src {
+    fn from(r: Reg) -> Src {
+        Src::Reg(r)
+    }
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::Reg(r) => write!(f, "{r}"),
+            Src::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Opcode tags for the Widx ISA (Table 1 plus the `HALT` status write).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Opcode {
+    Add,
+    And,
+    Ba,
+    Ble,
+    Cmp,
+    CmpLe,
+    Ld,
+    Shl,
+    Shr,
+    St,
+    Touch,
+    Xor,
+    AddShf,
+    AndShf,
+    XorShf,
+    Halt,
+}
+
+impl Opcode {
+    /// All opcodes in Table 1 order (with `HALT` appended).
+    pub const ALL: [Opcode; 16] = [
+        Opcode::Add,
+        Opcode::And,
+        Opcode::Ba,
+        Opcode::Ble,
+        Opcode::Cmp,
+        Opcode::CmpLe,
+        Opcode::Ld,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::St,
+        Opcode::Touch,
+        Opcode::Xor,
+        Opcode::AddShf,
+        Opcode::AndShf,
+        Opcode::XorShf,
+        Opcode::Halt,
+    ];
+
+    /// The assembler mnemonic, matching Table 1 of the paper.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Add => "add",
+            Opcode::And => "and",
+            Opcode::Ba => "ba",
+            Opcode::Ble => "ble",
+            Opcode::Cmp => "cmp",
+            Opcode::CmpLe => "cmp-le",
+            Opcode::Ld => "ld",
+            Opcode::Shl => "shl",
+            Opcode::Shr => "shr",
+            Opcode::St => "st",
+            Opcode::Touch => "touch",
+            Opcode::Xor => "xor",
+            Opcode::AddShf => "add-shf",
+            Opcode::AndShf => "and-shf",
+            Opcode::XorShf => "xor-shf",
+            Opcode::Halt => "halt",
+        }
+    }
+
+    /// Whether this is one of the fused ALU-shift forms.
+    #[must_use]
+    pub fn is_fused_shift(self) -> bool {
+        matches!(self, Opcode::AddShf | Opcode::AndShf | Opcode::XorShf)
+    }
+
+    /// Whether this instruction accesses memory.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        matches!(self, Opcode::Ld | Opcode::St | Opcode::Touch)
+    }
+
+    /// Whether this instruction may redirect the PC.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        matches!(self, Opcode::Ba | Opcode::Ble)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A Widx instruction.
+///
+/// Semantics (all arithmetic is on 64-bit unsigned values):
+///
+/// | Form | Effect |
+/// |---|---|
+/// | `ADD rd, rs1, src2` | `rd = rs1 + src2` |
+/// | `AND rd, rs1, src2` | `rd = rs1 & src2` |
+/// | `XOR rd, rs1, src2` | `rd = rs1 ^ src2` |
+/// | `SHL rd, rs1, src2` | `rd = rs1 << (src2 & 63)` |
+/// | `SHR rd, rs1, src2` | `rd = rs1 >> (src2 & 63)` |
+/// | `CMP rd, rs1, src2` | `rd = (rs1 == src2) ? 1 : 0` |
+/// | `CMP-LE rd, rs1, src2` | `rd = (rs1 <= src2) ? 1 : 0` |
+/// | `BA target` | unconditional relative branch |
+/// | `BLE rs1, src2, target` | branch if `rs1 <= src2` |
+/// | `LD.w rd, [base + off]` | load `w` bytes, zero-extended |
+/// | `ST.w rs, [base + off]` | store low `w` bytes (producer only) |
+/// | `TOUCH [base + off]` | non-binding prefetch of the enclosing block |
+/// | `ADD-SHF rd, rs1, rs2, sh` | `rd = rs1 + (rs2 SHIFT sh)` |
+/// | `AND-SHF rd, rs1, rs2, sh` | `rd = rs1 & (rs2 SHIFT sh)` |
+/// | `XOR-SHF rd, rs1, rs2, sh` | `rd = rs1 ^ (rs2 SHIFT sh)` |
+/// | `HALT` | unit signals completion to the host |
+///
+/// Branch targets are *absolute instruction indices* within a
+/// [`Program`](crate::Program); the binary encoding stores them
+/// PC-relative, matching the paper's note that "the critical path of our
+/// design is the branch address calculation with relative addressing".
+///
+/// Reading [`Reg::IN`] pops the unit's input queue; writing [`Reg::OUT`]
+/// pushes its output queue (see [`Reg`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Instruction {
+    /// Three-operand ALU operation (`ADD`/`AND`/`XOR`/`SHL`/`SHR`/`CMP`/`CMP-LE`).
+    Alu {
+        op: Opcode,
+        rd: Reg,
+        rs1: Reg,
+        src2: Src,
+    },
+    /// Fused ALU + shift (`ADD-SHF`/`AND-SHF`/`XOR-SHF`).
+    AluShf {
+        op: Opcode,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+        shift: Shift,
+    },
+    /// Unconditional branch to an absolute instruction index.
+    Ba { target: u32 },
+    /// Branch to `target` if `rs1 <= src2` (unsigned).
+    Ble { rs1: Reg, src2: Src, target: u32 },
+    /// Load `width` bytes from `[base + offset]` into `rd` (zero-extended).
+    Ld {
+        rd: Reg,
+        base: Reg,
+        offset: i16,
+        width: Width,
+    },
+    /// Store the low `width` bytes of `rs` to `[base + offset]`.
+    St {
+        rs: Reg,
+        base: Reg,
+        offset: i16,
+        width: Width,
+    },
+    /// Non-binding prefetch of the cache block containing `[base + offset]`.
+    Touch { base: Reg, offset: i16 },
+    /// Signal completion of the unit's program.
+    Halt,
+}
+
+impl Instruction {
+    /// Maximum load/store/touch offset (12-bit signed).
+    pub const OFFSET_MAX: i16 = 2047;
+    /// Minimum load/store/touch offset (12-bit signed).
+    pub const OFFSET_MIN: i16 = -2048;
+
+    /// The instruction's opcode tag.
+    #[must_use]
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Instruction::Alu { op, .. } | Instruction::AluShf { op, .. } => *op,
+            Instruction::Ba { .. } => Opcode::Ba,
+            Instruction::Ble { .. } => Opcode::Ble,
+            Instruction::Ld { .. } => Opcode::Ld,
+            Instruction::St { .. } => Opcode::St,
+            Instruction::Touch { .. } => Opcode::Touch,
+            Instruction::Halt => Opcode::Halt,
+        }
+    }
+
+    /// The destination register, if the instruction writes one.
+    #[must_use]
+    pub fn dest(&self) -> Option<Reg> {
+        match self {
+            Instruction::Alu { rd, .. }
+            | Instruction::AluShf { rd, .. }
+            | Instruction::Ld { rd, .. } => Some(*rd),
+            _ => None,
+        }
+    }
+
+    /// Source registers read by the instruction (excluding queue-port
+    /// semantics, which are a property of the registers themselves).
+    #[must_use]
+    pub fn sources(&self) -> Vec<Reg> {
+        let mut out = Vec::with_capacity(2);
+        match self {
+            Instruction::Alu { rs1, src2, .. } => {
+                out.push(*rs1);
+                if let Src::Reg(r) = src2 {
+                    out.push(*r);
+                }
+            }
+            Instruction::AluShf { rs1, rs2, .. } => {
+                out.push(*rs1);
+                out.push(*rs2);
+            }
+            Instruction::Ba { .. } => {}
+            Instruction::Ble { rs1, src2, .. } => {
+                out.push(*rs1);
+                if let Src::Reg(r) = src2 {
+                    out.push(*r);
+                }
+            }
+            Instruction::Ld { base, .. } => out.push(*base),
+            Instruction::St { rs, base, .. } => {
+                out.push(*rs);
+                out.push(*base);
+            }
+            Instruction::Touch { base, .. } => out.push(*base),
+            Instruction::Halt => {}
+        }
+        out
+    }
+
+    /// The branch target, if the instruction is a branch.
+    #[must_use]
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Instruction::Ba { target } | Instruction::Ble { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the branch target of a branch instruction.
+    ///
+    /// Returns the instruction unchanged when it is not a branch.
+    #[must_use]
+    pub fn with_branch_target(self, target: u32) -> Instruction {
+        match self {
+            Instruction::Ba { .. } => Instruction::Ba { target },
+            Instruction::Ble { rs1, src2, .. } => Instruction::Ble { rs1, src2, target },
+            other => other,
+        }
+    }
+
+    /// Number of input-queue pops performed (reads of [`Reg::IN`]).
+    #[must_use]
+    pub fn in_port_reads(&self) -> usize {
+        self.sources().iter().filter(|r| r.is_in_port()).count()
+    }
+
+    /// Whether the instruction pushes the output queue (writes [`Reg::OUT`]).
+    #[must_use]
+    pub fn writes_out_port(&self) -> bool {
+        self.dest().is_some_and(Reg::is_out_port)
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Alu { op, rd, rs1, src2 } => {
+                write!(f, "{op} {rd}, {rs1}, {src2}")
+            }
+            Instruction::AluShf { op, rd, rs1, rs2, shift } => {
+                write!(f, "{op} {rd}, {rs1}, {rs2}, {shift}")
+            }
+            Instruction::Ba { target } => write!(f, "ba @{target}"),
+            Instruction::Ble { rs1, src2, target } => {
+                write!(f, "ble {rs1}, {src2}, @{target}")
+            }
+            Instruction::Ld { rd, base, offset, width } => {
+                write!(f, "ld{width} {rd}, [{base}{offset:+}]")
+            }
+            Instruction::St { rs, base, offset, width } => {
+                write!(f, "st{width} {rs}, [{base}{offset:+}]")
+            }
+            Instruction::Touch { base, offset } => write!(f, "touch [{base}{offset:+}]"),
+            Instruction::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::B.bytes(), 1);
+        assert_eq!(Width::H.bytes(), 2);
+        assert_eq!(Width::W.bytes(), 4);
+        assert_eq!(Width::D.bytes(), 8);
+    }
+
+    #[test]
+    fn width_code_round_trip() {
+        for w in Width::ALL {
+            assert_eq!(Width::from_code(w.code()), w);
+        }
+    }
+
+    #[test]
+    fn shift_apply() {
+        assert_eq!(Shift::left(4).apply(0b1), 0b10000);
+        assert_eq!(Shift::right(4).apply(0b10000), 0b1);
+        assert_eq!(Shift::right(63).apply(u64::MAX), 1);
+        assert_eq!(Shift::left(0).apply(42), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shift_rejects_64() {
+        let _ = Shift::left(64);
+    }
+
+    #[test]
+    fn src_imm_fits() {
+        assert!(Src::imm_fits(0));
+        assert!(Src::imm_fits(2047));
+        assert!(Src::imm_fits(-2048));
+        assert!(!Src::imm_fits(2048));
+        assert!(!Src::imm_fits(-2049));
+    }
+
+    #[test]
+    fn opcode_classes() {
+        assert!(Opcode::AddShf.is_fused_shift());
+        assert!(!Opcode::Add.is_fused_shift());
+        assert!(Opcode::Ld.is_memory());
+        assert!(Opcode::Touch.is_memory());
+        assert!(!Opcode::Cmp.is_memory());
+        assert!(Opcode::Ba.is_branch());
+        assert!(Opcode::Ble.is_branch());
+        assert!(!Opcode::Halt.is_branch());
+    }
+
+    #[test]
+    fn mnemonics_match_table_1() {
+        // Spot-check the exact mnemonics listed in Table 1 of the paper.
+        assert_eq!(Opcode::CmpLe.mnemonic(), "cmp-le");
+        assert_eq!(Opcode::XorShf.mnemonic(), "xor-shf");
+        assert_eq!(Opcode::Touch.mnemonic(), "touch");
+    }
+
+    #[test]
+    fn instruction_dest_and_sources() {
+        let i = Instruction::Alu {
+            op: Opcode::Add,
+            rd: Reg::R3,
+            rs1: Reg::R1,
+            src2: Src::Reg(Reg::R2),
+        };
+        assert_eq!(i.dest(), Some(Reg::R3));
+        assert_eq!(i.sources(), vec![Reg::R1, Reg::R2]);
+
+        let st = Instruction::St {
+            rs: Reg::R4,
+            base: Reg::R5,
+            offset: 8,
+            width: Width::D,
+        };
+        assert_eq!(st.dest(), None);
+        assert_eq!(st.sources(), vec![Reg::R4, Reg::R5]);
+    }
+
+    #[test]
+    fn queue_port_detection() {
+        let pop = Instruction::Alu {
+            op: Opcode::Add,
+            rd: Reg::R1,
+            rs1: Reg::IN,
+            src2: Src::Imm(0),
+        };
+        assert_eq!(pop.in_port_reads(), 1);
+        assert!(!pop.writes_out_port());
+
+        let push = Instruction::Alu {
+            op: Opcode::Add,
+            rd: Reg::OUT,
+            rs1: Reg::R1,
+            src2: Src::Imm(0),
+        };
+        assert!(push.writes_out_port());
+        assert_eq!(push.in_port_reads(), 0);
+    }
+
+    #[test]
+    fn with_branch_target_rewrites() {
+        let b = Instruction::Ba { target: 0 };
+        assert_eq!(b.with_branch_target(7).branch_target(), Some(7));
+        let n = Instruction::Halt;
+        assert_eq!(n.with_branch_target(7), Instruction::Halt);
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instruction::Ld {
+            rd: Reg::R5,
+            base: Reg::R4,
+            offset: 8,
+            width: Width::W,
+        };
+        assert_eq!(i.to_string(), "ld.w r5, [r4+8]");
+        let s = Instruction::AluShf {
+            op: Opcode::XorShf,
+            rd: Reg::R1,
+            rs1: Reg::R2,
+            rs2: Reg::R3,
+            shift: Shift::right(33),
+        };
+        assert_eq!(s.to_string(), "xor-shf r1, r2, r3, >>33");
+    }
+}

@@ -1,0 +1,83 @@
+//! # widx-isa — the Widx custom RISC instruction set
+//!
+//! This crate implements the minimalistic ISA of the Widx indexing
+//! accelerator (Table 1 of *Meet the Walkers*, MICRO 2013). Every Widx
+//! unit — the hashing **dispatcher** (`H`), the node-list **walkers**
+//! (`W`), and the **output producer** (`P`) — is a tiny 2-stage RISC core
+//! executing programs written in this ISA.
+//!
+//! The crate provides:
+//!
+//! * [`Instruction`] — the instruction set itself, with the paper's
+//!   mnemonics (`ADD`, `AND`, `BA`, `BLE`, `CMP`, `CMP-LE`, `LD`, `SHL`,
+//!   `SHR`, `ST`, `TOUCH`, `XOR` and the fused `ADD-SHF` / `AND-SHF` /
+//!   `XOR-SHF` forms), plus an explicit `HALT` that models the
+//!   "unit done" status-register write implied by the paper's
+//!   configuration interface.
+//! * [`Reg`] — the 32 software-exposed registers, including the
+//!   architectural queue ports [`Reg::IN`] / [`Reg::OUT`] used for
+//!   decoupled inter-unit communication and the hardwired zero register
+//!   [`Reg::ZERO`].
+//! * [`UnitClass`] — dispatcher / walker / producer classes and the
+//!   per-class instruction permission matrix from Table 1.
+//! * [`Program`] and [`ProgramBuilder`] — containers for unit programs
+//!   (instructions + initial register image, as loaded from the Widx
+//!   control block) and a label-aware builder API.
+//! * [`encode`](Instruction::encode) / [`decode`](Instruction::decode) —
+//!   a fixed 32-bit binary encoding, used to serialize programs into the
+//!   in-memory Widx control block.
+//! * [`asm`] — a small text assembler / disassembler for writing unit
+//!   programs by hand.
+//! * [`verify`](Program::verify) — the static checks the Widx programming
+//!   model imposes (Section 4.2 of the paper): no stores outside the
+//!   producer, fused-op restrictions per unit class, register budget, no
+//!   stack or dynamic memory (structurally impossible here), branch
+//!   targets in range.
+//!
+//! # Example
+//!
+//! ```
+//! use widx_isa::{ProgramBuilder, Reg, Src, UnitClass};
+//!
+//! # fn main() -> Result<(), widx_isa::VerifyError> {
+//! // A walker fragment: follow `next` pointers until NULL.
+//! let mut b = ProgramBuilder::new(UnitClass::Walker);
+//! let done = b.new_label();
+//! let head = b.new_label();
+//! b.bind(head);
+//! b.ble(Reg::R4, Src::Imm(0), done);          // node == NULL => done
+//! b.ld_d(Reg::R5, Reg::R4, 0);                // key = node->key
+//! b.ld_d(Reg::R4, Reg::R4, 8);                // node = node->next
+//! b.ba(head);
+//! b.bind(done);
+//! b.halt();
+//! let program = b.build()?;
+//! assert_eq!(program.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod asm_impl;
+mod builder;
+mod encode;
+mod inst;
+mod program;
+mod reg;
+mod unit_class;
+mod verify;
+
+pub use builder::{Label, ProgramBuilder};
+pub use encode::{DecodeError, EncodeError};
+pub use inst::{Instruction, Opcode, Shift, ShiftDir, Src, Width};
+pub use program::{Program, ProgramDecodeError, RegImage};
+pub use reg::Reg;
+pub use unit_class::UnitClass;
+pub use verify::VerifyError;
+
+/// Text assembler / disassembler for Widx unit programs.
+pub mod asm {
+    pub use crate::asm_impl::{assemble, disassemble, AsmError};
+}

@@ -1,0 +1,294 @@
+use std::fmt;
+
+use crate::encode::EncodeError;
+use crate::{DecodeError, Instruction, Reg, UnitClass, VerifyError};
+
+/// The initial register image of a unit, loaded from the Widx control
+/// block before execution begins.
+///
+/// The paper notes that the units' "relatively large number of registers
+/// is necessary for storing the constants used in key hashing"; those
+/// constants, along with pointers such as the hash-table base, arrive via
+/// this image (Section 4.3's configuration interface).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct RegImage {
+    values: Vec<(Reg, u64)>,
+}
+
+impl RegImage {
+    /// An empty register image (all registers zero).
+    #[must_use]
+    pub fn new() -> RegImage {
+        RegImage::default()
+    }
+
+    /// Sets the initial value of `reg`, replacing any earlier value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is the zero register or a queue port; those have
+    /// hardwired semantics and cannot hold configuration constants.
+    pub fn set(&mut self, reg: Reg, value: u64) -> &mut RegImage {
+        assert!(
+            !reg.is_zero() && !reg.is_in_port() && !reg.is_out_port(),
+            "register {reg} cannot be initialized"
+        );
+        if let Some(slot) = self.values.iter_mut().find(|(r, _)| *r == reg) {
+            slot.1 = value;
+        } else {
+            self.values.push((reg, value));
+        }
+        self
+    }
+
+    /// The initial value of `reg` (zero when unset).
+    #[must_use]
+    pub fn get(&self, reg: Reg) -> u64 {
+        self.values
+            .iter()
+            .find(|(r, _)| *r == reg)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Iterates over the explicitly initialized registers.
+    pub fn iter(&self) -> impl Iterator<Item = (Reg, u64)> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// Number of explicitly initialized registers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no register is explicitly initialized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Materializes the full 32-register file.
+    #[must_use]
+    pub fn to_register_file(&self) -> [u64; Reg::COUNT] {
+        let mut file = [0u64; Reg::COUNT];
+        for (r, v) in &self.values {
+            file[r.index()] = *v;
+        }
+        file
+    }
+}
+
+impl FromIterator<(Reg, u64)> for RegImage {
+    fn from_iter<I: IntoIterator<Item = (Reg, u64)>>(iter: I) -> RegImage {
+        let mut image = RegImage::new();
+        for (r, v) in iter {
+            image.set(r, v);
+        }
+        image
+    }
+}
+
+/// A verified Widx unit program: instructions plus the initial register
+/// image, tagged with the [`UnitClass`] it may run on.
+///
+/// Construct programs with [`ProgramBuilder`](crate::ProgramBuilder), the
+/// [`asm`](crate::asm) module, or [`Program::from_parts`]; all three run
+/// the static verifier, so a `Program` in hand is always well-formed for
+/// its unit class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    class: UnitClass,
+    code: Vec<Instruction>,
+    init: RegImage,
+}
+
+impl Program {
+    /// Builds and verifies a program from raw parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] when the program violates the Widx
+    /// programming model (see [`Program::verify`]).
+    pub fn from_parts(
+        class: UnitClass,
+        code: Vec<Instruction>,
+        init: RegImage,
+    ) -> Result<Program, VerifyError> {
+        let program = Program { class, code, init };
+        program.verify()?;
+        Ok(program)
+    }
+
+    /// The unit class this program targets.
+    #[must_use]
+    pub fn class(&self) -> UnitClass {
+        self.class
+    }
+
+    /// The instruction sequence.
+    #[must_use]
+    pub fn code(&self) -> &[Instruction] {
+        &self.code
+    }
+
+    /// The initial register image.
+    #[must_use]
+    pub fn init(&self) -> &RegImage {
+        &self.init
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Re-runs the static verifier (see [`crate::VerifyError`] for the
+    /// checked rules). Programs built through this crate's constructors
+    /// are already verified; this is exposed for tests and tooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first rule violation found.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        crate::verify::verify(self.class, &self.code)
+    }
+
+    /// Encodes the program into 32-bit words for the Widx control block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when a field exceeds its encoding width
+    /// (possible for very long programs with distant branches).
+    pub fn encode_words(&self) -> Result<Vec<u32>, EncodeError> {
+        self.code
+            .iter()
+            .enumerate()
+            .map(|(pc, inst)| inst.encode(pc as u32))
+            .collect()
+    }
+
+    /// Decodes a program from control-block words and verifies it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramDecodeError`] wrapping either the word-level
+    /// decode failure or the subsequent verification failure.
+    pub fn decode_words(
+        class: UnitClass,
+        words: &[u32],
+        init: RegImage,
+    ) -> Result<Program, ProgramDecodeError> {
+        let code = words
+            .iter()
+            .enumerate()
+            .map(|(pc, w)| Instruction::decode(*w, pc as u32))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(ProgramDecodeError::Decode)?;
+        Program::from_parts(class, code, init).map_err(ProgramDecodeError::Verify)
+    }
+
+    /// Renders the program as assembler text (see [`crate::asm`]).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        crate::asm_impl::disassemble(self)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Error decoding a program from control-block words.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramDecodeError {
+    /// A word failed to decode.
+    Decode(DecodeError),
+    /// The decoded instruction stream failed verification.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for ProgramDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramDecodeError::Decode(e) => write!(f, "decode: {e}"),
+            ProgramDecodeError::Verify(e) => write!(f, "verify: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Opcode, Src};
+
+    fn sample_code() -> Vec<Instruction> {
+        vec![
+            Instruction::Alu { op: Opcode::Add, rd: Reg::R1, rs1: Reg::R1, src2: Src::Imm(1) },
+            Instruction::Ble { rs1: Reg::R1, src2: Src::Imm(10), target: 0 },
+            Instruction::Halt,
+        ]
+    }
+
+    #[test]
+    fn reg_image_set_get() {
+        let mut img = RegImage::new();
+        img.set(Reg::R5, 42).set(Reg::R6, 7).set(Reg::R5, 43);
+        assert_eq!(img.get(Reg::R5), 43);
+        assert_eq!(img.get(Reg::R6), 7);
+        assert_eq!(img.get(Reg::R7), 0);
+        assert_eq!(img.len(), 2);
+        let file = img.to_register_file();
+        assert_eq!(file[5], 43);
+        assert_eq!(file[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be initialized")]
+    fn reg_image_rejects_ports() {
+        RegImage::new().set(Reg::IN, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be initialized")]
+    fn reg_image_rejects_zero() {
+        RegImage::new().set(Reg::ZERO, 1);
+    }
+
+    #[test]
+    fn from_parts_verifies() {
+        let p = Program::from_parts(UnitClass::Walker, sample_code(), RegImage::new()).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.class(), UnitClass::Walker);
+
+        // ST is not allowed in a walker.
+        let bad = vec![Instruction::St { rs: Reg::R1, base: Reg::R2, offset: 0, width: crate::Width::D }];
+        assert!(Program::from_parts(UnitClass::Walker, bad, RegImage::new()).is_err());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = Program::from_parts(UnitClass::Walker, sample_code(), RegImage::new()).unwrap();
+        let words = p.encode_words().unwrap();
+        let back = Program::decode_words(UnitClass::Walker, &words, RegImage::new()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn reg_image_from_iterator() {
+        let img: RegImage = [(Reg::R1, 10u64), (Reg::R2, 20u64)].into_iter().collect();
+        assert_eq!(img.get(Reg::R1), 10);
+        assert_eq!(img.get(Reg::R2), 20);
+    }
+}

@@ -1,0 +1,170 @@
+use std::fmt;
+
+/// One of the 32 software-exposed registers of a Widx unit.
+///
+/// The paper motivates the "relatively large number of registers" by the
+/// need to hold hashing constants, which are pre-loaded from the Widx
+/// control block before execution starts.
+///
+/// Three registers have architectural meaning:
+///
+/// * [`Reg::ZERO`] (`r0`) reads as zero; writes are discarded.
+/// * [`Reg::IN`]   (`r30`) is the input-queue port: each read pops one
+///   64-bit word from the unit's input queue, blocking while it is empty.
+/// * [`Reg::OUT`]  (`r31`) is the output-queue port: each write pushes one
+///   64-bit word to the unit's output queue, blocking while it is full.
+///
+/// The queue ports are how the decoupled units of Figure 6 communicate
+/// (dispatcher → walkers → output producer) without the ISA of Table 1
+/// needing explicit enqueue/dequeue instructions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of software-exposed registers per unit.
+    pub const COUNT: usize = 32;
+
+    /// The hardwired zero register (`r0`).
+    pub const ZERO: Reg = Reg(0);
+    /// The input-queue port (`r30`): reads pop the unit's input queue.
+    pub const IN: Reg = Reg(30);
+    /// The output-queue port (`r31`): writes push the unit's output queue.
+    pub const OUT: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < Reg::COUNT,
+            "register index {index} out of range (0..32)"
+        );
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Reg> {
+        ((index as usize) < Reg::COUNT).then_some(Reg(index))
+    }
+
+    /// The register's index in `0..32`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Reg::ZERO
+    }
+
+    /// Whether this is the input-queue port.
+    #[must_use]
+    pub fn is_in_port(self) -> bool {
+        self == Reg::IN
+    }
+
+    /// Whether this is the output-queue port.
+    #[must_use]
+    pub fn is_out_port(self) -> bool {
+        self == Reg::OUT
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Reg::COUNT as u8).map(Reg)
+    }
+}
+
+macro_rules! named_regs {
+    ($($name:ident = $idx:expr),* $(,)?) => {
+        impl Reg {
+            $(
+                #[doc = concat!("General-purpose register `r", stringify!($idx), "`.")]
+                pub const $name: Reg = Reg($idx);
+            )*
+        }
+    };
+}
+
+named_regs! {
+    R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7, R8 = 8,
+    R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+    R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21, R22 = 22,
+    R23 = 23, R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28, R29 = 29,
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::IN => write!(f, "in"),
+            Reg::OUT => write!(f, "out"),
+            _ => write!(f, "r{}", self.0),
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_all_valid_indices() {
+        for i in 0..32 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn try_new_boundary() {
+        assert!(Reg::try_new(31).is_some());
+        assert!(Reg::try_new(32).is_none());
+        assert!(Reg::try_new(255).is_none());
+    }
+
+    #[test]
+    fn special_registers() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(Reg::IN.is_in_port());
+        assert!(Reg::OUT.is_out_port());
+        assert!(!Reg::R5.is_zero());
+        assert!(!Reg::R5.is_in_port());
+        assert!(!Reg::R5.is_out_port());
+        assert_eq!(Reg::IN.index(), 30);
+        assert_eq!(Reg::OUT.index(), 31);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::ZERO.to_string(), "r0");
+        assert_eq!(Reg::R7.to_string(), "r7");
+        assert_eq!(Reg::IN.to_string(), "in");
+        assert_eq!(Reg::OUT.to_string(), "out");
+    }
+
+    #[test]
+    fn all_yields_32_distinct() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+}

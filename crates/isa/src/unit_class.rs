@@ -1,0 +1,125 @@
+use std::fmt;
+
+use crate::Opcode;
+
+/// The role a Widx unit plays in the accelerator pipeline of Figure 6.
+///
+/// Widx is built from one **dispatcher** (`H` in the paper's figures) that
+/// hashes input keys, several **walkers** (`W`) that traverse hash-table
+/// node lists, and one **output producer** (`P`) that writes match results
+/// to memory. All three share the same 2-stage RISC datapath; they differ
+/// only in which instructions they may execute (Table 1) and in how their
+/// queues are wired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnitClass {
+    /// The key-hashing dispatcher (`H`).
+    Dispatcher,
+    /// A node-list walker (`W`).
+    Walker,
+    /// The output producer (`P`).
+    Producer,
+}
+
+impl UnitClass {
+    /// All unit classes in pipeline order.
+    pub const ALL: [UnitClass; 3] = [
+        UnitClass::Dispatcher,
+        UnitClass::Walker,
+        UnitClass::Producer,
+    ];
+
+    /// The single-letter tag used by the paper (`H`, `W`, `P`).
+    #[must_use]
+    pub fn letter(self) -> char {
+        match self {
+            UnitClass::Dispatcher => 'H',
+            UnitClass::Walker => 'W',
+            UnitClass::Producer => 'P',
+        }
+    }
+
+    /// Whether this unit class may execute `op`, per Table 1 of the paper.
+    ///
+    /// The matrix:
+    ///
+    /// | Instruction | H | W | P |
+    /// |---|---|---|---|
+    /// | `ADD AND BA BLE CMP CMP-LE LD SHL SHR TOUCH XOR` (+`HALT`) | ✓ | ✓ | ✓ |
+    /// | `ST` | | | ✓ |
+    /// | `ADD-SHF` | ✓ | ✓ | |
+    /// | `AND-SHF` | ✓ | | |
+    /// | `XOR-SHF` | ✓ | | |
+    #[must_use]
+    pub fn allows(self, op: Opcode) -> bool {
+        match op {
+            Opcode::St => self == UnitClass::Producer,
+            Opcode::AddShf => matches!(self, UnitClass::Dispatcher | UnitClass::Walker),
+            Opcode::AndShf | Opcode::XorShf => self == UnitClass::Dispatcher,
+            _ => true,
+        }
+    }
+
+    /// The opcodes this unit class may execute, in [`Opcode::ALL`] order.
+    pub fn allowed_opcodes(self) -> impl Iterator<Item = Opcode> {
+        Opcode::ALL.into_iter().filter(move |op| self.allows(*op))
+    }
+}
+
+impl fmt::Display for UnitClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitClass::Dispatcher => write!(f, "dispatcher"),
+            UnitClass::Walker => write!(f, "walker"),
+            UnitClass::Producer => write!(f, "producer"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full Table 1 matrix, asserted cell by cell.
+    #[test]
+    fn table_1_matrix() {
+        use Opcode::*;
+        use UnitClass::*;
+        let common = [Add, And, Ba, Ble, Cmp, CmpLe, Ld, Shl, Shr, Touch, Xor, Halt];
+        for class in UnitClass::ALL {
+            for op in common {
+                assert!(class.allows(op), "{class} should allow {op}");
+            }
+        }
+        assert!(!Dispatcher.allows(St));
+        assert!(!Walker.allows(St));
+        assert!(Producer.allows(St));
+
+        assert!(Dispatcher.allows(AddShf));
+        assert!(Walker.allows(AddShf));
+        assert!(!Producer.allows(AddShf));
+
+        assert!(Dispatcher.allows(AndShf));
+        assert!(!Walker.allows(AndShf));
+        assert!(!Producer.allows(AndShf));
+
+        assert!(Dispatcher.allows(XorShf));
+        assert!(!Walker.allows(XorShf));
+        assert!(!Producer.allows(XorShf));
+    }
+
+    #[test]
+    fn allowed_opcode_counts() {
+        // 12 common + 3 fused = 15 for the dispatcher; walker loses
+        // AND-SHF/XOR-SHF; producer gains ST but loses all fused forms.
+        assert_eq!(UnitClass::Dispatcher.allowed_opcodes().count(), 15);
+        assert_eq!(UnitClass::Walker.allowed_opcodes().count(), 13);
+        assert_eq!(UnitClass::Producer.allowed_opcodes().count(), 13);
+    }
+
+    #[test]
+    fn letters() {
+        assert_eq!(UnitClass::Dispatcher.letter(), 'H');
+        assert_eq!(UnitClass::Walker.letter(), 'W');
+        assert_eq!(UnitClass::Producer.letter(), 'P');
+    }
+}

@@ -1,0 +1,259 @@
+//! Static verification of Widx unit programs.
+//!
+//! The Widx programming model (paper Section 4.2) is deliberately
+//! restricted: "no dynamic memory allocation, no stack, and no writes
+//! except by the output producer", plus the per-unit instruction matrix of
+//! Table 1 and the fixed register budget. Dynamic allocation and stacks
+//! are structurally impossible in this ISA (there are no call or
+//! stack-pointer-relative instructions); the remaining rules are checked
+//! here.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{Instruction, Opcode};
+use crate::UnitClass;
+
+/// A violation of the Widx programming model found by the static
+/// verifier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// An instruction not permitted for the unit class (Table 1).
+    OpcodeNotAllowed {
+        /// The offending instruction's index.
+        pc: usize,
+        /// Its opcode.
+        op: Opcode,
+        /// The unit class being verified.
+        class: UnitClass,
+    },
+    /// A branch target outside the program.
+    BranchOutOfRange {
+        /// The branch instruction's index.
+        pc: usize,
+        /// The out-of-range target.
+        target: u32,
+        /// The program length.
+        len: usize,
+    },
+    /// More than one read of the input-queue port in a single instruction;
+    /// the port pops once per read, so the value would be ambiguous.
+    MultipleInPortReads {
+        /// The offending instruction's index.
+        pc: usize,
+    },
+    /// The input-queue port used as a memory base register; queue words
+    /// must be moved to a general register before addressing with them.
+    InPortAsBase {
+        /// The offending instruction's index.
+        pc: usize,
+    },
+    /// One instruction both pops the input queue and pushes the output
+    /// queue. The two operations cannot be made atomic against queue
+    /// stalls in a 2-stage pipeline, so the programming model forbids
+    /// the combination.
+    PopPushConflict {
+        /// The offending instruction's index.
+        pc: usize,
+    },
+    /// The program is empty; a unit must at least `HALT`.
+    Empty,
+    /// The program exceeds the unit's instruction buffer.
+    TooLong {
+        /// The program length.
+        len: usize,
+        /// The instruction-buffer capacity.
+        max: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::OpcodeNotAllowed { pc, op, class } => {
+                write!(f, "instruction {pc}: {op} is not allowed on a {class} unit (Table 1)")
+            }
+            VerifyError::BranchOutOfRange { pc, target, len } => {
+                write!(f, "instruction {pc}: branch target {target} outside program of length {len}")
+            }
+            VerifyError::MultipleInPortReads { pc } => {
+                write!(f, "instruction {pc}: multiple reads of the input-queue port")
+            }
+            VerifyError::InPortAsBase { pc } => {
+                write!(f, "instruction {pc}: input-queue port used as memory base register")
+            }
+            VerifyError::PopPushConflict { pc } => {
+                write!(f, "instruction {pc}: pops the input queue and pushes the output queue")
+            }
+            VerifyError::Empty => write!(f, "program is empty"),
+            VerifyError::TooLong { len, max } => {
+                write!(f, "program of {len} instructions exceeds the {max}-entry instruction buffer")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Capacity of a unit's instruction buffer.
+///
+/// The paper sizes the instruction buffer for real indexing functions
+/// ("our analysis with several contemporary DBMSs shows that, in practice,
+/// this restriction is not a concern"); 256 entries is generous for every
+/// program in this repository while still being small hardware.
+pub const MAX_PROGRAM_LEN: usize = 256;
+
+/// Verifies `code` against the programming-model rules for `class`.
+///
+/// # Errors
+///
+/// Returns the first violated rule; see [`VerifyError`].
+pub fn verify(class: UnitClass, code: &[Instruction]) -> Result<(), VerifyError> {
+    if code.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    if code.len() > MAX_PROGRAM_LEN {
+        return Err(VerifyError::TooLong { len: code.len(), max: MAX_PROGRAM_LEN });
+    }
+    for (pc, inst) in code.iter().enumerate() {
+        let op = inst.opcode();
+        if !class.allows(op) {
+            return Err(VerifyError::OpcodeNotAllowed { pc, op, class });
+        }
+        if let Some(target) = inst.branch_target() {
+            if target as usize >= code.len() {
+                return Err(VerifyError::BranchOutOfRange { pc, target, len: code.len() });
+            }
+        }
+        if inst.in_port_reads() > 1 {
+            return Err(VerifyError::MultipleInPortReads { pc });
+        }
+        if inst.in_port_reads() == 1 && inst.writes_out_port() {
+            return Err(VerifyError::PopPushConflict { pc });
+        }
+        match inst {
+            Instruction::Ld { base, .. }
+            | Instruction::St { base, .. }
+            | Instruction::Touch { base, .. }
+                if base.is_in_port() =>
+            {
+                return Err(VerifyError::InPortAsBase { pc });
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Src, Width};
+    use crate::Reg;
+
+    fn alu(op: Opcode, rd: Reg, rs1: Reg, src2: Src) -> Instruction {
+        Instruction::Alu { op, rd, rs1, src2 }
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(verify(UnitClass::Walker, &[]), Err(VerifyError::Empty));
+    }
+
+    #[test]
+    fn st_only_on_producer() {
+        let code = [
+            Instruction::St { rs: Reg::R1, base: Reg::R2, offset: 0, width: Width::D },
+            Instruction::Halt,
+        ];
+        assert!(verify(UnitClass::Producer, &code).is_ok());
+        assert!(matches!(
+            verify(UnitClass::Walker, &code),
+            Err(VerifyError::OpcodeNotAllowed { op: Opcode::St, .. })
+        ));
+        assert!(verify(UnitClass::Dispatcher, &code).is_err());
+    }
+
+    #[test]
+    fn fused_ops_per_class() {
+        let xor_shf = Instruction::AluShf {
+            op: Opcode::XorShf,
+            rd: Reg::R1,
+            rs1: Reg::R1,
+            rs2: Reg::R1,
+            shift: crate::Shift::right(33),
+        };
+        let code = [xor_shf, Instruction::Halt];
+        assert!(verify(UnitClass::Dispatcher, &code).is_ok());
+        assert!(verify(UnitClass::Walker, &code).is_err());
+        assert!(verify(UnitClass::Producer, &code).is_err());
+    }
+
+    #[test]
+    fn branch_bounds() {
+        let code = [Instruction::Ba { target: 2 }, Instruction::Halt];
+        assert!(matches!(
+            verify(UnitClass::Walker, &code),
+            Err(VerifyError::BranchOutOfRange { pc: 0, target: 2, len: 2 })
+        ));
+        let ok = [Instruction::Ba { target: 1 }, Instruction::Halt];
+        assert!(verify(UnitClass::Walker, &ok).is_ok());
+    }
+
+    #[test]
+    fn double_pop_rejected() {
+        let code = [
+            alu(Opcode::Add, Reg::R1, Reg::IN, Src::Reg(Reg::IN)),
+            Instruction::Halt,
+        ];
+        assert!(matches!(
+            verify(UnitClass::Walker, &code),
+            Err(VerifyError::MultipleInPortReads { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn in_port_base_rejected() {
+        let code = [
+            Instruction::Ld { rd: Reg::R1, base: Reg::IN, offset: 0, width: Width::D },
+            Instruction::Halt,
+        ];
+        assert!(matches!(
+            verify(UnitClass::Walker, &code),
+            Err(VerifyError::InPortAsBase { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn too_long_rejected() {
+        let code: Vec<Instruction> = std::iter::repeat(Instruction::Halt)
+            .take(MAX_PROGRAM_LEN + 1)
+            .collect();
+        assert!(matches!(
+            verify(UnitClass::Walker, &code),
+            Err(VerifyError::TooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn pop_push_conflict_rejected() {
+        let code = [
+            alu(Opcode::Add, Reg::OUT, Reg::IN, Src::Imm(0)),
+            Instruction::Halt,
+        ];
+        assert!(matches!(
+            verify(UnitClass::Walker, &code),
+            Err(VerifyError::PopPushConflict { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn single_pop_allowed() {
+        let code = [
+            alu(Opcode::Add, Reg::R1, Reg::IN, Src::Imm(0)),
+            alu(Opcode::Add, Reg::R2, Reg::IN, Src::Imm(0)),
+            Instruction::Halt,
+        ];
+        assert!(verify(UnitClass::Walker, &code).is_ok());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: every representable instruction survives the
+//! encode → decode and disassemble → assemble round trips.
+
+use proptest::prelude::*;
+use widx_isa::{
+    asm, Instruction, Opcode, Program, Reg, RegImage, Shift, ShiftDir, Src, UnitClass, Width,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_gpr() -> impl Strategy<Value = Reg> {
+    // A general-purpose register: excludes the queue ports and r0 so the
+    // generated instructions are also valid in contexts that restrict
+    // port usage (e.g. memory bases).
+    (1u8..30).prop_map(Reg::new)
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::B), Just(Width::H), Just(Width::W), Just(Width::D)]
+}
+
+fn arb_shift() -> impl Strategy<Value = Shift> {
+    ((0u8..64), prop_oneof![Just(ShiftDir::Left), Just(ShiftDir::Right)])
+        .prop_map(|(amount, dir)| Shift { dir, amount })
+}
+
+fn arb_src() -> impl Strategy<Value = Src> {
+    prop_oneof![
+        arb_reg().prop_map(Src::Reg),
+        (-2048i16..=2047).prop_map(Src::Imm),
+    ]
+}
+
+fn arb_alu_op() -> impl Strategy<Value = Opcode> {
+    prop_oneof![
+        Just(Opcode::Add),
+        Just(Opcode::And),
+        Just(Opcode::Xor),
+        Just(Opcode::Shl),
+        Just(Opcode::Shr),
+        Just(Opcode::Cmp),
+        Just(Opcode::CmpLe),
+    ]
+}
+
+fn arb_fused_op() -> impl Strategy<Value = Opcode> {
+    prop_oneof![Just(Opcode::AddShf), Just(Opcode::AndShf), Just(Opcode::XorShf)]
+}
+
+/// Instructions whose encodings are pc-independent.
+fn arb_straightline() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_src())
+            .prop_map(|(op, rd, rs1, src2)| Instruction::Alu { op, rd, rs1, src2 }),
+        (arb_fused_op(), arb_reg(), arb_reg(), arb_reg(), arb_shift())
+            .prop_map(|(op, rd, rs1, rs2, shift)| Instruction::AluShf { op, rd, rs1, rs2, shift }),
+        (arb_reg(), arb_gpr(), -2048i16..=2047, arb_width())
+            .prop_map(|(rd, base, offset, width)| Instruction::Ld { rd, base, offset, width }),
+        (arb_reg(), arb_gpr(), -2048i16..=2047, arb_width())
+            .prop_map(|(rs, base, offset, width)| Instruction::St { rs, base, offset, width }),
+        (arb_gpr(), -2048i16..=2047)
+            .prop_map(|(base, offset)| Instruction::Touch { base, offset }),
+        Just(Instruction::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(inst in arb_straightline(), pc in 0u32..1000) {
+        let word = inst.encode(pc).expect("straightline instructions always encode");
+        let back = Instruction::decode(word, pc).expect("decode");
+        prop_assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn ba_round_trip(pc in 0u32..200, target in 0u32..200) {
+        let inst = Instruction::Ba { target };
+        let word = inst.encode(pc).unwrap();
+        prop_assert_eq!(Instruction::decode(word, pc).unwrap(), inst);
+    }
+
+    #[test]
+    fn ble_round_trip(
+        pc in 0u32..100,
+        delta in -100i32..100,
+        rs1 in arb_reg(),
+        src2 in prop_oneof![arb_reg().prop_map(Src::Reg), (-128i16..=127).prop_map(Src::Imm)],
+    ) {
+        let t = i64::from(pc) + i64::from(delta);
+        prop_assume!(t >= 0);
+        let inst = Instruction::Ble { rs1, src2, target: t as u32 };
+        let word = inst.encode(pc).unwrap();
+        prop_assert_eq!(Instruction::decode(word, pc).unwrap(), inst);
+    }
+
+    /// Any decodable word re-encodes to itself up to canonical field
+    /// zeroing (we only assert decode(encode(decode(w))) == decode(w)).
+    #[test]
+    fn decode_is_stable(word in any::<u32>(), pc in 0u32..64) {
+        if let Ok(inst) = Instruction::decode(word, pc) {
+            let re = inst.encode(pc).expect("decoded instructions re-encode");
+            let inst2 = Instruction::decode(re, pc).expect("re-decode");
+            prop_assert_eq!(inst, inst2);
+        }
+    }
+}
+
+/// Builds a random verifiable straight-line program for the given class.
+fn arb_program(class: UnitClass) -> impl Strategy<Value = Program> {
+    let body = prop::collection::vec(arb_straightline(), 1..40);
+    body.prop_filter_map("class-legal programs", move |mut code| {
+        code.push(Instruction::Halt);
+        Program::from_parts(class, code, RegImage::new()).ok()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn program_words_round_trip(p in arb_program(UnitClass::Producer)) {
+        let words = p.encode_words().unwrap();
+        let back = Program::decode_words(UnitClass::Producer, &words, RegImage::new()).unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    #[test]
+    fn disassemble_assemble_fixpoint(p in arb_program(UnitClass::Dispatcher)) {
+        let text = asm::disassemble(&p);
+        let back = asm::assemble(UnitClass::Dispatcher, &text).expect("reassemble");
+        prop_assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 4 sweeps: the three scalability bottlenecks.
+
+use crate::equations::{l1_pressure, mshr_demand, walkers_per_mc};
+use crate::ModelParams;
+
+/// One point of a bottleneck sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// The x value (LLC miss ratio or walker count, per series).
+    pub x: f64,
+    /// The y value.
+    pub y: f64,
+}
+
+/// Figure 4a: L1-D accesses per cycle vs. LLC miss ratio, one series
+/// per walker count. Returns `(walkers, series)` pairs.
+#[must_use]
+pub fn l1_bandwidth_series(
+    p: &ModelParams,
+    walker_counts: &[u32],
+    steps: usize,
+) -> Vec<(u32, Vec<SweepPoint>)> {
+    walker_counts
+        .iter()
+        .map(|n| {
+            let series = (0..=steps)
+                .map(|i| {
+                    let m = i as f64 / steps as f64;
+                    SweepPoint { x: m, y: l1_pressure(p, m, f64::from(*n)) }
+                })
+                .collect();
+            (*n, series)
+        })
+        .collect()
+}
+
+/// Figure 4b: outstanding L1 misses vs. walker count.
+#[must_use]
+pub fn mshr_series(p: &ModelParams, max_walkers: u32) -> Vec<SweepPoint> {
+    (1..=max_walkers)
+        .map(|n| SweepPoint { x: f64::from(n), y: mshr_demand(p, f64::from(n)) })
+        .collect()
+}
+
+/// Figure 4c: walkers per memory controller vs. LLC miss ratio.
+#[must_use]
+pub fn walkers_per_mc_series(p: &ModelParams, steps: usize) -> Vec<SweepPoint> {
+    (1..=steps)
+        .map(|i| {
+            let m = i as f64 / steps as f64;
+            SweepPoint { x: m, y: walkers_per_mc(p, m) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4a_series_shape() {
+        let p = ModelParams::default();
+        let series = l1_bandwidth_series(&p, &[1, 2, 4, 8, 10], 10);
+        assert_eq!(series.len(), 5);
+        for (n, points) in &series {
+            assert_eq!(points.len(), 11);
+            // Monotonically non-increasing in miss ratio.
+            for w in points.windows(2) {
+                assert!(w[1].y <= w[0].y + 1e-12, "series {n} must fall");
+            }
+        }
+        // More walkers => more pressure at every x.
+        let one = &series[0].1;
+        let ten = &series[4].1;
+        for (a, b) in one.iter().zip(ten) {
+            assert!(b.y > a.y);
+        }
+    }
+
+    #[test]
+    fn fig4b_linear() {
+        let p = ModelParams::default();
+        let s = mshr_series(&p, 10);
+        assert_eq!(s.len(), 10);
+        // Linear with slope MLP_H + MLP_W = 2 (paper: 10 walkers -> 20
+        // outstanding misses).
+        assert!((s[9].y - 20.0).abs() < 1e-12);
+        assert!((s[0].y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig4c_decreasing() {
+        let p = ModelParams::default();
+        let s = walkers_per_mc_series(&p, 10);
+        for w in s.windows(2) {
+            assert!(w[1].y <= w[0].y, "walkers/MC must fall with miss ratio");
+        }
+    }
+}

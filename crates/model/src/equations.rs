@@ -1,0 +1,175 @@
+//! Equations 1–5 of the paper, implemented verbatim.
+
+use crate::ModelParams;
+
+/// Average memory access time for an operation with the given miss
+/// ratios (the latency inputs to Equation 1).
+#[must_use]
+pub fn amat(p: &ModelParams, l1_miss: f64, llc_miss: f64) -> f64 {
+    p.l1_latency + l1_miss * (p.llc_latency + llc_miss * p.mem_latency)
+}
+
+/// **Equation 1**: `Cycles = AMAT * MemOps + CompCycles` — the fully
+/// pipelined cycles to hash one key or walk one node.
+#[must_use]
+pub fn cycles_per_op(amat: f64, mem_ops: f64, comp_cycles: f64) -> f64 {
+    amat * mem_ops + comp_cycles
+}
+
+/// Cycles to hash one key with the configured (cold-key) LLC miss
+/// ratio — used where the paper treats key fetches as streaming ("the
+/// first key to a given cache block always misses in the L1-D and LLC").
+#[must_use]
+pub fn hash_cycles(p: &ModelParams) -> f64 {
+    hash_cycles_at(p, p.hash_llc_miss)
+}
+
+/// Cycles to hash one key at an explicit LLC miss ratio for key blocks.
+/// Figure 4a sweeps the LLC miss ratio for *both* the hash and walk
+/// paths (that is the only reading under which its single-ported L1
+/// saturates at ~6 walkers), so the bandwidth model uses this form.
+#[must_use]
+pub fn hash_cycles_at(p: &ModelParams, llc_miss: f64) -> f64 {
+    cycles_per_op(
+        amat(p, p.hash_l1_miss, llc_miss),
+        p.hash_mem_ops,
+        p.hash_comp_cycles,
+    )
+}
+
+/// Cycles to walk one node at LLC miss ratio `llc_miss`.
+#[must_use]
+pub fn walk_cycles(p: &ModelParams, llc_miss: f64) -> f64 {
+    cycles_per_op(
+        amat(p, p.walk_l1_miss, llc_miss),
+        p.walk_mem_ops,
+        p.walk_comp_cycles,
+    )
+}
+
+/// **Equation 2**: L1-D accesses per cycle for `n` walkers, each with a
+/// decoupled hashing unit — `(MemOps/Cycles)_{H,W} * N` — compared by
+/// Figure 4a against the port count.
+#[must_use]
+pub fn l1_pressure(p: &ModelParams, llc_miss: f64, n: f64) -> f64 {
+    let hash_rate = p.hash_mem_ops / hash_cycles_at(p, llc_miss);
+    let walk_rate = p.walk_mem_ops / walk_cycles(p, llc_miss);
+    (hash_rate + walk_rate) * n
+}
+
+/// **Equation 3**: outstanding L1 misses for `n` walkers —
+/// `max(MLP_H + MLP_W) * N` — compared by Figure 4b against the MSHR
+/// count.
+#[must_use]
+pub fn mshr_demand(p: &ModelParams, n: f64) -> f64 {
+    (p.hash_mlp + p.walk_mlp) * n
+}
+
+/// **Equation 4**: off-chip block demands per operation —
+/// `L1MR * LLCMR * MemOps`.
+#[must_use]
+pub fn off_chip_demand(l1_miss: f64, llc_miss: f64, mem_ops: f64) -> f64 {
+    l1_miss * llc_miss * mem_ops
+}
+
+/// **Equation 5**: walkers one memory controller can serve at LLC miss
+/// ratio `llc_miss` — `BW_MC / (OffChipDemands/Cycles)_{H,W}` (Figure 4c).
+#[must_use]
+pub fn walkers_per_mc(p: &ModelParams, llc_miss: f64) -> f64 {
+    let hash_demand_rate =
+        off_chip_demand(p.hash_l1_miss, p.hash_llc_miss, p.hash_mem_ops) / hash_cycles(p);
+    let walk_demand_rate =
+        off_chip_demand(p.walk_l1_miss, llc_miss, p.walk_mem_ops) / walk_cycles(p, llc_miss);
+    p.mc_blocks_per_cycle / (hash_demand_rate + walk_demand_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ModelParams {
+        ModelParams::default()
+    }
+
+    #[test]
+    fn amat_composition() {
+        let p = p();
+        // No misses: just L1.
+        assert!((amat(&p, 0.0, 0.0) - p.l1_latency).abs() < 1e-12);
+        // Always to memory.
+        let worst = amat(&p, 1.0, 1.0);
+        assert!((worst - (2.0 + 14.0 + 105.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equation_1_linear() {
+        assert!((cycles_per_op(10.0, 2.0, 5.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walk_cycles_grow_with_miss_ratio() {
+        let p = p();
+        assert!(walk_cycles(&p, 0.9) > walk_cycles(&p, 0.1));
+        // At zero LLC misses a walk is an LLC hit: 2 + 14 + comp.
+        assert!((walk_cycles(&p, 0.0) - (16.0 + p.walk_comp_cycles)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_pressure_scales_with_walkers() {
+        let p = p();
+        let one = l1_pressure(&p, 0.5, 1.0);
+        let four = l1_pressure(&p, 0.5, 4.0);
+        assert!((four - 4.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_pressure_falls_with_miss_ratio() {
+        // Slower walks issue fewer accesses per cycle (Figure 4a's
+        // downward-sloping curves).
+        let p = p();
+        assert!(l1_pressure(&p, 0.0, 8.0) > l1_pressure(&p, 1.0, 8.0));
+    }
+
+    #[test]
+    fn paper_anchor_single_port_limit() {
+        // Paper: "when the LLC miss ratio is low, a single-ported L1-D
+        // becomes the bottleneck for more than six walkers. However, a
+        // two-ported L1-D can comfortably support 10 walkers."
+        let p = p();
+        let walkers_at_one_port = (1..=16)
+            .take_while(|n| l1_pressure(&p, 0.0, f64::from(*n)) <= 1.0)
+            .count();
+        assert!(
+            (5..=7).contains(&walkers_at_one_port),
+            "single-ported limit {walkers_at_one_port} should be ~6"
+        );
+        assert!(
+            l1_pressure(&p, 0.0, 10.0) <= 2.0,
+            "two ports must sustain 10 walkers; pressure {}",
+            l1_pressure(&p, 0.0, 10.0)
+        );
+    }
+
+    #[test]
+    fn paper_anchor_mshr_limit() {
+        // Paper: "assuming 8 to 10 MSHRs ... the number of concurrent
+        // walkers is limited to four or five."
+        let p = p();
+        assert!(mshr_demand(&p, 4.0) <= 8.0);
+        assert!(mshr_demand(&p, 5.0) <= 10.0);
+        assert!(mshr_demand(&p, 6.0) > 10.0);
+    }
+
+    #[test]
+    fn paper_anchor_walkers_per_mc() {
+        // Paper: "when LLC misses are rare, one memory controller can
+        // serve almost eight walkers, whereas at high LLC miss ratios,
+        // the number of walkers per MC drops to four."
+        let p = p();
+        let low = walkers_per_mc(&p, 0.1);
+        let high = walkers_per_mc(&p, 1.0);
+        assert!((6.0..=10.0).contains(&low), "low-miss walkers/MC {low}");
+        assert!((3.0..=5.5).contains(&high), "high-miss walkers/MC {high}");
+        assert!(low > high);
+    }
+}

@@ -1,0 +1,30 @@
+//! # widx-model — the first-order analytical model of Section 3.2
+//!
+//! The paper derives practical limits on walker parallelism before
+//! designing Widx: L1-D bandwidth (Equations 1–2, Figure 4a), L1 MSHRs
+//! (Equation 3, Figure 4b), off-chip bandwidth (Equations 4–5,
+//! Figure 4c), and the ability of one shared dispatcher to feed N
+//! walkers (Equation 6, Figure 5). This crate implements those
+//! equations verbatim over an explicit [`ModelParams`] so every figure's
+//! series can be regenerated and the design conclusions re-checked:
+//!
+//! * a two-ported L1 sustains ~10 walkers, a single-ported one ~6 at
+//!   low LLC miss ratios;
+//! * 8–10 MSHRs cap the useful walker count at 4–5;
+//! * one memory controller serves ~8 walkers at low LLC miss ratios,
+//!   dropping to ~4 at high miss ratios;
+//! * one dispatcher feeds up to 4 walkers except for very shallow
+//!   buckets over cache-resident tables.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bottleneck;
+pub mod equations;
+pub mod params;
+pub mod utilization;
+
+pub use bottleneck::{l1_bandwidth_series, mshr_series, walkers_per_mc_series};
+pub use equations::{amat, cycles_per_op, l1_pressure, mshr_demand, off_chip_demand, walkers_per_mc};
+pub use params::ModelParams;
+pub use utilization::{walker_utilization, walker_utilization_series};

@@ -1,0 +1,91 @@
+//! Model parameters.
+
+/// Inputs to the Section 3.2 analytical model.
+///
+/// The paper's assumptions (all stated in Section 3.2): 64-bit keys with
+/// eight keys per cache block; the first access to a key block always
+/// misses to main memory; node accesses always miss in the L1-D; the
+/// LLC miss ratio is the free parameter swept on the figures' x-axes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelParams {
+    /// L1 load-to-use latency (cycles).
+    pub l1_latency: f64,
+    /// Additional latency of an LLC hit beyond the L1 (cycles).
+    pub llc_latency: f64,
+    /// Additional latency of a DRAM access beyond the LLC (cycles).
+    pub mem_latency: f64,
+    /// Memory operations per hashing step (one key fetch).
+    pub hash_mem_ops: f64,
+    /// ALU cycles per hashing step.
+    pub hash_comp_cycles: f64,
+    /// L1 miss ratio of key fetches (1/8: eight 64-bit keys per block,
+    /// first access misses).
+    pub hash_l1_miss: f64,
+    /// LLC miss ratio of key fetches (1.0: streaming keys never re-visit
+    /// a block).
+    pub hash_llc_miss: f64,
+    /// Memory operations per node-walk step (one node access).
+    pub walk_mem_ops: f64,
+    /// ALU cycles per node-walk step (compare + next-pointer chase).
+    pub walk_comp_cycles: f64,
+    /// L1 miss ratio of node accesses (1.0: tables far exceed the L1).
+    pub walk_l1_miss: f64,
+    /// Outstanding-miss capability of one hashing unit.
+    pub hash_mlp: f64,
+    /// Outstanding-miss capability of one walker.
+    pub walk_mlp: f64,
+    /// L1 data ports.
+    pub l1_ports: f64,
+    /// L1 MSHR count.
+    pub mshrs: f64,
+    /// Effective memory-controller bandwidth in 64-byte blocks per cycle
+    /// (9 GB/s at 2 GHz = 4.5 B/cycle = 0.0703 blocks/cycle).
+    pub mc_blocks_per_cycle: f64,
+}
+
+impl Default for ModelParams {
+    /// Parameters matching Table 2 and the Section 3.2 assumptions.
+    fn default() -> ModelParams {
+        ModelParams {
+            l1_latency: 2.0,
+            llc_latency: 14.0, // crossbar + LLC array + crossbar
+            mem_latency: 105.0, // MC queue + DRAM + return
+            hash_mem_ops: 1.0,
+            hash_comp_cycles: 4.0,
+            hash_l1_miss: 1.0 / 8.0,
+            hash_llc_miss: 1.0,
+            walk_mem_ops: 1.0,
+            walk_comp_cycles: 2.0,
+            walk_l1_miss: 1.0,
+            hash_mlp: 1.0,
+            walk_mlp: 1.0,
+            l1_ports: 2.0,
+            mshrs: 10.0,
+            mc_blocks_per_cycle: 9.0e9 / (64.0 * 2.0e9),
+        }
+    }
+}
+
+impl ModelParams {
+    /// The paper's effective-bandwidth assumption: 9 GB/s per controller
+    /// (70 % of 12.8 GB/s peak), in blocks per 2 GHz cycle.
+    #[must_use]
+    pub fn paper_mc_blocks_per_cycle() -> f64 {
+        9.0e9 / (64.0 * 2.0e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_assumptions() {
+        let p = ModelParams::default();
+        assert!((p.hash_l1_miss - 0.125).abs() < 1e-12, "8 keys per block");
+        assert!((p.walk_l1_miss - 1.0).abs() < 1e-12, "nodes always miss L1");
+        assert!((p.mc_blocks_per_cycle - 0.0703125).abs() < 1e-6);
+        assert_eq!(p.l1_ports, 2.0);
+        assert_eq!(p.mshrs, 10.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Equation 6 and Figure 5: how many walkers one dispatcher can feed.
+
+use crate::equations::{hash_cycles, walk_cycles};
+use crate::ModelParams;
+
+/// **Equation 6**:
+/// `WalkerUtilization = (Cycles_node * Nodes/bucket) / (Cycles_hash * N)`,
+/// clamped to 1 — the fraction of time a walker is busy when one
+/// dispatcher feeds `n` walkers over buckets of the given depth.
+#[must_use]
+pub fn walker_utilization(p: &ModelParams, llc_miss: f64, nodes_per_bucket: f64, n: f64) -> f64 {
+    let walk_total = walk_cycles(p, llc_miss) * nodes_per_bucket;
+    let hash_total = hash_cycles(p) * n;
+    (walk_total / hash_total).min(1.0)
+}
+
+/// One Figure 5 sub-plot: utilization vs. LLC miss ratio for a set of
+/// walker counts, at a fixed bucket depth.
+#[must_use]
+pub fn walker_utilization_series(
+    p: &ModelParams,
+    nodes_per_bucket: f64,
+    walker_counts: &[u32],
+    steps: usize,
+) -> Vec<(u32, Vec<(f64, f64)>)> {
+    walker_counts
+        .iter()
+        .map(|n| {
+            let series = (0..=steps)
+                .map(|i| {
+                    let m = i as f64 / steps as f64;
+                    (m, walker_utilization(p, m, nodes_per_bucket, f64::from(*n)))
+                })
+                .collect();
+            (*n, series)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ModelParams {
+        ModelParams::default()
+    }
+
+    #[test]
+    fn utilization_clamped_to_one() {
+        // Deep buckets at high miss ratios: walkers are always busy.
+        assert_eq!(walker_utilization(&p(), 1.0, 3.0, 2.0), 1.0);
+    }
+
+    #[test]
+    fn more_walkers_lower_utilization() {
+        let p = p();
+        let u2 = walker_utilization(&p, 0.2, 1.0, 2.0);
+        let u8 = walker_utilization(&p, 0.2, 1.0, 8.0);
+        assert!(u8 < u2);
+    }
+
+    #[test]
+    fn deeper_buckets_raise_utilization() {
+        let p = p();
+        let shallow = walker_utilization(&p, 0.3, 1.0, 4.0);
+        let deep = walker_utilization(&p, 0.3, 3.0, 4.0);
+        assert!(deep >= shallow);
+    }
+
+    #[test]
+    fn paper_anchor_dispatcher_feeds_four() {
+        // Paper: "one dispatcher is able to feed up to four walkers,
+        // except for very shallow buckets (1 node/bucket) with low LLC
+        // miss ratios."
+        let p = p();
+        // 2 nodes/bucket, moderate-to-high miss ratio: 4 walkers fully fed.
+        assert!(walker_utilization(&p, 0.5, 2.0, 4.0) > 0.95);
+        // 1 node/bucket, low miss ratio: 4 walkers starve.
+        assert!(walker_utilization(&p, 0.0, 1.0, 4.0) < 0.5);
+        // 8 walkers starve even at full miss ratio with shallow buckets.
+        assert!(walker_utilization(&p, 1.0, 1.0, 8.0) < 1.0);
+    }
+
+    #[test]
+    fn series_shape_matches_figure_5() {
+        let p = p();
+        let series = walker_utilization_series(&p, 1.0, &[2, 4, 8], 10);
+        assert_eq!(series.len(), 3);
+        for (_, points) in &series {
+            // Utilization rises (or saturates) with the miss ratio.
+            for w in points.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! System configuration — the evaluation parameters of Table 2.
+
+/// Geometry and timing of one cache level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Block (line) size in bytes.
+    pub block_bytes: usize,
+    /// Number of access ports (simultaneous accesses per cycle).
+    pub ports: usize,
+    /// Miss-status holding registers (outstanding misses); `0` = untracked.
+    pub mshrs: usize,
+    /// Load-to-use latency for a hit, in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        let blocks = self.size_bytes / self.block_bytes;
+        assert!(
+            blocks % self.assoc == 0 && self.size_bytes % self.block_bytes == 0,
+            "cache geometry must divide evenly"
+        );
+        blocks / self.assoc
+    }
+}
+
+/// TLB geometry and page-walk timing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of TLB entries (fully associative, LRU).
+    pub entries: usize,
+    /// Maximum concurrent page walks (Table 2: 2 in-flight translations).
+    pub in_flight: usize,
+    /// Latency of one page walk in cycles (walks mostly hit in the cache
+    /// hierarchy; modelled as a constant).
+    pub walk_latency: u64,
+    /// Translation page size in bytes. Large (256 KB default): DBMS
+    /// heaps sit on large pages, which is what makes the paper's
+    /// worst-case 3% TLB miss ratio on a 1 GB index possible.
+    pub page_bytes: u64,
+}
+
+/// Memory-controller and DRAM timing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemoryConfig {
+    /// Number of memory controllers (block-interleaved).
+    pub controllers: usize,
+    /// Peak bandwidth per controller in bytes per core cycle
+    /// (12.8 GB/s at 2 GHz = 6.4 B/cycle).
+    pub peak_bytes_per_cycle: f64,
+    /// Achievable fraction of peak bandwidth (the paper uses 70 %,
+    /// i.e. ~9 GB/s effective, citing DDR3 studies).
+    pub efficiency: f64,
+    /// DRAM access latency in cycles (45 ns at 2 GHz = 90 cycles).
+    pub access_latency: u64,
+}
+
+impl MemoryConfig {
+    /// Cycles a controller is occupied transferring one cache block.
+    #[must_use]
+    pub fn cycles_per_block(&self, block_bytes: usize) -> u64 {
+        let effective = self.peak_bytes_per_cycle * self.efficiency;
+        (block_bytes as f64 / effective).ceil() as u64
+    }
+}
+
+/// Out-of-order core parameters (Xeon-like baseline of Table 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OooConfig {
+    /// Dispatch/retire width (instructions per cycle).
+    pub width: usize,
+    /// Reorder-buffer capacity.
+    pub rob: usize,
+    /// Front-end refill cycles after a mispredicted branch resolves.
+    pub mispredict_penalty: u64,
+}
+
+/// In-order core parameters (Cortex-A8-like comparison point).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InOrderConfig {
+    /// Issue width.
+    pub width: usize,
+    /// Maximum outstanding data-cache misses before issue stalls
+    /// (a simple in-order pipeline supports limited hit-under-miss).
+    pub max_outstanding_misses: usize,
+    /// Refetch cycles after a mispredicted branch (shallow pipeline).
+    pub mispredict_penalty: u64,
+}
+
+/// The full simulated system — defaults reproduce Table 2 of the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// Core and accelerator clock in GHz (for ns ↔ cycle conversions).
+    pub freq_ghz: f64,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Last-level cache.
+    pub llc: CacheConfig,
+    /// One-way interconnect (crossbar) latency between L1 and LLC.
+    pub xbar_latency: u64,
+    /// TLB shared by the core and Widx.
+    pub tlb: TlbConfig,
+    /// Main memory.
+    pub memory: MemoryConfig,
+    /// OoO baseline core.
+    pub ooo: OooConfig,
+    /// In-order comparison core.
+    pub inorder: InOrderConfig,
+}
+
+impl Default for SystemConfig {
+    /// Table 2: 40 nm, 2 GHz; 32 KB split L1 with 2 ports, 64 B blocks,
+    /// 10 MSHRs, 2-cycle load-to-use; 4 MB LLC with 6-cycle hit latency;
+    /// 4-cycle crossbar; 2 MCs at 12.8 GB/s and 45 ns access latency;
+    /// OoO 4-wide with 128-entry ROB; in-order 2-wide; TLB with
+    /// 2 in-flight translations.
+    fn default() -> SystemConfig {
+        SystemConfig {
+            freq_ghz: 2.0,
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 8,
+                block_bytes: 64,
+                ports: 2,
+                mshrs: 10,
+                hit_latency: 2,
+            },
+            llc: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                assoc: 16,
+                block_bytes: 64,
+                ports: 4,
+                mshrs: 32,
+                hit_latency: 6,
+            },
+            xbar_latency: 4,
+            tlb: TlbConfig {
+                entries: 192,
+                in_flight: 2,
+                walk_latency: 40,
+                page_bytes: 256 * 1024,
+            },
+            memory: MemoryConfig {
+                controllers: 2,
+                peak_bytes_per_cycle: 6.4,
+                efficiency: 0.7,
+                access_latency: 90,
+            },
+            ooo: OooConfig { width: 4, rob: 128, mispredict_penalty: 15 },
+            inorder: InOrderConfig { width: 2, max_outstanding_misses: 1, mispredict_penalty: 13 },
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Converts nanoseconds to cycles at the configured frequency.
+    #[must_use]
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns * self.freq_ghz).round() as u64
+    }
+
+    /// Total round-trip latency of an LLC hit as seen by an L1 miss
+    /// (crossbar there + LLC array + crossbar back).
+    #[must_use]
+    pub fn llc_round_trip(&self) -> u64 {
+        self.xbar_latency + self.llc.hit_latency + self.xbar_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let c = SystemConfig::default();
+        assert_eq!(c.l1d.size_bytes, 32 * 1024);
+        assert_eq!(c.l1d.ports, 2);
+        assert_eq!(c.l1d.mshrs, 10);
+        assert_eq!(c.l1d.hit_latency, 2);
+        assert_eq!(c.llc.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.llc.hit_latency, 6);
+        assert_eq!(c.xbar_latency, 4);
+        assert_eq!(c.memory.controllers, 2);
+        assert_eq!(c.memory.access_latency, 90);
+        assert_eq!(c.ooo.width, 4);
+        assert_eq!(c.ooo.rob, 128);
+        assert_eq!(c.inorder.width, 2);
+        assert_eq!(c.tlb.in_flight, 2);
+    }
+
+    #[test]
+    fn geometry() {
+        let c = SystemConfig::default();
+        assert_eq!(c.l1d.sets(), 64);
+        assert_eq!(c.llc.sets(), 4096);
+    }
+
+    #[test]
+    fn ns_conversion() {
+        let c = SystemConfig::default();
+        assert_eq!(c.ns_to_cycles(45.0), 90);
+    }
+
+    #[test]
+    fn bandwidth_cycles_per_block() {
+        let c = SystemConfig::default();
+        // 64 B at 6.4 B/cycle * 0.7 efficiency = 14.28 -> 15 cycles.
+        assert_eq!(c.memory.cycles_per_block(64), 15);
+        let full = MemoryConfig { efficiency: 1.0, ..c.memory };
+        assert_eq!(full.cycles_per_block(64), 10);
+    }
+
+    #[test]
+    fn llc_round_trip_latency() {
+        assert_eq!(SystemConfig::default().llc_round_trip(), 14);
+    }
+}

@@ -1,0 +1,35 @@
+//! Trace-driven core models: the aggressive out-of-order baseline
+//! (Xeon-like) and the in-order comparison point (Cortex-A8-like) of
+//! Table 2.
+
+mod inorder;
+mod ooo;
+
+pub use inorder::run_inorder;
+pub use ooo::run_ooo;
+
+use crate::Cycle;
+
+/// Result of replaying a trace on a core model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreRunResult {
+    /// Total cycles from first dispatch to last retire.
+    pub cycles: Cycle,
+    /// µops retired.
+    pub retired: u64,
+    /// Tuples (probe keys) covered by the trace.
+    pub tuples: u64,
+}
+
+impl CoreRunResult {
+    /// Mean cycles per tuple (`NaN`-free: 0 when the trace has no
+    /// tuples).
+    #[must_use]
+    pub fn cycles_per_tuple(&self) -> f64 {
+        if self.tuples == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.tuples as f64
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # widx-sim — cycle-level simulation substrate
+//!
+//! The evaluation in *Meet the Walkers* (MICRO 2013) runs on Flexus, a
+//! full-system cycle-accurate simulator. This crate is the from-scratch
+//! replacement substrate used by the reproduction: a cycle-level model of
+//! the memory system and cores of Table 2, exposing both *functional*
+//! state (real bytes in a paged backing store) and *timing* (per-access
+//! ready cycles shaped by cache hits, MSHR occupancy, port conflicts,
+//! finite memory bandwidth, and TLB walks).
+//!
+//! Components:
+//!
+//! * [`mem`] — virtual addresses, paged functional memory, a region
+//!   allocator, set-associative L1-D and LLC models with LRU replacement,
+//!   MSHRs with same-block coalescing, load ports, bandwidth-limited
+//!   memory controllers, and the composed [`mem::MemorySystem`].
+//! * [`tlb`] — a TLB with a bounded number of in-flight page walks
+//!   (Table 2: "2 in-flight translations").
+//! * [`trace`] — dependence-annotated µop traces used to drive the core
+//!   models.
+//! * [`core`] — trace-driven out-of-order (Xeon-like: 4-wide, 128-entry
+//!   ROB) and in-order (Cortex-A8-like: 2-wide) core models.
+//! * [`config`] — [`config::SystemConfig`], the Table 2 parameter set.
+//! * [`stats`] — counters and the Comp/Mem/TLB/Idle cycle breakdown used
+//!   by the paper's Figures 8a/9a/9b.
+//! * [`sampling`] — mean / confidence-interval helpers in the spirit of
+//!   the paper's SMARTS/SimFlex sampling methodology.
+//!
+//! Timing model style: *resource calendars*. Every contended resource
+//! (cache port, MSHR slot, memory-controller channel, page-walker) tracks
+//! the cycle at which it next becomes free; an access walks the path
+//! L1 → crossbar → LLC → memory controller accumulating latency and
+//! queuing delays, and returns the absolute cycle at which its data is
+//! ready. Tag arrays are real (set-associative, LRU) over the workload's
+//! actual virtual addresses, so locality emerges from the data layout
+//! rather than from assumed miss ratios.
+//!
+//! # Example
+//!
+//! ```
+//! use widx_sim::config::SystemConfig;
+//! use widx_sim::mem::{MemorySystem, VAddr};
+//!
+//! let mut mem = MemorySystem::new(SystemConfig::default());
+//! let addr = VAddr::new(0x1000);
+//! mem.write_u64(addr, 42);
+//!
+//! // First access: compulsory miss all the way to DRAM.
+//! let (value, first) = mem.load(addr, 8, 0);
+//! assert_eq!(value, 42);
+//!
+//! // Second access right after: an L1 hit, far cheaper.
+//! let (_, second) = mem.load(addr, 8, first.ready);
+//! assert!(second.ready - first.ready < first.ready);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod core;
+pub mod mem;
+pub mod sampling;
+pub mod stats;
+pub mod tlb;
+pub mod trace;
+
+/// A point in simulated time, measured in core clock cycles at the 2 GHz
+/// design point of Table 2.
+pub type Cycle = u64;

@@ -1,0 +1,178 @@
+//! Virtual addresses and their block/page decompositions.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Cache-block size in bytes (Table 2: 64 B blocks at every level).
+pub const BLOCK_BYTES: u64 = 64;
+/// Page size in bytes.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A virtual address in the simulated application's address space.
+///
+/// Widx operates entirely "within the active application's virtual
+/// address space" (paper Section 4.1), sharing the host core's MMU, so
+/// the simulation is virtually addressed throughout; translation is
+/// modelled only for its timing (TLB hits/misses and page walks).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(u64);
+
+impl VAddr {
+    /// The null address, used as the NULL pointer in simulated data
+    /// structures.
+    pub const NULL: VAddr = VAddr(0);
+
+    /// Wraps a raw 64-bit virtual address.
+    #[must_use]
+    pub fn new(addr: u64) -> VAddr {
+        VAddr(addr)
+    }
+
+    /// The raw address value.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the null address.
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The cache block containing this address.
+    #[must_use]
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 / BLOCK_BYTES)
+    }
+
+    /// The page containing this address.
+    #[must_use]
+    pub fn page(self) -> PageAddr {
+        PageAddr(self.0 / PAGE_BYTES)
+    }
+
+    /// Byte offset within the containing page.
+    #[must_use]
+    pub fn page_offset(self) -> usize {
+        (self.0 % PAGE_BYTES) as usize
+    }
+
+    /// The address `bytes` higher.
+    #[must_use]
+    pub fn offset(self, bytes: i64) -> VAddr {
+        VAddr(self.0.wrapping_add_signed(bytes))
+    }
+
+    /// Rounds the address up to the next multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    #[must_use]
+    pub fn align_up(self, align: u64) -> VAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        VAddr((self.0 + align - 1) & !(align - 1))
+    }
+}
+
+impl Add<u64> for VAddr {
+    type Output = VAddr;
+    fn add(self, rhs: u64) -> VAddr {
+        VAddr(self.0 + rhs)
+    }
+}
+
+impl Sub<VAddr> for VAddr {
+    type Output = u64;
+    fn sub(self, rhs: VAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-block number (address divided by [`BLOCK_BYTES`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// First byte address of the block.
+    #[must_use]
+    pub fn base(self) -> VAddr {
+        VAddr(self.0 * BLOCK_BYTES)
+    }
+}
+
+/// A page number (address divided by [`PAGE_BYTES`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageAddr(pub u64);
+
+impl PageAddr {
+    /// First byte address of the page.
+    #[must_use]
+    pub fn base(self) -> VAddr {
+        VAddr(self.0 * PAGE_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_and_page_decomposition() {
+        let a = VAddr::new(4096 + 65);
+        assert_eq!(a.block(), BlockAddr((4096 + 65) / 64));
+        assert_eq!(a.page(), PageAddr(1));
+        assert_eq!(a.page_offset(), 65);
+        assert_eq!(a.block().base(), VAddr::new(4096 + 64));
+        assert_eq!(a.page().base(), VAddr::new(4096));
+    }
+
+    #[test]
+    fn same_block_detection() {
+        let a = VAddr::new(100);
+        let b = VAddr::new(127);
+        let c = VAddr::new(128);
+        assert_eq!(a.block(), b.block());
+        assert_ne!(a.block(), c.block());
+    }
+
+    #[test]
+    fn align_up() {
+        assert_eq!(VAddr::new(65).align_up(64), VAddr::new(128));
+        assert_eq!(VAddr::new(64).align_up(64), VAddr::new(64));
+        assert_eq!(VAddr::new(0).align_up(4096), VAddr::new(0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = VAddr::new(1000);
+        assert_eq!(a + 24, VAddr::new(1024));
+        assert_eq!(a.offset(-8), VAddr::new(992));
+        assert_eq!((a + 24) - a, 24);
+    }
+
+    #[test]
+    fn null() {
+        assert!(VAddr::NULL.is_null());
+        assert!(!VAddr::new(1).is_null());
+    }
+}

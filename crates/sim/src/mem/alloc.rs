@@ -1,0 +1,162 @@
+//! A bump allocator carving named regions out of the simulated virtual
+//! address space — the moral equivalent of the DBMS's heap layout for
+//! input tables, hash tables, and result buffers.
+
+use std::fmt;
+
+use super::addr::VAddr;
+
+/// A named, contiguous virtual-address region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    name: String,
+    base: VAddr,
+    len: u64,
+}
+
+impl Region {
+    /// The region's base address.
+    #[must_use]
+    pub fn base(&self) -> VAddr {
+        self.base
+    }
+
+    /// The region's length in bytes.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the region is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One past the last byte.
+    #[must_use]
+    pub fn end(&self) -> VAddr {
+        self.base + self.len
+    }
+
+    /// The region's name (for diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether `addr` falls inside the region.
+    #[must_use]
+    pub fn contains(&self, addr: VAddr) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{:#x}..{:#x})", self.name, self.base.get(), self.end().get())
+    }
+}
+
+/// Bump allocator over the simulated virtual address space.
+///
+/// Address zero is never handed out so that `0` can serve as the NULL
+/// pointer inside simulated data structures.
+#[derive(Clone, Debug)]
+pub struct RegionAllocator {
+    cursor: VAddr,
+    regions: Vec<Region>,
+}
+
+impl Default for RegionAllocator {
+    fn default() -> RegionAllocator {
+        RegionAllocator::new()
+    }
+}
+
+impl RegionAllocator {
+    /// Default base of the first allocation (one page in, keeping page 0
+    /// unmapped like a conventional process layout).
+    const BASE: u64 = 0x1_0000;
+
+    /// Creates an allocator starting at the default base.
+    #[must_use]
+    pub fn new() -> RegionAllocator {
+        RegionAllocator { cursor: VAddr::new(Self::BASE), regions: Vec::new() }
+    }
+
+    /// Allocates `len` bytes aligned to `align`, tagged with `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, name: &str, len: u64, align: u64) -> Region {
+        let base = self.cursor.align_up(align);
+        self.cursor = base + len;
+        let region = Region { name: name.to_string(), base, len };
+        self.regions.push(region.clone());
+        region
+    }
+
+    /// Allocates a region aligned to the cache-block size.
+    pub fn alloc_blocks(&mut self, name: &str, len: u64) -> Region {
+        self.alloc(name, len, super::BLOCK_BYTES)
+    }
+
+    /// Allocates a region aligned to the page size.
+    pub fn alloc_pages(&mut self, name: &str, len: u64) -> Region {
+        self.alloc(name, len, super::PAGE_BYTES)
+    }
+
+    /// All regions allocated so far, in allocation order.
+    #[must_use]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Total bytes spanned (including alignment padding).
+    #[must_use]
+    pub fn footprint(&self) -> u64 {
+        self.cursor.get() - Self::BASE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut a = RegionAllocator::new();
+        let r1 = a.alloc("one", 100, 8);
+        let r2 = a.alloc("two", 100, 8);
+        assert!(r1.end() <= r2.base());
+        assert!(!r1.contains(r2.base()));
+        assert!(r1.contains(r1.base()));
+        assert!(!r1.contains(r1.end()));
+    }
+
+    #[test]
+    fn alignment_respected() {
+        let mut a = RegionAllocator::new();
+        a.alloc("pad", 3, 1);
+        let r = a.alloc("aligned", 10, 4096);
+        assert_eq!(r.base().get() % 4096, 0);
+    }
+
+    #[test]
+    fn never_hands_out_null() {
+        let mut a = RegionAllocator::new();
+        let r = a.alloc("x", 8, 8);
+        assert!(!r.base().is_null());
+    }
+
+    #[test]
+    fn footprint_accumulates() {
+        let mut a = RegionAllocator::new();
+        a.alloc_blocks("b", 64);
+        a.alloc_pages("p", 4096);
+        assert!(a.footprint() >= 64 + 4096);
+        assert_eq!(a.regions().len(), 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Functional memory: a sparse, paged byte store.
+//!
+//! The timing models in this crate decide *when* data arrives; the
+//! backing store decides *what* the data is. Keeping real bytes ensures
+//! the simulated Widx accelerator computes real join results that can be
+//! checked against a software oracle.
+
+use std::collections::HashMap;
+
+use super::addr::{PageAddr, VAddr, PAGE_BYTES};
+
+/// A sparse byte-addressable memory, allocated page-by-page on first
+/// touch.
+#[derive(Clone, Debug, Default)]
+pub struct BackingMem {
+    pages: HashMap<PageAddr, Box<[u8]>>,
+}
+
+impl BackingMem {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> BackingMem {
+        BackingMem::default()
+    }
+
+    /// Number of distinct pages touched so far.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, page: PageAddr) -> &mut [u8] {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| vec![0u8; PAGE_BYTES as usize].into_boxed_slice())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`. Unwritten memory reads
+    /// as zero.
+    pub fn read_bytes(&self, addr: VAddr, buf: &mut [u8]) {
+        let mut cursor = addr;
+        let mut filled = 0;
+        while filled < buf.len() {
+            let off = cursor.page_offset();
+            let chunk = (PAGE_BYTES as usize - off).min(buf.len() - filled);
+            match self.pages.get(&cursor.page()) {
+                Some(page) => buf[filled..filled + chunk].copy_from_slice(&page[off..off + chunk]),
+                None => buf[filled..filled + chunk].fill(0),
+            }
+            filled += chunk;
+            cursor = cursor.offset(chunk as i64);
+        }
+    }
+
+    /// Writes `bytes` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: VAddr, bytes: &[u8]) {
+        let mut cursor = addr;
+        let mut written = 0;
+        while written < bytes.len() {
+            let off = cursor.page_offset();
+            let chunk = (PAGE_BYTES as usize - off).min(bytes.len() - written);
+            let page = self.page_mut(cursor.page());
+            page[off..off + chunk].copy_from_slice(&bytes[written..written + chunk]);
+            written += chunk;
+            cursor = cursor.offset(chunk as i64);
+        }
+    }
+
+    /// Reads an unsigned little-endian value of `width` bytes (1, 2, 4,
+    /// or 8), zero-extended to 64 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4, or 8.
+    #[must_use]
+    pub fn read_uint(&self, addr: VAddr, width: usize) -> u64 {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported access width {width}");
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf[..width]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes the low `width` bytes of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4, or 8.
+    pub fn write_uint(&mut self, addr: VAddr, width: usize, value: u64) {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported access width {width}");
+        self.write_bytes(addr, &value.to_le_bytes()[..width]);
+    }
+
+    /// Convenience 64-bit read.
+    #[must_use]
+    pub fn read_u64(&self, addr: VAddr) -> u64 {
+        self.read_uint(addr, 8)
+    }
+
+    /// Convenience 64-bit write.
+    pub fn write_u64(&mut self, addr: VAddr, value: u64) {
+        self.write_uint(addr, 8, value);
+    }
+
+    /// Convenience 32-bit read.
+    #[must_use]
+    pub fn read_u32(&self, addr: VAddr) -> u32 {
+        self.read_uint(addr, 4) as u32
+    }
+
+    /// Convenience 32-bit write.
+    pub fn write_u32(&mut self, addr: VAddr, value: u32) {
+        self.write_uint(addr, 4, u64::from(value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_write() {
+        let mem = BackingMem::new();
+        assert_eq!(mem.read_u64(VAddr::new(0x5000)), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut mem = BackingMem::new();
+        mem.write_u64(VAddr::new(0x1000), 0xdead_beef_cafe_f00d);
+        assert_eq!(mem.read_u64(VAddr::new(0x1000)), 0xdead_beef_cafe_f00d);
+        assert_eq!(mem.read_u32(VAddr::new(0x1000)), 0xcafe_f00d);
+        assert_eq!(mem.read_uint(VAddr::new(0x1000), 1), 0x0d);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = BackingMem::new();
+        let addr = VAddr::new(PAGE_BYTES - 3);
+        mem.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(mem.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn partial_width_write_preserves_neighbors() {
+        let mut mem = BackingMem::new();
+        mem.write_u64(VAddr::new(64), u64::MAX);
+        mem.write_uint(VAddr::new(64), 2, 0);
+        assert_eq!(mem.read_u64(VAddr::new(64)), 0xffff_ffff_ffff_0000);
+    }
+
+    #[test]
+    fn bulk_bytes_round_trip() {
+        let mut mem = BackingMem::new();
+        let data: Vec<u8> = (0..=255).collect();
+        mem.write_bytes(VAddr::new(10_000), &data);
+        let mut back = vec![0u8; 256];
+        mem.read_bytes(VAddr::new(10_000), &mut back);
+        assert_eq!(back, data);
+    }
+}

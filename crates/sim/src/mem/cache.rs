@@ -1,0 +1,234 @@
+//! Set-associative cache tag array with LRU replacement.
+//!
+//! Only tags are modelled — data always comes from the functional
+//! [`BackingMem`](super::BackingMem) — but the tag state is exact, so hit
+//! and miss ratios emerge from the workload's real reference stream.
+
+use crate::config::CacheConfig;
+
+use super::addr::BlockAddr;
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    /// LRU timestamp: larger = more recently used.
+    stamp: u64,
+}
+
+/// A cache tag array.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a power of two.
+    #[must_use]
+    pub fn new(cfg: &CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: vec![vec![Way { tag: 0, valid: false, stamp: 0 }; cfg.assoc]; sets],
+            set_mask: sets as u64 - 1,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block.0 & self.set_mask) as usize
+    }
+
+    /// Probes for `block`, updating LRU state and hit/miss counters.
+    /// Returns whether the block was present.
+    pub fn access(&mut self, block: BlockAddr) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == block.0) {
+            way.stamp = clock;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Probes for `block` without disturbing LRU state or counters.
+    #[must_use]
+    pub fn peek(&self, block: BlockAddr) -> bool {
+        let set = &self.sets[self.set_index(block)];
+        set.iter().any(|w| w.valid && w.tag == block.0)
+    }
+
+    /// Inserts `block`, evicting the LRU way if the set is full. Returns
+    /// the evicted block, if any.
+    pub fn fill(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        self.clock += 1;
+        let clock = self.clock;
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == block.0) {
+            // Already present (e.g. racing fills of coalesced misses).
+            way.stamp = clock;
+            return None;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.stamp } else { 0 })
+            .expect("associativity >= 1");
+        let evicted = victim.valid.then_some(BlockAddr(victim.tag));
+        *victim = Way { tag: block.0, valid: true, stamp: clock };
+        evicted
+    }
+
+    /// Invalidates `block` if present; returns whether it was present.
+    pub fn invalidate(&mut self, block: BlockAddr) -> bool {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == block.0) {
+            way.valid = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Lifetime hit count.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio over the cache's lifetime (0 when never accessed).
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Resets the hit/miss counters, keeping the tag state.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways of 64 B blocks = 512 B.
+        Cache::new(&CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            block_bytes: 64,
+            ports: 1,
+            mshrs: 4,
+            hit_latency: 1,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        let b = BlockAddr(5);
+        assert!(!c.access(b));
+        c.fill(b);
+        assert!(c.access(b));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Blocks 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(BlockAddr(0));
+        c.fill(BlockAddr(4));
+        // Touch 0 so 4 becomes LRU.
+        assert!(c.access(BlockAddr(0)));
+        let evicted = c.fill(BlockAddr(8));
+        assert_eq!(evicted, Some(BlockAddr(4)));
+        assert!(c.peek(BlockAddr(0)));
+        assert!(c.peek(BlockAddr(8)));
+        assert!(!c.peek(BlockAddr(4)));
+    }
+
+    #[test]
+    fn fill_of_present_block_is_idempotent() {
+        let mut c = tiny();
+        c.fill(BlockAddr(3));
+        assert_eq!(c.fill(BlockAddr(3)), None);
+        assert!(c.peek(BlockAddr(3)));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        for b in 0..4 {
+            c.fill(BlockAddr(b));
+        }
+        for b in 0..4 {
+            assert!(c.peek(BlockAddr(b)), "block {b} should be resident");
+        }
+    }
+
+    #[test]
+    fn invalidate() {
+        let mut c = tiny();
+        c.fill(BlockAddr(7));
+        assert!(c.invalidate(BlockAddr(7)));
+        assert!(!c.peek(BlockAddr(7)));
+        assert!(!c.invalidate(BlockAddr(7)));
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut c = tiny();
+        c.fill(BlockAddr(1));
+        let (h, m) = (c.hits(), c.misses());
+        let _ = c.peek(BlockAddr(1));
+        let _ = c.peek(BlockAddr(2));
+        assert_eq!((c.hits(), c.misses()), (h, m));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny();
+        // 16 distinct blocks round-robin >> 8-block capacity.
+        for round in 0..4 {
+            for b in 0..16u64 {
+                if !c.access(BlockAddr(b)) {
+                    c.fill(BlockAddr(b));
+                }
+                let _ = round;
+            }
+        }
+        assert!(c.miss_ratio() > 0.9, "expected thrashing, got {}", c.miss_ratio());
+    }
+}

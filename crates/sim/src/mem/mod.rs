@@ -1,0 +1,21 @@
+//! The simulated memory system: functional backing store plus the timing
+//! models for caches, MSHRs, ports, and memory controllers, composed into
+//! [`MemorySystem`].
+
+mod addr;
+mod alloc;
+mod backing;
+mod cache;
+mod memctrl;
+mod mshr;
+mod ports;
+mod system;
+
+pub use addr::{BlockAddr, PageAddr, VAddr, BLOCK_BYTES, PAGE_BYTES};
+pub use alloc::{Region, RegionAllocator};
+pub use backing::BackingMem;
+pub use cache::Cache;
+pub use memctrl::MemoryControllers;
+pub use mshr::{MshrFile, MshrOutcome};
+pub use ports::PortCalendar;
+pub use system::{AccessResult, HitLevel, MemorySystem};

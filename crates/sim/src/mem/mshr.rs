@@ -1,0 +1,197 @@
+//! Miss-status holding registers with same-block coalescing.
+//!
+//! The paper's bottleneck analysis (Section 3.2) identifies L1-D MSHRs as
+//! the binding constraint on walker count: each outstanding miss holds an
+//! MSHR for its duration, misses to the same block share one, and "once
+//! these are exhausted, the cache stops accepting new memory requests".
+
+use crate::Cycle;
+
+use super::addr::BlockAddr;
+
+/// Result of attempting to allocate an MSHR at a point in time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// The block already has an in-flight miss completing at the given
+    /// cycle; the new request piggybacks on it.
+    Merged(Cycle),
+    /// A free MSHR was claimed; the caller must later call
+    /// [`MshrFile::complete`] to set the fill time.
+    Allocated,
+    /// All MSHRs are busy until (at least) the given cycle; the request
+    /// must retry then.
+    Full(Cycle),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    block: BlockAddr,
+    /// Cycle at which the miss data arrives and the entry frees.
+    done: Cycle,
+}
+
+/// An MSHR file of fixed capacity.
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: Vec<Entry>,
+    peak_occupancy: usize,
+    merges: u64,
+    stalls: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    #[must_use]
+    pub fn new(capacity: usize) -> MshrFile {
+        MshrFile {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            peak_occupancy: 0,
+            merges: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Drops entries whose miss completed at or before `now`.
+    fn expire(&mut self, now: Cycle) {
+        self.entries.retain(|e| e.done > now);
+    }
+
+    /// Outstanding misses at `now`.
+    #[must_use]
+    pub fn occupancy(&self, now: Cycle) -> usize {
+        self.entries.iter().filter(|e| e.done > now).count()
+    }
+
+    /// Attempts to start a miss for `block` at `now`.
+    ///
+    /// On [`MshrOutcome::Allocated`], the entry is provisionally held with
+    /// an unknown completion time; the caller must invoke
+    /// [`MshrFile::complete`] with the fill cycle once the downstream
+    /// latency is known.
+    pub fn request(&mut self, block: BlockAddr, now: Cycle) -> MshrOutcome {
+        self.expire(now);
+        if let Some(e) = self.entries.iter().find(|e| e.block == block) {
+            self.merges += 1;
+            return MshrOutcome::Merged(e.done);
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            let earliest = self.entries.iter().map(|e| e.done).min().expect("file is non-empty");
+            return MshrOutcome::Full(earliest);
+        }
+        self.entries.push(Entry { block, done: Cycle::MAX });
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        MshrOutcome::Allocated
+    }
+
+    /// Looks up an in-flight miss for `block` at `now`, counting a merge
+    /// when one is found. Entries whose completion time is still unknown
+    /// (allocated but not yet [`complete`](MshrFile::complete)d) are not
+    /// returned.
+    pub fn pending(&mut self, block: BlockAddr, now: Cycle) -> Option<Cycle> {
+        self.expire(now);
+        let found = self
+            .entries
+            .iter()
+            .find(|e| e.block == block && e.done != Cycle::MAX)
+            .map(|e| e.done);
+        if found.is_some() {
+            self.merges += 1;
+        }
+        found
+    }
+
+    /// Records the completion cycle of the in-flight miss for `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no allocation for `block` is pending.
+    pub fn complete(&mut self, block: BlockAddr, done: Cycle) {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.block == block && e.done == Cycle::MAX)
+            .expect("complete() must follow a matching Allocated request");
+        entry.done = done;
+    }
+
+    /// Highest simultaneous occupancy observed.
+    #[must_use]
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Number of requests that merged into an existing entry.
+    #[must_use]
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of requests rejected because the file was full.
+    #[must_use]
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// The file's capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.request(BlockAddr(1), 0), MshrOutcome::Allocated);
+        m.complete(BlockAddr(1), 100);
+        // Another access to the same block merges and learns the time.
+        assert_eq!(m.request(BlockAddr(1), 10), MshrOutcome::Merged(100));
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn full_reports_earliest_free() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.request(BlockAddr(1), 0), MshrOutcome::Allocated);
+        m.complete(BlockAddr(1), 50);
+        assert_eq!(m.request(BlockAddr(2), 0), MshrOutcome::Allocated);
+        m.complete(BlockAddr(2), 80);
+        assert_eq!(m.request(BlockAddr(3), 0), MshrOutcome::Full(50));
+        assert_eq!(m.stalls(), 1);
+    }
+
+    #[test]
+    fn entries_expire() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.request(BlockAddr(1), 0), MshrOutcome::Allocated);
+        m.complete(BlockAddr(1), 50);
+        // At cycle 50 the entry has freed; a new block allocates.
+        assert_eq!(m.request(BlockAddr(2), 50), MshrOutcome::Allocated);
+        m.complete(BlockAddr(2), 90);
+        assert_eq!(m.occupancy(60), 1);
+    }
+
+    #[test]
+    fn peak_occupancy_tracked() {
+        let mut m = MshrFile::new(4);
+        for b in 0..3 {
+            assert_eq!(m.request(BlockAddr(b), 0), MshrOutcome::Allocated);
+            m.complete(BlockAddr(b), 100);
+        }
+        assert_eq!(m.peak_occupancy(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "complete() must follow")]
+    fn complete_without_request_panics() {
+        let mut m = MshrFile::new(1);
+        m.complete(BlockAddr(9), 10);
+    }
+}

@@ -1,0 +1,134 @@
+//! Statistical sampling helpers.
+//!
+//! The paper measures with the SimFlex/SMARTS methodology: many short
+//! measurement windows, reported as a mean with a 95 % confidence
+//! interval ("performance measurements are computed at 95 % confidence
+//! with an average error of less than 5 %"). The harnesses here do the
+//! same over per-window cycle counts.
+
+/// Mean, deviation, and confidence interval of a set of sample values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected).
+    pub stddev: f64,
+    /// Half-width of the 95 % confidence interval.
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples`.
+    ///
+    /// Returns a zeroed summary for an empty slice; the deviation and
+    /// confidence interval are zero for fewer than two samples.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Summary {
+        let n = samples.len();
+        if n == 0 {
+            return Summary { n: 0, mean: 0.0, stddev: 0.0, ci95: 0.0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return Summary { n, mean, stddev: 0.0, ci95: 0.0 };
+        }
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let stddev = var.sqrt();
+        // Normal-approximation 95 % CI; the paper's sample counts are
+        // large enough for the z-interval.
+        let ci95 = 1.96 * stddev / (n as f64).sqrt();
+        Summary { n, mean, stddev, ci95 }
+    }
+
+    /// Relative CI half-width (`ci95 / mean`), 0 when the mean is 0.
+    #[must_use]
+    pub fn relative_error(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.ci95 / self.mean
+        }
+    }
+}
+
+/// Splits `total` items into at most `windows` contiguous sampling
+/// windows of near-equal size, returning `(start, len)` pairs. Used by
+/// harnesses to take periodic measurements over a long probe stream.
+#[must_use]
+pub fn windows(total: usize, windows: usize) -> Vec<(usize, usize)> {
+    if total == 0 || windows == 0 {
+        return Vec::new();
+    }
+    let count = windows.min(total);
+    let base = total / count;
+    let extra = total % count;
+    let mut out = Vec::with_capacity(count);
+    let mut start = 0;
+    for i in 0..count {
+        let len = base + usize::from(i < extra);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::from_samples(&[]);
+        assert_eq!(e.n, 0);
+        let s = Summary::from_samples(&[5.0]);
+        assert_eq!(s.n, 1);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample stddev with Bessel correction: sqrt(32/7).
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(s.ci95 > 0.0);
+    }
+
+    #[test]
+    fn identical_samples_zero_ci() {
+        let s = Summary::from_samples(&[3.0; 50]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.relative_error(), 0.0);
+    }
+
+    #[test]
+    fn windows_cover_everything_once() {
+        let w = windows(103, 10);
+        assert_eq!(w.len(), 10);
+        let mut covered = 0;
+        let mut expected_start = 0;
+        for (start, len) in w {
+            assert_eq!(start, expected_start);
+            expected_start += len;
+            covered += len;
+        }
+        assert_eq!(covered, 103);
+    }
+
+    #[test]
+    fn more_windows_than_items() {
+        let w = windows(3, 10);
+        assert_eq!(w.len(), 3);
+        assert!(w.iter().all(|(_, len)| *len == 1));
+    }
+
+    #[test]
+    fn degenerate_windows() {
+        assert!(windows(0, 5).is_empty());
+        assert!(windows(5, 0).is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Counters and cycle breakdowns.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Where in the hierarchy a load was satisfied.
+pub use crate::mem::HitLevel;
+
+/// Per-walker (or per-unit) critical-path cycle classification used by
+/// the paper's Figures 8a, 9a, and 9b:
+///
+/// * **Comp** — executing ALU work (effective addresses, key compares,
+///   hashing).
+/// * **Mem** — stalled waiting on the memory hierarchy.
+/// * **Tlb** — stalled on address translation (page walks + replay).
+/// * **Idle** — stalled on empty input / full output queues (for Widx
+///   walkers this indicates the dispatcher cannot keep up).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Compute cycles.
+    pub comp: u64,
+    /// Memory-stall cycles.
+    pub mem: u64,
+    /// Address-translation stall cycles.
+    pub tlb: u64,
+    /// Queue-stall (idle) cycles.
+    pub idle: u64,
+}
+
+impl CycleBreakdown {
+    /// A zeroed breakdown.
+    #[must_use]
+    pub fn new() -> CycleBreakdown {
+        CycleBreakdown::default()
+    }
+
+    /// Sum of all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.comp + self.mem + self.tlb + self.idle
+    }
+
+    /// Each category as a fraction of the total (0 when empty).
+    #[must_use]
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 4];
+        }
+        let t = t as f64;
+        [
+            self.comp as f64 / t,
+            self.mem as f64 / t,
+            self.tlb as f64 / t,
+            self.idle as f64 / t,
+        ]
+    }
+
+    /// Divides every category by `n` (e.g. cycles per tuple).
+    #[must_use]
+    pub fn per(&self, n: u64) -> BreakdownPer {
+        let n = n.max(1) as f64;
+        BreakdownPer {
+            comp: self.comp as f64 / n,
+            mem: self.mem as f64 / n,
+            tlb: self.tlb as f64 / n,
+            idle: self.idle as f64 / n,
+        }
+    }
+}
+
+impl Add for CycleBreakdown {
+    type Output = CycleBreakdown;
+    fn add(self, rhs: CycleBreakdown) -> CycleBreakdown {
+        CycleBreakdown {
+            comp: self.comp + rhs.comp,
+            mem: self.mem + rhs.mem,
+            tlb: self.tlb + rhs.tlb,
+            idle: self.idle + rhs.idle,
+        }
+    }
+}
+
+impl AddAssign for CycleBreakdown {
+    fn add_assign(&mut self, rhs: CycleBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for CycleBreakdown {
+    fn sum<I: Iterator<Item = CycleBreakdown>>(iter: I) -> CycleBreakdown {
+        iter.fold(CycleBreakdown::new(), Add::add)
+    }
+}
+
+impl fmt::Display for CycleBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "comp={} mem={} tlb={} idle={} (total {})",
+            self.comp,
+            self.mem,
+            self.tlb,
+            self.idle,
+            self.total()
+        )
+    }
+}
+
+/// A [`CycleBreakdown`] normalized to some per-item denominator.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BreakdownPer {
+    /// Compute cycles per item.
+    pub comp: f64,
+    /// Memory-stall cycles per item.
+    pub mem: f64,
+    /// Translation-stall cycles per item.
+    pub tlb: f64,
+    /// Queue-stall cycles per item.
+    pub idle: f64,
+}
+
+impl BreakdownPer {
+    /// Sum of all categories.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.comp + self.mem + self.tlb + self.idle
+    }
+}
+
+impl fmt::Display for BreakdownPer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "comp={:.1} mem={:.1} tlb={:.1} idle={:.1} (total {:.1})",
+            self.comp,
+            self.mem,
+            self.tlb,
+            self.idle,
+            self.total()
+        )
+    }
+}
+
+/// Memory-system event counters for one simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Loads that hit in the L1-D.
+    pub l1_hits: u64,
+    /// Loads that missed in the L1-D.
+    pub l1_misses: u64,
+    /// L1 misses that hit in the LLC.
+    pub llc_hits: u64,
+    /// L1 misses that also missed in the LLC.
+    pub llc_misses: u64,
+    /// TLB hits.
+    pub tlb_hits: u64,
+    /// TLB misses (page walks).
+    pub tlb_misses: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// TOUCH/prefetch operations issued.
+    pub prefetches: u64,
+    /// Cycles requests spent waiting for a free L1 MSHR.
+    pub mshr_wait_cycles: u64,
+}
+
+impl MemStats {
+    /// L1 miss ratio over loads (0 when no loads).
+    #[must_use]
+    pub fn l1_miss_ratio(&self) -> f64 {
+        ratio(self.l1_misses, self.l1_hits + self.l1_misses)
+    }
+
+    /// LLC miss ratio over LLC lookups (0 when none).
+    #[must_use]
+    pub fn llc_miss_ratio(&self) -> f64 {
+        ratio(self.llc_misses, self.llc_hits + self.llc_misses)
+    }
+
+    /// TLB miss ratio (0 when no translations).
+    #[must_use]
+    pub fn tlb_miss_ratio(&self) -> f64 {
+        ratio(self.tlb_misses, self.tlb_hits + self.tlb_misses)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let b = CycleBreakdown { comp: 10, mem: 70, tlb: 5, idle: 15 };
+        assert_eq!(b.total(), 100);
+        let f = b.fractions();
+        assert!((f[0] - 0.10).abs() < 1e-12);
+        assert!((f[1] - 0.70).abs() < 1e-12);
+        assert!((f[3] - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        assert_eq!(CycleBreakdown::new().fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let a = CycleBreakdown { comp: 1, mem: 2, tlb: 3, idle: 4 };
+        let b = CycleBreakdown { comp: 10, mem: 20, tlb: 30, idle: 40 };
+        let s: CycleBreakdown = [a, b].into_iter().sum();
+        assert_eq!(s, CycleBreakdown { comp: 11, mem: 22, tlb: 33, idle: 44 });
+    }
+
+    #[test]
+    fn per_item_normalization() {
+        let b = CycleBreakdown { comp: 100, mem: 300, tlb: 0, idle: 0 };
+        let p = b.per(100);
+        assert!((p.comp - 1.0).abs() < 1e-12);
+        assert!((p.mem - 3.0).abs() < 1e-12);
+        assert!((p.total() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_stats_ratios() {
+        let s = MemStats {
+            l1_hits: 90,
+            l1_misses: 10,
+            llc_hits: 5,
+            llc_misses: 5,
+            tlb_hits: 0,
+            tlb_misses: 0,
+            ..MemStats::default()
+        };
+        assert!((s.l1_miss_ratio() - 0.1).abs() < 1e-12);
+        assert!((s.llc_miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(s.tlb_miss_ratio(), 0.0);
+    }
+}

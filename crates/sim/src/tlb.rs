@@ -1,0 +1,225 @@
+//! TLB with a bounded number of in-flight page walks.
+//!
+//! Widx has no translation hardware of its own: "TLB misses ... are
+//! handled by the host core's MMU in its usual fashion" (paper
+//! Section 4.3), and Table 2 allows **2 in-flight translations**. All
+//! units (or, for the baseline, the core's load/store stream) share this
+//! structure.
+
+use crate::config::TlbConfig;
+use crate::mem::{PageAddr, VAddr};
+use crate::Cycle;
+
+// NOTE: the TLB's page size is a *translation* granularity and is
+// independent of the 4 KB allocation granularity of the functional
+// backing store. Database servers back large heaps with large pages
+// (the paper's worst-case TLB miss ratio is 3% on a 1 GB index, which
+// is only achievable with large-page translations), so the default
+// `TlbConfig` uses 256 KB pages.
+
+/// Outcome of a translation request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbResult {
+    /// Cycle at which the translation is available (equals the request
+    /// cycle on a hit).
+    pub ready: Cycle,
+    /// Whether a page walk was required.
+    pub miss: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TlbEntry {
+    page: PageAddr,
+    stamp: u64,
+}
+
+/// A fully associative, LRU-replaced TLB with `in_flight` hardware page
+/// walkers.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<TlbEntry>,
+    capacity: usize,
+    walkers_free: Vec<Cycle>,
+    walk_latency: u64,
+    page_bytes: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    /// In-flight walks: (page, done). A second miss to the same page
+    /// while a walk is in flight shares the walk.
+    pending: Vec<(PageAddr, Cycle)>,
+}
+
+impl Tlb {
+    /// Creates an empty TLB from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.entries` or `cfg.in_flight` is zero.
+    #[must_use]
+    pub fn new(cfg: &TlbConfig) -> Tlb {
+        assert!(cfg.entries > 0, "TLB needs at least one entry");
+        assert!(cfg.in_flight > 0, "TLB needs at least one page walker");
+        Tlb {
+            entries: Vec::with_capacity(cfg.entries),
+            capacity: cfg.entries,
+            walkers_free: vec![0; cfg.in_flight],
+            walk_latency: cfg.walk_latency,
+            page_bytes: cfg.page_bytes.max(1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Translates the page of `addr` at cycle `now`.
+    ///
+    /// Hits complete immediately. Misses occupy one of the page-walk
+    /// slots (queuing behind earlier walks when both are busy — this is
+    /// the "2 in-flight translations" limit of Table 2) and install the
+    /// entry when the walk completes.
+    pub fn translate(&mut self, addr: VAddr, now: Cycle) -> TlbResult {
+        self.clock += 1;
+        let clock = self.clock;
+        let page = PageAddr(addr.get() / self.page_bytes);
+        self.pending.retain(|(_, done)| *done > now);
+
+        if let Some(e) = self.entries.iter_mut().find(|e| e.page == page) {
+            e.stamp = clock;
+            self.hits += 1;
+            return TlbResult { ready: now, miss: false };
+        }
+        self.misses += 1;
+
+        // Share an in-flight walk of the same page.
+        if let Some((_, done)) = self.pending.iter().find(|(p, _)| *p == page) {
+            return TlbResult { ready: *done, miss: true };
+        }
+
+        let slot = self
+            .walkers_free
+            .iter_mut()
+            .min()
+            .expect("at least one walker");
+        let start = (*slot).max(now);
+        let done = start + self.walk_latency;
+        *slot = done;
+        self.pending.push((page, done));
+        self.install(page, clock);
+        TlbResult { ready: done, miss: true }
+    }
+
+    fn install(&mut self, page: PageAddr, stamp: u64) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(TlbEntry { page, stamp });
+        } else {
+            let victim = self
+                .entries
+                .iter_mut()
+                .min_by_key(|e| e.stamp)
+                .expect("TLB is non-empty");
+            *victim = TlbEntry { page, stamp };
+        }
+    }
+
+    /// Lifetime hit count.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio over the TLB's lifetime (0 when never accessed).
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Resets hit/miss counters, keeping translations.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TlbConfig {
+        TlbConfig { entries: 4, in_flight: 2, walk_latency: 40, page_bytes: 4096 }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tlb = Tlb::new(&cfg());
+        let a = VAddr::new(0x1000);
+        let r1 = tlb.translate(a, 0);
+        assert!(r1.miss);
+        assert_eq!(r1.ready, 40);
+        let r2 = tlb.translate(a, 50);
+        assert!(!r2.miss);
+        assert_eq!(r2.ready, 50);
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn same_page_hits() {
+        let mut tlb = Tlb::new(&cfg());
+        let _ = tlb.translate(VAddr::new(0x1000), 0);
+        let r = tlb.translate(VAddr::new(0x1ff8), 41);
+        assert!(!r.miss);
+    }
+
+    #[test]
+    fn two_walkers_then_queue() {
+        let mut tlb = Tlb::new(&cfg());
+        let r1 = tlb.translate(VAddr::new(0x1000), 0);
+        let r2 = tlb.translate(VAddr::new(0x2000), 0);
+        let r3 = tlb.translate(VAddr::new(0x3000), 0);
+        assert_eq!(r1.ready, 40);
+        assert_eq!(r2.ready, 40);
+        // Third walk waits for a free walker.
+        assert_eq!(r3.ready, 80);
+    }
+
+    #[test]
+    fn concurrent_walk_to_same_page_is_shared() {
+        let mut tlb = Tlb::new(&cfg());
+        let r1 = tlb.translate(VAddr::new(0x5000), 0);
+        // Entry is installed upon walk issue, so a later request hits;
+        // but a request *while the walk is pending* at the same page
+        // shares the completion time instead of issuing a second walk.
+        let r2 = tlb.translate(VAddr::new(0x5008), 10);
+        assert!(r1.miss);
+        assert!(!r2.miss || r2.ready == r1.ready);
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut tlb = Tlb::new(&cfg());
+        for p in 0..4u64 {
+            let _ = tlb.translate(VAddr::new(p * 4096 + 0x10_000), (p + 1) * 100);
+        }
+        // Touch page 0 so page 1 is LRU.
+        let _ = tlb.translate(VAddr::new(0x10_000), 1000);
+        // A fifth page evicts page 1.
+        let _ = tlb.translate(VAddr::new(9 * 4096 + 0x10_000), 1100);
+        let r = tlb.translate(VAddr::new(4096 + 0x10_000), 2000);
+        assert!(r.miss, "page 1 should have been evicted");
+        let r0 = tlb.translate(VAddr::new(0x10_000), 3000);
+        assert!(!r0.miss, "page 0 should have survived");
+    }
+}

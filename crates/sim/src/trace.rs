@@ -1,0 +1,185 @@
+//! Dependence-annotated µop traces.
+//!
+//! The baseline cores are *trace-driven*: the workload layer walks the
+//! actual in-memory data structures (so every load address is real) and
+//! records the dynamic instruction stream of the indexing loop —
+//! Listing 1 of the paper — as µops with explicit data dependences. The
+//! core models then replay the trace against the timed memory system.
+
+use crate::mem::VAddr;
+
+/// Index of a µop within its [`Trace`].
+pub type UopIdx = u32;
+
+/// The kind of work a µop performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UopKind {
+    /// ALU work completing `latency` cycles after issue.
+    Comp {
+        /// Execution latency in cycles.
+        latency: u8,
+    },
+    /// A load of `width` bytes.
+    Load {
+        /// Virtual address accessed.
+        addr: VAddr,
+        /// Access width in bytes.
+        width: u8,
+    },
+    /// A store of `width` bytes of `value`.
+    Store {
+        /// Virtual address accessed.
+        addr: VAddr,
+        /// Access width in bytes.
+        width: u8,
+        /// Value stored (keeps the functional memory truthful).
+        value: u64,
+    },
+    /// A conditional branch.
+    ///
+    /// Index traversals are full of data-dependent branches (match
+    /// checks, chain-exit tests) whose outcomes depend on loaded data; a
+    /// mispredicted one flushes the window and stalls the front end
+    /// until it resolves. Without modelling this, a limit-style OoO
+    /// model would overlap probes far more aggressively than real
+    /// hardware and overstate the paper's baseline.
+    Branch {
+        /// Whether the branch is mispredicted (squashes younger µops).
+        mispredict: bool,
+    },
+}
+
+/// One µop: its kind plus up to two data dependences on older µops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Uop {
+    /// What the µop does.
+    pub kind: UopKind,
+    /// Indices of older µops whose results this µop consumes.
+    pub deps: [Option<UopIdx>; 2],
+}
+
+/// A dynamic µop trace with tuple-boundary markers.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    uops: Vec<Uop>,
+    /// µop index at which each tuple's work begins.
+    tuple_starts: Vec<UopIdx>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// The µops in program order.
+    #[must_use]
+    pub fn uops(&self) -> &[Uop] {
+        &self.uops
+    }
+
+    /// Number of µops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// Number of tuples (probe keys) the trace covers.
+    #[must_use]
+    pub fn tuples(&self) -> usize {
+        self.tuple_starts.len()
+    }
+
+    /// Marks the start of a new tuple's work.
+    pub fn mark_tuple(&mut self) {
+        self.tuple_starts.push(self.uops.len() as UopIdx);
+    }
+
+    /// Appends a compute µop; returns its index for use as a dependence.
+    pub fn comp(&mut self, latency: u8, deps: [Option<UopIdx>; 2]) -> UopIdx {
+        self.push(Uop { kind: UopKind::Comp { latency }, deps })
+    }
+
+    /// Appends a load µop; returns its index.
+    pub fn load(&mut self, addr: VAddr, width: u8, deps: [Option<UopIdx>; 2]) -> UopIdx {
+        self.push(Uop { kind: UopKind::Load { addr, width }, deps })
+    }
+
+    /// Appends a store µop; returns its index.
+    pub fn store(
+        &mut self,
+        addr: VAddr,
+        width: u8,
+        value: u64,
+        deps: [Option<UopIdx>; 2],
+    ) -> UopIdx {
+        self.push(Uop { kind: UopKind::Store { addr, width, value }, deps })
+    }
+
+    /// Appends a branch µop; returns its index.
+    pub fn branch(&mut self, mispredict: bool, deps: [Option<UopIdx>; 2]) -> UopIdx {
+        self.push(Uop { kind: UopKind::Branch { mispredict }, deps })
+    }
+
+    fn push(&mut self, uop: Uop) -> UopIdx {
+        for dep in uop.deps.into_iter().flatten() {
+            assert!(
+                (dep as usize) < self.uops.len(),
+                "dependence {dep} references a younger µop"
+            );
+        }
+        self.uops.push(uop);
+        (self.uops.len() - 1) as UopIdx
+    }
+
+    /// Count of load µops.
+    #[must_use]
+    pub fn load_count(&self) -> usize {
+        self.uops
+            .iter()
+            .filter(|u| matches!(u.kind, UopKind::Load { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_chain() {
+        let mut t = Trace::new();
+        t.mark_tuple();
+        let k = t.load(VAddr::new(0x1000), 8, [None, None]);
+        let h = t.comp(3, [Some(k), None]);
+        let n = t.load(VAddr::new(0x2000), 8, [Some(h), None]);
+        let _ = t.comp(1, [Some(n), Some(k)]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.tuples(), 1);
+        assert_eq!(t.load_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "younger µop")]
+    fn forward_dependence_rejected() {
+        let mut t = Trace::new();
+        t.comp(1, [Some(5), None]);
+    }
+
+    #[test]
+    fn tuple_markers() {
+        let mut t = Trace::new();
+        for i in 0..3 {
+            t.mark_tuple();
+            t.load(VAddr::new(0x1000 + i * 64), 8, [None, None]);
+        }
+        assert_eq!(t.tuples(), 3);
+    }
+}

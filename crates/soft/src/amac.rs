@@ -1,0 +1,152 @@
+//! AMAC-style interleaved probing: hand-rolled coroutine state machines.
+//!
+//! Asynchronous memory-access chaining (Kocberber et al.'s own software
+//! follow-up to Widx) keeps `inflight` probes in distinct states of
+//! their traversal. When a probe is about to dereference a node that is
+//! probably not cached, it issues a prefetch and *yields*; by the time
+//! the round-robin scheduler returns to it, the line has (hopefully)
+//! arrived. This is exactly the inter-key parallelism the paper's
+//! hardware walkers exploit — `inflight` plays the role of the walker
+//! count, bounded in practice by the same MSHR limits the paper's
+//! Section 3.2 model identifies.
+
+use widx_db::index::{HashIndex, NONE};
+
+use crate::prefetch::prefetch_read;
+use crate::Match;
+
+/// Per-probe coroutine state.
+enum State {
+    /// About to read the bucket header (prefetch issued).
+    Header { key: u64, bucket: usize },
+    /// About to read overflow node `node` (prefetch issued).
+    Node { key: u64, node: u32 },
+    /// Finished; slot free for the next key.
+    Done,
+}
+
+/// Probes `keys` with `inflight` interleaved state machines, appending
+/// every `(key, payload)` match to `out`.
+///
+/// # Panics
+///
+/// Panics if `inflight` is zero.
+pub fn probe_amac(index: &HashIndex, keys: &[u64], inflight: usize, out: &mut Vec<Match>) {
+    assert!(inflight > 0, "need at least one in-flight probe");
+    let buckets = index.buckets();
+    let nodes = index.nodes();
+    let recipe = index.recipe();
+    let bucket_count = buckets.len() as u64;
+
+    let mut next_key = 0usize;
+    let mut live = 0usize;
+    let mut slots: Vec<State> = Vec::with_capacity(inflight);
+
+    // Start a probe: hash (compute-only) and prefetch its header.
+    let start = |next_key: &mut usize, live: &mut usize| -> State {
+        if *next_key >= keys.len() {
+            return State::Done;
+        }
+        let key = keys[*next_key];
+        *next_key += 1;
+        *live += 1;
+        let bucket = recipe.bucket_of(key, bucket_count) as usize;
+        prefetch_read(&buckets[bucket]);
+        State::Header { key, bucket }
+    };
+
+    for _ in 0..inflight {
+        slots.push(start(&mut next_key, &mut live));
+    }
+
+    while live > 0 || next_key < keys.len() {
+        for slot in &mut slots {
+            match *slot {
+                State::Done => {
+                    // Idle slot: try to refill.
+                    if next_key < keys.len() {
+                        *slot = start(&mut next_key, &mut live);
+                    }
+                }
+                State::Header { key, bucket } => {
+                    let b = &buckets[bucket];
+                    if b.count == 0 {
+                        live -= 1;
+                        *slot = State::Done;
+                        continue;
+                    }
+                    if b.key == key {
+                        out.push((key, b.payload));
+                    }
+                    if b.next == NONE {
+                        live -= 1;
+                        *slot = State::Done;
+                    } else {
+                        prefetch_read(&nodes[b.next as usize]);
+                        *slot = State::Node { key, node: b.next };
+                    }
+                }
+                State::Node { key, node } => {
+                    let n = &nodes[node as usize];
+                    if n.key == key {
+                        out.push((key, n.payload));
+                    }
+                    if n.next == NONE {
+                        live -= 1;
+                        *slot = State::Done;
+                    } else {
+                        prefetch_read(&nodes[n.next as usize]);
+                        *slot = State::Node { key, node: n.next };
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe_scalar;
+    use widx_db::hash::HashRecipe;
+
+    fn check_equivalence(pairs: Vec<(u64, u64)>, probes: Vec<u64>, inflight: usize) {
+        let index = HashIndex::build(HashRecipe::robust64(), 16, pairs);
+        let mut scalar = Vec::new();
+        let mut amac = Vec::new();
+        probe_scalar(&index, &probes, &mut scalar);
+        probe_amac(&index, &probes, inflight, &mut amac);
+        scalar.sort_unstable();
+        amac.sort_unstable();
+        assert_eq!(scalar, amac, "inflight={inflight}");
+    }
+
+    #[test]
+    fn equivalent_to_scalar() {
+        let pairs: Vec<(u64, u64)> = (0..200).map(|k| (k % 50, k)).collect();
+        let probes: Vec<u64> = (0..120).collect();
+        for inflight in [1, 2, 4, 8, 16] {
+            check_equivalence(pairs.clone(), probes.clone(), inflight);
+        }
+    }
+
+    #[test]
+    fn more_inflight_than_keys() {
+        check_equivalence(vec![(1, 1)], vec![1, 2], 64);
+    }
+
+    #[test]
+    fn empty_probe_stream() {
+        let index = HashIndex::build(HashRecipe::robust64(), 8, [(1u64, 2u64)]);
+        let mut out = Vec::new();
+        probe_amac(&index, &[], 4, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_inflight_rejected() {
+        let index = HashIndex::build(HashRecipe::robust64(), 8, std::iter::empty());
+        probe_amac(&index, &[1], 0, &mut Vec::new());
+    }
+}

@@ -1,0 +1,114 @@
+//! Group prefetching: stage-synchronized batches.
+//!
+//! Chen et al.'s group prefetching (the paper's reference \[5\]) splits
+//! the probe loop into stages and runs each stage across a whole group
+//! of keys before advancing, issuing the next stage's prefetches at the
+//! end of the current one. Simpler control flow than AMAC, but stalls
+//! when chain lengths diverge within a group — the "lock-step" weakness
+//! the paper attributes to vector-style approaches.
+
+use widx_db::index::{HashIndex, NONE};
+
+use crate::prefetch::prefetch_read;
+use crate::Match;
+
+/// Probes `keys` in groups of `group` keys, appending matches to `out`.
+///
+/// # Panics
+///
+/// Panics if `group` is zero.
+pub fn probe_group_prefetch(index: &HashIndex, keys: &[u64], group: usize, out: &mut Vec<Match>) {
+    assert!(group > 0, "group size must be positive");
+    let buckets = index.buckets();
+    let nodes = index.nodes();
+    let recipe = index.recipe();
+    let bucket_count = buckets.len() as u64;
+
+    let mut bucket_ids = vec![0usize; group];
+    let mut cursors = vec![NONE; group];
+
+    for chunk in keys.chunks(group) {
+        // Stage 1: hash the whole group, prefetch every header.
+        for (i, &key) in chunk.iter().enumerate() {
+            let b = recipe.bucket_of(key, bucket_count) as usize;
+            bucket_ids[i] = b;
+            prefetch_read(&buckets[b]);
+        }
+        // Stage 2: visit headers, prefetch first overflow nodes.
+        for (i, &key) in chunk.iter().enumerate() {
+            let b = &buckets[bucket_ids[i]];
+            if b.count == 0 {
+                cursors[i] = NONE;
+                continue;
+            }
+            if b.key == key {
+                out.push((key, b.payload));
+            }
+            cursors[i] = b.next;
+            if b.next != NONE {
+                prefetch_read(&nodes[b.next as usize]);
+            }
+        }
+        // Stage 3+: walk chains in lock-step until the group drains.
+        loop {
+            let mut any = false;
+            for (i, &key) in chunk.iter().enumerate() {
+                let cur = cursors[i];
+                if cur == NONE {
+                    continue;
+                }
+                any = true;
+                let n = &nodes[cur as usize];
+                if n.key == key {
+                    out.push((key, n.payload));
+                }
+                cursors[i] = n.next;
+                if n.next != NONE {
+                    prefetch_read(&nodes[n.next as usize]);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe_scalar;
+    use widx_db::hash::HashRecipe;
+
+    #[test]
+    fn equivalent_to_scalar() {
+        let pairs: Vec<(u64, u64)> = (0..300).map(|k| (k % 70, k)).collect();
+        let index = HashIndex::build(HashRecipe::robust64(), 32, pairs);
+        let probes: Vec<u64> = (0..150).collect();
+        let mut scalar = Vec::new();
+        probe_scalar(&index, &probes, &mut scalar);
+        scalar.sort_unstable();
+        for group in [1, 3, 8, 64, 200] {
+            let mut gp = Vec::new();
+            probe_group_prefetch(&index, &probes, group, &mut gp);
+            gp.sort_unstable();
+            assert_eq!(scalar, gp, "group={group}");
+        }
+    }
+
+    #[test]
+    fn partial_final_group() {
+        let index = HashIndex::build(HashRecipe::robust64(), 8, [(1u64, 1u64), (2, 2)]);
+        let mut out = Vec::new();
+        probe_group_prefetch(&index, &[1, 2, 1], 2, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![(1, 1), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_group_rejected() {
+        let index = HashIndex::build(HashRecipe::robust64(), 8, std::iter::empty());
+        probe_group_prefetch(&index, &[1], 0, &mut Vec::new());
+    }
+}

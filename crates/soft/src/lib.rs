@@ -1,0 +1,59 @@
+//! # widx-soft — software walkers on real hardware
+//!
+//! The lasting software legacy of *Meet the Walkers* is its central
+//! observation: hash-index probes have abundant **inter-key parallelism**
+//! that a serial probe loop wastes. Follow-up systems (AMAC, CoroBase)
+//! exploit it in software by keeping several probes in flight per core,
+//! issuing a prefetch for each probe's next node and switching to
+//! another probe instead of stalling — hand-rolled coroutines.
+//!
+//! This crate implements that line of work over the same
+//! [`HashIndex`](widx_db::index::HashIndex) the simulation studies:
+//!
+//! * [`probe_scalar`] — the baseline one-probe-at-a-time loop
+//!   (Listing 1 of the paper);
+//! * [`probe_group_prefetch`] — stage-synchronized group prefetching
+//!   (Chen et al.'s GP, the paper's reference \[5\]);
+//! * [`probe_amac`] — asynchronous memory-access chaining: a ring of
+//!   independent probe state machines, each prefetching its next node
+//!   before yielding — the software equivalent of the paper's parallel
+//!   walker units.
+//!
+//! All three produce identical result multisets; the Criterion bench
+//! `soft_walkers` compares their throughput on DRAM-resident indexes,
+//! where AMAC plays the role of "4 walkers" on a real CPU.
+//!
+//! # Example
+//!
+//! ```
+//! use widx_db::hash::HashRecipe;
+//! use widx_db::index::HashIndex;
+//! use widx_soft::{probe_amac, probe_scalar};
+//!
+//! let index = HashIndex::build(HashRecipe::robust64(), 1024,
+//!                              (0..1000u64).map(|k| (k, k)));
+//! let probes: Vec<u64> = (0..100).map(|i| i * 7).collect();
+//! let mut serial = Vec::new();
+//! let mut interleaved = Vec::new();
+//! probe_scalar(&index, &probes, &mut serial);
+//! probe_amac(&index, &probes, 8, &mut interleaved);
+//! serial.sort_unstable();
+//! interleaved.sort_unstable();
+//! assert_eq!(serial, interleaved);
+//! ```
+
+#![warn(missing_docs)]
+// `unsafe` is confined to the prefetch shim (raw-pointer prefetch
+// intrinsics); everything else is safe Rust.
+
+mod amac;
+mod group;
+pub mod prefetch;
+mod scalar;
+
+pub use amac::probe_amac;
+pub use group::probe_group_prefetch;
+pub use scalar::probe_scalar;
+
+/// A probe result: `(probe key, payload)`.
+pub type Match = (u64, u64);

@@ -1,0 +1,46 @@
+//! The baseline serial probe loop (paper Listing 1): hash one key, walk
+//! its bucket to the end, then move to the next key — every node miss
+//! stalls the core.
+
+use widx_db::index::HashIndex;
+
+use crate::Match;
+
+/// Probes `keys` one at a time, appending every `(key, payload)` match
+/// to `out`.
+pub fn probe_scalar(index: &HashIndex, keys: &[u64], out: &mut Vec<Match>) {
+    for &key in keys {
+        index.walk(key, |payload| {
+            out.push((key, payload));
+            true
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widx_db::hash::HashRecipe;
+
+    #[test]
+    fn finds_all_matches() {
+        let index = HashIndex::build(
+            HashRecipe::robust64(),
+            32,
+            [(1u64, 10u64), (2, 20), (1, 11)],
+        );
+        let mut out = Vec::new();
+        probe_scalar(&index, &[1, 2, 3], &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![(1, 10), (1, 11), (2, 20)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let index = HashIndex::build(HashRecipe::robust64(), 8, std::iter::empty());
+        let mut out = Vec::new();
+        probe_scalar(&index, &[], &mut out);
+        probe_scalar(&index, &[42], &mut out);
+        assert!(out.is_empty());
+    }
+}

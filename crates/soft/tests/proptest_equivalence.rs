@@ -1,0 +1,30 @@
+//! Property test: all probe strategies agree on arbitrary workloads.
+
+use proptest::prelude::*;
+use widx_db::hash::HashRecipe;
+use widx_db::index::HashIndex;
+use widx_soft::{probe_amac, probe_group_prefetch, probe_scalar};
+
+proptest! {
+    #[test]
+    fn all_strategies_agree(
+        pairs in prop::collection::vec((0u64..200, any::<u64>()), 0..300),
+        probes in prop::collection::vec(0u64..250, 0..200),
+        inflight in 1usize..16,
+        group in 1usize..32,
+        buckets in 1usize..64,
+    ) {
+        let index = HashIndex::build(HashRecipe::robust64(), buckets, pairs);
+        let mut scalar = Vec::new();
+        let mut amac = Vec::new();
+        let mut gp = Vec::new();
+        probe_scalar(&index, &probes, &mut scalar);
+        probe_amac(&index, &probes, inflight, &mut amac);
+        probe_group_prefetch(&index, &probes, group, &mut gp);
+        scalar.sort_unstable();
+        amac.sort_unstable();
+        gp.sort_unstable();
+        prop_assert_eq!(&scalar, &amac);
+        prop_assert_eq!(&scalar, &gp);
+    }
+}

@@ -1,0 +1,138 @@
+//! Seeded key generators.
+//!
+//! All workloads are generated from explicit seeds (the harnesses print
+//! them), making every simulation bit-reproducible — the stand-in for the
+//! paper's dbgen/dsdgen-generated datasets.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Creates the workspace's deterministic RNG from a seed.
+#[must_use]
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `n` uniformly distributed keys in `[0, bound)` (with repetition) —
+/// the paper's outer relation is "128M uniformly distributed 4B keys".
+#[must_use]
+pub fn uniform_keys(seed: u64, n: usize, bound: u64) -> Vec<u64> {
+    assert!(bound > 0, "bound must be positive");
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..bound)).collect()
+}
+
+/// The keys `0..n` in shuffled order — a dense unique key column, the
+/// shape of a primary-key build side.
+#[must_use]
+pub fn unique_shuffled_keys(seed: u64, n: usize) -> Vec<u64> {
+    let mut keys: Vec<u64> = (0..n as u64).collect();
+    keys.shuffle(&mut rng(seed));
+    keys
+}
+
+/// A Zipfian sampler over ranks `0..n` with exponent `theta`.
+///
+/// Used for skewed probe distributions (hot keys), a standard DSS
+/// stressor. Sampling is by inverse CDF over a precomputed table.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with skew `theta` (0 = uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative.
+    #[must_use]
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for c in &mut cdf {
+            *c /= norm;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, r: &mut impl Rng) -> u64 {
+        let u: f64 = r.gen();
+        self.cdf.partition_point(|c| *c < u) as u64
+    }
+
+    /// Draws `n` ranks.
+    pub fn sample_n(&self, r: &mut impl Rng, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uniform_keys(7, 100, 1000), uniform_keys(7, 100, 1000));
+        assert_ne!(uniform_keys(7, 100, 1000), uniform_keys(8, 100, 1000));
+        assert_eq!(unique_shuffled_keys(3, 50), unique_shuffled_keys(3, 50));
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let keys = uniform_keys(1, 10_000, 64);
+        assert!(keys.iter().all(|k| *k < 64));
+        // All values should appear for this density.
+        let mut seen = vec![false; 64];
+        for k in &keys {
+            seen[*k as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn unique_is_a_permutation() {
+        let keys = unique_shuffled_keys(9, 1000);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000u64).collect::<Vec<_>>());
+        // And actually shuffled.
+        assert_ne!(keys, (0..1000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let z = Zipf::new(1000, 0.99);
+        let mut r = rng(42);
+        let samples = z.sample_n(&mut r, 20_000);
+        let head = samples.iter().filter(|s| **s < 10).count();
+        let tail = samples.iter().filter(|s| **s >= 990).count();
+        assert!(head > tail * 10, "head {head} tail {tail}");
+        assert!(samples.iter().all(|s| *s < 1000));
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let z = Zipf::new(100, 0.0);
+        let mut r = rng(1);
+        let samples = z.sample_n(&mut r, 50_000);
+        let head = samples.iter().filter(|s| **s < 50).count();
+        let frac = head as f64 / samples.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # widx-workloads — workload generation and materialization
+//!
+//! The paper evaluates three benchmarks: a hand-optimized hash-join
+//! kernel at three index sizes (Section 5), and TPC-H / TPC-DS queries on
+//! MonetDB with a 100 GB dataset. This crate provides the reproduction's
+//! equivalents:
+//!
+//! * [`datagen`] — seeded key generators (uniform, unique-shuffled,
+//!   Zipfian) built on `rand::rngs::StdRng` for bit-stable workloads.
+//! * [`kernel`] — the hash-join kernel configurations (Small / Medium /
+//!   Large), scaled so the cache-residency relationships of the paper
+//!   hold for the simulated hierarchy (L1-resident / LLC-resident /
+//!   DRAM-resident); scale factors are documented per configuration.
+//! * [`profiles`] — per-query *index profiles* for the 12 queries the
+//!   paper simulates (TPC-H 2, 11, 17, 19, 20, 22; TPC-DS 5, 37, 40, 52,
+//!   64, 82): index size, layout, hash cost, probe count, and the
+//!   query-level indexing fraction used for Figure 2a projection.
+//! * [`dss`] — synthetic-but-executed DSS query plans whose operator
+//!   mixes regenerate the Figure 2a execution-time breakdown on the real
+//!   software engine of `widx-db`.
+//! * [`memimg`] — materializes a logical [`widx_db::index::HashIndex`]
+//!   (plus probe input and output buffers) into simulated memory
+//!   according to a [`widx_db::index::NodeLayout`], for consumption by
+//!   the Widx accelerator model.
+//! * [`trace`] — generates the baseline cores' µop traces for the same
+//!   probe stream over the same materialized image, so OoO/in-order and
+//!   Widx timing are compared on byte-identical data structures.
+//! * [`btree_img`] — B+-tree materialization for the Section 7
+//!   "other index structures" extension.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod btree_img;
+pub mod datagen;
+pub mod dss;
+pub mod kernel;
+pub mod memimg;
+pub mod profiles;
+pub mod trace;

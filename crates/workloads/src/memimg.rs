@@ -1,0 +1,353 @@
+//! Materialization of a logical hash index into simulated memory.
+//!
+//! The Widx accelerator operates on real bytes: bucket headers, overflow
+//! nodes, the probe-key column, and the output region are serialized into
+//! the [`MemorySystem`]'s backing store exactly as described by the
+//! [`NodeLayout`]. `next` pointers become absolute virtual addresses
+//! (0 = NULL), and indirect layouts additionally materialize the build
+//! side's key column so that key reads really do take the extra
+//! dereference.
+
+use widx_db::index::{HashIndex, NodeLayout, NONE};
+use widx_sim::mem::{MemorySystem, RegionAllocator, VAddr};
+
+/// Addresses and geometry of a materialized index image.
+#[derive(Clone, Debug)]
+pub struct IndexImage {
+    /// Physical layout of headers and nodes.
+    pub layout: NodeLayout,
+    /// Base of the bucket-header array.
+    pub bucket_base: VAddr,
+    /// Number of buckets (a power of two).
+    pub bucket_count: u64,
+    /// Base of the overflow-node pool.
+    pub node_base: VAddr,
+    /// Overflow nodes in the pool.
+    pub node_count: u64,
+    /// Base of the build-side key column (indirect layouts only).
+    pub build_keys_base: Option<VAddr>,
+    /// Base of the probe-key input column.
+    pub input_base: VAddr,
+    /// Probe keys in the input column.
+    pub input_count: u64,
+    /// Total index entries (= rows of the build-side key column).
+    pub entry_count: u64,
+    /// Base of the output (result) region.
+    pub output_base: VAddr,
+    /// Capacity of the output region in 16-byte result slots.
+    pub output_capacity: u64,
+}
+
+impl IndexImage {
+    /// Address of bucket `b`'s header.
+    #[must_use]
+    pub fn header_addr(&self, b: u64) -> VAddr {
+        debug_assert!(b < self.bucket_count);
+        self.bucket_base + b * NodeLayout::HEADER_STRIDE as u64
+    }
+
+    /// Address of pool node `i`.
+    #[must_use]
+    pub fn node_addr(&self, i: u64) -> VAddr {
+        debug_assert!(i < self.node_count);
+        self.node_base + i * NodeLayout::NODE_STRIDE as u64
+    }
+
+    /// Address of probe key `i` in the input column.
+    #[must_use]
+    pub fn input_addr(&self, i: u64) -> VAddr {
+        debug_assert!(i < self.input_count);
+        self.input_base + i * self.layout.key_width as u64
+    }
+
+    /// Address of build row `row`'s key in the materialized key column.
+    ///
+    /// # Panics
+    ///
+    /// Panics for direct layouts, which have no key column.
+    #[must_use]
+    pub fn build_key_addr(&self, row: u64) -> VAddr {
+        self.build_keys_base.expect("indirect layout required") + row * self.layout.key_width as u64
+    }
+
+    /// Address of output slot `i`.
+    #[must_use]
+    pub fn output_addr(&self, i: u64) -> VAddr {
+        self.output_base + i * 16
+    }
+
+    /// Bytes occupied by the index proper (headers + nodes + key column),
+    /// i.e. the paper's "index size" axis.
+    #[must_use]
+    pub fn index_bytes(&self) -> u64 {
+        let keys = if self.build_keys_base.is_some() {
+            self.entry_count * self.layout.key_width as u64
+        } else {
+            0
+        };
+        self.bucket_count * NodeLayout::HEADER_STRIDE as u64
+            + self.node_count * NodeLayout::NODE_STRIDE as u64
+            + keys
+    }
+}
+
+/// Serializes `index` and `probes` into `mem`, carving regions from
+/// `alloc`. `expected_matches` sizes the output region (use the oracle
+/// match count; the region is padded generously).
+///
+/// # Panics
+///
+/// For indirect layouts, panics if any entry's payload is not a valid
+/// build-side row id (`payload < index.len()`): the payload indexes the
+/// materialized key column, exactly as MonetDB's index nodes point at
+/// their base column.
+pub fn materialize(
+    mem: &mut MemorySystem,
+    alloc: &mut RegionAllocator,
+    index: &HashIndex,
+    probes: &[u64],
+    layout: NodeLayout,
+    expected_matches: u64,
+) -> IndexImage {
+    let bucket_count = index.bucket_count() as u64;
+    let node_count = index.nodes().len() as u64;
+    let kw = layout.key_width as u64;
+
+    let bucket_region =
+        alloc.alloc_pages("hash.buckets", bucket_count * NodeLayout::HEADER_STRIDE as u64);
+    let node_region = alloc.alloc_pages(
+        "hash.nodes",
+        (node_count.max(1)) * NodeLayout::NODE_STRIDE as u64,
+    );
+    let build_keys_base = match layout.key_kind {
+        widx_db::index::KeyKind::Direct => None,
+        widx_db::index::KeyKind::Indirect => {
+            let entries = index.len() as u64;
+            let valid = index.buckets().iter().filter(|b| b.count > 0).all(|b| b.payload < entries)
+                && index.nodes().iter().all(|n| n.payload < entries);
+            assert!(
+                valid,
+                "indirect layouts require payloads to be build-side row ids (< {entries})"
+            );
+            Some(alloc.alloc_pages("build.keys", entries.max(1) * kw).base())
+        }
+    };
+    let input_region = alloc.alloc_pages("probe.input", (probes.len() as u64).max(1) * kw);
+    let output_capacity = (expected_matches + probes.len() as u64).max(16);
+    let output_region = alloc.alloc_pages("probe.output", output_capacity * 16);
+
+    let image = IndexImage {
+        layout,
+        bucket_base: bucket_region.base(),
+        bucket_count,
+        node_base: node_region.base(),
+        node_count,
+        build_keys_base,
+        input_base: input_region.base(),
+        input_count: probes.len() as u64,
+        entry_count: index.len() as u64,
+        output_base: output_region.base(),
+        output_capacity,
+    };
+
+    // For indirect layouts the "payload" doubles as the build row id;
+    // the key column is indexed by that row id.
+    let slot_value = |key: u64, payload: u64| -> u64 {
+        match layout.key_kind {
+            widx_db::index::KeyKind::Direct => key,
+            widx_db::index::KeyKind::Indirect => {
+                let addr = image.build_key_addr(payload);
+                addr.get()
+            }
+        }
+    };
+
+    // Bucket headers.
+    for (b, bucket) in index.buckets().iter().enumerate() {
+        let base = image.header_addr(b as u64);
+        mem.write_u32(base.offset(NodeLayout::HEADER_COUNT_OFFSET as i64), bucket.count);
+        if bucket.count > 0 {
+            mem.write_uint(
+                base.offset(NodeLayout::HEADER_SLOT_OFFSET as i64),
+                layout.slot_width(),
+                slot_value(bucket.key, bucket.payload),
+            );
+            mem.write_u64(base.offset(NodeLayout::HEADER_PAYLOAD_OFFSET as i64), bucket.payload);
+            let next = if bucket.next == NONE { 0 } else { image.node_addr(u64::from(bucket.next)).get() };
+            mem.write_u64(base.offset(NodeLayout::HEADER_NEXT_OFFSET as i64), next);
+            if let widx_db::index::KeyKind::Indirect = layout.key_kind {
+                mem.write_uint(image.build_key_addr(bucket.payload), layout.key_width, bucket.key);
+            }
+        }
+    }
+
+    // Overflow nodes.
+    for (i, node) in index.nodes().iter().enumerate() {
+        let base = image.node_addr(i as u64);
+        mem.write_uint(
+            base.offset(NodeLayout::NODE_SLOT_OFFSET as i64),
+            layout.slot_width(),
+            slot_value(node.key, node.payload),
+        );
+        mem.write_u64(base.offset(NodeLayout::NODE_PAYLOAD_OFFSET as i64), node.payload);
+        let next = if node.next == NONE { 0 } else { image.node_addr(u64::from(node.next)).get() };
+        mem.write_u64(base.offset(NodeLayout::NODE_NEXT_OFFSET as i64), next);
+        if let widx_db::index::KeyKind::Indirect = layout.key_kind {
+            mem.write_uint(image.build_key_addr(node.payload), layout.key_width, node.key);
+        }
+    }
+
+    // Probe input column.
+    for (i, key) in probes.iter().enumerate() {
+        mem.write_uint(image.input_addr(i as u64), layout.key_width as usize, *key);
+    }
+
+    image
+}
+
+/// Warms the memory hierarchy over the image the way the paper's warmed
+/// checkpoints do: the index and input become LLC-resident up to
+/// capacity (LRU keeps the most recently touched blocks), and structures
+/// that fit in half the L1 are also installed there.
+pub fn warm(mem: &mut MemorySystem, image: &IndexImage) {
+    let l1_budget = mem.cfg().l1d.size_bytes as u64 / 2;
+    let mut warm_region = |base: VAddr, bytes: u64| {
+        let into_l1 = bytes <= l1_budget;
+        let mut addr = base;
+        let end = base + bytes;
+        while addr < end {
+            if into_l1 {
+                mem.warm_block(addr);
+            } else {
+                mem.warm_llc_block(addr);
+            }
+            addr = addr + 64;
+        }
+    };
+    warm_region(image.bucket_base, image.bucket_count * NodeLayout::HEADER_STRIDE as u64);
+    if image.node_count > 0 {
+        warm_region(image.node_base, image.node_count * NodeLayout::NODE_STRIDE as u64);
+    }
+    if let Some(base) = image.build_keys_base {
+        warm_region(base, image.entry_count.max(1) * image.layout.key_width as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use widx_db::hash::HashRecipe;
+    use widx_sim::config::SystemConfig;
+
+    fn setup(layout: NodeLayout) -> (MemorySystem, IndexImage, HashIndex, Vec<u64>) {
+        let mut mem = MemorySystem::new(SystemConfig::default());
+        let mut alloc = RegionAllocator::new();
+        let pairs: Vec<(u64, u64)> = (0..200u64).map(|k| (k * 3, k)).collect();
+        let index = HashIndex::build(HashRecipe::robust64(), 64, pairs.iter().copied());
+        let probes: Vec<u64> = (0..50u64).map(|i| i * 3).collect();
+        let image = materialize(&mut mem, &mut alloc, &index, &probes, layout, 50);
+        (mem, image, index, probes)
+    }
+
+    /// Software walk over the *materialized image* — reads simulated
+    /// memory only, no logical-index shortcuts.
+    fn image_lookup_all(mem: &MemorySystem, image: &IndexImage, key: u64, index: &HashIndex) -> Vec<u64> {
+        let b = index.recipe().bucket_of(key, image.bucket_count);
+        let header = image.header_addr(b);
+        let mut out = Vec::new();
+        let count = mem.read_u32(header.offset(NodeLayout::HEADER_COUNT_OFFSET as i64));
+        if count == 0 {
+            return out;
+        }
+        let read_key = |mem: &MemorySystem, slot_addr: VAddr| -> u64 {
+            match image.layout.key_kind {
+                widx_db::index::KeyKind::Direct => {
+                    mem.read_uint(slot_addr, image.layout.key_width)
+                }
+                widx_db::index::KeyKind::Indirect => {
+                    let ptr = VAddr::new(mem.read_u64(slot_addr));
+                    mem.read_uint(ptr, image.layout.key_width)
+                }
+            }
+        };
+        let k0 = read_key(mem, header.offset(NodeLayout::HEADER_SLOT_OFFSET as i64));
+        if k0 == key {
+            out.push(mem.read_u64(header.offset(NodeLayout::HEADER_PAYLOAD_OFFSET as i64)));
+        }
+        let mut next = mem.read_u64(header.offset(NodeLayout::HEADER_NEXT_OFFSET as i64));
+        while next != 0 {
+            let node = VAddr::new(next);
+            let k = read_key(mem, node.offset(NodeLayout::NODE_SLOT_OFFSET as i64));
+            if k == key {
+                out.push(mem.read_u64(node.offset(NodeLayout::NODE_PAYLOAD_OFFSET as i64)));
+            }
+            next = mem.read_u64(node.offset(NodeLayout::NODE_NEXT_OFFSET as i64));
+        }
+        out
+    }
+
+    #[test]
+    fn direct_image_walks_match_logical_index() {
+        let (mem, image, index, probes) = setup(NodeLayout::direct8());
+        for key in probes.iter().chain([1u64, 5, 1000].iter()) {
+            let mut got = image_lookup_all(&mem, &image, *key, &index);
+            let mut want = index.lookup_all(*key);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "key {key}");
+        }
+    }
+
+    #[test]
+    fn indirect_image_walks_match_logical_index() {
+        let (mem, image, index, probes) = setup(NodeLayout::indirect8());
+        assert!(image.build_keys_base.is_some());
+        for key in probes {
+            let mut got = image_lookup_all(&mem, &image, key, &index);
+            let mut want = index.lookup_all(key);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "key {key}");
+        }
+    }
+
+    #[test]
+    fn kernel4_width_truncates_keys_correctly() {
+        let mut mem = MemorySystem::new(SystemConfig::default());
+        let mut alloc = RegionAllocator::new();
+        let pairs = vec![(7u64, 0u64), (9, 1)];
+        let index = HashIndex::build(HashRecipe::trivial(), 8, pairs);
+        let probes = vec![7u64];
+        let image = materialize(&mut mem, &mut alloc, &index, &probes, NodeLayout::kernel4(), 1);
+        assert_eq!(mem.read_uint(image.input_addr(0), 4), 7);
+    }
+
+    #[test]
+    fn input_column_round_trips() {
+        let (mem, image, _, probes) = setup(NodeLayout::direct8());
+        for (i, k) in probes.iter().enumerate() {
+            assert_eq!(mem.read_u64(image.input_addr(i as u64)), *k);
+        }
+    }
+
+    #[test]
+    fn regions_do_not_alias() {
+        let (_, image, _, _) = setup(NodeLayout::direct8());
+        let bucket_end = image.bucket_base + image.bucket_count * 32;
+        assert!(bucket_end <= image.node_base);
+        let node_end = image.node_base + image.node_count.max(1) * 24;
+        assert!(node_end <= image.input_base);
+    }
+
+    #[test]
+    fn warm_improves_first_access() {
+        let (mut mem, image, _, _) = setup(NodeLayout::direct8());
+        warm(&mut mem, &image);
+        let (_, r) = mem.load(image.header_addr(0), 8, 0);
+        assert!(
+            matches!(r.level, widx_sim::mem::HitLevel::L1 | widx_sim::mem::HitLevel::Llc),
+            "level {:?}",
+            r.level
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Re-derive the paper's Section 3.2 design conclusions from the
+//! analytical model: how many walkers are worth building?
+//!
+//! ```text
+//! cargo run --release --example analytical_model
+//! ```
+
+use widx_repro::model::{
+    l1_pressure, mshr_demand, walker_utilization, walkers_per_mc, ModelParams,
+};
+
+fn main() {
+    let p = ModelParams::default();
+
+    println!("How many walkers can the hardware feed? (paper Section 3.2)\n");
+
+    // L1 ports.
+    let at = |ports: f64| {
+        (1..=16)
+            .take_while(|n| l1_pressure(&p, 0.0, f64::from(*n)) <= ports)
+            .count()
+    };
+    println!("L1 bandwidth : {} walkers on 1 port, {} on 2 ports (low LLC miss ratio)", at(1.0), at(2.0));
+
+    // MSHRs.
+    let mshr_limit = (1..=16)
+        .take_while(|n| mshr_demand(&p, f64::from(*n)) <= p.mshrs)
+        .count();
+    println!("L1 MSHRs     : {} walkers with {} MSHRs", mshr_limit, p.mshrs);
+
+    // Off-chip bandwidth.
+    println!(
+        "memory BW    : {:.1} walkers/MC at 10% LLC misses, {:.1} at 100%",
+        walkers_per_mc(&p, 0.1),
+        walkers_per_mc(&p, 1.0)
+    );
+
+    // Dispatcher sharing.
+    println!("\nCan one dispatcher feed them? (Equation 6, 2 nodes/bucket)");
+    for n in [2.0, 4.0, 8.0] {
+        println!(
+            "  {n:>2} walkers: utilization {:.0}% at 50% LLC misses",
+            walker_utilization(&p, 0.5, 2.0, n) * 100.0
+        );
+    }
+
+    println!(
+        "\nconclusion: ~4 walkers per accelerator, one shared dispatcher — \
+         the Widx design point the paper builds."
+    );
+}

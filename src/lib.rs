@@ -1,0 +1,16 @@
+//! # widx-repro — facade crate
+//!
+//! Re-exports the whole Widx reproduction workspace under one roof. See
+//! the README for a tour and `DESIGN.md` for the system inventory.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use widx_core as accel;
+pub use widx_db as db;
+pub use widx_energy as energy;
+pub use widx_isa as isa;
+pub use widx_model as model;
+pub use widx_sim as sim;
+pub use widx_soft as soft;
+pub use widx_workloads as workloads;

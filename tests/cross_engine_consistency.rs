@@ -1,0 +1,106 @@
+//! Cross-engine consistency: the software engine, the software walkers,
+//! the baseline-core traces, and the Widx accelerator all describe the
+//! same computation — their results and work metrics must agree.
+
+use widx_repro::accel::config::WidxConfig;
+use widx_repro::accel::offload::offload_probe;
+use widx_repro::db::hash::HashRecipe;
+use widx_repro::db::index::{HashIndex, NodeLayout};
+use widx_repro::sim::config::SystemConfig;
+use widx_repro::sim::core::{run_inorder, run_ooo};
+use widx_repro::sim::mem::{MemorySystem, RegionAllocator};
+use widx_repro::sim::trace::UopKind;
+use widx_repro::soft::{probe_amac, probe_group_prefetch, probe_scalar};
+use widx_repro::workloads::{datagen, memimg, trace};
+
+struct World {
+    index: HashIndex,
+    probes: Vec<u64>,
+    mem: MemorySystem,
+    image: widx_repro::workloads::memimg::IndexImage,
+}
+
+fn world(layout: NodeLayout) -> World {
+    let entries = 2000usize;
+    let keys = datagen::unique_shuffled_keys(31, entries);
+    let index = HashIndex::build(
+        HashRecipe::robust64(),
+        1024,
+        keys.iter().enumerate().map(|(r, k)| (*k, r as u64)),
+    );
+    let probes = datagen::uniform_keys(32, 500, (entries * 2) as u64);
+    let mut mem = MemorySystem::new(SystemConfig::default());
+    let mut alloc = RegionAllocator::new();
+    let expected: u64 = probes.iter().map(|p| index.lookup_all(*p).len() as u64).sum();
+    let image = memimg::materialize(&mut mem, &mut alloc, &index, &probes, layout, expected);
+    World { index, probes, mem, image }
+}
+
+#[test]
+fn all_engines_agree_on_matches() {
+    let w = world(NodeLayout::direct8());
+
+    // Software oracles.
+    let mut scalar = Vec::new();
+    probe_scalar(&w.index, &w.probes, &mut scalar);
+    let mut amac = Vec::new();
+    probe_amac(&w.index, &w.probes, 8, &mut amac);
+    let mut gp = Vec::new();
+    probe_group_prefetch(&w.index, &w.probes, 8, &mut gp);
+
+    // Widx.
+    let mut mem = w.mem.clone();
+    let widx = offload_probe(&mut mem, &w.index, &w.image, &w.probes, &WidxConfig::paper_default());
+
+    let mut a = scalar.clone();
+    let mut b = amac;
+    let mut c = gp;
+    let mut d = widx.matches().to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    c.sort_unstable();
+    d.sort_unstable();
+    assert_eq!(a, b, "scalar vs AMAC");
+    assert_eq!(a, c, "scalar vs group prefetch");
+    assert_eq!(a, d, "software vs Widx");
+}
+
+#[test]
+fn trace_stores_equal_match_count() {
+    // The baseline trace emits exactly one store per match, so the trace
+    // and the accelerator agree on output volume.
+    let w = world(NodeLayout::indirect8());
+    let t = trace::probe_trace(&w.index, &w.image, &w.probes);
+    let stores = t
+        .uops()
+        .iter()
+        .filter(|u| matches!(u.kind, UopKind::Store { .. }))
+        .count();
+    let mut scalar = Vec::new();
+    probe_scalar(&w.index, &w.probes, &mut scalar);
+    assert_eq!(stores, scalar.len());
+}
+
+#[test]
+fn both_cores_replay_the_same_trace() {
+    let w = world(NodeLayout::direct8());
+    let t = trace::probe_trace(&w.index, &w.image, &w.probes);
+    let sys = SystemConfig::default();
+    let ooo = run_ooo(&sys.ooo, &t, &mut w.mem.clone(), 0);
+    let ino = run_inorder(&sys.inorder, &t, &mut w.mem.clone(), 0);
+    assert_eq!(ooo.retired, ino.retired);
+    assert_eq!(ooo.tuples, 500);
+    assert!(ino.cycles >= ooo.cycles, "in-order never beats the OoO");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let w1 = world(NodeLayout::direct8());
+    let w2 = world(NodeLayout::direct8());
+    let mut m1 = w1.mem.clone();
+    let mut m2 = w2.mem.clone();
+    let r1 = offload_probe(&mut m1, &w1.index, &w1.image, &w1.probes, &WidxConfig::with_walkers(2));
+    let r2 = offload_probe(&mut m2, &w2.index, &w2.image, &w2.probes, &WidxConfig::with_walkers(2));
+    assert_eq!(r1.stats.total_cycles, r2.stats.total_cycles, "bit-stable simulation");
+    assert_eq!(r1.matches(), r2.matches());
+}

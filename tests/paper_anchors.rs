@@ -1,0 +1,115 @@
+//! Integration checks of the paper's qualitative claims — the "shape"
+//! assertions DESIGN.md commits to. These run on reduced probe counts,
+//! so thresholds are deliberately loose.
+
+use widx_bench::runner::ProbeSetup;
+use widx_core::config::WidxConfig;
+use widx_energy::{figure11, PowerParams, Runtimes};
+use widx_workloads::kernel::{KernelConfig, KernelSize};
+use widx_workloads::profiles::{QueryProfile, Suite};
+
+#[test]
+fn widx4_beats_ooo_decisively_on_large_kernel() {
+    let setup = ProbeSetup::kernel(&KernelConfig::new(KernelSize::Large).with_probes(1500));
+    let ooo = setup.run_ooo();
+    let (widx, _) = setup.run_widx(&WidxConfig::with_walkers(4));
+    let speedup = ooo.cpt / widx.stats.cycles_per_tuple();
+    assert!(
+        speedup > 2.0,
+        "Large-index 4-walker speedup should be >2x (paper ~4x), got {speedup:.2}"
+    );
+}
+
+#[test]
+fn one_walker_is_roughly_ooo_parity_on_small_kernel() {
+    let setup = ProbeSetup::kernel(&KernelConfig::new(KernelSize::Small).with_probes(1500));
+    let ooo = setup.run_ooo();
+    let (widx, _) = setup.run_widx(&WidxConfig::with_walkers(1));
+    let ratio = ooo.cpt / widx.stats.cycles_per_tuple();
+    assert!(
+        (0.7..=1.5).contains(&ratio),
+        "1-walker Widx should be near OoO parity (paper ~1.05x), got {ratio:.2}"
+    );
+}
+
+#[test]
+fn small_kernel_walkers_go_idle_at_four() {
+    // Figure 8a: with a cache-resident index the dispatcher cannot keep
+    // four walkers busy.
+    let setup = ProbeSetup::kernel(&KernelConfig::new(KernelSize::Small).with_probes(1500));
+    let (widx, _) = setup.run_widx(&WidxConfig::with_walkers(4));
+    let per = widx.stats.walker_cycles_per_tuple();
+    assert!(
+        per.idle > 0.2 * per.total(),
+        "Small/4w should be dispatcher-bound (idle-heavy); breakdown {per:?}"
+    );
+}
+
+#[test]
+fn large_kernel_scales_nearly_linearly() {
+    let setup = ProbeSetup::kernel(&KernelConfig::new(KernelSize::Large).with_probes(1500));
+    let (w1, _) = setup.run_widx(&WidxConfig::with_walkers(1));
+    let (w4, _) = setup.run_widx(&WidxConfig::with_walkers(4));
+    let scaling = w1.stats.cycles_per_tuple() / w4.stats.cycles_per_tuple();
+    assert!(
+        scaling > 3.0,
+        "memory-bound walkers should scale near-linearly 1->4, got {scaling:.2}x"
+    );
+}
+
+#[test]
+fn tpcds_indexes_probe_faster_than_tpch() {
+    // Figure 9: TPC-DS per-column indexes are small, so cycles/tuple are
+    // far below TPC-H's (the paper changes the y-axis scale).
+    let h = ProbeSetup::profile(&QueryProfile::tpch().remove(4).with_probes(800)); // qry20
+    let ds = ProbeSetup::profile(&QueryProfile::tpcds().remove(1).with_probes(800)); // qry37
+    let (h4, _) = h.run_widx(&WidxConfig::paper_default());
+    let (ds4, _) = ds.run_widx(&WidxConfig::paper_default());
+    assert!(
+        ds4.stats.cycles_per_tuple() * 1.5 < h4.stats.cycles_per_tuple(),
+        "qry37 ({:.1}) should be much cheaper than qry20 ({:.1})",
+        ds4.stats.cycles_per_tuple(),
+        h4.stats.cycles_per_tuple()
+    );
+}
+
+#[test]
+fn l1_resident_query_hits_the_speedup_floor() {
+    // The paper's minimum: 1.5x on TPC-DS qry37 (L1-resident index).
+    let q = QueryProfile::tpcds().remove(1).with_probes(800);
+    let setup = ProbeSetup::profile(&q);
+    let ooo = setup.run_ooo();
+    let (widx, _) = setup.run_widx(&WidxConfig::paper_default());
+    let speedup = ooo.cpt / widx.stats.cycles_per_tuple();
+    assert!(
+        (1.0..=2.5).contains(&speedup),
+        "L1-resident speedup should sit near the paper's 1.5x floor, got {speedup:.2}"
+    );
+}
+
+#[test]
+fn tlb_cycles_appear_only_on_memory_intensive_queries() {
+    let big = ProbeSetup::profile(&QueryProfile::tpch().remove(4).with_probes(800)); // qry20
+    let small = ProbeSetup::profile(&QueryProfile::tpcds().remove(1).with_probes(800)); // qry37
+    let (b, _) = big.run_widx(&WidxConfig::with_walkers(1));
+    let (s, _) = small.run_widx(&WidxConfig::with_walkers(1));
+    assert!(b.stats.walker_mean().tlb > 0, "qry20 should see TLB stalls");
+    assert_eq!(s.stats.walker_mean().tlb, 0, "qry37 is TLB-resident");
+}
+
+#[test]
+fn energy_model_reproduces_paper_anchors_at_paper_ratios() {
+    let fig = figure11(
+        Runtimes { ooo: 1.0, inorder: 2.2, widx: 1.0 / 3.1 },
+        &PowerParams::default(),
+    );
+    assert!((0.81..=0.85).contains(&fig.widx_energy_reduction()));
+    assert!((15.0..=20.0).contains(&fig.widx_edp_gain_vs_ooo()));
+}
+
+#[test]
+fn suites_have_six_simulated_queries_each() {
+    let all = QueryProfile::all();
+    assert_eq!(all.iter().filter(|q| q.suite == Suite::TpcH).count(), 6);
+    assert_eq!(all.iter().filter(|q| q.suite == Suite::TpcDs).count(), 6);
+}
