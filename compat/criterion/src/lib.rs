@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds without a crates.io mirror, so external
+//! dependencies are vendored as minimal API-compatible subsets. This one
+//! keeps the workspace's `benches/` compiling and producing useful
+//! numbers: it implements groups, `bench_function` /
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros over a simple
+//! measure-and-report harness (median of `sample_size` timed samples,
+//! with a short warm-up). There are no plots, no statistical regression
+//! analysis, and no saved baselines — just honest wall-clock medians.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque wrapper preventing the optimizer from deleting a benchmark's
+/// work (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `payload`, running it enough times to smooth noise.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(payload());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work amount for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; we print as we
+    /// go, so this only exists for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Calibration pass: find an iteration count that runs ≥ ~20 ms
+        // so Instant resolution is negligible.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(20) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut per_iter_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 / median * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / median * 1e9 / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!("{}/{label}: {median:.0} ns/iter{rate}", self.name);
+    }
+}
+
+/// Declares a benchmark group entry point, in either the positional or
+/// the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("amac", 4).to_string(), "amac/4");
+        assert_eq!(
+            BenchmarkId::from_parameter("robust64").to_string(),
+            "robust64"
+        );
+    }
+
+    #[test]
+    fn bencher_times_payload() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(1));
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            });
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds in environments without a crates.io mirror, so
+//! external dependencies are vendored as minimal API-compatible subsets.
+//! This crate implements the slice of proptest the workspace's property
+//! tests actually use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_filter` /
+//!   `prop_filter_map` / `boxed`, implemented for integer ranges,
+//!   tuples (up to 8), [`strategy::Just`], and boxed strategies;
+//! * [`arbitrary::any`] for the primitive integers and `bool`;
+//! * [`collection::vec`] for variable-length vectors;
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header) plus
+//!   [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`], and
+//!   [`prop_assume!`].
+//!
+//! Differences from upstream, deliberately accepted for a hermetic
+//! build: cases are generated from a deterministic per-test seed (the
+//! FNV-1a hash of the test's name), there is **no shrinking** (a failing
+//! case panics with the generated inputs printed by the assertion
+//! itself), and `prop_assume!` skips the current case rather than
+//! tracking a rejection quota.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod test_runner;
+
+/// `Arbitrary` — canonical strategies for primitive types.
+pub mod arbitrary {
+    use crate::strategy::{AnyPrimitive, Strategy};
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive::new()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    /// The canonical strategy for `T`: uniform over the whole domain.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// `proptest::collection` — strategies for containers.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range and
+    /// elements drawn from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` strategy: length uniform in `len`, elements from
+    /// `element`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at generation time if `len` is empty.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            assert!(self.len.start < self.len.end, "empty length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop` path alias used by `prop::collection::vec` call sites.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// Everything a property-test file needs, in one glob import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat), &mut rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure, which
+/// fails the test with the offending inputs in the panic message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current generated case when its precondition does not hold.
+/// Must appear directly inside a [`proptest!`] test body (it expands to
+/// `continue` targeting the case loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -5i16..=5, n in 1usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn oneof_covers_all_arms(x in prop_oneof![Just(1u8), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Doc comments before the attribute must parse.
+        #[test]
+        fn config_header_accepted(t in (0u8..4, any::<bool>()).prop_map(|(a, b)| (a, b))) {
+            prop_assert!(t.0 < 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = prop::collection::vec(0u64..1000, 1..20);
+        let mut r1 = TestRng::for_test("deterministic_across_runs");
+        let mut r2 = TestRng::for_test("deterministic_across_runs");
+        for _ in 0..10 {
+            assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        }
+    }
+
+    #[test]
+    fn filter_map_retries_until_some() {
+        let strat =
+            (0u64..100).prop_filter_map(
+                "even halves",
+                |x| {
+                    if x % 2 == 0 {
+                        Some(x / 2)
+                    } else {
+                        None
+                    }
+                },
+            );
+        let mut rng = TestRng::for_test("filter_map_retries_until_some");
+        for _ in 0..100 {
+            assert!(strat.generate(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn union_is_roughly_uniform() {
+        let strat = prop_oneof![Just(0usize), Just(1), Just(2)];
+        let mut rng = TestRng::for_test("union_is_roughly_uniform");
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[strat.generate(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!(c > 700, "arm starved: {counts:?}");
+        }
+    }
+}

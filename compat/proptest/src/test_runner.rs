@@ -1,0 +1,110 @@
+//! Test execution support: per-test deterministic RNG and run
+//! configuration.
+
+/// Per-test configuration consumed by the [`proptest!`](crate::proptest)
+/// macro.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` generated inputs.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256 to keep the cycle-accurate
+    /// simulation property tests fast, while still exploring widely.
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator driving strategies: xoshiro256++ seeded from
+/// the FNV-1a hash of the test name, so every run of a given test
+/// explores the same cases (reproducible CI) while distinct tests get
+/// distinct streams.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// RNG for the named test.
+    #[must_use]
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+
+    /// RNG from an explicit seed (SplitMix64 state expansion).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, span)` (`span` ≤ 2⁶⁴ fits every integer
+    /// range the strategies support).
+    pub(crate) fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        if span <= u128::from(u64::MAX) {
+            u128::from(self.next_u64()) % span
+        } else {
+            let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            wide % span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_test_streams_differ() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("beta");
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn default_config_is_modest() {
+        assert_eq!(ProptestConfig::default().cases, 64);
+        assert_eq!(ProptestConfig::with_cases(48).cases, 48);
+    }
+}

@@ -11,7 +11,11 @@ fn bench_hashes(c: &mut Criterion) {
     let keys: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
     let mut group = c.benchmark_group("hash_functions");
     group.throughput(Throughput::Elements(keys.len() as u64));
-    for recipe in [HashRecipe::trivial(), HashRecipe::robust64(), HashRecipe::heavy128()] {
+    for recipe in [
+        HashRecipe::trivial(),
+        HashRecipe::robust64(),
+        HashRecipe::heavy128(),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(recipe.name()),
             &recipe,

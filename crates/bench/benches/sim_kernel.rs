@@ -19,7 +19,13 @@ fn bench_sim(c: &mut Criterion) {
 
     for walkers in [1usize, 4] {
         group.bench_with_input(BenchmarkId::new("widx", walkers), &walkers, |b, w| {
-            b.iter(|| setup.run_widx(&WidxConfig::with_walkers(*w)).0.stats.total_cycles);
+            b.iter(|| {
+                setup
+                    .run_widx(&WidxConfig::with_walkers(*w))
+                    .0
+                    .stats
+                    .total_cycles
+            });
         });
     }
     group.bench_function("ooo_baseline", |b| {

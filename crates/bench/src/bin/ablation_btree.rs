@@ -17,11 +17,14 @@ use widx_sim::config::SystemConfig;
 use widx_sim::core::run_ooo;
 use widx_sim::mem::{MemorySystem, RegionAllocator};
 use widx_workloads::btree_img::materialize_btree;
-use widx_workloads::trace::btree_probe_trace;
 use widx_workloads::datagen;
+use widx_workloads::trace::btree_probe_trace;
 
 fn main() {
-    let probes_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let probes_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
     let entries = 400_000u64; // DRAM-resident tree
 
     println!("== Ablation: B+-tree index traversal on Widx (Section 7 extension) ==\n");

@@ -18,8 +18,13 @@ use widx_db::index::NodeLayout;
 use widx_workloads::datagen;
 
 fn main() {
-    let probes_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8192);
-    println!("== Ablation: shared decoupled dispatcher (Fig. 3d) vs coupled hashing (Fig. 3b) ==\n");
+    let probes_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8192);
+    println!(
+        "== Ablation: shared decoupled dispatcher (Fig. 3d) vs coupled hashing (Fig. 3b) ==\n"
+    );
 
     let mut t = Table::new(&["hash", "walkers", "decoupled cpt", "coupled cpt", "saving"]);
     for recipe in [HashRecipe::robust64(), HashRecipe::heavy128()] {
@@ -38,7 +43,8 @@ fn main() {
             let (dec, _) = setup.run_widx(&cfg);
             let mut mem = setup.mem.clone();
             widx_workloads::memimg::warm(&mut mem, &setup.image);
-            let cou = offload_probe_coupled(&mut mem, &setup.index, &setup.image, &setup.probes, &cfg);
+            let cou =
+                offload_probe_coupled(&mut mem, &setup.index, &setup.image, &setup.probes, &cfg);
             let d = dec.stats.cycles_per_tuple();
             let c = cou.stats.cycles_per_tuple();
             t.row(&[

@@ -15,22 +15,28 @@ use widx_core::placement::Placement;
 use widx_workloads::kernel::{KernelConfig, KernelSize};
 
 fn main() {
-    let probes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8192);
+    let probes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8192);
     println!("== Ablation: core-coupled vs LLC-side Widx (4 walkers) ==\n");
     let mut t = Table::new(&["size", "core-coupled cpt", "LLC-side cpt", "winner"]);
     for size in KernelSize::ALL {
         let setup = ProbeSetup::kernel(&KernelConfig::new(size).with_probes(probes));
         let (core, _) = setup.run_widx(&WidxConfig::with_walkers(4));
-        let (llc, _) = setup.run_widx(
-            &WidxConfig::with_walkers(4).with_placement(Placement::LlcSide),
-        );
+        let (llc, _) =
+            setup.run_widx(&WidxConfig::with_walkers(4).with_placement(Placement::LlcSide));
         let c = core.stats.cycles_per_tuple();
         let l = llc.stats.cycles_per_tuple();
         t.row(&[
             size.name().into(),
             f2(c),
             f2(l),
-            if c <= l { "core-coupled".into() } else { "LLC-side".into() },
+            if c <= l {
+                "core-coupled".into()
+            } else {
+                "LLC-side".into()
+            },
         ]);
     }
     println!("{}", t.render());

@@ -13,7 +13,10 @@ use widx_core::config::WidxConfig;
 use widx_workloads::kernel::{KernelConfig, KernelSize};
 
 fn main() {
-    let probes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8192);
+    let probes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8192);
     println!("== Ablation: walker input-queue depth (4 walkers) ==\n");
     let mut t = Table::new(&["size", "depth 1", "depth 2 (paper)", "depth 4", "depth 8"]);
     for size in KernelSize::ALL {

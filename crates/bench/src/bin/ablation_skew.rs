@@ -16,14 +16,28 @@ use widx_workloads::datagen::{self, Zipf};
 use widx_workloads::kernel::{KernelConfig, KernelSize};
 
 fn main() {
-    let probes_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8192);
+    let probes_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8192);
     let cfg = KernelConfig::new(KernelSize::Large);
     let (index, _) = cfg.build();
     let tuples = KernelSize::Large.tuples();
 
     println!("== Ablation: probe-key skew on the Large kernel (4 walkers) ==\n");
-    let mut t = Table::new(&["distribution", "widx cpt", "mem/t", "idle/t", "ooo cpt", "speedup"]);
-    for (name, theta) in [("uniform", None), ("zipf 0.75", Some(0.75)), ("zipf 0.99", Some(0.99))] {
+    let mut t = Table::new(&[
+        "distribution",
+        "widx cpt",
+        "mem/t",
+        "idle/t",
+        "ooo cpt",
+        "speedup",
+    ]);
+    for (name, theta) in [
+        ("uniform", None),
+        ("zipf 0.75", Some(0.75)),
+        ("zipf 0.99", Some(0.99)),
+    ] {
         let probes = match theta {
             None => datagen::uniform_keys(7, probes_n, tuples as u64),
             Some(theta) => {

@@ -14,7 +14,10 @@ use widx_core::config::WidxConfig;
 use widx_workloads::kernel::{KernelConfig, KernelSize};
 
 fn main() {
-    let probes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8192);
+    let probes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8192);
     println!("== Ablation: dispatcher TOUCH-ahead of bucket headers (4 walkers) ==\n");
     let mut t = Table::new(&["size", "no touch cpt", "touch cpt", "change"]);
     for size in KernelSize::ALL {

@@ -13,11 +13,21 @@ fn main() {
     } else {
         ("16384", "12288", "1.0")
     };
+    let (serve_probes, serve_entries) = if quick {
+        ("20000", "65536")
+    } else {
+        ("100000", "262144")
+    };
 
     let exe = std::env::current_exe().expect("current exe path");
     let bin_dir = exe.parent().expect("bin dir").to_path_buf();
     let run = |name: &str, args: &[&str]| {
-        println!("\n{}\n# {name} {}\n{}", "#".repeat(72), args.join(" "), "#".repeat(72));
+        println!(
+            "\n{}\n# {name} {}\n{}",
+            "#".repeat(72),
+            args.join(" "),
+            "#".repeat(72)
+        );
         let status = Command::new(bin_dir.join(name))
             .args(args)
             .status()
@@ -41,5 +51,9 @@ fn main() {
     run("ablation_touch", &[kernel_probes]);
     run("ablation_btree", &[dss_probes]);
     run("ablation_skew", &[kernel_probes]);
+    run(
+        "serve_throughput",
+        &["--probes", serve_probes, "--entries", serve_entries],
+    );
     println!("\nall experiments completed");
 }

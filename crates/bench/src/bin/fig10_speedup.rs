@@ -21,7 +21,15 @@ fn main() {
         .unwrap_or(QueryProfile::DEFAULT_PROBES);
 
     println!("== Figure 10: indexing speedup over OoO ==\n");
-    let mut t = Table::new(&["suite", "query", "ooo cpt", "1w", "2w", "4w", "query-level (4w)"]);
+    let mut t = Table::new(&[
+        "suite",
+        "query",
+        "ooo cpt",
+        "1w",
+        "2w",
+        "4w",
+        "query-level (4w)",
+    ]);
     let mut speedups_4w = Vec::new();
     let mut query_speedups = Vec::new();
     for q in QueryProfile::all() {

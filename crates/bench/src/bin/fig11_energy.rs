@@ -14,7 +14,10 @@ use widx_energy::{figure11, PowerParams, Runtimes};
 use widx_workloads::profiles::QueryProfile;
 
 fn main() {
-    let probes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8192);
+    let probes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8192);
 
     let mut ooo_cpts = Vec::new();
     let mut inorder_cpts = Vec::new();

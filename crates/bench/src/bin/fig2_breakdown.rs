@@ -11,16 +11,19 @@
 //! counts (default 1.0; use 0.05 for a quick run).
 
 use widx_bench::table::{pct, Table};
+use widx_db::column::{Column, ColumnType};
 use widx_db::exec::OpClass;
 use widx_db::hash::HashRecipe;
 use widx_db::ops::hash_join;
-use widx_db::column::{Column, ColumnType};
 use widx_workloads::datagen;
 use widx_workloads::dss::{tpcds_fig2_with, tpch_fig2_with, OperatorCosts};
 use widx_workloads::profiles::QueryProfile;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     let costs = OperatorCosts::measure();
     println!(
         "host-calibrated operator costs (ns/row): probe {:.1}, scan {:.2}, sort {:.1}, agg {:.1}",
@@ -31,7 +34,10 @@ fn main() {
     let mut t = Table::new(&["suite", "query", "Index", "Scan", "Sort&Join", "Other"]);
     let mut index_fracs_h = Vec::new();
     let mut index_fracs_ds = Vec::new();
-    for spec in tpch_fig2_with(&costs).into_iter().chain(tpcds_fig2_with(&costs)) {
+    for spec in tpch_fig2_with(&costs)
+        .into_iter()
+        .chain(tpcds_fig2_with(&costs))
+    {
         let suite = spec.suite;
         let name = spec.name;
         let run = spec.scaled(scale).run();
@@ -72,7 +78,11 @@ fn main() {
         // the hash/walk split reflects real memory behaviour.
         let entries = ((q.entries as f64 * 4.0 * scale) as usize).max(512);
         let probes = ((q.probes as f64 * 16.0 * scale.max(0.2)) as usize).max(2048);
-        let dim = Column::new("dim", ColumnType::U64, datagen::unique_shuffled_keys(q.seed, entries));
+        let dim = Column::new(
+            "dim",
+            ColumnType::U64,
+            datagen::unique_shuffled_keys(q.seed, entries),
+        );
         let fact = Column::new(
             "fact",
             ColumnType::U64,

@@ -28,7 +28,9 @@ fn main() {
     }
     println!("{}", t.render());
     let at_low = |n: f64| widx_model::l1_pressure(&p, 0.0, n);
-    let single_port_limit = (1..=16).take_while(|n| at_low(f64::from(*n)) <= 1.0).count();
+    let single_port_limit = (1..=16)
+        .take_while(|n| at_low(f64::from(*n)) <= 1.0)
+        .count();
     println!(
         "single-ported L1 saturates beyond {single_port_limit} walkers; two ports sustain 10 \
          (pressure at 10w, low miss: {:.2} <= 2)\n",
@@ -41,9 +43,7 @@ fn main() {
         t.row(&[format!("{}", pt.x as u32), f2(pt.y)]);
     }
     println!("{}", t.render());
-    println!(
-        "8-10 MSHRs limit concurrent walkers to 4-5 (paper Section 3.2)\n"
-    );
+    println!("8-10 MSHRs limit concurrent walkers to 4-5 (paper Section 3.2)\n");
 
     println!("== Figure 4c: off-chip bandwidth constraint ==\n");
     let mut t = Table::new(&["llc miss", "walkers per MC"]);

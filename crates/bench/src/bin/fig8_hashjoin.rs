@@ -33,7 +33,12 @@ fn main() {
 
     for size in KernelSize::ALL {
         let cfg = KernelConfig::new(size).with_probes(probes);
-        println!("building {} ({} tuples, seed {:#x})...", size.name(), size.tuples(), cfg.seed);
+        println!(
+            "building {} ({} tuples, seed {:#x})...",
+            size.name(),
+            size.tuples(),
+            cfg.seed
+        );
         let setup = ProbeSetup::kernel(&cfg);
         let ooo = setup.run_ooo();
 
@@ -66,8 +71,14 @@ fn main() {
     }
 
     println!("\n-- Fig. 8a: Widx walker cycle breakdown per tuple --");
-    println!("(norm = total normalized to Small/1-walker; paper's y-axis)\n{}", fig8a.render());
-    println!("-- Fig. 8b: indexing speedup over OoO --\n{}", fig8b.render());
+    println!(
+        "(norm = total normalized to Small/1-walker; paper's y-axis)\n{}",
+        fig8a.render()
+    );
+    println!(
+        "-- Fig. 8b: indexing speedup over OoO --\n{}",
+        fig8b.render()
+    );
     println!(
         "geomean speedup: 1 walker {:.2}x (paper: ~1.04x), 4 walkers {:.2}x (paper: up to 4x on Large)",
         geomean(&speedups_1w),

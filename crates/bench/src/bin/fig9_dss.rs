@@ -15,7 +15,10 @@ fn main() {
         .unwrap_or(QueryProfile::DEFAULT_PROBES);
 
     for (fig, suite) in [("9a", Suite::TpcH), ("9b", Suite::TpcDs)] {
-        println!("== Figure {fig}: {} walker cycle breakdown (cycles/tuple) ==\n", suite.name());
+        println!(
+            "== Figure {fig}: {} walker cycle breakdown (cycles/tuple) ==\n",
+            suite.name()
+        );
         let mut t = Table::new(&["query", "walkers", "comp", "mem", "tlb", "idle", "total"]);
         for q in QueryProfile::all().into_iter().filter(|q| q.suite == suite) {
             let setup = ProbeSetup::profile(&q.clone().with_probes(probes));

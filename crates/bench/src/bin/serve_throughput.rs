@@ -1,0 +1,265 @@
+//! Serving-layer throughput sweep: shard count × in-flight walkers ×
+//! batch size on a Zipfian key stream — the `widx-serve` walker pool
+//! measured as a front-end, not a loop.
+//!
+//! Four client threads pipeline `MultiLookup` requests against the
+//! service; per-run output reports wall-clock service throughput,
+//! request-latency percentiles, and per-worker occupancy/batch shape.
+//! With `--json PATH`, the full sweep (including per-worker rows) is
+//! written as JSON for trend tracking (`BENCH_serve.json` keeps the
+//! committed baseline).
+//!
+//! Usage: `serve_throughput [--shards N] [--probes N] [--entries N]
+//! [--theta T] [--req-size N] [--json PATH]`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use widx_bench::table::{f1, f2, pct, Table};
+use widx_db::hash::HashRecipe;
+use widx_serve::{ProbeService, Request, ServeConfig, ServiceStats};
+use widx_workloads::datagen;
+
+const SEED: u64 = 0xD15C0;
+const CLIENTS: usize = 4;
+
+struct Args {
+    shards: Option<usize>,
+    probes: usize,
+    entries: u64,
+    theta: f64,
+    req_size: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        shards: None,
+        probes: 100_000,
+        entries: 1 << 18,
+        theta: 0.99,
+        req_size: 128,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--shards" => args.shards = Some(value().parse().expect("--shards")),
+            "--probes" => args.probes = value().parse().expect("--probes"),
+            "--entries" => args.entries = value().parse().expect("--entries"),
+            "--theta" => args.theta = value().parse().expect("--theta"),
+            "--req-size" => args.req_size = value().parse().expect("--req-size"),
+            "--json" => args.json = Some(value()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// One sweep point's results.
+struct Run {
+    shards: usize,
+    inflight: usize,
+    batch_size: usize,
+    wall_ms: f64,
+    keys_per_sec: f64,
+    stats: ServiceStats,
+}
+
+/// Drives `probes` through a freshly built service with `CLIENTS`
+/// pipelining client threads.
+fn run_once(
+    pairs: &[(u64, u64)],
+    probes: &[u64],
+    shards: usize,
+    inflight: usize,
+    batch_size: usize,
+    req_size: usize,
+) -> Run {
+    let config = ServeConfig::default()
+        .with_shards(shards)
+        .with_inflight(inflight)
+        .with_batch_size(batch_size);
+    let service = ProbeService::build(HashRecipe::robust64(), pairs.iter().copied(), &config);
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let per_client = probes.len().div_ceil(CLIENTS);
+        for slice in probes.chunks(per_client.max(1)) {
+            let service = &service;
+            scope.spawn(move || {
+                // Pipeline up to 32 requests per client before reaping.
+                let mut window = Vec::with_capacity(32);
+                for req in slice.chunks(req_size) {
+                    let pending = service
+                        .submit(Request::MultiLookup { keys: req.to_vec() })
+                        .expect("service running");
+                    window.push(pending);
+                    if window.len() == 32 {
+                        for p in window.drain(..) {
+                            let _ = p.wait();
+                        }
+                    }
+                }
+                for p in window {
+                    let _ = p.wait();
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+    let stats = service.shutdown();
+    Run {
+        shards,
+        inflight,
+        batch_size,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        keys_per_sec: probes.len() as f64 / wall.as_secs_f64(),
+        stats,
+    }
+}
+
+fn render_json(args: &Args, runs: &[Run]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"serve_throughput\",");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"entries\": {},", args.entries);
+    let _ = writeln!(out, "  \"probes\": {},", args.probes);
+    let _ = writeln!(out, "  \"theta\": {},", args.theta);
+    let _ = writeln!(out, "  \"req_size\": {},", args.req_size);
+    let _ = writeln!(out, "  \"clients\": {CLIENTS},");
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let lat = &run.stats.latency;
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"shards\": {}, \"inflight\": {}, \"batch_size\": {}, \
+             \"wall_ms\": {:.3}, \"keys_per_sec\": {:.0}, ",
+            run.shards, run.inflight, run.batch_size, run.wall_ms, run.keys_per_sec
+        );
+        let _ = write!(
+            out,
+            "\"latency_ns\": {{\"count\": {}, \"mean\": {:.0}, \"p50\": {}, \
+             \"p95\": {}, \"p99\": {}, \"max\": {}}}, ",
+            lat.count, lat.mean_ns, lat.p50_ns, lat.p95_ns, lat.p99_ns, lat.max_ns
+        );
+        out.push_str("\"workers\": [");
+        for (j, w) in run.stats.workers.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{{\"shard\": {}, \"keys\": {}, \"matches\": {}, \"batches\": {}, \
+                 \"mean_batch\": {:.2}, \"size_flushes\": {}, \"deadline_flushes\": {}, \
+                 \"occupancy\": {:.4}, \"busy_keys_per_sec\": {:.0}}}",
+                w.shard,
+                w.keys,
+                w.matches,
+                w.batches,
+                w.mean_batch(),
+                w.size_flushes,
+                w.deadline_flushes,
+                w.occupancy(),
+                w.busy_throughput(),
+            );
+            if j + 1 < run.stats.workers.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("]}");
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let shard_sweep: Vec<usize> = match args.shards {
+        Some(s) => vec![s],
+        None => vec![1, 2, 4],
+    };
+    let inflight_sweep = [1usize, 4, 8];
+    let batch_sweep = [16usize, 64];
+
+    let pairs: Vec<(u64, u64)> = datagen::unique_shuffled_keys(SEED, args.entries as usize)
+        .into_iter()
+        .enumerate()
+        .map(|(row, key)| (key, row as u64))
+        .collect();
+    // Probe domain slightly exceeds the build domain: ~6% misses.
+    let probes = datagen::zipf_keys(
+        SEED ^ 1,
+        args.probes,
+        args.entries + args.entries / 16,
+        args.theta,
+    );
+
+    println!(
+        "== serve_throughput: {} entries, {} Zipf({}) probes, {} clients, req-size {} ==\n",
+        args.entries, args.probes, args.theta, CLIENTS, args.req_size
+    );
+    println!("(seed {SEED:#x}; per-worker detail in --json output)\n");
+
+    let mut runs = Vec::new();
+    let mut t = Table::new(&[
+        "shards",
+        "inflight",
+        "batch",
+        "wall ms",
+        "Mkeys/s",
+        "p50 µs",
+        "p99 µs",
+        "occupancy",
+        "mean batch",
+    ]);
+    for &shards in &shard_sweep {
+        for &inflight in &inflight_sweep {
+            for &batch_size in &batch_sweep {
+                let run = run_once(&pairs, &probes, shards, inflight, batch_size, args.req_size);
+                let occ = run
+                    .stats
+                    .workers
+                    .iter()
+                    .map(widx_serve::WorkerStats::occupancy)
+                    .sum::<f64>()
+                    / run.stats.workers.len() as f64;
+                let mean_batch = run
+                    .stats
+                    .workers
+                    .iter()
+                    .map(widx_serve::WorkerStats::mean_batch)
+                    .sum::<f64>()
+                    / run.stats.workers.len() as f64;
+                t.row(&[
+                    run.shards.to_string(),
+                    run.inflight.to_string(),
+                    run.batch_size.to_string(),
+                    f2(run.wall_ms),
+                    f2(run.keys_per_sec / 1e6),
+                    f1(run.stats.latency.p50_ns as f64 / 1e3),
+                    f1(run.stats.latency.p99_ns as f64 / 1e3),
+                    pct(occ),
+                    f1(mean_batch),
+                ]);
+                runs.push(run);
+            }
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "(batching across concurrent requests fills the AMAC ring per shard; \
+         occupancy is busy/(busy+idle) per worker — the serving analogue of \
+         the paper's walker-utilization figure)"
+    );
+
+    if let Some(path) = &args.json {
+        let json = render_json(&args, &runs);
+        std::fs::write(path, json).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

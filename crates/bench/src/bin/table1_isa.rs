@@ -9,7 +9,13 @@ fn main() {
     println!("== Table 1: Widx ISA ==\n");
     let mut t = Table::new(&["Instruction", "H", "W", "P"]);
     for op in Opcode::ALL {
-        let cell = |c: UnitClass| if c.allows(op) { "X".to_string() } else { String::new() };
+        let cell = |c: UnitClass| {
+            if c.allows(op) {
+                "X".to_string()
+            } else {
+                String::new()
+            }
+        };
         t.row(&[
             op.mnemonic().to_uppercase(),
             cell(UnitClass::Dispatcher),

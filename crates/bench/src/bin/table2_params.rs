@@ -13,29 +13,54 @@ fn main() {
         t.row(&[k.to_string(), v]);
     };
     row("Technology", format!("40nm, {} GHz", c.freq_ghz));
-    row("Core types", format!(
-        "In-order (A8-like): {}-wide; OoO (Xeon-like): {}-wide, {}-entry ROB",
-        c.inorder.width, c.ooo.width, c.ooo.rob
-    ));
-    row("L1-D cache", format!(
-        "{} KB, {} ports, {} B blocks, {} MSHRs, {}-cycle load-to-use",
-        c.l1d.size_bytes / 1024, c.l1d.ports, c.l1d.block_bytes, c.l1d.mshrs, c.l1d.hit_latency
-    ));
-    row("LLC", format!(
-        "{} MB, {}-cycle hit latency",
-        c.llc.size_bytes / (1024 * 1024), c.llc.hit_latency
-    ));
-    row("TLB", format!(
-        "{} in-flight translations, {} entries, {} KB pages",
-        c.tlb.in_flight, c.tlb.entries, c.tlb.page_bytes / 1024
-    ));
-    row("Interconnect", format!("crossbar, {}-cycle latency", c.xbar_latency));
-    row("Main memory", format!(
-        "{} MCs, {:.1} GB/s peak each ({}% effective), {} ns access latency",
-        c.memory.controllers,
-        c.memory.peak_bytes_per_cycle * c.freq_ghz,
-        (c.memory.efficiency * 100.0) as u32,
-        c.memory.access_latency as f64 / c.freq_ghz
-    ));
+    row(
+        "Core types",
+        format!(
+            "In-order (A8-like): {}-wide; OoO (Xeon-like): {}-wide, {}-entry ROB",
+            c.inorder.width, c.ooo.width, c.ooo.rob
+        ),
+    );
+    row(
+        "L1-D cache",
+        format!(
+            "{} KB, {} ports, {} B blocks, {} MSHRs, {}-cycle load-to-use",
+            c.l1d.size_bytes / 1024,
+            c.l1d.ports,
+            c.l1d.block_bytes,
+            c.l1d.mshrs,
+            c.l1d.hit_latency
+        ),
+    );
+    row(
+        "LLC",
+        format!(
+            "{} MB, {}-cycle hit latency",
+            c.llc.size_bytes / (1024 * 1024),
+            c.llc.hit_latency
+        ),
+    );
+    row(
+        "TLB",
+        format!(
+            "{} in-flight translations, {} entries, {} KB pages",
+            c.tlb.in_flight,
+            c.tlb.entries,
+            c.tlb.page_bytes / 1024
+        ),
+    );
+    row(
+        "Interconnect",
+        format!("crossbar, {}-cycle latency", c.xbar_latency),
+    );
+    row(
+        "Main memory",
+        format!(
+            "{} MCs, {:.1} GB/s peak each ({}% effective), {} ns access latency",
+            c.memory.controllers,
+            c.memory.peak_bytes_per_cycle * c.freq_ghz,
+            (c.memory.efficiency * 100.0) as u32,
+            c.memory.access_latency as f64 / c.freq_ghz
+        ),
+    );
     println!("{}", t.render());
 }

@@ -9,10 +9,26 @@ fn main() {
     let p = PowerParams::default();
     println!("== Section 6.3: area and power (40 nm, 2 GHz) ==\n");
     let mut t = Table::new(&["Block", "Area (mm^2)", "Power (W)"]);
-    t.row(&["Widx unit (incl. 2-entry queues)".into(), format!("{:.3}", a.widx_unit_mm2), format!("{:.3}", p.widx_unit_w)]);
-    t.row(&["Widx x6 (dispatcher + 4 walkers + producer)".into(), f2(a.widx_total_mm2), f2(p.widx_total_w)]);
-    t.row(&["ARM Cortex-A8-like in-order core (incl. L1)".into(), f2(a.a8_mm2), f2(p.inorder_w)]);
-    t.row(&["ARM Cortex-M4 microcontroller".into(), f2(a.m4_mm2), "-".into()]);
+    t.row(&[
+        "Widx unit (incl. 2-entry queues)".into(),
+        format!("{:.3}", a.widx_unit_mm2),
+        format!("{:.3}", p.widx_unit_w),
+    ]);
+    t.row(&[
+        "Widx x6 (dispatcher + 4 walkers + producer)".into(),
+        f2(a.widx_total_mm2),
+        f2(p.widx_total_w),
+    ]);
+    t.row(&[
+        "ARM Cortex-A8-like in-order core (incl. L1)".into(),
+        f2(a.a8_mm2),
+        f2(p.inorder_w),
+    ]);
+    t.row(&[
+        "ARM Cortex-M4 microcontroller".into(),
+        f2(a.m4_mm2),
+        "-".into(),
+    ]);
     println!("{}", t.render());
     println!(
         "Widx occupies {:.0}% of the A8's area (paper: 18%) at comparable power; \

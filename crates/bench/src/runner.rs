@@ -43,13 +43,26 @@ pub struct Measured {
 impl ProbeSetup {
     /// Materializes `index` + `probes` into a cold memory system.
     #[must_use]
-    pub fn new(index: HashIndex, probes: Vec<u64>, layout: widx_db::index::NodeLayout) -> ProbeSetup {
+    pub fn new(
+        index: HashIndex,
+        probes: Vec<u64>,
+        layout: widx_db::index::NodeLayout,
+    ) -> ProbeSetup {
         let sys = SystemConfig::default();
         let mut mem = MemorySystem::new(sys.clone());
         let mut alloc = RegionAllocator::new();
-        let expected: u64 = probes.iter().map(|p| index.lookup_all(*p).len() as u64).sum();
+        let expected: u64 = probes
+            .iter()
+            .map(|p| index.lookup_all(*p).len() as u64)
+            .sum();
         let image = memimg::materialize(&mut mem, &mut alloc, &index, &probes, layout, expected);
-        ProbeSetup { sys, mem, index, image, probes }
+        ProbeSetup {
+            sys,
+            mem,
+            index,
+            image,
+            probes,
+        }
     }
 
     /// Builds the setup for a hash-join kernel configuration.
@@ -103,7 +116,11 @@ impl ProbeSetup {
 }
 
 fn measured(r: CoreRunResult, mem_stats: MemStats) -> Measured {
-    Measured { cycles: r.cycles, cpt: r.cycles_per_tuple(), mem_stats }
+    Measured {
+        cycles: r.cycles,
+        cpt: r.cycles_per_tuple(),
+        mem_stats,
+    }
 }
 
 /// Geometric mean of a series (1.0 for an empty series).

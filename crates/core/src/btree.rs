@@ -278,7 +278,8 @@ mod tests {
         let probes = vec![1u64];
         let mut mem = MemorySystem::new(widx_sim::config::SystemConfig::default());
         let mut alloc = widx_sim::mem::RegionAllocator::new();
-        let image = widx_workloads::btree_img::materialize_btree(&mut mem, &mut alloc, &t, &probes, 1);
+        let image =
+            widx_workloads::btree_img::materialize_btree(&mut mem, &mut alloc, &t, &probes, 1);
         for p in [
             btree_dispatcher_program(&image, 4),
             btree_walker_program(&image),

@@ -123,7 +123,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = WidxConfig::with_walkers(2).with_queue_depth(8).with_touch_ahead();
+        let c = WidxConfig::with_walkers(2)
+            .with_queue_depth(8)
+            .with_touch_ahead();
         assert_eq!(c.walkers, 2);
         assert_eq!(c.queue_depth, 8);
         assert!(c.touch_ahead);

@@ -144,7 +144,7 @@ pub fn load_control_block(
     let mut programs = Vec::new();
     for _ in 0..sections {
         let class = class_from_tag(read64(mem, &mut cursor, &mut now))
-            .ok_or_else(|| ControlBlockError::BadClass(u64::MAX))?;
+            .ok_or(ControlBlockError::BadClass(u64::MAX))?;
         let n_inst = read64(mem, &mut cursor, &mut now) as usize;
         let n_regs = read64(mem, &mut cursor, &mut now) as usize;
         let mut words = Vec::with_capacity(n_inst);
@@ -168,7 +168,10 @@ pub fn load_control_block(
             .map_err(|e| ControlBlockError::BadProgram(e.to_string()))?;
         programs.push(program);
     }
-    Ok(LoadedControlBlock { programs, ready_at: now })
+    Ok(LoadedControlBlock {
+        programs,
+        ready_at: now,
+    })
 }
 
 #[cfg(test)]
@@ -184,8 +187,14 @@ mod tests {
         let mut mem = MemorySystem::new(SystemConfig::default());
         let mut alloc = RegionAllocator::new();
         let index = HashIndex::build(HashRecipe::robust64(), 16, (0..10u64).map(|k| (k, k)));
-        let image =
-            memimg::materialize(&mut mem, &mut alloc, &index, &[1, 2], NodeLayout::direct8(), 2);
+        let image = memimg::materialize(
+            &mut mem,
+            &mut alloc,
+            &index,
+            &[1, 2],
+            NodeLayout::direct8(),
+            2,
+        );
         let set = programs::program_set(&HashRecipe::robust64(), &image, 4, false);
         (mem, alloc, set)
     }
@@ -193,8 +202,11 @@ mod tests {
     #[test]
     fn round_trip_through_memory() {
         let (mut mem, mut alloc, set) = setup();
-        let (base, len) =
-            write_control_block(&mut mem, &mut alloc, &[&set.dispatcher, &set.walker, &set.producer]);
+        let (base, len) = write_control_block(
+            &mut mem,
+            &mut alloc,
+            &[&set.dispatcher, &set.walker, &set.producer],
+        );
         assert!(len > 0);
         let loaded = load_control_block(&mut mem, base, 0).expect("well-formed block");
         assert_eq!(loaded.programs.len(), 3);

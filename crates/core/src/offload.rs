@@ -87,7 +87,11 @@ pub fn offload_probe_at(
             (mem.read_u64(slot), mem.read_u64(slot.offset(8)))
         })
         .collect();
-    OffloadResult { stats, matches, registers }
+    OffloadResult {
+        stats,
+        matches,
+        registers,
+    }
 }
 
 /// Offloads with the *coupled* (Figure 3b) design: a streaming
@@ -118,7 +122,11 @@ pub fn offload_probe_coupled(
             (mem.read_u64(slot), mem.read_u64(slot.offset(8)))
         })
         .collect();
-    OffloadResult { stats, matches, registers }
+    OffloadResult {
+        stats,
+        matches,
+        registers,
+    }
 }
 
 #[cfg(test)]
@@ -142,9 +150,17 @@ mod tests {
         let mut alloc = RegionAllocator::new();
         // Payloads are the build-row ids, as indirect layouts require.
         let index = HashIndex::build(recipe, entries as usize, (0..entries).map(|k| (k, k)));
-        let expected: u64 = probes.iter().map(|p| index.lookup_all(*p).len() as u64).sum();
+        let expected: u64 = probes
+            .iter()
+            .map(|p| index.lookup_all(*p).len() as u64)
+            .sum();
         let image = memimg::materialize(&mut mem, &mut alloc, &index, &probes, layout, expected);
-        Fixture { mem, index, image, probes }
+        Fixture {
+            mem,
+            index,
+            image,
+            probes,
+        }
     }
 
     /// Oracle: multiset of (key, payload) matches.
@@ -160,7 +176,11 @@ mod tests {
     fn check_matches(result: &OffloadResult, index: &HashIndex, probes: &[u64]) {
         let mut got = result.matches().to_vec();
         got.sort_unstable();
-        assert_eq!(got, oracle(index, probes), "Widx results must match the oracle");
+        assert_eq!(
+            got,
+            oracle(index, probes),
+            "Widx results must match the oracle"
+        );
     }
 
     #[test]
@@ -186,7 +206,13 @@ mod tests {
     fn indirect_layout_results_match_oracle() {
         let probes: Vec<u64> = (0..40).collect();
         let mut f = fixture(NodeLayout::indirect8(), HashRecipe::robust64(), 64, probes);
-        let r = offload_probe(&mut f.mem, &f.index, &f.image, &f.probes, &WidxConfig::paper_default());
+        let r = offload_probe(
+            &mut f.mem,
+            &f.index,
+            &f.image,
+            &f.probes,
+            &WidxConfig::paper_default(),
+        );
         check_matches(&r, &f.index, &f.probes);
     }
 
@@ -194,7 +220,13 @@ mod tests {
     fn kernel4_layout_results_match_oracle() {
         let probes: Vec<u64> = (0..30).collect();
         let mut f = fixture(NodeLayout::kernel4(), HashRecipe::trivial(), 64, probes);
-        let r = offload_probe(&mut f.mem, &f.index, &f.image, &f.probes, &WidxConfig::with_walkers(2));
+        let r = offload_probe(
+            &mut f.mem,
+            &f.index,
+            &f.image,
+            &f.probes,
+            &WidxConfig::with_walkers(2),
+        );
         check_matches(&r, &f.index, &f.probes);
     }
 
@@ -205,9 +237,21 @@ mod tests {
         let pairs = vec![(5u64, 1u64), (5, 2), (5, 3), (7, 9)];
         let index = HashIndex::build(HashRecipe::robust64(), 8, pairs);
         let probes = vec![5u64, 7, 11];
-        let image =
-            memimg::materialize(&mut mem, &mut alloc, &index, &probes, NodeLayout::direct8(), 4);
-        let r = offload_probe(&mut mem, &index, &image, &probes, &WidxConfig::with_walkers(2));
+        let image = memimg::materialize(
+            &mut mem,
+            &mut alloc,
+            &index,
+            &probes,
+            NodeLayout::direct8(),
+            4,
+        );
+        let r = offload_probe(
+            &mut mem,
+            &index,
+            &image,
+            &probes,
+            &WidxConfig::with_walkers(2),
+        );
         check_matches(&r, &index, &probes);
         assert_eq!(r.stats.matches, 4);
     }
@@ -215,7 +259,13 @@ mod tests {
     #[test]
     fn empty_probe_stream_terminates() {
         let mut f = fixture(NodeLayout::direct8(), HashRecipe::robust64(), 16, vec![]);
-        let r = offload_probe(&mut f.mem, &f.index, &f.image, &f.probes, &WidxConfig::with_walkers(4));
+        let r = offload_probe(
+            &mut f.mem,
+            &f.index,
+            &f.image,
+            &f.probes,
+            &WidxConfig::with_walkers(4),
+        );
         assert_eq!(r.stats.tuples, 0);
         assert_eq!(r.stats.matches, 0);
         assert!(r.matches().is_empty());
@@ -225,7 +275,13 @@ mod tests {
     fn misses_produce_no_output() {
         let probes: Vec<u64> = (1000..1050).collect(); // all misses
         let mut f = fixture(NodeLayout::direct8(), HashRecipe::robust64(), 100, probes);
-        let r = offload_probe(&mut f.mem, &f.index, &f.image, &f.probes, &WidxConfig::with_walkers(4));
+        let r = offload_probe(
+            &mut f.mem,
+            &f.index,
+            &f.image,
+            &f.probes,
+            &WidxConfig::with_walkers(4),
+        );
         assert_eq!(r.stats.matches, 0);
         assert_eq!(r.stats.tuples, 50);
     }
@@ -233,16 +289,37 @@ mod tests {
     #[test]
     fn more_walkers_do_not_change_results_but_speed_up() {
         let probes: Vec<u64> = (0..400).map(|i| i % 128).collect();
-        let f = fixture(NodeLayout::direct8(), HashRecipe::robust64(), 128, probes.clone());
+        let f = fixture(
+            NodeLayout::direct8(),
+            HashRecipe::robust64(),
+            128,
+            probes.clone(),
+        );
         let mut cycles = Vec::new();
         for walkers in [1, 2, 4] {
             let mut mem = f.mem.clone();
-            let r = offload_probe(&mut mem, &f.index, &f.image, &probes, &WidxConfig::with_walkers(walkers));
+            let r = offload_probe(
+                &mut mem,
+                &f.index,
+                &f.image,
+                &probes,
+                &WidxConfig::with_walkers(walkers),
+            );
             check_matches(&r, &f.index, &probes);
             cycles.push(r.stats.total_cycles);
         }
-        assert!(cycles[1] < cycles[0], "2 walkers {} < 1 walker {}", cycles[1], cycles[0]);
-        assert!(cycles[2] < cycles[1], "4 walkers {} < 2 walkers {}", cycles[2], cycles[1]);
+        assert!(
+            cycles[1] < cycles[0],
+            "2 walkers {} < 1 walker {}",
+            cycles[1],
+            cycles[0]
+        );
+        assert!(
+            cycles[2] < cycles[1],
+            "4 walkers {} < 2 walkers {}",
+            cycles[2],
+            cycles[1]
+        );
     }
 
     #[test]
@@ -251,7 +328,12 @@ mod tests {
         // critical path should cost measurably more than the decoupled
         // design (the paper's ~29% traversal-time claim).
         let probes: Vec<u64> = (0..600).map(|i| i % 256).collect();
-        let f = fixture(NodeLayout::direct8(), HashRecipe::robust64(), 256, probes.clone());
+        let f = fixture(
+            NodeLayout::direct8(),
+            HashRecipe::robust64(),
+            256,
+            probes.clone(),
+        );
         let cfg = WidxConfig::with_walkers(1);
         let mut mem_a = f.mem.clone();
         let decoupled = offload_probe(&mut mem_a, &f.index, &f.image, &probes, &cfg);
@@ -274,8 +356,18 @@ mod tests {
         let probes: Vec<u64> = (0..300).map(|i| i % 16).collect();
         let mut f = fixture(NodeLayout::direct8(), HashRecipe::heavy128(), 16, probes);
         widx_workloads::memimg::warm(&mut f.mem, &f.image);
-        let r = offload_probe(&mut f.mem, &f.index, &f.image, &f.probes, &WidxConfig::with_walkers(4));
+        let r = offload_probe(
+            &mut f.mem,
+            &f.index,
+            &f.image,
+            &f.probes,
+            &WidxConfig::with_walkers(4),
+        );
         let idle: u64 = r.stats.walkers.iter().map(|w| w.idle).sum();
-        assert!(idle > 0, "expected walker idle cycles, breakdown {:?}", r.stats.walkers);
+        assert!(
+            idle > 0,
+            "expected walker idle cycles, breakdown {:?}",
+            r.stats.walkers
+        );
     }
 }

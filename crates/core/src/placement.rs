@@ -28,7 +28,12 @@ impl Placement {
     /// core MMU's: translation hardware is expensive next to the LLC).
     #[must_use]
     pub fn dedicated_tlb_config() -> TlbConfig {
-        TlbConfig { entries: 32, in_flight: 2, walk_latency: 60, page_bytes: 4096 }
+        TlbConfig {
+            entries: 32,
+            in_flight: 2,
+            walk_latency: 60,
+            page_bytes: 4096,
+        }
     }
 }
 

@@ -94,7 +94,10 @@ pub fn dispatcher_program(
     let kw = image.layout.key_width;
     let mut b = ProgramBuilder::new(UnitClass::Dispatcher);
     b.init_reg(Reg::R1, image.input_base.get());
-    b.init_reg(Reg::R2, image.input_base.get() + image.input_count * kw as u64);
+    b.init_reg(
+        Reg::R2,
+        image.input_base.get() + image.input_count * kw as u64,
+    );
     b.init_reg(Reg::R5, image.bucket_count - 1);
     b.init_reg(Reg::R6, image.bucket_base.get());
     b.init_reg(Reg::R26, POISON_KEY);
@@ -155,20 +158,35 @@ pub fn walker_program(layout: NodeLayout) -> Program {
     b.halt();
 
     b.bind(walk);
-    b.ld(Reg::R3, Reg::R2, NodeLayout::HEADER_COUNT_OFFSET as i16, Width::W);
+    b.ld(
+        Reg::R3,
+        Reg::R2,
+        NodeLayout::HEADER_COUNT_OFFSET as i16,
+        Width::W,
+    );
     b.ble(Reg::R3, Src::Imm(0), item); // empty bucket
-    // Header node key (extra dereference when indirect).
+                                       // Header node key (extra dereference when indirect).
     b.ld(Reg::R4, Reg::R2, NodeLayout::HEADER_SLOT_OFFSET as i16, sw);
     if layout.key_kind == KeyKind::Indirect {
         b.ld(Reg::R4, Reg::R4, 0, kw);
     }
     b.cmp(Reg::R9, Reg::R4, Src::Reg(Reg::R1));
     b.ble(Reg::R9, Src::Imm(0), hnext); // no match
-    b.ld(Reg::R5, Reg::R2, NodeLayout::HEADER_PAYLOAD_OFFSET as i16, Width::D);
+    b.ld(
+        Reg::R5,
+        Reg::R2,
+        NodeLayout::HEADER_PAYLOAD_OFFSET as i16,
+        Width::D,
+    );
     b.add(Reg::OUT, Reg::R1, Src::Imm(0));
     b.add(Reg::OUT, Reg::R5, Src::Imm(0));
     b.bind(hnext);
-    b.ld(Reg::R6, Reg::R2, NodeLayout::HEADER_NEXT_OFFSET as i16, Width::D);
+    b.ld(
+        Reg::R6,
+        Reg::R2,
+        NodeLayout::HEADER_NEXT_OFFSET as i16,
+        Width::D,
+    );
 
     b.bind(chain);
     b.ble(Reg::R6, Src::Imm(0), item); // NULL → next item
@@ -178,11 +196,21 @@ pub fn walker_program(layout: NodeLayout) -> Program {
     }
     b.cmp(Reg::R9, Reg::R4, Src::Reg(Reg::R1));
     b.ble(Reg::R9, Src::Imm(0), cnext);
-    b.ld(Reg::R5, Reg::R6, NodeLayout::NODE_PAYLOAD_OFFSET as i16, Width::D);
+    b.ld(
+        Reg::R5,
+        Reg::R6,
+        NodeLayout::NODE_PAYLOAD_OFFSET as i16,
+        Width::D,
+    );
     b.add(Reg::OUT, Reg::R1, Src::Imm(0));
     b.add(Reg::OUT, Reg::R5, Src::Imm(0));
     b.bind(cnext);
-    b.ld(Reg::R6, Reg::R6, NodeLayout::NODE_NEXT_OFFSET as i16, Width::D);
+    b.ld(
+        Reg::R6,
+        Reg::R6,
+        NodeLayout::NODE_NEXT_OFFSET as i16,
+        Width::D,
+    );
     b.ba(chain);
 
     b.build().expect("walker program verifies")
@@ -281,7 +309,10 @@ pub fn streaming_dispatcher_program(image: &IndexImage, walkers: usize) -> Progr
     let kw = image.layout.key_width;
     let mut b = ProgramBuilder::new(UnitClass::Dispatcher);
     b.init_reg(Reg::R1, image.input_base.get());
-    b.init_reg(Reg::R2, image.input_base.get() + image.input_count * kw as u64);
+    b.init_reg(
+        Reg::R2,
+        image.input_base.get() + image.input_count * kw as u64,
+    );
     b.init_reg(Reg::R26, POISON_KEY);
     let top = b.new_label();
     let done = b.new_label();
@@ -342,7 +373,12 @@ pub fn hashing_walker_program(recipe: &HashRecipe, image: &IndexImage) -> Progra
     b.shl(Reg::R2, Reg::R2, Src::Imm(5));
     b.add(Reg::R2, Reg::R2, Src::Reg(Reg::R15));
 
-    b.ld(Reg::R3, Reg::R2, NodeLayout::HEADER_COUNT_OFFSET as i16, Width::W);
+    b.ld(
+        Reg::R3,
+        Reg::R2,
+        NodeLayout::HEADER_COUNT_OFFSET as i16,
+        Width::W,
+    );
     b.ble(Reg::R3, Src::Imm(0), item);
     b.ld(Reg::R4, Reg::R2, NodeLayout::HEADER_SLOT_OFFSET as i16, sw);
     if layout.key_kind == KeyKind::Indirect {
@@ -350,11 +386,21 @@ pub fn hashing_walker_program(recipe: &HashRecipe, image: &IndexImage) -> Progra
     }
     b.cmp(Reg::R9, Reg::R4, Src::Reg(Reg::R1));
     b.ble(Reg::R9, Src::Imm(0), hnext);
-    b.ld(Reg::R5, Reg::R2, NodeLayout::HEADER_PAYLOAD_OFFSET as i16, Width::D);
+    b.ld(
+        Reg::R5,
+        Reg::R2,
+        NodeLayout::HEADER_PAYLOAD_OFFSET as i16,
+        Width::D,
+    );
     b.add(Reg::OUT, Reg::R1, Src::Imm(0));
     b.add(Reg::OUT, Reg::R5, Src::Imm(0));
     b.bind(hnext);
-    b.ld(Reg::R6, Reg::R2, NodeLayout::HEADER_NEXT_OFFSET as i16, Width::D);
+    b.ld(
+        Reg::R6,
+        Reg::R2,
+        NodeLayout::HEADER_NEXT_OFFSET as i16,
+        Width::D,
+    );
 
     b.bind(chain);
     b.ble(Reg::R6, Src::Imm(0), item);
@@ -364,11 +410,21 @@ pub fn hashing_walker_program(recipe: &HashRecipe, image: &IndexImage) -> Progra
     }
     b.cmp(Reg::R9, Reg::R4, Src::Reg(Reg::R1));
     b.ble(Reg::R9, Src::Imm(0), cnext);
-    b.ld(Reg::R5, Reg::R6, NodeLayout::NODE_PAYLOAD_OFFSET as i16, Width::D);
+    b.ld(
+        Reg::R5,
+        Reg::R6,
+        NodeLayout::NODE_PAYLOAD_OFFSET as i16,
+        Width::D,
+    );
     b.add(Reg::OUT, Reg::R1, Src::Imm(0));
     b.add(Reg::OUT, Reg::R5, Src::Imm(0));
     b.bind(cnext);
-    b.ld(Reg::R6, Reg::R6, NodeLayout::NODE_NEXT_OFFSET as i16, Width::D);
+    b.ld(
+        Reg::R6,
+        Reg::R6,
+        NodeLayout::NODE_NEXT_OFFSET as i16,
+        Width::D,
+    );
     b.ba(chain);
 
     b.build().expect("hashing walker verifies")
@@ -429,7 +485,11 @@ mod tests {
     #[test]
     fn all_programs_verify() {
         let img = image(NodeLayout::direct8());
-        for recipe in [HashRecipe::trivial(), HashRecipe::robust64(), HashRecipe::heavy128()] {
+        for recipe in [
+            HashRecipe::trivial(),
+            HashRecipe::robust64(),
+            HashRecipe::heavy128(),
+        ] {
             let set = program_set(&recipe, &img, 4, false);
             assert!(set.dispatcher.verify().is_ok());
             assert!(set.walker.verify().is_ok());

@@ -40,7 +40,13 @@ impl PairQueue {
     #[must_use]
     pub fn new(cap: usize) -> PairQueue {
         assert!(cap > 0, "queue capacity must be positive");
-        PairQueue { cap, items: VecDeque::with_capacity(cap), half: None, pushes: 0, pops: 0 }
+        PairQueue {
+            cap,
+            items: VecDeque::with_capacity(cap),
+            half: None,
+            pushes: 0,
+            pops: 0,
+        }
     }
 
     /// Pairs currently occupying slots (a half-popped pair still counts).

@@ -252,7 +252,13 @@ impl Unit {
                 };
                 self.write(rd, v, io);
             }
-            Instruction::AluShf { op, rd, rs1, rs2, shift } => {
+            Instruction::AluShf {
+                op,
+                rd,
+                rs1,
+                rs2,
+                shift,
+            } => {
                 let a = self.reg(rs1, popped);
                 let b = shift.apply(self.reg(rs2, popped));
                 let v = match op {
@@ -278,8 +284,16 @@ impl Unit {
                     self.now += 1;
                 }
             }
-            Instruction::Ld { rd, base, offset, width } => {
-                let addr = VAddr::new(self.reg(base, popped).wrapping_add_signed(i64::from(offset)));
+            Instruction::Ld {
+                rd,
+                base,
+                offset,
+                width,
+            } => {
+                let addr = VAddr::new(
+                    self.reg(base, popped)
+                        .wrapping_add_signed(i64::from(offset)),
+                );
                 self.translate_with_retry(mem, addr);
                 let (value, r) = match self.placement {
                     Placement::CoreCoupled => mem.load_translated(addr, width.bytes(), self.now),
@@ -291,8 +305,16 @@ impl Unit {
                 }
                 self.write(rd, value, io);
             }
-            Instruction::St { rs, base, offset, width } => {
-                let addr = VAddr::new(self.reg(base, popped).wrapping_add_signed(i64::from(offset)));
+            Instruction::St {
+                rs,
+                base,
+                offset,
+                width,
+            } => {
+                let addr = VAddr::new(
+                    self.reg(base, popped)
+                        .wrapping_add_signed(i64::from(offset)),
+                );
                 self.translate_with_retry(mem, addr);
                 let value = self.reg(rs, popped);
                 match self.placement {
@@ -306,7 +328,10 @@ impl Unit {
                 self.stores += 1;
             }
             Instruction::Touch { base, offset } => {
-                let addr = VAddr::new(self.reg(base, popped).wrapping_add_signed(i64::from(offset)));
+                let addr = VAddr::new(
+                    self.reg(base, popped)
+                        .wrapping_add_signed(i64::from(offset)),
+                );
                 self.translate_with_retry(mem, addr);
                 match self.placement {
                     Placement::CoreCoupled => {
@@ -343,7 +368,12 @@ mod tests {
 
     impl TestIo {
         fn new(input: Vec<u64>) -> TestIo {
-            TestIo { input, cursor: 0, out: Vec::new(), push_ok: true }
+            TestIo {
+                input,
+                cursor: 0,
+                out: Vec::new(),
+                push_ok: true,
+            }
         }
     }
 

@@ -271,14 +271,20 @@ impl Widx {
             let outcome = self.walkers[i].step(mem, &mut io);
             (outcome, events)
         } else {
-            let mut io = ProducerIo { in_q: &mut self.prod_q, events: &mut events };
+            let mut io = ProducerIo {
+                in_q: &mut self.prod_q,
+                events: &mut events,
+            };
             let outcome = self.producer.step(mem, &mut io);
             (outcome, events)
         }
     }
 
     fn collect_stats(&self) -> WidxRunStats {
-        let end = (0..self.unit_count()).map(|i| self.unit(i).now()).max().unwrap_or(self.start);
+        let end = (0..self.unit_count())
+            .map(|i| self.unit(i).now())
+            .max()
+            .unwrap_or(self.start);
         let poisons = self.walkers.len() as u64;
         let tuples = self.walker_qs.iter().map(PairQueue::pushes).sum::<u64>() - poisons;
         WidxRunStats {
@@ -288,7 +294,9 @@ impl Widx {
             dispatcher: self.dispatcher.breakdown(),
             walkers: self.walkers.iter().map(Unit::breakdown).collect(),
             producer: self.producer.breakdown(),
-            tlb_replays: (0..self.unit_count()).map(|i| self.unit(i).tlb_replays()).sum(),
+            tlb_replays: (0..self.unit_count())
+                .map(|i| self.unit(i).tlb_replays())
+                .sum(),
         }
     }
 }
@@ -360,7 +368,8 @@ impl UnitIo for WalkerIo<'_> {
         let popped = self.in_q.pop_word();
         if let Some((_, at)) = popped {
             if !self.in_q.half_pending() {
-                self.events.push(QueueEvent::FreedWalkerSlot(self.index, at));
+                self.events
+                    .push(QueueEvent::FreedWalkerSlot(self.index, at));
             }
         }
         popped
@@ -381,6 +390,32 @@ impl UnitIo for WalkerIo<'_> {
                 self.events.push(QueueEvent::PushedToProducer(now));
             }
         }
+    }
+}
+
+/// Producer IO: pops the shared queue; never pushes.
+struct ProducerIo<'a> {
+    in_q: &'a mut PairQueue,
+    events: &'a mut Vec<QueueEvent>,
+}
+
+impl UnitIo for ProducerIo<'_> {
+    fn try_pop(&mut self) -> Option<(u64, Cycle)> {
+        let popped = self.in_q.pop_word();
+        if let Some((_, at)) = popped {
+            if !self.in_q.half_pending() {
+                self.events.push(QueueEvent::FreedProducerSlot(at));
+            }
+        }
+        popped
+    }
+
+    fn can_push(&mut self) -> bool {
+        false
+    }
+
+    fn push(&mut self, _word: u64, _now: Cycle) {
+        panic!("the producer has no output queue");
     }
 }
 
@@ -428,7 +463,10 @@ mod tests {
             // A walker is busy or stalled for (almost) the whole run;
             // small slack covers start/finish skew.
             assert!(w.total() <= stats.total_cycles + 2);
-            assert!(w.total() * 2 >= stats.total_cycles, "walker under-accounted: {w:?}");
+            assert!(
+                w.total() * 2 >= stats.total_cycles,
+                "walker under-accounted: {w:?}"
+            );
         }
     }
 
@@ -440,8 +478,18 @@ mod tests {
             matches: 40,
             dispatcher: Default::default(),
             walkers: vec![
-                widx_sim::stats::CycleBreakdown { comp: 100, mem: 300, tlb: 0, idle: 0 },
-                widx_sim::stats::CycleBreakdown { comp: 200, mem: 400, tlb: 0, idle: 100 },
+                widx_sim::stats::CycleBreakdown {
+                    comp: 100,
+                    mem: 300,
+                    tlb: 0,
+                    idle: 0,
+                },
+                widx_sim::stats::CycleBreakdown {
+                    comp: 200,
+                    mem: 400,
+                    tlb: 0,
+                    idle: 100,
+                },
             ],
             producer: Default::default(),
             tlb_replays: 0,
@@ -460,31 +508,5 @@ mod tests {
         assert_eq!(stats.tuples, 0);
         assert_eq!(stats.matches, 0);
         assert!(stats.total_cycles < 1000);
-    }
-}
-
-/// Producer IO: pops the shared queue; never pushes.
-struct ProducerIo<'a> {
-    in_q: &'a mut PairQueue,
-    events: &'a mut Vec<QueueEvent>,
-}
-
-impl UnitIo for ProducerIo<'_> {
-    fn try_pop(&mut self) -> Option<(u64, Cycle)> {
-        let popped = self.in_q.pop_word();
-        if let Some((_, at)) = popped {
-            if !self.in_q.half_pending() {
-                self.events.push(QueueEvent::FreedProducerSlot(at));
-            }
-        }
-        popped
-    }
-
-    fn can_push(&mut self) -> bool {
-        false
-    }
-
-    fn push(&mut self, _word: u64, _now: Cycle) {
-        panic!("the producer has no output queue");
     }
 }

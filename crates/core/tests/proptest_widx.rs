@@ -17,7 +17,10 @@ fn arb_layout() -> impl Strategy<Value = NodeLayout> {
         Just(NodeLayout::kernel4()),
         Just(NodeLayout::direct8()),
         Just(NodeLayout::indirect8()),
-        Just(NodeLayout { key_width: 4, key_kind: KeyKind::Indirect }),
+        Just(NodeLayout {
+            key_width: 4,
+            key_kind: KeyKind::Indirect
+        }),
     ]
 }
 

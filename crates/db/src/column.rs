@@ -59,7 +59,11 @@ impl Column {
                 "u32 column `{name}` contains out-of-range values"
             );
         }
-        Column { name: name.to_string(), ty, data }
+        Column {
+            name: name.to_string(),
+            ty,
+            data,
+        }
     }
 
     /// Creates an `F64Bits` column from doubles.

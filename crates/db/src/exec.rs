@@ -20,7 +20,12 @@ pub enum OpClass {
 
 impl OpClass {
     /// All classes in Figure 2a's legend order.
-    pub const ALL: [OpClass; 4] = [OpClass::Index, OpClass::Scan, OpClass::SortJoin, OpClass::Other];
+    pub const ALL: [OpClass; 4] = [
+        OpClass::Index,
+        OpClass::Scan,
+        OpClass::SortJoin,
+        OpClass::Other,
+    ];
 }
 
 impl fmt::Display for OpClass {
@@ -74,7 +79,11 @@ impl QueryRun {
     /// Records a pre-measured timing (for operators that time
     /// themselves, like [`crate::ops::hash_join`]).
     pub fn record(&mut self, class: OpClass, name: &str, nanos: u64) {
-        self.timings.push(OpTiming { class, name: name.to_string(), nanos });
+        self.timings.push(OpTiming {
+            class,
+            name: name.to_string(),
+            nanos,
+        });
     }
 
     /// All recorded timings in execution order.
@@ -92,7 +101,11 @@ impl QueryRun {
     /// Nanoseconds attributed to `class`.
     #[must_use]
     pub fn class_nanos(&self, class: OpClass) -> u64 {
-        self.timings.iter().filter(|t| t.class == class).map(|t| t.nanos).sum()
+        self.timings
+            .iter()
+            .filter(|t| t.class == class)
+            .map(|t| t.nanos)
+            .sum()
     }
 
     /// Fraction of total time in `class` (0 when nothing ran).

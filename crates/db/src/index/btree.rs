@@ -57,7 +57,10 @@ impl BTreeIndex {
             });
         }
         if leaves.is_empty() {
-            leaves.push(Leaf { keys: Vec::new(), payloads: Vec::new() });
+            leaves.push(Leaf {
+                keys: Vec::new(),
+                payloads: Vec::new(),
+            });
         }
 
         // Build inner levels bottom-up until one root remains.
@@ -87,7 +90,11 @@ impl BTreeIndex {
             level_first_keys = next_first_keys;
         }
 
-        BTreeIndex { fanout, levels, leaves }
+        BTreeIndex {
+            fanout,
+            levels,
+            leaves,
+        }
     }
 
     /// The tree's fanout.

@@ -24,7 +24,12 @@ pub struct Bucket {
 }
 
 impl Bucket {
-    const EMPTY: Bucket = Bucket { count: 0, key: 0, payload: 0, next: NONE };
+    const EMPTY: Bucket = Bucket {
+        count: 0,
+        key: 0,
+        payload: 0,
+        next: NONE,
+    };
 }
 
 /// An overflow node in the pool.
@@ -98,7 +103,11 @@ impl HashIndex {
             bucket.next = NONE;
         } else {
             // Prepend after the header to keep insertion O(1).
-            self.nodes.push(Node { key, payload, next: bucket.next });
+            self.nodes.push(Node {
+                key,
+                payload,
+                next: bucket.next,
+            });
             bucket.next = (self.nodes.len() - 1) as u32;
         }
         bucket.count += 1;
@@ -231,13 +240,22 @@ impl HashIndex {
         let buckets = self.buckets.len();
         let empty = self.buckets.iter().filter(|b| b.count == 0).count();
         let entries = self.len();
-        let max_chain = self.buckets.iter().map(|b| b.count as usize).max().unwrap_or(0);
+        let max_chain = self
+            .buckets
+            .iter()
+            .map(|b| b.count as usize)
+            .max()
+            .unwrap_or(0);
         let non_empty = buckets - empty;
         IndexStats {
             entries,
             buckets,
             empty_buckets: empty,
-            mean_chain: if non_empty == 0 { 0.0 } else { entries as f64 / non_empty as f64 },
+            mean_chain: if non_empty == 0 {
+                0.0
+            } else {
+                entries as f64 / non_empty as f64
+            },
             max_chain,
         }
     }

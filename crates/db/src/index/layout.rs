@@ -69,13 +69,19 @@ impl NodeLayout {
     /// payload").
     #[must_use]
     pub fn kernel4() -> NodeLayout {
-        NodeLayout { key_width: 4, key_kind: KeyKind::Direct }
+        NodeLayout {
+            key_width: 4,
+            key_kind: KeyKind::Direct,
+        }
     }
 
     /// Direct 8-byte keys — the generic wide-integer layout.
     #[must_use]
     pub fn direct8() -> NodeLayout {
-        NodeLayout { key_width: 8, key_kind: KeyKind::Direct }
+        NodeLayout {
+            key_width: 8,
+            key_kind: KeyKind::Direct,
+        }
     }
 
     /// MonetDB-style layout: the node stores an 8-byte pointer to the key
@@ -84,7 +90,10 @@ impl NodeLayout {
     /// calculation", Section 6.2).
     #[must_use]
     pub fn indirect8() -> NodeLayout {
-        NodeLayout { key_width: 8, key_kind: KeyKind::Indirect }
+        NodeLayout {
+            key_width: 8,
+            key_kind: KeyKind::Indirect,
+        }
     }
 
     /// Width of the slot at [`HEADER_SLOT_OFFSET`](Self::HEADER_SLOT_OFFSET):
@@ -136,7 +145,11 @@ mod tests {
         assert_eq!(NodeLayout::kernel4().slot_width(), 4);
         assert_eq!(NodeLayout::indirect8().slot_width(), 8);
         assert_eq!(
-            NodeLayout { key_width: 4, key_kind: KeyKind::Indirect }.slot_width(),
+            NodeLayout {
+                key_width: 4,
+                key_kind: KeyKind::Indirect
+            }
+            .slot_width(),
             8
         );
     }
@@ -150,12 +163,15 @@ mod tests {
 
     #[test]
     fn field_offsets_do_not_overlap() {
-        assert!(NodeLayout::HEADER_COUNT_OFFSET + 8 <= NodeLayout::HEADER_SLOT_OFFSET);
-        assert!(NodeLayout::HEADER_SLOT_OFFSET + 8 <= NodeLayout::HEADER_PAYLOAD_OFFSET);
-        assert!(NodeLayout::HEADER_PAYLOAD_OFFSET + 8 <= NodeLayout::HEADER_NEXT_OFFSET);
-        assert!(NodeLayout::HEADER_NEXT_OFFSET + 8 <= NodeLayout::HEADER_STRIDE);
-        assert!(NodeLayout::NODE_SLOT_OFFSET + 8 <= NodeLayout::NODE_PAYLOAD_OFFSET);
-        assert!(NodeLayout::NODE_PAYLOAD_OFFSET + 8 <= NodeLayout::NODE_NEXT_OFFSET);
-        assert!(NodeLayout::NODE_NEXT_OFFSET + 8 <= NodeLayout::NODE_STRIDE);
+        // Checked at compile time; the test documents the invariant.
+        const {
+            assert!(NodeLayout::HEADER_COUNT_OFFSET + 8 <= NodeLayout::HEADER_SLOT_OFFSET);
+            assert!(NodeLayout::HEADER_SLOT_OFFSET + 8 <= NodeLayout::HEADER_PAYLOAD_OFFSET);
+            assert!(NodeLayout::HEADER_PAYLOAD_OFFSET + 8 <= NodeLayout::HEADER_NEXT_OFFSET);
+            assert!(NodeLayout::HEADER_NEXT_OFFSET + 8 <= NodeLayout::HEADER_STRIDE);
+            assert!(NodeLayout::NODE_SLOT_OFFSET + 8 <= NodeLayout::NODE_PAYLOAD_OFFSET);
+            assert!(NodeLayout::NODE_PAYLOAD_OFFSET + 8 <= NodeLayout::NODE_NEXT_OFFSET);
+            assert!(NodeLayout::NODE_NEXT_OFFSET + 8 <= NodeLayout::NODE_STRIDE);
+        }
     }
 }

@@ -5,7 +5,9 @@
 mod btree;
 mod hash_index;
 mod layout;
+mod shard;
 
 pub use btree::{BTreeExport, BTreeIndex};
 pub use hash_index::{Bucket, HashIndex, IndexStats, Node, NONE};
 pub use layout::{KeyKind, NodeLayout};
+pub use shard::{build_sharded, partition_pairs};

@@ -1,0 +1,133 @@
+//! Shard-aware build path: partition `(key, payload)` streams by
+//! [`HashRecipe::shard_of`] so each shard can build (and later serve)
+//! its own independent [`HashIndex`](crate::index::HashIndex).
+//!
+//! This is the data-placement half of scaling the paper's design point
+//! out to a socket: one Widx front-end (dispatcher + walkers) per shard,
+//! each walking only index state it owns — no cross-shard pointers, no
+//! synchronization on the probe path.
+
+use crate::hash::HashRecipe;
+use crate::index::HashIndex;
+
+/// Splits `pairs` into `shards` disjoint build streams using
+/// `recipe.shard_of` on the key. The concatenation of the returned
+/// streams is a permutation of the input.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn partition_pairs(
+    recipe: &HashRecipe,
+    shards: usize,
+    pairs: impl IntoIterator<Item = (u64, u64)>,
+) -> Vec<Vec<(u64, u64)>> {
+    assert!(shards > 0, "need at least one shard");
+    let mut parts: Vec<Vec<(u64, u64)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (key, payload) in pairs {
+        parts[recipe.shard_of(key, shards as u64) as usize].push((key, payload));
+    }
+    parts
+}
+
+/// Builds one [`HashIndex`] per shard from `pairs`, sizing each shard's
+/// bucket array for its own entry count at the given target `load`
+/// (entries per bucket, e.g. 1.0 for ~1 entry/bucket), with a floor of
+/// `min_buckets` buckets per shard.
+///
+/// # Panics
+///
+/// Panics if `shards` or `min_buckets` is zero, or `load` is not
+/// positive.
+#[must_use]
+pub fn build_sharded(
+    recipe: &HashRecipe,
+    shards: usize,
+    min_buckets: usize,
+    load: f64,
+    pairs: impl IntoIterator<Item = (u64, u64)>,
+) -> Vec<HashIndex> {
+    assert!(min_buckets > 0, "need at least one bucket per shard");
+    assert!(load > 0.0, "target load must be positive");
+    partition_pairs(recipe, shards, pairs)
+        .into_iter()
+        .map(|part| {
+            let want = (part.len() as f64 / load).ceil() as usize;
+            HashIndex::build(recipe.clone(), want.max(min_buckets), part)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_a_permutation() {
+        let recipe = HashRecipe::robust64();
+        let pairs: Vec<(u64, u64)> = (0..500u64).map(|k| (k % 97, k)).collect();
+        let parts = partition_pairs(&recipe, 3, pairs.iter().copied());
+        assert_eq!(parts.len(), 3);
+        let mut merged: Vec<(u64, u64)> = parts.concat();
+        merged.sort_unstable();
+        let mut want = pairs.clone();
+        want.sort_unstable();
+        assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn partition_routes_by_shard_of() {
+        let recipe = HashRecipe::robust64();
+        let parts = partition_pairs(&recipe, 4, (0..200u64).map(|k| (k, k)));
+        for (s, part) in parts.iter().enumerate() {
+            for (k, _) in part {
+                assert_eq!(recipe.shard_of(*k, 4), s as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_finds_every_key_in_its_shard() {
+        let recipe = HashRecipe::robust64();
+        let pairs: Vec<(u64, u64)> = (0..1000u64).map(|k| (k, k * 10)).collect();
+        let indexes = build_sharded(&recipe, 4, 16, 1.0, pairs.iter().copied());
+        assert_eq!(indexes.len(), 4);
+        let total: usize = indexes.iter().map(HashIndex::len).sum();
+        assert_eq!(total, 1000);
+        for k in 0..1000u64 {
+            let s = recipe.shard_of(k, 4) as usize;
+            assert_eq!(indexes[s].lookup(k), Some(k * 10), "key {k}");
+            // And it lives nowhere else.
+            for (other, idx) in indexes.iter().enumerate() {
+                if other != s {
+                    assert_eq!(idx.lookup(k), None, "key {k} leaked into shard {other}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn load_controls_bucket_sizing() {
+        let recipe = HashRecipe::robust64();
+        let pairs: Vec<(u64, u64)> = (0..4096u64).map(|k| (k, k)).collect();
+        let tight = build_sharded(&recipe, 2, 1, 4.0, pairs.iter().copied());
+        let roomy = build_sharded(&recipe, 2, 1, 0.5, pairs.iter().copied());
+        for (t, r) in tight.iter().zip(&roomy) {
+            assert!(r.bucket_count() > t.bucket_count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = partition_pairs(&HashRecipe::robust64(), 0, std::iter::empty());
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_build() {
+        let recipe = HashRecipe::robust64();
+        let parts = partition_pairs(&recipe, 1, (0..50u64).map(|k| (k, k)));
+        assert_eq!(parts[0].len(), 50);
+    }
+}

@@ -30,7 +30,10 @@ pub fn group_sum(keys: &Column, values: &Column) -> GroupSum {
     }
     let mut groups: Vec<(u64, u64)> = map.into_iter().collect();
     groups.sort_unstable();
-    GroupSum { groups, nanos: t0.elapsed().as_nanos() as u64 }
+    GroupSum {
+        groups,
+        nanos: t0.elapsed().as_nanos() as u64,
+    }
 }
 
 #[cfg(test)]

@@ -79,7 +79,10 @@ pub fn hash_join(
     let t1 = Instant::now();
     let recipe = index.recipe().clone();
     let bucket_count = index.bucket_count() as u64;
-    let buckets: Vec<u64> = probe.iter().map(|k| recipe.bucket_of(k, bucket_count)).collect();
+    let buckets: Vec<u64> = probe
+        .iter()
+        .map(|k| recipe.bucket_of(k, bucket_count))
+        .collect();
     let hash_nanos = t1.elapsed().as_nanos() as u64;
 
     // Probe pass 2: walk the node lists (like the Widx walkers).
@@ -141,7 +144,12 @@ mod tests {
 
     #[test]
     fn no_matches() {
-        let r = hash_join(&col(vec![1, 2]), &col(vec![3, 4]), HashRecipe::robust64(), 8);
+        let r = hash_join(
+            &col(vec![1, 2]),
+            &col(vec![3, 4]),
+            HashRecipe::robust64(),
+            8,
+        );
         assert!(r.pairs.is_empty());
         assert_eq!(r.probes, 2);
         assert!(r.walk_visits >= 2);
@@ -164,11 +172,10 @@ mod tests {
         let probe = col(vec![5, 5]);
         let r = hash_join(&build, &probe, HashRecipe::robust64(), 8);
         assert_eq!(r.pairs.len(), 6);
-        let counts: HashMap<u32, usize> =
-            r.pairs.iter().fold(HashMap::new(), |mut m, (_, p)| {
-                *m.entry(*p).or_default() += 1;
-                m
-            });
+        let counts: HashMap<u32, usize> = r.pairs.iter().fold(HashMap::new(), |mut m, (_, p)| {
+            *m.entry(*p).or_default() += 1;
+            m
+        });
         assert_eq!(counts[&0], 3);
         assert_eq!(counts[&1], 3);
     }

@@ -31,7 +31,10 @@ pub fn scan_filter(column: &Column, pred: impl Fn(u64) -> bool) -> ScanResult {
             rows.push(i as u32);
         }
     }
-    ScanResult { rows, examined: column.len() }
+    ScanResult {
+        rows,
+        examined: column.len(),
+    }
 }
 
 #[cfg(test)]

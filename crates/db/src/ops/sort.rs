@@ -18,7 +18,10 @@ pub fn sort_column(column: &Column) -> SortResult {
     let t0 = Instant::now();
     let mut perm: Vec<u32> = (0..column.len() as u32).collect();
     perm.sort_by_key(|row| column.get(*row as usize));
-    SortResult { permutation: perm, nanos: t0.elapsed().as_nanos() as u64 }
+    SortResult {
+        permutation: perm,
+        nanos: t0.elapsed().as_nanos() as u64,
+    }
 }
 
 #[cfg(test)]

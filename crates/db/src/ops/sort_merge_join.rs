@@ -39,9 +39,9 @@ pub fn sort_merge_join(left: &Column, right: &Column) -> SortMergeResult {
                 let key = l[i].0;
                 let i_end = l[i..].iter().take_while(|(k, _)| *k == key).count() + i;
                 let j_end = r[j..].iter().take_while(|(k, _)| *k == key).count() + j;
-                for li in i..i_end {
-                    for rj in j..j_end {
-                        pairs.push((l[li].1, r[rj].1));
+                for (_, lv) in &l[i..i_end] {
+                    for (_, rv) in &r[j..j_end] {
+                        pairs.push((*lv, *rv));
                     }
                 }
                 i = i_end;
@@ -51,7 +51,11 @@ pub fn sort_merge_join(left: &Column, right: &Column) -> SortMergeResult {
     }
     let merge_nanos = t1.elapsed().as_nanos() as u64;
 
-    SortMergeResult { pairs, sort_nanos, merge_nanos }
+    SortMergeResult {
+        pairs,
+        sort_nanos,
+        merge_nanos,
+    }
 }
 
 #[cfg(test)]
@@ -78,8 +82,12 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert!(sort_merge_join(&col(vec![]), &col(vec![1])).pairs.is_empty());
-        assert!(sort_merge_join(&col(vec![1]), &col(vec![])).pairs.is_empty());
+        assert!(sort_merge_join(&col(vec![]), &col(vec![1]))
+            .pairs
+            .is_empty());
+        assert!(sort_merge_join(&col(vec![1]), &col(vec![]))
+            .pairs
+            .is_empty());
     }
 
     #[test]

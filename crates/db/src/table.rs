@@ -27,10 +27,17 @@ impl Table {
         }
         for (i, a) in columns.iter().enumerate() {
             for b in &columns[i + 1..] {
-                assert!(a.name() != b.name(), "duplicate column `{}` in `{name}`", a.name());
+                assert!(
+                    a.name() != b.name(),
+                    "duplicate column `{}` in `{name}`",
+                    a.name()
+                );
             }
         }
-        Table { name: name.to_string(), columns }
+        Table {
+            name: name.to_string(),
+            columns,
+        }
     }
 
     /// The table's name.
@@ -78,13 +85,22 @@ impl Table {
     /// inputs in the microbenchmarks.
     #[must_use]
     pub fn single_u64(table_name: &str, column_name: &str, data: Vec<u64>) -> Table {
-        Table::new(table_name, vec![Column::new(column_name, ColumnType::U64, data)])
+        Table::new(
+            table_name,
+            vec![Column::new(column_name, ColumnType::U64, data)],
+        )
     }
 }
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}({} rows, {} cols)", self.name, self.rows(), self.columns.len())
+        write!(
+            f,
+            "{}({} rows, {} cols)",
+            self.name,
+            self.rows(),
+            self.columns.len()
+        )
     }
 }
 

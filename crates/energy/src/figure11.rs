@@ -80,7 +80,12 @@ pub fn figure11(runtimes: Runtimes, power: &PowerParams) -> Figure11 {
     let point = |name, time: f64, watts: f64| {
         let t = time / runtimes.ooo;
         let energy = (watts * time) / (power.ooo_mode_w() * runtimes.ooo);
-        DesignPoint { name, runtime: t, energy, edp: energy * t }
+        DesignPoint {
+            name,
+            runtime: t,
+            energy,
+            edp: energy * t,
+        }
     };
     Figure11 {
         ooo: point("OoO", runtimes.ooo, power.ooo_mode_w()),
@@ -96,7 +101,11 @@ mod tests {
     /// The paper's own runtime ratios (Sec. 6.3: in-order 2.2x slower
     /// than OoO; Widx 3.1x faster).
     fn paper_runtimes() -> Runtimes {
-        Runtimes { ooo: 1.0, inorder: 2.2, widx: 1.0 / 3.1 }
+        Runtimes {
+            ooo: 1.0,
+            inorder: 2.2,
+            widx: 1.0 / 3.1,
+        }
     }
 
     #[test]
@@ -112,8 +121,14 @@ mod tests {
         let f = figure11(paper_runtimes(), &PowerParams::default());
         let inorder = f.inorder_energy_reduction();
         let widx = f.widx_energy_reduction();
-        assert!((0.84..=0.88).contains(&inorder), "in-order reduction {inorder} (paper 86%)");
-        assert!((0.81..=0.85).contains(&widx), "Widx reduction {widx} (paper 83%)");
+        assert!(
+            (0.84..=0.88).contains(&inorder),
+            "in-order reduction {inorder} (paper 86%)"
+        );
+        assert!(
+            (0.81..=0.85).contains(&widx),
+            "Widx reduction {widx} (paper 83%)"
+        );
     }
 
     #[test]
@@ -121,8 +136,14 @@ mod tests {
         let f = figure11(paper_runtimes(), &PowerParams::default());
         let vs_ooo = f.widx_edp_gain_vs_ooo();
         let vs_inorder = f.widx_edp_gain_vs_inorder();
-        assert!((15.0..=20.0).contains(&vs_ooo), "EDP vs OoO {vs_ooo} (paper 17.5x)");
-        assert!((5.0..=6.0).contains(&vs_inorder), "EDP vs in-order {vs_inorder} (paper 5.5x)");
+        assert!(
+            (15.0..=20.0).contains(&vs_ooo),
+            "EDP vs OoO {vs_ooo} (paper 17.5x)"
+        );
+        assert!(
+            (5.0..=6.0).contains(&vs_inorder),
+            "EDP vs in-order {vs_inorder} (paper 5.5x)"
+        );
     }
 
     #[test]
@@ -135,7 +156,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_runtime_rejected() {
-        let _ = figure11(Runtimes { ooo: 0.0, inorder: 1.0, widx: 1.0 }, &PowerParams::default());
+        let _ = figure11(
+            Runtimes {
+                ooo: 0.0,
+                inorder: 1.0,
+                widx: 1.0,
+            },
+            &PowerParams::default(),
+        );
     }
 
     #[test]
@@ -143,7 +171,11 @@ mod tests {
         // Absolute cycle counts should not matter, only ratios.
         let a = figure11(paper_runtimes(), &PowerParams::default());
         let b = figure11(
-            Runtimes { ooo: 1e9, inorder: 2.2e9, widx: 1e9 / 3.1 },
+            Runtimes {
+                ooo: 1e9,
+                inorder: 2.2e9,
+                widx: 1e9 / 3.1,
+            },
             &PowerParams::default(),
         );
         assert!((a.widx.edp - b.widx.edp).abs() < 1e-9);

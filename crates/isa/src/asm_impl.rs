@@ -82,7 +82,10 @@ impl From<VerifyError> for AsmError {
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
-    let err = || AsmError::Parse { line, message: format!("expected register, found `{tok}`") };
+    let err = || AsmError::Parse {
+        line,
+        message: format!("expected register, found `{tok}`"),
+    };
     match tok {
         "in" => return Ok(Reg::IN),
         "out" => return Ok(Reg::OUT),
@@ -94,7 +97,10 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
 }
 
 fn parse_int(tok: &str, line: usize) -> Result<i64, AsmError> {
-    let err = || AsmError::Parse { line, message: format!("expected integer, found `{tok}`") };
+    let err = || AsmError::Parse {
+        line,
+        message: format!("expected integer, found `{tok}`"),
+    };
     let (neg, body) = match tok.strip_prefix('-') {
         Some(rest) => (true, rest),
         None => (false, tok),
@@ -108,21 +114,30 @@ fn parse_int(tok: &str, line: usize) -> Result<i64, AsmError> {
 }
 
 fn parse_src(tok: &str, line: usize) -> Result<Src, AsmError> {
-    if tok == "in" || tok == "out" || tok.starts_with('r') && tok[1..].chars().all(|c| c.is_ascii_digit()) {
+    if tok == "in"
+        || tok == "out"
+        || tok.starts_with('r') && tok[1..].chars().all(|c| c.is_ascii_digit())
+    {
         Ok(Src::Reg(parse_reg(tok, line)?))
     } else {
         let v = parse_int(tok, line)?;
-        let imm = i16::try_from(v).ok().filter(|i| Src::imm_fits(*i)).ok_or(AsmError::Parse {
-            line,
-            message: format!("immediate {v} out of range"),
-        })?;
+        let imm = i16::try_from(v)
+            .ok()
+            .filter(|i| Src::imm_fits(*i))
+            .ok_or(AsmError::Parse {
+                line,
+                message: format!("immediate {v} out of range"),
+            })?;
         Ok(Src::Imm(imm))
     }
 }
 
 /// Parses `[base+offset]` / `[base-offset]` / `[base]`.
 fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i16), AsmError> {
-    let err = |m: &str| AsmError::Parse { line, message: format!("{m} in `{tok}`") };
+    let err = |m: &str| AsmError::Parse {
+        line,
+        message: format!("{m} in `{tok}`"),
+    };
     let inner = tok
         .strip_prefix('[')
         .and_then(|s| s.strip_suffix(']'))
@@ -138,13 +153,18 @@ fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i16), AsmError> {
         (inner, 0)
     };
     let base = parse_reg(base_str.trim(), line)?;
-    let offset =
-        i16::try_from(off).ok().filter(|o| (-2048..=2047).contains(o)).ok_or_else(|| err("offset out of range"))?;
+    let offset = i16::try_from(off)
+        .ok()
+        .filter(|o| (-2048..=2047).contains(o))
+        .ok_or_else(|| err("offset out of range"))?;
     Ok((base, offset))
 }
 
 fn parse_shift(tok: &str, line: usize) -> Result<Shift, AsmError> {
-    let err = || AsmError::Parse { line, message: format!("expected <<n or >>n, found `{tok}`") };
+    let err = || AsmError::Parse {
+        line,
+        message: format!("expected <<n or >>n, found `{tok}`"),
+    };
     let (dir, body) = if let Some(rest) = tok.strip_prefix("<<") {
         (crate::ShiftDir::Left, rest)
     } else if let Some(rest) = tok.strip_prefix(">>") {
@@ -161,7 +181,10 @@ fn parse_shift(tok: &str, line: usize) -> Result<Shift, AsmError> {
 
 /// Splits an operand list on commas, trimming whitespace.
 fn operands(rest: &str) -> Vec<&str> {
-    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 enum PendingTarget {
@@ -198,8 +221,14 @@ pub fn assemble(class: UnitClass, text: &str) -> Result<Program, AsmError> {
             if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
                 break;
             }
-            if labels.insert(label.to_string(), code.len() as u32).is_some() {
-                return Err(AsmError::DuplicateLabel { line, label: label.to_string() });
+            if labels
+                .insert(label.to_string(), code.len() as u32)
+                .is_some()
+            {
+                return Err(AsmError::DuplicateLabel {
+                    line,
+                    label: label.to_string(),
+                });
             }
             s = rest[1..].trim();
         }
@@ -210,7 +239,10 @@ pub fn assemble(class: UnitClass, text: &str) -> Result<Program, AsmError> {
         if let Some(rest) = s.strip_prefix(".reg") {
             let parts: Vec<&str> = rest.splitn(2, '=').map(str::trim).collect();
             if parts.len() != 2 {
-                return Err(AsmError::Parse { line, message: "expected `.reg rN = value`".into() });
+                return Err(AsmError::Parse {
+                    line,
+                    message: "expected `.reg rN = value`".into(),
+                });
             }
             let reg = parse_reg(parts[0], line)?;
             let value = parse_u64(parts[1], line)?;
@@ -308,13 +340,26 @@ pub fn assemble(class: UnitClass, text: &str) -> Result<Program, AsmError> {
                 let r = parse_reg(ops[0], line)?;
                 let (base, offset) = parse_mem(ops[1], line)?;
                 if m.starts_with("ld.") {
-                    Instruction::Ld { rd: r, base, offset, width }
+                    Instruction::Ld {
+                        rd: r,
+                        base,
+                        offset,
+                        width,
+                    }
                 } else {
-                    Instruction::St { rs: r, base, offset, width }
+                    Instruction::St {
+                        rs: r,
+                        base,
+                        offset,
+                        width,
+                    }
                 }
             }
             other => {
-                return Err(AsmError::Parse { line, message: format!("unknown mnemonic `{other}`") })
+                return Err(AsmError::Parse {
+                    line,
+                    message: format!("unknown mnemonic `{other}`"),
+                })
             }
         };
         if let PendingTarget::Label(l) = target {
@@ -324,9 +369,10 @@ pub fn assemble(class: UnitClass, text: &str) -> Result<Program, AsmError> {
     }
 
     for (pc, line, label) in pending {
-        let target = *labels
-            .get(&label)
-            .ok_or(AsmError::UndefinedLabel { line, label: label.clone() })?;
+        let target = *labels.get(&label).ok_or(AsmError::UndefinedLabel {
+            line,
+            label: label.clone(),
+        })?;
         code[pc] = code[pc].with_branch_target(target);
     }
 
@@ -334,7 +380,10 @@ pub fn assemble(class: UnitClass, text: &str) -> Result<Program, AsmError> {
 }
 
 fn parse_u64(tok: &str, line: usize) -> Result<u64, AsmError> {
-    let err = || AsmError::Parse { line, message: format!("expected unsigned integer, found `{tok}`") };
+    let err = || AsmError::Parse {
+        line,
+        message: format!("expected unsigned integer, found `{tok}`"),
+    };
     if let Some(hex) = tok.strip_prefix("0x") {
         u64::from_str_radix(hex, 16).map_err(|_| err())
     } else {
@@ -464,7 +513,11 @@ done:
 
     #[test]
     fn negative_offsets_and_hex() {
-        let p = assemble(UnitClass::Producer, ".reg r1 = 0xff\nst.d r2, [r1-8]\nhalt\n").unwrap();
+        let p = assemble(
+            UnitClass::Producer,
+            ".reg r1 = 0xff\nst.d r2, [r1-8]\nhalt\n",
+        )
+        .unwrap();
         assert_eq!(p.init().get(Reg::R1), 0xff);
         match p.code()[0] {
             Instruction::St { offset, .. } => assert_eq!(offset, -8),

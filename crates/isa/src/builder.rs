@@ -119,52 +119,105 @@ impl ProgramBuilder {
 
     /// Emits `ADD rd, rs1, src2`.
     pub fn add(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
-        self.push(Instruction::Alu { op: Opcode::Add, rd, rs1, src2 })
+        self.push(Instruction::Alu {
+            op: Opcode::Add,
+            rd,
+            rs1,
+            src2,
+        })
     }
 
     /// Emits `AND rd, rs1, src2`.
     pub fn and(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
-        self.push(Instruction::Alu { op: Opcode::And, rd, rs1, src2 })
+        self.push(Instruction::Alu {
+            op: Opcode::And,
+            rd,
+            rs1,
+            src2,
+        })
     }
 
     /// Emits `XOR rd, rs1, src2`.
     pub fn xor(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
-        self.push(Instruction::Alu { op: Opcode::Xor, rd, rs1, src2 })
+        self.push(Instruction::Alu {
+            op: Opcode::Xor,
+            rd,
+            rs1,
+            src2,
+        })
     }
 
     /// Emits `SHL rd, rs1, src2`.
     pub fn shl(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
-        self.push(Instruction::Alu { op: Opcode::Shl, rd, rs1, src2 })
+        self.push(Instruction::Alu {
+            op: Opcode::Shl,
+            rd,
+            rs1,
+            src2,
+        })
     }
 
     /// Emits `SHR rd, rs1, src2`.
     pub fn shr(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
-        self.push(Instruction::Alu { op: Opcode::Shr, rd, rs1, src2 })
+        self.push(Instruction::Alu {
+            op: Opcode::Shr,
+            rd,
+            rs1,
+            src2,
+        })
     }
 
     /// Emits `CMP rd, rs1, src2` (`rd = rs1 == src2`).
     pub fn cmp(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
-        self.push(Instruction::Alu { op: Opcode::Cmp, rd, rs1, src2 })
+        self.push(Instruction::Alu {
+            op: Opcode::Cmp,
+            rd,
+            rs1,
+            src2,
+        })
     }
 
     /// Emits `CMP-LE rd, rs1, src2` (`rd = rs1 <= src2`).
     pub fn cmp_le(&mut self, rd: Reg, rs1: Reg, src2: Src) -> &mut ProgramBuilder {
-        self.push(Instruction::Alu { op: Opcode::CmpLe, rd, rs1, src2 })
+        self.push(Instruction::Alu {
+            op: Opcode::CmpLe,
+            rd,
+            rs1,
+            src2,
+        })
     }
 
     /// Emits `ADD-SHF rd, rs1, rs2, shift`.
     pub fn add_shf(&mut self, rd: Reg, rs1: Reg, rs2: Reg, shift: Shift) -> &mut ProgramBuilder {
-        self.push(Instruction::AluShf { op: Opcode::AddShf, rd, rs1, rs2, shift })
+        self.push(Instruction::AluShf {
+            op: Opcode::AddShf,
+            rd,
+            rs1,
+            rs2,
+            shift,
+        })
     }
 
     /// Emits `AND-SHF rd, rs1, rs2, shift`.
     pub fn and_shf(&mut self, rd: Reg, rs1: Reg, rs2: Reg, shift: Shift) -> &mut ProgramBuilder {
-        self.push(Instruction::AluShf { op: Opcode::AndShf, rd, rs1, rs2, shift })
+        self.push(Instruction::AluShf {
+            op: Opcode::AndShf,
+            rd,
+            rs1,
+            rs2,
+            shift,
+        })
     }
 
     /// Emits `XOR-SHF rd, rs1, rs2, shift`.
     pub fn xor_shf(&mut self, rd: Reg, rs1: Reg, rs2: Reg, shift: Shift) -> &mut ProgramBuilder {
-        self.push(Instruction::AluShf { op: Opcode::XorShf, rd, rs1, rs2, shift })
+        self.push(Instruction::AluShf {
+            op: Opcode::XorShf,
+            rd,
+            rs1,
+            rs2,
+            shift,
+        })
     }
 
     /// Emits `BA label`.
@@ -174,7 +227,14 @@ impl ProgramBuilder {
 
     /// Emits `BLE rs1, src2, label` (branch if `rs1 <= src2`).
     pub fn ble(&mut self, rs1: Reg, src2: Src, label: Label) -> &mut ProgramBuilder {
-        self.push_branch(Instruction::Ble { rs1, src2, target: 0 }, label)
+        self.push_branch(
+            Instruction::Ble {
+                rs1,
+                src2,
+                target: 0,
+            },
+            label,
+        )
     }
 
     /// Emits `BEQ rs1, rs2, label` as the two-instruction `CMP` +
@@ -182,13 +242,7 @@ impl ProgramBuilder {
     ///
     /// The Widx ISA has no direct equality branch; this is the canonical
     /// expansion (compare produces 0/1, branch when the flag is 1).
-    pub fn beq_via(
-        &mut self,
-        tmp: Reg,
-        rs1: Reg,
-        src2: Src,
-        label: Label,
-    ) -> &mut ProgramBuilder {
+    pub fn beq_via(&mut self, tmp: Reg, rs1: Reg, src2: Src, label: Label) -> &mut ProgramBuilder {
         self.cmp(tmp, rs1, src2);
         self.ble(Reg::new(1), Src::Reg(tmp), label);
         self
@@ -196,7 +250,12 @@ impl ProgramBuilder {
 
     /// Emits a load of `width` bytes.
     pub fn ld(&mut self, rd: Reg, base: Reg, offset: i16, width: Width) -> &mut ProgramBuilder {
-        self.push(Instruction::Ld { rd, base, offset, width })
+        self.push(Instruction::Ld {
+            rd,
+            base,
+            offset,
+            width,
+        })
     }
 
     /// Emits `LD.D rd, [base+offset]`.
@@ -211,7 +270,12 @@ impl ProgramBuilder {
 
     /// Emits a store of `width` bytes.
     pub fn st(&mut self, rs: Reg, base: Reg, offset: i16, width: Width) -> &mut ProgramBuilder {
-        self.push(Instruction::St { rs, base, offset, width })
+        self.push(Instruction::St {
+            rs,
+            base,
+            offset,
+            width,
+        })
     }
 
     /// Emits `ST.D rs, [base+offset]`.

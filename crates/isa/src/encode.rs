@@ -71,7 +71,10 @@ impl fmt::Display for DecodeError {
         match self {
             DecodeError::BadOpcode(op) => write!(f, "invalid opcode field {op:#x}"),
             DecodeError::NegativeTarget { pc, rel } => {
-                write!(f, "branch at pc {pc} with displacement {rel} targets a negative index")
+                write!(
+                    f,
+                    "branch at pc {pc} with displacement {rel} targets a negative index"
+                )
             }
         }
     }
@@ -80,7 +83,10 @@ impl fmt::Display for DecodeError {
 impl Error for DecodeError {}
 
 fn op_code(op: Opcode) -> u32 {
-    Opcode::ALL.iter().position(|o| *o == op).expect("opcode in ALL") as u32
+    Opcode::ALL
+        .iter()
+        .position(|o| *o == op)
+        .expect("opcode in ALL") as u32
 }
 
 fn op_from_code(code: u32) -> Option<Opcode> {
@@ -100,7 +106,11 @@ fn check(what: &'static str, value: i64, lo: i64, hi: i64) -> Result<i64, Encode
     if (lo..=hi).contains(&value) {
         Ok(value)
     } else {
-        Err(EncodeError { what, value, range: (lo, hi) })
+        Err(EncodeError {
+            what,
+            value,
+            range: (lo, hi),
+        })
     }
 }
 
@@ -133,7 +143,13 @@ impl Instruction {
                 }
                 Ok(w)
             }
-            Instruction::AluShf { rd, rs1, rs2, shift, .. } => {
+            Instruction::AluShf {
+                rd,
+                rs1,
+                rs2,
+                shift,
+                ..
+            } => {
                 let dir = match shift.dir {
                     ShiftDir::Left => 0,
                     ShiftDir::Right => 1,
@@ -162,7 +178,12 @@ impl Instruction {
                 }
                 Ok(w)
             }
-            Instruction::Ld { rd, base, offset, width } => {
+            Instruction::Ld {
+                rd,
+                base,
+                offset,
+                width,
+            } => {
                 let off = check("offset", i64::from(offset), -2048, 2047)?;
                 Ok(op
                     | ((rd.index() as u32) << 23)
@@ -170,7 +191,12 @@ impl Instruction {
                     | (width.code() << 16)
                     | ((off as u32) & 0xfff))
             }
-            Instruction::St { rs, base, offset, width } => {
+            Instruction::St {
+                rs,
+                base,
+                offset,
+                width,
+            } => {
                 let off = check("offset", i64::from(offset), -2048, 2047)?;
                 Ok(op
                     | ((rs.index() as u32) << 23)
@@ -196,7 +222,8 @@ impl Instruction {
     /// Returns [`DecodeError`] for an unknown opcode field or a branch
     /// displacement that points before instruction 0.
     pub fn decode(word: u32, pc: u32) -> Result<Instruction, DecodeError> {
-        let opcode = op_from_code(field(word, 28, 4)).ok_or(DecodeError::BadOpcode(field(word, 28, 4)))?;
+        let opcode =
+            op_from_code(field(word, 28, 4)).ok_or(DecodeError::BadOpcode(field(word, 28, 4)))?;
         let reg = |lo: u32| Reg::new(field(word, lo, 5) as u8);
         let abs_target = |rel: i32| -> Result<u32, DecodeError> {
             let t = i64::from(pc) + i64::from(rel);
@@ -215,21 +242,35 @@ impl Instruction {
                 } else {
                     Src::Reg(reg(12))
                 };
-                Ok(Instruction::Alu { op: opcode, rd: reg(23), rs1: reg(18), src2 })
+                Ok(Instruction::Alu {
+                    op: opcode,
+                    rd: reg(23),
+                    rs1: reg(18),
+                    src2,
+                })
             }
             Opcode::AddShf | Opcode::AndShf | Opcode::XorShf => {
-                let dir = if field(word, 12, 1) == 1 { ShiftDir::Right } else { ShiftDir::Left };
+                let dir = if field(word, 12, 1) == 1 {
+                    ShiftDir::Right
+                } else {
+                    ShiftDir::Left
+                };
                 Ok(Instruction::AluShf {
                     op: opcode,
                     rd: reg(23),
                     rs1: reg(18),
                     rs2: reg(13),
-                    shift: Shift { dir, amount: field(word, 6, 6) as u8 },
+                    shift: Shift {
+                        dir,
+                        amount: field(word, 6, 6) as u8,
+                    },
                 })
             }
             Opcode::Ba => {
                 let rel = sext(field(word, 0, 16), 16);
-                Ok(Instruction::Ba { target: abs_target(rel)? })
+                Ok(Instruction::Ba {
+                    target: abs_target(rel)?,
+                })
             }
             Opcode::Ble => {
                 let rel = sext(field(word, 0, 8), 8);
@@ -238,7 +279,11 @@ impl Instruction {
                 } else {
                     Src::Reg(reg(8))
                 };
-                Ok(Instruction::Ble { rs1: reg(18), src2, target: abs_target(rel)? })
+                Ok(Instruction::Ble {
+                    rs1: reg(18),
+                    src2,
+                    target: abs_target(rel)?,
+                })
             }
             Opcode::Ld => Ok(Instruction::Ld {
                 rd: reg(23),
@@ -274,7 +319,12 @@ mod tests {
     #[test]
     fn alu_reg_round_trip() {
         round_trip(
-            Instruction::Alu { op: Opcode::Add, rd: Reg::R3, rs1: Reg::R1, src2: Src::Reg(Reg::OUT) },
+            Instruction::Alu {
+                op: Opcode::Add,
+                rd: Reg::R3,
+                rs1: Reg::R1,
+                src2: Src::Reg(Reg::OUT),
+            },
             0,
         );
     }
@@ -283,7 +333,12 @@ mod tests {
     fn alu_imm_extremes() {
         for imm in [-2048i16, -1, 0, 1, 2047] {
             round_trip(
-                Instruction::Alu { op: Opcode::Xor, rd: Reg::R9, rs1: Reg::IN, src2: Src::Imm(imm) },
+                Instruction::Alu {
+                    op: Opcode::Xor,
+                    rd: Reg::R9,
+                    rs1: Reg::IN,
+                    src2: Src::Imm(imm),
+                },
                 5,
             );
         }
@@ -291,13 +346,22 @@ mod tests {
 
     #[test]
     fn alu_imm_overflow_errors() {
-        let i = Instruction::Alu { op: Opcode::Add, rd: Reg::R1, rs1: Reg::R1, src2: Src::Imm(2048) };
+        let i = Instruction::Alu {
+            op: Opcode::Add,
+            rd: Reg::R1,
+            rs1: Reg::R1,
+            src2: Src::Imm(2048),
+        };
         assert!(i.encode(0).is_err());
     }
 
     #[test]
     fn fused_shift_round_trip() {
-        for (dir, amount) in [(ShiftDir::Left, 0u8), (ShiftDir::Right, 33), (ShiftDir::Left, 63)] {
+        for (dir, amount) in [
+            (ShiftDir::Left, 0u8),
+            (ShiftDir::Right, 33),
+            (ShiftDir::Left, 63),
+        ] {
             round_trip(
                 Instruction::AluShf {
                     op: Opcode::XorShf,
@@ -316,11 +380,19 @@ mod tests {
         round_trip(Instruction::Ba { target: 0 }, 100);
         round_trip(Instruction::Ba { target: 200 }, 100);
         round_trip(
-            Instruction::Ble { rs1: Reg::R4, src2: Src::Imm(0), target: 3 },
+            Instruction::Ble {
+                rs1: Reg::R4,
+                src2: Src::Imm(0),
+                target: 3,
+            },
             10,
         );
         round_trip(
-            Instruction::Ble { rs1: Reg::R4, src2: Src::Reg(Reg::R5), target: 130 },
+            Instruction::Ble {
+                rs1: Reg::R4,
+                src2: Src::Reg(Reg::R5),
+                target: 130,
+            },
             10,
         );
     }
@@ -328,7 +400,11 @@ mod tests {
     #[test]
     fn branch_out_of_range_errors() {
         // BLE has only 8 bits of displacement.
-        let b = Instruction::Ble { rs1: Reg::R1, src2: Src::Imm(0), target: 1000 };
+        let b = Instruction::Ble {
+            rs1: Reg::R1,
+            src2: Src::Imm(0),
+            target: 1000,
+        };
         assert!(b.encode(0).is_err());
         // BA has 16 bits of signed displacement.
         let ba = Instruction::Ba { target: 30000 };
@@ -341,7 +417,10 @@ mod tests {
     fn negative_displacement_decode() {
         // A backwards branch from pc 50 to 40.
         let w = Instruction::Ba { target: 40 }.encode(50).unwrap();
-        assert_eq!(Instruction::decode(w, 50).unwrap(), Instruction::Ba { target: 40 });
+        assert_eq!(
+            Instruction::decode(w, 50).unwrap(),
+            Instruction::Ba { target: 40 }
+        );
         // The same word decoded at pc 5 would target -5: error.
         assert!(matches!(
             Instruction::decode(w, 5),
@@ -353,10 +432,32 @@ mod tests {
     fn memory_round_trips() {
         for off in [-2048i16, -64, 0, 8, 2047] {
             for width in Width::ALL {
-                round_trip(Instruction::Ld { rd: Reg::R5, base: Reg::R4, offset: off, width }, 0);
-                round_trip(Instruction::St { rs: Reg::R5, base: Reg::R4, offset: off, width }, 0);
+                round_trip(
+                    Instruction::Ld {
+                        rd: Reg::R5,
+                        base: Reg::R4,
+                        offset: off,
+                        width,
+                    },
+                    0,
+                );
+                round_trip(
+                    Instruction::St {
+                        rs: Reg::R5,
+                        base: Reg::R4,
+                        offset: off,
+                        width,
+                    },
+                    0,
+                );
             }
-            round_trip(Instruction::Touch { base: Reg::R2, offset: off }, 0);
+            round_trip(
+                Instruction::Touch {
+                    base: Reg::R2,
+                    offset: off,
+                },
+                0,
+            );
         }
     }
 

@@ -105,7 +105,10 @@ impl Shift {
     #[must_use]
     pub fn left(amount: u8) -> Shift {
         assert!(amount < 64, "shift amount {amount} out of range (0..64)");
-        Shift { dir: ShiftDir::Left, amount }
+        Shift {
+            dir: ShiftDir::Left,
+            amount,
+        }
     }
 
     /// A right shift by `amount` bits.
@@ -116,7 +119,10 @@ impl Shift {
     #[must_use]
     pub fn right(amount: u8) -> Shift {
         assert!(amount < 64, "shift amount {amount} out of range (0..64)");
-        Shift { dir: ShiftDir::Right, amount }
+        Shift {
+            dir: ShiftDir::Right,
+            amount,
+        }
     }
 
     /// Applies the shift to a value.
@@ -453,17 +459,33 @@ impl fmt::Display for Instruction {
             Instruction::Alu { op, rd, rs1, src2 } => {
                 write!(f, "{op} {rd}, {rs1}, {src2}")
             }
-            Instruction::AluShf { op, rd, rs1, rs2, shift } => {
+            Instruction::AluShf {
+                op,
+                rd,
+                rs1,
+                rs2,
+                shift,
+            } => {
                 write!(f, "{op} {rd}, {rs1}, {rs2}, {shift}")
             }
             Instruction::Ba { target } => write!(f, "ba @{target}"),
             Instruction::Ble { rs1, src2, target } => {
                 write!(f, "ble {rs1}, {src2}, @{target}")
             }
-            Instruction::Ld { rd, base, offset, width } => {
+            Instruction::Ld {
+                rd,
+                base,
+                offset,
+                width,
+            } => {
                 write!(f, "ld{width} {rd}, [{base}{offset:+}]")
             }
-            Instruction::St { rs, base, offset, width } => {
+            Instruction::St {
+                rs,
+                base,
+                offset,
+                width,
+            } => {
                 write!(f, "st{width} {rs}, [{base}{offset:+}]")
             }
             Instruction::Touch { base, offset } => write!(f, "touch [{base}{offset:+}]"),

@@ -235,8 +235,17 @@ mod tests {
 
     fn sample_code() -> Vec<Instruction> {
         vec![
-            Instruction::Alu { op: Opcode::Add, rd: Reg::R1, rs1: Reg::R1, src2: Src::Imm(1) },
-            Instruction::Ble { rs1: Reg::R1, src2: Src::Imm(10), target: 0 },
+            Instruction::Alu {
+                op: Opcode::Add,
+                rd: Reg::R1,
+                rs1: Reg::R1,
+                src2: Src::Imm(1),
+            },
+            Instruction::Ble {
+                rs1: Reg::R1,
+                src2: Src::Imm(10),
+                target: 0,
+            },
             Instruction::Halt,
         ]
     }
@@ -273,7 +282,12 @@ mod tests {
         assert_eq!(p.class(), UnitClass::Walker);
 
         // ST is not allowed in a walker.
-        let bad = vec![Instruction::St { rs: Reg::R1, base: Reg::R2, offset: 0, width: crate::Width::D }];
+        let bad = vec![Instruction::St {
+            rs: Reg::R1,
+            base: Reg::R2,
+            offset: 0,
+            width: crate::Width::D,
+        }];
         assert!(Program::from_parts(UnitClass::Walker, bad, RegImage::new()).is_err());
     }
 

@@ -84,7 +84,9 @@ mod tests {
     fn table_1_matrix() {
         use Opcode::*;
         use UnitClass::*;
-        let common = [Add, And, Ba, Ble, Cmp, CmpLe, Ld, Shl, Shr, Touch, Xor, Halt];
+        let common = [
+            Add, And, Ba, Ble, Cmp, CmpLe, Ld, Shl, Shr, Touch, Xor, Halt,
+        ];
         for class in UnitClass::ALL {
             for op in common {
                 assert!(class.allows(op), "{class} should allow {op}");

@@ -71,23 +71,41 @@ impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifyError::OpcodeNotAllowed { pc, op, class } => {
-                write!(f, "instruction {pc}: {op} is not allowed on a {class} unit (Table 1)")
+                write!(
+                    f,
+                    "instruction {pc}: {op} is not allowed on a {class} unit (Table 1)"
+                )
             }
             VerifyError::BranchOutOfRange { pc, target, len } => {
-                write!(f, "instruction {pc}: branch target {target} outside program of length {len}")
+                write!(
+                    f,
+                    "instruction {pc}: branch target {target} outside program of length {len}"
+                )
             }
             VerifyError::MultipleInPortReads { pc } => {
-                write!(f, "instruction {pc}: multiple reads of the input-queue port")
+                write!(
+                    f,
+                    "instruction {pc}: multiple reads of the input-queue port"
+                )
             }
             VerifyError::InPortAsBase { pc } => {
-                write!(f, "instruction {pc}: input-queue port used as memory base register")
+                write!(
+                    f,
+                    "instruction {pc}: input-queue port used as memory base register"
+                )
             }
             VerifyError::PopPushConflict { pc } => {
-                write!(f, "instruction {pc}: pops the input queue and pushes the output queue")
+                write!(
+                    f,
+                    "instruction {pc}: pops the input queue and pushes the output queue"
+                )
             }
             VerifyError::Empty => write!(f, "program is empty"),
             VerifyError::TooLong { len, max } => {
-                write!(f, "program of {len} instructions exceeds the {max}-entry instruction buffer")
+                write!(
+                    f,
+                    "program of {len} instructions exceeds the {max}-entry instruction buffer"
+                )
             }
         }
     }
@@ -113,7 +131,10 @@ pub fn verify(class: UnitClass, code: &[Instruction]) -> Result<(), VerifyError>
         return Err(VerifyError::Empty);
     }
     if code.len() > MAX_PROGRAM_LEN {
-        return Err(VerifyError::TooLong { len: code.len(), max: MAX_PROGRAM_LEN });
+        return Err(VerifyError::TooLong {
+            len: code.len(),
+            max: MAX_PROGRAM_LEN,
+        });
     }
     for (pc, inst) in code.iter().enumerate() {
         let op = inst.opcode();
@@ -122,7 +143,11 @@ pub fn verify(class: UnitClass, code: &[Instruction]) -> Result<(), VerifyError>
         }
         if let Some(target) = inst.branch_target() {
             if target as usize >= code.len() {
-                return Err(VerifyError::BranchOutOfRange { pc, target, len: code.len() });
+                return Err(VerifyError::BranchOutOfRange {
+                    pc,
+                    target,
+                    len: code.len(),
+                });
             }
         }
         if inst.in_port_reads() > 1 {
@@ -163,7 +188,12 @@ mod tests {
     #[test]
     fn st_only_on_producer() {
         let code = [
-            Instruction::St { rs: Reg::R1, base: Reg::R2, offset: 0, width: Width::D },
+            Instruction::St {
+                rs: Reg::R1,
+                base: Reg::R2,
+                offset: 0,
+                width: Width::D,
+            },
             Instruction::Halt,
         ];
         assert!(verify(UnitClass::Producer, &code).is_ok());
@@ -194,7 +224,11 @@ mod tests {
         let code = [Instruction::Ba { target: 2 }, Instruction::Halt];
         assert!(matches!(
             verify(UnitClass::Walker, &code),
-            Err(VerifyError::BranchOutOfRange { pc: 0, target: 2, len: 2 })
+            Err(VerifyError::BranchOutOfRange {
+                pc: 0,
+                target: 2,
+                len: 2
+            })
         ));
         let ok = [Instruction::Ba { target: 1 }, Instruction::Halt];
         assert!(verify(UnitClass::Walker, &ok).is_ok());
@@ -215,7 +249,12 @@ mod tests {
     #[test]
     fn in_port_base_rejected() {
         let code = [
-            Instruction::Ld { rd: Reg::R1, base: Reg::IN, offset: 0, width: Width::D },
+            Instruction::Ld {
+                rd: Reg::R1,
+                base: Reg::IN,
+                offset: 0,
+                width: Width::D,
+            },
             Instruction::Halt,
         ];
         assert!(matches!(
@@ -226,9 +265,8 @@ mod tests {
 
     #[test]
     fn too_long_rejected() {
-        let code: Vec<Instruction> = std::iter::repeat(Instruction::Halt)
-            .take(MAX_PROGRAM_LEN + 1)
-            .collect();
+        let code: Vec<Instruction> =
+            std::iter::repeat_n(Instruction::Halt, MAX_PROGRAM_LEN + 1).collect();
         assert!(matches!(
             verify(UnitClass::Walker, &code),
             Err(VerifyError::TooLong { .. })

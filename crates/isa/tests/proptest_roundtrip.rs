@@ -18,11 +18,19 @@ fn arb_gpr() -> impl Strategy<Value = Reg> {
 }
 
 fn arb_width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::B), Just(Width::H), Just(Width::W), Just(Width::D)]
+    prop_oneof![
+        Just(Width::B),
+        Just(Width::H),
+        Just(Width::W),
+        Just(Width::D)
+    ]
 }
 
 fn arb_shift() -> impl Strategy<Value = Shift> {
-    ((0u8..64), prop_oneof![Just(ShiftDir::Left), Just(ShiftDir::Right)])
+    (
+        (0u8..64),
+        prop_oneof![Just(ShiftDir::Left), Just(ShiftDir::Right)],
+    )
         .prop_map(|(amount, dir)| Shift { dir, amount })
 }
 
@@ -46,7 +54,11 @@ fn arb_alu_op() -> impl Strategy<Value = Opcode> {
 }
 
 fn arb_fused_op() -> impl Strategy<Value = Opcode> {
-    prop_oneof![Just(Opcode::AddShf), Just(Opcode::AndShf), Just(Opcode::XorShf)]
+    prop_oneof![
+        Just(Opcode::AddShf),
+        Just(Opcode::AndShf),
+        Just(Opcode::XorShf)
+    ]
 }
 
 /// Instructions whose encodings are pc-independent.
@@ -54,14 +66,32 @@ fn arb_straightline() -> impl Strategy<Value = Instruction> {
     prop_oneof![
         (arb_alu_op(), arb_reg(), arb_reg(), arb_src())
             .prop_map(|(op, rd, rs1, src2)| Instruction::Alu { op, rd, rs1, src2 }),
-        (arb_fused_op(), arb_reg(), arb_reg(), arb_reg(), arb_shift())
-            .prop_map(|(op, rd, rs1, rs2, shift)| Instruction::AluShf { op, rd, rs1, rs2, shift }),
-        (arb_reg(), arb_gpr(), -2048i16..=2047, arb_width())
-            .prop_map(|(rd, base, offset, width)| Instruction::Ld { rd, base, offset, width }),
-        (arb_reg(), arb_gpr(), -2048i16..=2047, arb_width())
-            .prop_map(|(rs, base, offset, width)| Instruction::St { rs, base, offset, width }),
-        (arb_gpr(), -2048i16..=2047)
-            .prop_map(|(base, offset)| Instruction::Touch { base, offset }),
+        (arb_fused_op(), arb_reg(), arb_reg(), arb_reg(), arb_shift()).prop_map(
+            |(op, rd, rs1, rs2, shift)| Instruction::AluShf {
+                op,
+                rd,
+                rs1,
+                rs2,
+                shift
+            }
+        ),
+        (arb_reg(), arb_gpr(), -2048i16..=2047, arb_width()).prop_map(
+            |(rd, base, offset, width)| Instruction::Ld {
+                rd,
+                base,
+                offset,
+                width
+            }
+        ),
+        (arb_reg(), arb_gpr(), -2048i16..=2047, arb_width()).prop_map(
+            |(rs, base, offset, width)| Instruction::St {
+                rs,
+                base,
+                offset,
+                width
+            }
+        ),
+        (arb_gpr(), -2048i16..=2047).prop_map(|(base, offset)| Instruction::Touch { base, offset }),
         Just(Instruction::Halt),
     ]
 }

@@ -26,7 +26,10 @@ pub fn l1_bandwidth_series(
             let series = (0..=steps)
                 .map(|i| {
                     let m = i as f64 / steps as f64;
-                    SweepPoint { x: m, y: l1_pressure(p, m, f64::from(*n)) }
+                    SweepPoint {
+                        x: m,
+                        y: l1_pressure(p, m, f64::from(*n)),
+                    }
                 })
                 .collect();
             (*n, series)
@@ -38,7 +41,10 @@ pub fn l1_bandwidth_series(
 #[must_use]
 pub fn mshr_series(p: &ModelParams, max_walkers: u32) -> Vec<SweepPoint> {
     (1..=max_walkers)
-        .map(|n| SweepPoint { x: f64::from(n), y: mshr_demand(p, f64::from(n)) })
+        .map(|n| SweepPoint {
+            x: f64::from(n),
+            y: mshr_demand(p, f64::from(n)),
+        })
         .collect()
 }
 
@@ -48,7 +54,10 @@ pub fn walkers_per_mc_series(p: &ModelParams, steps: usize) -> Vec<SweepPoint> {
     (1..=steps)
         .map(|i| {
             let m = i as f64 / steps as f64;
-            SweepPoint { x: m, y: walkers_per_mc(p, m) }
+            SweepPoint {
+                x: m,
+                y: walkers_per_mc(p, m),
+            }
         })
         .collect()
 }

@@ -25,6 +25,8 @@ pub mod params;
 pub mod utilization;
 
 pub use bottleneck::{l1_bandwidth_series, mshr_series, walkers_per_mc_series};
-pub use equations::{amat, cycles_per_op, l1_pressure, mshr_demand, off_chip_demand, walkers_per_mc};
+pub use equations::{
+    amat, cycles_per_op, l1_pressure, mshr_demand, off_chip_demand, walkers_per_mc,
+};
 pub use params::ModelParams;
 pub use utilization::{walker_utilization, walker_utilization_series};

@@ -48,7 +48,7 @@ impl Default for ModelParams {
     fn default() -> ModelParams {
         ModelParams {
             l1_latency: 2.0,
-            llc_latency: 14.0, // crossbar + LLC array + crossbar
+            llc_latency: 14.0,  // crossbar + LLC array + crossbar
             mem_latency: 105.0, // MC queue + DRAM + return
             hash_mem_ops: 1.0,
             hash_comp_cycles: 4.0,

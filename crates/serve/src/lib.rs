@@ -1,0 +1,70 @@
+//! # widx-serve — a sharded, batched probe-serving engine
+//!
+//! The paper's Widx accelerator puts *four walkers behind one
+//! dispatcher* to mine the inter-key parallelism of index probes.
+//! `widx-soft` reproduces that on one core with AMAC interleaving; this
+//! crate scales the same shape to a whole socket and wraps it in the
+//! request/response surface a production in-memory DB front-end needs —
+//! a **software walker pool as a service**:
+//!
+//! * [`ShardedIndex`] — the index partitioned by
+//!   [`HashRecipe::shard_of`](widx_db::hash::HashRecipe::shard_of) into
+//!   independent per-worker [`HashIndex`](widx_db::index::HashIndex)es
+//!   (the shard-aware build path of `widx_db::index`);
+//! * [`ProbeService`] — one worker thread per shard (the dispatcher
+//!   role), each driving a resumable
+//!   [`AmacWalker`](widx_soft::AmacWalker) ring (the walkers) over
+//!   *batches* assembled from a bounded queue: flush at
+//!   [`batch_size`](ServeConfig::batch_size) keys or a deadline,
+//!   backpressure when queues fill, and poison-pill shutdown mirroring
+//!   [`widx_core::POISON_KEY`] — drain accepted work, then halt;
+//! * typed requests — [`Request::Lookup`], [`Request::MultiLookup`],
+//!   [`Request::JoinProbe`] — with per-request completion latency and
+//!   per-worker throughput/occupancy telemetry ([`ServiceStats`])
+//!   feeding the `widx-bench` reporting machinery.
+//!
+//! Batching across *concurrent requests* is what makes the pool a
+//! service rather than a loop: a single `Lookup` arriving alone would
+//! waste the walker ring, but dozens of independent requests batched at
+//! a shard fill every in-flight slot, exactly like the paper's
+//! dispatcher keeping all four walkers busy.
+//!
+//! # Example
+//!
+//! ```
+//! use widx_db::hash::HashRecipe;
+//! use widx_serve::{ProbeService, ServeConfig};
+//!
+//! let config = ServeConfig::default().with_shards(2).with_batch_size(16);
+//! let service = ProbeService::build(
+//!     HashRecipe::robust64(),
+//!     (0..10_000u64).map(|k| (k, k + 1)),
+//!     &config,
+//! );
+//! assert_eq!(service.lookup(41).unwrap(), vec![42]);
+//!
+//! let mut pairs = service.join_probe(&[5, 99_999, 5]).unwrap();
+//! pairs.sort_unstable();
+//! assert_eq!(pairs, vec![(0, 6), (2, 6)]); // rows 0 and 2 hit, row 1 missed
+//!
+//! let stats = service.shutdown();
+//! assert_eq!(stats.total_keys(), 4); // one lookup key + three join rows
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod batch;
+mod queue;
+mod request;
+mod service;
+mod shard;
+mod stats;
+mod worker;
+
+pub use batch::{BatchPolicy, FlushReason};
+pub use queue::PushError;
+pub use request::{PendingResponse, Request, Response};
+pub use service::{ProbeService, ServeConfig, SubmitError};
+pub use shard::ShardedIndex;
+pub use stats::{LatencySummary, ServiceStats, WorkerStats};

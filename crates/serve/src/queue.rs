@@ -1,0 +1,292 @@
+//! Bounded per-shard request queues with blocking backpressure and
+//! poison-pill shutdown.
+//!
+//! Capacity is counted in *keys*, not jobs: a shard's queue admits new
+//! work until `capacity_keys` keys are waiting, then
+//! [`push`](ShardQueue::push) blocks the submitting client — the
+//! service-level analogue of the accelerator's 2-entry inter-unit
+//! queues stalling the dispatcher. One oversized job (more keys than the
+//! whole capacity) is admitted when the queue is empty, so a request can
+//! never deadlock against its own size.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use widx_core::POISON_KEY;
+
+use crate::request::ResponseState;
+
+/// One unit of shard work.
+pub(crate) enum Job {
+    /// Probe `entries` (`(probe row, key)` pairs) on behalf of `reply`.
+    Probe {
+        entries: Vec<(u32, u64)>,
+        reply: Arc<ResponseState>,
+    },
+    /// Poison pill: the worker finishes queued work, then halts. Carries
+    /// [`widx_core::POISON_KEY`] to mirror the accelerator's termination
+    /// protocol (being an enum variant, it cannot collide with a real
+    /// probe of key `u64::MAX` the way a reserved key value would).
+    Poison { key: u64 },
+}
+
+impl Job {
+    fn key_count(&self) -> usize {
+        match self {
+            Job::Probe { entries, .. } => entries.len(),
+            Job::Poison { .. } => 0,
+        }
+    }
+}
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The service has begun shutdown; no new work is accepted.
+    Stopped,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    queued_keys: usize,
+    poisoned: bool,
+    /// FIFO push fairness: next ticket to hand out / ticket being served.
+    next_ticket: u64,
+    serving: u64,
+}
+
+/// A bounded MPSC job queue for one shard worker.
+pub(crate) struct ShardQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity_keys: usize,
+}
+
+impl ShardQueue {
+    pub(crate) fn new(capacity_keys: usize) -> ShardQueue {
+        assert!(capacity_keys > 0, "queue capacity must be positive");
+        ShardQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                queued_keys: 0,
+                poisoned: false,
+                next_ticket: 0,
+                serving: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity_keys,
+        }
+    }
+
+    /// Enqueues a probe job, blocking while the queue is over capacity
+    /// (backpressure). Blocked pushers are admitted strictly FIFO (a
+    /// ticket lock), so an oversized job cannot be starved by a stream
+    /// of small ones slipping in whenever a key's worth of space opens.
+    /// Fails once the queue has been poisoned.
+    pub(crate) fn push(&self, job: Job) -> Result<(), PushError> {
+        let n = job.key_count();
+        let mut inner = self.inner.lock().expect("queue lock");
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        loop {
+            if inner.serving == ticket {
+                if inner.poisoned {
+                    inner.serving += 1;
+                    self.not_full.notify_all();
+                    return Err(PushError::Stopped);
+                }
+                let fits = inner.queued_keys + n <= self.capacity_keys;
+                // Escape hatch: one oversized job may enter an empty
+                // queue, so a job larger than the whole capacity can
+                // never deadlock against it.
+                if fits || inner.jobs.is_empty() {
+                    inner.jobs.push_back(job);
+                    inner.queued_keys += n;
+                    inner.serving += 1;
+                    self.not_empty.notify_one();
+                    // Hand the turn to the next waiting ticket.
+                    self.not_full.notify_all();
+                    return Ok(());
+                }
+            }
+            inner = self.not_full.wait(inner).expect("queue wait");
+        }
+    }
+
+    /// Enqueues the poison pill (ignores capacity; marks the queue so
+    /// later pushes fail fast).
+    pub(crate) fn push_poison(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.poisoned {
+            return;
+        }
+        inner.poisoned = true;
+        inner.jobs.push_back(Job::Poison { key: POISON_KEY });
+        self.not_empty.notify_all();
+        // Clients blocked on a full queue must wake to observe Stopped.
+        self.not_full.notify_all();
+    }
+
+    /// Blocking pop: waits until a job is available.
+    pub(crate) fn pop(&self) -> Job {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                inner.queued_keys -= job.key_count();
+                self.not_full.notify_all();
+                return job;
+            }
+            inner = self.not_empty.wait(inner).expect("queue wait");
+        }
+    }
+
+    /// Pop with a deadline: returns `None` if no job arrives by
+    /// `deadline` (used by workers to close a batch on time).
+    pub(crate) fn pop_until(&self, deadline: Instant) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                inner.queued_keys -= job.key_count();
+                self.not_full.notify_all();
+                return Some(job);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, timeout) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("queue wait");
+            inner = guard;
+            if timeout.timed_out() && inner.jobs.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Keys currently waiting (for occupancy/backlog introspection).
+    pub(crate) fn backlog_keys(&self) -> usize {
+        self.inner.lock().expect("queue lock").queued_keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestKind;
+    use std::time::Duration;
+
+    fn probe_job(keys: &[u64]) -> Job {
+        Job::Probe {
+            entries: keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (i as u32, *k))
+                .collect(),
+            reply: Arc::new(ResponseState::new(RequestKind::MultiLookup, 1)),
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_key_accounting() {
+        let q = ShardQueue::new(16);
+        q.push(probe_job(&[1, 2])).unwrap();
+        q.push(probe_job(&[3])).unwrap();
+        assert_eq!(q.backlog_keys(), 3);
+        match q.pop() {
+            Job::Probe { entries, .. } => assert_eq!(entries.len(), 2),
+            Job::Poison { .. } => panic!("unexpected poison"),
+        }
+        assert_eq!(q.backlog_keys(), 1);
+    }
+
+    #[test]
+    fn backpressure_blocks_until_pop() {
+        let q = Arc::new(ShardQueue::new(4));
+        q.push(probe_job(&[1, 2, 3, 4])).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || {
+            q2.push(probe_job(&[5, 6])).unwrap();
+            Instant::now()
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let popped_at = Instant::now();
+        let _ = q.pop();
+        let pushed_at = pusher.join().unwrap();
+        assert!(
+            pushed_at >= popped_at,
+            "push must have blocked until space opened"
+        );
+        assert_eq!(q.backlog_keys(), 2);
+    }
+
+    #[test]
+    fn oversized_job_admitted_when_empty() {
+        let q = ShardQueue::new(2);
+        q.push(probe_job(&[1, 2, 3, 4, 5])).unwrap();
+        assert_eq!(q.backlog_keys(), 5);
+    }
+
+    #[test]
+    fn poison_drains_after_queued_work() {
+        let q = ShardQueue::new(8);
+        q.push(probe_job(&[1])).unwrap();
+        q.push_poison();
+        assert!(matches!(q.pop(), Job::Probe { .. }), "work before poison");
+        match q.pop() {
+            Job::Poison { key } => assert_eq!(key, POISON_KEY),
+            Job::Probe { .. } => panic!("expected poison"),
+        }
+        assert_eq!(q.push(probe_job(&[9])), Err(PushError::Stopped));
+    }
+
+    #[test]
+    fn oversized_push_is_not_starved_by_small_ones() {
+        // cap 4; an oversized job blocks, then a small job arrives. FIFO
+        // tickets require the oversized job to be admitted first even
+        // though the small one would fit sooner.
+        let q = Arc::new(ShardQueue::new(4));
+        q.push(probe_job(&[1, 2, 3])).unwrap();
+        let qa = Arc::clone(&q);
+        let a = std::thread::spawn(move || qa.push(probe_job(&[10; 6])).unwrap());
+        std::thread::sleep(Duration::from_millis(30));
+        let qb = Arc::clone(&q);
+        let b = std::thread::spawn(move || qb.push(probe_job(&[7])).unwrap());
+        std::thread::sleep(Duration::from_millis(30));
+
+        // Drain: first the pre-filled job, then A's oversized job, then B's.
+        let sizes: Vec<usize> = (0..3)
+            .map(|_| match q.pop() {
+                Job::Probe { entries, .. } => entries.len(),
+                Job::Poison { .. } => panic!("unexpected poison"),
+            })
+            .collect();
+        a.join().unwrap();
+        b.join().unwrap();
+        assert_eq!(sizes, vec![3, 6, 1], "FIFO admission order");
+    }
+
+    #[test]
+    fn pop_until_times_out_when_idle() {
+        let q = ShardQueue::new(8);
+        let deadline = Instant::now() + Duration::from_millis(20);
+        assert!(q.pop_until(deadline).is_none());
+        assert!(Instant::now() >= deadline);
+    }
+
+    #[test]
+    fn pop_until_returns_early_arrivals() {
+        let q = Arc::new(ShardQueue::new(8));
+        let q2 = Arc::clone(&q);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.push(probe_job(&[1])).unwrap();
+        });
+        let job = q.pop_until(Instant::now() + Duration::from_secs(5));
+        assert!(job.is_some(), "job should arrive well before the deadline");
+    }
+}

@@ -1,0 +1,276 @@
+//! The typed request/response surface of the probe service, plus the
+//! completion plumbing connecting shard workers back to waiting clients.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// A probe request submitted to the service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// All payloads stored under one key (the serving analogue of
+    /// [`widx_db::index::HashIndex::lookup_all`]).
+    Lookup {
+        /// The key to probe.
+        key: u64,
+    },
+    /// Probe a batch of keys; the response carries `(key, payload)`
+    /// matches, unordered, duplicates included.
+    MultiLookup {
+        /// The keys to probe (duplicates allowed).
+        keys: Vec<u64>,
+    },
+    /// Probe the keys of an outer-relation column; the response carries
+    /// `(probe row, payload)` pairs — the positional index-join form the
+    /// paper's hash-join inner loop produces.
+    JoinProbe {
+        /// The outer relation's key column, in row order.
+        keys: Vec<u64>,
+    },
+}
+
+impl Request {
+    /// The probe keys of this request, in row order.
+    #[must_use]
+    pub fn keys(&self) -> &[u64] {
+        match self {
+            Request::Lookup { key } => std::slice::from_ref(key),
+            Request::MultiLookup { keys } | Request::JoinProbe { keys } => keys,
+        }
+    }
+}
+
+/// What kind of response a request assembles into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RequestKind {
+    Lookup { key: u64 },
+    MultiLookup,
+    JoinProbe,
+}
+
+/// A completed probe response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Every payload stored under the looked-up key.
+    Lookup {
+        /// The probed key.
+        key: u64,
+        /// All payloads found (empty on a miss).
+        payloads: Vec<u64>,
+    },
+    /// `(key, payload)` matches for a [`Request::MultiLookup`],
+    /// unordered.
+    MultiLookup {
+        /// All `(probe key, payload)` matches.
+        matches: Vec<(u64, u64)>,
+    },
+    /// `(probe row, payload)` pairs for a [`Request::JoinProbe`],
+    /// unordered.
+    JoinProbe {
+        /// All `(outer row index, payload)` join pairs.
+        pairs: Vec<(u64, u64)>,
+    },
+}
+
+impl Response {
+    /// Number of matches the response carries, regardless of variant
+    /// (payloads for a `Lookup`, pairs otherwise) — misses contribute
+    /// zero.
+    #[must_use]
+    pub fn match_count(&self) -> usize {
+        match self {
+            Response::Lookup { payloads, .. } => payloads.len(),
+            Response::MultiLookup { matches } => matches.len(),
+            Response::JoinProbe { pairs } => pairs.len(),
+        }
+    }
+}
+
+/// One match as routed internally: `(probe row, key, payload)`.
+pub(crate) type RoutedMatch = (u32, u64, u64);
+
+pub(crate) struct PendingInner {
+    pub(crate) parts_left: usize,
+    pub(crate) items: Vec<RoutedMatch>,
+    pub(crate) kind: RequestKind,
+    pub(crate) submitted: Instant,
+    pub(crate) done: bool,
+}
+
+/// Shared completion state for one in-flight request: workers complete
+/// shard-parts; the client blocks in [`PendingResponse::wait`].
+pub(crate) struct ResponseState {
+    pub(crate) inner: Mutex<PendingInner>,
+    pub(crate) ready: Condvar,
+}
+
+impl ResponseState {
+    pub(crate) fn new(kind: RequestKind, parts: usize) -> ResponseState {
+        ResponseState {
+            inner: Mutex::new(PendingInner {
+                parts_left: parts,
+                items: Vec::new(),
+                kind,
+                submitted: Instant::now(),
+                done: parts == 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Called by a shard worker when this request's slice of a batch has
+    /// fully drained. Returns the request's completion latency when this
+    /// was the final outstanding part.
+    pub(crate) fn complete_part(&self, items: &[RoutedMatch]) -> Option<std::time::Duration> {
+        let mut inner = self.inner.lock().expect("pending lock");
+        inner.items.extend_from_slice(items);
+        inner.parts_left -= 1;
+        if inner.parts_left == 0 {
+            inner.done = true;
+            let latency = inner.submitted.elapsed();
+            self.ready.notify_all();
+            Some(latency)
+        } else {
+            None
+        }
+    }
+}
+
+/// A handle to a submitted request; [`wait`](PendingResponse::wait)
+/// blocks until every shard involved has answered.
+pub struct PendingResponse {
+    pub(crate) state: Arc<ResponseState>,
+}
+
+impl PendingResponse {
+    /// Blocks until the request completes and assembles its response.
+    #[must_use]
+    pub fn wait(self) -> Response {
+        let mut inner = self.state.inner.lock().expect("pending lock");
+        while !inner.done {
+            inner = self.state.ready.wait(inner).expect("pending wait");
+        }
+        Self::assemble(&mut inner)
+    }
+
+    /// Like [`wait`](PendingResponse::wait), but gives up after
+    /// `timeout`, returning the handle back so the caller can retry —
+    /// an escape hatch for supervisors that must not hang if a worker
+    /// died mid-request.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when the deadline passes first.
+    pub fn wait_timeout(self, timeout: std::time::Duration) -> Result<Response, PendingResponse> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.state.inner.lock().expect("pending lock");
+        while !inner.done {
+            let now = Instant::now();
+            if now >= deadline {
+                drop(inner);
+                return Err(self);
+            }
+            let (guard, _) = self
+                .state
+                .ready
+                .wait_timeout(inner, deadline - now)
+                .expect("pending wait");
+            inner = guard;
+        }
+        let response = Self::assemble(&mut inner);
+        drop(inner);
+        Ok(response)
+    }
+
+    fn assemble(inner: &mut PendingInner) -> Response {
+        let items = std::mem::take(&mut inner.items);
+        match inner.kind {
+            RequestKind::Lookup { key } => Response::Lookup {
+                key,
+                payloads: items.into_iter().map(|(_, _, payload)| payload).collect(),
+            },
+            RequestKind::MultiLookup => Response::MultiLookup {
+                matches: items
+                    .into_iter()
+                    .map(|(_, key, payload)| (key, payload))
+                    .collect(),
+            },
+            RequestKind::JoinProbe => Response::JoinProbe {
+                pairs: items
+                    .into_iter()
+                    .map(|(row, _, payload)| (u64::from(row), payload))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Whether the response is already complete (non-blocking).
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        self.state.inner.lock().expect("pending lock").done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_keys_views() {
+        assert_eq!(Request::Lookup { key: 9 }.keys(), &[9]);
+        assert_eq!(Request::MultiLookup { keys: vec![1, 2] }.keys(), &[1, 2]);
+        assert_eq!(Request::JoinProbe { keys: vec![3] }.keys(), &[3]);
+    }
+
+    #[test]
+    fn completion_assembles_lookup() {
+        let state = Arc::new(ResponseState::new(RequestKind::Lookup { key: 5 }, 2));
+        assert!(state.complete_part(&[(0, 5, 50)]).is_none());
+        let latency = state.complete_part(&[(0, 5, 51)]);
+        assert!(latency.is_some(), "last part yields the latency");
+        let resp = PendingResponse { state }.wait();
+        match resp {
+            Response::Lookup { key, mut payloads } => {
+                payloads.sort_unstable();
+                assert_eq!((key, payloads), (5, vec![50, 51]));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_rows_survive_routing() {
+        let state = Arc::new(ResponseState::new(RequestKind::JoinProbe, 1));
+        state.complete_part(&[(7, 100, 1), (2, 100, 1)]);
+        match (PendingResponse { state }).wait() {
+            Response::JoinProbe { mut pairs } => {
+                pairs.sort_unstable();
+                assert_eq!(pairs, vec![(2, 1), (7, 1)]);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_timeout_returns_handle_then_response() {
+        let state = Arc::new(ResponseState::new(RequestKind::MultiLookup, 1));
+        let pending = PendingResponse {
+            state: Arc::clone(&state),
+        };
+        let pending = pending
+            .wait_timeout(std::time::Duration::from_millis(10))
+            .expect_err("not complete yet");
+        state.complete_part(&[(0, 1, 2)]);
+        match pending.wait_timeout(std::time::Duration::from_secs(5)) {
+            Ok(Response::MultiLookup { matches }) => assert_eq!(matches, vec![(1, 2)]),
+            other => panic!("unexpected: {:?}", other.map_err(|_| "timeout")),
+        }
+    }
+
+    #[test]
+    fn zero_part_requests_complete_immediately() {
+        let state = Arc::new(ResponseState::new(RequestKind::MultiLookup, 0));
+        let pending = PendingResponse { state };
+        assert!(pending.is_ready());
+        assert_eq!(pending.wait(), Response::MultiLookup { matches: vec![] });
+    }
+}

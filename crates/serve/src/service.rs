@@ -1,0 +1,514 @@
+//! The probe service: shard router, worker pool, and client API.
+
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use widx_db::hash::HashRecipe;
+
+use crate::batch::BatchPolicy;
+use crate::queue::{Job, PushError, ShardQueue};
+use crate::request::{PendingResponse, Request, RequestKind, Response, ResponseState};
+use crate::shard::ShardedIndex;
+use crate::stats::{LatencyRecorder, LatencySummary, ServiceStats, WorkerStats};
+use crate::worker::{run_worker, WorkerContext};
+
+/// Tuning knobs for a [`ProbeService`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker/shard count (the "walker pool" width across the socket).
+    pub shards: usize,
+    /// AMAC in-flight depth per worker (walkers per shard).
+    pub inflight: usize,
+    /// Keys per batch before a size flush.
+    pub batch_size: usize,
+    /// Longest a batch waits for company before a deadline flush.
+    pub batch_deadline: Duration,
+    /// Per-shard queue capacity in keys (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Bucket floor per shard at build time.
+    pub min_buckets: usize,
+    /// Target entries per bucket at build time.
+    pub load: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            shards: 4,
+            inflight: 8,
+            batch_size: 64,
+            batch_deadline: Duration::from_micros(200),
+            queue_capacity: 4096,
+            min_buckets: 64,
+            load: 1.0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> ServeConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-worker AMAC in-flight depth.
+    #[must_use]
+    pub fn with_inflight(mut self, inflight: usize) -> ServeConfig {
+        self.inflight = inflight;
+        self
+    }
+
+    /// Sets the size-flush threshold.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> ServeConfig {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the deadline-flush bound.
+    #[must_use]
+    pub fn with_batch_deadline(mut self, deadline: Duration) -> ServeConfig {
+        self.batch_deadline = deadline;
+        self
+    }
+
+    /// Sets the per-shard queue capacity (keys).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, keys: usize) -> ServeConfig {
+        self.queue_capacity = keys;
+        self
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The service has shut down (or is in the middle of doing so).
+    Stopped,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Stopped => write!(f, "probe service is stopped"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A running probe-serving engine: one worker thread per shard, each
+/// driving AMAC walkers over its own index partition.
+///
+/// Shutdown mirrors the accelerator's poison-pill protocol
+/// ([`widx_core::POISON_KEY`]): [`stop`](ProbeService::stop) (or
+/// [`shutdown`](ProbeService::shutdown)) enqueues one pill per shard
+/// *behind* all accepted work, so every request submitted before the
+/// stop still completes — drain, then halt. After `stop`, new
+/// submissions fail with [`SubmitError::Stopped`].
+pub struct ProbeService {
+    sharded: Arc<ShardedIndex>,
+    queues: Vec<Arc<ShardQueue>>,
+    workers: Vec<JoinHandle<(WorkerStats, LatencyRecorder)>>,
+    started: Instant,
+    /// Stop gate: `submit` holds a read guard across all of its queue
+    /// pushes; `stop` flips the flag and poisons the queues under the
+    /// write guard. A request is therefore accepted (every shard part
+    /// enqueued) or refused atomically — it can never be half-enqueued
+    /// by racing with `stop`.
+    stopped: RwLock<bool>,
+}
+
+impl ProbeService {
+    /// Builds the sharded index from `pairs` and starts serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configuration (zero shards/inflight/batch
+    /// size/queue capacity) or if a worker thread cannot be spawned.
+    #[must_use]
+    pub fn build(
+        recipe: HashRecipe,
+        pairs: impl IntoIterator<Item = (u64, u64)>,
+        config: &ServeConfig,
+    ) -> ProbeService {
+        let sharded = ShardedIndex::build(
+            recipe,
+            config.shards,
+            config.min_buckets,
+            config.load,
+            pairs,
+        );
+        ProbeService::start(sharded, config)
+    }
+
+    /// Starts serving an already-built [`ShardedIndex`]. The worker
+    /// count is the index's shard count; `config.shards` is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configuration or if a worker thread cannot
+    /// be spawned.
+    #[must_use]
+    pub fn start(sharded: ShardedIndex, config: &ServeConfig) -> ProbeService {
+        assert!(config.inflight > 0, "need at least one in-flight probe");
+        let policy = BatchPolicy::new(config.batch_size, config.batch_deadline);
+        let sharded = Arc::new(sharded);
+        let queues: Vec<Arc<ShardQueue>> = (0..sharded.shard_count())
+            .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
+            .collect();
+        let workers = queues
+            .iter()
+            .enumerate()
+            .map(|(shard, queue)| {
+                let ctx = WorkerContext {
+                    shard,
+                    queue: Arc::clone(queue),
+                    sharded: Arc::clone(&sharded),
+                    policy,
+                    inflight: config.inflight,
+                };
+                std::thread::Builder::new()
+                    .name(format!("widx-serve-{shard}"))
+                    .spawn(move || run_worker(&ctx))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ProbeService {
+            sharded,
+            queues,
+            workers,
+            started: Instant::now(),
+            stopped: RwLock::new(false),
+        }
+    }
+
+    /// The served index.
+    #[must_use]
+    pub fn sharded(&self) -> &ShardedIndex {
+        &self.sharded
+    }
+
+    /// Keys currently queued per shard (backlog snapshot).
+    #[must_use]
+    pub fn backlog(&self) -> Vec<usize> {
+        self.queues.iter().map(|q| q.backlog_keys()).collect()
+    }
+
+    /// Submits a request, blocking only when a target shard queue is
+    /// over capacity (backpressure). The returned handle resolves once
+    /// every involved shard has answered.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Stopped`] once [`stop`](ProbeService::stop) or
+    /// shutdown has begun.
+    pub fn submit(&self, request: Request) -> Result<PendingResponse, SubmitError> {
+        let kind = match &request {
+            Request::Lookup { key } => RequestKind::Lookup { key: *key },
+            Request::MultiLookup { .. } => RequestKind::MultiLookup,
+            Request::JoinProbe { .. } => RequestKind::JoinProbe,
+        };
+        self.submit_keys(kind, request.keys())
+    }
+
+    /// The real submission path: partitions `keys` by shard and
+    /// enqueues every part while holding the stop gate's read guard, so
+    /// acceptance is all-or-nothing with respect to `stop`.
+    fn submit_keys(&self, kind: RequestKind, keys: &[u64]) -> Result<PendingResponse, SubmitError> {
+        let stopped = self.stopped.read().expect("stop gate");
+        if *stopped {
+            return Err(SubmitError::Stopped);
+        }
+        assert!(
+            u32::try_from(keys.len()).is_ok(),
+            "request exceeds u32 row space"
+        );
+        let state;
+        if let [key] = keys {
+            // Fast path: a single-key request touches exactly one shard
+            // — skip the per-shard partition scaffolding.
+            state = Arc::new(ResponseState::new(kind, 1));
+            let job = Job::Probe {
+                entries: vec![(0, *key)],
+                reply: Arc::clone(&state),
+            };
+            self.push_part(self.sharded.shard_of(*key), job);
+        } else {
+            let shard_count = self.sharded.shard_count();
+            let mut parts: Vec<Vec<(u32, u64)>> = vec![Vec::new(); shard_count];
+            for (row, key) in keys.iter().enumerate() {
+                parts[self.sharded.shard_of(*key)].push((row as u32, *key));
+            }
+            let live_parts = parts.iter().filter(|p| !p.is_empty()).count();
+            state = Arc::new(ResponseState::new(kind, live_parts));
+            for (shard, entries) in parts.into_iter().enumerate() {
+                if entries.is_empty() {
+                    continue;
+                }
+                let job = Job::Probe {
+                    entries,
+                    reply: Arc::clone(&state),
+                };
+                self.push_part(shard, job);
+            }
+        }
+        drop(stopped);
+        Ok(PendingResponse { state })
+    }
+
+    fn push_part(&self, shard: usize, job: Job) {
+        match self.queues[shard].push(job) {
+            Ok(()) => {}
+            // Queues are poisoned only under the stop gate's write
+            // guard, which cannot be held while we hold the read guard.
+            Err(PushError::Stopped) => unreachable!("queue poisoned while stop gate held open"),
+        }
+    }
+
+    /// Blocking convenience: all payloads under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Stopped`] once shutdown has begun.
+    pub fn lookup(&self, key: u64) -> Result<Vec<u64>, SubmitError> {
+        match self
+            .submit_keys(RequestKind::Lookup { key }, &[key])?
+            .wait()
+        {
+            Response::Lookup { payloads, .. } => Ok(payloads),
+            _ => unreachable!("lookup requests assemble lookup responses"),
+        }
+    }
+
+    /// Blocking convenience: `(key, payload)` matches for `keys`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Stopped`] once shutdown has begun.
+    pub fn multi_lookup(&self, keys: &[u64]) -> Result<Vec<(u64, u64)>, SubmitError> {
+        match self.submit_keys(RequestKind::MultiLookup, keys)?.wait() {
+            Response::MultiLookup { matches } => Ok(matches),
+            _ => unreachable!("multi-lookup requests assemble multi-lookup responses"),
+        }
+    }
+
+    /// Blocking convenience: `(probe row, payload)` join pairs for the
+    /// outer column `keys`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Stopped`] once shutdown has begun.
+    pub fn join_probe(&self, keys: &[u64]) -> Result<Vec<(u64, u64)>, SubmitError> {
+        match self.submit_keys(RequestKind::JoinProbe, keys)?.wait() {
+            Response::JoinProbe { pairs } => Ok(pairs),
+            _ => unreachable!("join-probe requests assemble join-probe responses"),
+        }
+    }
+
+    /// Begins shutdown without consuming the service: marks the service
+    /// stopped (subsequent [`submit`](ProbeService::submit)s fail with
+    /// [`SubmitError::Stopped`]) and enqueues one poison pill per shard
+    /// behind all accepted work. Workers drain, then halt; call
+    /// [`shutdown`](ProbeService::shutdown) to join them and collect
+    /// statistics. Idempotent.
+    pub fn stop(&self) {
+        let mut stopped = self.stopped.write().expect("stop gate");
+        if !*stopped {
+            *stopped = true;
+            for queue in &self.queues {
+                queue.push_poison();
+            }
+        }
+    }
+
+    /// Drains all accepted work, halts every worker (poison pill per
+    /// shard), and returns the collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker panicked (after joining the rest).
+    /// [`Drop`] performs the same join but swallows worker panics, so a
+    /// service dropped during unwinding never aborts the process.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServiceStats {
+        let (stats, panicked) = self
+            .shutdown_inner()
+            .expect("first shutdown always yields stats");
+        assert!(panicked == 0, "{panicked} shard worker(s) panicked");
+        stats
+    }
+
+    fn shutdown_inner(&mut self) -> Option<(ServiceStats, usize)> {
+        self.stop();
+        if self.workers.is_empty() {
+            return None; // Already joined by a prior shutdown.
+        }
+        let mut panicked = 0usize;
+        let mut joined: Vec<(WorkerStats, LatencyRecorder)> = std::mem::take(&mut self.workers)
+            .into_iter()
+            .filter_map(|h| match h.join() {
+                Ok(out) => Some(out),
+                Err(_) => {
+                    panicked += 1;
+                    None
+                }
+            })
+            .collect();
+        joined.sort_by_key(|(w, _)| w.shard);
+        let mut completions = 0u64;
+        let mut samples = Vec::new();
+        let mut workers = Vec::with_capacity(joined.len());
+        for (w, recorder) in joined {
+            completions += recorder.seen();
+            samples.extend(recorder.into_samples());
+            workers.push(w);
+        }
+        // Percentiles come from the (possibly decimated) samples;
+        // `count` reports true completions.
+        let mut latency = LatencySummary::from_samples(samples);
+        latency.count = usize::try_from(completions).unwrap_or(usize::MAX);
+        Some((
+            ServiceStats {
+                workers,
+                latency,
+                wall: self.started.elapsed(),
+            },
+            panicked,
+        ))
+    }
+}
+
+impl Drop for ProbeService {
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service(entries: u64, config: &ServeConfig) -> ProbeService {
+        ProbeService::build(
+            HashRecipe::robust64(),
+            (0..entries).map(|k| (k, k * 2)),
+            config,
+        )
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        let s = service(1000, &ServeConfig::default());
+        assert_eq!(s.lookup(7).unwrap(), vec![14]);
+        assert_eq!(s.lookup(5000).unwrap(), Vec::<u64>::new());
+        let stats = s.shutdown();
+        assert_eq!(stats.total_keys(), 2);
+        assert_eq!(stats.total_matches(), 1);
+        assert_eq!(stats.latency.count, 2);
+    }
+
+    #[test]
+    fn multi_lookup_spans_shards() {
+        let s = service(1000, &ServeConfig::default().with_batch_size(8));
+        let keys: Vec<u64> = (0..500).collect();
+        let mut got = s.multi_lookup(&keys).unwrap();
+        got.sort_unstable();
+        let want: Vec<(u64, u64)> = (0..500).map(|k| (k, k * 2)).collect();
+        assert_eq!(got, want);
+        let stats = s.shutdown();
+        assert_eq!(stats.total_keys(), 501 - 1);
+        assert!(stats.workers.len() == 4);
+        assert!(
+            stats.workers.iter().all(|w| w.keys > 0),
+            "all shards probed"
+        );
+    }
+
+    #[test]
+    fn join_probe_reports_rows() {
+        let s = service(100, &ServeConfig::default());
+        // Rows 0 and 2 hit the same key; row 1 misses.
+        let mut got = s.join_probe(&[4, 7777, 4]).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 8), (2, 8)]);
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_request_all_answered() {
+        let s = service(50, &ServeConfig::default());
+        let mut got = s.multi_lookup(&[3, 3, 3]).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![(3, 6), (3, 6), (3, 6)]);
+    }
+
+    #[test]
+    fn empty_request_completes_instantly() {
+        let s = service(10, &ServeConfig::default());
+        assert_eq!(s.multi_lookup(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn submit_after_stop_fails_but_accepted_work_completes() {
+        let s = service(10, &ServeConfig::default());
+        let pending = s.submit(Request::Lookup { key: 1 }).unwrap();
+        s.stop();
+        assert_eq!(
+            s.submit(Request::Lookup { key: 2 }).err(),
+            Some(SubmitError::Stopped),
+            "post-stop submissions are refused"
+        );
+        assert_eq!(s.lookup(3), Err(SubmitError::Stopped));
+        let stats = s.shutdown();
+        assert_eq!(
+            pending.wait(),
+            Response::Lookup {
+                key: 1,
+                payloads: vec![2]
+            }
+        );
+        assert!(stats.wall > Duration::ZERO);
+        assert_eq!(stats.latency.count, 1, "only the accepted request ran");
+    }
+
+    #[test]
+    fn stop_is_idempotent() {
+        let s = service(10, &ServeConfig::default());
+        s.stop();
+        s.stop();
+        let stats = s.shutdown();
+        assert_eq!(stats.total_keys(), 0);
+    }
+
+    #[test]
+    fn pipelined_submissions_all_resolve() {
+        let s = service(2000, &ServeConfig::default().with_batch_size(32));
+        let pendings: Vec<PendingResponse> = (0..200)
+            .map(|i| s.submit(Request::Lookup { key: i }).unwrap())
+            .collect();
+        for (i, p) in pendings.into_iter().enumerate() {
+            match p.wait() {
+                Response::Lookup { key, payloads } => {
+                    assert_eq!(key, i as u64);
+                    assert_eq!(payloads, vec![i as u64 * 2]);
+                }
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+        let stats = s.shutdown();
+        assert_eq!(stats.latency.count, 200);
+        // Batching must have occurred: fewer batches than requests.
+        let batches: u64 = stats.workers.iter().map(|w| w.batches).sum();
+        assert!(batches < 200, "batches {batches}");
+    }
+
+    #[test]
+    fn drop_without_shutdown_halts_workers() {
+        let s = service(10, &ServeConfig::default());
+        let _ = s.lookup(1);
+        drop(s); // must not hang
+    }
+}

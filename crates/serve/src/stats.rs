@@ -1,0 +1,305 @@
+//! Serving telemetry: per-worker throughput/occupancy and service-wide
+//! request latency, shaped for the `widx-bench` table machinery.
+
+use std::time::Duration;
+
+/// Counters one shard worker accumulates over its lifetime.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// The worker's shard id.
+    pub shard: usize,
+    /// Probe jobs (request shard-parts) processed.
+    pub jobs: u64,
+    /// Batches flushed.
+    pub batches: u64,
+    /// Keys probed.
+    pub keys: u64,
+    /// Matches emitted.
+    pub matches: u64,
+    /// Batches closed because they reached the size target.
+    pub size_flushes: u64,
+    /// Batches closed by the deadline.
+    pub deadline_flushes: u64,
+    /// Final partial batches flushed at shutdown.
+    pub shutdown_flushes: u64,
+    /// Time spent probing (walker running).
+    pub busy: Duration,
+    /// Time spent waiting for work.
+    pub idle: Duration,
+}
+
+impl WorkerStats {
+    /// Fraction of the worker's lifetime spent probing — the software
+    /// analogue of the paper's walker-utilization figure (Figure 5).
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        let total = self.busy.as_secs_f64() + self.idle.as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / total
+        }
+    }
+
+    /// Keys probed per second of *busy* time (per-walker service rate).
+    #[must_use]
+    pub fn busy_throughput(&self) -> f64 {
+        let busy = self.busy.as_secs_f64();
+        if busy == 0.0 {
+            0.0
+        } else {
+            self.keys as f64 / busy
+        }
+    }
+
+    /// Mean keys per flushed batch.
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.keys as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Per-worker latency sample store with bounded memory: systematic
+/// decimation keeps at most [`LatencyRecorder::CAP`] samples. Once the
+/// store fills, every other retained sample is dropped and the sampling
+/// stride doubles, so a service that completes requests indefinitely
+/// (the crate's whole point) records evenly spaced samples forever in
+/// ~0.5 MB per worker instead of growing without bound. Workers own
+/// their recorder — no cross-shard lock on the completion path.
+#[derive(Clone, Debug)]
+pub(crate) struct LatencyRecorder {
+    samples: Vec<u64>,
+    stride: u64,
+    seen: u64,
+}
+
+impl LatencyRecorder {
+    /// Maximum retained samples (before stride doubling kicks in).
+    const CAP: usize = 1 << 16;
+
+    pub(crate) fn new() -> LatencyRecorder {
+        LatencyRecorder {
+            samples: Vec::new(),
+            stride: 1,
+            seen: 0,
+        }
+    }
+
+    /// Records one completion latency.
+    pub(crate) fn record(&mut self, latency: Duration) {
+        if self.seen.is_multiple_of(self.stride) {
+            let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+            self.samples.push(ns);
+            if self.samples.len() >= Self::CAP {
+                let mut keep = false;
+                self.samples.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.stride *= 2;
+            }
+        }
+        self.seen = self.seen.wrapping_add(1);
+    }
+
+    /// Completions observed (recorded or not).
+    pub(crate) fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    pub(crate) fn into_samples(self) -> Vec<u64> {
+        self.samples
+    }
+}
+
+/// Order statistics over per-request completion latencies.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Completed requests measured.
+    pub count: usize,
+    /// Mean latency in nanoseconds.
+    pub mean_ns: f64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile latency in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Smallest observed latency in nanoseconds.
+    pub min_ns: u64,
+    /// Largest observed latency in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample set (nanoseconds). Percentiles use the
+    /// nearest-rank method.
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<u64>) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let rank = |p: f64| -> u64 {
+            let idx = ((p * count as f64).ceil() as usize).clamp(1, count) - 1;
+            samples[idx]
+        };
+        LatencySummary {
+            count,
+            mean_ns: samples.iter().map(|s| *s as f64).sum::<f64>() / count as f64,
+            p50_ns: rank(0.50),
+            p95_ns: rank(0.95),
+            p99_ns: rank(0.99),
+            min_ns: samples[0],
+            max_ns: samples[count - 1],
+        }
+    }
+}
+
+/// Everything the service measured, returned by
+/// [`ProbeService::shutdown`](crate::ProbeService::shutdown).
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Per-worker counters, in shard order.
+    pub workers: Vec<WorkerStats>,
+    /// Completion-latency summary across every finished request.
+    pub latency: LatencySummary,
+    /// Wall-clock time from service start to shutdown completion.
+    pub wall: Duration,
+}
+
+impl ServiceStats {
+    /// Total keys probed across workers.
+    #[must_use]
+    pub fn total_keys(&self) -> u64 {
+        self.workers.iter().map(|w| w.keys).sum()
+    }
+
+    /// Total matches across workers.
+    #[must_use]
+    pub fn total_matches(&self) -> u64 {
+        self.workers.iter().map(|w| w.matches).sum()
+    }
+
+    /// Service-level throughput: keys probed per wall-clock second.
+    #[must_use]
+    pub fn wall_throughput(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall == 0.0 {
+            0.0
+        } else {
+            self.total_keys() as f64 / wall
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_and_rates() {
+        let w = WorkerStats {
+            shard: 0,
+            jobs: 10,
+            batches: 4,
+            keys: 100,
+            matches: 80,
+            busy: Duration::from_millis(30),
+            idle: Duration::from_millis(10),
+            ..WorkerStats::default()
+        };
+        assert!((w.occupancy() - 0.75).abs() < 1e-9);
+        assert!((w.mean_batch() - 25.0).abs() < 1e-9);
+        assert!((w.busy_throughput() - 100.0 / 0.03).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_worker_is_all_zeroes() {
+        let w = WorkerStats::default();
+        assert_eq!(w.occupancy(), 0.0);
+        assert_eq!(w.busy_throughput(), 0.0);
+        assert_eq!(w.mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_samples(samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 100);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_of_empty_sample_set() {
+        let s = LatencySummary::from_samples(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn recorder_keeps_everything_below_cap() {
+        let mut r = LatencyRecorder::new();
+        for i in 0..1000u64 {
+            r.record(Duration::from_nanos(i));
+        }
+        assert_eq!(r.seen(), 1000);
+        assert_eq!(r.into_samples(), (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recorder_bounds_memory_and_keeps_spread() {
+        let mut r = LatencyRecorder::new();
+        let n = (LatencyRecorder::CAP as u64) * 4;
+        for i in 0..n {
+            r.record(Duration::from_nanos(i));
+        }
+        assert_eq!(r.seen(), n);
+        let samples = r.into_samples();
+        assert!(
+            samples.len() < LatencyRecorder::CAP,
+            "decimated: {}",
+            samples.len()
+        );
+        assert!(!samples.is_empty());
+        // Samples still span the full range, not just the warm-up.
+        assert!(
+            *samples.last().unwrap() > n * 3 / 4,
+            "tail retained: {}",
+            samples.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn service_totals() {
+        let stats = ServiceStats {
+            workers: vec![
+                WorkerStats {
+                    keys: 60,
+                    matches: 50,
+                    ..WorkerStats::default()
+                },
+                WorkerStats {
+                    keys: 40,
+                    matches: 30,
+                    ..WorkerStats::default()
+                },
+            ],
+            latency: LatencySummary::default(),
+            wall: Duration::from_secs(2),
+        };
+        assert_eq!(stats.total_keys(), 100);
+        assert_eq!(stats.total_matches(), 80);
+        assert!((stats.wall_throughput() - 50.0).abs() < 1e-9);
+    }
+}

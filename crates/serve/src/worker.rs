@@ -1,0 +1,181 @@
+//! The shard worker: one thread per shard, draining its bounded queue
+//! into batches and driving the resumable AMAC walker over them —
+//! software "four walkers behind one dispatcher", where the dispatcher
+//! is the shard router and the walker count is the AMAC in-flight depth.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use widx_soft::AmacWalker;
+
+use crate::batch::{BatchPolicy, FlushReason};
+use crate::queue::{Job, ShardQueue};
+use crate::request::{ResponseState, RoutedMatch};
+use crate::shard::ShardedIndex;
+use crate::stats::{LatencyRecorder, WorkerStats};
+
+/// Everything a worker thread needs.
+pub(crate) struct WorkerContext {
+    pub(crate) shard: usize,
+    pub(crate) queue: Arc<ShardQueue>,
+    pub(crate) sharded: Arc<ShardedIndex>,
+    pub(crate) policy: BatchPolicy,
+    pub(crate) inflight: usize,
+}
+
+/// A request shard-part participating in the worker's open batch.
+struct OpenJob {
+    reply: Arc<ResponseState>,
+    items: Vec<RoutedMatch>,
+}
+
+/// The worker thread body: loops batches until the poison pill, then
+/// returns its counters and the completion latencies it recorded
+/// (workers own their latency store — no cross-shard lock on the
+/// completion path).
+pub(crate) fn run_worker(ctx: &WorkerContext) -> (WorkerStats, LatencyRecorder) {
+    let index = &ctx.sharded.shards()[ctx.shard];
+    let mut walker = AmacWalker::new(index, ctx.inflight);
+    let mut stats = WorkerStats {
+        shard: ctx.shard,
+        ..WorkerStats::default()
+    };
+    let mut latencies = LatencyRecorder::new();
+
+    loop {
+        // Wait (idle) for the batch-opening job.
+        let idle_from = Instant::now();
+        let first = ctx.queue.pop();
+        stats.idle += idle_from.elapsed();
+
+        let (entries, reply) = match first {
+            Job::Probe { entries, reply } => (entries, reply),
+            Job::Poison { key } => {
+                debug_assert_eq!(key, widx_core::POISON_KEY);
+                break; // Poison with an empty batch: halt immediately.
+            }
+        };
+
+        let shutdown = run_batch(
+            &ctx.queue,
+            &ctx.policy,
+            &mut walker,
+            entries,
+            reply,
+            &mut stats,
+            &mut latencies,
+        );
+        if shutdown {
+            break;
+        }
+    }
+    (stats, latencies)
+}
+
+/// Assembles and drains one batch starting from `first_*`. Returns true
+/// when the poison pill arrived and the worker must halt after this
+/// batch.
+#[allow(clippy::too_many_lines)]
+fn run_batch(
+    queue: &ShardQueue,
+    policy: &BatchPolicy,
+    walker: &mut AmacWalker<'_>,
+    first_entries: Vec<(u32, u64)>,
+    first_reply: Arc<ResponseState>,
+    stats: &mut WorkerStats,
+    latencies: &mut LatencyRecorder,
+) -> bool {
+    let opened = Instant::now();
+    // tag (u32, index into `meta`) → (open-job index, probe row).
+    let mut meta: Vec<(u32, u32)> = Vec::new();
+    let mut open: Vec<OpenJob> = Vec::new();
+    let mut raw: Vec<(u32, u64, u64)> = Vec::new();
+    let mut shutdown = false;
+
+    let admit = |entries: Vec<(u32, u64)>,
+                 reply: Arc<ResponseState>,
+                 meta: &mut Vec<(u32, u32)>,
+                 open: &mut Vec<OpenJob>,
+                 raw: &mut Vec<(u32, u64, u64)>,
+                 walker: &mut AmacWalker<'_>,
+                 stats: &mut WorkerStats,
+                 latencies: &mut LatencyRecorder| {
+        stats.jobs += 1;
+        if entries.is_empty() {
+            // Defensive: never strand a zero-key part.
+            if let Some(latency) = reply.complete_part(&[]) {
+                latencies.record(latency);
+            }
+            return;
+        }
+        let open_idx = open.len() as u32;
+        open.push(OpenJob {
+            reply,
+            items: Vec::new(),
+        });
+        let busy_from = Instant::now();
+        for (row, key) in entries {
+            let tag = u32::try_from(meta.len()).expect("batch exceeds u32 tags");
+            meta.push((open_idx, row));
+            walker.feed(tag, key, &mut |t, k, p| raw.push((t, k, p)));
+        }
+        stats.busy += busy_from.elapsed();
+    };
+
+    admit(
+        first_entries,
+        first_reply,
+        &mut meta,
+        &mut open,
+        &mut raw,
+        walker,
+        stats,
+        latencies,
+    );
+
+    // Keep admitting until the policy closes the batch.
+    let reason = loop {
+        if let Some(reason) = policy.flush_due(meta.len(), opened) {
+            break reason;
+        }
+        let idle_from = Instant::now();
+        let next = queue.pop_until(policy.flush_deadline(opened));
+        stats.idle += idle_from.elapsed();
+        match next {
+            Some(Job::Probe { entries, reply }) => {
+                admit(
+                    entries, reply, &mut meta, &mut open, &mut raw, walker, stats, latencies,
+                );
+            }
+            Some(Job::Poison { .. }) => {
+                shutdown = true;
+                break FlushReason::Shutdown;
+            }
+            None => break FlushReason::Deadline,
+        }
+    };
+
+    // Drain every in-flight probe, then attribute matches to requests.
+    let busy_from = Instant::now();
+    walker.drain(&mut |t, k, p| raw.push((t, k, p)));
+    stats.busy += busy_from.elapsed();
+
+    for (tag, key, payload) in raw.drain(..) {
+        let (open_idx, row) = meta[tag as usize];
+        open[open_idx as usize].items.push((row, key, payload));
+    }
+    stats.batches += 1;
+    stats.keys += meta.len() as u64;
+    match reason {
+        FlushReason::Size => stats.size_flushes += 1,
+        FlushReason::Deadline => stats.deadline_flushes += 1,
+        FlushReason::Shutdown => stats.shutdown_flushes += 1,
+    }
+    for job in &open {
+        stats.matches += job.items.len() as u64;
+        if let Some(latency) = job.reply.complete_part(&job.items) {
+            latencies.record(latency);
+        }
+    }
+    shutdown
+}

@@ -27,7 +27,7 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         let blocks = self.size_bytes / self.block_bytes;
         assert!(
-            blocks % self.assoc == 0 && self.size_bytes % self.block_bytes == 0,
+            blocks.is_multiple_of(self.assoc) && self.size_bytes.is_multiple_of(self.block_bytes),
             "cache geometry must divide evenly"
         );
         blocks / self.assoc
@@ -156,8 +156,16 @@ impl Default for SystemConfig {
                 efficiency: 0.7,
                 access_latency: 90,
             },
-            ooo: OooConfig { width: 4, rob: 128, mispredict_penalty: 15 },
-            inorder: InOrderConfig { width: 2, max_outstanding_misses: 1, mispredict_penalty: 13 },
+            ooo: OooConfig {
+                width: 4,
+                rob: 128,
+                mispredict_penalty: 15,
+            },
+            inorder: InOrderConfig {
+                width: 2,
+                max_outstanding_misses: 1,
+                mispredict_penalty: 13,
+            },
         }
     }
 }
@@ -217,7 +225,10 @@ mod tests {
         let c = SystemConfig::default();
         // 64 B at 6.4 B/cycle * 0.7 efficiency = 14.28 -> 15 cycles.
         assert_eq!(c.memory.cycles_per_block(64), 15);
-        let full = MemoryConfig { efficiency: 1.0, ..c.memory };
+        let full = MemoryConfig {
+            efficiency: 1.0,
+            ..c.memory
+        };
         assert_eq!(full.cycles_per_block(64), 10);
     }
 

@@ -23,7 +23,11 @@ pub fn run_inorder(
 ) -> CoreRunResult {
     let n = trace.len();
     if n == 0 {
-        return CoreRunResult { cycles: 0, retired: 0, tuples: trace.tuples() as u64 };
+        return CoreRunResult {
+            cycles: 0,
+            retired: 0,
+            tuples: trace.tuples() as u64,
+        };
     }
     let width = cfg.width.max(1);
     let miss_slots = cfg.max_outstanding_misses.max(1);
@@ -67,7 +71,9 @@ pub fn run_inorder(
                 }
                 r.ready
             }
-            UopKind::Store { addr, width, value } => mem.store(addr, width as usize, value, t).ready,
+            UopKind::Store { addr, width, value } => {
+                mem.store(addr, width as usize, value, t).ready
+            }
             UopKind::Branch { mispredict } => {
                 let resolve = t + 1;
                 if mispredict {
@@ -78,7 +84,11 @@ pub fn run_inorder(
         };
         // In-order completion: younger µops cannot complete before
         // older ones.
-        complete[i] = if i > 0 { raw_complete.max(complete[i - 1]) } else { raw_complete };
+        complete[i] = if i > 0 {
+            raw_complete.max(complete[i - 1])
+        } else {
+            raw_complete
+        };
         issue[i] = t;
     }
 
@@ -123,7 +133,16 @@ mod tests {
             t.load(VAddr::new(0x400_000 + i * 4096), 8, [None, None]);
         }
         let r_in = run_inorder(&sys.inorder, &t, &mut MemorySystem::new(sys.clone()), 0);
-        let r_ooo = run_ooo(&OooConfig { width: 4, rob: 128, mispredict_penalty: 12 }, &t, &mut MemorySystem::new(sys), 0);
+        let r_ooo = run_ooo(
+            &OooConfig {
+                width: 4,
+                rob: 128,
+                mispredict_penalty: 12,
+            },
+            &t,
+            &mut MemorySystem::new(sys),
+            0,
+        );
         assert!(
             r_in.cycles > r_ooo.cycles,
             "in-order {} should trail OoO {}",
@@ -135,8 +154,16 @@ mod tests {
     #[test]
     fn miss_slots_bound_mlp() {
         let sys = SystemConfig::default();
-        let one = InOrderConfig { width: 2, max_outstanding_misses: 1, mispredict_penalty: 4 };
-        let four = InOrderConfig { width: 2, max_outstanding_misses: 4, mispredict_penalty: 4 };
+        let one = InOrderConfig {
+            width: 2,
+            max_outstanding_misses: 1,
+            mispredict_penalty: 4,
+        };
+        let four = InOrderConfig {
+            width: 2,
+            max_outstanding_misses: 4,
+            mispredict_penalty: 4,
+        };
         let mut t = Trace::new();
         for i in 0..32u64 {
             t.load(VAddr::new(0x500_000 + i * 4096), 8, [None, None]);

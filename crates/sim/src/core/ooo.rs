@@ -25,10 +25,19 @@ use super::CoreRunResult;
 /// Memory timing (and functional stores) go through `mem`, so cache,
 /// MSHR, TLB, and bandwidth state evolve exactly as they would for any
 /// other agent sharing the memory system.
-pub fn run_ooo(cfg: &OooConfig, trace: &Trace, mem: &mut MemorySystem, start: Cycle) -> CoreRunResult {
+pub fn run_ooo(
+    cfg: &OooConfig,
+    trace: &Trace,
+    mem: &mut MemorySystem,
+    start: Cycle,
+) -> CoreRunResult {
     let n = trace.len();
     if n == 0 {
-        return CoreRunResult { cycles: 0, retired: 0, tuples: trace.tuples() as u64 };
+        return CoreRunResult {
+            cycles: 0,
+            retired: 0,
+            tuples: trace.tuples() as u64,
+        };
     }
     let width = cfg.width.max(1);
     let rob = cfg.rob.max(1);
@@ -134,7 +143,11 @@ mod tests {
             prev = t.comp(1, [Some(prev), None]);
         }
         let r = run_ooo(&cfg, &t, &mut mem, 0);
-        assert!(r.cycles >= 100, "chain of 100 unit ops takes >= 100, got {}", r.cycles);
+        assert!(
+            r.cycles >= 100,
+            "chain of 100 unit ops takes >= 100, got {}",
+            r.cycles
+        );
     }
 
     #[test]
@@ -168,8 +181,16 @@ mod tests {
         // With a tiny ROB, independent long-latency loads cannot overlap
         // beyond the window.
         let sys = SystemConfig::default();
-        let small = OooConfig { width: 4, rob: 4, mispredict_penalty: 12 };
-        let big = OooConfig { width: 4, rob: 128, mispredict_penalty: 12 };
+        let small = OooConfig {
+            width: 4,
+            rob: 4,
+            mispredict_penalty: 12,
+        };
+        let big = OooConfig {
+            width: 4,
+            rob: 128,
+            mispredict_penalty: 12,
+        };
         let mut t = Trace::new();
         for i in 0..32u64 {
             t.load(VAddr::new(0x200_000 + i * 4096), 8, [None, None]);

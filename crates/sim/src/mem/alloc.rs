@@ -54,7 +54,13 @@ impl Region {
 
 impl fmt::Display for Region {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{:#x}..{:#x})", self.name, self.base.get(), self.end().get())
+        write!(
+            f,
+            "{} [{:#x}..{:#x})",
+            self.name,
+            self.base.get(),
+            self.end().get()
+        )
     }
 }
 
@@ -82,7 +88,10 @@ impl RegionAllocator {
     /// Creates an allocator starting at the default base.
     #[must_use]
     pub fn new() -> RegionAllocator {
-        RegionAllocator { cursor: VAddr::new(Self::BASE), regions: Vec::new() }
+        RegionAllocator {
+            cursor: VAddr::new(Self::BASE),
+            regions: Vec::new(),
+        }
     }
 
     /// Allocates `len` bytes aligned to `align`, tagged with `name`.
@@ -93,7 +102,11 @@ impl RegionAllocator {
     pub fn alloc(&mut self, name: &str, len: u64, align: u64) -> Region {
         let base = self.cursor.align_up(align);
         self.cursor = base + len;
-        let region = Region { name: name.to_string(), base, len };
+        let region = Region {
+            name: name.to_string(),
+            base,
+            len,
+        };
         self.regions.push(region.clone());
         region
     }

@@ -74,7 +74,10 @@ impl BackingMem {
     /// Panics if `width` is not 1, 2, 4, or 8.
     #[must_use]
     pub fn read_uint(&self, addr: VAddr, width: usize) -> u64 {
-        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported access width {width}");
+        assert!(
+            matches!(width, 1 | 2 | 4 | 8),
+            "unsupported access width {width}"
+        );
         let mut buf = [0u8; 8];
         self.read_bytes(addr, &mut buf[..width]);
         u64::from_le_bytes(buf)
@@ -86,7 +89,10 @@ impl BackingMem {
     ///
     /// Panics if `width` is not 1, 2, 4, or 8.
     pub fn write_uint(&mut self, addr: VAddr, width: usize, value: u64) {
-        assert!(matches!(width, 1 | 2 | 4 | 8), "unsupported access width {width}");
+        assert!(
+            matches!(width, 1 | 2 | 4 | 8),
+            "unsupported access width {width}"
+        );
         self.write_bytes(addr, &value.to_le_bytes()[..width]);
     }
 

@@ -37,7 +37,17 @@ impl Cache {
         let sets = cfg.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
-            sets: vec![vec![Way { tag: 0, valid: false, stamp: 0 }; cfg.assoc]; sets],
+            sets: vec![
+                vec![
+                    Way {
+                        tag: 0,
+                        valid: false,
+                        stamp: 0
+                    };
+                    cfg.assoc
+                ];
+                sets
+            ],
             set_mask: sets as u64 - 1,
             clock: 0,
             hits: 0,
@@ -90,7 +100,11 @@ impl Cache {
             .min_by_key(|w| if w.valid { w.stamp } else { 0 })
             .expect("associativity >= 1");
         let evicted = victim.valid.then_some(BlockAddr(victim.tag));
-        *victim = Way { tag: block.0, valid: true, stamp: clock };
+        *victim = Way {
+            tag: block.0,
+            valid: true,
+            stamp: clock,
+        };
         evicted
     }
 
@@ -229,6 +243,10 @@ mod tests {
                 let _ = round;
             }
         }
-        assert!(c.miss_ratio() > 0.9, "expected thrashing, got {}", c.miss_ratio());
+        assert!(
+            c.miss_ratio() > 0.9,
+            "expected thrashing, got {}",
+            c.miss_ratio()
+        );
     }
 }

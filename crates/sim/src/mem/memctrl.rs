@@ -29,7 +29,10 @@ impl MemoryControllers {
     /// Panics if `cfg.controllers` is zero.
     #[must_use]
     pub fn new(cfg: &MemoryConfig) -> MemoryControllers {
-        assert!(cfg.controllers > 0, "at least one memory controller is required");
+        assert!(
+            cfg.controllers > 0,
+            "at least one memory controller is required"
+        );
         MemoryControllers {
             channel_free: vec![0; cfg.controllers],
             cycles_per_block: cfg.cycles_per_block(BLOCK_BYTES as usize),

@@ -78,10 +78,18 @@ impl MshrFile {
         }
         if self.entries.len() >= self.capacity {
             self.stalls += 1;
-            let earliest = self.entries.iter().map(|e| e.done).min().expect("file is non-empty");
+            let earliest = self
+                .entries
+                .iter()
+                .map(|e| e.done)
+                .min()
+                .expect("file is non-empty");
             return MshrOutcome::Full(earliest);
         }
-        self.entries.push(Entry { block, done: Cycle::MAX });
+        self.entries.push(Entry {
+            block,
+            done: Cycle::MAX,
+        });
         self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
         MshrOutcome::Allocated
     }

@@ -21,7 +21,11 @@ impl PortCalendar {
     #[must_use]
     pub fn new(ports: usize) -> PortCalendar {
         assert!(ports > 0, "at least one port is required");
-        PortCalendar { next_free: vec![0; ports], grants: 0, conflict_cycles: 0 }
+        PortCalendar {
+            next_free: vec![0; ports],
+            grants: 0,
+            conflict_cycles: 0,
+        }
     }
 
     /// Reserves a port at or after `now`; returns the cycle at which the

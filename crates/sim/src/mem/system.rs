@@ -106,7 +106,10 @@ impl MemorySystem {
     ///
     /// Panics if no dedicated TLB was installed.
     pub fn translate_dedicated(&mut self, addr: VAddr, now: Cycle) -> TlbResult {
-        let tlb = self.dedicated_tlb.as_mut().expect("dedicated TLB installed");
+        let tlb = self
+            .dedicated_tlb
+            .as_mut()
+            .expect("dedicated TLB installed");
         let r = tlb.translate(addr, now);
         if r.miss {
             self.stats.tlb_misses += 1;
@@ -120,7 +123,12 @@ impl MemorySystem {
     /// data path of an LLC-side accelerator. Translation must already
     /// have been performed (see
     /// [`translate_dedicated`](Self::translate_dedicated)).
-    pub fn load_llc_direct(&mut self, addr: VAddr, width: usize, now: Cycle) -> (u64, AccessResult) {
+    pub fn load_llc_direct(
+        &mut self,
+        addr: VAddr,
+        width: usize,
+        now: Cycle,
+    ) -> (u64, AccessResult) {
         let block = addr.block();
         let port_t = self.llc_ports.reserve(now);
         let value = self.backing.read_uint(addr, width);
@@ -128,7 +136,13 @@ impl MemorySystem {
             self.stats.l1_misses += 1;
             return (
                 value,
-                AccessResult { ready: done, level: HitLevel::Coalesced, tlb_miss: false, tlb_ready: now, issue: port_t },
+                AccessResult {
+                    ready: done,
+                    level: HitLevel::Coalesced,
+                    tlb_miss: false,
+                    tlb_ready: now,
+                    issue: port_t,
+                },
             );
         }
         let (ready, level) = if self.llc.access(block) {
@@ -142,7 +156,13 @@ impl MemorySystem {
                     MshrOutcome::Merged(done) => {
                         return (
                             value,
-                            AccessResult { ready: done, level: HitLevel::Coalesced, tlb_miss: false, tlb_ready: now, issue: port_t },
+                            AccessResult {
+                                ready: done,
+                                level: HitLevel::Coalesced,
+                                tlb_miss: false,
+                                tlb_ready: now,
+                                issue: port_t,
+                            },
                         )
                     }
                     MshrOutcome::Full(earliest) => {
@@ -159,12 +179,24 @@ impl MemorySystem {
         };
         (
             value,
-            AccessResult { ready, level, tlb_miss: false, tlb_ready: now, issue: port_t },
+            AccessResult {
+                ready,
+                level,
+                tlb_miss: false,
+                tlb_ready: now,
+                issue: port_t,
+            },
         )
     }
 
     /// LLC-direct store (fire-and-forget like [`store_translated`](Self::store_translated)).
-    pub fn store_llc_direct(&mut self, addr: VAddr, width: usize, value: u64, now: Cycle) -> AccessResult {
+    pub fn store_llc_direct(
+        &mut self,
+        addr: VAddr,
+        width: usize,
+        value: u64,
+        now: Cycle,
+    ) -> AccessResult {
         let block = addr.block();
         let port_t = self.llc_ports.reserve(now);
         self.stats.stores += 1;
@@ -177,7 +209,13 @@ impl MemorySystem {
             self.stats.llc_hits += 1;
         }
         self.backing.write_uint(addr, width, value);
-        AccessResult { ready: port_t + 1, level: HitLevel::Llc, tlb_miss: false, tlb_ready: now, issue: port_t }
+        AccessResult {
+            ready: port_t + 1,
+            level: HitLevel::Llc,
+            tlb_miss: false,
+            tlb_ready: now,
+            issue: port_t,
+        }
     }
 
     /// The system configuration.
@@ -284,12 +322,23 @@ impl MemorySystem {
 
     /// Timed load whose translation has already been performed (the
     /// request enters the L1 pipeline at `now`).
-    pub fn load_translated(&mut self, addr: VAddr, width: usize, now: Cycle) -> (u64, AccessResult) {
+    pub fn load_translated(
+        &mut self,
+        addr: VAddr,
+        width: usize,
+        now: Cycle,
+    ) -> (u64, AccessResult) {
         let (ready, level, issue) = self.block_access(addr.block(), now);
         let value = self.backing.read_uint(addr, width);
         (
             value,
-            AccessResult { ready, level, tlb_miss: false, tlb_ready: now, issue },
+            AccessResult {
+                ready,
+                level,
+                tlb_miss: false,
+                tlb_ready: now,
+                issue,
+            },
         )
     }
 
@@ -314,7 +363,10 @@ impl MemorySystem {
         value: u64,
         now: Cycle,
     ) -> AccessResult {
-        let tlb = crate::tlb::TlbResult { ready: now, miss: false };
+        let tlb = crate::tlb::TlbResult {
+            ready: now,
+            miss: false,
+        };
         let block = addr.block();
         let port_t = self.l1_ports.reserve(tlb.ready);
         self.stats.stores += 1;
@@ -405,11 +457,18 @@ impl MemorySystem {
         self.downstream_fill_classified(block, miss_at).0
     }
 
-    fn downstream_fill_classified(&mut self, block: BlockAddr, miss_at: Cycle) -> (Cycle, HitLevel) {
+    fn downstream_fill_classified(
+        &mut self,
+        block: BlockAddr,
+        miss_at: Cycle,
+    ) -> (Cycle, HitLevel) {
         let at_llc = miss_at + self.cfg.xbar_latency;
         let result = if self.llc.access(block) {
             self.stats.llc_hits += 1;
-            (at_llc + self.cfg.llc.hit_latency + self.cfg.xbar_latency, HitLevel::Llc)
+            (
+                at_llc + self.cfg.llc.hit_latency + self.cfg.xbar_latency,
+                HitLevel::Llc,
+            )
         } else {
             self.stats.llc_misses += 1;
             let at_mc = at_llc + self.cfg.llc.hit_latency; // tag check before going off-chip

@@ -28,18 +28,33 @@ impl Summary {
     pub fn from_samples(samples: &[f64]) -> Summary {
         let n = samples.len();
         if n == 0 {
-            return Summary { n: 0, mean: 0.0, stddev: 0.0, ci95: 0.0 };
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                ci95: 0.0,
+            };
         }
         let mean = samples.iter().sum::<f64>() / n as f64;
         if n < 2 {
-            return Summary { n, mean, stddev: 0.0, ci95: 0.0 };
+            return Summary {
+                n,
+                mean,
+                stddev: 0.0,
+                ci95: 0.0,
+            };
         }
         let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
         let stddev = var.sqrt();
         // Normal-approximation 95 % CI; the paper's sample counts are
         // large enough for the z-interval.
         let ci95 = 1.96 * stddev / (n as f64).sqrt();
-        Summary { n, mean, stddev, ci95 }
+        Summary {
+            n,
+            mean,
+            stddev,
+            ci95,
+        }
     }
 
     /// Relative CI half-width (`ci95 / mean`), 0 when the mean is 0.

@@ -200,7 +200,12 @@ mod tests {
 
     #[test]
     fn totals_and_fractions() {
-        let b = CycleBreakdown { comp: 10, mem: 70, tlb: 5, idle: 15 };
+        let b = CycleBreakdown {
+            comp: 10,
+            mem: 70,
+            tlb: 5,
+            idle: 15,
+        };
         assert_eq!(b.total(), 100);
         let f = b.fractions();
         assert!((f[0] - 0.10).abs() < 1e-12);
@@ -215,15 +220,38 @@ mod tests {
 
     #[test]
     fn addition_and_sum() {
-        let a = CycleBreakdown { comp: 1, mem: 2, tlb: 3, idle: 4 };
-        let b = CycleBreakdown { comp: 10, mem: 20, tlb: 30, idle: 40 };
+        let a = CycleBreakdown {
+            comp: 1,
+            mem: 2,
+            tlb: 3,
+            idle: 4,
+        };
+        let b = CycleBreakdown {
+            comp: 10,
+            mem: 20,
+            tlb: 30,
+            idle: 40,
+        };
         let s: CycleBreakdown = [a, b].into_iter().sum();
-        assert_eq!(s, CycleBreakdown { comp: 11, mem: 22, tlb: 33, idle: 44 });
+        assert_eq!(
+            s,
+            CycleBreakdown {
+                comp: 11,
+                mem: 22,
+                tlb: 33,
+                idle: 44
+            }
+        );
     }
 
     #[test]
     fn per_item_normalization() {
-        let b = CycleBreakdown { comp: 100, mem: 300, tlb: 0, idle: 0 };
+        let b = CycleBreakdown {
+            comp: 100,
+            mem: 300,
+            tlb: 0,
+            idle: 0,
+        };
         let p = b.per(100);
         assert!((p.comp - 1.0).abs() < 1e-12);
         assert!((p.mem - 3.0).abs() < 1e-12);

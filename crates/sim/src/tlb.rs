@@ -88,13 +88,19 @@ impl Tlb {
         if let Some(e) = self.entries.iter_mut().find(|e| e.page == page) {
             e.stamp = clock;
             self.hits += 1;
-            return TlbResult { ready: now, miss: false };
+            return TlbResult {
+                ready: now,
+                miss: false,
+            };
         }
         self.misses += 1;
 
         // Share an in-flight walk of the same page.
         if let Some((_, done)) = self.pending.iter().find(|(p, _)| *p == page) {
-            return TlbResult { ready: *done, miss: true };
+            return TlbResult {
+                ready: *done,
+                miss: true,
+            };
         }
 
         let slot = self
@@ -107,7 +113,10 @@ impl Tlb {
         *slot = done;
         self.pending.push((page, done));
         self.install(page, clock);
-        TlbResult { ready: done, miss: true }
+        TlbResult {
+            ready: done,
+            miss: true,
+        }
     }
 
     fn install(&mut self, page: PageAddr, stamp: u64) {
@@ -158,7 +167,12 @@ mod tests {
     use super::*;
 
     fn cfg() -> TlbConfig {
-        TlbConfig { entries: 4, in_flight: 2, walk_latency: 40, page_bytes: 4096 }
+        TlbConfig {
+            entries: 4,
+            in_flight: 2,
+            walk_latency: 40,
+            page_bytes: 4096,
+        }
     }
 
     #[test]

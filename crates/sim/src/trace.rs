@@ -104,12 +104,18 @@ impl Trace {
 
     /// Appends a compute µop; returns its index for use as a dependence.
     pub fn comp(&mut self, latency: u8, deps: [Option<UopIdx>; 2]) -> UopIdx {
-        self.push(Uop { kind: UopKind::Comp { latency }, deps })
+        self.push(Uop {
+            kind: UopKind::Comp { latency },
+            deps,
+        })
     }
 
     /// Appends a load µop; returns its index.
     pub fn load(&mut self, addr: VAddr, width: u8, deps: [Option<UopIdx>; 2]) -> UopIdx {
-        self.push(Uop { kind: UopKind::Load { addr, width }, deps })
+        self.push(Uop {
+            kind: UopKind::Load { addr, width },
+            deps,
+        })
     }
 
     /// Appends a store µop; returns its index.
@@ -120,12 +126,18 @@ impl Trace {
         value: u64,
         deps: [Option<UopIdx>; 2],
     ) -> UopIdx {
-        self.push(Uop { kind: UopKind::Store { addr, width, value }, deps })
+        self.push(Uop {
+            kind: UopKind::Store { addr, width, value },
+            deps,
+        })
     }
 
     /// Appends a branch µop; returns its index.
     pub fn branch(&mut self, mispredict: bool, deps: [Option<UopIdx>; 2]) -> UopIdx {
-        self.push(Uop { kind: UopKind::Branch { mispredict }, deps })
+        self.push(Uop {
+            kind: UopKind::Branch { mispredict },
+            deps,
+        })
     }
 
     fn push(&mut self, uop: Uop) -> UopIdx {

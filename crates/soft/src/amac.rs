@@ -9,20 +9,173 @@
 //! hardware walkers exploit — `inflight` plays the role of the walker
 //! count, bounded in practice by the same MSHR limits the paper's
 //! Section 3.2 model identifies.
+//!
+//! Two entry points:
+//!
+//! * [`probe_amac`] — the classic one-shot loop over a key slice;
+//! * [`AmacWalker`] — a *resumable* ring of probe state machines that a
+//!   serving layer can [`feed`](AmacWalker::feed) keys into one at a
+//!   time (keeping earlier probes in flight while later requests are
+//!   still being dequeued) and [`drain`](AmacWalker::drain) at batch
+//!   boundaries. Each key carries a caller-chosen `tag`, so matches can
+//!   be attributed back to the originating request even when the same
+//!   key value appears in several concurrently batched requests.
 
-use widx_db::index::{HashIndex, NONE};
+use widx_db::index::{Bucket, HashIndex, Node, NONE};
 
 use crate::prefetch::prefetch_read;
 use crate::Match;
 
-/// Per-probe coroutine state.
-enum State {
+/// Per-probe coroutine state. `Empty` slots are free for the next key.
+#[derive(Clone, Copy)]
+enum Slot {
+    /// No probe in this slot.
+    Empty,
     /// About to read the bucket header (prefetch issued).
-    Header { key: u64, bucket: usize },
+    Header { tag: u32, key: u64, bucket: usize },
     /// About to read overflow node `node` (prefetch issued).
-    Node { key: u64, node: u32 },
-    /// Finished; slot free for the next key.
-    Done,
+    Node { tag: u32, key: u64, node: u32 },
+}
+
+/// A resumable ring of AMAC probe state machines over one
+/// [`HashIndex`].
+///
+/// The walker owns `inflight` slots. [`feed`](AmacWalker::feed) starts a
+/// new probe, advancing the whole ring round-robin when every slot is
+/// busy; [`drain`](AmacWalker::drain) runs the ring until no probe
+/// remains in flight. Matches are reported through an `emit(tag, key,
+/// payload)` callback as soon as they are found — which may be during a
+/// later `feed` of unrelated keys, so callers that need batch isolation
+/// must drain before reusing tags.
+pub struct AmacWalker<'idx> {
+    buckets: &'idx [Bucket],
+    nodes: &'idx [Node],
+    index: &'idx HashIndex,
+    bucket_count: u64,
+    slots: Vec<Slot>,
+    live: usize,
+}
+
+impl<'idx> AmacWalker<'idx> {
+    /// Creates a walker with `inflight` probe slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inflight` is zero.
+    #[must_use]
+    pub fn new(index: &'idx HashIndex, inflight: usize) -> AmacWalker<'idx> {
+        assert!(inflight > 0, "need at least one in-flight probe");
+        AmacWalker {
+            buckets: index.buckets(),
+            nodes: index.nodes(),
+            index,
+            bucket_count: index.buckets().len() as u64,
+            slots: vec![Slot::Empty; inflight],
+            live: 0,
+        }
+    }
+
+    /// Number of probes currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.live
+    }
+
+    /// The walker's slot count (the `inflight` it was built with).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Starts probing `key`, reporting matches as `(tag, key, payload)`
+    /// through `emit`. If every slot is busy, the ring is advanced until
+    /// one frees — matches for *earlier* keys may be emitted during this
+    /// call.
+    pub fn feed<F: FnMut(u32, u64, u64)>(&mut self, tag: u32, key: u64, emit: &mut F) {
+        while self.live == self.slots.len() {
+            self.step_all(emit);
+        }
+        let slot = self
+            .slots
+            .iter()
+            .position(|s| matches!(s, Slot::Empty))
+            .expect("live < capacity implies an empty slot");
+        let bucket = self.index.recipe().bucket_of(key, self.bucket_count) as usize;
+        prefetch_read(&self.buckets[bucket]);
+        self.slots[slot] = Slot::Header { tag, key, bucket };
+        self.live += 1;
+    }
+
+    /// Runs the ring until every in-flight probe has completed.
+    pub fn drain<F: FnMut(u32, u64, u64)>(&mut self, emit: &mut F) {
+        while self.live > 0 {
+            self.step_all(emit);
+        }
+    }
+
+    /// Feeds every `(tag, key)` of `keys` and drains — one batch, start
+    /// to finish.
+    pub fn probe_chunk<I, F>(&mut self, keys: I, emit: &mut F)
+    where
+        I: IntoIterator<Item = (u32, u64)>,
+        F: FnMut(u32, u64, u64),
+    {
+        for (tag, key) in keys {
+            self.feed(tag, key, emit);
+        }
+        self.drain(emit);
+    }
+
+    /// Advances every live probe by one state transition (one node
+    /// visit), issuing the next prefetch before yielding.
+    fn step_all<F: FnMut(u32, u64, u64)>(&mut self, emit: &mut F) {
+        for i in 0..self.slots.len() {
+            match self.slots[i] {
+                Slot::Empty => {}
+                Slot::Header { tag, key, bucket } => {
+                    let b = &self.buckets[bucket];
+                    if b.count == 0 {
+                        self.retire(i);
+                        continue;
+                    }
+                    if b.key == key {
+                        emit(tag, key, b.payload);
+                    }
+                    if b.next == NONE {
+                        self.retire(i);
+                    } else {
+                        prefetch_read(&self.nodes[b.next as usize]);
+                        self.slots[i] = Slot::Node {
+                            tag,
+                            key,
+                            node: b.next,
+                        };
+                    }
+                }
+                Slot::Node { tag, key, node } => {
+                    let n = &self.nodes[node as usize];
+                    if n.key == key {
+                        emit(tag, key, n.payload);
+                    }
+                    if n.next == NONE {
+                        self.retire(i);
+                    } else {
+                        prefetch_read(&self.nodes[n.next as usize]);
+                        self.slots[i] = Slot::Node {
+                            tag,
+                            key,
+                            node: n.next,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    fn retire(&mut self, slot: usize) {
+        self.slots[slot] = Slot::Empty;
+        self.live -= 1;
+    }
 }
 
 /// Probes `keys` with `inflight` interleaved state machines, appending
@@ -32,76 +185,13 @@ enum State {
 ///
 /// Panics if `inflight` is zero.
 pub fn probe_amac(index: &HashIndex, keys: &[u64], inflight: usize, out: &mut Vec<Match>) {
-    assert!(inflight > 0, "need at least one in-flight probe");
-    let buckets = index.buckets();
-    let nodes = index.nodes();
-    let recipe = index.recipe();
-    let bucket_count = buckets.len() as u64;
-
-    let mut next_key = 0usize;
-    let mut live = 0usize;
-    let mut slots: Vec<State> = Vec::with_capacity(inflight);
-
-    // Start a probe: hash (compute-only) and prefetch its header.
-    let start = |next_key: &mut usize, live: &mut usize| -> State {
-        if *next_key >= keys.len() {
-            return State::Done;
-        }
-        let key = keys[*next_key];
-        *next_key += 1;
-        *live += 1;
-        let bucket = recipe.bucket_of(key, bucket_count) as usize;
-        prefetch_read(&buckets[bucket]);
-        State::Header { key, bucket }
-    };
-
-    for _ in 0..inflight {
-        slots.push(start(&mut next_key, &mut live));
-    }
-
-    while live > 0 || next_key < keys.len() {
-        for slot in &mut slots {
-            match *slot {
-                State::Done => {
-                    // Idle slot: try to refill.
-                    if next_key < keys.len() {
-                        *slot = start(&mut next_key, &mut live);
-                    }
-                }
-                State::Header { key, bucket } => {
-                    let b = &buckets[bucket];
-                    if b.count == 0 {
-                        live -= 1;
-                        *slot = State::Done;
-                        continue;
-                    }
-                    if b.key == key {
-                        out.push((key, b.payload));
-                    }
-                    if b.next == NONE {
-                        live -= 1;
-                        *slot = State::Done;
-                    } else {
-                        prefetch_read(&nodes[b.next as usize]);
-                        *slot = State::Node { key, node: b.next };
-                    }
-                }
-                State::Node { key, node } => {
-                    let n = &nodes[node as usize];
-                    if n.key == key {
-                        out.push((key, n.payload));
-                    }
-                    if n.next == NONE {
-                        live -= 1;
-                        *slot = State::Done;
-                    } else {
-                        prefetch_read(&nodes[n.next as usize]);
-                        *slot = State::Node { key, node: n.next };
-                    }
-                }
-            }
-        }
-    }
+    let mut walker = AmacWalker::new(index, inflight);
+    walker.probe_chunk(
+        keys.iter().map(|&k| (0u32, k)),
+        &mut |_tag, key, payload| {
+            out.push((key, payload));
+        },
+    );
 }
 
 #[cfg(test)]
@@ -148,5 +238,59 @@ mod tests {
     fn zero_inflight_rejected() {
         let index = HashIndex::build(HashRecipe::robust64(), 8, std::iter::empty());
         probe_amac(&index, &[1], 0, &mut Vec::new());
+    }
+
+    #[test]
+    fn walker_reused_across_chunks_matches_scalar() {
+        let pairs: Vec<(u64, u64)> = (0..400).map(|k| (k % 90, k)).collect();
+        let index = HashIndex::build(HashRecipe::robust64(), 32, pairs);
+        let probes: Vec<u64> = (0..300).map(|i| i % 110).collect();
+
+        let mut scalar = Vec::new();
+        probe_scalar(&index, &probes, &mut scalar);
+        scalar.sort_unstable();
+
+        let mut walker = AmacWalker::new(&index, 8);
+        let mut got: Vec<Match> = Vec::new();
+        for chunk in probes.chunks(37) {
+            walker.probe_chunk(chunk.iter().map(|&k| (0u32, k)), &mut |_t, k, p| {
+                got.push((k, p));
+            });
+            assert_eq!(walker.in_flight(), 0, "drained between chunks");
+        }
+        got.sort_unstable();
+        assert_eq!(scalar, got);
+    }
+
+    #[test]
+    fn feed_keeps_probes_in_flight_until_drain() {
+        // A chain long enough that probes cannot finish in one step.
+        let pairs: Vec<(u64, u64)> = (0..64).map(|v| (7u64, v)).collect();
+        let index = HashIndex::build(HashRecipe::robust64(), 8, pairs);
+        let mut walker = AmacWalker::new(&index, 4);
+        let mut out = Vec::new();
+        for _ in 0..4 {
+            walker.feed(0, 7, &mut |_t, k, p| out.push((k, p)));
+        }
+        assert_eq!(walker.in_flight(), 4);
+        walker.drain(&mut |_t, k, p| out.push((k, p)));
+        assert_eq!(walker.in_flight(), 0);
+        assert_eq!(out.len(), 4 * 64);
+    }
+
+    #[test]
+    fn tags_attribute_matches_to_requests() {
+        // Same key fed under different tags: each tag sees its own copy.
+        let index = HashIndex::build(HashRecipe::robust64(), 8, [(5u64, 50u64), (5, 51)]);
+        let mut walker = AmacWalker::new(&index, 2);
+        let mut per_tag = [Vec::new(), Vec::new(), Vec::new()];
+        walker.probe_chunk([(0u32, 5u64), (1, 5), (2, 9)], &mut |tag, key, payload| {
+            per_tag[tag as usize].push((key, payload))
+        });
+        for (tag, matches) in per_tag.iter_mut().take(2).enumerate() {
+            matches.sort_unstable();
+            assert_eq!(matches, &[(5, 50), (5, 51)], "tag {tag}");
+        }
+        assert!(per_tag[2].is_empty(), "missing key matched nothing");
     }
 }

@@ -17,7 +17,10 @@
 //! * [`probe_amac`] — asynchronous memory-access chaining: a ring of
 //!   independent probe state machines, each prefetching its next node
 //!   before yielding — the software equivalent of the paper's parallel
-//!   walker units.
+//!   walker units;
+//! * [`AmacWalker`] — the resumable, tag-carrying form of the same
+//!   ring, built for serving layers (`widx-serve`) that feed keys in as
+//!   requests arrive and drain at batch boundaries.
 //!
 //! All three produce identical result multisets; the Criterion bench
 //! `soft_walkers` compares their throughput on DRAM-resident indexes,
@@ -51,7 +54,7 @@ mod group;
 pub mod prefetch;
 mod scalar;
 
-pub use amac::probe_amac;
+pub use amac::{probe_amac, AmacWalker};
 pub use group::probe_group_prefetch;
 pub use scalar::probe_scalar;
 

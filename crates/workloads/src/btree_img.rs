@@ -102,7 +102,7 @@ pub fn materialize_btree(
 ) -> BTreeImage {
     let export = tree.export();
     let f = export.fanout as u64;
-    assert!(f >= 2 && f <= 128, "fanout {f} out of supported range");
+    assert!((2..=128).contains(&f), "fanout {f} out of supported range");
     let inner_stride = BTreeImage::inner_stride(f);
     let leaf_stride = BTreeImage::leaf_stride(f);
 
@@ -114,7 +114,10 @@ pub fn materialize_btree(
         .enumerate()
         .map(|(d, level)| {
             alloc
-                .alloc_pages(&format!("btree.level{d}"), (level.len() as u64) * inner_stride)
+                .alloc_pages(
+                    &format!("btree.level{d}"),
+                    (level.len() as u64) * inner_stride,
+                )
                 .base()
         })
         .collect();
@@ -232,7 +235,11 @@ mod tests {
     fn image_descent_matches_logical_tree() {
         let (mem, tree, image) = setup(500, 8);
         for key in 0..1002u64 {
-            assert_eq!(image_lookup(&mem, &image, key), tree.lookup(key), "key {key}");
+            assert_eq!(
+                image_lookup(&mem, &image, key),
+                tree.lookup(key),
+                "key {key}"
+            );
         }
     }
 

@@ -76,6 +76,22 @@ impl Zipf {
     }
 }
 
+/// `n` Zipfian-distributed keys in `[0, bound)` with skew `theta` —
+/// the skewed probe stream a serving front-end sees when a few hot keys
+/// dominate the request mix. Rank `r` maps to key `r` (rank 0 is the
+/// hottest key), matching [`Zipf`]'s convention.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero or `theta` is negative.
+#[must_use]
+pub fn zipf_keys(seed: u64, n: usize, bound: u64, theta: f64) -> Vec<u64> {
+    assert!(bound > 0, "bound must be positive");
+    let z = Zipf::new(bound as usize, theta);
+    let mut r = rng(seed);
+    z.sample_n(&mut r, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,7 +108,7 @@ mod tests {
         let keys = uniform_keys(1, 10_000, 64);
         assert!(keys.iter().all(|k| *k < 64));
         // All values should appear for this density.
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for k in &keys {
             seen[*k as usize] = true;
         }
@@ -134,5 +150,16 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zipf_zero_ranks_rejected() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn zipf_keys_deterministic_bounded_and_skewed() {
+        let a = zipf_keys(11, 20_000, 500, 0.99);
+        let b = zipf_keys(11, 20_000, 500, 0.99);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|k| *k < 500));
+        let head = a.iter().filter(|k| **k < 5).count();
+        let tail = a.iter().filter(|k| **k >= 495).count();
+        assert!(head > tail * 10, "head {head} tail {tail}");
     }
 }

@@ -44,7 +44,12 @@ pub struct OperatorCosts {
 
 impl Default for OperatorCosts {
     fn default() -> OperatorCosts {
-        OperatorCosts { probe_ns: PROBE_NS, scan_ns: SCAN_NS, sort_ns: SORT_NS, agg_ns: AGG_NS }
+        OperatorCosts {
+            probe_ns: PROBE_NS,
+            scan_ns: SCAN_NS,
+            sort_ns: SORT_NS,
+            agg_ns: AGG_NS,
+        }
     }
 }
 
@@ -56,7 +61,11 @@ impl OperatorCosts {
     pub fn measure() -> OperatorCosts {
         use std::time::Instant;
         let n = 200_000usize;
-        let dim = Column::new("d", ColumnType::U64, datagen::unique_shuffled_keys(99, n / 8));
+        let dim = Column::new(
+            "d",
+            ColumnType::U64,
+            datagen::unique_shuffled_keys(99, n / 8),
+        );
         let fact = Column::new(
             "f",
             ColumnType::U64,
@@ -68,7 +77,11 @@ impl OperatorCosts {
             (join.build_nanos + join.hash_nanos + join.walk_nanos).max(1) as f64 / n as f64;
         let _ = t0;
 
-        let scan_col = Column::new("s", ColumnType::U64, datagen::uniform_keys(97, n * 4, 1 << 30));
+        let scan_col = Column::new(
+            "s",
+            ColumnType::U64,
+            datagen::uniform_keys(97, n * 4, 1 << 30),
+        );
         let t1 = Instant::now();
         let sel = ops::scan_filter(&scan_col, |v| v & 7 == 0);
         let scan_ns = t1.elapsed().as_nanos().max(1) as f64 / (n * 4) as f64;
@@ -83,7 +96,12 @@ impl OperatorCosts {
         let agg = ops::group_sum(&gk, &gv);
         let agg_ns = agg.nanos.max(1) as f64 / n as f64;
 
-        OperatorCosts { probe_ns, scan_ns, sort_ns, agg_ns }
+        OperatorCosts {
+            probe_ns,
+            scan_ns,
+            sort_ns,
+            agg_ns,
+        }
     }
 }
 
@@ -119,7 +137,14 @@ impl DssQuerySpec {
         fact_rows: usize,
         seed: u64,
     ) -> DssQuerySpec {
-        Self::from_fractions_with(&OperatorCosts::default(), name, suite, fractions, fact_rows, seed)
+        Self::from_fractions_with(
+            &OperatorCosts::default(),
+            name,
+            suite,
+            fractions,
+            fact_rows,
+            seed,
+        )
     }
 
     /// [`from_fractions`](Self::from_fractions) with explicit
@@ -153,7 +178,14 @@ impl DssQuerySpec {
     /// using `costs`.
     #[must_use]
     pub fn recalibrated(&self, costs: &OperatorCosts, fractions: [f64; 4]) -> DssQuerySpec {
-        Self::from_fractions_with(costs, self.name, self.suite, fractions, self.fact_rows, self.seed)
+        Self::from_fractions_with(
+            costs,
+            self.name,
+            self.suite,
+            fractions,
+            self.fact_rows,
+            self.seed,
+        )
     }
 
     /// Scales every operator's row count (tests use small scales).
@@ -217,7 +249,9 @@ impl DssQuerySpec {
         // Sort.
         let _perm = q.run(OpClass::SortJoin, "sort", || ops::sort_column(&sort_col));
         // Aggregate.
-        let _sum = q.run(OpClass::Other, "aggregate", || ops::group_sum(&agg_keys, &agg_vals));
+        let _sum = q.run(OpClass::Other, "aggregate", || {
+            ops::group_sum(&agg_keys, &agg_vals)
+        });
         q
     }
 }
@@ -361,8 +395,16 @@ mod tests {
         // Compare the most index-heavy (q17: 94%) against the least
         // (q13: 10%) at small scale: the measured ordering must hold even
         // if the absolute fractions drift from the calibration targets.
-        let q17 = tpch_fig2().into_iter().find(|q| q.name == "q17").unwrap().scaled(0.05);
-        let q13 = tpch_fig2().into_iter().find(|q| q.name == "q13").unwrap().scaled(0.05);
+        let q17 = tpch_fig2()
+            .into_iter()
+            .find(|q| q.name == "q17")
+            .unwrap()
+            .scaled(0.05);
+        let q13 = tpch_fig2()
+            .into_iter()
+            .find(|q| q.name == "q13")
+            .unwrap()
+            .scaled(0.05);
         let f17 = q17.run().class_fraction(OpClass::Index);
         let f13 = q13.run().class_fraction(OpClass::Index);
         assert!(f17 > f13, "q17 {f17:.2} should exceed q13 {f13:.2}");

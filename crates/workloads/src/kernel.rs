@@ -80,7 +80,11 @@ impl KernelConfig {
     /// Creates the standard configuration for `size`.
     #[must_use]
     pub fn new(size: KernelSize) -> KernelConfig {
-        KernelConfig { size, probes: Self::DEFAULT_PROBES, seed: 0x5EED + size.tuples() as u64 }
+        KernelConfig {
+            size,
+            probes: Self::DEFAULT_PROBES,
+            seed: 0x5EED + size.tuples() as u64,
+        }
     }
 
     /// Overrides the probe-sample size (for quick tests).
@@ -117,7 +121,10 @@ impl KernelConfig {
         let index = HashIndex::build(
             self.recipe(),
             (tuples / 2).max(1),
-            build_keys.iter().enumerate().map(|(row, k)| (*k, row as u64)),
+            build_keys
+                .iter()
+                .enumerate()
+                .map(|(row, k)| (*k, row as u64)),
         );
         let probes = datagen::uniform_keys(self.seed ^ 0xABCD, self.probes, tuples as u64);
         (index, probes)
@@ -157,14 +164,24 @@ mod tests {
         let stats = index.stats();
         // Dense keys over half as many buckets: exactly two nodes per
         // bucket, the paper's kernel occupancy.
-        assert!((stats.mean_chain - 2.0).abs() < 0.5, "mean chain {}", stats.mean_chain);
+        assert!(
+            (stats.mean_chain - 2.0).abs() < 0.5,
+            "mean chain {}",
+            stats.mean_chain
+        );
         assert!(stats.max_chain <= 2, "max chain {}", stats.max_chain);
     }
 
     #[test]
     fn deterministic() {
-        let a = KernelConfig::new(KernelSize::Small).with_probes(64).build().1;
-        let b = KernelConfig::new(KernelSize::Small).with_probes(64).build().1;
+        let a = KernelConfig::new(KernelSize::Small)
+            .with_probes(64)
+            .build()
+            .1;
+        let b = KernelConfig::new(KernelSize::Small)
+            .with_probes(64)
+            .build()
+            .1;
         assert_eq!(a, b);
     }
 }

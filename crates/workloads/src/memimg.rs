@@ -113,8 +113,10 @@ pub fn materialize(
     let node_count = index.nodes().len() as u64;
     let kw = layout.key_width as u64;
 
-    let bucket_region =
-        alloc.alloc_pages("hash.buckets", bucket_count * NodeLayout::HEADER_STRIDE as u64);
+    let bucket_region = alloc.alloc_pages(
+        "hash.buckets",
+        bucket_count * NodeLayout::HEADER_STRIDE as u64,
+    );
     let node_region = alloc.alloc_pages(
         "hash.nodes",
         (node_count.max(1)) * NodeLayout::NODE_STRIDE as u64,
@@ -123,7 +125,11 @@ pub fn materialize(
         widx_db::index::KeyKind::Direct => None,
         widx_db::index::KeyKind::Indirect => {
             let entries = index.len() as u64;
-            let valid = index.buckets().iter().filter(|b| b.count > 0).all(|b| b.payload < entries)
+            let valid = index
+                .buckets()
+                .iter()
+                .filter(|b| b.count > 0)
+                .all(|b| b.payload < entries)
                 && index.nodes().iter().all(|n| n.payload < entries);
             assert!(
                 valid,
@@ -165,18 +171,32 @@ pub fn materialize(
     // Bucket headers.
     for (b, bucket) in index.buckets().iter().enumerate() {
         let base = image.header_addr(b as u64);
-        mem.write_u32(base.offset(NodeLayout::HEADER_COUNT_OFFSET as i64), bucket.count);
+        mem.write_u32(
+            base.offset(NodeLayout::HEADER_COUNT_OFFSET as i64),
+            bucket.count,
+        );
         if bucket.count > 0 {
             mem.write_uint(
                 base.offset(NodeLayout::HEADER_SLOT_OFFSET as i64),
                 layout.slot_width(),
                 slot_value(bucket.key, bucket.payload),
             );
-            mem.write_u64(base.offset(NodeLayout::HEADER_PAYLOAD_OFFSET as i64), bucket.payload);
-            let next = if bucket.next == NONE { 0 } else { image.node_addr(u64::from(bucket.next)).get() };
+            mem.write_u64(
+                base.offset(NodeLayout::HEADER_PAYLOAD_OFFSET as i64),
+                bucket.payload,
+            );
+            let next = if bucket.next == NONE {
+                0
+            } else {
+                image.node_addr(u64::from(bucket.next)).get()
+            };
             mem.write_u64(base.offset(NodeLayout::HEADER_NEXT_OFFSET as i64), next);
             if let widx_db::index::KeyKind::Indirect = layout.key_kind {
-                mem.write_uint(image.build_key_addr(bucket.payload), layout.key_width, bucket.key);
+                mem.write_uint(
+                    image.build_key_addr(bucket.payload),
+                    layout.key_width,
+                    bucket.key,
+                );
             }
         }
     }
@@ -189,17 +209,28 @@ pub fn materialize(
             layout.slot_width(),
             slot_value(node.key, node.payload),
         );
-        mem.write_u64(base.offset(NodeLayout::NODE_PAYLOAD_OFFSET as i64), node.payload);
-        let next = if node.next == NONE { 0 } else { image.node_addr(u64::from(node.next)).get() };
+        mem.write_u64(
+            base.offset(NodeLayout::NODE_PAYLOAD_OFFSET as i64),
+            node.payload,
+        );
+        let next = if node.next == NONE {
+            0
+        } else {
+            image.node_addr(u64::from(node.next)).get()
+        };
         mem.write_u64(base.offset(NodeLayout::NODE_NEXT_OFFSET as i64), next);
         if let widx_db::index::KeyKind::Indirect = layout.key_kind {
-            mem.write_uint(image.build_key_addr(node.payload), layout.key_width, node.key);
+            mem.write_uint(
+                image.build_key_addr(node.payload),
+                layout.key_width,
+                node.key,
+            );
         }
     }
 
     // Probe input column.
     for (i, key) in probes.iter().enumerate() {
-        mem.write_uint(image.input_addr(i as u64), layout.key_width as usize, *key);
+        mem.write_uint(image.input_addr(i as u64), layout.key_width, *key);
     }
 
     image
@@ -224,12 +255,21 @@ pub fn warm(mem: &mut MemorySystem, image: &IndexImage) {
             addr = addr + 64;
         }
     };
-    warm_region(image.bucket_base, image.bucket_count * NodeLayout::HEADER_STRIDE as u64);
+    warm_region(
+        image.bucket_base,
+        image.bucket_count * NodeLayout::HEADER_STRIDE as u64,
+    );
     if image.node_count > 0 {
-        warm_region(image.node_base, image.node_count * NodeLayout::NODE_STRIDE as u64);
+        warm_region(
+            image.node_base,
+            image.node_count * NodeLayout::NODE_STRIDE as u64,
+        );
     }
     if let Some(base) = image.build_keys_base {
-        warm_region(base, image.entry_count.max(1) * image.layout.key_width as u64);
+        warm_region(
+            base,
+            image.entry_count.max(1) * image.layout.key_width as u64,
+        );
     }
 }
 
@@ -251,7 +291,12 @@ mod tests {
 
     /// Software walk over the *materialized image* — reads simulated
     /// memory only, no logical-index shortcuts.
-    fn image_lookup_all(mem: &MemorySystem, image: &IndexImage, key: u64, index: &HashIndex) -> Vec<u64> {
+    fn image_lookup_all(
+        mem: &MemorySystem,
+        image: &IndexImage,
+        key: u64,
+        index: &HashIndex,
+    ) -> Vec<u64> {
         let b = index.recipe().bucket_of(key, image.bucket_count);
         let header = image.header_addr(b);
         let mut out = Vec::new();
@@ -261,9 +306,7 @@ mod tests {
         }
         let read_key = |mem: &MemorySystem, slot_addr: VAddr| -> u64 {
             match image.layout.key_kind {
-                widx_db::index::KeyKind::Direct => {
-                    mem.read_uint(slot_addr, image.layout.key_width)
-                }
+                widx_db::index::KeyKind::Direct => mem.read_uint(slot_addr, image.layout.key_width),
                 widx_db::index::KeyKind::Indirect => {
                     let ptr = VAddr::new(mem.read_u64(slot_addr));
                     mem.read_uint(ptr, image.layout.key_width)
@@ -318,7 +361,14 @@ mod tests {
         let pairs = vec![(7u64, 0u64), (9, 1)];
         let index = HashIndex::build(HashRecipe::trivial(), 8, pairs);
         let probes = vec![7u64];
-        let image = materialize(&mut mem, &mut alloc, &index, &probes, NodeLayout::kernel4(), 1);
+        let image = materialize(
+            &mut mem,
+            &mut alloc,
+            &index,
+            &probes,
+            NodeLayout::kernel4(),
+            1,
+        );
         assert_eq!(mem.read_uint(image.input_addr(0), 4), 7);
     }
 
@@ -345,7 +395,10 @@ mod tests {
         warm(&mut mem, &image);
         let (_, r) = mem.load(image.header_addr(0), 8, 0);
         assert!(
-            matches!(r.level, widx_sim::mem::HitLevel::L1 | widx_sim::mem::HitLevel::Llc),
+            matches!(
+                r.level,
+                widx_sim::mem::HitLevel::L1 | widx_sim::mem::HitLevel::Llc
+            ),
             "level {:?}",
             r.level
         );

@@ -102,7 +102,10 @@ impl QueryProfile {
         let index = HashIndex::build(
             self.recipe.recipe(),
             self.entries.max(1),
-            build_keys.iter().enumerate().map(|(row, k)| (*k, row as u64)),
+            build_keys
+                .iter()
+                .enumerate()
+                .map(|(row, k)| (*k, row as u64)),
         );
         // Probes: hits are uniform over the key space [0, entries);
         // misses use keys >= entries which can never match.
@@ -112,7 +115,13 @@ impl QueryProfile {
         let probes = raw
             .into_iter()
             .zip(miss_mark)
-            .map(|(k, m)| if m < threshold { k } else { k + self.entries as u64 })
+            .map(|(k, m)| {
+                if m < threshold {
+                    k
+                } else {
+                    k + self.entries as u64
+                }
+            })
             .collect();
         (index, probes)
     }
@@ -210,27 +219,46 @@ mod tests {
     fn tpcds_indexes_are_smaller() {
         let h: usize = QueryProfile::tpch().iter().map(|q| q.entries).sum();
         let ds: usize = QueryProfile::tpcds().iter().map(|q| q.entries).sum();
-        assert!(ds * 10 < h, "TPC-DS {ds} should be far smaller than TPC-H {h}");
+        assert!(
+            ds * 10 < h,
+            "TPC-DS {ds} should be far smaller than TPC-H {h}"
+        );
     }
 
     #[test]
     fn q37_is_l1_resident() {
-        let q37 = QueryProfile::tpcds().into_iter().find(|q| q.name == "qry37").unwrap();
-        assert!(q37.index_bytes() <= 32 * 1024, "bytes {}", q37.index_bytes());
+        let q37 = QueryProfile::tpcds()
+            .into_iter()
+            .find(|q| q.name == "qry37")
+            .unwrap();
+        assert!(
+            q37.index_bytes() <= 32 * 1024,
+            "bytes {}",
+            q37.index_bytes()
+        );
     }
 
     #[test]
     fn q20_uses_heavy_hash() {
-        let q20 = QueryProfile::tpch().into_iter().find(|q| q.name == "qry20").unwrap();
+        let q20 = QueryProfile::tpch()
+            .into_iter()
+            .find(|q| q.name == "qry20")
+            .unwrap();
         assert_eq!(q20.recipe, RecipeKind::Heavy);
-        assert!(q20.index_bytes() > 4 * 1024 * 1024, "q20 must exceed the LLC");
+        assert!(
+            q20.index_bytes() > 4 * 1024 * 1024,
+            "q20 must exceed the LLC"
+        );
     }
 
     #[test]
     fn match_fraction_is_respected() {
         let q = QueryProfile::tpcds().remove(0).with_probes(4000);
         let (index, probes) = q.build();
-        let hits = probes.iter().filter(|p| index.lookup(**p).is_some()).count();
+        let hits = probes
+            .iter()
+            .filter(|p| index.lookup(**p).is_some())
+            .count();
         let frac = hits as f64 / probes.len() as f64;
         assert!((frac - q.match_fraction).abs() < 0.05, "fraction {frac}");
     }

@@ -115,7 +115,10 @@ pub fn probe_trace(index: &HashIndex, image: &IndexImage, probes: &[u64]) -> Tra
             }
         };
         let hdr_cmp = t.comp(1, [Some(hdr_key), Some(key_load)]);
-        t.branch(compare_mispredicts(*key, header.get()), [Some(hdr_cmp), None]);
+        t.branch(
+            compare_mispredicts(*key, header.get()),
+            [Some(hdr_cmp), None],
+        );
         if bucket.key == *key {
             emit(&mut t, &mut out_cursor, hdr_cmp, bucket.payload);
         }
@@ -138,7 +141,10 @@ pub fn probe_trace(index: &HashIndex, image: &IndexImage, probes: &[u64]) -> Tra
                 }
             };
             let cmp = t.comp(1, [Some(node_key), Some(key_load)]);
-            t.branch(compare_mispredicts(*key, node_addr.get()), [Some(cmp), None]);
+            t.branch(
+                compare_mispredicts(*key, node_addr.get()),
+                [Some(cmp), None],
+            );
             if node.key == *key {
                 emit(&mut t, &mut out_cursor, cmp, node.payload);
             }
@@ -282,8 +288,22 @@ mod tests {
         let probes: Vec<u64> = (0..50u64).collect();
         let light = HashIndex::build(HashRecipe::trivial(), 128, pairs.iter().copied());
         let heavy = HashIndex::build(HashRecipe::heavy128(), 128, pairs.iter().copied());
-        let img_l = materialize(&mut mem, &mut alloc, &light, &probes, NodeLayout::direct8(), 100);
-        let img_h = materialize(&mut mem, &mut alloc, &heavy, &probes, NodeLayout::direct8(), 100);
+        let img_l = materialize(
+            &mut mem,
+            &mut alloc,
+            &light,
+            &probes,
+            NodeLayout::direct8(),
+            100,
+        );
+        let img_h = materialize(
+            &mut mem,
+            &mut alloc,
+            &heavy,
+            &probes,
+            NodeLayout::direct8(),
+            100,
+        );
         let tl = probe_trace(&light, &img_l, &probes);
         let th = probe_trace(&heavy, &img_h, &probes);
         assert!(th.len() > tl.len());
@@ -298,10 +318,22 @@ mod tests {
         let mut mem2 = MemorySystem::new(sys.clone());
         // Rebuild functional state for the second run.
         let mut alloc = RegionAllocator::new();
-        let _ = materialize(&mut alloc_helper(&mut mem2), &mut alloc, &index, &probes, image.layout, 200);
+        let _ = materialize(
+            alloc_helper(&mut mem2),
+            &mut alloc,
+            &index,
+            &probes,
+            image.layout,
+            200,
+        );
         let ino = run_inorder(&sys.inorder, &t, &mut mem2, 0);
         assert!(ooo.cycles > 0 && ino.cycles > 0);
-        assert!(ino.cycles >= ooo.cycles, "in-order {} vs ooo {}", ino.cycles, ooo.cycles);
+        assert!(
+            ino.cycles >= ooo.cycles,
+            "in-order {} vs ooo {}",
+            ino.cycles,
+            ooo.cycles
+        );
         assert_eq!(ooo.tuples, probes.len() as u64);
     }
 

@@ -20,13 +20,20 @@ fn main() {
             .take_while(|n| l1_pressure(&p, 0.0, f64::from(*n)) <= ports)
             .count()
     };
-    println!("L1 bandwidth : {} walkers on 1 port, {} on 2 ports (low LLC miss ratio)", at(1.0), at(2.0));
+    println!(
+        "L1 bandwidth : {} walkers on 1 port, {} on 2 ports (low LLC miss ratio)",
+        at(1.0),
+        at(2.0)
+    );
 
     // MSHRs.
     let mshr_limit = (1..=16)
         .take_while(|n| mshr_demand(&p, f64::from(*n)) <= p.mshrs)
         .count();
-    println!("L1 MSHRs     : {} walkers with {} MSHRs", mshr_limit, p.mshrs);
+    println!(
+        "L1 MSHRs     : {} walkers with {} MSHRs",
+        mshr_limit, p.mshrs
+    );
 
     // Off-chip bandwidth.
     println!(

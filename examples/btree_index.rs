@@ -16,7 +16,11 @@ fn main() {
     println!("building a fanout-{fanout} B+-tree over {entries} entries...");
     let keys = datagen::unique_shuffled_keys(5, entries as usize);
     let tree = BTreeIndex::build(fanout, keys.iter().enumerate().map(|(r, k)| (*k, r as u64)));
-    println!("height {} ({} inner levels + leaf)", tree.height(), tree.height() - 1);
+    println!(
+        "height {} ({} inner levels + leaf)",
+        tree.height(),
+        tree.height() - 1
+    );
 
     let probes = datagen::uniform_keys(6, 2048, entries * 2); // ~50% hit rate
     for walkers in [1usize, 2, 4] {

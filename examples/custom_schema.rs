@@ -65,16 +65,28 @@ cnext:
     ba chain
 ";
     let walker = asm::assemble(UnitClass::Walker, walker_src).expect("walker assembles");
-    println!("hand-written walker: {} instructions, verified for the W unit class", walker.len());
+    println!(
+        "hand-written walker: {} instructions, verified for the W unit class",
+        walker.len()
+    );
 
     // Build + materialize a small workload.
     let index = HashIndex::build(recipe.clone(), 4096, (0..4000u64).map(|k| (k * 7, k)));
     let probes: Vec<u64> = (0..1000u64).map(|i| i * 7 * 4).collect();
     let mut mem = MemorySystem::new(SystemConfig::default());
     let mut alloc = RegionAllocator::new();
-    let expected: u64 = probes.iter().map(|p| index.lookup_all(*p).len() as u64).sum();
-    let image =
-        memimg::materialize(&mut mem, &mut alloc, &index, &probes, NodeLayout::direct8(), expected);
+    let expected: u64 = probes
+        .iter()
+        .map(|p| index.lookup_all(*p).len() as u64)
+        .sum();
+    let image = memimg::materialize(
+        &mut mem,
+        &mut alloc,
+        &index,
+        &probes,
+        NodeLayout::direct8(),
+        expected,
+    );
 
     // Generate the dispatcher/producer to match, swap in our walker,
     // and round-trip everything through a real control block in
@@ -82,14 +94,20 @@ cnext:
     let cfg = WidxConfig::with_walkers(4);
     let mut set = programs::program_set(&recipe, &image, cfg.walkers, false);
     set.walker = walker;
-    let (base, len) =
-        write_control_block(&mut mem, &mut alloc, &[&set.dispatcher, &set.walker, &set.producer]);
+    let (base, len) = write_control_block(
+        &mut mem,
+        &mut alloc,
+        &[&set.dispatcher, &set.walker, &set.producer],
+    );
     let loaded = load_control_block(&mut mem, base, 0).expect("control block loads");
     println!(
         "control block: {len} bytes at {base}, configuration loaded in {} cycles",
         loaded.ready_at
     );
-    assert_eq!(loaded.programs[1], set.walker, "walker survives the control block");
+    assert_eq!(
+        loaded.programs[1], set.walker,
+        "walker survives the control block"
+    );
 
     // Run the offload with the custom program set.
     let mut widx = widx_repro::accel::widx::Widx::new(&set, &cfg, loaded.ready_at);

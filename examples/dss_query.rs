@@ -14,7 +14,9 @@ use widx_repro::workloads::profiles::QueryProfile;
 use widx_repro::workloads::{memimg, trace};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "qry20".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "qry20".to_string());
     let q = QueryProfile::all()
         .into_iter()
         .find(|q| q.name == which)
@@ -38,19 +40,34 @@ fn main() {
     let sys = SystemConfig::default();
     let mut mem = MemorySystem::new(sys.clone());
     let mut alloc = RegionAllocator::new();
-    let expected: u64 = probes.iter().map(|p| index.lookup_all(*p).len() as u64).sum();
+    let expected: u64 = probes
+        .iter()
+        .map(|p| index.lookup_all(*p).len() as u64)
+        .sum();
     let image = memimg::materialize(&mut mem, &mut alloc, &index, &probes, q.layout, expected);
     memimg::warm(&mut mem, &image);
 
     let t = trace::probe_trace(&index, &image, &probes);
     let ooo = run_ooo(&sys.ooo, &t, &mut mem.clone(), 0);
     let ino = run_inorder(&sys.inorder, &t, &mut mem.clone(), 0);
-    println!("\nOoO baseline : {:>8.1} cycles/tuple", ooo.cycles_per_tuple());
-    println!("in-order     : {:>8.1} cycles/tuple", ino.cycles_per_tuple());
+    println!(
+        "\nOoO baseline : {:>8.1} cycles/tuple",
+        ooo.cycles_per_tuple()
+    );
+    println!(
+        "in-order     : {:>8.1} cycles/tuple",
+        ino.cycles_per_tuple()
+    );
 
     for walkers in [1usize, 2, 4] {
         let mut m = mem.clone();
-        let r = offload::offload_probe(&mut m, &index, &image, &probes, &WidxConfig::with_walkers(walkers));
+        let r = offload::offload_probe(
+            &mut m,
+            &index,
+            &image,
+            &probes,
+            &WidxConfig::with_walkers(walkers),
+        );
         let per = r.stats.walker_cycles_per_tuple();
         println!(
             "Widx {walkers}w      : {:>8.1} cycles/tuple ({:.2}x vs OoO)  \

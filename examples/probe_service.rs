@@ -1,0 +1,101 @@
+//! The probe service end to end: build a sharded index, serve a mixed
+//! request stream through the walker pool, and read the telemetry.
+//!
+//! Run with: `cargo run --release --example probe_service`
+
+use widx_repro::db::hash::HashRecipe;
+use widx_repro::serve::{ProbeService, Request, Response, ServeConfig};
+use widx_repro::workloads::datagen;
+
+fn main() {
+    // A primary-key build side: 64k unique keys, payload = row id.
+    let entries = 1 << 16;
+    let pairs: Vec<(u64, u64)> = datagen::unique_shuffled_keys(7, entries)
+        .into_iter()
+        .enumerate()
+        .map(|(row, key)| (key, row as u64))
+        .collect();
+
+    let config = ServeConfig::default()
+        .with_shards(4)
+        .with_inflight(8)
+        .with_batch_size(64);
+    let service = ProbeService::build(HashRecipe::robust64(), pairs, &config);
+    println!(
+        "serving {} entries over {} shards (sizes: {:?})",
+        service.sharded().len(),
+        service.sharded().shard_count(),
+        service
+            .sharded()
+            .shards()
+            .iter()
+            .map(|s| s.len())
+            .collect::<Vec<_>>(),
+    );
+
+    // A skewed burst of single-key lookups, pipelined without waiting —
+    // the service batches them per shard to fill the AMAC rings.
+    let hot = datagen::zipf_keys(11, 10_000, entries as u64, 0.99);
+    let pendings: Vec<_> = hot
+        .iter()
+        .map(|k| {
+            service
+                .submit(Request::Lookup { key: *k })
+                .expect("running")
+        })
+        .collect();
+    let hits = pendings
+        .into_iter()
+        .map(widx_repro::serve::PendingResponse::wait)
+        .filter(|r| r.match_count() > 0)
+        .count();
+    println!("burst: 10000 pipelined lookups, {hits} hits");
+
+    // A positional index join: probe an outer column, get (row, payload).
+    let outer = datagen::uniform_keys(13, 8, (entries * 2) as u64);
+    let mut join = service.join_probe(&outer).expect("running");
+    join.sort_unstable();
+    println!(
+        "join probe over {} rows -> {} pairs: {join:?}",
+        outer.len(),
+        join.len()
+    );
+
+    // One typed request through the generic path.
+    match service
+        .submit(Request::MultiLookup {
+            keys: vec![1, 2, 3],
+        })
+        .expect("running")
+        .wait()
+    {
+        Response::MultiLookup { matches } => println!("multi-lookup(1,2,3) -> {matches:?}"),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // Drain-then-halt shutdown returns the telemetry.
+    let stats = service.shutdown();
+    println!(
+        "\nserved {} keys / {} matches in {:.1} ms ({:.2} Mkeys/s wall)",
+        stats.total_keys(),
+        stats.total_matches(),
+        stats.wall.as_secs_f64() * 1e3,
+        stats.wall_throughput() / 1e6,
+    );
+    for w in &stats.workers {
+        println!(
+            "  shard {}: {:>6} keys, {:>4} batches (mean {:>5.1}), occupancy {:>5.1}%",
+            w.shard,
+            w.keys,
+            w.batches,
+            w.mean_batch(),
+            w.occupancy() * 100.0,
+        );
+    }
+    println!(
+        "  latency: p50 {:.1} µs, p99 {:.1} µs over {} requests",
+        stats.latency.p50_ns as f64 / 1e3,
+        stats.latency.p99_ns as f64 / 1e3,
+        stats.latency.count,
+    );
+}

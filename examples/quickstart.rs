@@ -22,16 +22,31 @@ fn main() {
         entries,
         (0..entries as u64).map(|k| (k * 3, k)), // key -> row id
     );
-    println!("built index: {} entries, {} buckets", index.len(), index.bucket_count());
+    println!(
+        "built index: {} entries, {} buckets",
+        index.len(),
+        index.bucket_count()
+    );
 
     // 2. Materialize the index + a probe batch into simulated memory.
-    let probes: Vec<u64> = (0..4096u64).map(|i| (i * 31) % (3 * entries as u64)).collect();
+    let probes: Vec<u64> = (0..4096u64)
+        .map(|i| (i * 31) % (3 * entries as u64))
+        .collect();
     let sys = SystemConfig::default(); // Table 2 parameters
     let mut mem = MemorySystem::new(sys.clone());
     let mut alloc = RegionAllocator::new();
-    let expected: u64 = probes.iter().map(|p| index.lookup_all(*p).len() as u64).sum();
-    let image =
-        memimg::materialize(&mut mem, &mut alloc, &index, &probes, NodeLayout::direct8(), expected);
+    let expected: u64 = probes
+        .iter()
+        .map(|p| index.lookup_all(*p).len() as u64)
+        .sum();
+    let image = memimg::materialize(
+        &mut mem,
+        &mut alloc,
+        &index,
+        &probes,
+        NodeLayout::direct8(),
+        expected,
+    );
     memimg::warm(&mut mem, &image);
 
     // 3. Offload to Widx with the paper's 4-walker design point.
@@ -68,5 +83,8 @@ fn main() {
     // 5. Results are real bytes — verify against the index oracle.
     let expected_count: usize = probes.iter().map(|p| index.lookup_all(*p).len()).sum();
     assert_eq!(result.matches().len(), expected_count);
-    println!("verified {} matches against the software oracle", expected_count);
+    println!(
+        "verified {} matches against the software oracle",
+        expected_count
+    );
 }

@@ -25,7 +25,8 @@ fn main() {
     );
     let probes = datagen::uniform_keys(2, probe_count, entries as u64);
 
-    let time = |name: &str, f: &dyn Fn(&mut Vec<(u64, u64)>)| {
+    type ProbeFn<'a> = &'a dyn Fn(&mut Vec<(u64, u64)>);
+    let time = |name: &str, f: ProbeFn<'_>| {
         // Warm once, then measure the best of 3.
         let mut out = Vec::with_capacity(probe_count * 2);
         f(&mut out);
@@ -41,9 +42,15 @@ fn main() {
         mps
     };
 
-    let scalar = time("scalar (Listing 1)", &|out| probe_scalar(&index, &probes, out));
-    let gp = time("group prefetch (G=8)", &|out| probe_group_prefetch(&index, &probes, 8, out));
-    let amac = time("AMAC (8 in flight)", &|out| probe_amac(&index, &probes, 8, out));
+    let scalar = time("scalar (Listing 1)", &|out| {
+        probe_scalar(&index, &probes, out)
+    });
+    let gp = time("group prefetch (G=8)", &|out| {
+        probe_group_prefetch(&index, &probes, 8, out)
+    });
+    let amac = time("AMAC (8 in flight)", &|out| {
+        probe_amac(&index, &probes, 8, out)
+    });
 
     println!(
         "\ninter-key parallelism speedup on this host: GP {:.2}x, AMAC {:.2}x \

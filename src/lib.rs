@@ -1,7 +1,8 @@
 //! # widx-repro — facade crate
 //!
 //! Re-exports the whole Widx reproduction workspace under one roof. See
-//! the README for a tour and `DESIGN.md` for the system inventory.
+//! the repository `README.md` for a crate map, quickstart, and the
+//! tier-1 verification command.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -11,6 +12,7 @@ pub use widx_db as db;
 pub use widx_energy as energy;
 pub use widx_isa as isa;
 pub use widx_model as model;
+pub use widx_serve as serve;
 pub use widx_sim as sim;
 pub use widx_soft as soft;
 pub use widx_workloads as workloads;

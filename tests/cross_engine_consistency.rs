@@ -31,9 +31,17 @@ fn world(layout: NodeLayout) -> World {
     let probes = datagen::uniform_keys(32, 500, (entries * 2) as u64);
     let mut mem = MemorySystem::new(SystemConfig::default());
     let mut alloc = RegionAllocator::new();
-    let expected: u64 = probes.iter().map(|p| index.lookup_all(*p).len() as u64).sum();
+    let expected: u64 = probes
+        .iter()
+        .map(|p| index.lookup_all(*p).len() as u64)
+        .sum();
     let image = memimg::materialize(&mut mem, &mut alloc, &index, &probes, layout, expected);
-    World { index, probes, mem, image }
+    World {
+        index,
+        probes,
+        mem,
+        image,
+    }
 }
 
 #[test]
@@ -50,7 +58,13 @@ fn all_engines_agree_on_matches() {
 
     // Widx.
     let mut mem = w.mem.clone();
-    let widx = offload_probe(&mut mem, &w.index, &w.image, &w.probes, &WidxConfig::paper_default());
+    let widx = offload_probe(
+        &mut mem,
+        &w.index,
+        &w.image,
+        &w.probes,
+        &WidxConfig::paper_default(),
+    );
 
     let mut a = scalar.clone();
     let mut b = amac;
@@ -99,8 +113,23 @@ fn deterministic_across_runs() {
     let w2 = world(NodeLayout::direct8());
     let mut m1 = w1.mem.clone();
     let mut m2 = w2.mem.clone();
-    let r1 = offload_probe(&mut m1, &w1.index, &w1.image, &w1.probes, &WidxConfig::with_walkers(2));
-    let r2 = offload_probe(&mut m2, &w2.index, &w2.image, &w2.probes, &WidxConfig::with_walkers(2));
-    assert_eq!(r1.stats.total_cycles, r2.stats.total_cycles, "bit-stable simulation");
+    let r1 = offload_probe(
+        &mut m1,
+        &w1.index,
+        &w1.image,
+        &w1.probes,
+        &WidxConfig::with_walkers(2),
+    );
+    let r2 = offload_probe(
+        &mut m2,
+        &w2.index,
+        &w2.image,
+        &w2.probes,
+        &WidxConfig::with_walkers(2),
+    );
+    assert_eq!(
+        r1.stats.total_cycles, r2.stats.total_cycles,
+        "bit-stable simulation"
+    );
     assert_eq!(r1.matches(), r2.matches());
 }

@@ -29,19 +29,28 @@ fn offload_and_check(
 ) -> widx_repro::accel::widx::WidxRunStats {
     let mut mem = MemorySystem::new(SystemConfig::default());
     let mut alloc = RegionAllocator::new();
-    let expected: u64 = probes.iter().map(|p| index.lookup_all(*p).len() as u64).sum();
+    let expected: u64 = probes
+        .iter()
+        .map(|p| index.lookup_all(*p).len() as u64)
+        .sum();
     let image = memimg::materialize(&mut mem, &mut alloc, index, probes, layout, expected);
     memimg::warm(&mut mem, &image);
     let r = offload_probe(&mut mem, index, &image, probes, config);
     let mut got = r.matches().to_vec();
     got.sort_unstable();
-    assert_eq!(got, oracle(index, probes), "Widx output must equal the oracle");
+    assert_eq!(
+        got,
+        oracle(index, probes),
+        "Widx output must equal the oracle"
+    );
     r.stats
 }
 
 #[test]
 fn kernel_small_all_walker_counts() {
-    let (index, probes) = KernelConfig::new(KernelSize::Small).with_probes(600).build();
+    let (index, probes) = KernelConfig::new(KernelSize::Small)
+        .with_probes(600)
+        .build();
     for walkers in [1, 2, 4] {
         let stats = offload_and_check(
             &index,
@@ -56,9 +65,21 @@ fn kernel_small_all_walker_counts() {
 
 #[test]
 fn kernel_medium_scales_with_walkers() {
-    let (index, probes) = KernelConfig::new(KernelSize::Medium).with_probes(800).build();
-    let one = offload_and_check(&index, &probes, NodeLayout::kernel4(), &WidxConfig::with_walkers(1));
-    let four = offload_and_check(&index, &probes, NodeLayout::kernel4(), &WidxConfig::with_walkers(4));
+    let (index, probes) = KernelConfig::new(KernelSize::Medium)
+        .with_probes(800)
+        .build();
+    let one = offload_and_check(
+        &index,
+        &probes,
+        NodeLayout::kernel4(),
+        &WidxConfig::with_walkers(1),
+    );
+    let four = offload_and_check(
+        &index,
+        &probes,
+        NodeLayout::kernel4(),
+        &WidxConfig::with_walkers(4),
+    );
     assert!(
         four.total_cycles * 2 < one.total_cycles,
         "4 walkers ({}) should be >2x faster than 1 ({})",
@@ -83,9 +104,18 @@ fn coupled_and_decoupled_agree_on_results() {
     let probes: Vec<u64> = (0..300u64).map(|i| i * 2).collect();
     let mut mem = MemorySystem::new(SystemConfig::default());
     let mut alloc = RegionAllocator::new();
-    let expected: u64 = probes.iter().map(|p| index.lookup_all(*p).len() as u64).sum();
-    let image =
-        memimg::materialize(&mut mem, &mut alloc, &index, &probes, NodeLayout::direct8(), expected);
+    let expected: u64 = probes
+        .iter()
+        .map(|p| index.lookup_all(*p).len() as u64)
+        .sum();
+    let image = memimg::materialize(
+        &mut mem,
+        &mut alloc,
+        &index,
+        &probes,
+        NodeLayout::direct8(),
+        expected,
+    );
     let cfg = WidxConfig::with_walkers(2);
     let mut mem_a = mem.clone();
     let dec = offload_probe(&mut mem_a, &index, &image, &probes, &cfg);
@@ -101,7 +131,9 @@ fn coupled_and_decoupled_agree_on_results() {
 #[test]
 fn llc_side_placement_round_trips() {
     use widx_repro::accel::placement::Placement;
-    let (index, probes) = KernelConfig::new(KernelSize::Small).with_probes(400).build();
+    let (index, probes) = KernelConfig::new(KernelSize::Small)
+        .with_probes(400)
+        .build();
     let stats = offload_and_check(
         &index,
         &probes,
@@ -113,7 +145,9 @@ fn llc_side_placement_round_trips() {
 
 #[test]
 fn touch_ahead_round_trips() {
-    let (index, probes) = KernelConfig::new(KernelSize::Small).with_probes(400).build();
+    let (index, probes) = KernelConfig::new(KernelSize::Small)
+        .with_probes(400)
+        .build();
     let stats = offload_and_check(
         &index,
         &probes,

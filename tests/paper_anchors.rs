@@ -100,7 +100,11 @@ fn tlb_cycles_appear_only_on_memory_intensive_queries() {
 #[test]
 fn energy_model_reproduces_paper_anchors_at_paper_ratios() {
     let fig = figure11(
-        Runtimes { ooo: 1.0, inorder: 2.2, widx: 1.0 / 3.1 },
+        Runtimes {
+            ooo: 1.0,
+            inorder: 2.2,
+            widx: 1.0 / 3.1,
+        },
         &PowerParams::default(),
     );
     assert!((0.81..=0.85).contains(&fig.widx_energy_reduction()));
