@@ -5,9 +5,10 @@
 //! This crate implements the slice of proptest the workspace's property
 //! tests actually use:
 //!
-//! * [`strategy::Strategy`] with `prop_map` / `prop_filter` /
-//!   `prop_filter_map` / `boxed`, implemented for integer ranges,
-//!   tuples (up to 8), [`strategy::Just`], and boxed strategies;
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map` /
+//!   `prop_filter` / `prop_filter_map` / `boxed`, implemented for
+//!   integer ranges, tuples (up to 8), [`strategy::Just`], and boxed
+//!   strategies;
 //! * [`arbitrary::any`] for the primitive integers and `bool`;
 //! * [`collection::vec`] for variable-length vectors;
 //! * the [`proptest!`] macro (with optional
@@ -17,10 +18,11 @@
 //!
 //! Differences from upstream, deliberately accepted for a hermetic
 //! build: cases are generated from a deterministic per-test seed (the
-//! FNV-1a hash of the test's name), there is **no shrinking** (a failing
-//! case panics with the generated inputs printed by the assertion
-//! itself), and `prop_assume!` skips the current case rather than
-//! tracking a rejection quota.
+//! FNV-1a hash of the test's name, optionally mixed with the
+//! `PROPTEST_SEED` environment variable — CI pins it per tier), there
+//! is **no shrinking** (a failing case panics with the generated inputs
+//! printed by the assertion itself), and `prop_assume!` skips the
+//! current case rather than tracking a rejection quota.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -215,6 +217,14 @@ mod tests {
         fn assume_skips(x in 0u32..100) {
             prop_assume!(x % 2 == 0);
             prop_assert_eq!(x % 2, 0);
+        }
+
+        /// The dependent-pair pattern range-scan tests rely on.
+        #[test]
+        fn flat_map_builds_ordered_pairs(
+            pair in (0u64..100).prop_flat_map(|lo| (Just(lo), lo..100)),
+        ) {
+            prop_assert!(pair.0 <= pair.1 && pair.1 < 100);
         }
     }
 

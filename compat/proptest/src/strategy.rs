@@ -28,6 +28,19 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Maps each generated value to a *new strategy* and draws from it —
+    /// the way to generate dependent tuples such as ordered `(lo, hi)`
+    /// range pairs: `(0u64..100).prop_flat_map(|lo| (Just(lo),
+    /// lo..100))`.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Keeps only values satisfying `pred`, re-drawing otherwise.
     fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
     where
@@ -110,6 +123,26 @@ where
 
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 

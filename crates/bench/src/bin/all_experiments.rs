@@ -18,6 +18,11 @@ fn main() {
     } else {
         ("100000", "262144")
     };
+    let (range_scans, range_entries) = if quick {
+        ("4000", "65536")
+    } else {
+        ("20000", "262144")
+    };
 
     let exe = std::env::current_exe().expect("current exe path");
     let bin_dir = exe.parent().expect("bin dir").to_path_buf();
@@ -54,6 +59,10 @@ fn main() {
     run(
         "serve_throughput",
         &["--probes", serve_probes, "--entries", serve_entries],
+    );
+    run(
+        "range_throughput",
+        &["--scans", range_scans, "--entries", range_entries],
     );
     println!("\nall experiments completed");
 }

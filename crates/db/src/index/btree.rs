@@ -47,7 +47,11 @@ impl BTreeIndex {
     pub fn build(fanout: usize, pairs: impl IntoIterator<Item = (u64, u64)>) -> BTreeIndex {
         assert!(fanout >= 2, "fanout must be at least 2");
         let mut entries: Vec<(u64, u64)> = pairs.into_iter().collect();
-        entries.sort_unstable_by_key(|(k, _)| *k);
+        // Stable sort: duplicate keys keep their input payload order, so
+        // a range-partitioned build (each shard sorting its own slice)
+        // scans in exactly the same order as one tree over everything —
+        // the property the ordered-serving oracle tests rely on.
+        entries.sort_by_key(|(k, _)| *k);
 
         let mut leaves = Vec::new();
         for chunk in entries.chunks(fanout.max(1)) {
@@ -152,6 +156,99 @@ impl BTreeIndex {
         self.lookup_counted(key).0
     }
 
+    /// All `(key, payload)` entries with `lo <= key <= hi`, in key order
+    /// (duplicates in build order), truncated to the first `limit` —
+    /// the serial range-scan oracle the walker engines are checked
+    /// against. Empty when `lo > hi` or `limit == 0`.
+    #[must_use]
+    pub fn range_scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if lo > hi || limit == 0 {
+            return out;
+        }
+        // Descend toward the *leftmost* leaf that can hold a key >= lo:
+        // strict comparison, unlike `lookup`'s `<=`, because duplicates
+        // of one key may span several leaves.
+        let mut idx = 0u32;
+        for level in self.levels.iter().rev() {
+            let node = &level[idx as usize];
+            idx = node.children[node.keys.partition_point(|k| *k < lo)];
+        }
+        let mut leaf = idx as usize;
+        let mut slot = self.leaves[leaf].keys.partition_point(|k| *k < lo);
+        // Walk the leaf chain (leaves are stored in key order).
+        loop {
+            let l = &self.leaves[leaf];
+            while slot < l.keys.len() {
+                let key = l.keys[slot];
+                if key > hi {
+                    return out;
+                }
+                out.push((key, l.payloads[slot]));
+                if out.len() == limit {
+                    return out;
+                }
+                slot += 1;
+            }
+            leaf += 1;
+            if leaf == self.leaves.len() {
+                return out;
+            }
+            slot = 0;
+        }
+    }
+
+    /// Number of inner levels above the leaves (0 for a lone leaf).
+    #[must_use]
+    pub fn inner_level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Separator keys of inner node `node`, `depth` levels below the
+    /// root (depth 0 is the root). `keys()[i]` is the smallest key
+    /// reachable through child `i + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `node` is out of range.
+    #[must_use]
+    pub fn inner_keys(&self, depth: usize, node: u32) -> &[u64] {
+        let level = &self.levels[self.levels.len() - 1 - depth];
+        &level[node as usize].keys
+    }
+
+    /// Child index `slot` of inner node `node` at `depth` below the
+    /// root. The result indexes the next inner level down, or the leaf
+    /// array when `depth == inner_level_count() - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth`, `node`, or `slot` is out of range.
+    #[must_use]
+    pub fn inner_child(&self, depth: usize, node: u32, slot: usize) -> u32 {
+        let level = &self.levels[self.levels.len() - 1 - depth];
+        level[node as usize].children[slot]
+    }
+
+    /// Number of leaves (always at least 1; an empty tree has one empty
+    /// leaf).
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Keys and payloads of `leaf`, in key order. Leaf `i + 1` is the
+    /// in-order successor of leaf `i` (the chain a range scan follows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is out of range.
+    #[must_use]
+    pub fn leaf_entries(&self, leaf: u32) -> (&[u64], &[u64]) {
+        let l = &self.leaves[leaf as usize];
+        (&l.keys, &l.payloads)
+    }
+
     /// Exports the tree's structure as plain data, for materialization
     /// into simulated memory.
     #[must_use]
@@ -235,6 +332,70 @@ mod tests {
         for k in 1..=5u64 {
             assert_eq!(t.lookup(k), Some(k * 10));
         }
+    }
+
+    #[test]
+    fn range_scan_matches_filtered_entries() {
+        let t = BTreeIndex::build(4, (0..500u64).map(|k| (k * 2, k)));
+        let got = t.range_scan(100, 200, usize::MAX);
+        let want: Vec<(u64, u64)> = (50..=100u64).map(|k| (k * 2, k)).collect();
+        assert_eq!(got, want);
+        // Bounds that fall between keys.
+        assert_eq!(t.range_scan(101, 103, usize::MAX), vec![(102, 51)]);
+        // Empty and inverted ranges.
+        assert_eq!(t.range_scan(300, 100, usize::MAX), vec![]);
+        assert_eq!(t.range_scan(1001, 1001, usize::MAX), vec![]);
+        assert_eq!(t.range_scan(0, 10, 0), vec![]);
+    }
+
+    #[test]
+    fn range_scan_truncates_at_limit() {
+        let t = BTreeIndex::build(8, (0..1000u64).map(|k| (k, k + 1)));
+        let got = t.range_scan(10, 900, 5);
+        assert_eq!(got, (10..15u64).map(|k| (k, k + 1)).collect::<Vec<_>>());
+        assert_eq!(t.range_scan(10, 900, usize::MAX).len(), 891);
+    }
+
+    #[test]
+    fn range_scan_crosses_duplicate_leaf_spans() {
+        // 20 duplicates of one key with fanout 4: the run spans several
+        // leaves, so the descent must land on the *first* one.
+        let mut pairs: Vec<(u64, u64)> = (0..20u64).map(|i| (50, i)).collect();
+        pairs.push((10, 100));
+        pairs.push((90, 200));
+        let t = BTreeIndex::build(4, pairs);
+        let got = t.range_scan(50, 50, usize::MAX);
+        assert_eq!(got, (0..20u64).map(|i| (50, i)).collect::<Vec<_>>());
+        assert_eq!(t.range_scan(0, 100, usize::MAX).len(), 22);
+    }
+
+    #[test]
+    fn stable_build_keeps_duplicate_payload_order() {
+        let pairs = vec![(5u64, 3u64), (5, 1), (2, 0), (5, 2)];
+        let t = BTreeIndex::build(2, pairs);
+        assert_eq!(
+            t.range_scan(5, 5, usize::MAX),
+            vec![(5, 3), (5, 1), (5, 2)],
+            "input order preserved among equal keys"
+        );
+    }
+
+    #[test]
+    fn accessors_describe_the_tree() {
+        let t = BTreeIndex::build(4, (0..64u64).map(|k| (k, k)));
+        assert_eq!(t.inner_level_count() + 1, t.height());
+        // Manual descent through the accessors agrees with lookup.
+        let key = 37u64;
+        let mut node = 0u32;
+        for depth in 0..t.inner_level_count() {
+            let slot = t.inner_keys(depth, node).partition_point(|k| *k <= key);
+            node = t.inner_child(depth, node, slot);
+        }
+        let (keys, payloads) = t.leaf_entries(node);
+        let slot = keys.partition_point(|k| *k < key);
+        assert_eq!(keys[slot], key);
+        assert_eq!(payloads[slot], t.lookup(key).unwrap());
+        assert!(t.leaf_count() >= 16);
     }
 
     #[test]

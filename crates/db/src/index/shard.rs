@@ -8,7 +8,7 @@
 //! synchronization on the probe path.
 
 use crate::hash::HashRecipe;
-use crate::index::HashIndex;
+use crate::index::{BTreeIndex, HashIndex};
 
 /// Splits `pairs` into `shards` disjoint build streams using
 /// `recipe.shard_of` on the key. The concatenation of the returned
@@ -57,6 +57,77 @@ pub fn build_sharded(
             HashIndex::build(recipe.clone(), want.max(min_buckets), part)
         })
         .collect()
+}
+
+/// Splits `pairs` into `shards` contiguous key ranges of roughly equal
+/// entry count — the *ordered* counterpart of [`partition_pairs`]:
+/// boundary keys instead of hashing, so each shard owns one span of the
+/// key space and cross-shard scans touch only adjacent shards.
+///
+/// Returns the per-shard entry streams (each key-sorted, stable — equal
+/// keys keep their input order) and the `shards - 1` boundary keys:
+/// shard `i` owns keys `k` with `boundaries[i - 1] <= k <
+/// boundaries[i]` (unbounded at the ends). Duplicates of one key are
+/// never split across shards, so a boundary is always a real key-change
+/// point; trailing shards may be empty when the data has fewer distinct
+/// keys than shards.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn partition_range(
+    shards: usize,
+    pairs: impl IntoIterator<Item = (u64, u64)>,
+) -> (Vec<Vec<(u64, u64)>>, Vec<u64>) {
+    assert!(shards > 0, "need at least one shard");
+    let mut entries: Vec<(u64, u64)> = pairs.into_iter().collect();
+    entries.sort_by_key(|(k, _)| *k);
+    let len = entries.len();
+    let mut parts = Vec::with_capacity(shards);
+    let mut boundaries = Vec::with_capacity(shards.saturating_sub(1));
+    let mut start = 0usize;
+    for s in 1..=shards {
+        let mut end = if s == shards { len } else { (len * s) / shards };
+        end = end.max(start);
+        // Push the split point past any duplicate run so equal keys
+        // stay colocated.
+        while end > start && end < len && entries[end].0 == entries[end - 1].0 {
+            end += 1;
+        }
+        if s < shards {
+            boundaries.push(if end < len {
+                entries[end].0
+            } else {
+                // Everything is already placed; later shards are empty.
+                entries.last().map_or(0, |(k, _)| k.saturating_add(1))
+            });
+        }
+        parts.push(entries[start..end].to_vec());
+        start = end;
+    }
+    (parts, boundaries)
+}
+
+/// Builds one [`BTreeIndex`] per range shard from `pairs` (see
+/// [`partition_range`]), returning the trees and the boundary keys that
+/// route to them.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero or `fanout < 2`.
+#[must_use]
+pub fn build_range_sharded(
+    fanout: usize,
+    shards: usize,
+    pairs: impl IntoIterator<Item = (u64, u64)>,
+) -> (Vec<BTreeIndex>, Vec<u64>) {
+    let (parts, boundaries) = partition_range(shards, pairs);
+    let trees = parts
+        .into_iter()
+        .map(|part| BTreeIndex::build(fanout, part))
+        .collect();
+    (trees, boundaries)
 }
 
 #[cfg(test)]
@@ -129,5 +200,77 @@ mod tests {
         let recipe = HashRecipe::robust64();
         let parts = partition_pairs(&recipe, 1, (0..50u64).map(|k| (k, k)));
         assert_eq!(parts[0].len(), 50);
+    }
+
+    #[test]
+    fn range_partition_is_ordered_and_balanced() {
+        let pairs: Vec<(u64, u64)> = (0..1000u64).rev().map(|k| (k, k * 3)).collect();
+        let (parts, bounds) = partition_range(4, pairs);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(bounds, vec![250, 500, 750]);
+        for (s, part) in parts.iter().enumerate() {
+            assert_eq!(part.len(), 250, "shard {s} balanced");
+            assert!(
+                part.windows(2).all(|w| w[0].0 <= w[1].0),
+                "shard {s} sorted"
+            );
+        }
+        // Concatenation in shard order is the full sorted stream.
+        let merged: Vec<(u64, u64)> = parts.concat();
+        assert_eq!(merged, (0..1000u64).map(|k| (k, k * 3)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_partition_keeps_duplicates_colocated_and_stable() {
+        // One heavy key right at a would-be boundary.
+        let mut pairs: Vec<(u64, u64)> = (0..10u64).map(|k| (k, 0)).collect();
+        pairs.extend((0..30u64).map(|p| (10, p)));
+        let (parts, bounds) = partition_range(4, pairs);
+        let dup_shard: Vec<usize> = parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.iter().any(|(k, _)| *k == 10))
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(dup_shard.len(), 1, "duplicates of 10 in one shard");
+        let dups: Vec<u64> = parts[dup_shard[0]]
+            .iter()
+            .filter(|(k, _)| *k == 10)
+            .map(|(_, p)| *p)
+            .collect();
+        assert_eq!(dups, (0..30u64).collect::<Vec<_>>(), "stable payload order");
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn range_partition_with_fewer_keys_than_shards() {
+        let (parts, bounds) = partition_range(5, [(3u64, 0u64), (3, 1)]);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 1);
+        assert_eq!(bounds.len(), 4);
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        let (parts, bounds) = partition_range(3, std::iter::empty());
+        assert!(parts.iter().all(Vec::is_empty));
+        assert_eq!(bounds, vec![0, 0]);
+    }
+
+    #[test]
+    fn range_sharded_trees_scan_their_own_spans() {
+        let pairs: Vec<(u64, u64)> = (0..600u64).map(|k| (k, k + 1)).collect();
+        let (trees, bounds) = build_range_sharded(8, 3, pairs);
+        assert_eq!(trees.len(), 3);
+        assert_eq!(bounds.len(), 2);
+        let total: usize = trees.iter().map(BTreeIndex::len).sum();
+        assert_eq!(total, 600);
+        // Each tree's full scan stays inside its boundary span.
+        for (s, tree) in trees.iter().enumerate() {
+            for (k, _) in tree.range_scan(0, u64::MAX, usize::MAX) {
+                if s > 0 {
+                    assert!(k >= bounds[s - 1], "key {k} below shard {s}");
+                }
+                if s < bounds.len() {
+                    assert!(k < bounds[s], "key {k} above shard {s}");
+                }
+            }
+        }
     }
 }

@@ -18,10 +18,17 @@
 //!   [`batch_size`](ServeConfig::batch_size) keys or a deadline,
 //!   backpressure when queues fill, and poison-pill shutdown mirroring
 //!   [`widx_core::POISON_KEY`] — drain accepted work, then halt;
+//! * [`OrderedShardedIndex`] — the *range-partitioned* counterpart:
+//!   contiguous key spans split by boundary keys, one
+//!   [`BTreeIndex`](widx_db::index::BTreeIndex) per shard, serving
+//!   [`Request::RangeScan`] through per-shard
+//!   [`BTreeRangeWalker`](widx_soft::BTreeRangeWalker) rings — scans
+//!   scatter to the adjacent shards their interval overlaps and gather
+//!   back into one key-ordered, limit-truncated reply;
 //! * typed requests — [`Request::Lookup`], [`Request::MultiLookup`],
-//!   [`Request::JoinProbe`] — with per-request completion latency and
-//!   per-worker throughput/occupancy telemetry ([`ServiceStats`])
-//!   feeding the `widx-bench` reporting machinery.
+//!   [`Request::JoinProbe`], [`Request::RangeScan`] — with per-request
+//!   completion latency and per-worker throughput/occupancy telemetry
+//!   ([`ServiceStats`]) feeding the `widx-bench` reporting machinery.
 //!
 //! Batching across *concurrent requests* is what makes the pool a
 //! service rather than a loop: a single `Lookup` arriving alone would
@@ -36,7 +43,7 @@
 //! use widx_serve::{ProbeService, ServeConfig};
 //!
 //! let config = ServeConfig::default().with_shards(2).with_batch_size(16);
-//! let service = ProbeService::build(
+//! let service = ProbeService::build_with_range(
 //!     HashRecipe::robust64(),
 //!     (0..10_000u64).map(|k| (k, k + 1)),
 //!     &config,
@@ -47,14 +54,20 @@
 //! pairs.sort_unstable();
 //! assert_eq!(pairs, vec![(0, 6), (2, 6)]); // rows 0 and 2 hit, row 1 missed
 //!
+//! // Ordered serving: key-ordered, limit-truncated range scans.
+//! let entries = service.range_scan(100, 5_000, 3).unwrap();
+//! assert_eq!(entries, vec![(100, 101), (101, 102), (102, 103)]);
+//!
 //! let stats = service.shutdown();
 //! assert_eq!(stats.total_keys(), 4); // one lookup key + three join rows
+//! assert!(stats.total_scan_entries() >= 3);
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod batch;
+mod ordered;
 mod queue;
 mod request;
 mod service;
@@ -63,6 +76,7 @@ mod stats;
 mod worker;
 
 pub use batch::{BatchPolicy, FlushReason};
+pub use ordered::OrderedShardedIndex;
 pub use queue::PushError;
 pub use request::{PendingResponse, Request, Response};
 pub use service::{ProbeService, ServeConfig, SubmitError};

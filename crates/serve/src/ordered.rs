@@ -1,0 +1,236 @@
+//! The ordered sharded index: N contiguous key-space partitions, each
+//! served by its own [`BTreeIndex`] — the range-serving counterpart of
+//! the hash-routed [`ShardedIndex`](crate::ShardedIndex).
+//!
+//! Where the hash index routes by `recipe.shard_of(key)`, the ordered
+//! index routes by *boundary keys*: shard `i` owns the contiguous span
+//! `[boundaries[i-1], boundaries[i])`. That placement is what makes
+//! range serving scale — a scan touches only the adjacent shards its
+//! key interval overlaps, and gathering their per-shard (already
+//! key-ordered, disjoint) result streams back into one ordered reply is
+//! a concatenation, not a merge sort.
+
+use widx_db::index::{build_range_sharded, BTreeIndex};
+
+/// A B+-tree index range-partitioned into independent shards, one per
+/// serving worker. Scans route by boundary-key span; builds split the
+/// sorted entry stream into roughly equal contiguous chunks (duplicates
+/// of one key never straddle a boundary).
+pub struct OrderedShardedIndex {
+    shards: Vec<BTreeIndex>,
+    /// `shards - 1` non-decreasing boundary keys; shard `i` owns keys
+    /// `k` with `boundaries[i-1] <= k < boundaries[i]` (unbounded at
+    /// the ends).
+    boundaries: Vec<u64>,
+}
+
+impl OrderedShardedIndex {
+    /// Partitions `pairs` into `shards` contiguous key ranges and
+    /// builds one B+-tree of the given `fanout` per range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `fanout < 2`.
+    #[must_use]
+    pub fn build(
+        fanout: usize,
+        shards: usize,
+        pairs: impl IntoIterator<Item = (u64, u64)>,
+    ) -> OrderedShardedIndex {
+        let (shards, boundaries) = build_range_sharded(fanout, shards, pairs);
+        OrderedShardedIndex { shards, boundaries }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard trees, in key order.
+    #[must_use]
+    pub fn shards(&self) -> &[BTreeIndex] {
+        &self.shards
+    }
+
+    /// The boundary keys between shards (`shard_count() - 1` of them,
+    /// non-decreasing).
+    #[must_use]
+    pub fn boundaries(&self) -> &[u64] {
+        &self.boundaries
+    }
+
+    /// The shard owning `key`.
+    #[must_use]
+    pub fn shard_of(&self, key: u64) -> usize {
+        let mut shard = self.boundaries.partition_point(|b| *b <= key);
+        // Trailing empty shards carry a saturated boundary of
+        // `last_key + 1`; when the data itself ends at `u64::MAX` that
+        // boundary collides with the key, over-routing it into the
+        // empty tail — walk back to the shard that actually holds data.
+        while shard > 0 && self.shards[shard].is_empty() {
+            shard -= 1;
+        }
+        shard
+    }
+
+    /// The inclusive span of shards the range `[lo, hi]` can touch, as
+    /// `(first, last)`. The span errs on the inclusive side at the left
+    /// seam (the extra shard contributes nothing), so callers may
+    /// scatter to every shard in it unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` (degenerate ranges touch no shard; callers
+    /// filter them first).
+    #[must_use]
+    pub fn shard_span(&self, lo: u64, hi: u64) -> (usize, usize) {
+        assert!(lo <= hi, "degenerate range has no shard span");
+        let first = self.boundaries.partition_point(|b| *b < lo);
+        let last = self.boundaries.partition_point(|b| *b <= hi);
+        (first, last)
+    }
+
+    /// Total entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(BTreeIndex::len).sum()
+    }
+
+    /// Whether the ordered index holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serial scatter/gather oracle: every `(key, payload)` with `lo <=
+    /// key <= hi` in key order, truncated to `limit` — what the served
+    /// [`RangeScan`](crate::Request::RangeScan) path must reproduce.
+    #[must_use]
+    pub fn scan(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if lo > hi || limit == 0 {
+            return out;
+        }
+        let (first, last) = self.shard_span(lo, hi);
+        for shard in &self.shards[first..=last] {
+            out.extend(shard.range_scan(lo, hi, limit - out.len()));
+            if out.len() == limit {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ordered(shards: usize, entries: u64) -> OrderedShardedIndex {
+        OrderedShardedIndex::build(8, shards, (0..entries).map(|k| (k * 2, k)))
+    }
+
+    #[test]
+    fn spans_and_routing_respect_boundaries() {
+        let idx = ordered(4, 1000);
+        assert_eq!(idx.shard_count(), 4);
+        assert_eq!(idx.len(), 1000);
+        for k in (0..2000u64).step_by(2) {
+            let owner = idx.shard_of(k);
+            let hit: Vec<usize> = idx
+                .shards()
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.lookup(k).is_some())
+                .map(|(s, _)| s)
+                .collect();
+            assert_eq!(hit, vec![owner], "key {k}");
+            let (first, last) = idx.shard_span(k, k);
+            assert!((first..=last).contains(&owner), "span covers owner for {k}");
+        }
+    }
+
+    #[test]
+    fn scan_oracle_equals_one_big_tree() {
+        let idx = ordered(5, 2000);
+        let one = BTreeIndex::build(8, (0..2000u64).map(|k| (k * 2, k)));
+        for (lo, hi, limit) in [
+            (0u64, u64::MAX, usize::MAX),
+            (100, 700, usize::MAX),
+            (101, 699, 17),
+            (3999, 3999, usize::MAX),
+            (500, 100, usize::MAX),
+            (0, 4000, 0),
+        ] {
+            assert_eq!(
+                idx.scan(lo, hi, limit),
+                one.range_scan(lo, hi, limit),
+                "scan [{lo}, {hi}] limit {limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn limit_truncates_across_shard_seams() {
+        let idx = ordered(4, 1000);
+        // A scan spanning all shards, cut mid-way through the second.
+        let all = idx.scan(0, u64::MAX, usize::MAX);
+        assert_eq!(all.len(), 1000);
+        let per_shard = idx.shards()[0].len();
+        let limit = per_shard + 3;
+        let got = idx.scan(0, u64::MAX, limit);
+        assert_eq!(got.len(), limit);
+        assert_eq!(got, all[..limit], "prefix of the full ordered scan");
+    }
+
+    #[test]
+    fn single_shard_and_empty_builds() {
+        let idx = ordered(1, 100);
+        assert_eq!(idx.shard_count(), 1);
+        assert!(idx.boundaries().is_empty());
+        assert_eq!(idx.scan(0, 300, usize::MAX).len(), 100);
+
+        let empty = OrderedShardedIndex::build(4, 3, std::iter::empty());
+        assert!(empty.is_empty());
+        assert_eq!(empty.scan(0, u64::MAX, usize::MAX), vec![]);
+    }
+
+    #[test]
+    fn duplicates_stay_colocated_and_ordered() {
+        let mut pairs: Vec<(u64, u64)> = (0..100u64).map(|k| (k, 0)).collect();
+        pairs.extend((0..50u64).map(|p| (40, p + 1)));
+        let idx = OrderedShardedIndex::build(4, 4, pairs);
+        let dups: Vec<u64> = idx
+            .scan(40, 40, usize::MAX)
+            .into_iter()
+            .map(|(_, p)| p)
+            .collect();
+        let mut want = vec![0u64];
+        want.extend(1..=50);
+        assert_eq!(dups, want, "build-order payloads in one shard");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate range")]
+    fn inverted_span_rejected() {
+        let _ = ordered(2, 10).shard_span(5, 4);
+    }
+
+    #[test]
+    fn max_key_routes_to_its_data_despite_saturated_boundary() {
+        // Data ending at u64::MAX with empty trailing shards: the
+        // saturated boundary equals the key, which must still route to
+        // the shard holding it, and scans must find it.
+        let idx = OrderedShardedIndex::build(4, 3, [(u64::MAX, 7u64), (u64::MAX, 8)]);
+        let owner = idx.shard_of(u64::MAX);
+        assert!(
+            idx.shards()[owner].lookup(u64::MAX).is_some(),
+            "owner shard holds the key"
+        );
+        assert_eq!(
+            idx.scan(u64::MAX, u64::MAX, usize::MAX),
+            vec![(u64::MAX, 7), (u64::MAX, 8)]
+        );
+    }
+}

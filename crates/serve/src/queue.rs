@@ -14,6 +14,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use widx_core::POISON_KEY;
+use widx_soft::ScanRange;
 
 use crate::request::ResponseState;
 
@@ -24,6 +25,13 @@ pub(crate) enum Job {
         entries: Vec<(u32, u64)>,
         reply: Arc<ResponseState>,
     },
+    /// Run `scans` (`(scatter rank, range)` pairs) on behalf of `reply`
+    /// — one cursor per scan on the shard's B+-tree walker. Only range
+    /// workers' queues carry this variant.
+    Scan {
+        scans: Vec<(u32, ScanRange)>,
+        reply: Arc<ResponseState>,
+    },
     /// Poison pill: the worker finishes queued work, then halts. Carries
     /// [`widx_core::POISON_KEY`] to mirror the accelerator's termination
     /// protocol (being an enum variant, it cannot collide with a real
@@ -32,9 +40,12 @@ pub(crate) enum Job {
 }
 
 impl Job {
+    /// Queue-occupancy weight: probe keys, or scan cursors — both are
+    /// "walker slots' worth of work" for capacity accounting.
     fn key_count(&self) -> usize {
         match self {
             Job::Probe { entries, .. } => entries.len(),
+            Job::Scan { scans, .. } => scans.len(),
             Job::Poison { .. } => 0,
         }
     }
@@ -199,9 +210,26 @@ mod tests {
         assert_eq!(q.backlog_keys(), 3);
         match q.pop() {
             Job::Probe { entries, .. } => assert_eq!(entries.len(), 2),
-            Job::Poison { .. } => panic!("unexpected poison"),
+            _ => panic!("unexpected job kind"),
         }
         assert_eq!(q.backlog_keys(), 1);
+    }
+
+    #[test]
+    fn scan_jobs_count_cursors_toward_capacity() {
+        let q = ShardQueue::new(4);
+        let reply = Arc::new(ResponseState::new(RequestKind::RangeScan { limit: 9 }, 1));
+        q.push(Job::Scan {
+            scans: vec![(0, ScanRange::new(1, 5)), (1, ScanRange::new(7, 9))],
+            reply,
+        })
+        .unwrap();
+        assert_eq!(q.backlog_keys(), 2, "one unit per cursor");
+        match q.pop() {
+            Job::Scan { scans, .. } => assert_eq!(scans.len(), 2),
+            _ => panic!("unexpected job kind"),
+        }
+        assert_eq!(q.backlog_keys(), 0);
     }
 
     #[test]
@@ -239,7 +267,7 @@ mod tests {
         assert!(matches!(q.pop(), Job::Probe { .. }), "work before poison");
         match q.pop() {
             Job::Poison { key } => assert_eq!(key, POISON_KEY),
-            Job::Probe { .. } => panic!("expected poison"),
+            _ => panic!("expected poison"),
         }
         assert_eq!(q.push(probe_job(&[9])), Err(PushError::Stopped));
     }
@@ -262,7 +290,7 @@ mod tests {
         let sizes: Vec<usize> = (0..3)
             .map(|_| match q.pop() {
                 Job::Probe { entries, .. } => entries.len(),
-                Job::Poison { .. } => panic!("unexpected poison"),
+                _ => panic!("unexpected job kind"),
             })
             .collect();
         a.join().unwrap();

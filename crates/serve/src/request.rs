@@ -26,15 +26,32 @@ pub enum Request {
         /// The outer relation's key column, in row order.
         keys: Vec<u64>,
     },
+    /// Scan the ordered index for every entry with a key in `[lo, hi]`;
+    /// the response carries `(key, payload)` entries in ascending key
+    /// order, truncated to the first `limit`. Served by the
+    /// range-partitioned B+-tree tier — the service scatters the scan
+    /// over the shards the interval overlaps and gathers their disjoint,
+    /// pre-ordered streams back into one reply.
+    RangeScan {
+        /// Inclusive lower key bound.
+        lo: u64,
+        /// Inclusive upper key bound (`lo > hi` is a valid, empty scan).
+        hi: u64,
+        /// Maximum entries returned (`usize::MAX` for unbounded).
+        limit: usize,
+    },
 }
 
 impl Request {
-    /// The probe keys of this request, in row order.
+    /// The probe keys of this request, in row order (empty for a
+    /// [`RangeScan`](Request::RangeScan), which is bounded by keys
+    /// rather than enumerating them).
     #[must_use]
     pub fn keys(&self) -> &[u64] {
         match self {
             Request::Lookup { key } => std::slice::from_ref(key),
             Request::MultiLookup { keys } | Request::JoinProbe { keys } => keys,
+            Request::RangeScan { .. } => &[],
         }
     }
 }
@@ -45,6 +62,7 @@ pub(crate) enum RequestKind {
     Lookup { key: u64 },
     MultiLookup,
     JoinProbe,
+    RangeScan { limit: usize },
 }
 
 /// A completed probe response.
@@ -69,6 +87,13 @@ pub enum Response {
         /// All `(outer row index, payload)` join pairs.
         pairs: Vec<(u64, u64)>,
     },
+    /// The merged reply to a [`Request::RangeScan`]: per-shard result
+    /// streams gathered back into one ascending key order (duplicates in
+    /// build order), truncated to the request's `limit`.
+    RangeScan {
+        /// `(key, payload)` entries in ascending key order.
+        entries: Vec<(u64, u64)>,
+    },
 }
 
 impl Response {
@@ -81,6 +106,7 @@ impl Response {
             Response::Lookup { payloads, .. } => payloads.len(),
             Response::MultiLookup { matches } => matches.len(),
             Response::JoinProbe { pairs } => pairs.len(),
+            Response::RangeScan { entries } => entries.len(),
         }
     }
 }
@@ -200,6 +226,27 @@ impl PendingResponse {
                     .map(|(row, _, payload)| (u64::from(row), payload))
                     .collect(),
             },
+            RequestKind::RangeScan { limit } => {
+                // Shard parts arrive in completion order, but each part
+                // is already key-ordered and the parts' key ranges are
+                // disjoint and ascending in scatter-rank order (range
+                // partitioning), so bucketing by rank and concatenating
+                // restores the global scan order in O(n) — no sort on
+                // the gather path. The per-shard walkers each honoured
+                // `limit` locally; the global truncation happens here,
+                // at the seam.
+                let mut buckets: Vec<Vec<(u64, u64)>> = Vec::new();
+                for (rank, key, payload) in items {
+                    let rank = rank as usize;
+                    if rank >= buckets.len() {
+                        buckets.resize_with(rank + 1, Vec::new);
+                    }
+                    buckets[rank].push((key, payload));
+                }
+                let mut entries: Vec<(u64, u64)> = buckets.into_iter().flatten().collect();
+                entries.truncate(limit);
+                Response::RangeScan { entries }
+            }
         }
     }
 
@@ -219,6 +266,32 @@ mod tests {
         assert_eq!(Request::Lookup { key: 9 }.keys(), &[9]);
         assert_eq!(Request::MultiLookup { keys: vec![1, 2] }.keys(), &[1, 2]);
         assert_eq!(Request::JoinProbe { keys: vec![3] }.keys(), &[3]);
+        let scan = Request::RangeScan {
+            lo: 1,
+            hi: 5,
+            limit: 10,
+        };
+        assert_eq!(scan.keys(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn range_scan_parts_merge_in_key_order_with_limit() {
+        let state = Arc::new(ResponseState::new(RequestKind::RangeScan { limit: 5 }, 3));
+        // Parts complete out of shard order; each part is key-ordered
+        // with a disjoint key range. Duplicates (key 20) sit in one part.
+        state.complete_part(&[(1, 20, 1), (1, 20, 2), (1, 25, 0)]);
+        state.complete_part(&[(2, 30, 9), (2, 31, 9)]);
+        state.complete_part(&[(0, 10, 7), (0, 11, 8)]);
+        match (PendingResponse { state }).wait() {
+            Response::RangeScan { entries } => {
+                assert_eq!(
+                    entries,
+                    vec![(10, 7), (11, 8), (20, 1), (20, 2), (25, 0)],
+                    "key order restored, duplicate order kept, limit cut at seam"
+                );
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

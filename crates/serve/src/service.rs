@@ -5,20 +5,24 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use widx_db::hash::HashRecipe;
+use widx_soft::ScanRange;
 
 use crate::batch::BatchPolicy;
+use crate::ordered::OrderedShardedIndex;
 use crate::queue::{Job, PushError, ShardQueue};
 use crate::request::{PendingResponse, Request, RequestKind, Response, ResponseState};
 use crate::shard::ShardedIndex;
 use crate::stats::{LatencyRecorder, LatencySummary, ServiceStats, WorkerStats};
-use crate::worker::{run_worker, WorkerContext};
+use crate::worker::{run_range_worker, run_worker, RangeWorkerContext, WorkerContext};
 
 /// Tuning knobs for a [`ProbeService`].
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Worker/shard count (the "walker pool" width across the socket).
+    /// Applies to the hashed tier and, when built, the ordered tier.
     pub shards: usize,
-    /// AMAC in-flight depth per worker (walkers per shard).
+    /// In-flight depth per worker: AMAC probes on hash shards, resumable
+    /// scan cursors on ordered shards (walkers per shard).
     pub inflight: usize,
     /// Keys per batch before a size flush.
     pub batch_size: usize,
@@ -30,6 +34,8 @@ pub struct ServeConfig {
     pub min_buckets: usize,
     /// Target entries per bucket at build time.
     pub load: f64,
+    /// B+-tree fanout for the ordered tier at build time.
+    pub fanout: usize,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +48,7 @@ impl Default for ServeConfig {
             queue_capacity: 4096,
             min_buckets: 64,
             load: 1.0,
+            fanout: 8,
         }
     }
 }
@@ -81,6 +88,13 @@ impl ServeConfig {
         self.queue_capacity = keys;
         self
     }
+
+    /// Sets the ordered tier's B+-tree fanout.
+    #[must_use]
+    pub fn with_fanout(mut self, fanout: usize) -> ServeConfig {
+        self.fanout = fanout;
+        self
+    }
 }
 
 /// Why a submission was refused.
@@ -88,12 +102,19 @@ impl ServeConfig {
 pub enum SubmitError {
     /// The service has shut down (or is in the middle of doing so).
     Stopped,
+    /// A [`Request::RangeScan`] was submitted to a service built without
+    /// an ordered tier (see
+    /// [`build_with_range`](ProbeService::build_with_range)).
+    NoOrderedIndex,
 }
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::Stopped => write!(f, "probe service is stopped"),
+            SubmitError::NoOrderedIndex => {
+                write!(f, "probe service has no ordered index for range scans")
+            }
         }
     }
 }
@@ -113,6 +134,12 @@ pub struct ProbeService {
     sharded: Arc<ShardedIndex>,
     queues: Vec<Arc<ShardQueue>>,
     workers: Vec<JoinHandle<(WorkerStats, LatencyRecorder)>>,
+    /// The ordered (range-partitioned B+-tree) tier, when built: its
+    /// index, per-shard queues, and worker handles. `None` on services
+    /// built for point traffic only.
+    ordered: Option<Arc<OrderedShardedIndex>>,
+    range_queues: Vec<Arc<ShardQueue>>,
+    range_workers: Vec<JoinHandle<(WorkerStats, LatencyRecorder)>>,
     started: Instant,
     /// Stop gate: `submit` holds a read guard across all of its queue
     /// pushes; `stop` flips the flag and poisons the queues under the
@@ -145,6 +172,34 @@ impl ProbeService {
         ProbeService::start(sharded, config)
     }
 
+    /// Builds *both* tiers over the same `pairs` — the hash-sharded
+    /// index for point traffic and the range-partitioned B+-tree tier
+    /// for [`Request::RangeScan`] — and starts serving. The production
+    /// shape of a table with a hash index and an ordered index over the
+    /// same column.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configuration or if a worker thread cannot
+    /// be spawned.
+    #[must_use]
+    pub fn build_with_range(
+        recipe: HashRecipe,
+        pairs: impl IntoIterator<Item = (u64, u64)>,
+        config: &ServeConfig,
+    ) -> ProbeService {
+        let pairs: Vec<(u64, u64)> = pairs.into_iter().collect();
+        let sharded = ShardedIndex::build(
+            recipe,
+            config.shards,
+            config.min_buckets,
+            config.load,
+            pairs.iter().copied(),
+        );
+        let ordered = OrderedShardedIndex::build(config.fanout, config.shards, pairs);
+        ProbeService::start_with_ordered(sharded, ordered, config)
+    }
+
     /// Starts serving an already-built [`ShardedIndex`]. The worker
     /// count is the index's shard count; `config.shards` is ignored.
     ///
@@ -154,6 +209,31 @@ impl ProbeService {
     /// be spawned.
     #[must_use]
     pub fn start(sharded: ShardedIndex, config: &ServeConfig) -> ProbeService {
+        ProbeService::start_inner(sharded, None, config)
+    }
+
+    /// Starts serving already-built point and ordered tiers. Worker
+    /// counts are the indexes' own shard counts; `config.shards` is
+    /// ignored (the tiers need not even agree).
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configuration or if a worker thread cannot
+    /// be spawned.
+    #[must_use]
+    pub fn start_with_ordered(
+        sharded: ShardedIndex,
+        ordered: OrderedShardedIndex,
+        config: &ServeConfig,
+    ) -> ProbeService {
+        ProbeService::start_inner(sharded, Some(ordered), config)
+    }
+
+    fn start_inner(
+        sharded: ShardedIndex,
+        ordered: Option<OrderedShardedIndex>,
+        config: &ServeConfig,
+    ) -> ProbeService {
         assert!(config.inflight > 0, "need at least one in-flight probe");
         let policy = BatchPolicy::new(config.batch_size, config.batch_deadline);
         let sharded = Arc::new(sharded);
@@ -177,10 +257,38 @@ impl ProbeService {
                     .expect("spawn shard worker")
             })
             .collect();
+        let ordered = ordered.map(Arc::new);
+        let mut range_queues = Vec::new();
+        let mut range_workers = Vec::new();
+        if let Some(ordered) = &ordered {
+            range_queues = (0..ordered.shard_count())
+                .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
+                .collect();
+            range_workers = range_queues
+                .iter()
+                .enumerate()
+                .map(|(shard, queue)| {
+                    let ctx = RangeWorkerContext {
+                        shard,
+                        queue: Arc::clone(queue),
+                        ordered: Arc::clone(ordered),
+                        policy,
+                        inflight: config.inflight,
+                    };
+                    std::thread::Builder::new()
+                        .name(format!("widx-range-{shard}"))
+                        .spawn(move || run_range_worker(&ctx))
+                        .expect("spawn range shard worker")
+                })
+                .collect();
+        }
         ProbeService {
             sharded,
             queues,
             workers,
+            ordered,
+            range_queues,
+            range_workers,
             started: Instant::now(),
             stopped: RwLock::new(false),
         }
@@ -192,10 +300,23 @@ impl ProbeService {
         &self.sharded
     }
 
+    /// The served ordered index, when the service has a range tier.
+    #[must_use]
+    pub fn ordered(&self) -> Option<&OrderedShardedIndex> {
+        self.ordered.as_deref()
+    }
+
     /// Keys currently queued per shard (backlog snapshot).
     #[must_use]
     pub fn backlog(&self) -> Vec<usize> {
         self.queues.iter().map(|q| q.backlog_keys()).collect()
+    }
+
+    /// Scan cursors currently queued per ordered shard (empty without a
+    /// range tier).
+    #[must_use]
+    pub fn range_backlog(&self) -> Vec<usize> {
+        self.range_queues.iter().map(|q| q.backlog_keys()).collect()
     }
 
     /// Submits a request, blocking only when a target shard queue is
@@ -211,6 +332,9 @@ impl ProbeService {
             Request::Lookup { key } => RequestKind::Lookup { key: *key },
             Request::MultiLookup { .. } => RequestKind::MultiLookup,
             Request::JoinProbe { .. } => RequestKind::JoinProbe,
+            Request::RangeScan { lo, hi, limit } => {
+                return self.submit_scan(*lo, *hi, *limit);
+            }
         };
         self.submit_keys(kind, request.keys())
     }
@@ -236,7 +360,7 @@ impl ProbeService {
                 entries: vec![(0, *key)],
                 reply: Arc::clone(&state),
             };
-            self.push_part(self.sharded.shard_of(*key), job);
+            self.push_part(&self.queues[self.sharded.shard_of(*key)], job);
         } else {
             let shard_count = self.sharded.shard_count();
             let mut parts: Vec<Vec<(u32, u64)>> = vec![Vec::new(); shard_count];
@@ -253,15 +377,48 @@ impl ProbeService {
                     entries,
                     reply: Arc::clone(&state),
                 };
-                self.push_part(shard, job);
+                self.push_part(&self.queues[shard], job);
             }
         }
         drop(stopped);
         Ok(PendingResponse { state })
     }
 
-    fn push_part(&self, shard: usize, job: Job) {
-        match self.queues[shard].push(job) {
+    /// The range-scan submission path: scatters the scan over every
+    /// ordered shard its key interval overlaps (each part carrying the
+    /// full interval and limit — shard trees only hold their own span,
+    /// and the global `limit` is re-applied at gather time), under the
+    /// same all-or-nothing stop gate as `submit_keys`.
+    fn submit_scan(&self, lo: u64, hi: u64, limit: usize) -> Result<PendingResponse, SubmitError> {
+        let stopped = self.stopped.read().expect("stop gate");
+        if *stopped {
+            return Err(SubmitError::Stopped);
+        }
+        let Some(ordered) = &self.ordered else {
+            return Err(SubmitError::NoOrderedIndex);
+        };
+        let kind = RequestKind::RangeScan { limit };
+        let state;
+        if lo > hi || limit == 0 {
+            // Degenerate scans complete immediately: zero parts.
+            state = Arc::new(ResponseState::new(kind, 0));
+        } else {
+            let (first, last) = ordered.shard_span(lo, hi);
+            state = Arc::new(ResponseState::new(kind, last - first + 1));
+            for (rank, shard) in (first..=last).enumerate() {
+                let job = Job::Scan {
+                    scans: vec![(rank as u32, ScanRange { lo, hi, limit })],
+                    reply: Arc::clone(&state),
+                };
+                self.push_part(&self.range_queues[shard], job);
+            }
+        }
+        drop(stopped);
+        Ok(PendingResponse { state })
+    }
+
+    fn push_part(&self, queue: &ShardQueue, job: Job) {
+        match queue.push(job) {
             Ok(()) => {}
             // Queues are poisoned only under the stop gate's write
             // guard, which cannot be held while we hold the read guard.
@@ -309,6 +466,27 @@ impl ProbeService {
         }
     }
 
+    /// Blocking convenience: every `(key, payload)` with `lo <= key <=
+    /// hi` in ascending key order, truncated to the first `limit`
+    /// (`usize::MAX` for unbounded).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Stopped`] once shutdown has begun, or
+    /// [`SubmitError::NoOrderedIndex`] when the service was built
+    /// without a range tier.
+    pub fn range_scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, u64)>, SubmitError> {
+        match self.submit_scan(lo, hi, limit)?.wait() {
+            Response::RangeScan { entries } => Ok(entries),
+            _ => unreachable!("range-scan requests assemble range-scan responses"),
+        }
+    }
+
     /// Begins shutdown without consuming the service: marks the service
     /// stopped (subsequent [`submit`](ProbeService::submit)s fail with
     /// [`SubmitError::Stopped`]) and enqueues one poison pill per shard
@@ -319,7 +497,7 @@ impl ProbeService {
         let mut stopped = self.stopped.write().expect("stop gate");
         if !*stopped {
             *stopped = true;
-            for queue in &self.queues {
+            for queue in self.queues.iter().chain(&self.range_queues) {
                 queue.push_poison();
             }
         }
@@ -344,36 +522,43 @@ impl ProbeService {
 
     fn shutdown_inner(&mut self) -> Option<(ServiceStats, usize)> {
         self.stop();
-        if self.workers.is_empty() {
+        if self.workers.is_empty() && self.range_workers.is_empty() {
             return None; // Already joined by a prior shutdown.
         }
         let mut panicked = 0usize;
-        let mut joined: Vec<(WorkerStats, LatencyRecorder)> = std::mem::take(&mut self.workers)
-            .into_iter()
-            .filter_map(|h| match h.join() {
-                Ok(out) => Some(out),
-                Err(_) => {
-                    panicked += 1;
-                    None
-                }
-            })
-            .collect();
-        joined.sort_by_key(|(w, _)| w.shard);
         let mut completions = 0u64;
         let mut samples = Vec::new();
-        let mut workers = Vec::with_capacity(joined.len());
-        for (w, recorder) in joined {
-            completions += recorder.seen();
-            samples.extend(recorder.into_samples());
-            workers.push(w);
-        }
+        let mut join_tier = |handles: Vec<JoinHandle<(WorkerStats, LatencyRecorder)>>| {
+            let mut joined: Vec<(WorkerStats, LatencyRecorder)> = handles
+                .into_iter()
+                .filter_map(|h| match h.join() {
+                    Ok(out) => Some(out),
+                    Err(_) => {
+                        panicked += 1;
+                        None
+                    }
+                })
+                .collect();
+            joined.sort_by_key(|(w, _)| w.shard);
+            let mut workers = Vec::with_capacity(joined.len());
+            for (w, recorder) in joined {
+                completions += recorder.seen();
+                samples.extend(recorder.into_samples());
+                workers.push(w);
+            }
+            workers
+        };
+        let workers = join_tier(std::mem::take(&mut self.workers));
+        let range_workers = join_tier(std::mem::take(&mut self.range_workers));
         // Percentiles come from the (possibly decimated) samples;
-        // `count` reports true completions.
+        // `count` reports true completions. Both tiers complete
+        // requests, so both feed the one latency summary.
         let mut latency = LatencySummary::from_samples(samples);
         latency.count = usize::try_from(completions).unwrap_or(usize::MAX);
         Some((
             ServiceStats {
                 workers,
+                range_workers,
                 latency,
                 wall: self.started.elapsed(),
             },
@@ -510,5 +695,99 @@ mod tests {
         let s = service(10, &ServeConfig::default());
         let _ = s.lookup(1);
         drop(s); // must not hang
+    }
+
+    fn range_service(entries: u64, config: &ServeConfig) -> ProbeService {
+        ProbeService::build_with_range(
+            HashRecipe::robust64(),
+            (0..entries).map(|k| (k * 2, k)),
+            config,
+        )
+    }
+
+    #[test]
+    fn range_scan_spans_shards_in_key_order() {
+        let s = range_service(2000, &ServeConfig::default());
+        let got = s.range_scan(0, u64::MAX, usize::MAX).unwrap();
+        assert_eq!(got, (0..2000u64).map(|k| (k * 2, k)).collect::<Vec<_>>());
+        // Bounded scan with a limit cutting across a shard seam.
+        let oracle = s.ordered().unwrap().scan(500, 3000, 700);
+        assert_eq!(s.range_scan(500, 3000, 700).unwrap(), oracle);
+        let stats = s.shutdown();
+        assert!(
+            stats.range_workers.iter().all(|w| w.keys > 0),
+            "full-range scan drove every ordered shard"
+        );
+        assert!(stats.total_scan_entries() >= 2000);
+    }
+
+    #[test]
+    fn range_scan_degenerate_and_miss_cases() {
+        let s = range_service(100, &ServeConfig::default());
+        assert_eq!(s.range_scan(50, 10, usize::MAX).unwrap(), vec![]);
+        assert_eq!(s.range_scan(0, 100, 0).unwrap(), vec![]);
+        assert_eq!(s.range_scan(1, 1, usize::MAX).unwrap(), vec![]); // odd keys miss
+        assert_eq!(s.range_scan(100_000, 200_000, 5).unwrap(), vec![]);
+        let stats = s.shutdown();
+        // Degenerate scans complete client-side (zero parts) and never
+        // reach a worker; only the two real scans record latencies.
+        assert_eq!(stats.latency.count, 2);
+    }
+
+    #[test]
+    fn range_and_point_traffic_interleave() {
+        let s = range_service(500, &ServeConfig::default().with_batch_size(8));
+        let scan = s
+            .submit(Request::RangeScan {
+                lo: 10,
+                hi: 40,
+                limit: usize::MAX,
+            })
+            .unwrap();
+        let point = s.submit(Request::Lookup { key: 20 }).unwrap();
+        assert_eq!(
+            scan.wait(),
+            Response::RangeScan {
+                entries: (5..=20u64).map(|k| (k * 2, k)).collect()
+            }
+        );
+        assert_eq!(
+            point.wait(),
+            Response::Lookup {
+                key: 20,
+                payloads: vec![10]
+            }
+        );
+    }
+
+    #[test]
+    fn range_scan_without_ordered_tier_is_refused() {
+        let s = service(100, &ServeConfig::default());
+        assert_eq!(
+            s.range_scan(0, 10, usize::MAX),
+            Err(SubmitError::NoOrderedIndex)
+        );
+        assert_eq!(s.lookup(1).unwrap(), vec![2], "point path unaffected");
+    }
+
+    #[test]
+    fn range_scan_after_stop_is_refused_but_accepted_scans_drain() {
+        let s = range_service(1000, &ServeConfig::default());
+        let pending = s
+            .submit(Request::RangeScan {
+                lo: 0,
+                hi: 99,
+                limit: usize::MAX,
+            })
+            .unwrap();
+        s.stop();
+        assert_eq!(s.range_scan(0, 9, 1), Err(SubmitError::Stopped));
+        let _stats = s.shutdown();
+        assert_eq!(
+            pending.wait(),
+            Response::RangeScan {
+                entries: (0..50u64).map(|k| (k * 2, k)).collect()
+            }
+        );
     }
 }

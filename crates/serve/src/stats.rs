@@ -165,25 +165,45 @@ impl LatencySummary {
 /// [`ProbeService::shutdown`](crate::ProbeService::shutdown).
 #[derive(Clone, Debug)]
 pub struct ServiceStats {
-    /// Per-worker counters, in shard order.
+    /// Per-worker counters for the point-probe (hash) tier, in shard
+    /// order. `keys` counts probe keys.
     pub workers: Vec<WorkerStats>,
-    /// Completion-latency summary across every finished request.
+    /// Per-worker counters for the ordered (range-scan) tier, in shard
+    /// order — empty on services built without one. `keys` counts scan
+    /// cursors fed; `matches` counts entries emitted.
+    pub range_workers: Vec<WorkerStats>,
+    /// Completion-latency summary across every finished request (both
+    /// tiers).
     pub latency: LatencySummary,
     /// Wall-clock time from service start to shutdown completion.
     pub wall: Duration,
 }
 
 impl ServiceStats {
-    /// Total keys probed across workers.
+    /// Total keys probed across point-probe workers.
     #[must_use]
     pub fn total_keys(&self) -> u64 {
         self.workers.iter().map(|w| w.keys).sum()
     }
 
-    /// Total matches across workers.
+    /// Total matches across point-probe workers.
     #[must_use]
     pub fn total_matches(&self) -> u64 {
         self.workers.iter().map(|w| w.matches).sum()
+    }
+
+    /// Total scan cursors driven across range workers (one per shard a
+    /// scan's interval overlapped).
+    #[must_use]
+    pub fn total_scan_cursors(&self) -> u64 {
+        self.range_workers.iter().map(|w| w.keys).sum()
+    }
+
+    /// Total entries emitted across range workers (before any gather
+    /// truncation at the request's `limit`).
+    #[must_use]
+    pub fn total_scan_entries(&self) -> u64 {
+        self.range_workers.iter().map(|w| w.matches).sum()
     }
 
     /// Service-level throughput: keys probed per wall-clock second.
@@ -194,6 +214,18 @@ impl ServiceStats {
             0.0
         } else {
             self.total_keys() as f64 / wall
+        }
+    }
+
+    /// Service-level scan throughput: entries emitted per wall-clock
+    /// second.
+    #[must_use]
+    pub fn scan_throughput(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall == 0.0 {
+            0.0
+        } else {
+            self.total_scan_entries() as f64 / wall
         }
     }
 }
@@ -295,11 +327,19 @@ mod tests {
                     ..WorkerStats::default()
                 },
             ],
+            range_workers: vec![WorkerStats {
+                keys: 6,
+                matches: 90,
+                ..WorkerStats::default()
+            }],
             latency: LatencySummary::default(),
             wall: Duration::from_secs(2),
         };
         assert_eq!(stats.total_keys(), 100);
         assert_eq!(stats.total_matches(), 80);
+        assert_eq!(stats.total_scan_cursors(), 6);
+        assert_eq!(stats.total_scan_entries(), 90);
         assert!((stats.wall_throughput() - 50.0).abs() < 1e-9);
+        assert!((stats.scan_throughput() - 45.0).abs() < 1e-9);
     }
 }

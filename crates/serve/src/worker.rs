@@ -1,24 +1,39 @@
-//! The shard worker: one thread per shard, draining its bounded queue
-//! into batches and driving the resumable AMAC walker over them —
-//! software "four walkers behind one dispatcher", where the dispatcher
-//! is the shard router and the walker count is the AMAC in-flight depth.
+//! The shard workers: one thread per shard, draining a bounded queue
+//! into batches and driving a resumable walker over them — software
+//! "four walkers behind one dispatcher", where the dispatcher is the
+//! shard router and the walker count is the in-flight depth.
+//!
+//! Two worker flavours share the batching skeleton: *point* workers
+//! drive an [`AmacWalker`] over a hash shard, *range* workers drive a
+//! [`BTreeRangeWalker`] over an ordered (B+-tree) shard, keeping several
+//! resumable scan cursors in flight per batch.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use widx_soft::AmacWalker;
+use widx_soft::{AmacWalker, BTreeRangeWalker, ScanRange};
 
 use crate::batch::{BatchPolicy, FlushReason};
+use crate::ordered::OrderedShardedIndex;
 use crate::queue::{Job, ShardQueue};
 use crate::request::{ResponseState, RoutedMatch};
 use crate::shard::ShardedIndex;
 use crate::stats::{LatencyRecorder, WorkerStats};
 
-/// Everything a worker thread needs.
+/// Everything a point-probe worker thread needs.
 pub(crate) struct WorkerContext {
     pub(crate) shard: usize,
     pub(crate) queue: Arc<ShardQueue>,
     pub(crate) sharded: Arc<ShardedIndex>,
+    pub(crate) policy: BatchPolicy,
+    pub(crate) inflight: usize,
+}
+
+/// Everything a range-scan worker thread needs.
+pub(crate) struct RangeWorkerContext {
+    pub(crate) shard: usize,
+    pub(crate) queue: Arc<ShardQueue>,
+    pub(crate) ordered: Arc<OrderedShardedIndex>,
     pub(crate) policy: BatchPolicy,
     pub(crate) inflight: usize,
 }
@@ -50,6 +65,7 @@ pub(crate) fn run_worker(ctx: &WorkerContext) -> (WorkerStats, LatencyRecorder) 
 
         let (entries, reply) = match first {
             Job::Probe { entries, reply } => (entries, reply),
+            Job::Scan { .. } => unreachable!("scan job routed to a point-probe queue"),
             Job::Poison { key } => {
                 debug_assert_eq!(key, widx_core::POISON_KEY);
                 break; // Poison with an empty batch: halt immediately.
@@ -147,6 +163,7 @@ fn run_batch(
                     entries, reply, &mut meta, &mut open, &mut raw, walker, stats, latencies,
                 );
             }
+            Some(Job::Scan { .. }) => unreachable!("scan job routed to a point-probe queue"),
             Some(Job::Poison { .. }) => {
                 shutdown = true;
                 break FlushReason::Shutdown;
@@ -163,6 +180,156 @@ fn run_batch(
     for (tag, key, payload) in raw.drain(..) {
         let (open_idx, row) = meta[tag as usize];
         open[open_idx as usize].items.push((row, key, payload));
+    }
+    stats.batches += 1;
+    stats.keys += meta.len() as u64;
+    match reason {
+        FlushReason::Size => stats.size_flushes += 1,
+        FlushReason::Deadline => stats.deadline_flushes += 1,
+        FlushReason::Shutdown => stats.shutdown_flushes += 1,
+    }
+    for job in &open {
+        stats.matches += job.items.len() as u64;
+        if let Some(latency) = job.reply.complete_part(&job.items) {
+            latencies.record(latency);
+        }
+    }
+    shutdown
+}
+
+/// The range-worker thread body: identical drain-batches-until-poison
+/// loop, but the walker is a ring of resumable B+-tree scan cursors
+/// over this worker's ordered shard.
+pub(crate) fn run_range_worker(ctx: &RangeWorkerContext) -> (WorkerStats, LatencyRecorder) {
+    let tree = &ctx.ordered.shards()[ctx.shard];
+    let mut walker = BTreeRangeWalker::new(tree, ctx.inflight);
+    let mut stats = WorkerStats {
+        shard: ctx.shard,
+        ..WorkerStats::default()
+    };
+    let mut latencies = LatencyRecorder::new();
+
+    loop {
+        let idle_from = Instant::now();
+        let first = ctx.queue.pop();
+        stats.idle += idle_from.elapsed();
+
+        let (scans, reply) = match first {
+            Job::Scan { scans, reply } => (scans, reply),
+            Job::Probe { .. } => unreachable!("probe job routed to a range queue"),
+            Job::Poison { key } => {
+                debug_assert_eq!(key, widx_core::POISON_KEY);
+                break;
+            }
+        };
+
+        let shutdown = run_range_batch(
+            &ctx.queue,
+            &ctx.policy,
+            &mut walker,
+            scans,
+            reply,
+            &mut stats,
+            &mut latencies,
+        );
+        if shutdown {
+            break;
+        }
+    }
+    (stats, latencies)
+}
+
+/// Assembles and drains one batch of scan cursors. Returns true when
+/// the poison pill arrived and the worker must halt after this batch.
+fn run_range_batch(
+    queue: &ShardQueue,
+    policy: &BatchPolicy,
+    walker: &mut BTreeRangeWalker<'_>,
+    first_scans: Vec<(u32, ScanRange)>,
+    first_reply: Arc<ResponseState>,
+    stats: &mut WorkerStats,
+    latencies: &mut LatencyRecorder,
+) -> bool {
+    let opened = Instant::now();
+    // tag (index into `meta`) → (open-job index, scatter rank).
+    let mut meta: Vec<(u32, u32)> = Vec::new();
+    let mut open: Vec<OpenJob> = Vec::new();
+    let mut raw: Vec<(u32, u64, u64)> = Vec::new();
+    let mut shutdown = false;
+
+    let admit = |scans: Vec<(u32, ScanRange)>,
+                 reply: Arc<ResponseState>,
+                 meta: &mut Vec<(u32, u32)>,
+                 open: &mut Vec<OpenJob>,
+                 raw: &mut Vec<(u32, u64, u64)>,
+                 walker: &mut BTreeRangeWalker<'_>,
+                 stats: &mut WorkerStats,
+                 latencies: &mut LatencyRecorder| {
+        stats.jobs += 1;
+        if scans.is_empty() {
+            // Defensive: never strand a zero-cursor part.
+            if let Some(latency) = reply.complete_part(&[]) {
+                latencies.record(latency);
+            }
+            return;
+        }
+        let open_idx = open.len() as u32;
+        open.push(OpenJob {
+            reply,
+            items: Vec::new(),
+        });
+        let busy_from = Instant::now();
+        for (rank, range) in scans {
+            let tag = u32::try_from(meta.len()).expect("batch exceeds u32 tags");
+            meta.push((open_idx, rank));
+            walker.feed(tag, range, &mut |t, k, p| raw.push((t, k, p)));
+        }
+        stats.busy += busy_from.elapsed();
+    };
+
+    admit(
+        first_scans,
+        first_reply,
+        &mut meta,
+        &mut open,
+        &mut raw,
+        walker,
+        stats,
+        latencies,
+    );
+
+    let reason = loop {
+        if let Some(reason) = policy.flush_due(meta.len(), opened) {
+            break reason;
+        }
+        let idle_from = Instant::now();
+        let next = queue.pop_until(policy.flush_deadline(opened));
+        stats.idle += idle_from.elapsed();
+        match next {
+            Some(Job::Scan { scans, reply }) => {
+                admit(
+                    scans, reply, &mut meta, &mut open, &mut raw, walker, stats, latencies,
+                );
+            }
+            Some(Job::Probe { .. }) => unreachable!("probe job routed to a range queue"),
+            Some(Job::Poison { .. }) => {
+                shutdown = true;
+                break FlushReason::Shutdown;
+            }
+            None => break FlushReason::Deadline,
+        }
+    };
+
+    let busy_from = Instant::now();
+    walker.drain(&mut |t, k, p| raw.push((t, k, p)));
+    stats.busy += busy_from.elapsed();
+
+    // Attribute emissions to requests. `raw` is in emit order, so each
+    // tag's slice stays key-ordered — the invariant the gather side's
+    // rank-bucketed concatenation relies on.
+    for (tag, key, payload) in raw.drain(..) {
+        let (open_idx, rank) = meta[tag as usize];
+        open[open_idx as usize].items.push((rank, key, payload));
     }
     stats.batches += 1;
     stats.keys += meta.len() as u64;

@@ -1,0 +1,634 @@
+//! AMAC-style B+-tree range walkers — the ordered-index counterpart of
+//! [`AmacWalker`](crate::AmacWalker).
+//!
+//! A range scan has two phases with different memory behaviour: a
+//! pointer-chasing *descent* (one dependent load per level, exactly the
+//! traversal the paper's walkers accelerate) and a sequential
+//! *leaf-chain scan* (streaming through sibling leaves). Keeping several
+//! scans in flight overlaps the descents' cache misses just like hash
+//! probing; during the leaf phase each cursor prefetches its next
+//! sibling leaf before scanning the current one.
+//!
+//! Three engines over the same [`BTreeIndex`]:
+//!
+//! * [`scan_btree_scalar`] — one scan at a time, the serial baseline;
+//! * [`scan_btree_group`] — stage-synchronized group prefetching
+//!   (descend a level across the whole group, then scan leaves in
+//!   lock-step);
+//! * [`scan_btree_amac`] / [`BTreeRangeWalker`] — independent cursor
+//!   state machines advanced round-robin. The walker form is resumable:
+//!   a serving layer [`feed`](BTreeRangeWalker::feed)s tagged scans in
+//!   as requests arrive and [`drain`](BTreeRangeWalker::drain)s at
+//!   batch boundaries.
+//!
+//! Every engine emits `(tag, key, payload)` with the guarantee that the
+//! emissions *for one tag* are in ascending key order (duplicates in
+//! build order) and truncated to the scan's `limit` — emissions of
+//! different tags interleave arbitrarily.
+
+use widx_db::index::BTreeIndex;
+
+use crate::prefetch::prefetch_read;
+
+/// One range-scan query: all entries with keys in `[lo, hi]`, truncated
+/// to the first `limit` in key order. Use `usize::MAX` for an unbounded
+/// scan; `lo > hi` and `limit == 0` are valid, empty scans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanRange {
+    /// Inclusive lower key bound.
+    pub lo: u64,
+    /// Inclusive upper key bound.
+    pub hi: u64,
+    /// Maximum entries to emit.
+    pub limit: usize,
+}
+
+impl ScanRange {
+    /// An unbounded-count scan of `[lo, hi]`.
+    #[must_use]
+    pub fn new(lo: u64, hi: u64) -> ScanRange {
+        ScanRange {
+            lo,
+            hi,
+            limit: usize::MAX,
+        }
+    }
+
+    /// The same scan truncated to `limit` entries.
+    #[must_use]
+    pub fn with_limit(mut self, limit: usize) -> ScanRange {
+        self.limit = limit;
+        self
+    }
+
+    /// Whether the scan can match anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi || self.limit == 0
+    }
+}
+
+/// Per-cursor coroutine state. `Empty` slots are free for the next scan.
+#[derive(Clone, Copy)]
+enum Cursor {
+    /// No scan in this slot.
+    Empty,
+    /// About to read inner node `node` at `depth` below the root
+    /// (prefetch issued).
+    Inner {
+        tag: u32,
+        lo: u64,
+        hi: u64,
+        remaining: usize,
+        depth: usize,
+        node: u32,
+    },
+    /// About to scan `leaf` (prefetch issued); `seek` means the cursor
+    /// must still locate `lo` within it (first leaf only — sibling
+    /// leaves continue from slot 0).
+    Leaf {
+        tag: u32,
+        lo: u64,
+        hi: u64,
+        remaining: usize,
+        leaf: u32,
+        seek: bool,
+    },
+}
+
+/// A resumable ring of B+-tree range-scan state machines over one
+/// [`BTreeIndex`] — the ordered-index sibling of
+/// [`AmacWalker`](crate::AmacWalker).
+///
+/// The walker owns `inflight` cursor slots. [`feed`](Self::feed) starts
+/// a new scan, advancing the whole ring round-robin when every slot is
+/// busy; [`drain`](Self::drain) runs the ring until no cursor remains.
+/// Matches are reported through an `emit(tag, key, payload)` callback —
+/// possibly during a later `feed` of unrelated scans, so callers
+/// needing batch isolation must drain before reusing tags.
+pub struct BTreeRangeWalker<'idx> {
+    tree: &'idx BTreeIndex,
+    slots: Vec<Cursor>,
+    live: usize,
+}
+
+impl<'idx> BTreeRangeWalker<'idx> {
+    /// Creates a walker with `inflight` cursor slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inflight` is zero.
+    #[must_use]
+    pub fn new(tree: &'idx BTreeIndex, inflight: usize) -> BTreeRangeWalker<'idx> {
+        assert!(inflight > 0, "need at least one in-flight scan");
+        BTreeRangeWalker {
+            tree,
+            slots: vec![Cursor::Empty; inflight],
+            live: 0,
+        }
+    }
+
+    /// Number of scans currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.live
+    }
+
+    /// The walker's slot count (the `inflight` it was built with).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Starts the scan `range`, reporting matches as `(tag, key,
+    /// payload)` through `emit`. If every slot is busy, the ring is
+    /// advanced until one frees — matches for *earlier* scans may be
+    /// emitted during this call. Degenerate ranges complete immediately
+    /// without occupying a slot.
+    pub fn feed<F: FnMut(u32, u64, u64)>(&mut self, tag: u32, range: ScanRange, emit: &mut F) {
+        if range.is_empty() {
+            return;
+        }
+        while self.live == self.slots.len() {
+            self.step_all(emit);
+        }
+        let slot = self
+            .slots
+            .iter()
+            .position(|s| matches!(s, Cursor::Empty))
+            .expect("live < capacity implies an empty slot");
+        self.slots[slot] = if self.tree.inner_level_count() == 0 {
+            self.prefetch_leaf(0);
+            Cursor::Leaf {
+                tag,
+                lo: range.lo,
+                hi: range.hi,
+                remaining: range.limit,
+                leaf: 0,
+                seek: true,
+            }
+        } else {
+            self.prefetch_inner(0, 0);
+            Cursor::Inner {
+                tag,
+                lo: range.lo,
+                hi: range.hi,
+                remaining: range.limit,
+                depth: 0,
+                node: 0,
+            }
+        };
+        self.live += 1;
+    }
+
+    /// Runs the ring until every in-flight scan has completed.
+    pub fn drain<F: FnMut(u32, u64, u64)>(&mut self, emit: &mut F) {
+        while self.live > 0 {
+            self.step_all(emit);
+        }
+    }
+
+    /// Feeds every `(tag, range)` of `scans` and drains — one batch,
+    /// start to finish.
+    pub fn scan_chunk<I, F>(&mut self, scans: I, emit: &mut F)
+    where
+        I: IntoIterator<Item = (u32, ScanRange)>,
+        F: FnMut(u32, u64, u64),
+    {
+        for (tag, range) in scans {
+            self.feed(tag, range, emit);
+        }
+        self.drain(emit);
+    }
+
+    fn prefetch_inner(&self, depth: usize, node: u32) {
+        if let [first, ..] = self.tree.inner_keys(depth, node) {
+            prefetch_read(first);
+        }
+    }
+
+    fn prefetch_leaf(&self, leaf: u32) {
+        if let ([first, ..], _) = self.tree.leaf_entries(leaf) {
+            prefetch_read(first);
+        }
+    }
+
+    /// Advances every live cursor by one state transition (one node
+    /// visit), issuing the next prefetch before yielding.
+    fn step_all<F: FnMut(u32, u64, u64)>(&mut self, emit: &mut F) {
+        for i in 0..self.slots.len() {
+            match self.slots[i] {
+                Cursor::Empty => {}
+                Cursor::Inner {
+                    tag,
+                    lo,
+                    hi,
+                    remaining,
+                    depth,
+                    node,
+                } => {
+                    // Strict comparison: descend toward the *leftmost*
+                    // subtree that can hold a key >= lo (duplicates of
+                    // one key may span several leaves).
+                    let keys = self.tree.inner_keys(depth, node);
+                    let slot = keys.partition_point(|k| *k < lo);
+                    let child = self.tree.inner_child(depth, node, slot);
+                    self.slots[i] = if depth + 1 == self.tree.inner_level_count() {
+                        self.prefetch_leaf(child);
+                        Cursor::Leaf {
+                            tag,
+                            lo,
+                            hi,
+                            remaining,
+                            leaf: child,
+                            seek: true,
+                        }
+                    } else {
+                        self.prefetch_inner(depth + 1, child);
+                        Cursor::Inner {
+                            tag,
+                            lo,
+                            hi,
+                            remaining,
+                            depth: depth + 1,
+                            node: child,
+                        }
+                    };
+                }
+                Cursor::Leaf {
+                    tag,
+                    lo,
+                    hi,
+                    mut remaining,
+                    leaf,
+                    seek,
+                } => {
+                    let (keys, payloads) = self.tree.leaf_entries(leaf);
+                    let mut slot = if seek {
+                        keys.partition_point(|k| *k < lo)
+                    } else {
+                        0
+                    };
+                    let mut past_hi = false;
+                    while slot < keys.len() && remaining > 0 {
+                        let key = keys[slot];
+                        if key > hi {
+                            past_hi = true;
+                            break;
+                        }
+                        emit(tag, key, payloads[slot]);
+                        remaining -= 1;
+                        slot += 1;
+                    }
+                    let next = leaf + 1;
+                    if past_hi || remaining == 0 || (next as usize) >= self.tree.leaf_count() {
+                        self.retire(i);
+                    } else {
+                        self.prefetch_leaf(next);
+                        self.slots[i] = Cursor::Leaf {
+                            tag,
+                            lo,
+                            hi,
+                            remaining,
+                            leaf: next,
+                            seek: false,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    fn retire(&mut self, slot: usize) {
+        self.slots[slot] = Cursor::Empty;
+        self.live -= 1;
+    }
+}
+
+/// Scans `scans` one at a time — the serial baseline, implemented over
+/// the same public accessors the walkers use (and therefore an
+/// implementation independent of [`BTreeIndex::range_scan`]). Emits
+/// `(scan index, key, payload)`.
+pub fn scan_btree_scalar<F: FnMut(u32, u64, u64)>(
+    tree: &BTreeIndex,
+    scans: &[ScanRange],
+    emit: &mut F,
+) {
+    for (i, range) in scans.iter().enumerate() {
+        if range.is_empty() {
+            continue;
+        }
+        let tag = i as u32;
+        let mut node = 0u32;
+        for depth in 0..tree.inner_level_count() {
+            let slot = tree
+                .inner_keys(depth, node)
+                .partition_point(|k| *k < range.lo);
+            node = tree.inner_child(depth, node, slot);
+        }
+        let mut leaf = node;
+        let mut remaining = range.limit;
+        let mut seek = true;
+        'chain: while remaining > 0 {
+            let (keys, payloads) = tree.leaf_entries(leaf);
+            let mut slot = if seek {
+                keys.partition_point(|k| *k < range.lo)
+            } else {
+                0
+            };
+            while slot < keys.len() && remaining > 0 {
+                let key = keys[slot];
+                if key > range.hi {
+                    break 'chain;
+                }
+                emit(tag, key, payloads[slot]);
+                remaining -= 1;
+                slot += 1;
+            }
+            leaf += 1;
+            if (leaf as usize) >= tree.leaf_count() {
+                break;
+            }
+            seek = false;
+        }
+    }
+}
+
+/// Scans `scans` in stage-synchronized groups of `group` cursors
+/// (Chen et al.-style group prefetching): the whole group descends one
+/// level together, then scans leaves in lock-step, each stage issuing
+/// the next stage's prefetches. Emits `(scan index, key, payload)`.
+///
+/// # Panics
+///
+/// Panics if `group` is zero.
+pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
+    tree: &BTreeIndex,
+    scans: &[ScanRange],
+    group: usize,
+    emit: &mut F,
+) {
+    assert!(group > 0, "group size must be positive");
+    /// One group member's leaf-phase state; `done` doubles as the
+    /// degenerate-scan marker.
+    struct Member {
+        leaf: u32,
+        seek: bool,
+        remaining: usize,
+        done: bool,
+    }
+    for (chunk_idx, chunk) in scans.chunks(group).enumerate() {
+        let base = (chunk_idx * group) as u32;
+        let mut nodes = vec![0u32; chunk.len()];
+        // Stage 1..h: descend the whole group one level per stage.
+        for depth in 0..tree.inner_level_count() {
+            for (i, range) in chunk.iter().enumerate() {
+                if range.is_empty() {
+                    continue;
+                }
+                let slot = tree
+                    .inner_keys(depth, nodes[i])
+                    .partition_point(|k| *k < range.lo);
+                nodes[i] = tree.inner_child(depth, nodes[i], slot);
+                if depth + 1 < tree.inner_level_count() {
+                    if let [first, ..] = tree.inner_keys(depth + 1, nodes[i]) {
+                        prefetch_read(first);
+                    }
+                } else if let ([first, ..], _) = tree.leaf_entries(nodes[i]) {
+                    prefetch_read(first);
+                }
+            }
+        }
+        // Leaf stages: each member consumes one leaf per stage.
+        let mut members: Vec<Member> = chunk
+            .iter()
+            .zip(&nodes)
+            .map(|(range, node)| Member {
+                leaf: *node,
+                seek: true,
+                remaining: range.limit,
+                done: range.is_empty(),
+            })
+            .collect();
+        loop {
+            let mut any = false;
+            for (i, m) in members.iter_mut().enumerate() {
+                if m.done {
+                    continue;
+                }
+                any = true;
+                let range = &chunk[i];
+                let (keys, payloads) = tree.leaf_entries(m.leaf);
+                let mut slot = if m.seek {
+                    keys.partition_point(|k| *k < range.lo)
+                } else {
+                    0
+                };
+                let mut past_hi = false;
+                while slot < keys.len() && m.remaining > 0 {
+                    let key = keys[slot];
+                    if key > range.hi {
+                        past_hi = true;
+                        break;
+                    }
+                    emit(base + i as u32, key, payloads[slot]);
+                    m.remaining -= 1;
+                    slot += 1;
+                }
+                let next = m.leaf + 1;
+                if past_hi || m.remaining == 0 || (next as usize) >= tree.leaf_count() {
+                    m.done = true;
+                } else {
+                    if let ([first, ..], _) = tree.leaf_entries(next) {
+                        prefetch_read(first);
+                    }
+                    m.leaf = next;
+                    m.seek = false;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+    }
+}
+
+/// Scans `scans` with `inflight` interleaved cursor state machines —
+/// the one-shot form of [`BTreeRangeWalker`]. Emits `(scan index, key,
+/// payload)`.
+///
+/// # Panics
+///
+/// Panics if `inflight` is zero.
+pub fn scan_btree_amac<F: FnMut(u32, u64, u64)>(
+    tree: &BTreeIndex,
+    scans: &[ScanRange],
+    inflight: usize,
+    emit: &mut F,
+) {
+    let mut walker = BTreeRangeWalker::new(tree, inflight);
+    walker.scan_chunk(
+        scans
+            .iter()
+            .enumerate()
+            .map(|(i, range)| (i as u32, *range)),
+        emit,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(entries: u64, fanout: usize) -> BTreeIndex {
+        BTreeIndex::build(fanout, (0..entries).map(|k| (k * 3, k)))
+    }
+
+    /// Collects per-tag results from an engine run.
+    fn per_tag<E>(n: usize, run: E) -> Vec<Vec<(u64, u64)>>
+    where
+        E: FnOnce(&mut dyn FnMut(u32, u64, u64)),
+    {
+        let mut out = vec![Vec::new(); n];
+        run(&mut |tag, key, payload| out[tag as usize].push((key, payload)));
+        out
+    }
+
+    fn check_all_engines(t: &BTreeIndex, scans: &[ScanRange]) {
+        let want: Vec<Vec<(u64, u64)>> = scans
+            .iter()
+            .map(|r| t.range_scan(r.lo, r.hi, r.limit))
+            .collect();
+        let scalar = per_tag(scans.len(), |emit| {
+            scan_btree_scalar(t, scans, &mut |a, b, c| emit(a, b, c));
+        });
+        assert_eq!(scalar, want, "scalar vs range_scan oracle");
+        for group in [1usize, 3, 8] {
+            let grouped = per_tag(scans.len(), |emit| {
+                scan_btree_group(t, scans, group, &mut |a, b, c| emit(a, b, c));
+            });
+            assert_eq!(grouped, want, "group={group}");
+        }
+        for inflight in [1usize, 2, 5, 16] {
+            let amac = per_tag(scans.len(), |emit| {
+                scan_btree_amac(t, scans, inflight, &mut |a, b, c| emit(a, b, c));
+            });
+            assert_eq!(amac, want, "inflight={inflight}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_with_oracle() {
+        let t = tree(2000, 8);
+        let scans: Vec<ScanRange> = (0..40u64)
+            .map(|i| ScanRange::new(i * 131, i * 131 + 400))
+            .collect();
+        check_all_engines(&t, &scans);
+    }
+
+    #[test]
+    fn limits_and_degenerate_ranges() {
+        let t = tree(500, 4);
+        let scans = vec![
+            ScanRange::new(0, u64::MAX),
+            ScanRange::new(100, 400).with_limit(7),
+            ScanRange::new(400, 100), // inverted
+            ScanRange::new(10, 10),   // single key (miss: 10 % 3 != 0)
+            ScanRange::new(9, 9),     // single key (hit)
+            ScanRange::new(0, 1000).with_limit(0),
+            ScanRange::new(5000, 9000), // past the end
+        ];
+        check_all_engines(&t, &scans);
+    }
+
+    #[test]
+    fn duplicates_spanning_leaves() {
+        let mut pairs: Vec<(u64, u64)> = (0..40u64).map(|i| (77, i)).collect();
+        pairs.extend((0..100u64).map(|k| (k * 2, k)));
+        let t = BTreeIndex::build(4, pairs);
+        let scans = vec![
+            ScanRange::new(77, 77),
+            ScanRange::new(70, 80).with_limit(11),
+            ScanRange::new(0, 200),
+        ];
+        check_all_engines(&t, &scans);
+    }
+
+    #[test]
+    fn empty_and_single_leaf_trees() {
+        check_all_engines(
+            &BTreeIndex::build(8, std::iter::empty()),
+            &[ScanRange::new(0, u64::MAX)],
+        );
+        check_all_engines(&tree(5, 8), &[ScanRange::new(0, 100), ScanRange::new(3, 3)]);
+    }
+
+    #[test]
+    fn walker_is_resumable_across_batches() {
+        let t = tree(3000, 8);
+        let mut walker = BTreeRangeWalker::new(&t, 4);
+        let mut got: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 30];
+        for batch in 0..3 {
+            for j in 0..10u32 {
+                let tag = batch * 10 + j;
+                let lo = u64::from(tag) * 100;
+                walker.feed(tag, ScanRange::new(lo, lo + 250), &mut |t2, k, p| {
+                    got[t2 as usize].push((k, p))
+                });
+            }
+            walker.drain(&mut |t2, k, p| got[t2 as usize].push((k, p)));
+            assert_eq!(walker.in_flight(), 0, "drained between batches");
+        }
+        for (tag, results) in got.iter().enumerate() {
+            let lo = tag as u64 * 100;
+            assert_eq!(
+                results,
+                &t.range_scan(lo, lo + 250, usize::MAX),
+                "tag {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn feed_keeps_scans_in_flight_until_drain() {
+        let t = tree(50_000, 8);
+        let mut walker = BTreeRangeWalker::new(&t, 4);
+        let mut count = 0usize;
+        for i in 0..4u32 {
+            walker.feed(
+                i,
+                ScanRange::new(u64::from(i) * 1000, u64::from(i) * 1000 + 10),
+                &mut |_, _, _| count += 1,
+            );
+        }
+        assert_eq!(walker.in_flight(), 4, "descents still in flight");
+        walker.drain(&mut |_, _, _| count += 1);
+        assert_eq!(walker.in_flight(), 0);
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn degenerate_feed_does_not_occupy_a_slot() {
+        let t = tree(100, 4);
+        let mut walker = BTreeRangeWalker::new(&t, 2);
+        walker.feed(0, ScanRange::new(9, 3), &mut |_, _, _| panic!("no matches"));
+        walker.feed(1, ScanRange::new(0, 9).with_limit(0), &mut |_, _, _| {
+            panic!("no matches")
+        });
+        assert_eq!(walker.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_inflight_rejected() {
+        let t = tree(10, 4);
+        let _ = BTreeRangeWalker::new(&t, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_group_rejected() {
+        let t = tree(10, 4);
+        scan_btree_group(&t, &[ScanRange::new(0, 1)], 0, &mut |_, _, _| {});
+    }
+}

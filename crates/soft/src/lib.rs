@@ -22,6 +22,13 @@
 //!   ring, built for serving layers (`widx-serve`) that feed keys in as
 //!   requests arrive and drain at batch boundaries.
 //!
+//! The same three shapes exist for **ordered-index range scans** over a
+//! [`BTreeIndex`](widx_db::index::BTreeIndex) — [`scan_btree_scalar`],
+//! [`scan_btree_group`], and [`scan_btree_amac`] /
+//! [`BTreeRangeWalker`] — where the descent is the pointer chase the
+//! walkers overlap and the leaf chain is scanned with sibling
+//! prefetching (paper Section 7's "other index structures" extension).
+//!
 //! All three produce identical result multisets; the Criterion bench
 //! `soft_walkers` compares their throughput on DRAM-resident indexes,
 //! where AMAC plays the role of "4 walkers" on a real CPU.
@@ -50,11 +57,15 @@
 // intrinsics); everything else is safe Rust.
 
 mod amac;
+mod btree_walker;
 mod group;
 pub mod prefetch;
 mod scalar;
 
 pub use amac::{probe_amac, AmacWalker};
+pub use btree_walker::{
+    scan_btree_amac, scan_btree_group, scan_btree_scalar, BTreeRangeWalker, ScanRange,
+};
 pub use group::probe_group_prefetch;
 pub use scalar::probe_scalar;
 

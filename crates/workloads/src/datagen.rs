@@ -92,6 +92,34 @@ pub fn zipf_keys(seed: u64, n: usize, bound: u64, theta: f64) -> Vec<u64> {
     z.sample_n(&mut r, n)
 }
 
+/// `n` range queries `(lo, hi)` with `lo <= hi`: Zipfian-distributed
+/// starting keys in `[0, bound)` (skew `theta` — hot *ranges*, the way
+/// a serving front-end sees popular scans) and uniform span lengths in
+/// `[1, max_span]`, saturating at `u64::MAX`.
+///
+/// # Panics
+///
+/// Panics if `bound` or `max_span` is zero or `theta` is negative.
+#[must_use]
+pub fn range_queries(
+    seed: u64,
+    n: usize,
+    bound: u64,
+    max_span: u64,
+    theta: f64,
+) -> Vec<(u64, u64)> {
+    assert!(max_span > 0, "max_span must be positive");
+    let z = Zipf::new(usize::try_from(bound).expect("bound fits usize"), theta);
+    let mut r = rng(seed);
+    (0..n)
+        .map(|_| {
+            let lo = z.sample(&mut r);
+            let span = r.gen_range(1..=max_span);
+            (lo, lo.saturating_add(span))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +178,20 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zipf_zero_ranks_rejected() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn range_queries_are_ordered_bounded_and_skewed() {
+        let ranges = range_queries(5, 10_000, 1000, 64, 0.99);
+        assert_eq!(ranges, range_queries(5, 10_000, 1000, 64, 0.99));
+        for (lo, hi) in &ranges {
+            assert!(lo <= hi && *lo < 1000 && *hi <= 1000 + 64);
+            assert!(*hi - *lo >= 1 && *hi - *lo <= 64);
+        }
+        // Starting keys are skewed toward the head of the key space.
+        let head = ranges.iter().filter(|(lo, _)| *lo < 10).count();
+        let tail = ranges.iter().filter(|(lo, _)| *lo >= 990).count();
+        assert!(head > tail * 10, "head {head} tail {tail}");
     }
 
     #[test]

@@ -5,12 +5,15 @@
 use widx_repro::accel::config::WidxConfig;
 use widx_repro::accel::offload::offload_probe;
 use widx_repro::db::hash::HashRecipe;
-use widx_repro::db::index::{HashIndex, NodeLayout};
+use widx_repro::db::index::{BTreeIndex, HashIndex, NodeLayout};
 use widx_repro::sim::config::SystemConfig;
 use widx_repro::sim::core::{run_inorder, run_ooo};
 use widx_repro::sim::mem::{MemorySystem, RegionAllocator};
 use widx_repro::sim::trace::UopKind;
-use widx_repro::soft::{probe_amac, probe_group_prefetch, probe_scalar};
+use widx_repro::soft::{
+    probe_amac, probe_group_prefetch, probe_scalar, scan_btree_amac, scan_btree_group,
+    scan_btree_scalar, ScanRange,
+};
 use widx_repro::workloads::{datagen, memimg, trace};
 
 struct World {
@@ -105,6 +108,45 @@ fn both_cores_replay_the_same_trace() {
     assert_eq!(ooo.retired, ino.retired);
     assert_eq!(ooo.tuples, 500);
     assert!(ino.cycles >= ooo.cycles, "in-order never beats the OoO");
+}
+
+/// The ordered-index counterpart of `all_engines_agree_on_matches`:
+/// the scalar, group-prefetch, and AMAC B+-tree range walkers emit the
+/// same per-scan key sets, in the same key order, as the serial
+/// `BTreeIndex::range_scan` oracle — duplicates, limits, and
+/// out-of-domain ranges included.
+#[test]
+fn btree_range_walkers_agree_on_key_sets() {
+    // Duplicate-heavy build side: ~2000 entries over ~700 distinct keys.
+    let keys = datagen::uniform_keys(41, 2000, 1400);
+    let tree = BTreeIndex::build(8, keys.iter().enumerate().map(|(r, k)| (*k, r as u64)));
+    let scans: Vec<ScanRange> = (0..60u64)
+        .map(|i| match i % 4 {
+            0 => ScanRange::new(i * 23, i * 23 + 300),
+            1 => ScanRange::new(i * 23, i * 23 + 300).with_limit(i as usize),
+            2 => ScanRange::new(i, i),           // point-sized
+            _ => ScanRange::new(1200 + i, 5000), // tail / out of domain
+        })
+        .collect();
+
+    /// An emit sink shared by all three engine invocations.
+    type Emit<'a> = &'a mut dyn FnMut(u32, u64, u64);
+    let collect = |run: &dyn Fn(Emit)| -> Vec<Vec<(u64, u64)>> {
+        let mut per_scan = vec![Vec::new(); scans.len()];
+        run(&mut |tag, key, payload| per_scan[tag as usize].push((key, payload)));
+        per_scan
+    };
+    let scalar = collect(&|emit| scan_btree_scalar(&tree, &scans, &mut |a, b, c| emit(a, b, c)));
+    let grouped = collect(&|emit| scan_btree_group(&tree, &scans, 8, &mut |a, b, c| emit(a, b, c)));
+    let amac = collect(&|emit| scan_btree_amac(&tree, &scans, 8, &mut |a, b, c| emit(a, b, c)));
+
+    let oracle: Vec<Vec<(u64, u64)>> = scans
+        .iter()
+        .map(|r| tree.range_scan(r.lo, r.hi, r.limit))
+        .collect();
+    assert_eq!(scalar, oracle, "scalar walker vs serial oracle");
+    assert_eq!(grouped, oracle, "group-prefetch walker vs serial oracle");
+    assert_eq!(amac, oracle, "AMAC walker vs serial oracle");
 }
 
 #[test]
