@@ -23,6 +23,11 @@ fn main() {
     } else {
         ("20000", "262144")
     };
+    let (net_requests, net_entries) = if quick {
+        ("4000", "16384")
+    } else {
+        ("50000", "262144")
+    };
 
     let exe = std::env::current_exe().expect("current exe path");
     let bin_dir = exe.parent().expect("bin dir").to_path_buf();
@@ -38,6 +43,31 @@ fn main() {
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
         assert!(status.success(), "{name} failed with {status}");
+    };
+    // The serving sweeps each keep a committed baseline JSON at the repo
+    // root. Say so out loud either way — a silently absent baseline
+    // looks identical to a sweep nobody compares against. Baselines are
+    // anchored to the source tree (like the sweep binaries are anchored
+    // to the build dir), not the cwd, so running from anywhere judges
+    // the same files.
+    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels under the workspace root")
+        .to_path_buf();
+    let baseline = move |name: &str, file: &str| {
+        let path = repo_root.join(file);
+        if path.exists() {
+            println!(
+                "(baseline: {} is committed — compare this run against it)",
+                path.display()
+            );
+        } else {
+            println!(
+                "SKIP: no baseline {file} for {name} — from the repo root, \
+                 run `cargo run --release --bin {name} -- --json {file}` to create it"
+            );
+        }
     };
 
     run("table1_isa", &[]);
@@ -60,9 +90,16 @@ fn main() {
         "serve_throughput",
         &["--probes", serve_probes, "--entries", serve_entries],
     );
+    baseline("serve_throughput", "BENCH_serve.json");
     run(
         "range_throughput",
         &["--scans", range_scans, "--entries", range_entries],
     );
+    baseline("range_throughput", "BENCH_range.json");
+    run(
+        "net_throughput",
+        &["--requests", net_requests, "--entries", net_entries],
+    );
+    baseline("net_throughput", "BENCH_net.json");
     println!("\nall experiments completed");
 }

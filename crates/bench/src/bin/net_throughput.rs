@@ -1,0 +1,310 @@
+//! Network front-end throughput sweep: closed-loop clients × pipeline
+//! depth against a `widx-net` server over loopback TCP — the full
+//! sockets → frames → queues → walkers path measured end to end.
+//!
+//! Each sweep point builds a fresh two-tier service and server, then
+//! drives a mixed Zipfian workload (point lookups with a slice of range
+//! scans) from `clients` connections, each keeping `depth` requests
+//! pipelined. Request latency is measured client-side, send to
+//! matching recv. With `--json PATH`, the full sweep (including the
+//! server's net-tier counters) is written as JSON for trend tracking
+//! (`BENCH_net.json` keeps the committed baseline).
+//!
+//! Usage: `net_throughput [--requests N] [--entries N] [--span N]
+//! [--scan-share F] [--theta T] [--json PATH] [--smoke]`.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use widx_bench::table::{f1, f2, Table};
+use widx_db::hash::HashRecipe;
+use widx_net::{NetConfig, WidxClient, WidxServer};
+use widx_serve::{LatencySummary, NetStats, ProbeService, Request, ServeConfig};
+use widx_workloads::datagen;
+
+const SEED: u64 = 0x7E7;
+
+struct Args {
+    requests: usize,
+    entries: u64,
+    span: u64,
+    scan_share: f64,
+    theta: f64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 100_000,
+        entries: 1 << 18,
+        span: 128,
+        scan_share: 0.1,
+        theta: 0.99,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--requests" => args.requests = value().parse().expect("--requests"),
+            "--entries" => args.entries = value().parse().expect("--entries"),
+            "--span" => args.span = value().parse().expect("--span"),
+            "--scan-share" => args.scan_share = value().parse().expect("--scan-share"),
+            "--theta" => args.theta = value().parse().expect("--theta"),
+            "--json" => args.json = Some(value()),
+            // Quick CI tier: small workload, the sweep shape unchanged.
+            "--smoke" => {
+                args.requests = 4_000;
+                args.entries = 1 << 14;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// One sweep point's results.
+struct Run {
+    clients: usize,
+    depth: usize,
+    wall_ms: f64,
+    reqs_per_sec: f64,
+    latency: LatencySummary,
+    net: NetStats,
+    busy_replies: u64,
+}
+
+/// The per-client mixed workload: mostly Zipfian lookups, a slice of
+/// bounded range scans over the same hot keys.
+fn build_ops(args: &Args, client: usize, count: usize) -> Vec<Request> {
+    let keys = datagen::zipf_keys(
+        SEED ^ (client as u64).wrapping_mul(0x9E37),
+        count,
+        args.entries,
+        args.theta,
+    );
+    let every = if args.scan_share <= 0.0 {
+        usize::MAX
+    } else {
+        ((1.0 / args.scan_share) as usize).max(1)
+    };
+    keys.into_iter()
+        .enumerate()
+        .map(|(i, key)| {
+            if (i + 1) % every == 0 {
+                Request::RangeScan {
+                    lo: key,
+                    hi: key.saturating_add(args.span),
+                    limit: args.span as usize,
+                }
+            } else {
+                Request::Lookup { key }
+            }
+        })
+        .collect()
+}
+
+/// Drives one sweep point: fresh service + server, `clients` threads
+/// each pipelining `depth` requests closed-loop. Returns wall time and
+/// client-measured latencies. `Busy` replies are counted and dropped —
+/// the bounded closed loop keeps them rare, and the counter proves it.
+fn run_once(pairs: &[(u64, u64)], args: &Args, clients: usize, depth: usize) -> Run {
+    let config = ServeConfig::default().with_shards(4).with_inflight(8);
+    let service = Arc::new(ProbeService::build_with_range(
+        HashRecipe::robust64(),
+        pairs.iter().copied(),
+        &config,
+    ));
+    let server = WidxServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    let per_client = args.requests.div_ceil(clients);
+
+    let started = Instant::now();
+    let (samples, busy_replies) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let ops = build_ops(args, c, per_client);
+                scope.spawn(move || {
+                    let mut client = WidxClient::connect(addr).expect("connect");
+                    let mut samples: Vec<u64> = Vec::with_capacity(ops.len());
+                    let mut window: std::collections::VecDeque<(u64, Instant)> =
+                        std::collections::VecDeque::with_capacity(depth);
+                    let mut busy = 0u64;
+                    let reap = |client: &mut WidxClient,
+                                window: &mut std::collections::VecDeque<(u64, Instant)>,
+                                samples: &mut Vec<u64>,
+                                busy: &mut u64| {
+                        let (id, sent) = window.pop_front().expect("window non-empty");
+                        match client.recv(id) {
+                            Ok(_) => {
+                                let ns = sent.elapsed().as_nanos();
+                                samples.push(u64::try_from(ns).unwrap_or(u64::MAX));
+                            }
+                            Err(widx_net::ClientError::Remote(e)) => {
+                                assert_eq!(
+                                    e.code,
+                                    widx_net::ErrorCode::Busy,
+                                    "unexpected server error: {e}"
+                                );
+                                *busy += 1;
+                            }
+                            Err(widx_net::ClientError::Io(e)) => panic!("client io: {e}"),
+                        }
+                    };
+                    for op in &ops {
+                        if window.len() == depth.max(1) {
+                            reap(&mut client, &mut window, &mut samples, &mut busy);
+                        }
+                        let id = client.send(op).expect("send");
+                        window.push_back((id, Instant::now()));
+                    }
+                    while !window.is_empty() {
+                        reap(&mut client, &mut window, &mut samples, &mut busy);
+                    }
+                    (samples, busy)
+                })
+            })
+            .collect();
+        let mut samples = Vec::new();
+        let mut busy = 0u64;
+        for handle in handles {
+            let (s, b) = handle.join().expect("client thread");
+            samples.extend(s);
+            busy += b;
+        }
+        (samples, busy)
+    });
+    let wall = started.elapsed();
+
+    let net = server.shutdown();
+    drop(
+        Arc::try_unwrap(service)
+            .ok()
+            .expect("sole owner")
+            .shutdown(),
+    );
+    Run {
+        clients,
+        depth,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        reqs_per_sec: samples.len() as f64 / wall.as_secs_f64(),
+        latency: LatencySummary::from_samples(samples),
+        net,
+        busy_replies,
+    }
+}
+
+fn render_json(args: &Args, runs: &[Run]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"net_throughput\",");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"requests\": {},", args.requests);
+    let _ = writeln!(out, "  \"entries\": {},", args.entries);
+    let _ = writeln!(out, "  \"span\": {},", args.span);
+    let _ = writeln!(out, "  \"scan_share\": {},", args.scan_share);
+    let _ = writeln!(out, "  \"theta\": {},", args.theta);
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let lat = &run.latency;
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"clients\": {}, \"depth\": {}, \"wall_ms\": {:.3}, \"reqs_per_sec\": {:.0}, \
+             \"busy_replies\": {}, ",
+            run.clients, run.depth, run.wall_ms, run.reqs_per_sec, run.busy_replies
+        );
+        let _ = write!(
+            out,
+            "\"latency_ns\": {{\"count\": {}, \"mean\": {:.0}, \"p50\": {}, \
+             \"p95\": {}, \"p99\": {}, \"max\": {}}}, ",
+            lat.count, lat.mean_ns, lat.p50_ns, lat.p95_ns, lat.p99_ns, lat.max_ns
+        );
+        let _ = write!(
+            out,
+            "\"net\": {{\"connections\": {}, \"frames_in\": {}, \"frames_out\": {}, \
+             \"busy_rejects\": {}, \"decode_errors\": {}}}",
+            run.net.connections,
+            run.net.frames_in,
+            run.net.frames_out,
+            run.net.busy_rejects,
+            run.net.decode_errors
+        );
+        out.push('}');
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let client_sweep = [1usize, 2, 4];
+    let depth_sweep = [1usize, 8, 32];
+
+    // Dense unique build side: key k → row id, so scans return ~span
+    // entries and the Zipfian point stream mostly hits.
+    let pairs: Vec<(u64, u64)> = datagen::unique_shuffled_keys(SEED, args.entries as usize)
+        .into_iter()
+        .enumerate()
+        .map(|(row, key)| (key, row as u64))
+        .collect();
+
+    println!(
+        "== net_throughput: {} entries, {} Zipf({}) requests ({}% range scans, span {}), \
+         loopback TCP ==\n",
+        args.entries,
+        args.requests,
+        args.theta,
+        (args.scan_share * 100.0) as u32,
+        args.span,
+    );
+    println!("(seed {SEED:#x}; per-run net counters in --json output)\n");
+
+    let mut runs = Vec::new();
+    let mut t = Table::new(&[
+        "clients",
+        "depth",
+        "wall ms",
+        "Kreq/s",
+        "p50 µs",
+        "p99 µs",
+        "frames in",
+        "busy",
+    ]);
+    for &clients in &client_sweep {
+        for &depth in &depth_sweep {
+            let run = run_once(&pairs, &args, clients, depth);
+            t.row(&[
+                run.clients.to_string(),
+                run.depth.to_string(),
+                f2(run.wall_ms),
+                f2(run.reqs_per_sec / 1e3),
+                f1(run.latency.p50_ns as f64 / 1e3),
+                f1(run.latency.p99_ns as f64 / 1e3),
+                run.net.frames_in.to_string(),
+                run.busy_replies.to_string(),
+            ]);
+            runs.push(run);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "(each connection pipelines `depth` requests with explicit ids — replies \
+         come back out of order across the point and range tiers — so one socket \
+         carries the inter-key parallelism the per-shard batchers need, the \
+         network-layer analogue of the paper's dispatcher keeping all four \
+         walkers fed)"
+    );
+
+    if let Some(path) = &args.json {
+        let json = render_json(&args, &runs);
+        std::fs::write(path, json).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

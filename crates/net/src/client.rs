@@ -1,0 +1,264 @@
+//! The blocking client library: a pipelining `send`/`recv` split over
+//! one TCP connection, plus a convenience synchronous `call`.
+//!
+//! The client assigns each request a fresh id and the server echoes it,
+//! so replies may arrive in **any order**: [`WidxClient::recv`] stashes
+//! frames for other ids until the requested one arrives, and
+//! [`WidxClient::recv_any`] hands back whatever completes next. Keep
+//! the pipeline depth bounded (the server's per-connection in-flight
+//! cap answers `Busy` beyond its window, and unread replies eventually
+//! exert TCP backpressure on `send`).
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use widx_serve::{Request, Response};
+
+use crate::wire::{self, Decoded, ErrorReply};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection itself failed (or the peer broke framing).
+    Io(std::io::Error),
+    /// The server answered this request with a typed error frame — the
+    /// connection is still usable.
+    Remote(ErrorReply),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+fn protocol_violation(what: &str) -> ClientError {
+    ClientError::Io(std::io::Error::new(
+        ErrorKind::InvalidData,
+        what.to_string(),
+    ))
+}
+
+/// A blocking connection to a [`WidxServer`](crate::WidxServer).
+pub struct WidxClient {
+    stream: TcpStream,
+    /// Unconsumed reply bytes.
+    rbuf: Vec<u8>,
+    /// Replies received while waiting for a different id, in arrival
+    /// order.
+    stash: VecDeque<(u64, Result<Response, ErrorReply>)>,
+    /// Scratch encode buffer, reused across sends.
+    ebuf: Vec<u8>,
+    next_id: u64,
+}
+
+impl WidxClient {
+    /// Connects to a server (Nagle disabled — frames are the batching
+    /// unit here, the service's own batcher does the rest).
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level connect/configure failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<WidxClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(WidxClient {
+            stream,
+            rbuf: Vec::new(),
+            stash: VecDeque::new(),
+            ebuf: Vec::new(),
+            next_id: 0,
+        })
+    }
+
+    /// Pipelines one request without waiting; returns the id to pass to
+    /// [`recv`](WidxClient::recv).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when the request's key list is too large to frame
+    /// (over [`wire::MAX_BODY_LEN`]; nothing was sent — split it), or a
+    /// socket-level write failure.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<u64> {
+        if !wire::request_fits(request) {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "request exceeds the maximum frame size; split the key list",
+            ));
+        }
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.ebuf.clear();
+        wire::encode_request(&mut self.ebuf, id, request);
+        self.stream.write_all(&self.ebuf)?;
+        Ok(id)
+    }
+
+    /// Blocks for the reply to `id`, stashing replies to other ids for
+    /// their own `recv`/[`recv_any`](WidxClient::recv_any) calls.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] when the server answered `id` with an
+    /// error frame; [`ClientError::Io`] on connection failure.
+    pub fn recv(&mut self, id: u64) -> Result<Response, ClientError> {
+        if let Some(at) = self.stash.iter().position(|(got, _)| *got == id) {
+            let (_, reply) = self.stash.remove(at).expect("position just found");
+            return reply.map_err(ClientError::Remote);
+        }
+        loop {
+            let (got, reply) = self.read_frame()?;
+            if got == id {
+                return reply.map_err(ClientError::Remote);
+            }
+            self.stash.push_back((got, reply));
+        }
+    }
+
+    /// Blocks for whichever reply completes next (stashed frames
+    /// first, in arrival order), returning `(id, reply)`.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level failure or broken framing.
+    pub fn recv_any(&mut self) -> std::io::Result<(u64, Result<Response, ErrorReply>)> {
+        if let Some(front) = self.stash.pop_front() {
+            return Ok(front);
+        }
+        self.read_frame()
+    }
+
+    /// Synchronous convenience: send one request and wait for its reply.
+    ///
+    /// # Errors
+    ///
+    /// As [`recv`](WidxClient::recv).
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let id = self.send(request)?;
+        self.recv(id)
+    }
+
+    /// Blocking convenience mirroring
+    /// [`ProbeService::lookup`](widx_serve::ProbeService::lookup).
+    ///
+    /// # Errors
+    ///
+    /// As [`recv`](WidxClient::recv).
+    pub fn lookup(&mut self, key: u64) -> Result<Vec<u64>, ClientError> {
+        match self.call(&Request::Lookup { key })? {
+            Response::Lookup { payloads, .. } => Ok(payloads),
+            _ => Err(protocol_violation("mismatched reply variant for Lookup")),
+        }
+    }
+
+    /// Blocking convenience mirroring
+    /// [`ProbeService::multi_lookup`](widx_serve::ProbeService::multi_lookup).
+    ///
+    /// # Errors
+    ///
+    /// As [`recv`](WidxClient::recv).
+    pub fn multi_lookup(&mut self, keys: &[u64]) -> Result<Vec<(u64, u64)>, ClientError> {
+        match self.call(&Request::MultiLookup {
+            keys: keys.to_vec(),
+        })? {
+            Response::MultiLookup { matches } => Ok(matches),
+            _ => Err(protocol_violation(
+                "mismatched reply variant for MultiLookup",
+            )),
+        }
+    }
+
+    /// Blocking convenience mirroring
+    /// [`ProbeService::join_probe`](widx_serve::ProbeService::join_probe).
+    ///
+    /// # Errors
+    ///
+    /// As [`recv`](WidxClient::recv).
+    pub fn join_probe(&mut self, keys: &[u64]) -> Result<Vec<(u64, u64)>, ClientError> {
+        match self.call(&Request::JoinProbe {
+            keys: keys.to_vec(),
+        })? {
+            Response::JoinProbe { pairs } => Ok(pairs),
+            _ => Err(protocol_violation("mismatched reply variant for JoinProbe")),
+        }
+    }
+
+    /// Blocking convenience mirroring
+    /// [`ProbeService::range_scan`](widx_serve::ProbeService::range_scan).
+    ///
+    /// # Errors
+    ///
+    /// As [`recv`](WidxClient::recv).
+    pub fn range_scan(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, u64)>, ClientError> {
+        match self.call(&Request::RangeScan { lo, hi, limit })? {
+            Response::RangeScan { entries } => Ok(entries),
+            _ => Err(protocol_violation("mismatched reply variant for RangeScan")),
+        }
+    }
+
+    /// Reads exactly one reply frame off the wire (blocking).
+    fn read_frame(&mut self) -> std::io::Result<(u64, Result<Response, ErrorReply>)> {
+        loop {
+            match wire::decode_reply(&self.rbuf) {
+                Ok(Decoded::Frame {
+                    consumed,
+                    id,
+                    value,
+                }) => {
+                    self.rbuf.drain(..consumed);
+                    return Ok((id, value));
+                }
+                Ok(Decoded::Corrupt {
+                    consumed, error, ..
+                }) => {
+                    // The envelope held, so skip the frame and keep the
+                    // connection — the wire spec's resync contract. The
+                    // caller loses this one reply (reported as an
+                    // error); everything pipelined behind it survives.
+                    self.rbuf.drain(..consumed);
+                    return Err(std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("undecodable reply frame (skipped): {error}"),
+                    ));
+                }
+                Err(frame_error) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("reply framing lost: {frame_error}"),
+                    ));
+                }
+                Ok(Decoded::Incomplete) => {
+                    let mut chunk = [0u8; 16 * 1024];
+                    match self.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            return Err(std::io::Error::new(
+                                ErrorKind::UnexpectedEof,
+                                "server closed mid-frame",
+                            ));
+                        }
+                        Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! The non-blocking socket server: one event-loop thread multiplexing
+//! every connection over `std` non-blocking sockets with readiness
+//! polling — accept, decode pipelined frames, `try_submit` into the
+//! probe service's batching queues, and write replies back as they
+//! complete, **possibly out of order** (request ids make that safe).
+//!
+//! Backpressure is never buffered away: when a shard queue is at
+//! capacity ([`SubmitError::Busy`]) or a connection exceeds its
+//! in-flight window, the server answers a typed `Busy` error frame
+//! instead of queueing without bound, and when a connection's peer
+//! stops reading, the write-backlog cap stops the server reading from
+//! it — TCP pushes back the rest of the way.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use widx_serve::{NetStats, PendingResponse, ProbeService, SubmitError};
+
+use crate::wire::{self, Decoded, ErrorCode, ErrorReply};
+
+/// Tuning knobs for a [`WidxServer`].
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Decoded-but-unanswered requests allowed per connection before the
+    /// server replies `Busy` (the pipelining window it will honour).
+    pub max_inflight_per_conn: usize,
+    /// Unflushed reply bytes allowed per connection before the server
+    /// stops reading from it (slow-consumer backpressure).
+    pub max_write_backlog: usize,
+    /// Event-loop sleep when a full pass over every connection makes no
+    /// progress (the readiness-polling interval).
+    pub idle_backoff: Duration,
+    /// How long a graceful shutdown waits for connections to drain
+    /// before abandoning the stragglers. A peer that stops reading its
+    /// replies can never drain; without this bound,
+    /// [`WidxServer::shutdown`] (and `Drop`) would hang on it forever.
+    pub drain_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            max_inflight_per_conn: 256,
+            max_write_backlog: 4 << 20,
+            idle_backoff: Duration::from_micros(100),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Sets the per-connection in-flight request cap.
+    #[must_use]
+    pub fn with_max_inflight(mut self, max: usize) -> NetConfig {
+        self.max_inflight_per_conn = max;
+        self
+    }
+
+    /// Sets the per-connection write-backlog cap in bytes.
+    #[must_use]
+    pub fn with_max_write_backlog(mut self, bytes: usize) -> NetConfig {
+        self.max_write_backlog = bytes;
+        self
+    }
+
+    /// Sets the idle readiness-polling interval.
+    #[must_use]
+    pub fn with_idle_backoff(mut self, backoff: Duration) -> NetConfig {
+        self.idle_backoff = backoff;
+        self
+    }
+
+    /// Sets the graceful-shutdown drain bound.
+    #[must_use]
+    pub fn with_drain_timeout(mut self, timeout: Duration) -> NetConfig {
+        self.drain_timeout = timeout;
+        self
+    }
+}
+
+/// Shared atomic counters behind [`NetStats`] snapshots.
+#[derive(Default)]
+struct NetCounters {
+    connections: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    busy_rejects: AtomicU64,
+    decode_errors: AtomicU64,
+}
+
+impl NetCounters {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            busy_rejects: self.busy_rejects.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One client connection's state machine: buffered input awaiting
+/// decode, in-flight requests awaiting completion, and buffered output
+/// awaiting a writable socket.
+struct Connection {
+    stream: TcpStream,
+    /// Unconsumed input bytes.
+    rbuf: Vec<u8>,
+    /// Reply bytes not yet written; `wpos` is the flush cursor.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Requests submitted to the service, awaiting completion. Scanned
+    /// for readiness each pass — completion order, not submission
+    /// order, decides reply order.
+    pending: Vec<(u64, PendingResponse)>,
+    /// Set on peer EOF, server shutdown, or lost framing: no more reads.
+    closed_for_reads: bool,
+    /// Set on an unrecoverable socket error: drop the connection now.
+    dead: bool,
+}
+
+impl Connection {
+    fn new(stream: TcpStream) -> Connection {
+        Connection {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: Vec::new(),
+            closed_for_reads: false,
+            dead: false,
+        }
+    }
+
+    fn write_backlog(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// All accepted work answered and flushed — nothing left to drain.
+    fn drained(&self) -> bool {
+        self.pending.is_empty() && self.write_backlog() == 0
+    }
+
+    /// Whether the connection should be dropped from the loop.
+    fn finished(&self) -> bool {
+        self.dead || (self.closed_for_reads && self.drained())
+    }
+
+    /// Reads whatever the socket has ready. Returns true on progress.
+    fn fill(&mut self, config: &NetConfig) -> bool {
+        if self.closed_for_reads || self.write_backlog() > config.max_write_backlog {
+            return false;
+        }
+        let mut progress = false;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer half-closed: serve what we already have, then
+                    // let `finished` reap the connection once drained.
+                    self.closed_for_reads = true;
+                    return true;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return progress,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return progress;
+                }
+            }
+        }
+    }
+
+    /// Decodes every complete frame buffered so far and submits it (or
+    /// replies with an error frame). Returns true on progress.
+    fn decode_and_submit(
+        &mut self,
+        service: &ProbeService,
+        config: &NetConfig,
+        counters: &NetCounters,
+    ) -> bool {
+        let mut consumed_total = 0usize;
+        loop {
+            match wire::decode_request(&self.rbuf[consumed_total..]) {
+                Ok(Decoded::Incomplete) => break,
+                Ok(Decoded::Frame {
+                    consumed,
+                    id,
+                    value,
+                }) => {
+                    consumed_total += consumed;
+                    counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                    if self.pending.len() >= config.max_inflight_per_conn {
+                        counters.busy_rejects.fetch_add(1, Ordering::Relaxed);
+                        self.reply_error(
+                            id,
+                            &ErrorReply::new(ErrorCode::Busy, "connection in-flight cap"),
+                            counters,
+                        );
+                        continue;
+                    }
+                    match service.try_submit(value) {
+                        Ok(pending) => self.pending.push((id, pending)),
+                        Err(SubmitError::Busy) => {
+                            counters.busy_rejects.fetch_add(1, Ordering::Relaxed);
+                            self.reply_error(
+                                id,
+                                &ErrorReply::new(ErrorCode::Busy, "shard queue at capacity"),
+                                counters,
+                            );
+                        }
+                        Err(SubmitError::Stopped) => {
+                            self.reply_error(
+                                id,
+                                &ErrorReply::new(ErrorCode::Stopped, "service is shutting down"),
+                                counters,
+                            );
+                        }
+                        Err(SubmitError::NoOrderedIndex) => {
+                            self.reply_error(
+                                id,
+                                &ErrorReply::new(
+                                    ErrorCode::NoOrderedIndex,
+                                    "no ordered tier for range scans",
+                                ),
+                                counters,
+                            );
+                        }
+                    }
+                }
+                Ok(Decoded::Corrupt {
+                    consumed,
+                    id,
+                    error,
+                }) => {
+                    consumed_total += consumed;
+                    counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    let code = match error {
+                        wire::DecodeError::Version(_) | wire::DecodeError::Opcode(_) => {
+                            ErrorCode::Unsupported
+                        }
+                        _ => ErrorCode::Malformed,
+                    };
+                    self.reply_error(id, &ErrorReply::new(code, error.to_string()), counters);
+                }
+                Err(frame_error) => {
+                    // Framing lost: answer once (on the reserved
+                    // connection-level id — id 0 is a real request id),
+                    // then close after the flush; nothing further on
+                    // this socket can be trusted to be frame-aligned.
+                    counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    self.reply_error(
+                        wire::CONNECTION_ERROR_ID,
+                        &ErrorReply::new(ErrorCode::Malformed, frame_error.to_string()),
+                        counters,
+                    );
+                    self.rbuf.clear();
+                    consumed_total = 0;
+                    self.closed_for_reads = true;
+                    break;
+                }
+            }
+        }
+        if consumed_total > 0 {
+            self.rbuf.drain(..consumed_total);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn reply_error(&mut self, id: u64, error: &ErrorReply, counters: &NetCounters) {
+        wire::encode_error(&mut self.wbuf, id, error);
+        counters.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Writes completed responses into the output buffer, in completion
+    /// order. Returns true on progress.
+    fn reap_completions(&mut self, config: &NetConfig, counters: &NetCounters) -> bool {
+        let mut progress = false;
+        let mut i = 0;
+        while i < self.pending.len() {
+            // Pace encoding by the write backlog: a completed reply the
+            // peer has no room for stays in `pending` until the buffer
+            // flushes. Without this, a non-reading peer could turn its
+            // whole in-flight window of large replies into buffered
+            // bytes at once — the unbounded buffering this server
+            // promises not to do.
+            if self.write_backlog() >= config.max_write_backlog {
+                break;
+            }
+            if self.pending[i].1.is_ready() {
+                let (id, pending) = self.pending.swap_remove(i);
+                // `wait` cannot block: readiness was just observed.
+                let response = pending.wait();
+                if wire::response_fits(&response) {
+                    wire::encode_response(&mut self.wbuf, id, &response);
+                    counters.frames_out.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // A legal request (e.g. an unbounded RangeScan) can
+                    // complete with more entries than any frame may
+                    // carry — answer TooLarge rather than letting the
+                    // encoder's cap assert kill the event loop.
+                    self.reply_error(
+                        id,
+                        &ErrorReply::new(
+                            ErrorCode::TooLarge,
+                            "reply exceeds the maximum frame size; narrow the request",
+                        ),
+                        counters,
+                    );
+                }
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        progress
+    }
+
+    /// Flushes as much buffered output as the socket accepts. Returns
+    /// true on progress.
+    fn flush(&mut self) -> bool {
+        let mut progress = false;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return progress;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return progress,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return progress;
+                }
+            }
+        }
+        if self.wpos > 0 {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        progress
+    }
+
+    /// One full pass: read, decode+submit, reap completions, flush.
+    fn pump(&mut self, service: &ProbeService, config: &NetConfig, counters: &NetCounters) -> bool {
+        let mut progress = self.fill(config);
+        progress |= self.decode_and_submit(service, config, counters);
+        progress |= self.reap_completions(config, counters);
+        progress |= self.flush();
+        progress
+    }
+}
+
+/// A running socket front-end over a [`ProbeService`]: one event-loop
+/// thread serving every connection.
+///
+/// # Shutdown
+///
+/// [`shutdown`](WidxServer::shutdown) stops accepting, stops *reading*,
+/// and drains: every request frame already received is still decoded,
+/// submitted, answered, and flushed before the loop exits — no
+/// accepted request is dropped. The underlying [`ProbeService`] is
+/// caller-owned and keeps running; in-flight frames drain through its
+/// own poison-pill shutdown if the caller stops it afterwards (or
+/// concurrently — accepted submissions complete either way).
+pub struct WidxServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WidxServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the event loop over `service`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level failure to bind or configure the listener.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<ProbeService>,
+        config: NetConfig,
+    ) -> std::io::Result<WidxServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(NetCounters::default());
+        let thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("widx-net".to_string())
+                .spawn(move || run_event_loop(&listener, &service, &config, &shutdown, &counters))
+                .expect("spawn net event loop")
+        };
+        Ok(WidxServer {
+            addr,
+            shutdown,
+            counters,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live snapshot of the network-tier counters; attach the final
+    /// one to the service's stats with
+    /// [`ServiceStats::with_net`](widx_serve::ServiceStats::with_net).
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.counters.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting and reading, drain every
+    /// accepted frame through to a flushed reply, then join the event
+    /// loop. Returns the final counter snapshot.
+    #[must_use]
+    pub fn shutdown(mut self) -> NetStats {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        self.counters.snapshot()
+    }
+}
+
+impl Drop for WidxServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn run_event_loop(
+    listener: &TcpListener,
+    service: &ProbeService,
+    config: &NetConfig,
+    shutdown: &AtomicBool,
+    counters: &NetCounters,
+) {
+    let mut conns: Vec<Connection> = Vec::new();
+    let mut draining: Option<std::time::Instant> = None;
+    loop {
+        let mut progress = false;
+        if draining.is_none() && shutdown.load(Ordering::Relaxed) {
+            // Shutdown begins: stop accepting and reading. Frames whose
+            // bytes already arrived still decode, submit, and answer
+            // below — drain, then halt, like the service itself.
+            draining = Some(std::time::Instant::now());
+            for conn in &mut conns {
+                conn.closed_for_reads = true;
+            }
+            progress = true;
+        }
+        if draining.is_none() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        counters.connections.fetch_add(1, Ordering::Relaxed);
+                        conns.push(Connection::new(stream));
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+        }
+        for conn in &mut conns {
+            progress |= conn.pump(service, config, counters);
+        }
+        conns.retain(|conn| !conn.finished());
+        if let Some(since) = draining {
+            if conns.is_empty() {
+                return;
+            }
+            if since.elapsed() > config.drain_timeout {
+                // A peer that will not read its replies can never
+                // drain; abandoning it bounds shutdown (and `Drop`).
+                return;
+            }
+        }
+        if !progress {
+            std::thread::sleep(config.idle_backoff);
+        }
+    }
+}

@@ -1,0 +1,854 @@
+//! The widx wire protocol: compact length-prefixed binary frames with
+//! explicit request ids, a versioned header, and a typed error frame.
+//!
+//! Every frame — request or reply — shares one envelope (all integers
+//! little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     body_len  (u32; bytes after this field, >= 12)
+//! 4       1     version   (WIRE_VERSION)
+//! 5       1     opcode
+//! 6       2     reserved  (must be zero)
+//! 8       8     request id (echoed verbatim in the reply)
+//! 16      n     payload   (body_len - 12 bytes, opcode-specific)
+//! ```
+//!
+//! The 4-byte length prefix and 12-byte header are **invariant across
+//! protocol versions** — that is the compat contract that lets a peer
+//! skip a frame it cannot understand (unknown version or opcode) while
+//! keeping the connection, replying with an [`ErrorReply`] instead of
+//! hanging up. Only a violated envelope (a declared body shorter than
+//! the header, or longer than [`MAX_BODY_LEN`]) loses framing and
+//! forces the connection closed.
+//!
+//! Request ids are chosen by the client and echoed by the server, which
+//! may answer **out of order** — ids are what make pipelining safe.
+//! The protocol attaches no meaning to them beyond the echo.
+//!
+//! See `docs/wire-format.md` for the full payload layouts.
+
+use widx_serve::{Request, Response};
+
+/// The protocol version this build speaks.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard ceiling on a frame body (header + payload), giving decoders a
+/// bound to distrust: a length above this cannot be resynchronized and
+/// closes the connection.
+pub const MAX_BODY_LEN: usize = 1 << 24;
+
+/// Envelope bytes after the length prefix, before the payload.
+const HEADER_LEN: usize = 12;
+
+/// The request id carried by *connection-level* error frames — ones
+/// that answer no particular request (lost framing). Reserved: clients
+/// never reach it (ids count up from 0, and 2^64 sends on one
+/// connection is out of reach), so it cannot collide with a real
+/// in-flight request the way id 0 would.
+pub const CONNECTION_ERROR_ID: u64 = u64::MAX;
+
+/// Request opcodes (high bit clear).
+const OP_LOOKUP: u8 = 0x01;
+const OP_MULTI_LOOKUP: u8 = 0x02;
+const OP_JOIN_PROBE: u8 = 0x03;
+const OP_RANGE_SCAN: u8 = 0x04;
+
+/// Reply opcodes (high bit set) mirror their requests; `0xEE` is the
+/// error frame.
+const OP_R_LOOKUP: u8 = 0x81;
+const OP_R_MULTI_LOOKUP: u8 = 0x82;
+const OP_R_JOIN_PROBE: u8 = 0x83;
+const OP_R_RANGE_SCAN: u8 = 0x84;
+const OP_R_ERROR: u8 = 0xEE;
+
+/// Machine-readable reason carried by an error frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Backpressure: a shard queue or the connection's in-flight window
+    /// is at capacity. Retry later.
+    Busy,
+    /// The service has begun shutdown; no new work is accepted.
+    Stopped,
+    /// A `RangeScan` reached a service built without an ordered tier.
+    NoOrderedIndex,
+    /// The request frame could not be decoded (bad payload shape or
+    /// reserved bits set).
+    Malformed,
+    /// Unknown protocol version or opcode — the frame was skipped.
+    Unsupported,
+    /// The request completed but its reply would exceed
+    /// [`MAX_BODY_LEN`] — narrow the request (e.g. a smaller
+    /// `RangeScan` limit) and retry.
+    TooLarge,
+    /// A code this build does not know (from a newer peer). Carried
+    /// through verbatim so forward-compat peers can still classify.
+    Other(u8),
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Busy => 1,
+            ErrorCode::Stopped => 2,
+            ErrorCode::NoOrderedIndex => 3,
+            ErrorCode::Malformed => 4,
+            ErrorCode::Unsupported => 5,
+            ErrorCode::TooLarge => 6,
+            ErrorCode::Other(code) => code,
+        }
+    }
+
+    fn from_u8(code: u8) -> ErrorCode {
+        match code {
+            1 => ErrorCode::Busy,
+            2 => ErrorCode::Stopped,
+            3 => ErrorCode::NoOrderedIndex,
+            4 => ErrorCode::Malformed,
+            5 => ErrorCode::Unsupported,
+            6 => ErrorCode::TooLarge,
+            other => ErrorCode::Other(other),
+        }
+    }
+}
+
+/// The error frame's body: a code plus a short human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// Machine-readable reason.
+    pub code: ErrorCode,
+    /// Diagnostic text (truncated to `u16::MAX` bytes on the wire).
+    pub message: String,
+}
+
+impl ErrorReply {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ErrorReply {
+        ErrorReply {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+/// Why a well-framed body failed to decode. All of these are
+/// *resynchronizable*: the envelope told us where the frame ends, so
+/// the peer can skip it and keep the connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown protocol version byte.
+    Version(u8),
+    /// Unknown (or wrong-direction) opcode for this decoder.
+    Opcode(u8),
+    /// Reserved header bits were set (a version-1 frame must zero them).
+    Reserved(u16),
+    /// The payload does not match the opcode's layout.
+    Payload(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Version(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::Opcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::Reserved(bits) => write!(f, "reserved header bits set: {bits:#06x}"),
+            DecodeError::Payload(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+/// A violated envelope: framing is lost and the connection must close.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Declared body length exceeds [`MAX_BODY_LEN`].
+    Oversize(usize),
+    /// Declared body length is shorter than the fixed header.
+    Runt(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversize(len) => write!(f, "frame body of {len} bytes exceeds cap"),
+            FrameError::Runt(len) => write!(f, "frame body of {len} bytes is under the header"),
+        }
+    }
+}
+
+/// The outcome of an incremental decode over a byte buffer.
+#[derive(Debug)]
+pub enum Decoded<T> {
+    /// The buffer does not yet hold a complete frame — read more.
+    Incomplete,
+    /// A good frame: consume `consumed` bytes.
+    Frame {
+        /// Bytes the frame occupied (length prefix included).
+        consumed: usize,
+        /// The request id the peer chose.
+        id: u64,
+        /// The decoded body.
+        value: T,
+    },
+    /// A well-framed but undecodable body: consume `consumed` bytes,
+    /// report `error` (the connection survives).
+    Corrupt {
+        /// Bytes to skip (the whole frame).
+        consumed: usize,
+        /// The request id, so the error reply can still be matched.
+        id: u64,
+        /// What was wrong with the body.
+        error: DecodeError,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends one frame: writes the envelope, lets `payload` append the
+/// body, then backpatches the length prefix.
+fn frame(buf: &mut Vec<u8>, opcode: u8, id: u64, payload: impl FnOnce(&mut Vec<u8>)) {
+    let len_at = buf.len();
+    put_u32(buf, 0); // placeholder
+    buf.push(WIRE_VERSION);
+    buf.push(opcode);
+    put_u16(buf, 0); // reserved
+    put_u64(buf, id);
+    payload(buf);
+    let body_len = buf.len() - len_at - 4;
+    assert!(body_len <= MAX_BODY_LEN, "frame body exceeds MAX_BODY_LEN");
+    let body_len = u32::try_from(body_len).expect("body length fits u32");
+    buf[len_at..len_at + 4].copy_from_slice(&body_len.to_le_bytes());
+}
+
+fn put_keys(buf: &mut Vec<u8>, keys: &[u64]) {
+    put_u32(buf, u32::try_from(keys.len()).expect("key count fits u32"));
+    for key in keys {
+        put_u64(buf, *key);
+    }
+}
+
+fn put_pairs(buf: &mut Vec<u8>, pairs: &[(u64, u64)]) {
+    put_u32(
+        buf,
+        u32::try_from(pairs.len()).expect("pair count fits u32"),
+    );
+    for (a, b) in pairs {
+        put_u64(buf, *a);
+        put_u64(buf, *b);
+    }
+}
+
+/// `usize::MAX` (the unbounded-limit sentinel) travels as `u64::MAX`.
+fn limit_to_wire(limit: usize) -> u64 {
+    if limit == usize::MAX {
+        u64::MAX
+    } else {
+        limit as u64
+    }
+}
+
+fn limit_from_wire(limit: u64) -> usize {
+    usize::try_from(limit).unwrap_or(usize::MAX)
+}
+
+/// Encodes one request frame onto `buf`.
+pub fn encode_request(buf: &mut Vec<u8>, id: u64, request: &Request) {
+    match request {
+        Request::Lookup { key } => frame(buf, OP_LOOKUP, id, |b| put_u64(b, *key)),
+        Request::MultiLookup { keys } => frame(buf, OP_MULTI_LOOKUP, id, |b| put_keys(b, keys)),
+        Request::JoinProbe { keys } => frame(buf, OP_JOIN_PROBE, id, |b| put_keys(b, keys)),
+        Request::RangeScan { lo, hi, limit } => frame(buf, OP_RANGE_SCAN, id, |b| {
+            put_u64(b, *lo);
+            put_u64(b, *hi);
+            put_u64(b, limit_to_wire(*limit));
+        }),
+    }
+}
+
+/// Encodes one response frame onto `buf`.
+pub fn encode_response(buf: &mut Vec<u8>, id: u64, response: &Response) {
+    match response {
+        Response::Lookup { key, payloads } => frame(buf, OP_R_LOOKUP, id, |b| {
+            put_u64(b, *key);
+            put_keys(b, payloads);
+        }),
+        Response::MultiLookup { matches } => {
+            frame(buf, OP_R_MULTI_LOOKUP, id, |b| put_pairs(b, matches));
+        }
+        Response::JoinProbe { pairs } => frame(buf, OP_R_JOIN_PROBE, id, |b| put_pairs(b, pairs)),
+        Response::RangeScan { entries } => {
+            frame(buf, OP_R_RANGE_SCAN, id, |b| put_pairs(b, entries));
+        }
+    }
+}
+
+/// Whether a request's encoded body fits under [`MAX_BODY_LEN`].
+/// Callers (the client's `send`) must check before encoding — `frame`
+/// asserts the cap, and an oversized body would otherwise panic the
+/// encoder's thread.
+#[must_use]
+pub fn request_fits(request: &Request) -> bool {
+    let payload = match request {
+        Request::Lookup { .. } => 8,
+        Request::MultiLookup { keys } | Request::JoinProbe { keys } => {
+            4 + keys.len().saturating_mul(8)
+        }
+        Request::RangeScan { .. } => 24,
+    };
+    HEADER_LEN + payload <= MAX_BODY_LEN
+}
+
+/// Whether a response's encoded body fits under [`MAX_BODY_LEN`].
+/// The server must check before encoding a completed reply: the limit
+/// on a `RangeScan` is client-controlled, so a legal request can
+/// produce a reply bigger than any frame — that answers
+/// [`ErrorCode::TooLarge`] instead of panicking the event loop.
+#[must_use]
+pub fn response_fits(response: &Response) -> bool {
+    let payload = match response {
+        Response::Lookup { payloads, .. } => 8 + 4 + payloads.len().saturating_mul(8),
+        Response::MultiLookup { matches } => 4 + matches.len().saturating_mul(16),
+        Response::JoinProbe { pairs } => 4 + pairs.len().saturating_mul(16),
+        Response::RangeScan { entries } => 4 + entries.len().saturating_mul(16),
+    };
+    HEADER_LEN + payload <= MAX_BODY_LEN
+}
+
+/// Encodes one error frame onto `buf`.
+pub fn encode_error(buf: &mut Vec<u8>, id: u64, error: &ErrorReply) {
+    let msg = error.message.as_bytes();
+    let msg = &msg[..msg.len().min(usize::from(u16::MAX))];
+    frame(buf, OP_R_ERROR, id, |b| {
+        b.push(error.code.to_u8());
+        b.push(0); // reserved
+        put_u16(b, msg.len() as u16);
+        b.extend_from_slice(msg);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// A little-endian cursor over one frame's payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .bytes
+            .get(self.at)
+            .ok_or(DecodeError::Payload("truncated payload"))?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let raw = self.take(2)?;
+        Ok(u16::from_le_bytes([raw[0], raw[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let raw = self.take(4)?;
+        Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let raw = self.take(8)?;
+        let mut le = [0u8; 8];
+        le.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(le))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|end| *end <= self.bytes.len())
+            .ok_or(DecodeError::Payload("truncated payload"))?;
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn keys(&mut self) -> Result<Vec<u64>, DecodeError> {
+        let count = self.u32()? as usize;
+        if count.saturating_mul(8) > self.bytes.len() - self.at {
+            return Err(DecodeError::Payload("key count exceeds payload"));
+        }
+        (0..count).map(|_| self.u64()).collect()
+    }
+
+    fn pairs(&mut self) -> Result<Vec<(u64, u64)>, DecodeError> {
+        let count = self.u32()? as usize;
+        if count.saturating_mul(16) > self.bytes.len() - self.at {
+            return Err(DecodeError::Payload("pair count exceeds payload"));
+        }
+        (0..count).map(|_| Ok((self.u64()?, self.u64()?))).collect()
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::Payload("trailing bytes in payload"))
+        }
+    }
+}
+
+/// A parsed frame envelope: total size, opcode, id, payload slice, and
+/// any header-level (but resynchronizable) problem.
+struct Envelope<'a> {
+    consumed: usize,
+    opcode: u8,
+    id: u64,
+    payload: &'a [u8],
+    header_error: Option<DecodeError>,
+}
+
+/// The envelope parse shared by both decode directions: yields the
+/// frame's total size, id, opcode, and payload slice once the buffer
+/// holds the whole frame.
+fn envelope(buf: &[u8]) -> Result<Option<Envelope<'_>>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let body_len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if body_len > MAX_BODY_LEN {
+        return Err(FrameError::Oversize(body_len));
+    }
+    if body_len < HEADER_LEN {
+        return Err(FrameError::Runt(body_len));
+    }
+    let total = 4 + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let version = buf[4];
+    let opcode = buf[5];
+    let reserved = u16::from_le_bytes([buf[6], buf[7]]);
+    let id = u64::from_le_bytes(buf[8..16].try_into().expect("8 header bytes"));
+    let payload = &buf[16..total];
+    // Header-level problems are resynchronizable (the envelope held), so
+    // they ride along for the caller to turn into `Decoded::Corrupt`.
+    let header_error = if version != WIRE_VERSION {
+        Some(DecodeError::Version(version))
+    } else if reserved != 0 {
+        Some(DecodeError::Reserved(reserved))
+    } else {
+        None
+    };
+    Ok(Some(Envelope {
+        consumed: total,
+        opcode,
+        id,
+        payload,
+        header_error,
+    }))
+}
+
+fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<Request, DecodeError> {
+    let mut c = Cursor::new(payload);
+    let request = match opcode {
+        OP_LOOKUP => Request::Lookup { key: c.u64()? },
+        OP_MULTI_LOOKUP => Request::MultiLookup { keys: c.keys()? },
+        OP_JOIN_PROBE => Request::JoinProbe { keys: c.keys()? },
+        OP_RANGE_SCAN => Request::RangeScan {
+            lo: c.u64()?,
+            hi: c.u64()?,
+            limit: limit_from_wire(c.u64()?),
+        },
+        other => return Err(DecodeError::Opcode(other)),
+    };
+    c.finish()?;
+    Ok(request)
+}
+
+fn decode_reply_payload(
+    opcode: u8,
+    payload: &[u8],
+) -> Result<Result<Response, ErrorReply>, DecodeError> {
+    let mut c = Cursor::new(payload);
+    let reply = match opcode {
+        OP_R_LOOKUP => Ok(Response::Lookup {
+            key: c.u64()?,
+            payloads: c.keys()?,
+        }),
+        OP_R_MULTI_LOOKUP => Ok(Response::MultiLookup {
+            matches: c.pairs()?,
+        }),
+        OP_R_JOIN_PROBE => Ok(Response::JoinProbe { pairs: c.pairs()? }),
+        OP_R_RANGE_SCAN => Ok(Response::RangeScan {
+            entries: c.pairs()?,
+        }),
+        OP_R_ERROR => {
+            let code = ErrorCode::from_u8(c.u8()?);
+            let _reserved = c.u8()?;
+            let msg_len = c.u16()? as usize;
+            let message = String::from_utf8_lossy(c.take(msg_len)?).into_owned();
+            Err(ErrorReply { code, message })
+        }
+        other => return Err(DecodeError::Opcode(other)),
+    };
+    c.finish()?;
+    Ok(reply)
+}
+
+/// Incrementally decodes one *request* frame from the front of `buf`
+/// (the server side).
+///
+/// # Errors
+///
+/// [`FrameError`] when the envelope itself is violated — framing is
+/// lost and the connection must close.
+pub fn decode_request(buf: &[u8]) -> Result<Decoded<Request>, FrameError> {
+    let Some(Envelope {
+        consumed,
+        opcode,
+        id,
+        payload,
+        header_error,
+    }) = envelope(buf)?
+    else {
+        return Ok(Decoded::Incomplete);
+    };
+    if let Some(error) = header_error {
+        return Ok(Decoded::Corrupt {
+            consumed,
+            id,
+            error,
+        });
+    }
+    match decode_request_payload(opcode, payload) {
+        Ok(value) => Ok(Decoded::Frame {
+            consumed,
+            id,
+            value,
+        }),
+        Err(error) => Ok(Decoded::Corrupt {
+            consumed,
+            id,
+            error,
+        }),
+    }
+}
+
+/// Incrementally decodes one *reply* frame — a response or an error —
+/// from the front of `buf` (the client side).
+///
+/// # Errors
+///
+/// [`FrameError`] when the envelope itself is violated — framing is
+/// lost and the connection must close.
+pub fn decode_reply(buf: &[u8]) -> Result<Decoded<Result<Response, ErrorReply>>, FrameError> {
+    let Some(Envelope {
+        consumed,
+        opcode,
+        id,
+        payload,
+        header_error,
+    }) = envelope(buf)?
+    else {
+        return Ok(Decoded::Incomplete);
+    };
+    if let Some(error) = header_error {
+        return Ok(Decoded::Corrupt {
+            consumed,
+            id,
+            error,
+        });
+    }
+    match decode_reply_payload(opcode, payload) {
+        Ok(value) => Ok(Decoded::Frame {
+            consumed,
+            id,
+            value,
+        }),
+        Err(error) => Ok(Decoded::Corrupt {
+            consumed,
+            id,
+            error,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(request: &Request) {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 42, request);
+        match decode_request(&buf).unwrap() {
+            Decoded::Frame {
+                consumed,
+                id,
+                value,
+            } => {
+                assert_eq!(consumed, buf.len());
+                assert_eq!(id, 42);
+                assert_eq!(&value, request);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    fn roundtrip_reply(reply: &Result<Response, ErrorReply>, id: u64) {
+        let mut buf = Vec::new();
+        match reply {
+            Ok(response) => encode_response(&mut buf, id, response),
+            Err(error) => encode_error(&mut buf, id, error),
+        }
+        match decode_reply(&buf).unwrap() {
+            Decoded::Frame {
+                consumed,
+                id: got_id,
+                value,
+            } => {
+                assert_eq!(consumed, buf.len());
+                assert_eq!(got_id, id);
+                assert_eq!(&value, reply);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_frames_roundtrip() {
+        roundtrip_request(&Request::Lookup { key: 7 });
+        roundtrip_request(&Request::MultiLookup { keys: vec![] });
+        roundtrip_request(&Request::MultiLookup {
+            keys: vec![1, u64::MAX, 3],
+        });
+        roundtrip_request(&Request::JoinProbe {
+            keys: vec![9, 9, 9],
+        });
+        roundtrip_request(&Request::RangeScan {
+            lo: 5,
+            hi: 500,
+            limit: 17,
+        });
+        roundtrip_request(&Request::RangeScan {
+            lo: 0,
+            hi: u64::MAX,
+            limit: usize::MAX,
+        });
+    }
+
+    #[test]
+    fn reply_frames_roundtrip() {
+        roundtrip_reply(
+            &Ok(Response::Lookup {
+                key: 3,
+                payloads: vec![1, 2],
+            }),
+            0,
+        );
+        roundtrip_reply(&Ok(Response::MultiLookup { matches: vec![] }), 1);
+        roundtrip_reply(
+            &Ok(Response::JoinProbe {
+                pairs: vec![(0, 9), (7, 9)],
+            }),
+            u64::MAX,
+        );
+        roundtrip_reply(
+            &Ok(Response::RangeScan {
+                entries: vec![(1, 10), (2, 20)],
+            }),
+            5,
+        );
+        roundtrip_reply(&Err(ErrorReply::new(ErrorCode::Busy, "queue full")), 99);
+        roundtrip_reply(&Err(ErrorReply::new(ErrorCode::Other(200), "")), 100);
+    }
+
+    #[test]
+    fn incremental_decode_waits_for_whole_frame() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 1, &Request::MultiLookup { keys: vec![1, 2] });
+        for cut in 0..buf.len() {
+            assert!(
+                matches!(decode_request(&buf[..cut]).unwrap(), Decoded::Incomplete),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        // Two frames back to back: the first decode consumes exactly one.
+        let first_len = buf.len();
+        encode_request(&mut buf, 2, &Request::Lookup { key: 5 });
+        match decode_request(&buf).unwrap() {
+            Decoded::Frame { consumed, id, .. } => {
+                assert_eq!((consumed, id), (first_len, 1));
+                match decode_request(&buf[consumed..]).unwrap() {
+                    Decoded::Frame { id, .. } => assert_eq!(id, 2),
+                    other => panic!("expected second frame, got {other:?}"),
+                }
+            }
+            other => panic!("expected first frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_corrupt_but_resyncable() {
+        let mut buf = Vec::new();
+        frame(&mut buf, 0x5A, 77, |b| put_u64(b, 1234));
+        match decode_request(&buf).unwrap() {
+            Decoded::Corrupt {
+                consumed,
+                id,
+                error,
+            } => {
+                assert_eq!(consumed, buf.len());
+                assert_eq!(id, 77);
+                assert_eq!(error, DecodeError::Opcode(0x5A));
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_corrupt_but_resyncable() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 3, &Request::Lookup { key: 1 });
+        buf[4] = 9; // future version
+        match decode_request(&buf).unwrap() {
+            Decoded::Corrupt { id, error, .. } => {
+                assert_eq!(id, 3);
+                assert_eq!(error, DecodeError::Version(9));
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reserved_bits_are_rejected() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 3, &Request::Lookup { key: 1 });
+        buf[6] = 1;
+        match decode_request(&buf).unwrap() {
+            Decoded::Corrupt { error, .. } => assert_eq!(error, DecodeError::Reserved(1)),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_shape_violations_are_corrupt() {
+        // A MultiLookup claiming more keys than the payload holds.
+        let mut buf = Vec::new();
+        frame(&mut buf, OP_MULTI_LOOKUP, 8, |b| {
+            put_u32(b, 10); // claims 10 keys...
+            put_u64(b, 1); // ...carries one
+        });
+        match decode_request(&buf).unwrap() {
+            Decoded::Corrupt { error, .. } => {
+                assert!(matches!(error, DecodeError::Payload(_)), "{error:?}");
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        // Trailing garbage after a complete Lookup payload.
+        let mut buf = Vec::new();
+        frame(&mut buf, OP_LOOKUP, 9, |b| {
+            put_u64(b, 1);
+            b.push(0xAB);
+        });
+        match decode_request(&buf).unwrap() {
+            Decoded::Corrupt { error, .. } => {
+                assert_eq!(error, DecodeError::Payload("trailing bytes in payload"));
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn envelope_violations_are_hard_errors() {
+        // Oversize: length prefix beyond the cap.
+        let mut buf = ((MAX_BODY_LEN + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 32]);
+        assert_eq!(
+            decode_request(&buf).unwrap_err(),
+            FrameError::Oversize(MAX_BODY_LEN + 1)
+        );
+        // Runt: body shorter than the header.
+        let buf = 4u32.to_le_bytes().to_vec();
+        assert_eq!(decode_request(&buf).unwrap_err(), FrameError::Runt(4));
+    }
+
+    #[test]
+    fn request_and_reply_opcodes_do_not_cross_decode() {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 1, &Request::Lookup { key: 2 });
+        match decode_reply(&buf).unwrap() {
+            Decoded::Corrupt { error, .. } => assert_eq!(error, DecodeError::Opcode(OP_LOOKUP)),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fits_helpers_agree_with_the_cap() {
+        // Exactly at the cap: (MAX_BODY_LEN - header - count word) / 16
+        // pairs fit; one more does not.
+        let max_pairs = (MAX_BODY_LEN - HEADER_LEN - 4) / 16;
+        let at_cap = Response::RangeScan {
+            entries: vec![(0, 0); max_pairs],
+        };
+        assert!(response_fits(&at_cap));
+        let mut buf = Vec::new();
+        encode_response(&mut buf, 1, &at_cap); // must not trip the encoder assert
+        assert_eq!(buf.len(), 4 + MAX_BODY_LEN);
+        let over_cap = Response::RangeScan {
+            entries: vec![(0, 0); max_pairs + 1],
+        };
+        assert!(!response_fits(&over_cap));
+
+        let max_keys = (MAX_BODY_LEN - HEADER_LEN - 4) / 8;
+        assert!(request_fits(&Request::MultiLookup {
+            keys: vec![0; max_keys],
+        }));
+        assert!(!request_fits(&Request::MultiLookup {
+            keys: vec![0; max_keys + 1],
+        }));
+        assert!(request_fits(&Request::RangeScan {
+            lo: 0,
+            hi: u64::MAX,
+            limit: usize::MAX,
+        }));
+    }
+
+    #[test]
+    fn error_message_truncates_to_u16() {
+        let long = "x".repeat(usize::from(u16::MAX) + 500);
+        let mut buf = Vec::new();
+        encode_error(&mut buf, 1, &ErrorReply::new(ErrorCode::Malformed, long));
+        match decode_reply(&buf).unwrap() {
+            Decoded::Frame { value: Err(e), .. } => {
+                assert_eq!(e.message.len(), usize::from(u16::MAX));
+            }
+            other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+}

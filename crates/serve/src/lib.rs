@@ -81,4 +81,4 @@ pub use queue::PushError;
 pub use request::{PendingResponse, Request, Response};
 pub use service::{ProbeService, ServeConfig, SubmitError};
 pub use shard::ShardedIndex;
-pub use stats::{LatencySummary, ServiceStats, WorkerStats};
+pub use stats::{LatencySummary, NetStats, ServiceStats, WorkerStats};

@@ -58,6 +58,50 @@ pub enum PushError {
     Stopped,
 }
 
+/// Why a non-blocking push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TryPushError {
+    /// A target queue is over capacity, or blocked pushers hold earlier
+    /// FIFO tickets (a try-push never jumps the admission queue).
+    Full,
+}
+
+/// Atomically try-pushes every `(queue, job)` pair without blocking:
+/// all queues are locked together, admission is checked on every part,
+/// and jobs are enqueued only when every one fits — all or nothing.
+/// This is the submission primitive a non-blocking front-end needs to
+/// turn queue backpressure into a typed `Busy` reply instead of a
+/// stalled event loop.
+///
+/// Callers must pass queues in a single consistent order (shard order)
+/// so concurrent multi-queue pushers cannot deadlock, and must hold the
+/// service's stop gate open (read-locked), which is what keeps the
+/// queues unpoisoned for the duration of the call.
+pub(crate) fn try_push_all(parts: Vec<(&ShardQueue, Job)>) -> Result<(), TryPushError> {
+    let mut guards = Vec::with_capacity(parts.len());
+    for (queue, job) in &parts {
+        let inner = queue.inner.lock().expect("queue lock");
+        // Admission mirrors `push` minus the blocking: the job must fit
+        // (or be oversized into an empty queue), and nobody may already
+        // be waiting on a ticket. Poisoning cannot race in here — it
+        // only happens under the stop gate's write guard.
+        debug_assert!(!inner.poisoned, "try_push raced the stop gate");
+        let no_waiters = inner.serving == inner.next_ticket;
+        let fits =
+            inner.queued_keys + job.key_count() <= queue.capacity_keys || inner.jobs.is_empty();
+        if inner.poisoned || !no_waiters || !fits {
+            return Err(TryPushError::Full); // guards drop; nothing was enqueued
+        }
+        guards.push(inner);
+    }
+    for ((queue, job), mut inner) in parts.into_iter().zip(guards) {
+        inner.queued_keys += job.key_count();
+        inner.jobs.push_back(job);
+        queue.not_empty.notify_one();
+    }
+    Ok(())
+}
+
 struct QueueInner {
     jobs: VecDeque<Job>,
     queued_keys: usize,
@@ -296,6 +340,54 @@ mod tests {
         a.join().unwrap();
         b.join().unwrap();
         assert_eq!(sizes, vec![3, 6, 1], "FIFO admission order");
+    }
+
+    #[test]
+    fn try_push_all_is_all_or_nothing() {
+        let roomy = ShardQueue::new(16);
+        let tight = ShardQueue::new(2);
+        tight.push(probe_job(&[1, 2])).unwrap(); // tight is now full
+        let parts = vec![(&roomy, probe_job(&[5])), (&tight, probe_job(&[6]))];
+        assert_eq!(try_push_all(parts), Err(TryPushError::Full));
+        assert_eq!(roomy.backlog_keys(), 0, "no partial enqueue");
+        let _ = tight.pop();
+        let parts = vec![(&roomy, probe_job(&[5])), (&tight, probe_job(&[6]))];
+        assert_eq!(try_push_all(parts), Ok(()));
+        assert_eq!((roomy.backlog_keys(), tight.backlog_keys()), (1, 1));
+    }
+
+    #[test]
+    fn try_push_all_admits_oversized_into_empty_queue() {
+        let q = ShardQueue::new(2);
+        assert_eq!(
+            try_push_all(vec![(&q, probe_job(&[1, 2, 3, 4, 5]))]),
+            Ok(())
+        );
+        assert_eq!(q.backlog_keys(), 5);
+        // ... but refuses anything more while the queue is over capacity.
+        assert_eq!(
+            try_push_all(vec![(&q, probe_job(&[9]))]),
+            Err(TryPushError::Full)
+        );
+    }
+
+    #[test]
+    fn try_push_all_defers_to_waiting_tickets() {
+        // A blocked pusher holds a FIFO ticket; a try-push that would
+        // otherwise fit must yield to it rather than jump the queue.
+        let q = Arc::new(ShardQueue::new(4));
+        q.push(probe_job(&[1, 2, 3, 4])).unwrap();
+        let q2 = Arc::clone(&q);
+        let blocked = std::thread::spawn(move || q2.push(probe_job(&[5, 6, 7])).unwrap());
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(
+            try_push_all(vec![(&*q, probe_job(&[8]))]),
+            Err(TryPushError::Full)
+        );
+        let _ = q.pop();
+        blocked.join().unwrap();
+        assert_eq!(q.backlog_keys(), 3);
+        assert_eq!(try_push_all(vec![(&*q, probe_job(&[8]))]), Ok(()));
     }
 
     #[test]

@@ -106,6 +106,11 @@ pub enum SubmitError {
     /// an ordered tier (see
     /// [`build_with_range`](ProbeService::build_with_range)).
     NoOrderedIndex,
+    /// A non-blocking submission ([`try_submit`](ProbeService::try_submit))
+    /// found a target shard queue at capacity. The request was *not*
+    /// enqueued anywhere — retry later. Blocking paths never return
+    /// this; they wait out the backpressure instead.
+    Busy,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -115,6 +120,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::NoOrderedIndex => {
                 write!(f, "probe service has no ordered index for range scans")
             }
+            SubmitError::Busy => write!(f, "probe service shard queue is at capacity"),
         }
     }
 }
@@ -347,41 +353,56 @@ impl ProbeService {
         if *stopped {
             return Err(SubmitError::Stopped);
         }
+        let (state, parts) = self.plan_keys(kind, keys);
+        for (shard, job) in parts {
+            self.push_part(&self.queues[shard], job);
+        }
+        drop(stopped);
+        Ok(PendingResponse { state })
+    }
+
+    /// Partitions `keys` by shard into ready-to-enqueue jobs (shard
+    /// index ascending) plus the shared completion state sized to the
+    /// number of live parts.
+    fn plan_keys(
+        &self,
+        kind: RequestKind,
+        keys: &[u64],
+    ) -> (Arc<ResponseState>, Vec<(usize, Job)>) {
         assert!(
             u32::try_from(keys.len()).is_ok(),
             "request exceeds u32 row space"
         );
-        let state;
         if let [key] = keys {
             // Fast path: a single-key request touches exactly one shard
             // — skip the per-shard partition scaffolding.
-            state = Arc::new(ResponseState::new(kind, 1));
+            let state = Arc::new(ResponseState::new(kind, 1));
             let job = Job::Probe {
                 entries: vec![(0, *key)],
                 reply: Arc::clone(&state),
             };
-            self.push_part(&self.queues[self.sharded.shard_of(*key)], job);
-        } else {
-            let shard_count = self.sharded.shard_count();
-            let mut parts: Vec<Vec<(u32, u64)>> = vec![Vec::new(); shard_count];
-            for (row, key) in keys.iter().enumerate() {
-                parts[self.sharded.shard_of(*key)].push((row as u32, *key));
-            }
-            let live_parts = parts.iter().filter(|p| !p.is_empty()).count();
-            state = Arc::new(ResponseState::new(kind, live_parts));
-            for (shard, entries) in parts.into_iter().enumerate() {
-                if entries.is_empty() {
-                    continue;
-                }
+            return (state, vec![(self.sharded.shard_of(*key), job)]);
+        }
+        let shard_count = self.sharded.shard_count();
+        let mut parts: Vec<Vec<(u32, u64)>> = vec![Vec::new(); shard_count];
+        for (row, key) in keys.iter().enumerate() {
+            parts[self.sharded.shard_of(*key)].push((row as u32, *key));
+        }
+        let live_parts = parts.iter().filter(|p| !p.is_empty()).count();
+        let state = Arc::new(ResponseState::new(kind, live_parts));
+        let jobs = parts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, entries)| !entries.is_empty())
+            .map(|(shard, entries)| {
                 let job = Job::Probe {
                     entries,
                     reply: Arc::clone(&state),
                 };
-                self.push_part(&self.queues[shard], job);
-            }
-        }
-        drop(stopped);
-        Ok(PendingResponse { state })
+                (shard, job)
+            })
+            .collect();
+        (state, jobs)
     }
 
     /// The range-scan submission path: scatters the scan over every
@@ -394,25 +415,86 @@ impl ProbeService {
         if *stopped {
             return Err(SubmitError::Stopped);
         }
+        let (state, parts) = self.plan_scan(lo, hi, limit)?;
+        for (shard, job) in parts {
+            self.push_part(&self.range_queues[shard], job);
+        }
+        drop(stopped);
+        Ok(PendingResponse { state })
+    }
+
+    /// Scatters a scan into per-shard jobs (shard index ascending) plus
+    /// the shared completion state; degenerate scans yield zero parts
+    /// and a state that is born complete.
+    #[allow(clippy::type_complexity)]
+    fn plan_scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<(Arc<ResponseState>, Vec<(usize, Job)>), SubmitError> {
         let Some(ordered) = &self.ordered else {
             return Err(SubmitError::NoOrderedIndex);
         };
         let kind = RequestKind::RangeScan { limit };
-        let state;
         if lo > hi || limit == 0 {
             // Degenerate scans complete immediately: zero parts.
-            state = Arc::new(ResponseState::new(kind, 0));
-        } else {
-            let (first, last) = ordered.shard_span(lo, hi);
-            state = Arc::new(ResponseState::new(kind, last - first + 1));
-            for (rank, shard) in (first..=last).enumerate() {
+            return Ok((Arc::new(ResponseState::new(kind, 0)), Vec::new()));
+        }
+        let (first, last) = ordered.shard_span(lo, hi);
+        let state = Arc::new(ResponseState::new(kind, last - first + 1));
+        let jobs = (first..=last)
+            .enumerate()
+            .map(|(rank, shard)| {
                 let job = Job::Scan {
                     scans: vec![(rank as u32, ScanRange { lo, hi, limit })],
                     reply: Arc::clone(&state),
                 };
-                self.push_part(&self.range_queues[shard], job);
-            }
+                (shard, job)
+            })
+            .collect();
+        Ok((state, jobs))
+    }
+
+    /// Non-blocking [`submit`](ProbeService::submit): never waits out
+    /// backpressure. When any target shard queue is at capacity the
+    /// request is refused with [`SubmitError::Busy`] and *nothing* is
+    /// enqueued (all-or-nothing across shards), so a caller that cannot
+    /// block — the `widx-net` event loop — can turn backpressure into a
+    /// typed error reply instead of stalling every other connection.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] under backpressure, [`SubmitError::Stopped`]
+    /// once shutdown has begun, or [`SubmitError::NoOrderedIndex`] for a
+    /// [`Request::RangeScan`] without a range tier.
+    pub fn try_submit(&self, request: Request) -> Result<PendingResponse, SubmitError> {
+        let stopped = self.stopped.read().expect("stop gate");
+        if *stopped {
+            return Err(SubmitError::Stopped);
         }
+        let (queues, (state, parts)) = match &request {
+            Request::Lookup { key } => (
+                &self.queues,
+                self.plan_keys(RequestKind::Lookup { key: *key }, request.keys()),
+            ),
+            Request::MultiLookup { .. } => (
+                &self.queues,
+                self.plan_keys(RequestKind::MultiLookup, request.keys()),
+            ),
+            Request::JoinProbe { .. } => (
+                &self.queues,
+                self.plan_keys(RequestKind::JoinProbe, request.keys()),
+            ),
+            Request::RangeScan { lo, hi, limit } => {
+                (&self.range_queues, self.plan_scan(*lo, *hi, *limit)?)
+            }
+        };
+        let targeted = parts
+            .into_iter()
+            .map(|(shard, job)| (&*queues[shard], job))
+            .collect();
+        crate::queue::try_push_all(targeted).map_err(|_| SubmitError::Busy)?;
         drop(stopped);
         Ok(PendingResponse { state })
     }
@@ -560,6 +642,7 @@ impl ProbeService {
                 workers,
                 range_workers,
                 latency,
+                net: crate::stats::NetStats::default(),
                 wall: self.started.elapsed(),
             },
             panicked,
@@ -688,6 +771,57 @@ mod tests {
         // Batching must have occurred: fewer batches than requests.
         let batches: u64 = stats.workers.iter().map(|w| w.batches).sum();
         assert!(batches < 200, "batches {batches}");
+    }
+
+    #[test]
+    fn try_submit_serves_and_respects_stop() {
+        let s = range_service(500, &ServeConfig::default());
+        match s.try_submit(Request::Lookup { key: 20 }).unwrap().wait() {
+            Response::Lookup { payloads, .. } => assert_eq!(payloads, vec![10]),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match s
+            .try_submit(Request::RangeScan {
+                lo: 10,
+                hi: 20,
+                limit: usize::MAX,
+            })
+            .unwrap()
+            .wait()
+        {
+            Response::RangeScan { entries } => {
+                assert_eq!(entries, (5..=10u64).map(|k| (k * 2, k)).collect::<Vec<_>>());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Multi-shard fan-out through the non-blocking path.
+        let keys: Vec<u64> = (0..200).collect();
+        let mut got = match s.try_submit(Request::MultiLookup { keys }).unwrap().wait() {
+            Response::MultiLookup { matches } => matches,
+            other => panic!("wrong variant: {other:?}"),
+        };
+        got.sort_unstable();
+        let want: Vec<(u64, u64)> = (0..100u64).map(|k| (k * 2, k)).collect();
+        assert_eq!(got, want);
+        s.stop();
+        assert_eq!(
+            s.try_submit(Request::Lookup { key: 1 }).err(),
+            Some(SubmitError::Stopped)
+        );
+    }
+
+    #[test]
+    fn try_submit_without_ordered_tier_is_refused() {
+        let s = service(50, &ServeConfig::default());
+        assert_eq!(
+            s.try_submit(Request::RangeScan {
+                lo: 0,
+                hi: 9,
+                limit: 1
+            })
+            .err(),
+            Some(SubmitError::NoOrderedIndex)
+        );
     }
 
     #[test]

@@ -161,6 +161,34 @@ impl LatencySummary {
     }
 }
 
+/// Counters for the network front-end tier (`widx-net`), when the
+/// service is exposed over a socket. The serving crate defines the
+/// shape so [`ServiceStats`] can carry it without depending on the
+/// network layer; the `widx-net` server fills it in and attaches it via
+/// [`ServiceStats::with_net`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Well-formed request frames decoded.
+    pub frames_in: u64,
+    /// Reply frames written (responses *and* error frames).
+    pub frames_out: u64,
+    /// Requests refused with a `Busy` error frame — either a shard
+    /// queue at capacity or a connection over its in-flight cap.
+    pub busy_rejects: u64,
+    /// Frames that failed to decode (bad version/opcode/payload).
+    pub decode_errors: u64,
+}
+
+impl NetStats {
+    /// Whether any traffic was observed at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == NetStats::default()
+    }
+}
+
 /// Everything the service measured, returned by
 /// [`ProbeService::shutdown`](crate::ProbeService::shutdown).
 #[derive(Clone, Debug)]
@@ -175,11 +203,23 @@ pub struct ServiceStats {
     /// Completion-latency summary across every finished request (both
     /// tiers).
     pub latency: LatencySummary,
+    /// Network front-end counters — all zero unless a `widx-net` server
+    /// snapshot was attached with [`ServiceStats::with_net`].
+    pub net: NetStats,
     /// Wall-clock time from service start to shutdown completion.
     pub wall: Duration,
 }
 
 impl ServiceStats {
+    /// Attaches a network-tier snapshot (from `widx_net::WidxServer`) to
+    /// the service's own counters, completing the full serving picture:
+    /// sockets → frames → queues → walkers.
+    #[must_use]
+    pub fn with_net(mut self, net: NetStats) -> ServiceStats {
+        self.net = net;
+        self
+    }
+
     /// Total keys probed across point-probe workers.
     #[must_use]
     pub fn total_keys(&self) -> u64 {
@@ -333,6 +373,7 @@ mod tests {
                 ..WorkerStats::default()
             }],
             latency: LatencySummary::default(),
+            net: NetStats::default(),
             wall: Duration::from_secs(2),
         };
         assert_eq!(stats.total_keys(), 100);
