@@ -28,6 +28,11 @@ fn main() {
     } else {
         ("50000", "262144")
     };
+    let (stream_scans, stream_entries, stream_span) = if quick {
+        ("16", "16384", "4096")
+    } else {
+        ("64", "262144", "32768")
+    };
 
     let exe = std::env::current_exe().expect("current exe path");
     let bin_dir = exe.parent().expect("bin dir").to_path_buf();
@@ -101,5 +106,17 @@ fn main() {
         &["--requests", net_requests, "--entries", net_entries],
     );
     baseline("net_throughput", "BENCH_net.json");
+    run(
+        "stream_throughput",
+        &[
+            "--scans",
+            stream_scans,
+            "--entries",
+            stream_entries,
+            "--span",
+            stream_span,
+        ],
+    );
+    baseline("stream_throughput", "BENCH_stream.json");
     println!("\nall experiments completed");
 }

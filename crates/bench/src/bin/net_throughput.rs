@@ -100,6 +100,7 @@ fn build_ops(args: &Args, client: usize, count: usize) -> Vec<Request> {
                     lo: key,
                     hi: key.saturating_add(args.span),
                     limit: args.span as usize,
+                    desc: false,
                 }
             } else {
                 Request::Lookup { key }

@@ -110,6 +110,7 @@ fn run_once(
                             lo: *lo,
                             hi: *hi,
                             limit,
+                            desc: false,
                         })
                         .expect("service running");
                     window.push(pending);

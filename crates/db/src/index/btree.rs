@@ -198,6 +198,50 @@ impl BTreeIndex {
         }
     }
 
+    /// All `(key, payload)` entries with `lo <= key <= hi`, in
+    /// *descending* key order (duplicates in reverse build order),
+    /// truncated to the first `limit` — the serial oracle for
+    /// `ORDER BY key DESC` scans and the reverse walker engines. Empty
+    /// when `lo > hi` or `limit == 0`.
+    #[must_use]
+    pub fn range_scan_desc(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if lo > hi || limit == 0 {
+            return out;
+        }
+        // Descend toward the *rightmost* leaf that can hold a key <= hi:
+        // `<=` comparison (like `lookup`), because duplicates of `hi`
+        // may span several leaves and the last one is wanted.
+        let mut idx = 0u32;
+        for level in self.levels.iter().rev() {
+            let node = &level[idx as usize];
+            idx = node.children[node.keys.partition_point(|k| *k <= hi)];
+        }
+        let mut leaf = idx as usize;
+        // Everything below this slot is <= hi; walk it downward.
+        let mut slot = self.leaves[leaf].keys.partition_point(|k| *k <= hi);
+        // Walk the leaf chain backwards (leaves are stored in key order).
+        loop {
+            let l = &self.leaves[leaf];
+            while slot > 0 {
+                slot -= 1;
+                let key = l.keys[slot];
+                if key < lo {
+                    return out;
+                }
+                out.push((key, l.payloads[slot]));
+                if out.len() == limit {
+                    return out;
+                }
+            }
+            if leaf == 0 {
+                return out;
+            }
+            leaf -= 1;
+            slot = self.leaves[leaf].keys.len();
+        }
+    }
+
     /// Number of inner levels above the leaves (0 for a lone leaf).
     #[must_use]
     pub fn inner_level_count(&self) -> usize {
@@ -378,6 +422,47 @@ mod tests {
             vec![(5, 3), (5, 1), (5, 2)],
             "input order preserved among equal keys"
         );
+    }
+
+    #[test]
+    fn range_scan_desc_is_the_reverse_of_forward() {
+        let t = BTreeIndex::build(4, (0..500u64).map(|k| (k * 2, k)));
+        for (lo, hi) in [
+            (100, 200),
+            (0, u64::MAX),
+            (101, 103),
+            (999, 999),
+            (300, 100),
+        ] {
+            let mut want = t.range_scan(lo, hi, usize::MAX);
+            want.reverse();
+            assert_eq!(
+                t.range_scan_desc(lo, hi, usize::MAX),
+                want,
+                "desc [{lo}, {hi}]"
+            );
+        }
+        // A desc limit keeps the *largest* keys.
+        assert_eq!(
+            t.range_scan_desc(10, 900, 3),
+            vec![(900, 450), (898, 449), (896, 448)]
+        );
+        assert_eq!(t.range_scan_desc(0, 10, 0), vec![]);
+    }
+
+    #[test]
+    fn range_scan_desc_reverses_duplicate_build_order() {
+        // Duplicates spanning leaves: the descent must land on the
+        // *last* leaf holding the key, and payloads come back in
+        // reverse build order.
+        let mut pairs: Vec<(u64, u64)> = (0..20u64).map(|i| (50, i)).collect();
+        pairs.push((10, 100));
+        pairs.push((90, 200));
+        let t = BTreeIndex::build(4, pairs);
+        let got = t.range_scan_desc(50, 50, usize::MAX);
+        assert_eq!(got, (0..20u64).rev().map(|i| (50, i)).collect::<Vec<_>>());
+        assert_eq!(t.range_scan_desc(0, 100, usize::MAX).len(), 22);
+        assert_eq!(t.range_scan_desc(0, 100, 1), vec![(90, 200)]);
     }
 
     #[test]

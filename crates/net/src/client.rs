@@ -1,21 +1,25 @@
 //! The blocking client library: a pipelining `send`/`recv` split over
-//! one TCP connection, plus a convenience synchronous `call`.
+//! one TCP connection, plus a convenience synchronous `call` and a
+//! chunk-streaming [`range_stream`](WidxClient::range_stream) iterator.
 //!
 //! The client assigns each request a fresh id and the server echoes it,
 //! so replies may arrive in **any order**: [`WidxClient::recv`] stashes
 //! frames for other ids until the requested one arrives, and
-//! [`WidxClient::recv_any`] hands back whatever completes next. Keep
-//! the pipeline depth bounded (the server's per-connection in-flight
-//! cap answers `Busy` beyond its window, and unread replies eventually
-//! exert TCP backpressure on `send`).
+//! [`WidxClient::recv_any`] hands back whatever completes next. Chunked
+//! replies route into per-stream stashes keyed by request id, so a
+//! stream's chunks can interleave with other replies on the wire while
+//! every consumer still sees its own frames in order. Keep the pipeline
+//! depth bounded (the server's per-connection in-flight cap answers
+//! `Busy` beyond its window, and unread replies eventually exert TCP
+//! backpressure on `send`).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use widx_serve::{Request, Response};
 
-use crate::wire::{self, Decoded, ErrorReply};
+use crate::wire::{self, Decoded, ErrorReply, Reply};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -51,14 +55,67 @@ fn protocol_violation(what: &str) -> ClientError {
     ))
 }
 
+/// Why a stream slot stopped accepting frames.
+enum StreamFault {
+    /// The server answered the stream's id with a typed error frame.
+    Remote(ErrorReply),
+    /// The per-stream stash cap was hit: the consumer let too many
+    /// unread chunks pile up while reaping other ids. Buffered chunks
+    /// were dropped; the stream is unrecoverable (but the connection
+    /// survives).
+    Overflow,
+}
+
+/// Client-side state of one in-flight chunked scan: chunks that arrived
+/// while the consumer was reading other ids, stashed in arrival order.
+struct StreamSlot {
+    chunks: VecDeque<Vec<(u64, u64)>>,
+    /// Entries received so far (checked against the `RangeEnd` total).
+    received: u64,
+    /// The `RangeEnd` total, once seen.
+    ended: Option<u64>,
+    fault: Option<StreamFault>,
+    /// The consumer walked away (`RangeStream` dropped mid-stream):
+    /// drop every further chunk on arrival and remove the slot when the
+    /// stream's final frame lands — the drain that keeps an abandoned
+    /// stream from growing the stash without bound.
+    abandoned: bool,
+}
+
+impl StreamSlot {
+    fn new() -> StreamSlot {
+        StreamSlot {
+            chunks: VecDeque::new(),
+            received: 0,
+            ended: None,
+            fault: None,
+            abandoned: false,
+        }
+    }
+
+    /// A final frame (end or error) has arrived: nothing further will.
+    fn terminated(&self) -> bool {
+        self.ended.is_some() || self.fault.is_some()
+    }
+}
+
+/// Hard bound on chunks stashed per *live* stream (abandoned streams
+/// stash nothing). A consumer that pipelines streams but reads only
+/// some of them cannot grow the client's memory without bound: past the
+/// cap the stream faults with an overflow error and its stash is
+/// dropped.
+const STREAM_STASH_CAP: usize = 4096;
+
 /// A blocking connection to a [`WidxServer`](crate::WidxServer).
 pub struct WidxClient {
     stream: TcpStream,
     /// Unconsumed reply bytes.
     rbuf: Vec<u8>,
-    /// Replies received while waiting for a different id, in arrival
-    /// order.
+    /// Buffered replies received while waiting for a different id, in
+    /// arrival order.
     stash: VecDeque<(u64, Result<Response, ErrorReply>)>,
+    /// Per-stream chunk stashes, keyed by request id.
+    streams: HashMap<u64, StreamSlot>,
     /// Scratch encode buffer, reused across sends.
     ebuf: Vec<u8>,
     next_id: u64,
@@ -78,6 +135,7 @@ impl WidxClient {
             stream,
             rbuf: Vec::new(),
             stash: VecDeque::new(),
+            streams: HashMap::new(),
             ebuf: Vec::new(),
             next_id: 0,
         })
@@ -106,6 +164,167 @@ impl WidxClient {
         Ok(id)
     }
 
+    /// Pipelines one chunked range scan without waiting; the reply
+    /// arrives as `RangeChunk` frames reaped with
+    /// [`recv_chunk`](WidxClient::recv_chunk) (or through the
+    /// [`range_stream`](WidxClient::range_stream) iterator). Returns
+    /// the stream's request id.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level write failure.
+    pub fn send_range_stream(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+        desc: bool,
+    ) -> std::io::Result<u64> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.ebuf.clear();
+        wire::encode_range_stream(&mut self.ebuf, id, lo, hi, limit, desc);
+        self.stream.write_all(&self.ebuf)?;
+        self.streams.insert(id, StreamSlot::new());
+        Ok(id)
+    }
+
+    /// Blocks for the next chunk of stream `id`: `Ok(Some(chunk))`
+    /// yields entries in stream order, `Ok(None)` is the clean end of
+    /// the stream (the `RangeEnd` total verified). Replies to *other*
+    /// ids arriving meanwhile are stashed for their own `recv` calls —
+    /// the pipelining contract, stream or not.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] when the server ended this stream with a
+    /// typed error frame; [`ClientError::Io`] on connection failure, a
+    /// `RangeEnd` total that contradicts the received entries, an
+    /// unknown stream id, or a stream whose stash overflowed.
+    pub fn recv_chunk(&mut self, id: u64) -> Result<Option<Vec<(u64, u64)>>, ClientError> {
+        loop {
+            let Some(slot) = self.streams.get_mut(&id) else {
+                return Err(protocol_violation("not an open stream id"));
+            };
+            if let Some(chunk) = slot.chunks.pop_front() {
+                return Ok(Some(chunk));
+            }
+            match (&slot.fault, slot.ended) {
+                (Some(StreamFault::Remote(_)), _) => {
+                    // Surface the server's error once, then forget the
+                    // stream.
+                    let slot = self.streams.remove(&id).expect("slot just seen");
+                    let Some(StreamFault::Remote(error)) = slot.fault else {
+                        unreachable!("fault variant just matched");
+                    };
+                    return Err(ClientError::Remote(error));
+                }
+                (Some(StreamFault::Overflow), _) => {
+                    self.streams.remove(&id);
+                    return Err(protocol_violation(
+                        "stream stash overflowed; chunks were dropped",
+                    ));
+                }
+                (None, Some(total)) => {
+                    let received = slot.received;
+                    self.streams.remove(&id);
+                    if received != total {
+                        return Err(protocol_violation(
+                            "stream end total disagrees with received entries",
+                        ));
+                    }
+                    return Ok(None);
+                }
+                (None, None) => {
+                    let frame = self.read_frame()?;
+                    if let Some(reply) = self.route_frame(frame) {
+                        self.stash.push_back(reply);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Abandons stream `id`: buffered chunks are dropped now, and
+    /// chunks still in flight are dropped on arrival until the stream's
+    /// final frame lands — bounding what a walked-away consumer can
+    /// cost. Dropping a [`RangeStream`] mid-stream does this
+    /// automatically. No-op for unknown (or already finished) ids.
+    pub fn abandon_stream(&mut self, id: u64) {
+        if let Some(slot) = self.streams.get_mut(&id) {
+            if slot.terminated() {
+                self.streams.remove(&id);
+            } else {
+                slot.chunks.clear();
+                slot.chunks.shrink_to_fit();
+                slot.abandoned = true;
+            }
+        }
+    }
+
+    /// Chunks currently stashed across every open stream — diagnostics
+    /// for stash-bounding tests and memory accounting.
+    #[must_use]
+    pub fn stashed_chunks(&self) -> usize {
+        self.streams.values().map(|s| s.chunks.len()).sum()
+    }
+
+    /// Routes one decoded reply frame: stream frames land in their
+    /// slot (respecting abandonment and the stash cap) and yield
+    /// `None`; buffered replies come back to the caller.
+    fn route_frame(
+        &mut self,
+        (id, reply): (u64, Result<Reply, ErrorReply>),
+    ) -> Option<(u64, Result<Response, ErrorReply>)> {
+        if let Some(slot) = self.streams.get_mut(&id) {
+            match reply {
+                Ok(Reply::RangeChunk(chunk)) => {
+                    slot.received += chunk.len() as u64;
+                    if slot.abandoned {
+                        // Drained, not stashed.
+                    } else if slot.chunks.len() >= STREAM_STASH_CAP {
+                        slot.chunks.clear();
+                        slot.chunks.shrink_to_fit();
+                        slot.fault = Some(StreamFault::Overflow);
+                    } else if slot.fault.is_none() {
+                        slot.chunks.push_back(chunk);
+                    }
+                }
+                Ok(Reply::RangeEnd { entries }) => {
+                    slot.ended = Some(entries);
+                    if slot.abandoned {
+                        self.streams.remove(&id);
+                    }
+                }
+                Ok(Reply::Response(_)) => {
+                    // A buffered reply on a stream id: protocol
+                    // violation; fault the stream rather than lose sync.
+                    slot.fault = Some(StreamFault::Remote(ErrorReply::new(
+                        crate::wire::ErrorCode::Malformed,
+                        "buffered reply frame on a stream id",
+                    )));
+                    if slot.abandoned {
+                        self.streams.remove(&id);
+                    }
+                }
+                Err(error) => {
+                    slot.fault = Some(StreamFault::Remote(error));
+                    if slot.abandoned {
+                        self.streams.remove(&id);
+                    }
+                }
+            }
+            return None;
+        }
+        match reply {
+            Ok(Reply::Response(response)) => Some((id, Ok(response))),
+            // Stream frames for an id we never opened (or already
+            // forgot): dropping them keeps the connection usable.
+            Ok(Reply::RangeChunk(_) | Reply::RangeEnd { .. }) => None,
+            Err(error) => Some((id, Err(error))),
+        }
+    }
+
     /// Blocks for the reply to `id`, stashing replies to other ids for
     /// their own `recv`/[`recv_any`](WidxClient::recv_any) calls.
     ///
@@ -119,7 +338,10 @@ impl WidxClient {
             return reply.map_err(ClientError::Remote);
         }
         loop {
-            let (got, reply) = self.read_frame()?;
+            let frame = self.read_frame()?;
+            let Some((got, reply)) = self.route_frame(frame) else {
+                continue;
+            };
             if got == id {
                 return reply.map_err(ClientError::Remote);
             }
@@ -127,8 +349,10 @@ impl WidxClient {
         }
     }
 
-    /// Blocks for whichever reply completes next (stashed frames
-    /// first, in arrival order), returning `(id, reply)`.
+    /// Blocks for whichever *buffered* reply completes next (stashed
+    /// frames first, in arrival order), returning `(id, reply)`.
+    /// Chunked-stream frames are routed to their per-id stashes along
+    /// the way — reap those with [`recv_chunk`](WidxClient::recv_chunk).
     ///
     /// # Errors
     ///
@@ -137,7 +361,15 @@ impl WidxClient {
         if let Some(front) = self.stash.pop_front() {
             return Ok(front);
         }
-        self.read_frame()
+        loop {
+            let frame = self.read_frame().map_err(|e| match e {
+                ClientError::Io(io) => io,
+                ClientError::Remote(_) => unreachable!("read_frame yields io errors only"),
+            })?;
+            if let Some(reply) = self.route_frame(frame) {
+                return Ok(reply);
+            }
+        }
     }
 
     /// Synchronous convenience: send one request and wait for its reply.
@@ -207,14 +439,71 @@ impl WidxClient {
         hi: u64,
         limit: usize,
     ) -> Result<Vec<(u64, u64)>, ClientError> {
-        match self.call(&Request::RangeScan { lo, hi, limit })? {
+        match self.call(&Request::RangeScan {
+            lo,
+            hi,
+            limit,
+            desc: false,
+        })? {
             Response::RangeScan { entries } => Ok(entries),
             _ => Err(protocol_violation("mismatched reply variant for RangeScan")),
         }
     }
 
+    /// Blocking convenience mirroring
+    /// [`ProbeService::range_scan_desc`](widx_serve::ProbeService::range_scan_desc):
+    /// the `ORDER BY key DESC` scan, buffered.
+    ///
+    /// # Errors
+    ///
+    /// As [`recv`](WidxClient::recv).
+    pub fn range_scan_desc(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, u64)>, ClientError> {
+        match self.call(&Request::RangeScan {
+            lo,
+            hi,
+            limit,
+            desc: true,
+        })? {
+            Response::RangeScan { entries } => Ok(entries),
+            _ => Err(protocol_violation("mismatched reply variant for RangeScan")),
+        }
+    }
+
+    /// Starts a chunked range scan and returns an iterator over its
+    /// chunks: entries arrive in key order (descending when `desc`)
+    /// *while the server is still scanning* — the first chunk lands
+    /// long before a buffered [`range_scan`](WidxClient::range_scan)
+    /// of the same interval would return. Requests pipelined before
+    /// this call stay reapable afterwards; replies for them arriving
+    /// mid-stream are stashed as usual. Dropping the iterator before
+    /// the end abandons the stream (late chunks are drained, not
+    /// stashed).
+    ///
+    /// # Errors
+    ///
+    /// Socket-level write failure.
+    pub fn range_stream(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+        desc: bool,
+    ) -> std::io::Result<RangeStream<'_>> {
+        let id = self.send_range_stream(lo, hi, limit, desc)?;
+        Ok(RangeStream {
+            client: self,
+            id,
+            done: false,
+        })
+    }
+
     /// Reads exactly one reply frame off the wire (blocking).
-    fn read_frame(&mut self) -> std::io::Result<(u64, Result<Response, ErrorReply>)> {
+    fn read_frame(&mut self) -> Result<(u64, Result<Reply, ErrorReply>), ClientError> {
         loop {
             match wire::decode_reply(&self.rbuf) {
                 Ok(Decoded::Frame {
@@ -233,32 +522,105 @@ impl WidxClient {
                     // caller loses this one reply (reported as an
                     // error); everything pipelined behind it survives.
                     self.rbuf.drain(..consumed);
-                    return Err(std::io::Error::new(
+                    return Err(ClientError::Io(std::io::Error::new(
                         ErrorKind::InvalidData,
                         format!("undecodable reply frame (skipped): {error}"),
-                    ));
+                    )));
                 }
                 Err(frame_error) => {
-                    return Err(std::io::Error::new(
+                    return Err(ClientError::Io(std::io::Error::new(
                         ErrorKind::InvalidData,
                         format!("reply framing lost: {frame_error}"),
-                    ));
+                    )));
                 }
                 Ok(Decoded::Incomplete) => {
                     let mut chunk = [0u8; 16 * 1024];
                     match self.stream.read(&mut chunk) {
                         Ok(0) => {
-                            return Err(std::io::Error::new(
+                            return Err(ClientError::Io(std::io::Error::new(
                                 ErrorKind::UnexpectedEof,
                                 "server closed mid-frame",
-                            ));
+                            )));
                         }
                         Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
                         Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                        Err(e) => return Err(e),
+                        Err(e) => return Err(ClientError::Io(e)),
                     }
                 }
             }
+        }
+    }
+}
+
+/// An iterator over one chunked range scan's chunks (see
+/// [`WidxClient::range_stream`]). Borrows the client: send other
+/// requests *before* starting the stream, reap them after (or use the
+/// [`send_range_stream`](WidxClient::send_range_stream) /
+/// [`recv_chunk`](WidxClient::recv_chunk) split to drive several
+/// streams at once). Dropping it mid-stream abandons the stream.
+pub struct RangeStream<'a> {
+    client: &'a mut WidxClient,
+    id: u64,
+    done: bool,
+}
+
+impl RangeStream<'_> {
+    /// The stream's request id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks for the next chunk; `Ok(None)` is the clean end of the
+    /// stream. After the end (or an error) the iterator is finished.
+    ///
+    /// # Errors
+    ///
+    /// As [`WidxClient::recv_chunk`].
+    pub fn next_chunk(&mut self) -> Result<Option<Vec<(u64, u64)>>, ClientError> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.client.recv_chunk(self.id) {
+            Ok(Some(chunk)) => Ok(Some(chunk)),
+            Ok(None) => {
+                self.done = true;
+                Ok(None)
+            }
+            Err(e) => {
+                self.done = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Blocks to the end of the stream, concatenating every remaining
+    /// chunk.
+    ///
+    /// # Errors
+    ///
+    /// As [`WidxClient::recv_chunk`].
+    pub fn collect_remaining(mut self) -> Result<Vec<(u64, u64)>, ClientError> {
+        let mut out = Vec::new();
+        while let Some(chunk) = self.next_chunk()? {
+            out.extend(chunk);
+        }
+        Ok(out)
+    }
+}
+
+impl Iterator for RangeStream<'_> {
+    type Item = Result<Vec<(u64, u64)>, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_chunk().transpose()
+    }
+}
+
+impl Drop for RangeStream<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.client.abandon_stream(self.id);
         }
     }
 }

@@ -6,9 +6,11 @@
 //! serving tier that real clients hit over sockets:
 //!
 //! * [`wire`] — a compact length-prefixed binary protocol with explicit
-//!   request ids, a versioned frame header, and a typed error frame
-//!   (`std` only, consistent with the repo's `compat/` philosophy; the
-//!   format is specified in `docs/wire-format.md`);
+//!   request ids, a versioned frame header, a typed error frame, and
+//!   chunked streaming opcodes (`RangeChunk`/`RangeEnd`) for range
+//!   scans whose replies should not wait for the slowest shard (`std`
+//!   only, consistent with the repo's `compat/` philosophy; the format
+//!   is specified in `docs/wire-format.md`);
 //! * [`WidxServer`] — a non-blocking event-loop server over `std`
 //!   non-blocking sockets with readiness polling: it accepts many
 //!   connections, decodes pipelined frames, submits into the
@@ -19,8 +21,10 @@
 //!   which request ids make safe. Queue backpressure comes back as a
 //!   typed `Busy` error frame instead of unbounded buffering;
 //! * [`WidxClient`] — a blocking client with a pipelining `send`/`recv`
-//!   split (plus synchronous conveniences), used by the loopback parity
-//!   tests, the `net_server` example, and the `net_throughput` sweep.
+//!   split (plus synchronous conveniences and the chunk-streaming
+//!   [`range_stream`](WidxClient::range_stream) iterator), used by the
+//!   loopback parity tests, the `net_server`/`stream_scan` examples,
+//!   and the `net_throughput`/`stream_throughput` sweeps.
 //!
 //! Pipelining is what connects the network layer back to the paper:
 //! dozens of independent requests in flight on each connection are
@@ -55,6 +59,14 @@
 //!     vec![(10, 11), (11, 12), (12, 13)],
 //! );
 //!
+//! // The same scan as a chunked stream, descending:
+//! let streamed = client
+//!     .range_stream(10, 12, usize::MAX, true)
+//!     .unwrap()
+//!     .collect_remaining()
+//!     .unwrap();
+//! assert_eq!(streamed, vec![(12, 13), (11, 12), (10, 11)]);
+//!
 //! let net = server.shutdown();
 //! assert!(net.frames_in >= 2 && net.frames_out >= 2);
 //! let stats = Arc::try_unwrap(service).ok().unwrap().shutdown().with_net(net);
@@ -68,9 +80,9 @@ mod client;
 mod server;
 pub mod wire;
 
-pub use client::{ClientError, WidxClient};
+pub use client::{ClientError, RangeStream, WidxClient};
 pub use server::{NetConfig, WidxServer};
-pub use wire::{DecodeError, Decoded, ErrorCode, ErrorReply, FrameError};
+pub use wire::{DecodeError, Decoded, ErrorCode, ErrorReply, FrameError, Reply, WireRequest};
 
 // Re-exported so client code can build requests and match responses
 // without naming the serving crate.

@@ -18,9 +18,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use widx_serve::{NetStats, PendingResponse, ProbeService, SubmitError};
+use widx_serve::{NetStats, PendingResponse, PendingStream, ProbeService, StreamPoll, SubmitError};
 
-use crate::wire::{self, Decoded, ErrorCode, ErrorReply};
+use crate::wire::{self, Decoded, ErrorCode, ErrorReply, WireRequest};
 
 /// Tuning knobs for a [`WidxServer`].
 #[derive(Clone, Debug)]
@@ -104,6 +104,14 @@ impl NetCounters {
     }
 }
 
+/// An in-flight chunked scan being written back to one connection.
+struct OpenStream {
+    id: u64,
+    stream: PendingStream,
+    /// Entries streamed so far (reported in the `RangeEnd` frame).
+    entries: u64,
+}
+
 /// One client connection's state machine: buffered input awaiting
 /// decode, in-flight requests awaiting completion, and buffered output
 /// awaiting a writable socket.
@@ -115,9 +123,22 @@ struct Connection {
     wbuf: Vec<u8>,
     wpos: usize,
     /// Requests submitted to the service, awaiting completion. Scanned
-    /// for readiness each pass — completion order, not submission
+    /// for readiness after a wakeup — completion order, not submission
     /// order, decides reply order.
     pending: Vec<(u64, PendingResponse)>,
+    /// Chunked scans submitted to the service: chunks are written as
+    /// the gather seam releases them, interleaved with other replies.
+    streams: Vec<OpenStream>,
+    /// Completion-wakeup counter: every pending request and stream on
+    /// this connection carries a waker that bumps it, so the reap pass
+    /// can skip connections (and avoid scanning their whole pending
+    /// lists) when nothing completed since the last look.
+    wakes: Arc<AtomicU64>,
+    /// The counter value the last reap pass observed.
+    wakes_seen: u64,
+    /// A reap pass stopped early on write backlog: ready work may
+    /// remain without a fresh wake, so reap again once room opens.
+    reap_stalled: bool,
     /// Set on peer EOF, server shutdown, or lost framing: no more reads.
     closed_for_reads: bool,
     /// Set on an unrecoverable socket error: drop the connection now.
@@ -132,6 +153,10 @@ impl Connection {
             wbuf: Vec::new(),
             wpos: 0,
             pending: Vec::new(),
+            streams: Vec::new(),
+            wakes: Arc::new(AtomicU64::new(0)),
+            wakes_seen: 0,
+            reap_stalled: false,
             closed_for_reads: false,
             dead: false,
         }
@@ -141,9 +166,25 @@ impl Connection {
         self.wbuf.len() - self.wpos
     }
 
+    /// In-flight work counted against the per-connection window.
+    fn inflight(&self) -> usize {
+        self.pending.len() + self.streams.len()
+    }
+
+    /// The completion wakeup installed on every submitted request and
+    /// stream: bumps this connection's counter, which is what lets the
+    /// reap pass skip quiet connections instead of polling every
+    /// pending entry every tick.
+    fn waker(&self) -> impl Fn() + Send + Sync + 'static {
+        let wakes = Arc::clone(&self.wakes);
+        move || {
+            wakes.fetch_add(1, Ordering::Release);
+        }
+    }
+
     /// All accepted work answered and flushed — nothing left to drain.
     fn drained(&self) -> bool {
-        self.pending.is_empty() && self.write_backlog() == 0
+        self.pending.is_empty() && self.streams.is_empty() && self.write_backlog() == 0
     }
 
     /// Whether the connection should be dropped from the loop.
@@ -199,7 +240,7 @@ impl Connection {
                 }) => {
                     consumed_total += consumed;
                     counters.frames_in.fetch_add(1, Ordering::Relaxed);
-                    if self.pending.len() >= config.max_inflight_per_conn {
+                    if self.inflight() >= config.max_inflight_per_conn {
                         counters.busy_rejects.fetch_add(1, Ordering::Relaxed);
                         self.reply_error(
                             id,
@@ -208,8 +249,27 @@ impl Connection {
                         );
                         continue;
                     }
-                    match service.try_submit(value) {
-                        Ok(pending) => self.pending.push((id, pending)),
+                    let submitted = match value {
+                        WireRequest::Plain(request) => service.try_submit(request).map(|pending| {
+                            pending.set_waker(self.waker());
+                            self.pending.push((id, pending));
+                        }),
+                        WireRequest::Stream {
+                            lo,
+                            hi,
+                            limit,
+                            desc,
+                        } => service.try_range_stream(lo, hi, limit, desc).map(|stream| {
+                            stream.set_waker(self.waker());
+                            self.streams.push(OpenStream {
+                                id,
+                                stream,
+                                entries: 0,
+                            });
+                        }),
+                    };
+                    match submitted {
+                        Ok(()) => {}
                         Err(SubmitError::Busy) => {
                             counters.busy_rejects.fetch_add(1, Ordering::Relaxed);
                             self.reply_error(
@@ -283,9 +343,24 @@ impl Connection {
         counters.frames_out.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Writes completed responses into the output buffer, in completion
-    /// order. Returns true on progress.
+    /// Writes completed responses and released stream chunks into the
+    /// output buffer, in completion order. Returns true on progress.
+    ///
+    /// The scan is gated on the connection's wakeup counter: workers
+    /// bump it (through the `ResponseState` waker hook) whenever a
+    /// request completes or a chunk becomes consumable, so a pass over
+    /// a quiet connection is one atomic load instead of a walk of its
+    /// whole pending list.
     fn reap_completions(&mut self, config: &NetConfig, counters: &NetCounters) -> bool {
+        let wakes = self.wakes.load(Ordering::Acquire);
+        if wakes == self.wakes_seen && !self.reap_stalled {
+            return false;
+        }
+        // Observe the counter *before* scanning: a wake that lands
+        // mid-scan leaves it ahead of `wakes_seen`, forcing a rescan
+        // next pass rather than being lost.
+        self.wakes_seen = wakes;
+        self.reap_stalled = false;
         let mut progress = false;
         let mut i = 0;
         while i < self.pending.len() {
@@ -296,6 +371,7 @@ impl Connection {
             // bytes at once — the unbounded buffering this server
             // promises not to do.
             if self.write_backlog() >= config.max_write_backlog {
+                self.reap_stalled = true;
                 break;
             }
             if self.pending[i].1.is_ready() {
@@ -320,6 +396,56 @@ impl Connection {
                     );
                 }
                 progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        progress |= self.reap_streams(config, counters);
+        progress
+    }
+
+    /// Writes every consumable chunk of every open stream (then the
+    /// `RangeEnd` marker), under the same write-backlog pacing as
+    /// buffered replies — a slow reader's chunks wait in the gather
+    /// seam instead of ballooning the connection buffer (the seam's
+    /// footprint is bounded by the scan's own size, as a buffered
+    /// reply's would be; the shards scan to completion either way).
+    /// Returns true on progress.
+    fn reap_streams(&mut self, config: &NetConfig, counters: &NetCounters) -> bool {
+        let mut progress = false;
+        let mut i = 0;
+        while i < self.streams.len() {
+            let mut finished = false;
+            loop {
+                if self.write_backlog() >= config.max_write_backlog {
+                    self.reap_stalled = true;
+                    break;
+                }
+                let open = &mut self.streams[i];
+                match open.stream.try_next() {
+                    StreamPoll::Chunk(chunk) => {
+                        // The serve tier caps chunks at `stream_chunk`
+                        // entries; split defensively anyway so a huge
+                        // configured chunk cannot trip the frame cap.
+                        for piece in chunk.chunks(wire::MAX_CHUNK_ENTRIES) {
+                            wire::encode_range_chunk(&mut self.wbuf, open.id, piece);
+                            counters.frames_out.fetch_add(1, Ordering::Relaxed);
+                        }
+                        open.entries += chunk.len() as u64;
+                        progress = true;
+                    }
+                    StreamPoll::End => {
+                        wire::encode_range_end(&mut self.wbuf, open.id, open.entries);
+                        counters.frames_out.fetch_add(1, Ordering::Relaxed);
+                        finished = true;
+                        progress = true;
+                        break;
+                    }
+                    StreamPoll::Pending => break,
+                }
+            }
+            if finished {
+                self.streams.swap_remove(i);
             } else {
                 i += 1;
             }

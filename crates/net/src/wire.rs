@@ -53,6 +53,14 @@ const OP_LOOKUP: u8 = 0x01;
 const OP_MULTI_LOOKUP: u8 = 0x02;
 const OP_JOIN_PROBE: u8 = 0x03;
 const OP_RANGE_SCAN: u8 = 0x04;
+/// `RangeScan` with a flags byte (bit 0: descending). Encoders keep
+/// emitting the flagless `0x04` for plain ascending scans, so a
+/// pre-streaming peer only sees an unknown opcode when the new
+/// capability is actually used.
+const OP_RANGE_SCAN2: u8 = 0x05;
+/// A chunked range scan: answered with zero or more `RangeChunk`
+/// frames followed by one `RangeEnd` (or a single error frame).
+const OP_RANGE_STREAM: u8 = 0x06;
 
 /// Reply opcodes (high bit set) mirror their requests; `0xEE` is the
 /// error frame.
@@ -60,7 +68,22 @@ const OP_R_LOOKUP: u8 = 0x81;
 const OP_R_MULTI_LOOKUP: u8 = 0x82;
 const OP_R_JOIN_PROBE: u8 = 0x83;
 const OP_R_RANGE_SCAN: u8 = 0x84;
+/// One key-ordered slice of a streaming scan's reply.
+const OP_R_RANGE_CHUNK: u8 = 0x85;
+/// End-of-stream marker carrying the total entry count.
+const OP_R_RANGE_END: u8 = 0x86;
 const OP_R_ERROR: u8 = 0xEE;
+
+/// Scan-flag bits carried by [`OP_RANGE_SCAN2`] / [`OP_RANGE_STREAM`]
+/// payloads. Undefined bits must be zero (the frame is `Malformed`
+/// otherwise — they are reserved the same way header bits are).
+const SCAN_FLAG_DESC: u8 = 0x01;
+
+/// The most `(key, payload)` entries one `RangeChunk` (or buffered
+/// `RangeScan` reply) frame can carry under [`MAX_BODY_LEN`]. Servers
+/// split larger chunks; the serve tier's `stream_chunk` sits far below
+/// this in practice.
+pub const MAX_CHUNK_ENTRIES: usize = (MAX_BODY_LEN - HEADER_LEN - 4) / 16;
 
 /// Machine-readable reason carried by an error frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,6 +133,44 @@ impl ErrorCode {
             other => ErrorCode::Other(other),
         }
     }
+}
+
+/// A decoded request frame, as the server sees it: either a plain
+/// request answered with one buffered reply frame, or a chunked range
+/// scan whose reply is a *sequence* of frames (`RangeChunk*` then
+/// `RangeEnd`, or one error frame).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireRequest {
+    /// One of the buffered request kinds.
+    Plain(Request),
+    /// A chunked range scan ([`OP_RANGE_STREAM`]).
+    Stream {
+        /// Inclusive lower key bound.
+        lo: u64,
+        /// Inclusive upper key bound.
+        hi: u64,
+        /// Maximum entries streamed (`usize::MAX` for unbounded).
+        limit: usize,
+        /// Descending key order when set.
+        desc: bool,
+    },
+}
+
+/// A decoded reply frame, as the client sees it: a buffered response,
+/// or one piece of a chunked stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// A complete buffered response.
+    Response(Response),
+    /// One key-ordered slice of a streaming scan; slices concatenate,
+    /// in arrival order, to exactly the buffered `RangeScan` reply.
+    RangeChunk(Vec<(u64, u64)>),
+    /// End of a stream: `entries` is the total streamed across every
+    /// chunk (a client-side integrity check).
+    RangeEnd {
+        /// Total `(key, payload)` entries the stream carried.
+        entries: u64,
+    },
 }
 
 /// The error frame's body: a code plus a short human-readable message.
@@ -271,18 +332,66 @@ fn limit_from_wire(limit: u64) -> usize {
     usize::try_from(limit).unwrap_or(usize::MAX)
 }
 
-/// Encodes one request frame onto `buf`.
+/// Encodes one request frame onto `buf`. Ascending range scans keep
+/// the version-1 flagless `0x04` layout; descending ones use the
+/// flag-bearing `0x05` a pre-streaming peer answers `Unsupported`.
 pub fn encode_request(buf: &mut Vec<u8>, id: u64, request: &Request) {
     match request {
         Request::Lookup { key } => frame(buf, OP_LOOKUP, id, |b| put_u64(b, *key)),
         Request::MultiLookup { keys } => frame(buf, OP_MULTI_LOOKUP, id, |b| put_keys(b, keys)),
         Request::JoinProbe { keys } => frame(buf, OP_JOIN_PROBE, id, |b| put_keys(b, keys)),
-        Request::RangeScan { lo, hi, limit } => frame(buf, OP_RANGE_SCAN, id, |b| {
+        Request::RangeScan {
+            lo,
+            hi,
+            limit,
+            desc: false,
+        } => frame(buf, OP_RANGE_SCAN, id, |b| {
             put_u64(b, *lo);
             put_u64(b, *hi);
             put_u64(b, limit_to_wire(*limit));
         }),
+        Request::RangeScan {
+            lo,
+            hi,
+            limit,
+            desc: true,
+        } => frame(buf, OP_RANGE_SCAN2, id, |b| {
+            put_u64(b, *lo);
+            put_u64(b, *hi);
+            put_u64(b, limit_to_wire(*limit));
+            b.push(SCAN_FLAG_DESC);
+        }),
     }
+}
+
+/// Encodes one chunked-scan request frame onto `buf` — the client side
+/// of [`OP_RANGE_STREAM`].
+pub fn encode_range_stream(buf: &mut Vec<u8>, id: u64, lo: u64, hi: u64, limit: usize, desc: bool) {
+    frame(buf, OP_RANGE_STREAM, id, |b| {
+        put_u64(b, lo);
+        put_u64(b, hi);
+        put_u64(b, limit_to_wire(limit));
+        b.push(if desc { SCAN_FLAG_DESC } else { 0 });
+    });
+}
+
+/// Encodes one stream-chunk reply frame onto `buf`.
+///
+/// # Panics
+///
+/// Panics if `entries` exceeds [`MAX_CHUNK_ENTRIES`] (callers split
+/// first).
+pub fn encode_range_chunk(buf: &mut Vec<u8>, id: u64, entries: &[(u64, u64)]) {
+    assert!(
+        entries.len() <= MAX_CHUNK_ENTRIES,
+        "chunk exceeds the frame cap; split it"
+    );
+    frame(buf, OP_R_RANGE_CHUNK, id, |b| put_pairs(b, entries));
+}
+
+/// Encodes one end-of-stream reply frame onto `buf`.
+pub fn encode_range_end(buf: &mut Vec<u8>, id: u64, entries: u64) {
+    frame(buf, OP_R_RANGE_END, id, |b| put_u64(b, entries));
 }
 
 /// Encodes one response frame onto `buf`.
@@ -313,7 +422,7 @@ pub fn request_fits(request: &Request) -> bool {
         Request::MultiLookup { keys } | Request::JoinProbe { keys } => {
             4 + keys.len().saturating_mul(8)
         }
-        Request::RangeScan { .. } => 24,
+        Request::RangeScan { .. } => 25,
     };
     HEADER_LEN + payload <= MAX_BODY_LEN
 }
@@ -474,17 +583,46 @@ fn envelope(buf: &[u8]) -> Result<Option<Envelope<'_>>, FrameError> {
     }))
 }
 
-fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<Request, DecodeError> {
+/// Decodes a scan-flags byte; undefined bits are `Malformed` (they are
+/// reserved for future meaning, like the header's reserved bits).
+fn scan_flags(c: &mut Cursor<'_>) -> Result<bool, DecodeError> {
+    let flags = c.u8()?;
+    if flags & !SCAN_FLAG_DESC != 0 {
+        return Err(DecodeError::Payload("reserved scan-flag bits set"));
+    }
+    Ok(flags & SCAN_FLAG_DESC != 0)
+}
+
+fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<WireRequest, DecodeError> {
     let mut c = Cursor::new(payload);
     let request = match opcode {
-        OP_LOOKUP => Request::Lookup { key: c.u64()? },
-        OP_MULTI_LOOKUP => Request::MultiLookup { keys: c.keys()? },
-        OP_JOIN_PROBE => Request::JoinProbe { keys: c.keys()? },
-        OP_RANGE_SCAN => Request::RangeScan {
+        OP_LOOKUP => WireRequest::Plain(Request::Lookup { key: c.u64()? }),
+        OP_MULTI_LOOKUP => WireRequest::Plain(Request::MultiLookup { keys: c.keys()? }),
+        OP_JOIN_PROBE => WireRequest::Plain(Request::JoinProbe { keys: c.keys()? }),
+        OP_RANGE_SCAN => WireRequest::Plain(Request::RangeScan {
             lo: c.u64()?,
             hi: c.u64()?,
             limit: limit_from_wire(c.u64()?),
-        },
+            desc: false,
+        }),
+        OP_RANGE_SCAN2 => {
+            let (lo, hi, limit) = (c.u64()?, c.u64()?, limit_from_wire(c.u64()?));
+            WireRequest::Plain(Request::RangeScan {
+                lo,
+                hi,
+                limit,
+                desc: scan_flags(&mut c)?,
+            })
+        }
+        OP_RANGE_STREAM => {
+            let (lo, hi, limit) = (c.u64()?, c.u64()?, limit_from_wire(c.u64()?));
+            WireRequest::Stream {
+                lo,
+                hi,
+                limit,
+                desc: scan_flags(&mut c)?,
+            }
+        }
         other => return Err(DecodeError::Opcode(other)),
     };
     c.finish()?;
@@ -494,20 +632,22 @@ fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<Request, DecodeE
 fn decode_reply_payload(
     opcode: u8,
     payload: &[u8],
-) -> Result<Result<Response, ErrorReply>, DecodeError> {
+) -> Result<Result<Reply, ErrorReply>, DecodeError> {
     let mut c = Cursor::new(payload);
     let reply = match opcode {
-        OP_R_LOOKUP => Ok(Response::Lookup {
+        OP_R_LOOKUP => Ok(Reply::Response(Response::Lookup {
             key: c.u64()?,
             payloads: c.keys()?,
-        }),
-        OP_R_MULTI_LOOKUP => Ok(Response::MultiLookup {
+        })),
+        OP_R_MULTI_LOOKUP => Ok(Reply::Response(Response::MultiLookup {
             matches: c.pairs()?,
-        }),
-        OP_R_JOIN_PROBE => Ok(Response::JoinProbe { pairs: c.pairs()? }),
-        OP_R_RANGE_SCAN => Ok(Response::RangeScan {
+        })),
+        OP_R_JOIN_PROBE => Ok(Reply::Response(Response::JoinProbe { pairs: c.pairs()? })),
+        OP_R_RANGE_SCAN => Ok(Reply::Response(Response::RangeScan {
             entries: c.pairs()?,
-        }),
+        })),
+        OP_R_RANGE_CHUNK => Ok(Reply::RangeChunk(c.pairs()?)),
+        OP_R_RANGE_END => Ok(Reply::RangeEnd { entries: c.u64()? }),
         OP_R_ERROR => {
             let code = ErrorCode::from_u8(c.u8()?);
             let _reserved = c.u8()?;
@@ -528,7 +668,7 @@ fn decode_reply_payload(
 ///
 /// [`FrameError`] when the envelope itself is violated — framing is
 /// lost and the connection must close.
-pub fn decode_request(buf: &[u8]) -> Result<Decoded<Request>, FrameError> {
+pub fn decode_request(buf: &[u8]) -> Result<Decoded<WireRequest>, FrameError> {
     let Some(Envelope {
         consumed,
         opcode,
@@ -567,7 +707,7 @@ pub fn decode_request(buf: &[u8]) -> Result<Decoded<Request>, FrameError> {
 ///
 /// [`FrameError`] when the envelope itself is violated — framing is
 /// lost and the connection must close.
-pub fn decode_reply(buf: &[u8]) -> Result<Decoded<Result<Response, ErrorReply>>, FrameError> {
+pub fn decode_reply(buf: &[u8]) -> Result<Decoded<Result<Reply, ErrorReply>>, FrameError> {
     let Some(Envelope {
         consumed,
         opcode,
@@ -614,7 +754,7 @@ mod tests {
             } => {
                 assert_eq!(consumed, buf.len());
                 assert_eq!(id, 42);
-                assert_eq!(&value, request);
+                assert_eq!(value, WireRequest::Plain(request.clone()));
             }
             other => panic!("expected frame, got {other:?}"),
         }
@@ -626,6 +766,7 @@ mod tests {
             Ok(response) => encode_response(&mut buf, id, response),
             Err(error) => encode_error(&mut buf, id, error),
         }
+        let want = reply.clone().map(Reply::Response);
         match decode_reply(&buf).unwrap() {
             Decoded::Frame {
                 consumed,
@@ -634,7 +775,7 @@ mod tests {
             } => {
                 assert_eq!(consumed, buf.len());
                 assert_eq!(got_id, id);
-                assert_eq!(&value, reply);
+                assert_eq!(value, want);
             }
             other => panic!("expected frame, got {other:?}"),
         }
@@ -654,12 +795,127 @@ mod tests {
             lo: 5,
             hi: 500,
             limit: 17,
+            desc: false,
         });
         roundtrip_request(&Request::RangeScan {
             lo: 0,
             hi: u64::MAX,
             limit: usize::MAX,
+            desc: false,
         });
+        roundtrip_request(&Request::RangeScan {
+            lo: 3,
+            hi: 9,
+            limit: 2,
+            desc: true,
+        });
+    }
+
+    #[test]
+    fn ascending_scans_keep_the_flagless_v1_opcode() {
+        // Back-compat: a plain ascending scan must still encode as the
+        // original 0x04 layout a pre-streaming peer understands.
+        let mut buf = Vec::new();
+        encode_request(
+            &mut buf,
+            1,
+            &Request::RangeScan {
+                lo: 0,
+                hi: 10,
+                limit: 5,
+                desc: false,
+            },
+        );
+        assert_eq!(buf[5], OP_RANGE_SCAN);
+        assert_eq!(buf.len(), 4 + HEADER_LEN + 24, "no flags byte");
+        let mut buf = Vec::new();
+        encode_request(
+            &mut buf,
+            1,
+            &Request::RangeScan {
+                lo: 0,
+                hi: 10,
+                limit: 5,
+                desc: true,
+            },
+        );
+        assert_eq!(buf[5], OP_RANGE_SCAN2);
+        assert_eq!(buf.len(), 4 + HEADER_LEN + 25, "flags byte present");
+    }
+
+    #[test]
+    fn stream_request_frames_roundtrip() {
+        for (limit, desc) in [(17usize, false), (usize::MAX, true)] {
+            let mut buf = Vec::new();
+            encode_range_stream(&mut buf, 9, 5, 500, limit, desc);
+            match decode_request(&buf).unwrap() {
+                Decoded::Frame {
+                    consumed,
+                    id,
+                    value,
+                } => {
+                    assert_eq!((consumed, id), (buf.len(), 9));
+                    assert_eq!(
+                        value,
+                        WireRequest::Stream {
+                            lo: 5,
+                            hi: 500,
+                            limit,
+                            desc,
+                        }
+                    );
+                }
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_and_end_frames_roundtrip() {
+        let mut buf = Vec::new();
+        encode_range_chunk(&mut buf, 7, &[(1, 10), (2, 20)]);
+        let first_len = buf.len();
+        encode_range_end(&mut buf, 7, 2);
+        match decode_reply(&buf).unwrap() {
+            Decoded::Frame {
+                consumed,
+                id,
+                value,
+            } => {
+                assert_eq!((consumed, id), (first_len, 7));
+                assert_eq!(value, Ok(Reply::RangeChunk(vec![(1, 10), (2, 20)])));
+                match decode_reply(&buf[consumed..]).unwrap() {
+                    Decoded::Frame { id, value, .. } => {
+                        assert_eq!(id, 7);
+                        assert_eq!(value, Ok(Reply::RangeEnd { entries: 2 }));
+                    }
+                    other => panic!("expected end frame, got {other:?}"),
+                }
+            }
+            other => panic!("expected chunk frame, got {other:?}"),
+        }
+        // An empty chunk is legal on the wire (servers simply avoid
+        // sending them).
+        let mut buf = Vec::new();
+        encode_range_chunk(&mut buf, 8, &[]);
+        match decode_reply(&buf).unwrap() {
+            Decoded::Frame { value, .. } => assert_eq!(value, Ok(Reply::RangeChunk(vec![]))),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reserved_scan_flag_bits_are_malformed() {
+        let mut buf = Vec::new();
+        encode_range_stream(&mut buf, 3, 0, 10, 5, true);
+        *buf.last_mut().unwrap() = 0x83; // desc plus two undefined bits
+        match decode_request(&buf).unwrap() {
+            Decoded::Corrupt { id, error, .. } => {
+                assert_eq!(id, 3);
+                assert!(matches!(error, DecodeError::Payload(_)), "{error:?}");
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
     }
 
     #[test]
@@ -836,7 +1092,9 @@ mod tests {
             lo: 0,
             hi: u64::MAX,
             limit: usize::MAX,
+            desc: true,
         }));
+        assert_eq!(MAX_CHUNK_ENTRIES, (MAX_BODY_LEN - HEADER_LEN - 4) / 16);
     }
 
     #[test]

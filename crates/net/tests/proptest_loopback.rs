@@ -24,7 +24,7 @@ enum Op {
     Lookup(u64),
     Multi(Vec<u64>),
     Join(Vec<u64>),
-    Range(u64, u64, usize),
+    Range(u64, u64, usize, bool),
 }
 
 impl Op {
@@ -33,10 +33,11 @@ impl Op {
             Op::Lookup(key) => Request::Lookup { key: *key },
             Op::Multi(keys) => Request::MultiLookup { keys: keys.clone() },
             Op::Join(keys) => Request::JoinProbe { keys: keys.clone() },
-            Op::Range(lo, hi, limit) => Request::RangeScan {
+            Op::Range(lo, hi, limit, desc) => Request::RangeScan {
                 lo: *lo,
                 hi: *hi,
                 limit: *limit,
+                desc: *desc,
             },
         }
     }
@@ -90,11 +91,16 @@ impl Op {
                 want.sort_unstable();
                 assert_eq!(got, want, "join probe {keys:?}");
             }
-            (Op::Range(lo, hi, limit), Response::RangeScan { entries }) => {
+            (Op::Range(lo, hi, limit, desc), Response::RangeScan { entries }) => {
+                let tree = BTreeIndex::build(7, pairs.iter().copied());
+                let want = if *desc {
+                    tree.range_scan_desc(*lo, *hi, *limit)
+                } else {
+                    tree.range_scan(*lo, *hi, *limit)
+                };
                 assert_eq!(
-                    entries,
-                    &BTreeIndex::build(7, pairs.iter().copied()).range_scan(*lo, *hi, *limit),
-                    "range scan [{lo}, {hi}] limit {limit}"
+                    entries, &want,
+                    "range scan [{lo}, {hi}] limit {limit} desc {desc}"
                 );
             }
             (op, other) => panic!("reply variant mismatch: {op:?} answered by {other:?}"),
@@ -114,9 +120,10 @@ fn op_strategy(keyspace: u64) -> impl Strategy<Value = Op> {
                     Just(lo),
                     Just(hi),
                     prop_oneof![(0usize..40).boxed(), Just(usize::MAX).boxed()],
+                    any::<bool>(),
                 )
             })
-            .prop_map(|(lo, hi, limit)| Op::Range(lo, hi, limit)),
+            .prop_map(|(lo, hi, limit, desc)| Op::Range(lo, hi, limit, desc)),
     ]
 }
 
@@ -221,6 +228,186 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(15))]
+
+    /// Streaming parity over real TCP: for every generated scan, the
+    /// concatenation of `range_stream` chunks equals the buffered
+    /// `RangeScan` reply for the same interval — forward and reverse —
+    /// while point lookups pipelined *around* the streams still answer
+    /// their own oracles (chunk frames interleave with buffered replies
+    /// on one connection; per-id routing keeps them apart).
+    #[test]
+    fn stream_concatenation_matches_buffered_over_the_wire(
+        pairs in prop::collection::vec((0u64..120, any::<u64>()), 0..300),
+        scans in prop::collection::vec(
+            (range_strategy_pairs(150), any::<bool>()),
+            1..10,
+        ),
+        probes in prop::collection::vec(0u64..150, 1..15),
+        shards in 1usize..5,
+        chunk in 1usize..32,
+    ) {
+        let config = ServeConfig::default()
+            .with_shards(shards)
+            .with_batch_size(8)
+            .with_stream_chunk(chunk)
+            .with_batch_deadline(Duration::from_micros(100));
+        let service = Arc::new(ProbeService::build_with_range(
+            HashRecipe::robust64(),
+            pairs.iter().copied(),
+            &config,
+        ));
+        let server =
+            WidxServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
+                .expect("bind");
+        let mut client = WidxClient::connect(server.local_addr()).expect("connect");
+
+        // Pipeline point lookups, then every stream, before reaping
+        // anything.
+        let probe_ids: Vec<u64> = probes
+            .iter()
+            .map(|key| client.send(&Request::Lookup { key: *key }).unwrap())
+            .collect();
+        let stream_ids: Vec<u64> = scans
+            .iter()
+            .map(|((lo, hi), desc)| {
+                client
+                    .send_range_stream(*lo, *hi, usize::MAX, *desc)
+                    .unwrap()
+            })
+            .collect();
+        // Drain the streams first: point replies arriving meanwhile are
+        // stashed, chunk frames route per id.
+        for (((lo, hi), desc), id) in scans.iter().zip(stream_ids) {
+            let mut got = Vec::new();
+            while let Some(piece) = client.recv_chunk(id).expect("stream survives") {
+                prop_assert!(!piece.is_empty());
+                prop_assert!(piece.len() <= chunk);
+                got.extend(piece);
+            }
+            let buffered = if *desc {
+                client.range_scan_desc(*lo, *hi, usize::MAX).unwrap()
+            } else {
+                client.range_scan(*lo, *hi, usize::MAX).unwrap()
+            };
+            prop_assert_eq!(got, buffered, "[{}, {}] desc {}", lo, hi, desc);
+        }
+        for (key, id) in probes.iter().zip(probe_ids) {
+            Op::Lookup(*key).check(&pairs, &client.recv(id).expect("point reply"));
+        }
+        let net = server.shutdown();
+        prop_assert_eq!(net.decode_errors, 0);
+        prop_assert_eq!(net.busy_rejects, 0);
+        let _ = unwrap_service(service).shutdown();
+    }
+}
+
+/// `(lo, hi)` spans for the streaming parity property.
+fn range_strategy_pairs(keyspace: u64) -> impl Strategy<Value = (u64, u64)> {
+    prop_oneof![
+        (0..keyspace).prop_flat_map(move |lo| (Just(lo), lo..keyspace)),
+        (0..keyspace).prop_map(|k| (k, k)),
+    ]
+}
+
+/// Server shutdown mid-stream drops no accepted frame: streams the
+/// server has decoded drain to a complete chunk sequence plus `RangeEnd`
+/// before the event loop exits.
+#[test]
+fn shutdown_mid_stream_flushes_every_accepted_chunk() {
+    let pairs: Vec<(u64, u64)> = (0..20_000u64).map(|k| (k, k ^ 0xABCD)).collect();
+    let (service, server, mut client) = stack(&pairs, 4, 32, NetConfig::default());
+    let n = 8u64;
+    let ids: Vec<u64> = (0..n)
+        .map(|i| {
+            client
+                .send_range_stream(i * 100, u64::MAX, usize::MAX, i % 2 == 1)
+                .unwrap()
+        })
+        .collect();
+    // Wait until the server has decoded every frame (our definition of
+    // "accepted"), then shut down while chunks are still streaming.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.stats().frames_in < n {
+        assert!(Instant::now() < deadline, "server never saw the frames");
+        std::thread::yield_now();
+    }
+    let _net = server.shutdown();
+    let tree = BTreeIndex::build(7, pairs.iter().copied());
+    for (i, id) in ids.into_iter().enumerate() {
+        let i = i as u64;
+        let mut got = Vec::new();
+        while let Some(piece) = client.recv_chunk(id).expect("no accepted frame dropped") {
+            got.extend(piece);
+        }
+        let want = if i % 2 == 1 {
+            tree.range_scan_desc(i * 100, u64::MAX, usize::MAX)
+        } else {
+            tree.range_scan(i * 100, u64::MAX, usize::MAX)
+        };
+        assert_eq!(got, want, "stream {i} incomplete after shutdown");
+    }
+    let _ = unwrap_service(service).shutdown();
+}
+
+/// An abandoned stream's chunks are drained, not stashed: dropping the
+/// iterator mid-stream keeps the connection serving and the stash
+/// bounded (the `recv_any` stash fix).
+#[test]
+fn abandoned_streams_drain_instead_of_growing_the_stash() {
+    let pairs: Vec<(u64, u64)> = (0..50_000u64).map(|k| (k, k)).collect();
+    let (service, server, mut client) = stack(&pairs, 2, 64, NetConfig::default());
+    {
+        let mut stream = client.range_stream(0, u64::MAX, usize::MAX, false).unwrap();
+        let first = stream.next_chunk().unwrap().expect("first chunk");
+        assert!(!first.is_empty());
+        // Dropped here, mid-stream: the client marks it abandoned.
+    }
+    // The rest of the abandoned stream's chunks (tens of thousands of
+    // entries) flow in while we serve *other* traffic — they must be
+    // drained on arrival, never stashed.
+    for i in 0..50u64 {
+        assert_eq!(client.lookup(i * 7).unwrap(), vec![i * 7], "key {i}");
+        assert_eq!(client.stashed_chunks(), 0, "abandoned chunks stashed");
+    }
+    // A fresh stream on the same connection still works end to end.
+    let got = client
+        .range_stream(100, 400, usize::MAX, true)
+        .unwrap()
+        .collect_remaining()
+        .unwrap();
+    assert_eq!(
+        got,
+        BTreeIndex::build(7, pairs.iter().copied()).range_scan_desc(100, 400, usize::MAX)
+    );
+    let _ = server.shutdown();
+    let _ = unwrap_service(service).shutdown();
+}
+
+/// A stream against a service without an ordered tier answers the typed
+/// error through the stream API, and the connection survives.
+#[test]
+fn stream_without_ordered_tier_is_a_typed_error() {
+    let config = ServeConfig::default().with_shards(2);
+    let service = Arc::new(ProbeService::build(
+        HashRecipe::robust64(),
+        (0..100u64).map(|k| (k, k)),
+        &config,
+    ));
+    let server =
+        WidxServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default()).unwrap();
+    let mut client = WidxClient::connect(server.local_addr()).unwrap();
+    let id = client.send_range_stream(0, 10, usize::MAX, false).unwrap();
+    match client.recv_chunk(id) {
+        Err(ClientError::Remote(e)) => assert_eq!(e.code, ErrorCode::NoOrderedIndex),
+        other => panic!("expected NoOrderedIndex, got {other:?}"),
+    }
+    assert_eq!(client.lookup(5).unwrap(), vec![5], "connection survives");
+    let _ = server.shutdown();
+    let _ = unwrap_service(service).shutdown();
+}
+
 /// Replies interleave across ids: a client that reaps in reverse send
 /// order still matches every reply to its request.
 #[test]
@@ -231,7 +418,7 @@ fn out_of_order_reaping_matches_ids() {
         .map(|i| match i % 3 {
             0 => Op::Lookup(i),
             1 => Op::Multi((0..i).collect()),
-            _ => Op::Range(i, i + 500, 64),
+            _ => Op::Range(i, i + 500, 64, i % 2 == 0),
         })
         .collect();
     let ids: Vec<u64> = ops
@@ -399,6 +586,7 @@ fn shutdown_abandons_a_peer_that_stops_reading() {
                 lo: 0,
                 hi: u64::MAX,
                 limit: usize::MAX,
+                desc: false,
             })
             .unwrap();
     }
@@ -439,6 +627,7 @@ fn write_backlog_paces_large_replies_without_loss() {
                     lo: 0,
                     hi: u64::MAX,
                     limit: usize::MAX,
+                    desc: false,
                 })
                 .unwrap()
         })
@@ -539,7 +728,15 @@ fn read_reply_raw(stream: &mut TcpStream) -> (u64, Result<Response, widx_net::Er
     let mut chunk = [0u8; 4096];
     loop {
         match wire::decode_reply(&buf).expect("reply framing holds") {
-            Decoded::Frame { id, value, .. } => return (id, value),
+            Decoded::Frame { id, value, .. } => {
+                return (
+                    id,
+                    value.map(|reply| match reply {
+                        widx_net::Reply::Response(response) => response,
+                        other => panic!("unexpected stream frame: {other:?}"),
+                    }),
+                )
+            }
             Decoded::Corrupt { error, .. } => panic!("corrupt reply: {error:?}"),
             Decoded::Incomplete => {
                 let n = stream.read(&mut chunk).expect("read reply");

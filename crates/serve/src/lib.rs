@@ -26,9 +26,19 @@
 //!   scatter to the adjacent shards their interval overlaps and gather
 //!   back into one key-ordered, limit-truncated reply;
 //! * typed requests — [`Request::Lookup`], [`Request::MultiLookup`],
-//!   [`Request::JoinProbe`], [`Request::RangeScan`] — with per-request
+//!   [`Request::JoinProbe`], [`Request::RangeScan`] (ascending or
+//!   `ORDER BY key DESC` via its `desc` flag) — with per-request
 //!   completion latency and per-worker throughput/occupancy telemetry
-//!   ([`ServiceStats`]) feeding the `widx-bench` reporting machinery.
+//!   ([`ServiceStats`]) feeding the `widx-bench` reporting machinery;
+//! * **streaming range replies** —
+//!   [`range_stream`](ProbeService::range_stream) returns a
+//!   [`PendingStream`] whose chunks the gather seam releases in merged
+//!   key order *while shards are still scanning* (per-shard walkers
+//!   push a chunk every [`stream_chunk`](ServeConfig::stream_chunk)
+//!   entries; the request's limit still applies at the seam), with a
+//!   completion-wakeup hook ([`PendingStream::set_waker`] /
+//!   [`PendingResponse::set_waker`]) so a polling front-end learns
+//!   "chunk ready" without scanning its pending lists.
 //!
 //! Batching across *concurrent requests* is what makes the pool a
 //! service rather than a loop: a single `Lookup` arriving alone would
@@ -78,7 +88,7 @@ mod worker;
 pub use batch::{BatchPolicy, FlushReason};
 pub use ordered::OrderedShardedIndex;
 pub use queue::PushError;
-pub use request::{PendingResponse, Request, Response};
+pub use request::{PendingResponse, PendingStream, Request, Response, StreamPoll};
 pub use service::{ProbeService, ServeConfig, SubmitError};
 pub use shard::ShardedIndex;
 pub use stats::{LatencySummary, NetStats, ServiceStats, WorkerStats};

@@ -121,6 +121,27 @@ impl OrderedShardedIndex {
         }
         out
     }
+
+    /// Descending counterpart of [`scan`](Self::scan): shards visited
+    /// in *reverse* key order, each scanned backwards — what a served
+    /// `RangeScan { desc: true }` must reproduce (the `ORDER BY key
+    /// DESC` oracle: largest keys first, duplicates in reverse build
+    /// order, the largest `limit` keys surviving).
+    #[must_use]
+    pub fn scan_desc(&self, lo: u64, hi: u64, limit: usize) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if lo > hi || limit == 0 {
+            return out;
+        }
+        let (first, last) = self.shard_span(lo, hi);
+        for shard in self.shards[first..=last].iter().rev() {
+            out.extend(shard.range_scan_desc(lo, hi, limit - out.len()));
+            if out.len() == limit {
+                break;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +188,26 @@ mod tests {
                 idx.scan(lo, hi, limit),
                 one.range_scan(lo, hi, limit),
                 "scan [{lo}, {hi}] limit {limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_desc_oracle_equals_one_big_tree() {
+        let idx = ordered(5, 2000);
+        let one = BTreeIndex::build(8, (0..2000u64).map(|k| (k * 2, k)));
+        for (lo, hi, limit) in [
+            (0u64, u64::MAX, usize::MAX),
+            (100, 700, usize::MAX),
+            (101, 699, 17),
+            (3999, 3999, usize::MAX),
+            (500, 100, usize::MAX),
+            (0, 4000, 0),
+        ] {
+            assert_eq!(
+                idx.scan_desc(lo, hi, limit),
+                one.range_scan_desc(lo, hi, limit),
+                "scan_desc [{lo}, {hi}] limit {limit}"
             );
         }
     }

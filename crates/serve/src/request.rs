@@ -1,6 +1,9 @@
 //! The typed request/response surface of the probe service, plus the
-//! completion plumbing connecting shard workers back to waiting clients.
+//! completion plumbing connecting shard workers back to waiting clients
+//! — buffered ([`PendingResponse`]) and chunk-streaming
+//! ([`PendingStream`]).
 
+use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -27,11 +30,11 @@ pub enum Request {
         keys: Vec<u64>,
     },
     /// Scan the ordered index for every entry with a key in `[lo, hi]`;
-    /// the response carries `(key, payload)` entries in ascending key
-    /// order, truncated to the first `limit`. Served by the
-    /// range-partitioned B+-tree tier — the service scatters the scan
-    /// over the shards the interval overlaps and gathers their disjoint,
-    /// pre-ordered streams back into one reply.
+    /// the response carries `(key, payload)` entries in key order,
+    /// truncated to the first `limit`. Served by the range-partitioned
+    /// B+-tree tier — the service scatters the scan over the shards the
+    /// interval overlaps and gathers their disjoint, pre-ordered
+    /// streams back into one reply.
     RangeScan {
         /// Inclusive lower key bound.
         lo: u64,
@@ -39,6 +42,10 @@ pub enum Request {
         hi: u64,
         /// Maximum entries returned (`usize::MAX` for unbounded).
         limit: usize,
+        /// Scan direction: `false` ascends, `true` serves
+        /// `ORDER BY key DESC` — descending key order, duplicates in
+        /// reverse build order, the *largest* keys surviving `limit`.
+        desc: bool,
     },
 }
 
@@ -88,10 +95,11 @@ pub enum Response {
         pairs: Vec<(u64, u64)>,
     },
     /// The merged reply to a [`Request::RangeScan`]: per-shard result
-    /// streams gathered back into one ascending key order (duplicates in
-    /// build order), truncated to the request's `limit`.
+    /// streams gathered back into one key order — ascending (duplicates
+    /// in build order) or, for a `desc` request, descending (duplicates
+    /// in reverse build order) — truncated to the request's `limit`.
     RangeScan {
-        /// `(key, payload)` entries in ascending key order.
+        /// `(key, payload)` entries in request key order.
         entries: Vec<(u64, u64)>,
     },
 }
@@ -114,16 +122,58 @@ impl Response {
 /// One match as routed internally: `(probe row, key, payload)`.
 pub(crate) type RoutedMatch = (u32, u64, u64);
 
+/// One scatter rank's stash of streamed chunks that cannot be released
+/// yet (a rank earlier in output order is still scanning).
+#[derive(Default)]
+struct RankBuf {
+    chunks: VecDeque<Vec<(u64, u64)>>,
+    done: bool,
+}
+
+/// The streaming gather seam of one chunked range scan. Ranks release
+/// strictly in order — rank `head` forwards chunks as they arrive, later
+/// ranks stash until every earlier rank's part has completed — so the
+/// released chunk sequence concatenates to exactly the buffered
+/// [`Response::RangeScan`], with the request's `limit` still applied
+/// here at the seam (`remaining` counts it down; once it hits zero the
+/// stream ends early and everything still in flight is discarded).
+struct StreamState {
+    /// Index of the rank currently allowed to release chunks.
+    head: usize,
+    ranks: Vec<RankBuf>,
+    /// Released, key-ordered, limit-truncated chunks awaiting the
+    /// consumer.
+    ready: VecDeque<Vec<(u64, u64)>>,
+    /// Entries the seam may still release before the limit.
+    remaining: usize,
+}
+
+impl StreamState {
+    /// Whether the stream can produce nothing further (the consumer
+    /// sees `End` once `ready` drains).
+    fn finished(&self, all_parts_done: bool) -> bool {
+        all_parts_done || self.remaining == 0
+    }
+}
+
 pub(crate) struct PendingInner {
     pub(crate) parts_left: usize,
     pub(crate) items: Vec<RoutedMatch>,
+    /// `Some` on chunk-streaming range scans; `None` on buffered
+    /// requests.
+    stream: Option<StreamState>,
+    /// Completion hook: invoked (outside the lock) whenever a chunk
+    /// becomes consumable or the request completes, so a polling event
+    /// loop can skip scanning pending lists that saw no progress.
+    waker: Option<Arc<dyn Fn() + Send + Sync>>,
     pub(crate) kind: RequestKind,
     pub(crate) submitted: Instant,
     pub(crate) done: bool,
 }
 
 /// Shared completion state for one in-flight request: workers complete
-/// shard-parts; the client blocks in [`PendingResponse::wait`].
+/// shard-parts (and, on streaming scans, push chunks); the client
+/// blocks in [`PendingResponse::wait`] or drains a [`PendingStream`].
 pub(crate) struct ResponseState {
     pub(crate) inner: Mutex<PendingInner>,
     pub(crate) ready: Condvar,
@@ -135,12 +185,126 @@ impl ResponseState {
             inner: Mutex::new(PendingInner {
                 parts_left: parts,
                 items: Vec::new(),
+                stream: None,
+                waker: None,
                 kind,
                 submitted: Instant::now(),
                 done: parts == 0,
             }),
             ready: Condvar::new(),
         }
+    }
+
+    /// A streaming state: `parts` scatter ranks whose chunks the seam
+    /// releases in rank order, `limit` applied as they release.
+    pub(crate) fn new_stream(kind: RequestKind, parts: usize, limit: usize) -> ResponseState {
+        let state = ResponseState::new(kind, parts);
+        state.inner.lock().expect("pending lock").stream = Some(StreamState {
+            head: 0,
+            ranks: (0..parts).map(|_| RankBuf::default()).collect(),
+            ready: VecDeque::new(),
+            remaining: limit,
+        });
+        state
+    }
+
+    /// Whether workers should stream chunks to this state instead of
+    /// accumulating a buffered reply.
+    pub(crate) fn is_streaming(&self) -> bool {
+        self.inner.lock().expect("pending lock").stream.is_some()
+    }
+
+    /// Releases everything releasable: the head rank's stashed chunks,
+    /// advancing `head` over completed ranks. Returns true when the
+    /// consumer-visible state changed (a chunk released, or the limit
+    /// exhausted the stream).
+    fn drain_released(stream: &mut StreamState) -> bool {
+        let mut released = false;
+        while stream.head < stream.ranks.len() && stream.remaining > 0 {
+            while let Some(mut chunk) = stream.ranks[stream.head].chunks.pop_front() {
+                chunk.truncate(stream.remaining);
+                stream.remaining -= chunk.len();
+                if !chunk.is_empty() {
+                    stream.ready.push_back(chunk);
+                    released = true;
+                }
+                if stream.remaining == 0 {
+                    break;
+                }
+            }
+            if stream.remaining == 0 {
+                // Limit exhausted at the seam: the stream's end is now
+                // observable; drop whatever later ranks stashed.
+                for rank in &mut stream.ranks {
+                    rank.chunks.clear();
+                }
+                released = true;
+                break;
+            }
+            if stream.ranks[stream.head].done {
+                stream.head += 1;
+            } else {
+                break;
+            }
+        }
+        released
+    }
+
+    /// Called by a range worker when a streaming scan's walker has
+    /// yielded a chunk for scatter rank `rank`. Chunks for the head
+    /// rank become consumable immediately; later ranks stash until the
+    /// seam reaches them.
+    pub(crate) fn push_chunk(&self, rank: u32, chunk: Vec<(u64, u64)>) {
+        if chunk.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("pending lock");
+        let stream = inner
+            .stream
+            .as_mut()
+            .expect("chunk pushed to a buffered request");
+        if stream.remaining == 0 {
+            return; // Limit already exhausted; the rest is discarded.
+        }
+        stream.ranks[rank as usize].chunks.push_back(chunk);
+        if Self::drain_released(stream) {
+            self.ready.notify_all();
+            let waker = inner.waker.clone();
+            drop(inner);
+            if let Some(wake) = waker {
+                wake();
+            }
+        }
+    }
+
+    /// Called by a range worker when a streaming scan's part for
+    /// scatter rank `rank` has fully drained (every chunk pushed).
+    /// Returns the completion latency when this was the final part.
+    pub(crate) fn complete_stream_part(&self, rank: u32) -> Option<std::time::Duration> {
+        let mut inner = self.inner.lock().expect("pending lock");
+        let stream = inner
+            .stream
+            .as_mut()
+            .expect("stream part completed on a buffered request");
+        stream.ranks[rank as usize].done = true;
+        Self::drain_released(stream);
+        inner.parts_left -= 1;
+        let latency = if inner.parts_left == 0 {
+            inner.done = true;
+            Some(inner.submitted.elapsed())
+        } else {
+            None
+        };
+        // Head advancement may have released chunks, and completion may
+        // have ended the stream — wake unconditionally; spurious wakes
+        // only cost the consumer one empty poll.
+        self.ready.notify_all();
+        let waker = inner.waker.clone();
+        drop(inner);
+        if let Some(wake) = waker {
+            wake();
+        }
+        latency
     }
 
     /// Called by a shard worker when this request's slice of a batch has
@@ -154,9 +318,33 @@ impl ResponseState {
             inner.done = true;
             let latency = inner.submitted.elapsed();
             self.ready.notify_all();
+            let waker = inner.waker.clone();
+            drop(inner);
+            if let Some(wake) = waker {
+                wake();
+            }
             Some(latency)
         } else {
             None
+        }
+    }
+
+    /// Installs the completion hook, invoking it immediately (once)
+    /// when the state already has consumable progress — so a caller
+    /// registering after completion still learns about it.
+    fn install_waker(&self, waker: Arc<dyn Fn() + Send + Sync>) {
+        let wake_now = {
+            let mut inner = self.inner.lock().expect("pending lock");
+            let ready_now = inner.done
+                || inner
+                    .stream
+                    .as_ref()
+                    .is_some_and(|s| !s.ready.is_empty() || s.remaining == 0);
+            inner.waker = Some(Arc::clone(&waker));
+            ready_now
+        };
+        if wake_now {
+            waker();
         }
     }
 }
@@ -255,6 +443,121 @@ impl PendingResponse {
     pub fn is_ready(&self) -> bool {
         self.state.inner.lock().expect("pending lock").done
     }
+
+    /// Installs a completion hook invoked when the request completes
+    /// (and immediately, once, if it already has). Lets a polling event
+    /// loop skip scanning its pending list until something actually
+    /// completed, instead of calling [`is_ready`](Self::is_ready) on
+    /// every entry every tick. Replaces any previously installed hook.
+    pub fn set_waker(&self, waker: impl Fn() + Send + Sync + 'static) {
+        self.state.install_waker(Arc::new(waker));
+    }
+}
+
+/// What a non-blocking [`PendingStream::try_next`] observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamPoll {
+    /// The next key-ordered chunk (non-empty, at most the service's
+    /// `stream_chunk` entries).
+    Chunk(Vec<(u64, u64)>),
+    /// The stream is complete: every chunk has been taken. Terminal.
+    End,
+    /// No chunk consumable yet — poll again later (or install a waker).
+    Pending,
+}
+
+/// A handle to a chunk-streaming range scan: chunks become consumable
+/// *while shards are still scanning* — per-shard walkers push chunks as
+/// they yield, and the gather seam forwards them in merged key order
+/// (ascending or descending as requested) with the request's `limit`
+/// applied at the seam. The concatenation of every chunk equals the
+/// buffered [`Response::RangeScan`] for the same scan, exactly.
+pub struct PendingStream {
+    pub(crate) state: Arc<ResponseState>,
+}
+
+impl PendingStream {
+    /// Non-blocking poll for the next chunk.
+    #[must_use]
+    pub fn try_next(&mut self) -> StreamPoll {
+        let mut inner = self.state.inner.lock().expect("pending lock");
+        let done = inner.done;
+        let stream = inner
+            .stream
+            .as_mut()
+            .expect("stream handle over a buffered state");
+        if let Some(chunk) = stream.ready.pop_front() {
+            return StreamPoll::Chunk(chunk);
+        }
+        if stream.finished(done) {
+            StreamPoll::End
+        } else {
+            StreamPoll::Pending
+        }
+    }
+
+    /// Blocks for the next chunk; `None` means the stream has ended.
+    /// (Also available through the [`Iterator`] impl.)
+    #[must_use]
+    pub fn next_chunk(&mut self) -> Option<Vec<(u64, u64)>> {
+        let mut inner = self.state.inner.lock().expect("pending lock");
+        loop {
+            let done = inner.done;
+            let stream = inner
+                .stream
+                .as_mut()
+                .expect("stream handle over a buffered state");
+            if let Some(chunk) = stream.ready.pop_front() {
+                return Some(chunk);
+            }
+            if stream.finished(done) {
+                return None;
+            }
+            inner = self.state.ready.wait(inner).expect("pending wait");
+        }
+    }
+
+    /// Blocks until the stream ends, concatenating every remaining
+    /// chunk — the buffered reply, delivered late. Mostly a convenience
+    /// for tests and oracles.
+    #[must_use]
+    pub fn collect_remaining(&mut self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(chunk) = self.next_chunk() {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    /// Whether a chunk (or the end of the stream) is consumable right
+    /// now — [`try_next`](Self::try_next) would not return `Pending`.
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        let inner = self.state.inner.lock().expect("pending lock");
+        let stream = inner
+            .stream
+            .as_ref()
+            .expect("stream handle over a buffered state");
+        !stream.ready.is_empty() || stream.finished(inner.done)
+    }
+
+    /// Installs a chunk-ready hook invoked whenever a chunk becomes
+    /// consumable or the stream ends (and immediately, once, if either
+    /// already holds) — the completion-wakeup contract that lets the
+    /// net event loop skip streams that made no progress. Replaces any
+    /// previously installed hook.
+    pub fn set_waker(&self, waker: impl Fn() + Send + Sync + 'static) {
+        self.state.install_waker(Arc::new(waker));
+    }
+}
+
+impl Iterator for PendingStream {
+    type Item = Vec<(u64, u64)>;
+
+    /// Blocking iteration over the stream's chunks, in key order.
+    fn next(&mut self) -> Option<Vec<(u64, u64)>> {
+        self.next_chunk()
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +573,7 @@ mod tests {
             lo: 1,
             hi: 5,
             limit: 10,
+            desc: false,
         };
         assert_eq!(scan.keys(), &[] as &[u64]);
     }
@@ -345,5 +649,133 @@ mod tests {
         let pending = PendingResponse { state };
         assert!(pending.is_ready());
         assert_eq!(pending.wait(), Response::MultiLookup { matches: vec![] });
+    }
+
+    fn stream_state(parts: usize, limit: usize) -> Arc<ResponseState> {
+        Arc::new(ResponseState::new_stream(
+            RequestKind::RangeScan { limit },
+            parts,
+            limit,
+        ))
+    }
+
+    #[test]
+    fn stream_releases_head_rank_immediately_and_stashes_later_ranks() {
+        let state = stream_state(3, usize::MAX);
+        let mut stream = PendingStream {
+            state: Arc::clone(&state),
+        };
+        assert_eq!(stream.try_next(), StreamPoll::Pending);
+        // Rank 1 arrives first: stashed, not consumable.
+        state.push_chunk(1, vec![(20, 0), (21, 0)]);
+        assert_eq!(stream.try_next(), StreamPoll::Pending);
+        // Rank 0 streams through live.
+        state.push_chunk(0, vec![(1, 0)]);
+        assert_eq!(stream.try_next(), StreamPoll::Chunk(vec![(1, 0)]));
+        state.push_chunk(0, vec![(2, 0)]);
+        assert_eq!(stream.try_next(), StreamPoll::Chunk(vec![(2, 0)]));
+        assert_eq!(stream.try_next(), StreamPoll::Pending);
+        // Rank 0 completes: rank 1's stash releases, in order.
+        assert!(state.complete_stream_part(0).is_none());
+        assert_eq!(stream.try_next(), StreamPoll::Chunk(vec![(20, 0), (21, 0)]));
+        assert_eq!(stream.try_next(), StreamPoll::Pending);
+        // Ranks 1 and 2 complete (2 pushed nothing): stream ends, and
+        // the final completion reports the latency.
+        assert!(state.complete_stream_part(1).is_none());
+        assert!(state.complete_stream_part(2).is_some());
+        assert_eq!(stream.try_next(), StreamPoll::End);
+    }
+
+    #[test]
+    fn stream_limit_cuts_at_the_seam_and_discards_the_rest() {
+        let state = stream_state(2, 3);
+        let mut stream = PendingStream {
+            state: Arc::clone(&state),
+        };
+        state.push_chunk(1, vec![(50, 0), (51, 0), (52, 0)]); // stashed
+        state.push_chunk(0, vec![(1, 0), (2, 0)]);
+        assert_eq!(stream.next(), Some(vec![(1, 0), (2, 0)]));
+        assert!(state.complete_stream_part(0).is_none());
+        // One entry of rank 1's stash survives the limit; the rest is
+        // discarded and the stream ends even though rank 1's part is
+        // still "running".
+        assert_eq!(stream.next(), Some(vec![(50, 0)]));
+        assert_eq!(stream.next(), None);
+        assert!(stream.is_ready());
+        // The straggler part still completes for latency accounting.
+        state.push_chunk(1, vec![(53, 0)]); // dropped
+        assert!(state.complete_stream_part(1).is_some());
+        assert_eq!(stream.try_next(), StreamPoll::End);
+    }
+
+    #[test]
+    fn zero_part_streams_are_born_ended() {
+        let mut stream = PendingStream {
+            state: stream_state(0, 10),
+        };
+        assert!(stream.is_ready());
+        assert_eq!(stream.try_next(), StreamPoll::End);
+        assert_eq!(stream.next(), None);
+    }
+
+    #[test]
+    fn stream_waker_fires_on_chunks_end_and_late_registration() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let state = stream_state(1, usize::MAX);
+        let stream = PendingStream {
+            state: Arc::clone(&state),
+        };
+        let wakes = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&wakes);
+        stream.set_waker(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(wakes.load(Ordering::Relaxed), 0, "nothing ready yet");
+        state.push_chunk(0, vec![(1, 1)]);
+        assert_eq!(wakes.load(Ordering::Relaxed), 1, "chunk ready");
+        state.complete_stream_part(0);
+        assert_eq!(wakes.load(Ordering::Relaxed), 2, "end of stream");
+        // Late registration on an already-ready state fires immediately.
+        let late = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&late);
+        stream.set_waker(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(late.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn buffered_waker_fires_on_final_part() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let state = Arc::new(ResponseState::new(RequestKind::MultiLookup, 2));
+        let pending = PendingResponse {
+            state: Arc::clone(&state),
+        };
+        let wakes = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&wakes);
+        pending.set_waker(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        state.complete_part(&[(0, 1, 2)]);
+        assert_eq!(wakes.load(Ordering::Relaxed), 0, "one part still out");
+        state.complete_part(&[]);
+        assert_eq!(wakes.load(Ordering::Relaxed), 1, "completion woke");
+        assert!(pending.is_ready());
+    }
+
+    #[test]
+    fn blocking_next_wakes_on_cross_thread_pushes() {
+        let state = stream_state(1, usize::MAX);
+        let mut stream = PendingStream {
+            state: Arc::clone(&state),
+        };
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            state.push_chunk(0, vec![(7, 7)]);
+            state.complete_stream_part(0);
+        });
+        assert_eq!(stream.next(), Some(vec![(7, 7)]));
+        assert_eq!(stream.next(), None);
+        pusher.join().unwrap();
     }
 }

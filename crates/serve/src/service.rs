@@ -10,7 +10,9 @@ use widx_soft::ScanRange;
 use crate::batch::BatchPolicy;
 use crate::ordered::OrderedShardedIndex;
 use crate::queue::{Job, PushError, ShardQueue};
-use crate::request::{PendingResponse, Request, RequestKind, Response, ResponseState};
+use crate::request::{
+    PendingResponse, PendingStream, Request, RequestKind, Response, ResponseState,
+};
 use crate::shard::ShardedIndex;
 use crate::stats::{LatencyRecorder, LatencySummary, ServiceStats, WorkerStats};
 use crate::worker::{run_range_worker, run_worker, RangeWorkerContext, WorkerContext};
@@ -36,6 +38,12 @@ pub struct ServeConfig {
     pub load: f64,
     /// B+-tree fanout for the ordered tier at build time.
     pub fanout: usize,
+    /// Entries per chunk on streaming range scans: a range worker
+    /// pushes a chunk to the gather seam every `stream_chunk` entries
+    /// its walker yields for one scan (the tail chunk may be smaller).
+    /// Smaller chunks cut first-chunk latency; larger ones amortize
+    /// seam and framing overhead.
+    pub stream_chunk: usize,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +57,7 @@ impl Default for ServeConfig {
             min_buckets: 64,
             load: 1.0,
             fanout: 8,
+            stream_chunk: 512,
         }
     }
 }
@@ -93,6 +102,13 @@ impl ServeConfig {
     #[must_use]
     pub fn with_fanout(mut self, fanout: usize) -> ServeConfig {
         self.fanout = fanout;
+        self
+    }
+
+    /// Sets the streaming chunk size (entries per chunk).
+    #[must_use]
+    pub fn with_stream_chunk(mut self, entries: usize) -> ServeConfig {
+        self.stream_chunk = entries;
         self
     }
 }
@@ -241,6 +257,7 @@ impl ProbeService {
         config: &ServeConfig,
     ) -> ProbeService {
         assert!(config.inflight > 0, "need at least one in-flight probe");
+        assert!(config.stream_chunk > 0, "need a positive stream chunk");
         let policy = BatchPolicy::new(config.batch_size, config.batch_deadline);
         let sharded = Arc::new(sharded);
         let queues: Vec<Arc<ShardQueue>> = (0..sharded.shard_count())
@@ -280,6 +297,7 @@ impl ProbeService {
                         ordered: Arc::clone(ordered),
                         policy,
                         inflight: config.inflight,
+                        stream_chunk: config.stream_chunk,
                     };
                     std::thread::Builder::new()
                         .name(format!("widx-range-{shard}"))
@@ -338,8 +356,13 @@ impl ProbeService {
             Request::Lookup { key } => RequestKind::Lookup { key: *key },
             Request::MultiLookup { .. } => RequestKind::MultiLookup,
             Request::JoinProbe { .. } => RequestKind::JoinProbe,
-            Request::RangeScan { lo, hi, limit } => {
-                return self.submit_scan(*lo, *hi, *limit);
+            Request::RangeScan {
+                lo,
+                hi,
+                limit,
+                desc,
+            } => {
+                return self.submit_scan(*lo, *hi, *limit, *desc);
             }
         };
         self.submit_keys(kind, request.keys())
@@ -410,12 +433,18 @@ impl ProbeService {
     /// full interval and limit — shard trees only hold their own span,
     /// and the global `limit` is re-applied at gather time), under the
     /// same all-or-nothing stop gate as `submit_keys`.
-    fn submit_scan(&self, lo: u64, hi: u64, limit: usize) -> Result<PendingResponse, SubmitError> {
+    fn submit_scan(
+        &self,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+        desc: bool,
+    ) -> Result<PendingResponse, SubmitError> {
         let stopped = self.stopped.read().expect("stop gate");
         if *stopped {
             return Err(SubmitError::Stopped);
         }
-        let (state, parts) = self.plan_scan(lo, hi, limit)?;
+        let (state, parts) = self.plan_scan(lo, hi, limit, desc, false)?;
         for (shard, job) in parts {
             self.push_part(&self.range_queues[shard], job);
         }
@@ -425,35 +454,120 @@ impl ProbeService {
 
     /// Scatters a scan into per-shard jobs (shard index ascending) plus
     /// the shared completion state; degenerate scans yield zero parts
-    /// and a state that is born complete.
+    /// and a state that is born complete. Scatter *ranks* are assigned
+    /// in output order — shard order ascending, or descending for a
+    /// `desc` scan — so the gather side (buffered bucket concatenation
+    /// and the streaming seam alike) never needs to know the direction:
+    /// rank order *is* reply order.
     #[allow(clippy::type_complexity)]
     fn plan_scan(
         &self,
         lo: u64,
         hi: u64,
         limit: usize,
+        desc: bool,
+        streaming: bool,
     ) -> Result<(Arc<ResponseState>, Vec<(usize, Job)>), SubmitError> {
         let Some(ordered) = &self.ordered else {
             return Err(SubmitError::NoOrderedIndex);
         };
         let kind = RequestKind::RangeScan { limit };
+        let state_for = |parts: usize| {
+            if streaming {
+                ResponseState::new_stream(kind, parts, limit)
+            } else {
+                ResponseState::new(kind, parts)
+            }
+        };
         if lo > hi || limit == 0 {
             // Degenerate scans complete immediately: zero parts.
-            return Ok((Arc::new(ResponseState::new(kind, 0)), Vec::new()));
+            return Ok((Arc::new(state_for(0)), Vec::new()));
         }
         let (first, last) = ordered.shard_span(lo, hi);
-        let state = Arc::new(ResponseState::new(kind, last - first + 1));
+        let parts = last - first + 1;
+        let state = Arc::new(state_for(parts));
         let jobs = (first..=last)
             .enumerate()
-            .map(|(rank, shard)| {
+            .map(|(i, shard)| {
+                let rank = if desc { parts - 1 - i } else { i } as u32;
                 let job = Job::Scan {
-                    scans: vec![(rank as u32, ScanRange { lo, hi, limit })],
+                    scans: vec![(
+                        rank,
+                        ScanRange {
+                            lo,
+                            hi,
+                            limit,
+                            desc,
+                        },
+                    )],
                     reply: Arc::clone(&state),
                 };
                 (shard, job)
             })
             .collect();
         Ok((state, jobs))
+    }
+
+    /// Submits a chunk-streaming range scan, blocking only under queue
+    /// backpressure: the returned [`PendingStream`] yields merged
+    /// key-ordered chunks *while shards are still scanning*, instead of
+    /// buffering the whole reply like [`range_scan`](Self::range_scan).
+    /// The scatter, batching, walkers, and the limit-at-the-seam
+    /// contract are identical to the buffered path — concatenating the
+    /// chunks reproduces its reply exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Stopped`] once shutdown has begun, or
+    /// [`SubmitError::NoOrderedIndex`] without a range tier.
+    pub fn range_stream(
+        &self,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+        desc: bool,
+    ) -> Result<PendingStream, SubmitError> {
+        let stopped = self.stopped.read().expect("stop gate");
+        if *stopped {
+            return Err(SubmitError::Stopped);
+        }
+        let (state, parts) = self.plan_scan(lo, hi, limit, desc, true)?;
+        for (shard, job) in parts {
+            self.push_part(&self.range_queues[shard], job);
+        }
+        drop(stopped);
+        Ok(PendingStream { state })
+    }
+
+    /// Non-blocking [`range_stream`](Self::range_stream): refuses with
+    /// [`SubmitError::Busy`] instead of waiting out backpressure
+    /// (all-or-nothing across shards) — the submission surface the
+    /// `widx-net` event loop uses for the chunked reply opcodes.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] under backpressure, [`SubmitError::Stopped`]
+    /// once shutdown has begun, or [`SubmitError::NoOrderedIndex`]
+    /// without a range tier.
+    pub fn try_range_stream(
+        &self,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+        desc: bool,
+    ) -> Result<PendingStream, SubmitError> {
+        let stopped = self.stopped.read().expect("stop gate");
+        if *stopped {
+            return Err(SubmitError::Stopped);
+        }
+        let (state, parts) = self.plan_scan(lo, hi, limit, desc, true)?;
+        let targeted = parts
+            .into_iter()
+            .map(|(shard, job)| (&*self.range_queues[shard], job))
+            .collect();
+        crate::queue::try_push_all(targeted).map_err(|_| SubmitError::Busy)?;
+        drop(stopped);
+        Ok(PendingStream { state })
     }
 
     /// Non-blocking [`submit`](ProbeService::submit): never waits out
@@ -486,9 +600,15 @@ impl ProbeService {
                 &self.queues,
                 self.plan_keys(RequestKind::JoinProbe, request.keys()),
             ),
-            Request::RangeScan { lo, hi, limit } => {
-                (&self.range_queues, self.plan_scan(*lo, *hi, *limit)?)
-            }
+            Request::RangeScan {
+                lo,
+                hi,
+                limit,
+                desc,
+            } => (
+                &self.range_queues,
+                self.plan_scan(*lo, *hi, *limit, *desc, false)?,
+            ),
         };
         let targeted = parts
             .into_iter()
@@ -563,7 +683,27 @@ impl ProbeService {
         hi: u64,
         limit: usize,
     ) -> Result<Vec<(u64, u64)>, SubmitError> {
-        match self.submit_scan(lo, hi, limit)?.wait() {
+        match self.submit_scan(lo, hi, limit, false)?.wait() {
+            Response::RangeScan { entries } => Ok(entries),
+            _ => unreachable!("range-scan requests assemble range-scan responses"),
+        }
+    }
+
+    /// Blocking convenience: [`range_scan`](Self::range_scan) in
+    /// descending key order — the `ORDER BY key DESC` shape, with the
+    /// *largest* keys surviving `limit` and duplicates in reverse build
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// As [`range_scan`](Self::range_scan).
+    pub fn range_scan_desc(
+        &self,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+    ) -> Result<Vec<(u64, u64)>, SubmitError> {
+        match self.submit_scan(lo, hi, limit, true)?.wait() {
             Response::RangeScan { entries } => Ok(entries),
             _ => unreachable!("range-scan requests assemble range-scan responses"),
         }
@@ -785,6 +925,7 @@ mod tests {
                 lo: 10,
                 hi: 20,
                 limit: usize::MAX,
+                desc: false,
             })
             .unwrap()
             .wait()
@@ -817,7 +958,8 @@ mod tests {
             s.try_submit(Request::RangeScan {
                 lo: 0,
                 hi: 9,
-                limit: 1
+                limit: 1,
+                desc: false,
             })
             .err(),
             Some(SubmitError::NoOrderedIndex)
@@ -876,6 +1018,7 @@ mod tests {
                 lo: 10,
                 hi: 40,
                 limit: usize::MAX,
+                desc: false,
             })
             .unwrap();
         let point = s.submit(Request::Lookup { key: 20 }).unwrap();
@@ -891,6 +1034,96 @@ mod tests {
                 key: 20,
                 payloads: vec![10]
             }
+        );
+    }
+
+    #[test]
+    fn range_scan_desc_matches_the_reverse_oracle_across_shards() {
+        let s = range_service(2000, &ServeConfig::default());
+        let got = s.range_scan_desc(0, u64::MAX, usize::MAX).unwrap();
+        assert_eq!(
+            got,
+            (0..2000u64).rev().map(|k| (k * 2, k)).collect::<Vec<_>>()
+        );
+        // Bounded desc scan with a limit cutting across a shard seam:
+        // the *largest* keys survive.
+        let oracle = s.ordered().unwrap().scan_desc(500, 3000, 700);
+        assert_eq!(oracle.len(), 700);
+        assert_eq!(s.range_scan_desc(500, 3000, 700).unwrap(), oracle);
+        assert_eq!(s.range_scan_desc(50, 10, usize::MAX).unwrap(), vec![]);
+        assert_eq!(s.range_scan_desc(0, 100, 0).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn range_stream_concatenates_to_the_buffered_reply() {
+        let s = range_service(3000, &ServeConfig::default().with_stream_chunk(64));
+        for desc in [false, true] {
+            let want = if desc {
+                s.range_scan_desc(100, 4000, usize::MAX).unwrap()
+            } else {
+                s.range_scan(100, 4000, usize::MAX).unwrap()
+            };
+            let mut stream = s.range_stream(100, 4000, usize::MAX, desc).unwrap();
+            let mut got = Vec::new();
+            let mut chunks = 0usize;
+            while let Some(chunk) = stream.next_chunk() {
+                assert!(!chunk.is_empty(), "no empty chunks");
+                assert!(chunk.len() <= 64, "chunk respects stream_chunk");
+                got.extend(chunk);
+                chunks += 1;
+            }
+            assert_eq!(got, want, "desc={desc}");
+            assert!(chunks > 1, "a long scan streams in several chunks");
+        }
+        let _ = s.shutdown();
+    }
+
+    #[test]
+    fn range_stream_limit_cuts_at_the_seam() {
+        let s = range_service(1000, &ServeConfig::default().with_stream_chunk(16));
+        let want = s.range_scan(0, u64::MAX, 333).unwrap();
+        let mut stream = s.range_stream(0, u64::MAX, 333, false).unwrap();
+        assert_eq!(stream.collect_remaining(), want);
+        // Degenerate streams are born ended.
+        let mut empty = s.range_stream(10, 3, usize::MAX, false).unwrap();
+        assert_eq!(empty.next(), None);
+        let mut zero = s.range_stream(0, 10, 0, true).unwrap();
+        assert_eq!(zero.try_next(), crate::request::StreamPoll::End);
+    }
+
+    #[test]
+    fn range_stream_respects_stop_and_missing_tier() {
+        let s = service(100, &ServeConfig::default());
+        assert_eq!(
+            s.range_stream(0, 10, usize::MAX, false).err(),
+            Some(SubmitError::NoOrderedIndex)
+        );
+        let s = range_service(100, &ServeConfig::default());
+        let mut accepted = s.range_stream(0, u64::MAX, usize::MAX, false).unwrap();
+        s.stop();
+        assert_eq!(
+            s.range_stream(0, 10, usize::MAX, false).err(),
+            Some(SubmitError::Stopped)
+        );
+        assert_eq!(
+            s.try_range_stream(0, 10, usize::MAX, false).err(),
+            Some(SubmitError::Stopped)
+        );
+        let _ = s.shutdown();
+        // Accepted streams drain fully through shutdown.
+        assert_eq!(
+            accepted.collect_remaining(),
+            (0..100u64).map(|k| (k * 2, k)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn try_range_stream_serves_chunks() {
+        let s = range_service(500, &ServeConfig::default().with_stream_chunk(32));
+        let mut stream = s.try_range_stream(10, 600, usize::MAX, true).unwrap();
+        assert_eq!(
+            stream.collect_remaining(),
+            s.ordered().unwrap().scan_desc(10, 600, usize::MAX)
         );
     }
 
@@ -912,6 +1145,7 @@ mod tests {
                 lo: 0,
                 hi: 99,
                 limit: usize::MAX,
+                desc: false,
             })
             .unwrap();
         s.stop();

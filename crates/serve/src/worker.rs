@@ -36,12 +36,56 @@ pub(crate) struct RangeWorkerContext {
     pub(crate) ordered: Arc<OrderedShardedIndex>,
     pub(crate) policy: BatchPolicy,
     pub(crate) inflight: usize,
+    /// Entries per chunk pushed to the seam on streaming scans.
+    pub(crate) stream_chunk: usize,
 }
 
 /// A request shard-part participating in the worker's open batch.
 struct OpenJob {
     reply: Arc<ResponseState>,
     items: Vec<RoutedMatch>,
+}
+
+/// A scan shard-part participating in a range worker's open batch.
+/// Streaming parts push chunks to the seam as their cursors yield;
+/// buffered parts accumulate `items` like point jobs do.
+struct OpenScan {
+    reply: Arc<ResponseState>,
+    streaming: bool,
+    items: Vec<RoutedMatch>,
+    /// Scatter ranks of this part's cursors (streaming completion is
+    /// per rank).
+    ranks: Vec<u32>,
+    /// Entries emitted for this part, streamed chunks included.
+    emitted: u64,
+}
+
+/// Routes one walker emission to its request: buffered parts
+/// accumulate, streaming parts build a chunk and push it to the gather
+/// seam every `chunk_size` entries — this mid-batch flush is what makes
+/// a long scan's first entries reach the client while the walker ring
+/// is still running.
+fn attribute_scan(
+    meta: &[(u32, u32)],
+    open: &mut [OpenScan],
+    chunks: &mut [Vec<(u64, u64)>],
+    chunk_size: usize,
+    tag: u32,
+    key: u64,
+    payload: u64,
+) {
+    let (open_idx, rank) = meta[tag as usize];
+    let job = &mut open[open_idx as usize];
+    job.emitted += 1;
+    if job.streaming {
+        let buf = &mut chunks[tag as usize];
+        buf.push((key, payload));
+        if buf.len() >= chunk_size {
+            job.reply.push_chunk(rank, std::mem::take(buf));
+        }
+    } else {
+        job.items.push((rank, key, payload));
+    }
 }
 
 /// The worker thread body: loops batches until the poison pill, then
@@ -229,6 +273,7 @@ pub(crate) fn run_range_worker(ctx: &RangeWorkerContext) -> (WorkerStats, Latenc
             &mut walker,
             scans,
             reply,
+            ctx.stream_chunk,
             &mut stats,
             &mut latencies,
         );
@@ -239,50 +284,66 @@ pub(crate) fn run_range_worker(ctx: &RangeWorkerContext) -> (WorkerStats, Latenc
     (stats, latencies)
 }
 
-/// Assembles and drains one batch of scan cursors. Returns true when
-/// the poison pill arrived and the worker must halt after this batch.
+/// Assembles and drains one batch of scan cursors. Emissions are
+/// attributed to their request *as they happen* (not at batch close),
+/// so streaming parts can flush chunks to the gather seam while other
+/// cursors in the ring are still descending. Returns true when the
+/// poison pill arrived and the worker must halt after this batch.
+#[allow(clippy::too_many_arguments)]
 fn run_range_batch(
     queue: &ShardQueue,
     policy: &BatchPolicy,
     walker: &mut BTreeRangeWalker<'_>,
     first_scans: Vec<(u32, ScanRange)>,
     first_reply: Arc<ResponseState>,
+    chunk_size: usize,
     stats: &mut WorkerStats,
     latencies: &mut LatencyRecorder,
 ) -> bool {
     let opened = Instant::now();
     // tag (index into `meta`) → (open-job index, scatter rank).
     let mut meta: Vec<(u32, u32)> = Vec::new();
-    let mut open: Vec<OpenJob> = Vec::new();
-    let mut raw: Vec<(u32, u64, u64)> = Vec::new();
+    let mut open: Vec<OpenScan> = Vec::new();
+    // tag → the streaming chunk being built (unused by buffered tags).
+    let mut chunks: Vec<Vec<(u64, u64)>> = Vec::new();
     let mut shutdown = false;
 
     let admit = |scans: Vec<(u32, ScanRange)>,
                  reply: Arc<ResponseState>,
                  meta: &mut Vec<(u32, u32)>,
-                 open: &mut Vec<OpenJob>,
-                 raw: &mut Vec<(u32, u64, u64)>,
+                 open: &mut Vec<OpenScan>,
+                 chunks: &mut Vec<Vec<(u64, u64)>>,
                  walker: &mut BTreeRangeWalker<'_>,
                  stats: &mut WorkerStats,
                  latencies: &mut LatencyRecorder| {
         stats.jobs += 1;
         if scans.is_empty() {
-            // Defensive: never strand a zero-cursor part.
+            // Defensive: never strand a zero-cursor part. (The planner
+            // never scatters an empty streaming part.)
+            debug_assert!(!reply.is_streaming(), "empty streaming shard-part");
             if let Some(latency) = reply.complete_part(&[]) {
                 latencies.record(latency);
             }
             return;
         }
+        let streaming = reply.is_streaming();
         let open_idx = open.len() as u32;
-        open.push(OpenJob {
+        open.push(OpenScan {
             reply,
+            streaming,
             items: Vec::new(),
+            ranks: Vec::new(),
+            emitted: 0,
         });
         let busy_from = Instant::now();
         for (rank, range) in scans {
             let tag = u32::try_from(meta.len()).expect("batch exceeds u32 tags");
             meta.push((open_idx, rank));
-            walker.feed(tag, range, &mut |t, k, p| raw.push((t, k, p)));
+            chunks.push(Vec::new());
+            open[open_idx as usize].ranks.push(rank);
+            walker.feed(tag, range, &mut |t, k, p| {
+                attribute_scan(meta, open, chunks, chunk_size, t, k, p);
+            });
         }
         stats.busy += busy_from.elapsed();
     };
@@ -292,7 +353,7 @@ fn run_range_batch(
         first_reply,
         &mut meta,
         &mut open,
-        &mut raw,
+        &mut chunks,
         walker,
         stats,
         latencies,
@@ -308,7 +369,14 @@ fn run_range_batch(
         match next {
             Some(Job::Scan { scans, reply }) => {
                 admit(
-                    scans, reply, &mut meta, &mut open, &mut raw, walker, stats, latencies,
+                    scans,
+                    reply,
+                    &mut meta,
+                    &mut open,
+                    &mut chunks,
+                    walker,
+                    stats,
+                    latencies,
                 );
             }
             Some(Job::Probe { .. }) => unreachable!("probe job routed to a range queue"),
@@ -320,16 +388,23 @@ fn run_range_batch(
         }
     };
 
+    // Drain the ring: emissions attribute inline, in emit order, so
+    // each tag's slice (and chunk sequence) stays key-ordered — the
+    // invariant the gather side's rank-ordered release relies on.
     let busy_from = Instant::now();
-    walker.drain(&mut |t, k, p| raw.push((t, k, p)));
+    walker.drain(&mut |t, k, p| {
+        attribute_scan(&meta, &mut open, &mut chunks, chunk_size, t, k, p);
+    });
     stats.busy += busy_from.elapsed();
 
-    // Attribute emissions to requests. `raw` is in emit order, so each
-    // tag's slice stays key-ordered — the invariant the gather side's
-    // rank-bucketed concatenation relies on.
-    for (tag, key, payload) in raw.drain(..) {
-        let (open_idx, rank) = meta[tag as usize];
-        open[open_idx as usize].items.push((rank, key, payload));
+    // Flush every streaming tag's tail chunk, then complete the parts.
+    for (tag, buf) in chunks.iter_mut().enumerate() {
+        if !buf.is_empty() {
+            let (open_idx, rank) = meta[tag];
+            let job = &open[open_idx as usize];
+            debug_assert!(job.streaming, "tail chunk on a buffered part");
+            job.reply.push_chunk(rank, std::mem::take(buf));
+        }
     }
     stats.batches += 1;
     stats.keys += meta.len() as u64;
@@ -339,8 +414,14 @@ fn run_range_batch(
         FlushReason::Shutdown => stats.shutdown_flushes += 1,
     }
     for job in &open {
-        stats.matches += job.items.len() as u64;
-        if let Some(latency) = job.reply.complete_part(&job.items) {
+        stats.matches += job.emitted;
+        if job.streaming {
+            for rank in &job.ranks {
+                if let Some(latency) = job.reply.complete_stream_part(*rank) {
+                    latencies.record(latency);
+                }
+            }
+        } else if let Some(latency) = job.reply.complete_part(&job.items) {
             latencies.record(latency);
         }
     }

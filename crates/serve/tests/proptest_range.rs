@@ -76,7 +76,7 @@ proptest! {
             .iter()
             .map(|((lo, hi), limit)| {
                 service
-                    .submit(Request::RangeScan { lo: *lo, hi: *hi, limit: *limit })
+                    .submit(Request::RangeScan { lo: *lo, hi: *hi, limit: *limit, desc: false })
                     .unwrap()
             })
             .collect();
@@ -157,7 +157,7 @@ proptest! {
             .iter()
             .map(|(lo, hi)| {
                 service
-                    .submit(Request::RangeScan { lo: *lo, hi: *hi, limit: usize::MAX })
+                    .submit(Request::RangeScan { lo: *lo, hi: *hi, limit: usize::MAX, desc: false })
                     .unwrap()
             })
             .collect();
@@ -195,7 +195,7 @@ proptest! {
             .iter()
             .map(|(lo, hi)| {
                 service
-                    .submit(Request::RangeScan { lo: *lo, hi: *hi, limit: usize::MAX })
+                    .submit(Request::RangeScan { lo: *lo, hi: *hi, limit: usize::MAX, desc: false })
                     .unwrap()
             })
             .collect();
@@ -282,6 +282,7 @@ fn cross_shard_scans_match_oracle_end_to_end() {
                     lo: i * 37,
                     hi: i * 37 + 9_000,
                     limit: 500,
+                    desc: false,
                 })
                 .unwrap()
         })

@@ -22,17 +22,23 @@
 //!   batch boundaries.
 //!
 //! Every engine emits `(tag, key, payload)` with the guarantee that the
-//! emissions *for one tag* are in ascending key order (duplicates in
-//! build order) and truncated to the scan's `limit` — emissions of
-//! different tags interleave arbitrarily.
+//! emissions *for one tag* are in key order — ascending (duplicates in
+//! build order), or descending (duplicates in reverse build order) for
+//! a [`ScanRange`] with `desc` set, which descends toward `hi` and
+//! walks the leaf chain *backwards*, prefetching the previous sibling —
+//! and truncated to the scan's `limit`. Emissions of different tags
+//! interleave arbitrarily.
 
 use widx_db::index::BTreeIndex;
 
 use crate::prefetch::prefetch_read;
 
 /// One range-scan query: all entries with keys in `[lo, hi]`, truncated
-/// to the first `limit` in key order. Use `usize::MAX` for an unbounded
-/// scan; `lo > hi` and `limit == 0` are valid, empty scans.
+/// to the first `limit` in key order — ascending by default, descending
+/// with [`desc`](ScanRange::desc) set (the `ORDER BY key DESC` shape:
+/// the *largest* keys survive the limit, duplicates in reverse build
+/// order). Use `usize::MAX` for an unbounded scan; `lo > hi` and
+/// `limit == 0` are valid, empty scans.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ScanRange {
     /// Inclusive lower key bound.
@@ -41,16 +47,20 @@ pub struct ScanRange {
     pub hi: u64,
     /// Maximum entries to emit.
     pub limit: usize,
+    /// Scan direction: `false` ascends from `lo`, `true` descends from
+    /// `hi` (descend-to-hi, then walk the leaf chain backwards).
+    pub desc: bool,
 }
 
 impl ScanRange {
-    /// An unbounded-count scan of `[lo, hi]`.
+    /// An unbounded-count ascending scan of `[lo, hi]`.
     #[must_use]
     pub fn new(lo: u64, hi: u64) -> ScanRange {
         ScanRange {
             lo,
             hi,
             limit: usize::MAX,
+            desc: false,
         }
     }
 
@@ -58,6 +68,13 @@ impl ScanRange {
     #[must_use]
     pub fn with_limit(mut self, limit: usize) -> ScanRange {
         self.limit = limit;
+        self
+    }
+
+    /// The same scan in descending key order.
+    #[must_use]
+    pub fn descending(mut self) -> ScanRange {
+        self.desc = true;
         self
     }
 
@@ -74,23 +91,27 @@ enum Cursor {
     /// No scan in this slot.
     Empty,
     /// About to read inner node `node` at `depth` below the root
-    /// (prefetch issued).
+    /// (prefetch issued). Ascending scans descend toward `lo`,
+    /// descending ones toward `hi`.
     Inner {
         tag: u32,
         lo: u64,
         hi: u64,
         remaining: usize,
+        desc: bool,
         depth: usize,
         node: u32,
     },
     /// About to scan `leaf` (prefetch issued); `seek` means the cursor
-    /// must still locate `lo` within it (first leaf only — sibling
-    /// leaves continue from slot 0).
+    /// must still locate its boundary key within it (first leaf only —
+    /// sibling leaves continue from the edge: slot 0 ascending, the
+    /// last slot descending).
     Leaf {
         tag: u32,
         lo: u64,
         hi: u64,
         remaining: usize,
+        desc: bool,
         leaf: u32,
         seek: bool,
     },
@@ -164,6 +185,7 @@ impl<'idx> BTreeRangeWalker<'idx> {
                 lo: range.lo,
                 hi: range.hi,
                 remaining: range.limit,
+                desc: range.desc,
                 leaf: 0,
                 seek: true,
             }
@@ -174,6 +196,7 @@ impl<'idx> BTreeRangeWalker<'idx> {
                 lo: range.lo,
                 hi: range.hi,
                 remaining: range.limit,
+                desc: range.desc,
                 depth: 0,
                 node: 0,
             }
@@ -224,14 +247,21 @@ impl<'idx> BTreeRangeWalker<'idx> {
                     lo,
                     hi,
                     remaining,
+                    desc,
                     depth,
                     node,
                 } => {
-                    // Strict comparison: descend toward the *leftmost*
-                    // subtree that can hold a key >= lo (duplicates of
-                    // one key may span several leaves).
+                    // Ascending: strict comparison descends toward the
+                    // *leftmost* subtree that can hold a key >= lo
+                    // (duplicates of one key may span several leaves).
+                    // Descending: `<=` descends toward the *rightmost*
+                    // subtree that can hold a key <= hi.
                     let keys = self.tree.inner_keys(depth, node);
-                    let slot = keys.partition_point(|k| *k < lo);
+                    let slot = if desc {
+                        keys.partition_point(|k| *k <= hi)
+                    } else {
+                        keys.partition_point(|k| *k < lo)
+                    };
                     let child = self.tree.inner_child(depth, node, slot);
                     self.slots[i] = if depth + 1 == self.tree.inner_level_count() {
                         self.prefetch_leaf(child);
@@ -240,6 +270,7 @@ impl<'idx> BTreeRangeWalker<'idx> {
                             lo,
                             hi,
                             remaining,
+                            desc,
                             leaf: child,
                             seek: true,
                         }
@@ -250,6 +281,7 @@ impl<'idx> BTreeRangeWalker<'idx> {
                             lo,
                             hi,
                             remaining,
+                            desc,
                             depth: depth + 1,
                             node: child,
                         }
@@ -260,10 +292,46 @@ impl<'idx> BTreeRangeWalker<'idx> {
                     lo,
                     hi,
                     mut remaining,
+                    desc,
                     leaf,
                     seek,
                 } => {
                     let (keys, payloads) = self.tree.leaf_entries(leaf);
+                    if desc {
+                        // Walk this leaf downward from the last key
+                        // <= hi, then step to the *previous* sibling.
+                        let mut slot = if seek {
+                            keys.partition_point(|k| *k <= hi)
+                        } else {
+                            keys.len()
+                        };
+                        let mut past_lo = false;
+                        while slot > 0 && remaining > 0 {
+                            let key = keys[slot - 1];
+                            if key < lo {
+                                past_lo = true;
+                                break;
+                            }
+                            emit(tag, key, payloads[slot - 1]);
+                            remaining -= 1;
+                            slot -= 1;
+                        }
+                        if past_lo || remaining == 0 || leaf == 0 {
+                            self.retire(i);
+                        } else {
+                            self.prefetch_leaf(leaf - 1);
+                            self.slots[i] = Cursor::Leaf {
+                                tag,
+                                lo,
+                                hi,
+                                remaining,
+                                desc,
+                                leaf: leaf - 1,
+                                seek: false,
+                            };
+                        }
+                        continue;
+                    }
                     let mut slot = if seek {
                         keys.partition_point(|k| *k < lo)
                     } else {
@@ -291,6 +359,7 @@ impl<'idx> BTreeRangeWalker<'idx> {
                             hi,
                             remaining,
                             leaf: next,
+                            desc,
                             seek: false,
                         };
                     }
@@ -321,14 +390,42 @@ pub fn scan_btree_scalar<F: FnMut(u32, u64, u64)>(
         let tag = i as u32;
         let mut node = 0u32;
         for depth in 0..tree.inner_level_count() {
-            let slot = tree
-                .inner_keys(depth, node)
-                .partition_point(|k| *k < range.lo);
+            let keys = tree.inner_keys(depth, node);
+            let slot = if range.desc {
+                keys.partition_point(|k| *k <= range.hi)
+            } else {
+                keys.partition_point(|k| *k < range.lo)
+            };
             node = tree.inner_child(depth, node, slot);
         }
         let mut leaf = node;
         let mut remaining = range.limit;
         let mut seek = true;
+        if range.desc {
+            'rchain: while remaining > 0 {
+                let (keys, payloads) = tree.leaf_entries(leaf);
+                let mut slot = if seek {
+                    keys.partition_point(|k| *k <= range.hi)
+                } else {
+                    keys.len()
+                };
+                while slot > 0 && remaining > 0 {
+                    let key = keys[slot - 1];
+                    if key < range.lo {
+                        break 'rchain;
+                    }
+                    emit(tag, key, payloads[slot - 1]);
+                    remaining -= 1;
+                    slot -= 1;
+                }
+                if leaf == 0 {
+                    break;
+                }
+                leaf -= 1;
+                seek = false;
+            }
+            continue;
+        }
         'chain: while remaining > 0 {
             let (keys, payloads) = tree.leaf_entries(leaf);
             let mut slot = if seek {
@@ -380,15 +477,19 @@ pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
     for (chunk_idx, chunk) in scans.chunks(group).enumerate() {
         let base = (chunk_idx * group) as u32;
         let mut nodes = vec![0u32; chunk.len()];
-        // Stage 1..h: descend the whole group one level per stage.
+        // Stage 1..h: descend the whole group one level per stage
+        // (toward `lo` ascending, toward `hi` descending).
         for depth in 0..tree.inner_level_count() {
             for (i, range) in chunk.iter().enumerate() {
                 if range.is_empty() {
                     continue;
                 }
-                let slot = tree
-                    .inner_keys(depth, nodes[i])
-                    .partition_point(|k| *k < range.lo);
+                let keys = tree.inner_keys(depth, nodes[i]);
+                let slot = if range.desc {
+                    keys.partition_point(|k| *k <= range.hi)
+                } else {
+                    keys.partition_point(|k| *k < range.lo)
+                };
                 nodes[i] = tree.inner_child(depth, nodes[i], slot);
                 if depth + 1 < tree.inner_level_count() {
                     if let [first, ..] = tree.inner_keys(depth + 1, nodes[i]) {
@@ -419,6 +520,34 @@ pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
                 any = true;
                 let range = &chunk[i];
                 let (keys, payloads) = tree.leaf_entries(m.leaf);
+                if range.desc {
+                    let mut slot = if m.seek {
+                        keys.partition_point(|k| *k <= range.hi)
+                    } else {
+                        keys.len()
+                    };
+                    let mut past_lo = false;
+                    while slot > 0 && m.remaining > 0 {
+                        let key = keys[slot - 1];
+                        if key < range.lo {
+                            past_lo = true;
+                            break;
+                        }
+                        emit(base + i as u32, key, payloads[slot - 1]);
+                        m.remaining -= 1;
+                        slot -= 1;
+                    }
+                    if past_lo || m.remaining == 0 || m.leaf == 0 {
+                        m.done = true;
+                    } else {
+                        if let ([first, ..], _) = tree.leaf_entries(m.leaf - 1) {
+                            prefetch_read(first);
+                        }
+                        m.leaf -= 1;
+                        m.seek = false;
+                    }
+                    continue;
+                }
                 let mut slot = if m.seek {
                     keys.partition_point(|k| *k < range.lo)
                 } else {
@@ -497,7 +626,13 @@ mod tests {
     fn check_all_engines(t: &BTreeIndex, scans: &[ScanRange]) {
         let want: Vec<Vec<(u64, u64)>> = scans
             .iter()
-            .map(|r| t.range_scan(r.lo, r.hi, r.limit))
+            .map(|r| {
+                if r.desc {
+                    t.range_scan_desc(r.lo, r.hi, r.limit)
+                } else {
+                    t.range_scan(r.lo, r.hi, r.limit)
+                }
+            })
             .collect();
         let scalar = per_tag(scans.len(), |emit| {
             scan_btree_scalar(t, scans, &mut |a, b, c| emit(a, b, c));
@@ -561,6 +696,65 @@ mod tests {
             &[ScanRange::new(0, u64::MAX)],
         );
         check_all_engines(&tree(5, 8), &[ScanRange::new(0, 100), ScanRange::new(3, 3)]);
+    }
+
+    #[test]
+    fn descending_engines_agree_with_the_reverse_oracle() {
+        let t = tree(2000, 8);
+        let mut scans: Vec<ScanRange> = (0..30u64)
+            .map(|i| ScanRange::new(i * 157, i * 157 + 500).descending())
+            .collect();
+        scans.push(ScanRange::new(0, u64::MAX).descending());
+        scans.push(ScanRange::new(100, 400).with_limit(7).descending());
+        scans.push(ScanRange::new(400, 100).descending()); // inverted
+        scans.push(ScanRange::new(9, 9).descending()); // single key hit
+        scans.push(ScanRange::new(0, 1000).with_limit(0).descending());
+        scans.push(ScanRange::new(9000, 9999).descending()); // past the end
+        check_all_engines(&t, &scans);
+    }
+
+    #[test]
+    fn mixed_direction_batches_keep_per_tag_order() {
+        let t = tree(1500, 4);
+        let scans: Vec<ScanRange> = (0..24u64)
+            .map(|i| {
+                let r = ScanRange::new(i * 97, i * 97 + 800);
+                if i % 2 == 0 {
+                    r.descending()
+                } else {
+                    r
+                }
+            })
+            .collect();
+        check_all_engines(&t, &scans);
+    }
+
+    #[test]
+    fn descending_duplicates_span_leaves_in_reverse_build_order() {
+        let mut pairs: Vec<(u64, u64)> = (0..40u64).map(|i| (77, i)).collect();
+        pairs.extend((0..100u64).map(|k| (k * 2, k)));
+        let t = BTreeIndex::build(4, pairs);
+        let scans = vec![
+            ScanRange::new(77, 77).descending(),
+            ScanRange::new(70, 80).with_limit(11).descending(),
+            ScanRange::new(0, 200).descending(),
+        ];
+        check_all_engines(&t, &scans);
+    }
+
+    #[test]
+    fn descending_empty_and_single_leaf_trees() {
+        check_all_engines(
+            &BTreeIndex::build(8, std::iter::empty()),
+            &[ScanRange::new(0, u64::MAX).descending()],
+        );
+        check_all_engines(
+            &tree(5, 8),
+            &[
+                ScanRange::new(0, 100).descending(),
+                ScanRange::new(3, 3).descending(),
+            ],
+        );
     }
 
     #[test]

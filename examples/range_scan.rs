@@ -44,6 +44,7 @@ fn main() {
                     lo: *lo,
                     hi: *hi,
                     limit: 128,
+                    desc: false,
                 })
                 .expect("running")
         })
@@ -61,6 +62,7 @@ fn main() {
             lo: 1000,
             hi: 50_000,
             limit: 5,
+            desc: false,
         })
         .expect("running")
         .wait()
