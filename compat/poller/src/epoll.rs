@@ -1,0 +1,175 @@
+//! The Linux `epoll` backend: kernel-side interest list, level
+//! triggered, with an `eventfd` as the user-space wake handle.
+//!
+//! A small user-space registry shadows the kernel set for one reason:
+//! epoll always reports `EPOLLERR`/`EPOLLHUP`, even on a registration
+//! with an empty interest mask — so a *parked* source with a hung-up
+//! peer would storm every `wait`. Parked sources are therefore kept
+//! out of the kernel set entirely (exactly how the `poll(2)` backend
+//! skips them), and the registry supplies the add/modify/delete error
+//! semantics the kernel can no longer see.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::sys::{self, OwnedFd};
+use crate::{timeout_ms, Event, RawSource, WAKE_KEY};
+
+pub struct EpollPoller {
+    epfd: OwnedFd,
+    wake: OwnedFd,
+    /// Every registered source and its current interest; sources whose
+    /// interest is `(false, false)` exist only here, not in the kernel.
+    registry: Mutex<HashMap<RawSource, Event>>,
+}
+
+fn epoll_mask(interest: Event) -> u32 {
+    let mut mask = 0;
+    if interest.readable {
+        mask |= sys::EPOLLIN;
+    }
+    if interest.writable {
+        mask |= sys::EPOLLOUT;
+    }
+    mask
+}
+
+fn parked(interest: Event) -> bool {
+    !interest.readable && !interest.writable
+}
+
+impl EpollPoller {
+    pub fn new() -> io::Result<EpollPoller> {
+        let epfd = sys::epoll_create()?;
+        let wake = sys::eventfd_create()?;
+        sys::epoll_control(
+            epfd.0,
+            sys::EPOLL_CTL_ADD,
+            wake.0,
+            sys::EPOLLIN,
+            WAKE_KEY as u64,
+        )?;
+        Ok(EpollPoller {
+            epfd,
+            wake,
+            registry: Mutex::new(HashMap::new()),
+        })
+    }
+
+    pub fn add(&self, source: RawSource, interest: Event) -> io::Result<()> {
+        let mut registry = self.registry.lock().expect("poller registry");
+        if registry.contains_key(&source) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "source already registered",
+            ));
+        }
+        if !parked(interest) {
+            sys::epoll_control(
+                self.epfd.0,
+                sys::EPOLL_CTL_ADD,
+                source,
+                epoll_mask(interest),
+                interest.key as u64,
+            )?;
+        }
+        registry.insert(source, interest);
+        Ok(())
+    }
+
+    pub fn modify(&self, source: RawSource, interest: Event) -> io::Result<()> {
+        let mut registry = self.registry.lock().expect("poller registry");
+        let Some(current) = registry.get(&source).copied() else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "source not registered",
+            ));
+        };
+        match (parked(current), parked(interest)) {
+            // Entering or leaving the parked state moves the source out
+            // of / back into the kernel set.
+            (false, true) => sys::epoll_control(self.epfd.0, sys::EPOLL_CTL_DEL, source, 0, 0)?,
+            (true, false) => sys::epoll_control(
+                self.epfd.0,
+                sys::EPOLL_CTL_ADD,
+                source,
+                epoll_mask(interest),
+                interest.key as u64,
+            )?,
+            (false, false) => sys::epoll_control(
+                self.epfd.0,
+                sys::EPOLL_CTL_MOD,
+                source,
+                epoll_mask(interest),
+                interest.key as u64,
+            )?,
+            (true, true) => {} // Parked either way: registry-only update.
+        }
+        registry.insert(source, interest);
+        Ok(())
+    }
+
+    pub fn delete(&self, source: RawSource) -> io::Result<()> {
+        let mut registry = self.registry.lock().expect("poller registry");
+        let Some(current) = registry.remove(&source) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "source not registered",
+            ));
+        };
+        if !parked(current) {
+            sys::epoll_control(self.epfd.0, sys::EPOLL_CTL_DEL, source, 0, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Waits for readiness; returns `(had events appended, wake rang)`.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<bool> {
+        let mut buf = [sys::epoll_event { events: 0, data: 0 }; 256];
+        let n = loop {
+            match sys::epoll_wait_fd(self.epfd.0, &mut buf, timeout_ms(timeout)) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    // Retry with the full timeout: callers treat the
+                    // cap as housekeeping cadence, not a deadline.
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let mut woke = false;
+        for ev in &buf[..n] {
+            let key = { ev.data } as usize;
+            if key == WAKE_KEY {
+                // Drain the eventfd counter so the level-triggered
+                // registration goes quiet until the next notify.
+                let mut scratch = [0u8; 8];
+                let _ = sys::read_fd(self.wake.0, &mut scratch);
+                woke = true;
+                continue;
+            }
+            let mask = { ev.events };
+            // ERR/HUP surface as both directions so a consumer that
+            // only registered one interest still observes the socket
+            // dying through its next read/write.
+            let fault = mask & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+            events.push(Event {
+                key,
+                readable: mask & sys::EPOLLIN != 0 || fault,
+                writable: mask & sys::EPOLLOUT != 0 || fault,
+            });
+        }
+        Ok(woke)
+    }
+
+    /// Rings the wake handle: adds to the eventfd counter. `EAGAIN`
+    /// (counter saturated) already implies a pending wake.
+    pub fn notify(&self) -> io::Result<()> {
+        match sys::write_fd(self.wake.0, &1u64.to_ne_bytes()) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}

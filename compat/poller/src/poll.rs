@@ -1,0 +1,150 @@
+//! The portable `poll(2)` backend: the interest list lives in user
+//! space, a non-blocking self-pipe is the wake handle. O(n) per wait,
+//! which is the price of portability — the Linux build prefers epoll.
+
+use std::io;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::sys::{self, OwnedFd};
+use crate::{timeout_ms, Event, RawSource};
+
+struct Registration {
+    fd: sys::RawFd,
+    interest: Event,
+}
+
+pub struct PollPoller {
+    /// Registered sources. A `Mutex` (not lock-free) is fine: only the
+    /// owning event loop mutates it; `notify` never touches it.
+    registry: Mutex<Vec<Registration>>,
+    pipe_read: OwnedFd,
+    pipe_write: OwnedFd,
+}
+
+impl PollPoller {
+    pub fn new() -> io::Result<PollPoller> {
+        let (pipe_read, pipe_write) = sys::nonblocking_pipe()?;
+        Ok(PollPoller {
+            registry: Mutex::new(Vec::new()),
+            pipe_read,
+            pipe_write,
+        })
+    }
+
+    pub fn add(&self, source: RawSource, interest: Event) -> io::Result<()> {
+        let mut registry = self.registry.lock().expect("poller registry");
+        if registry.iter().any(|r| r.fd == source) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "source already registered",
+            ));
+        }
+        registry.push(Registration {
+            fd: source,
+            interest,
+        });
+        Ok(())
+    }
+
+    pub fn modify(&self, source: RawSource, interest: Event) -> io::Result<()> {
+        let mut registry = self.registry.lock().expect("poller registry");
+        match registry.iter_mut().find(|r| r.fd == source) {
+            Some(reg) => {
+                reg.interest = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "source not registered",
+            )),
+        }
+    }
+
+    pub fn delete(&self, source: RawSource) -> io::Result<()> {
+        let mut registry = self.registry.lock().expect("poller registry");
+        let before = registry.len();
+        registry.retain(|r| r.fd != source);
+        if registry.len() == before {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "source not registered",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Waits for readiness; returns `(had events appended, wake rang)`.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<bool> {
+        // Snapshot the registry into the pollfd array: slot 0 is the
+        // self-pipe, the rest are sources with a live interest (a
+        // parked source — interest in neither direction — is left out
+        // entirely, so a hung-up peer cannot spin the loop).
+        let mut fds = vec![sys::pollfd {
+            fd: self.pipe_read.0,
+            events: sys::POLLIN,
+            revents: 0,
+        }];
+        let mut keys = vec![0usize];
+        {
+            let registry = self.registry.lock().expect("poller registry");
+            for reg in registry.iter() {
+                let mut mask = 0i16;
+                if reg.interest.readable {
+                    mask |= sys::POLLIN;
+                }
+                if reg.interest.writable {
+                    mask |= sys::POLLOUT;
+                }
+                if mask == 0 {
+                    continue;
+                }
+                fds.push(sys::pollfd {
+                    fd: reg.fd,
+                    events: mask,
+                    revents: 0,
+                });
+                keys.push(reg.interest.key);
+            }
+        }
+        loop {
+            match sys::poll_fds(&mut fds, timeout_ms(timeout)) {
+                Ok(_) => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let mut woke = false;
+        for (slot, fd) in fds.iter().enumerate() {
+            if fd.revents == 0 {
+                continue;
+            }
+            if slot == 0 {
+                // Drain the self-pipe so it goes quiet until the next
+                // notify; one read of a small buffer empties the byte
+                // (or few) a notify burst wrote.
+                let mut scratch = [0u8; 64];
+                while matches!(sys::read_fd(self.pipe_read.0, &mut scratch), Ok(n) if n > 0) {}
+                woke = true;
+                continue;
+            }
+            let fault = fd.revents & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0;
+            events.push(Event {
+                key: keys[slot],
+                readable: fd.revents & sys::POLLIN != 0 || fault,
+                writable: fd.revents & sys::POLLOUT != 0 || fault,
+            });
+        }
+        Ok(woke)
+    }
+
+    /// Rings the wake handle: one byte down the self-pipe. A full pipe
+    /// (`EAGAIN`) already implies a pending wake.
+    pub fn notify(&self) -> io::Result<()> {
+        match sys::write_fd(self.pipe_write.0, &[1u8]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Raw syscall bindings for the unix backends.
+//!
+//! The workspace builds with no registry access, so the usual `libc`
+//! crate is unavailable; `std` already links the platform C library,
+//! which makes these `extern "C"` declarations resolve at link time
+//! without any external dependency. This module is the crate's entire
+//! unsafe surface — everything above it speaks owned fds and
+//! `io::Result`.
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+use std::os::raw::{c_int, c_void};
+
+pub type RawFd = c_int;
+
+extern "C" {
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+    fn pipe(fds: *mut c_int) -> c_int;
+    // fcntl(2) is variadic and must be declared so: on ABIs where
+    // variadic and fixed arguments travel differently (aarch64 Darwin
+    // passes variadics on the stack), a fixed three-argument
+    // declaration would hand the callee a garbage flag word.
+    fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+    fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut epoll_event, maxevents: c_int, timeout: c_int)
+        -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+}
+
+/// `poll(2)`'s fd-count type: `unsigned long` on Linux, `unsigned int`
+/// on the BSD family.
+#[cfg(target_os = "linux")]
+type nfds_t = usize;
+#[cfg(not(target_os = "linux"))]
+type nfds_t = u32;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct pollfd {
+    pub fd: c_int,
+    pub events: i16,
+    pub revents: i16,
+}
+
+pub const POLLIN: i16 = 0x001;
+pub const POLLOUT: i16 = 0x004;
+pub const POLLERR: i16 = 0x008;
+pub const POLLHUP: i16 = 0x010;
+pub const POLLNVAL: i16 = 0x020;
+
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+const F_SETFD: c_int = 2;
+const FD_CLOEXEC: c_int = 1;
+#[cfg(target_os = "linux")]
+const O_NONBLOCK: c_int = 0o4000;
+#[cfg(not(target_os = "linux"))]
+const O_NONBLOCK: c_int = 0x4;
+
+/// The kernel's `epoll_event` is packed on x86_64 (and only there), a
+/// quirk the binding must mirror or the kernel scribbles past field
+/// boundaries.
+#[cfg(target_os = "linux")]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub data: u64,
+}
+
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_ADD: c_int = 1;
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_DEL: c_int = 2;
+#[cfg(target_os = "linux")]
+pub const EPOLL_CTL_MOD: c_int = 3;
+#[cfg(target_os = "linux")]
+pub const EPOLLIN: u32 = 0x001;
+#[cfg(target_os = "linux")]
+pub const EPOLLOUT: u32 = 0x004;
+#[cfg(target_os = "linux")]
+pub const EPOLLERR: u32 = 0x008;
+#[cfg(target_os = "linux")]
+pub const EPOLLHUP: u32 = 0x010;
+#[cfg(target_os = "linux")]
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+#[cfg(target_os = "linux")]
+const EFD_CLOEXEC: c_int = 0o2000000;
+#[cfg(target_os = "linux")]
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// Converts a C return value into an `io::Result`, reading `errno`
+/// through `std` on failure.
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned file descriptor that closes on drop.
+#[derive(Debug)]
+pub struct OwnedFd(pub RawFd);
+
+impl Drop for OwnedFd {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this handle and closed exactly once.
+        unsafe {
+            let _ = close(self.0);
+        }
+    }
+}
+
+/// Reads into `buf`, mapping the C convention into `io::Result`.
+pub fn read_fd(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
+    // SAFETY: `buf` is a valid writable region of its own length.
+    let n = unsafe { read(fd, buf.as_mut_ptr().cast(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Writes `buf`, mapping the C convention into `io::Result`.
+pub fn write_fd(fd: RawFd, buf: &[u8]) -> io::Result<usize> {
+    // SAFETY: `buf` is a valid readable region of its own length.
+    let n = unsafe { write(fd, buf.as_ptr().cast(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Creates a non-blocking close-on-exec pipe: `(read end, write end)`.
+pub fn nonblocking_pipe() -> io::Result<(OwnedFd, OwnedFd)> {
+    let mut fds = [0 as c_int; 2];
+    // SAFETY: `fds` is a valid two-slot output buffer.
+    cvt(unsafe { pipe(fds.as_mut_ptr()) })?;
+    let (r, w) = (OwnedFd(fds[0]), OwnedFd(fds[1]));
+    for fd in [r.0, w.0] {
+        // SAFETY: plain fcntl flag manipulation on fds we own.
+        unsafe {
+            let flags = cvt(fcntl(fd, F_GETFL, 0))?;
+            cvt(fcntl(fd, F_SETFL, flags | O_NONBLOCK))?;
+            cvt(fcntl(fd, F_SETFD, FD_CLOEXEC))?;
+        }
+    }
+    Ok((r, w))
+}
+
+/// `poll(2)` over `fds` with a millisecond timeout (`-1` blocks).
+pub fn poll_fds(fds: &mut [pollfd], timeout_ms: c_int) -> io::Result<usize> {
+    // SAFETY: `fds` is a valid mutable pollfd array of its own length.
+    let n = cvt(unsafe { poll(fds.as_mut_ptr(), fds.len() as nfds_t, timeout_ms) })?;
+    Ok(n as usize)
+}
+
+/// A fresh close-on-exec epoll instance.
+#[cfg(target_os = "linux")]
+pub fn epoll_create() -> io::Result<OwnedFd> {
+    // SAFETY: epoll_create1 allocates a new fd; no pointers involved.
+    Ok(OwnedFd(cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?))
+}
+
+/// One `epoll_ctl` operation; `events`/`data` ignored for `DEL`.
+#[cfg(target_os = "linux")]
+pub fn epoll_control(epfd: RawFd, op: c_int, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut ev = epoll_event { events, data };
+    // SAFETY: `ev` outlives the call; the kernel copies it.
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) })?;
+    Ok(())
+}
+
+/// Blocks in `epoll_wait` for up to `timeout_ms` (`-1` blocks), filling
+/// `events`; returns the ready count.
+#[cfg(target_os = "linux")]
+pub fn epoll_wait_fd(
+    epfd: RawFd,
+    events: &mut [epoll_event],
+    timeout_ms: c_int,
+) -> io::Result<usize> {
+    // SAFETY: `events` is a valid output buffer of its own length.
+    let n =
+        cvt(unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) })?;
+    Ok(n as usize)
+}
+
+/// A non-blocking close-on-exec eventfd (the epoll backend's wake
+/// handle).
+#[cfg(target_os = "linux")]
+pub fn eventfd_create() -> io::Result<OwnedFd> {
+    // SAFETY: eventfd allocates a new fd; no pointers involved.
+    Ok(OwnedFd(cvt(unsafe {
+        eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)
+    })?))
+}

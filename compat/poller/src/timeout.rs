@@ -1,0 +1,109 @@
+//! The pure-`std` fallback backend: no readiness source at all, just a
+//! condvar the wake handle rings. `wait` reports every registered
+//! source as ready in its registered directions (assume-ready), so a
+//! consumer degrades to exactly the readiness-*polling* loop this crate
+//! exists to replace — but the wake handle still cuts idle waits short,
+//! which is what kills the lost-wakeup race. Keeps the crate buildable
+//! (and the server correct) on targets with neither epoll nor poll.
+
+use std::io;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::{Event, RawSource};
+
+struct State {
+    registered: Vec<(RawSource, Event)>,
+    notified: bool,
+}
+
+pub struct TimeoutPoller {
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+impl TimeoutPoller {
+    pub fn new() -> TimeoutPoller {
+        TimeoutPoller {
+            state: Mutex::new(State {
+                registered: Vec::new(),
+                notified: false,
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    pub fn add(&self, source: RawSource, interest: Event) -> io::Result<()> {
+        let mut state = self.state.lock().expect("poller registry");
+        if state.registered.iter().any(|(fd, _)| *fd == source) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "source already registered",
+            ));
+        }
+        state.registered.push((source, interest));
+        Ok(())
+    }
+
+    pub fn modify(&self, source: RawSource, interest: Event) -> io::Result<()> {
+        let mut state = self.state.lock().expect("poller registry");
+        match state.registered.iter_mut().find(|(fd, _)| *fd == source) {
+            Some((_, slot)) => {
+                *slot = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "source not registered",
+            )),
+        }
+    }
+
+    pub fn delete(&self, source: RawSource) -> io::Result<()> {
+        let mut state = self.state.lock().expect("poller registry");
+        let before = state.registered.len();
+        state.registered.retain(|(fd, _)| *fd != source);
+        if state.registered.len() == before {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "source not registered",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Sleeps until notified or `timeout`, then reports every parked
+    /// interest as ready. Returns whether the wake handle rang.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<bool> {
+        let mut state = self.state.lock().expect("poller registry");
+        if !state.notified {
+            state = match timeout {
+                Some(t) => {
+                    let (guard, _) = self
+                        .wake
+                        .wait_timeout_while(state, t, |s| !s.notified)
+                        .expect("poller wait");
+                    guard
+                }
+                None => self
+                    .wake
+                    .wait_while(state, |s| !s.notified)
+                    .expect("poller wait"),
+            };
+        }
+        let woke = std::mem::replace(&mut state.notified, false);
+        for (_, interest) in &state.registered {
+            if interest.readable || interest.writable {
+                events.push(*interest);
+            }
+        }
+        Ok(woke)
+    }
+
+    pub fn notify(&self) -> io::Result<()> {
+        let mut state = self.state.lock().expect("poller registry");
+        state.notified = true;
+        self.wake.notify_all();
+        Ok(())
+    }
+}

@@ -23,10 +23,13 @@ fn main() {
     } else {
         ("20000", "262144")
     };
-    let (net_requests, net_entries) = if quick {
-        ("4000", "16384")
+    // The idle/tail phase (idle-CPU at zero load, p99/p999 with mostly
+    // quiet connections) rides along on net_throughput; the idle-CPU
+    // sample itself prints a SKIP line on hosts without /proc/self/stat.
+    let (net_requests, net_entries, net_idle_conns) = if quick {
+        ("4000", "16384", "64")
     } else {
-        ("50000", "262144")
+        ("50000", "262144", "256")
     };
     let (stream_scans, stream_entries, stream_span) = if quick {
         ("16", "16384", "4096")
@@ -103,7 +106,14 @@ fn main() {
     baseline("range_throughput", "BENCH_range.json");
     run(
         "net_throughput",
-        &["--requests", net_requests, "--entries", net_entries],
+        &[
+            "--requests",
+            net_requests,
+            "--entries",
+            net_entries,
+            "--idle-conns",
+            net_idle_conns,
+        ],
     );
     baseline("net_throughput", "BENCH_net.json");
     run(

@@ -10,8 +10,17 @@
 //! server's net-tier counters) is written as JSON for trend tracking
 //! (`BENCH_net.json` keeps the committed baseline).
 //!
+//! After the sweep, an **idle/tail phase** measures what the poller
+//! rework is for: `--idle-conns` connections sit open doing nothing
+//! while two active clients drive traffic (p99/p999 tail latency at a
+//! high connection count with few active clients), then the same
+//! population goes fully quiet and the process's CPU time over a
+//! zero-load window is read from `/proc/self/stat` — near zero with a
+//! blocking poller, a steady burn with a readiness-polling sleep loop.
+//!
 //! Usage: `net_throughput [--requests N] [--entries N] [--span N]
-//! [--scan-share F] [--theta T] [--json PATH] [--smoke]`.
+//! [--scan-share F] [--theta T] [--idle-conns N] [--idle-window-ms N]
+//! [--json PATH] [--smoke]`.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -31,6 +40,8 @@ struct Args {
     span: u64,
     scan_share: f64,
     theta: f64,
+    idle_conns: usize,
+    idle_window_ms: u64,
     json: Option<String>,
 }
 
@@ -41,6 +52,8 @@ fn parse_args() -> Args {
         span: 128,
         scan_share: 0.1,
         theta: 0.99,
+        idle_conns: 256,
+        idle_window_ms: 500,
         json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -55,11 +68,15 @@ fn parse_args() -> Args {
             "--span" => args.span = value().parse().expect("--span"),
             "--scan-share" => args.scan_share = value().parse().expect("--scan-share"),
             "--theta" => args.theta = value().parse().expect("--theta"),
+            "--idle-conns" => args.idle_conns = value().parse().expect("--idle-conns"),
+            "--idle-window-ms" => args.idle_window_ms = value().parse().expect("--idle-window-ms"),
             "--json" => args.json = Some(value()),
             // Quick CI tier: small workload, the sweep shape unchanged.
             "--smoke" => {
                 args.requests = 4_000;
                 args.entries = 1 << 14;
+                args.idle_conns = 64;
+                args.idle_window_ms = 150;
             }
             other => panic!("unknown flag {other}"),
         }
@@ -200,7 +217,139 @@ fn run_once(pairs: &[(u64, u64)], args: &Args, clients: usize, depth: usize) -> 
     }
 }
 
-fn render_json(args: &Args, runs: &[Run]) -> String {
+/// The idle/tail phase's results.
+struct IdleRun {
+    idle_conns: usize,
+    active_clients: usize,
+    depth: usize,
+    requests: usize,
+    latency: LatencySummary,
+    zero_load_window: std::time::Duration,
+    /// Process CPU seconds burned per wall second at zero load (a
+    /// fraction; multiply by 100 for percent). `None` when
+    /// `/proc/self/stat` is unavailable (non-Linux host).
+    zero_load_cpu: Option<f64>,
+}
+
+/// Process CPU time (utime + stime, user and kernel) in seconds, read
+/// from `/proc/self/stat`; `None` off Linux. Fields 14/15 sit after the
+/// parenthesised command name, in USER_HZ ticks (100 on every
+/// mainstream Linux configuration).
+fn process_cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    let after_comm = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = after_comm.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) as f64 / 100.0)
+}
+
+/// The idle/tail phase: `idle_conns` connections sit open and silent
+/// (each one registered with the server's poller) while two pipelining
+/// clients drive the mixed workload — the tail-latency shape of a real
+/// fleet, where most connections are quiet at any instant. Then the
+/// active clients leave and the whole population goes quiet: process
+/// CPU over the zero-load window is the cost of *having* connections,
+/// which a blocking poller makes ~zero and a polling sleep loop does
+/// not.
+fn run_idle_phase(pairs: &[(u64, u64)], args: &Args) -> IdleRun {
+    const ACTIVE_CLIENTS: usize = 2;
+    const DEPTH: usize = 8;
+    let config = ServeConfig::default().with_shards(4).with_inflight(8);
+    let service = Arc::new(ProbeService::build_with_range(
+        HashRecipe::robust64(),
+        pairs.iter().copied(),
+        &config,
+    ));
+    let server = WidxServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    let idle: Vec<WidxClient> = (0..args.idle_conns)
+        .map(|_| WidxClient::connect(addr).expect("idle connect"))
+        .collect();
+
+    let per_client = (args.requests / 4).max(1_000).div_ceil(ACTIVE_CLIENTS);
+    let samples = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..ACTIVE_CLIENTS)
+            .map(|c| {
+                // Offset the workload seed so the tail phase does not
+                // replay the sweep's exact key streams.
+                let ops = build_ops(args, c + 64, per_client);
+                scope.spawn(move || {
+                    let mut client = WidxClient::connect(addr).expect("active connect");
+                    let mut samples: Vec<u64> = Vec::with_capacity(ops.len());
+                    let mut window: std::collections::VecDeque<(u64, Instant)> =
+                        std::collections::VecDeque::with_capacity(DEPTH);
+                    let reap = |client: &mut WidxClient,
+                                window: &mut std::collections::VecDeque<(u64, Instant)>,
+                                samples: &mut Vec<u64>| {
+                        let (id, sent) = window.pop_front().expect("window non-empty");
+                        match client.recv(id) {
+                            Ok(_) => {
+                                let ns = sent.elapsed().as_nanos();
+                                samples.push(u64::try_from(ns).unwrap_or(u64::MAX));
+                            }
+                            Err(widx_net::ClientError::Remote(e)) => {
+                                assert_eq!(e.code, widx_net::ErrorCode::Busy, "server error: {e}");
+                            }
+                            Err(widx_net::ClientError::Io(e)) => panic!("client io: {e}"),
+                        }
+                    };
+                    for op in &ops {
+                        if window.len() == DEPTH {
+                            reap(&mut client, &mut window, &mut samples);
+                        }
+                        let id = client.send(op).expect("send");
+                        window.push_back((id, Instant::now()));
+                    }
+                    while !window.is_empty() {
+                        reap(&mut client, &mut window, &mut samples);
+                    }
+                    samples
+                })
+            })
+            .collect();
+        let mut samples = Vec::new();
+        for handle in handles {
+            samples.extend(handle.join().expect("active client"));
+        }
+        samples
+    });
+    let latency = LatencySummary::from_samples(samples);
+
+    // Zero load: the active connections have closed; let the server
+    // finish reaping them, then watch process CPU with only the idle
+    // population registered.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let window = std::time::Duration::from_millis(args.idle_window_ms.max(1));
+    let before = process_cpu_seconds();
+    std::thread::sleep(window);
+    let after = process_cpu_seconds();
+    let zero_load_cpu = match (before, after) {
+        (Some(b), Some(a)) => Some(((a - b).max(0.0)) / window.as_secs_f64()),
+        _ => None,
+    };
+
+    drop(idle);
+    let _ = server.shutdown();
+    drop(
+        Arc::try_unwrap(service)
+            .ok()
+            .expect("sole owner")
+            .shutdown(),
+    );
+    IdleRun {
+        idle_conns: args.idle_conns,
+        active_clients: ACTIVE_CLIENTS,
+        depth: DEPTH,
+        requests: per_client * ACTIVE_CLIENTS,
+        latency,
+        zero_load_window: window,
+        zero_load_cpu,
+    }
+}
+
+fn render_json(args: &Args, runs: &[Run], idle: &IdleRun) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"net_throughput\",");
@@ -223,8 +372,8 @@ fn render_json(args: &Args, runs: &[Run]) -> String {
         let _ = write!(
             out,
             "\"latency_ns\": {{\"count\": {}, \"mean\": {:.0}, \"p50\": {}, \
-             \"p95\": {}, \"p99\": {}, \"max\": {}}}, ",
-            lat.count, lat.mean_ns, lat.p50_ns, lat.p95_ns, lat.p99_ns, lat.max_ns
+             \"p95\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}, ",
+            lat.count, lat.mean_ns, lat.p50_ns, lat.p95_ns, lat.p99_ns, lat.p999_ns, lat.max_ns
         );
         let _ = write!(
             out,
@@ -239,7 +388,30 @@ fn render_json(args: &Args, runs: &[Run]) -> String {
         out.push('}');
         out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let lat = &idle.latency;
+    out.push_str("  \"idle\": {");
+    let _ = write!(
+        out,
+        "\"idle_conns\": {}, \"active_clients\": {}, \"depth\": {}, \"requests\": {}, ",
+        idle.idle_conns, idle.active_clients, idle.depth, idle.requests
+    );
+    let _ = write!(
+        out,
+        "\"latency_ns\": {{\"count\": {}, \"mean\": {:.0}, \"p50\": {}, \
+         \"p95\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}, ",
+        lat.count, lat.mean_ns, lat.p50_ns, lat.p95_ns, lat.p99_ns, lat.p999_ns, lat.max_ns
+    );
+    let _ = write!(
+        out,
+        "\"zero_load_window_ms\": {}, \"zero_load_cpu_pct\": {}",
+        idle.zero_load_window.as_millis(),
+        match idle.zero_load_cpu {
+            Some(frac) => format!("{:.3}", frac * 100.0),
+            None => "null".to_string(),
+        }
+    );
+    out.push_str("}\n}\n");
     out
 }
 
@@ -303,8 +475,44 @@ fn main() {
          walkers fed)"
     );
 
+    println!(
+        "\n== idle/tail phase: {} idle connections + 2 active clients (depth 8) ==\n",
+        args.idle_conns
+    );
+    let idle = run_idle_phase(&pairs, &args);
+    let mut t = Table::new(&[
+        "idle conns",
+        "requests",
+        "p50 µs",
+        "p99 µs",
+        "p999 µs",
+        "max µs",
+    ]);
+    t.row(&[
+        idle.idle_conns.to_string(),
+        idle.requests.to_string(),
+        f1(idle.latency.p50_ns as f64 / 1e3),
+        f1(idle.latency.p99_ns as f64 / 1e3),
+        f1(idle.latency.p999_ns as f64 / 1e3),
+        f1(idle.latency.max_ns as f64 / 1e3),
+    ]);
+    println!("{}", t.render());
+    match idle.zero_load_cpu {
+        Some(frac) => println!(
+            "zero-load CPU: {:.3}% of one core over a {} ms window with {} \
+             connections registered (blocking poller: no sleep ticks to burn)",
+            frac * 100.0,
+            idle.zero_load_window.as_millis(),
+            idle.idle_conns,
+        ),
+        None => println!(
+            "SKIP: no idle-CPU sample — the metric reads /proc/self/stat \
+             (Linux only); tail latencies above are still measured"
+        ),
+    }
+
     if let Some(path) = &args.json {
-        let json = render_json(&args, &runs);
+        let json = render_json(&args, &runs, &idle);
         std::fs::write(path, json).expect("write json");
         println!("\nwrote {path}");
     }

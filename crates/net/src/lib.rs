@@ -12,14 +12,17 @@
 //!   only, consistent with the repo's `compat/` philosophy; the format
 //!   is specified in `docs/wire-format.md`);
 //! * [`WidxServer`] — a non-blocking event-loop server over `std`
-//!   non-blocking sockets with readiness polling: it accepts many
-//!   connections, decodes pipelined frames, submits into the
-//!   [`ProbeService`](widx_serve::ProbeService) batching queues through
-//!   the non-blocking
+//!   non-blocking sockets driven by the `compat/` readiness poller
+//!   (epoll on Linux, `poll(2)` elsewhere; see `docs/poller.md`): it
+//!   accepts many connections, decodes pipelined frames, submits into
+//!   the [`ProbeService`](widx_serve::ProbeService) batching queues
+//!   through the non-blocking
 //!   [`try_submit`](widx_serve::ProbeService::try_submit) surface, and
 //!   writes replies back as they complete — possibly **out of order**,
-//!   which request ids make safe. Queue backpressure comes back as a
-//!   typed `Busy` error frame instead of unbounded buffering;
+//!   which request ids make safe. Completions ring the poller's wake
+//!   handle, so the idle path blocks instead of sleeping blind (no
+//!   lost wakeups, near-zero idle CPU). Queue backpressure comes back
+//!   as a typed `Busy` error frame instead of unbounded buffering;
 //! * [`WidxClient`] — a blocking client with a pipelining `send`/`recv`
 //!   split (plus synchronous conveniences and the chunk-streaming
 //!   [`range_stream`](WidxClient::range_stream) iterator), used by the

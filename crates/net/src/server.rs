@@ -1,8 +1,21 @@
 //! The non-blocking socket server: one event-loop thread multiplexing
-//! every connection over `std` non-blocking sockets with readiness
-//! polling — accept, decode pipelined frames, `try_submit` into the
-//! probe service's batching queues, and write replies back as they
-//! complete, **possibly out of order** (request ids make that safe).
+//! every connection over `std` non-blocking sockets, driven by a
+//! readiness poller (the `compat/` [`poller`] crate: epoll on Linux,
+//! `poll(2)` elsewhere) — accept, decode pipelined frames, `try_submit`
+//! into the probe service's batching queues, and write replies back as
+//! they complete, **possibly out of order** (request ids make that
+//! safe).
+//!
+//! The listener and every connection are registered with the poller;
+//! write interest is toggled on only while a connection has unflushed
+//! reply bytes, and read interest is parked while its write backlog is
+//! over the cap (slow-consumer backpressure) or after EOF. Completions
+//! from the serving tier ring the poller's user-space wake handle
+//! through the `ResponseState` waker hook, so the idle path is a
+//! *blocking* `poller.wait` — no periodic sleep to burn CPU at zero
+//! load, and no check-then-sleep window for a completion to slip
+//! through unobserved (the lost-wakeup race the old readiness-polling
+//! loop had; see `docs/poller.md`).
 //!
 //! Backpressure is never buffered away: when a shard queue is at
 //! capacity ([`SubmitError::Busy`]) or a connection exceeds its
@@ -18,9 +31,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use poller::{Event, Poller};
 use widx_serve::{NetStats, PendingResponse, PendingStream, ProbeService, StreamPoll, SubmitError};
 
 use crate::wire::{self, Decoded, ErrorCode, ErrorReply, WireRequest};
+
+/// The listener's poller key; connection slot `i` registers as `i + 1`.
+const LISTENER_KEY: usize = 0;
+const CONN_KEY_BASE: usize = 1;
+
+/// Wait cap when the loop is fully quiet (no in-flight work anywhere):
+/// pure insurance — every state change (a new connection, socket
+/// readiness, a completion, shutdown) arrives as a poller event or a
+/// wake, so correctness never rides on this timer firing.
+const QUIET_WAIT_CAP: Duration = Duration::from_secs(1);
 
 /// Tuning knobs for a [`WidxServer`].
 #[derive(Clone, Debug)]
@@ -31,14 +55,24 @@ pub struct NetConfig {
     /// Unflushed reply bytes allowed per connection before the server
     /// stops reading from it (slow-consumer backpressure).
     pub max_write_backlog: usize,
-    /// Event-loop sleep when a full pass over every connection makes no
-    /// progress (the readiness-polling interval).
+    /// Cap on one blocking `poller.wait` while in-flight work exists —
+    /// the loop's housekeeping cadence and the worst-case staleness
+    /// bound should a readiness edge ever be missed, **not** a latency
+    /// knob: completions and socket readiness interrupt the wait
+    /// immediately through the poller. Values below
+    /// [`NetConfig::MIN_IDLE_BACKOFF`] (zero especially, which would
+    /// turn the idle path into a hot spin) are clamped up to it.
     pub idle_backoff: Duration,
     /// How long a graceful shutdown waits for connections to drain
     /// before abandoning the stragglers. A peer that stops reading its
     /// replies can never drain; without this bound,
     /// [`WidxServer::shutdown`] (and `Drop`) would hang on it forever.
     pub drain_timeout: Duration,
+    /// Poller backend override (`"epoll"` / `"poll"` / `"timeout"`).
+    /// `None` picks the platform default, which the `WIDX_POLLER`
+    /// environment variable can override — the switch the CI tiers use
+    /// to run the loopback suites against every backend.
+    pub poller_backend: Option<String>,
 }
 
 impl Default for NetConfig {
@@ -48,11 +82,17 @@ impl Default for NetConfig {
             max_write_backlog: 4 << 20,
             idle_backoff: Duration::from_micros(100),
             drain_timeout: Duration::from_secs(5),
+            poller_backend: None,
         }
     }
 }
 
 impl NetConfig {
+    /// Floor for [`idle_backoff`](NetConfig::idle_backoff): a zero wait
+    /// cap would make every idle `poller.wait` return immediately — the
+    /// hot spin the poller exists to eliminate.
+    pub const MIN_IDLE_BACKOFF: Duration = Duration::from_micros(10);
+
     /// Sets the per-connection in-flight request cap.
     #[must_use]
     pub fn with_max_inflight(mut self, max: usize) -> NetConfig {
@@ -67,10 +107,12 @@ impl NetConfig {
         self
     }
 
-    /// Sets the idle readiness-polling interval.
+    /// Sets the idle wait-timeout cap, clamped up to
+    /// [`MIN_IDLE_BACKOFF`](NetConfig::MIN_IDLE_BACKOFF) (rejecting the
+    /// zero that would turn the idle path into a hot spin).
     #[must_use]
     pub fn with_idle_backoff(mut self, backoff: Duration) -> NetConfig {
-        self.idle_backoff = backoff;
+        self.idle_backoff = backoff.max(NetConfig::MIN_IDLE_BACKOFF);
         self
     }
 
@@ -78,6 +120,22 @@ impl NetConfig {
     #[must_use]
     pub fn with_drain_timeout(mut self, timeout: Duration) -> NetConfig {
         self.drain_timeout = timeout;
+        self
+    }
+
+    /// Forces a poller backend (`"epoll"` / `"poll"` / `"timeout"`)
+    /// instead of the platform default / `WIDX_POLLER` selection.
+    #[must_use]
+    pub fn with_poller_backend(mut self, backend: impl Into<String>) -> NetConfig {
+        self.poller_backend = Some(backend.into());
+        self
+    }
+
+    /// The configuration the event loop actually runs: public fields
+    /// mean the builder clamps can be bypassed, so [`WidxServer::bind`]
+    /// re-applies them here.
+    fn normalized(mut self) -> NetConfig {
+        self.idle_backoff = self.idle_backoff.max(NetConfig::MIN_IDLE_BACKOFF);
         self
     }
 }
@@ -130,12 +188,24 @@ struct Connection {
     /// the gather seam releases them, interleaved with other replies.
     streams: Vec<OpenStream>,
     /// Completion-wakeup counter: every pending request and stream on
-    /// this connection carries a waker that bumps it, so the reap pass
-    /// can skip connections (and avoid scanning their whole pending
-    /// lists) when nothing completed since the last look.
+    /// this connection carries a waker that bumps it (and rings the
+    /// poller), so the reap pass can skip connections (and avoid
+    /// scanning their whole pending lists) when nothing completed since
+    /// the last look.
     wakes: Arc<AtomicU64>,
     /// The counter value the last reap pass observed.
     wakes_seen: u64,
+    /// The poller the wakers ring — the edge source that makes a
+    /// completion landing mid-`wait` cut the wait short instead of
+    /// going unobserved until a timeout.
+    poller: Arc<Poller>,
+    /// Readiness reported by the last `wait`, consumed by `pump`.
+    io_readable: bool,
+    io_writable: bool,
+    /// The `(readable, writable)` interest currently registered with
+    /// the poller; `(false, false)` is the *parked* state (registered
+    /// but never reported — `Event::none`).
+    interest: (bool, bool),
     /// A reap pass stopped early on write backlog: ready work may
     /// remain without a fresh wake, so reap again once room opens.
     reap_stalled: bool,
@@ -146,7 +216,7 @@ struct Connection {
 }
 
 impl Connection {
-    fn new(stream: TcpStream) -> Connection {
+    fn new(stream: TcpStream, poller: Arc<Poller>) -> Connection {
         Connection {
             stream,
             rbuf: Vec::new(),
@@ -156,6 +226,10 @@ impl Connection {
             streams: Vec::new(),
             wakes: Arc::new(AtomicU64::new(0)),
             wakes_seen: 0,
+            poller,
+            io_readable: false,
+            io_writable: false,
+            interest: (true, false),
             reap_stalled: false,
             closed_for_reads: false,
             dead: false,
@@ -171,14 +245,28 @@ impl Connection {
         self.pending.len() + self.streams.len()
     }
 
+    /// Whether anything on this connection is still waiting to happen
+    /// without a socket edge to announce it — the loop tightens its
+    /// wait cap while any connection says yes.
+    fn has_pending_work(&self) -> bool {
+        !self.pending.is_empty()
+            || !self.streams.is_empty()
+            || self.reap_stalled
+            || self.write_backlog() > 0
+    }
+
     /// The completion wakeup installed on every submitted request and
-    /// stream: bumps this connection's counter, which is what lets the
-    /// reap pass skip quiet connections instead of polling every
-    /// pending entry every tick.
+    /// stream: bumps this connection's counter (so the reap pass knows
+    /// *which* connection to scan) and rings the poller's wake handle
+    /// (so a blocked `wait` learns *that* there is something to scan —
+    /// immediately, even if the completion lands in the instant before
+    /// the loop blocks).
     fn waker(&self) -> impl Fn() + Send + Sync + 'static {
         let wakes = Arc::clone(&self.wakes);
+        let poller = Arc::clone(&self.poller);
         move || {
             wakes.fetch_add(1, Ordering::Release);
+            let _ = poller.notify();
         }
     }
 
@@ -482,13 +570,60 @@ impl Connection {
         progress
     }
 
-    /// One full pass: read, decode+submit, reap completions, flush.
+    /// One pass over whatever the last `wait` reported (plus completion
+    /// wakes): read if the socket was readable, decode+submit, reap
+    /// completions, flush. Returns true on progress.
     fn pump(&mut self, service: &ProbeService, config: &NetConfig, counters: &NetCounters) -> bool {
-        let mut progress = self.fill(config);
-        progress |= self.decode_and_submit(service, config, counters);
+        let read_ready = std::mem::take(&mut self.io_readable);
+        let write_ready = std::mem::take(&mut self.io_writable);
+        let mut progress = false;
+        if read_ready {
+            progress |= self.fill(config);
+            progress |= self.decode_and_submit(service, config, counters);
+        }
         progress |= self.reap_completions(config, counters);
-        progress |= self.flush();
+        if write_ready || self.write_backlog() > 0 {
+            progress |= self.flush();
+        }
         progress
+    }
+
+    /// The `(readable, writable)` interest this connection should hold
+    /// right now: reads park under EOF or a write backlog over the cap;
+    /// write interest exists only while a backlog does.
+    fn desired_interest(&self, config: &NetConfig) -> (bool, bool) {
+        (
+            !self.closed_for_reads && self.write_backlog() <= config.max_write_backlog,
+            self.write_backlog() > 0,
+        )
+    }
+
+    /// Reconciles the poller registration with the desired interest.
+    /// `(false, false)` parks the registration (`Event::none`) — the
+    /// backends keep parked sources out of their readiness sweeps, so a
+    /// hung-up peer cannot storm the loop with HUP events.
+    fn update_interest(&mut self, key: usize, config: &NetConfig) {
+        let desired = self.desired_interest(config);
+        if desired == self.interest {
+            return;
+        }
+        let event = Event {
+            key,
+            readable: desired.0,
+            writable: desired.1,
+        };
+        if self.poller.modify(&self.stream, event).is_ok() {
+            self.interest = desired;
+        } else {
+            // Registration failure starves this connection of edges —
+            // kill it rather than leaving it silently stuck.
+            self.dead = true;
+        }
+    }
+
+    /// Drops the connection's poller registration.
+    fn deregister(&mut self) {
+        let _ = self.poller.delete(&self.stream);
     }
 }
 
@@ -508,38 +643,52 @@ pub struct WidxServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     counters: Arc<NetCounters>,
+    poller: Arc<Poller>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl WidxServer {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts the event loop over `service`.
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port),
+    /// builds the readiness poller (honouring
+    /// [`NetConfig::poller_backend`] / `WIDX_POLLER`), registers the
+    /// listener, and starts the event loop over `service`.
     ///
     /// # Errors
     ///
-    /// Any socket-level failure to bind or configure the listener.
+    /// Any socket-level failure to bind or configure the listener, or
+    /// failure to set up the poller backend.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: Arc<ProbeService>,
         config: NetConfig,
     ) -> std::io::Result<WidxServer> {
+        let config = config.normalized();
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let poller = Arc::new(match &config.poller_backend {
+            Some(backend) => Poller::with_backend(backend)?,
+            None => Poller::new()?,
+        });
+        poller.add(&listener, Event::readable(LISTENER_KEY))?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(NetCounters::default());
         let thread = {
             let shutdown = Arc::clone(&shutdown);
             let counters = Arc::clone(&counters);
+            let poller = Arc::clone(&poller);
             std::thread::Builder::new()
                 .name("widx-net".to_string())
-                .spawn(move || run_event_loop(&listener, &service, &config, &shutdown, &counters))
+                .spawn(move || {
+                    run_event_loop(&listener, &poller, &service, &config, &shutdown, &counters);
+                })
                 .expect("spawn net event loop")
         };
         Ok(WidxServer {
             addr,
             shutdown,
             counters,
+            poller,
             thread: Some(thread),
         })
     }
@@ -563,68 +712,168 @@ impl WidxServer {
     /// loop. Returns the final counter snapshot.
     #[must_use]
     pub fn shutdown(mut self) -> NetStats {
-        self.shutdown.store(true, Ordering::Relaxed);
+        self.begin_shutdown();
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
         self.counters.snapshot()
     }
+
+    /// Publishes the shutdown flag, then rings the wake handle so a
+    /// loop blocked in `poller.wait` observes it now rather than at the
+    /// wait cap — the same no-lost-wakeup contract completions get.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let _ = self.poller.notify();
+    }
 }
 
 impl Drop for WidxServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
+        self.begin_shutdown();
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
     }
 }
 
+/// Accepts every pending connection, registering each with the poller.
+/// Returns true on progress.
+fn accept_burst(
+    listener: &TcpListener,
+    poller: &Arc<Poller>,
+    slots: &mut Vec<Option<Connection>>,
+    counters: &NetCounters,
+) -> bool {
+    let mut progress = false;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let slot = match slots.iter().position(Option::is_none) {
+                    Some(free) => free,
+                    None => {
+                        slots.push(None);
+                        slots.len() - 1
+                    }
+                };
+                let conn = Connection::new(stream, Arc::clone(poller));
+                if poller
+                    .add(&conn.stream, Event::readable(slot + CONN_KEY_BASE))
+                    .is_err()
+                {
+                    // No registration, no edges: refuse the connection
+                    // rather than strand it.
+                    continue;
+                }
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                slots[slot] = Some(conn);
+                progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    progress
+}
+
 fn run_event_loop(
     listener: &TcpListener,
+    poller: &Arc<Poller>,
     service: &ProbeService,
     config: &NetConfig,
     shutdown: &AtomicBool,
     counters: &NetCounters,
 ) {
-    let mut conns: Vec<Connection> = Vec::new();
+    let mut slots: Vec<Option<Connection>> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
     let mut draining: Option<std::time::Instant> = None;
+    let mut accepting = true;
+    // First iteration polls with a zero timeout: service the state that
+    // existed before the loop started, then settle into blocking waits.
+    let mut progress = true;
     loop {
-        let mut progress = false;
+        // The wait is the old idle sleep, inverted: instead of sleeping
+        // blind and hoping to notice work afterwards, block *in* the
+        // readiness source. Timeouts are insurance, not signal — tight
+        // (idle_backoff) while work is in flight, long when fully quiet,
+        // zero when the last pass made progress (drain the backlog of
+        // edges without sleeping).
+        let timeout = if progress {
+            Duration::ZERO
+        } else {
+            let quiet = !slots.iter().flatten().any(Connection::has_pending_work);
+            // An assume-ready backend (no real readiness source) only
+            // notices socket activity when the wait expires: hold it at
+            // polling cadence even when quiet.
+            let mut cap = if quiet && poller.has_readiness_source() {
+                QUIET_WAIT_CAP
+            } else {
+                config.idle_backoff
+            };
+            if let Some(since) = draining {
+                cap = cap.min(config.drain_timeout.saturating_sub(since.elapsed()));
+            }
+            cap
+        };
+        if poller.wait(&mut events, Some(timeout)).is_err() {
+            // A broken poller must not hot-spin the loop; degrade to
+            // the old polling cadence for this pass.
+            events.clear();
+            std::thread::sleep(config.idle_backoff);
+        }
+        progress = false;
         if draining.is_none() && shutdown.load(Ordering::Relaxed) {
             // Shutdown begins: stop accepting and reading. Frames whose
             // bytes already arrived still decode, submit, and answer
             // below — drain, then halt, like the service itself.
             draining = Some(std::time::Instant::now());
-            for conn in &mut conns {
+            if accepting {
+                let _ = poller.delete(listener);
+                accepting = false;
+            }
+            for conn in slots.iter_mut().flatten() {
                 conn.closed_for_reads = true;
             }
             progress = true;
         }
-        if draining.is_none() {
-            loop {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        if stream.set_nonblocking(true).is_err() {
-                            continue;
-                        }
-                        let _ = stream.set_nodelay(true);
-                        counters.connections.fetch_add(1, Ordering::Relaxed);
-                        conns.push(Connection::new(stream));
-                        progress = true;
-                    }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                    Err(_) => break,
-                }
+        let mut accept_ready = false;
+        for event in &events {
+            if event.key == LISTENER_KEY {
+                accept_ready = true;
+                continue;
+            }
+            if let Some(Some(conn)) = slots.get_mut(event.key - CONN_KEY_BASE) {
+                conn.io_readable |= event.readable;
+                conn.io_writable |= event.writable;
             }
         }
-        for conn in &mut conns {
-            progress |= conn.pump(service, config, counters);
+        if accept_ready && accepting {
+            progress |= accept_burst(listener, poller, &mut slots, counters);
         }
-        conns.retain(|conn| !conn.finished());
+        // Pump every live connection: ones with socket readiness do IO,
+        // ones whose waker fired reap completions, quiet ones cost one
+        // atomic load. Then reconcile each connection's poller interest
+        // with what this pass left behind (write interest only while a
+        // backlog exists, reads parked under backpressure).
+        for (index, slot) in slots.iter_mut().enumerate() {
+            let Some(conn) = slot.as_mut() else {
+                continue;
+            };
+            progress |= conn.pump(service, config, counters);
+            if conn.finished() {
+                conn.deregister();
+                *slot = None;
+            } else {
+                conn.update_interest(index + CONN_KEY_BASE, config);
+            }
+        }
         if let Some(since) = draining {
-            if conns.is_empty() {
+            if slots.iter().all(Option::is_none) {
                 return;
             }
             if since.elapsed() > config.drain_timeout {
@@ -633,8 +882,38 @@ fn run_event_loop(
                 return;
             }
         }
-        if !progress {
-            std::thread::sleep(config.idle_backoff);
-        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_backoff_zero_is_clamped_not_honoured() {
+        // Zero would make every idle `poller.wait` return immediately —
+        // a hot spin. The builder clamps...
+        let config = NetConfig::default().with_idle_backoff(Duration::ZERO);
+        assert_eq!(config.idle_backoff, NetConfig::MIN_IDLE_BACKOFF);
+        // ...and `normalized` (what `bind` runs) re-clamps a value
+        // poked directly through the public field.
+        let config = NetConfig {
+            idle_backoff: Duration::ZERO,
+            ..NetConfig::default()
+        };
+        assert_eq!(
+            config.normalized().idle_backoff,
+            NetConfig::MIN_IDLE_BACKOFF
+        );
+        // Values above the floor pass through untouched.
+        let config = NetConfig::default().with_idle_backoff(Duration::from_millis(2));
+        assert_eq!(config.normalized().idle_backoff, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn poller_backend_override_is_carried() {
+        let config = NetConfig::default().with_poller_backend("timeout");
+        assert_eq!(config.poller_backend.as_deref(), Some("timeout"));
+        assert!(NetConfig::default().poller_backend.is_none());
     }
 }

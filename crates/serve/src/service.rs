@@ -169,6 +169,11 @@ pub struct ProbeService {
     /// enqueued) or refused atomically — it can never be half-enqueued
     /// by racing with `stop`.
     stopped: RwLock<bool>,
+    /// The statistics from the join that already happened, kept so a
+    /// second pass through `shutdown_inner` (an explicit `shutdown`
+    /// followed by `Drop`, or a `stop` racing a concurrent shutdown
+    /// path) returns them instead of panicking on "nothing to join".
+    joined: Option<(ServiceStats, usize)>,
 }
 
 impl ProbeService {
@@ -315,6 +320,7 @@ impl ProbeService {
             range_workers,
             started: Instant::now(),
             stopped: RwLock::new(false),
+            joined: None,
         }
     }
 
@@ -735,17 +741,30 @@ impl ProbeService {
     /// service dropped during unwinding never aborts the process.
     #[must_use]
     pub fn shutdown(mut self) -> ServiceStats {
-        let (stats, panicked) = self
-            .shutdown_inner()
-            .expect("first shutdown always yields stats");
+        let (stats, panicked) = self.shutdown_inner();
         assert!(panicked == 0, "{panicked} shard worker(s) panicked");
         stats
     }
 
-    fn shutdown_inner(&mut self) -> Option<(ServiceStats, usize)> {
+    fn shutdown_inner(&mut self) -> (ServiceStats, usize) {
         self.stop();
         if self.workers.is_empty() && self.range_workers.is_empty() {
-            return None; // Already joined by a prior shutdown.
+            // Already joined by a prior pass (an explicit shutdown
+            // followed by `Drop`, or concurrent shutdown paths racing a
+            // `stop`): hand back the stats that join produced instead
+            // of panicking over having nothing to join.
+            return self.joined.clone().unwrap_or_else(|| {
+                (
+                    ServiceStats {
+                        workers: Vec::new(),
+                        range_workers: Vec::new(),
+                        latency: LatencySummary::default(),
+                        net: crate::stats::NetStats::default(),
+                        wall: self.started.elapsed(),
+                    },
+                    0,
+                )
+            });
         }
         let mut panicked = 0usize;
         let mut completions = 0u64;
@@ -777,7 +796,7 @@ impl ProbeService {
         // requests, so both feed the one latency summary.
         let mut latency = LatencySummary::from_samples(samples);
         latency.count = usize::try_from(completions).unwrap_or(usize::MAX);
-        Some((
+        let result = (
             ServiceStats {
                 workers,
                 range_workers,
@@ -786,7 +805,9 @@ impl ProbeService {
                 wall: self.started.elapsed(),
             },
             panicked,
-        ))
+        );
+        self.joined = Some(result.clone());
+        result
     }
 }
 
@@ -964,6 +985,25 @@ mod tests {
             .err(),
             Some(SubmitError::NoOrderedIndex)
         );
+    }
+
+    #[test]
+    fn second_shutdown_pass_returns_the_already_joined_stats() {
+        // Regression: a shutdown pass entered after the workers were
+        // already joined (Drop after an explicit shutdown, or a `stop`
+        // racing concurrent shutdown paths) used to find nothing to
+        // join and panic the consuming `shutdown()`; it must return the
+        // first join's stats instead.
+        let mut s = service(10, &ServeConfig::default());
+        let _ = s.lookup(1);
+        let (first, panicked) = s.shutdown_inner();
+        assert_eq!(panicked, 0);
+        assert_eq!(first.latency.count, 1);
+        let (second, panicked) = s.shutdown_inner();
+        assert_eq!(panicked, 0);
+        assert_eq!(second.latency.count, first.latency.count);
+        assert_eq!(second.workers.len(), first.workers.len());
+        assert_eq!(second.total_keys(), first.total_keys());
     }
 
     #[test]

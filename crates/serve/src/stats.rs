@@ -129,6 +129,10 @@ pub struct LatencySummary {
     pub p95_ns: u64,
     /// 99th-percentile latency in nanoseconds.
     pub p99_ns: u64,
+    /// 99.9th-percentile latency in nanoseconds — the tail the network
+    /// tier's idle/tail experiments watch (a lost completion wakeup
+    /// shows up here long before it moves the p99).
+    pub p999_ns: u64,
     /// Smallest observed latency in nanoseconds.
     pub min_ns: u64,
     /// Largest observed latency in nanoseconds.
@@ -155,6 +159,7 @@ impl LatencySummary {
             p50_ns: rank(0.50),
             p95_ns: rank(0.95),
             p99_ns: rank(0.99),
+            p999_ns: rank(0.999),
             min_ns: samples[0],
             max_ns: samples[count - 1],
         }
@@ -307,6 +312,7 @@ mod tests {
         assert_eq!(s.p50_ns, 50);
         assert_eq!(s.p95_ns, 95);
         assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.p999_ns, 100, "nearest rank rounds 99.9 up");
         assert_eq!(s.min_ns, 1);
         assert_eq!(s.max_ns, 100);
         assert!((s.mean_ns - 50.5).abs() < 1e-9);

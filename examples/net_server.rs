@@ -28,10 +28,14 @@ fn main() {
     ));
 
     // Bind an ephemeral loopback port; the event loop runs on its own
-    // thread from here. The burst below pipelines 10k requests on one
-    // connection, so raise the per-connection in-flight window past it
-    // (at the default 256, the excess would bounce back as typed `Busy`
-    // error frames — that backpressure is a feature, not an outage).
+    // thread from here, blocking in the compat poller (epoll on Linux,
+    // `poll(2)` elsewhere — set WIDX_POLLER=poll or use
+    // `with_poller_backend` to force one) until sockets are ready or a
+    // completion rings its wake handle. The burst below pipelines 10k
+    // requests on one connection, so raise the per-connection in-flight
+    // window past it (at the default 256, the excess would bounce back
+    // as typed `Busy` error frames — that backpressure is a feature,
+    // not an outage).
     let config = NetConfig::default().with_max_inflight(16 * 1024);
     let server =
         WidxServer::bind("127.0.0.1:0", Arc::clone(&service), config).expect("bind loopback");
