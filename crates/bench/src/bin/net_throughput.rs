@@ -18,11 +18,20 @@
 //! zero-load window is read from `/proc/self/stat` — near zero with a
 //! blocking poller, a steady burn with a readiness-polling sleep loop.
 //!
+//! With `--scrape-ms N`, every sweep point also runs a telemetry
+//! scraper on its **own connection**, polling the `Stats` wire opcode
+//! every N milliseconds mid-run and asserting the scraped counters are
+//! monotone — measuring the serving path *with observers attached*.
+//! `--seed-baseline PATH` reads a previous `BENCH_net.json` and emits a
+//! `telemetry_overhead` comparison (seed vs. instrumented reqs/sec)
+//! into this run's JSON.
+//!
 //! Usage: `net_throughput [--requests N] [--entries N] [--span N]
 //! [--scan-share F] [--theta T] [--idle-conns N] [--idle-window-ms N]
-//! [--json PATH] [--smoke]`.
+//! [--scrape-ms N] [--seed-baseline PATH] [--json PATH] [--smoke]`.
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -42,6 +51,8 @@ struct Args {
     theta: f64,
     idle_conns: usize,
     idle_window_ms: u64,
+    scrape_ms: Option<u64>,
+    seed_baseline: Option<String>,
     json: Option<String>,
 }
 
@@ -54,6 +65,8 @@ fn parse_args() -> Args {
         theta: 0.99,
         idle_conns: 256,
         idle_window_ms: 500,
+        scrape_ms: None,
+        seed_baseline: None,
         json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -70,6 +83,8 @@ fn parse_args() -> Args {
             "--theta" => args.theta = value().parse().expect("--theta"),
             "--idle-conns" => args.idle_conns = value().parse().expect("--idle-conns"),
             "--idle-window-ms" => args.idle_window_ms = value().parse().expect("--idle-window-ms"),
+            "--scrape-ms" => args.scrape_ms = Some(value().parse().expect("--scrape-ms")),
+            "--seed-baseline" => args.seed_baseline = Some(value()),
             "--json" => args.json = Some(value()),
             // Quick CI tier: small workload, the sweep shape unchanged.
             "--smoke" => {
@@ -93,6 +108,9 @@ struct Run {
     latency: LatencySummary,
     net: NetStats,
     busy_replies: u64,
+    /// `Stats`-opcode scrapes taken over the wire while the run was hot
+    /// (0 without `--scrape-ms`).
+    scrapes: u64,
 }
 
 /// The per-client mixed workload: mostly Zipfian lookups, a slice of
@@ -143,7 +161,9 @@ fn run_once(pairs: &[(u64, u64)], args: &Args, clients: usize, depth: usize) -> 
     let per_client = args.requests.div_ceil(clients);
 
     let started = Instant::now();
-    let (samples, busy_replies) = std::thread::scope(|scope| {
+    let stop_scraper = AtomicBool::new(false);
+    let stop_scraper = &stop_scraper;
+    let (samples, busy_replies, scrapes) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let ops = build_ops(args, c, per_client);
@@ -188,6 +208,28 @@ fn run_once(pairs: &[(u64, u64)], args: &Args, clients: usize, depth: usize) -> 
                 })
             })
             .collect();
+        // The scraper is a fifth, out-of-band connection: it exercises
+        // the Stats fast path (answered inline from the event loop)
+        // while the measured connections saturate the queued path.
+        let scraper = args.scrape_ms.map(|ms| {
+            scope.spawn(move || {
+                let mut client = WidxClient::connect(addr).expect("scraper connect");
+                let mut last_keys = 0u64;
+                let mut last_frames = 0u64;
+                let mut scrapes = 0u64;
+                while !stop_scraper.load(Ordering::Relaxed) {
+                    let json = client.stats_json().expect("stats scrape");
+                    let keys = widx_obs::json::find_u64(&json, "total_keys").expect("total_keys");
+                    let frames = widx_obs::json::find_u64(&json, "frames_in").expect("frames_in");
+                    assert!(keys >= last_keys, "scraped total_keys went backwards");
+                    assert!(frames >= last_frames, "scraped frames_in went backwards");
+                    (last_keys, last_frames) = (keys, frames);
+                    scrapes += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                scrapes
+            })
+        });
         let mut samples = Vec::new();
         let mut busy = 0u64;
         for handle in handles {
@@ -195,7 +237,9 @@ fn run_once(pairs: &[(u64, u64)], args: &Args, clients: usize, depth: usize) -> 
             samples.extend(s);
             busy += b;
         }
-        (samples, busy)
+        stop_scraper.store(true, Ordering::Relaxed);
+        let scrapes = scraper.map_or(0, |h| h.join().expect("scraper thread"));
+        (samples, busy, scrapes)
     });
     let wall = started.elapsed();
 
@@ -214,6 +258,7 @@ fn run_once(pairs: &[(u64, u64)], args: &Args, clients: usize, depth: usize) -> 
         latency: LatencySummary::from_samples(samples),
         net,
         busy_replies,
+        scrapes,
     }
 }
 
@@ -349,7 +394,34 @@ fn run_idle_phase(pairs: &[(u64, u64)], args: &Args) -> IdleRun {
     }
 }
 
-fn render_json(args: &Args, runs: &[Run], idle: &IdleRun) -> String {
+/// Seed-vs-instrumented throughput comparison computed from a previous
+/// `BENCH_net.json` (`--seed-baseline`).
+struct Overhead {
+    seed_reqs_per_sec: f64,
+    instrumented_reqs_per_sec: f64,
+    delta_pct: f64,
+}
+
+/// Mean sweep throughput of the baseline file vs. this run. Every
+/// `reqs_per_sec` key in the old JSON is a sweep-row value (the idle
+/// section reports latency only), so the mean over all matches is the
+/// seed's sweep-average throughput.
+fn telemetry_overhead(path: &str, runs: &[Run]) -> Option<Overhead> {
+    let old = std::fs::read_to_string(path).ok()?;
+    let seed_rates = widx_obs::json::find_all_f64(&old, "reqs_per_sec");
+    if seed_rates.is_empty() || runs.is_empty() {
+        return None;
+    }
+    let seed = seed_rates.iter().sum::<f64>() / seed_rates.len() as f64;
+    let inst = runs.iter().map(|r| r.reqs_per_sec).sum::<f64>() / runs.len() as f64;
+    Some(Overhead {
+        seed_reqs_per_sec: seed,
+        instrumented_reqs_per_sec: inst,
+        delta_pct: (inst - seed) / seed * 100.0,
+    })
+}
+
+fn render_json(args: &Args, runs: &[Run], idle: &IdleRun, overhead: Option<&Overhead>) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"net_throughput\",");
@@ -366,8 +438,8 @@ fn render_json(args: &Args, runs: &[Run], idle: &IdleRun) -> String {
         let _ = write!(
             out,
             "\"clients\": {}, \"depth\": {}, \"wall_ms\": {:.3}, \"reqs_per_sec\": {:.0}, \
-             \"busy_replies\": {}, ",
-            run.clients, run.depth, run.wall_ms, run.reqs_per_sec, run.busy_replies
+             \"busy_replies\": {}, \"live_scrapes\": {}, ",
+            run.clients, run.depth, run.wall_ms, run.reqs_per_sec, run.busy_replies, run.scrapes
         );
         let _ = write!(
             out,
@@ -411,7 +483,18 @@ fn render_json(args: &Args, runs: &[Run], idle: &IdleRun) -> String {
             None => "null".to_string(),
         }
     );
-    out.push_str("}\n}\n");
+    out.push('}');
+    if let Some(o) = overhead {
+        out.push_str(",\n  \"telemetry_overhead\": {");
+        let _ = write!(
+            out,
+            "\"seed_reqs_per_sec\": {:.0}, \"instrumented_reqs_per_sec\": {:.0}, \
+             \"delta_pct\": {:.2}",
+            o.seed_reqs_per_sec, o.instrumented_reqs_per_sec, o.delta_pct
+        );
+        out.push('}');
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -474,6 +557,22 @@ fn main() {
          network-layer analogue of the paper's dispatcher keeping all four \
          walkers fed)"
     );
+    if args.scrape_ms.is_some() {
+        let total: u64 = runs.iter().map(|r| r.scrapes).sum();
+        println!(
+            "(Stats-opcode scraper: {total} mid-run wire scrapes, counters monotone throughout)"
+        );
+    }
+    let overhead = args
+        .seed_baseline
+        .as_deref()
+        .and_then(|path| telemetry_overhead(path, &runs));
+    if let Some(o) = &overhead {
+        println!(
+            "(telemetry overhead vs. seed baseline: {:.0} → {:.0} reqs/s sweep mean, {:+.2}%)",
+            o.seed_reqs_per_sec, o.instrumented_reqs_per_sec, o.delta_pct
+        );
+    }
 
     println!(
         "\n== idle/tail phase: {} idle connections + 2 active clients (depth 8) ==\n",
@@ -512,7 +611,7 @@ fn main() {
     }
 
     if let Some(path) = &args.json {
-        let json = render_json(&args, &runs, &idle);
+        let json = render_json(&args, &runs, &idle, overhead.as_ref());
         std::fs::write(path, json).expect("write json");
         println!("\nwrote {path}");
     }

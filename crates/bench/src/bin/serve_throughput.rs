@@ -9,11 +9,18 @@
 //! written as JSON for trend tracking (`BENCH_serve.json` keeps the
 //! committed baseline).
 //!
+//! With `--scrape-ms N`, a telemetry thread polls
+//! `ProbeService::live_stats()` every N milliseconds *while the run is
+//! hot*, asserting the scraped counters are monotone — the bench
+//! doubles as a concurrency test for the lock-free registry, and the
+//! scrape count lands in the JSON so overhead runs are comparable.
+//!
 //! Usage: `serve_throughput [--shards N] [--probes N] [--entries N]
-//! [--theta T] [--req-size N] [--json PATH]`.
+//! [--theta T] [--req-size N] [--scrape-ms N] [--smoke] [--json PATH]`.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use widx_bench::table::{f1, f2, pct, Table};
 use widx_db::hash::HashRecipe;
@@ -29,6 +36,8 @@ struct Args {
     entries: u64,
     theta: f64,
     req_size: usize,
+    scrape_ms: Option<u64>,
+    smoke: bool,
     json: Option<String>,
 }
 
@@ -39,6 +48,8 @@ fn parse_args() -> Args {
         entries: 1 << 18,
         theta: 0.99,
         req_size: 128,
+        scrape_ms: None,
+        smoke: false,
         json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -53,8 +64,19 @@ fn parse_args() -> Args {
             "--entries" => args.entries = value().parse().expect("--entries"),
             "--theta" => args.theta = value().parse().expect("--theta"),
             "--req-size" => args.req_size = value().parse().expect("--req-size"),
+            "--scrape-ms" => args.scrape_ms = Some(value().parse().expect("--scrape-ms")),
+            "--smoke" => args.smoke = true,
             "--json" => args.json = Some(value()),
             other => panic!("unknown flag {other}"),
+        }
+    }
+    if args.smoke {
+        // A CI-sized run: one sweep point, small table, seconds not
+        // minutes. Explicit flags still win.
+        args.probes = 8_000;
+        args.entries = 1 << 14;
+        if args.shards.is_none() {
+            args.shards = Some(2);
         }
     }
     args
@@ -67,11 +89,15 @@ struct Run {
     batch_size: usize,
     wall_ms: f64,
     keys_per_sec: f64,
+    /// Live-stats scrapes taken while the run was hot (0 without
+    /// `--scrape-ms`).
+    scrapes: u64,
     stats: ServiceStats,
 }
 
 /// Drives `probes` through a freshly built service with `CLIENTS`
-/// pipelining client threads.
+/// pipelining client threads. With `scrape_ms`, a telemetry thread
+/// polls `live_stats()` concurrently, asserting monotone counters.
 fn run_once(
     pairs: &[(u64, u64)],
     probes: &[u64],
@@ -79,6 +105,7 @@ fn run_once(
     inflight: usize,
     batch_size: usize,
     req_size: usize,
+    scrape_ms: Option<u64>,
 ) -> Run {
     let config = ServeConfig::default()
         .with_shards(shards)
@@ -87,11 +114,15 @@ fn run_once(
     let service = ProbeService::build(HashRecipe::robust64(), pairs.iter().copied(), &config);
 
     let started = Instant::now();
+    let scrapes = AtomicU64::new(0);
+    let stop_scraper = AtomicBool::new(false);
+    let stop_scraper = &stop_scraper;
     std::thread::scope(|scope| {
         let per_client = probes.len().div_ceil(CLIENTS);
+        let mut clients = Vec::with_capacity(CLIENTS);
         for slice in probes.chunks(per_client.max(1)) {
             let service = &service;
-            scope.spawn(move || {
+            clients.push(scope.spawn(move || {
                 // Pipeline up to 32 requests per client before reaping.
                 let mut window = Vec::with_capacity(32);
                 for req in slice.chunks(req_size) {
@@ -108,8 +139,32 @@ fn run_once(
                 for p in window {
                     let _ = p.wait();
                 }
+            }));
+        }
+        if let Some(ms) = scrape_ms {
+            let service = &service;
+            let scrapes = &scrapes;
+            scope.spawn(move || {
+                let mut last_keys = 0u64;
+                let mut last_lat = 0u64;
+                while !stop_scraper.load(Ordering::Relaxed) {
+                    let live = service.live_stats();
+                    let keys = live.total_keys();
+                    let lat = live.latency.count as u64;
+                    assert!(keys >= last_keys, "live total_keys went backwards");
+                    assert!(lat >= last_lat, "live latency count went backwards");
+                    (last_keys, last_lat) = (keys, lat);
+                    scrapes.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
             });
         }
+        // Join the clients explicitly, then release the scraper — the
+        // scope would otherwise deadlock waiting on an infinite loop.
+        for client in clients {
+            client.join().expect("client thread");
+        }
+        stop_scraper.store(true, Ordering::Relaxed);
     });
     let wall = started.elapsed();
     let stats = service.shutdown();
@@ -119,6 +174,7 @@ fn run_once(
         batch_size,
         wall_ms: wall.as_secs_f64() * 1e3,
         keys_per_sec: probes.len() as f64 / wall.as_secs_f64(),
+        scrapes: scrapes.load(Ordering::Relaxed),
         stats,
     }
 }
@@ -140,8 +196,8 @@ fn render_json(args: &Args, runs: &[Run]) -> String {
         let _ = write!(
             out,
             "\"shards\": {}, \"inflight\": {}, \"batch_size\": {}, \
-             \"wall_ms\": {:.3}, \"keys_per_sec\": {:.0}, ",
-            run.shards, run.inflight, run.batch_size, run.wall_ms, run.keys_per_sec
+             \"wall_ms\": {:.3}, \"keys_per_sec\": {:.0}, \"live_scrapes\": {}, ",
+            run.shards, run.inflight, run.batch_size, run.wall_ms, run.keys_per_sec, run.scrapes
         );
         let _ = write!(
             out,
@@ -183,8 +239,8 @@ fn main() {
         Some(s) => vec![s],
         None => vec![1, 2, 4],
     };
-    let inflight_sweep = [1usize, 4, 8];
-    let batch_sweep = [16usize, 64];
+    let inflight_sweep: &[usize] = if args.smoke { &[4] } else { &[1, 4, 8] };
+    let batch_sweep: &[usize] = if args.smoke { &[16] } else { &[16, 64] };
 
     let pairs: Vec<(u64, u64)> = datagen::unique_shuffled_keys(SEED, args.entries as usize)
         .into_iter()
@@ -218,9 +274,17 @@ fn main() {
         "mean batch",
     ]);
     for &shards in &shard_sweep {
-        for &inflight in &inflight_sweep {
-            for &batch_size in &batch_sweep {
-                let run = run_once(&pairs, &probes, shards, inflight, batch_size, args.req_size);
+        for &inflight in inflight_sweep {
+            for &batch_size in batch_sweep {
+                let run = run_once(
+                    &pairs,
+                    &probes,
+                    shards,
+                    inflight,
+                    batch_size,
+                    args.req_size,
+                    args.scrape_ms,
+                );
                 let occ = run
                     .stats
                     .workers
@@ -256,6 +320,10 @@ fn main() {
          occupancy is busy/(busy+idle) per worker — the serving analogue of \
          the paper's walker-utilization figure)"
     );
+    if args.scrape_ms.is_some() {
+        let total: u64 = runs.iter().map(|r| r.scrapes).sum();
+        println!("(live-stats scraper: {total} mid-run scrapes, counters monotone throughout)");
+    }
 
     if let Some(path) = &args.json {
         let json = render_json(&args, &runs);

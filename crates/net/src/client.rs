@@ -296,7 +296,7 @@ impl WidxClient {
                         self.streams.remove(&id);
                     }
                 }
-                Ok(Reply::Response(_)) => {
+                Ok(Reply::Response(_) | Reply::Stats { .. }) => {
                     // A buffered reply on a stream id: protocol
                     // violation; fault the stream rather than lose sync.
                     slot.fault = Some(StreamFault::Remote(ErrorReply::new(
@@ -319,8 +319,10 @@ impl WidxClient {
         match reply {
             Ok(Reply::Response(response)) => Some((id, Ok(response))),
             // Stream frames for an id we never opened (or already
-            // forgot): dropping them keeps the connection usable.
-            Ok(Reply::RangeChunk(_) | Reply::RangeEnd { .. }) => None,
+            // forgot), and stats snapshots nobody is waiting on
+            // ([`stats_json`](WidxClient::stats_json) reaps its own):
+            // dropping them keeps the connection usable.
+            Ok(Reply::RangeChunk(_) | Reply::RangeEnd { .. } | Reply::Stats { .. }) => None,
             Err(error) => Some((id, Err(error))),
         }
     }
@@ -471,6 +473,41 @@ impl WidxClient {
         })? {
             Response::RangeScan { entries } => Ok(entries),
             _ => Err(protocol_violation("mismatched reply variant for RangeScan")),
+        }
+    }
+
+    /// Scrapes the server's live telemetry: sends one `Stats` frame and
+    /// blocks for the JSON snapshot (the server answers it from the
+    /// event loop, ahead of queued probe work). Replies to other
+    /// pipelined ids arriving meanwhile are stashed for their own
+    /// `recv` calls, as usual. Parse the document with `widx_obs::json`
+    /// (or any real JSON parser).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] when the server answered with an error
+    /// frame — an `Unsupported` code means a pre-telemetry server;
+    /// [`ClientError::Io`] on connection failure or a non-stats reply
+    /// on this id.
+    pub fn stats_json(&mut self) -> Result<String, ClientError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.ebuf.clear();
+        wire::encode_stats_request(&mut self.ebuf, id);
+        self.stream.write_all(&self.ebuf)?;
+        loop {
+            let (got, reply) = self.read_frame()?;
+            if got != id {
+                if let Some(stashed) = self.route_frame((got, reply)) {
+                    self.stash.push_back(stashed);
+                }
+                continue;
+            }
+            return match reply {
+                Ok(Reply::Stats { json }) => Ok(json),
+                Ok(_) => Err(protocol_violation("mismatched reply variant for Stats")),
+                Err(error) => Err(ClientError::Remote(error)),
+            };
         }
     }
 

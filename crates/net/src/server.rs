@@ -24,15 +24,19 @@
 //! stops reading, the write-backlog cap stops the server reading from
 //! it — TCP pushes back the rest of the way.
 
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use poller::{Event, Poller};
-use widx_serve::{NetStats, PendingResponse, PendingStream, ProbeService, StreamPoll, SubmitError};
+use widx_serve::{
+    NetStats, PendingResponse, PendingStream, ProbeService, Stage, StageTimes, StreamPoll,
+    SubmitError,
+};
 
 use crate::wire::{self, Decoded, ErrorCode, ErrorReply, WireRequest};
 
@@ -140,7 +144,10 @@ impl NetConfig {
     }
 }
 
-/// Shared atomic counters behind [`NetStats`] snapshots.
+/// Shared atomic counters behind [`NetStats`] snapshots. The first five
+/// are monotone counters; the last two are gauges the event loop
+/// re-publishes every iteration, so a scrape sees values at most one
+/// loop pass stale.
 #[derive(Default)]
 struct NetCounters {
     connections: AtomicU64,
@@ -148,6 +155,8 @@ struct NetCounters {
     frames_out: AtomicU64,
     busy_rejects: AtomicU64,
     decode_errors: AtomicU64,
+    open_connections: AtomicU64,
+    write_backlog_bytes: AtomicU64,
 }
 
 impl NetCounters {
@@ -158,6 +167,8 @@ impl NetCounters {
             frames_out: self.frames_out.load(Ordering::Relaxed),
             busy_rejects: self.busy_rejects.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            write_backlog_bytes: self.write_backlog_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -213,10 +224,28 @@ struct Connection {
     closed_for_reads: bool,
     /// Set on an unrecoverable socket error: drop the connection now.
     dead: bool,
+    /// The service's stage histograms — this connection records the
+    /// `reply_write` stage (encode-to-flushed time) into them.
+    stages: Arc<StageTimes>,
+    /// Total bytes ever flushed on this socket (the coordinate system
+    /// for `wmarks`, immune to `wbuf` being cleared and reused).
+    flushed_total: u64,
+    /// Reply-write marks: `(offset, encoded_at)` pairs meaning "the
+    /// frame encoded at `encoded_at` is fully on the socket once
+    /// `flushed_total` reaches `offset`". Popped in flush order —
+    /// offsets are pushed non-decreasing, so the front is always the
+    /// next to complete.
+    wmarks: VecDeque<(u64, Instant)>,
 }
 
+/// Cap on queued reply-write marks per connection: past this, new
+/// frames simply go unmeasured (the histogram is a sample, not a
+/// ledger) rather than letting a slow reader grow the queue without
+/// bound.
+const MAX_WMARKS: usize = 1024;
+
 impl Connection {
-    fn new(stream: TcpStream, poller: Arc<Poller>) -> Connection {
+    fn new(stream: TcpStream, poller: Arc<Poller>, stages: Arc<StageTimes>) -> Connection {
         Connection {
             stream,
             rbuf: Vec::new(),
@@ -233,6 +262,20 @@ impl Connection {
             reap_stalled: false,
             closed_for_reads: false,
             dead: false,
+            stages,
+            flushed_total: 0,
+            wmarks: VecDeque::new(),
+        }
+    }
+
+    /// Records a reply-write mark for the frame(s) just encoded: the
+    /// stage completes when every byte currently buffered has flushed.
+    fn mark_reply_written(&mut self) {
+        if self.wmarks.len() < MAX_WMARKS {
+            self.wmarks.push_back((
+                self.flushed_total + self.write_backlog() as u64,
+                Instant::now(),
+            ));
         }
     }
 
@@ -328,6 +371,18 @@ impl Connection {
                 }) => {
                     consumed_total += consumed;
                     counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                    if matches!(value, WireRequest::Stats) {
+                        // Answered inline from the event loop, ahead of
+                        // the in-flight cap: a scrape must not wait
+                        // behind the shard queues (or the pipelining
+                        // window) it is there to observe, and it never
+                        // occupies a window slot.
+                        let stats = service.live_stats().with_net(counters.snapshot());
+                        wire::encode_stats_reply(&mut self.wbuf, id, &stats.to_json());
+                        counters.frames_out.fetch_add(1, Ordering::Relaxed);
+                        self.mark_reply_written();
+                        continue;
+                    }
                     if self.inflight() >= config.max_inflight_per_conn {
                         counters.busy_rejects.fetch_add(1, Ordering::Relaxed);
                         self.reply_error(
@@ -355,6 +410,7 @@ impl Connection {
                                 entries: 0,
                             });
                         }),
+                        WireRequest::Stats => unreachable!("answered before the in-flight cap"),
                     };
                     match submitted {
                         Ok(()) => {}
@@ -469,6 +525,7 @@ impl Connection {
                 if wire::response_fits(&response) {
                     wire::encode_response(&mut self.wbuf, id, &response);
                     counters.frames_out.fetch_add(1, Ordering::Relaxed);
+                    self.mark_reply_written();
                 } else {
                     // A legal request (e.g. an unbounded RangeScan) can
                     // complete with more entries than any frame may
@@ -533,6 +590,9 @@ impl Connection {
                 }
             }
             if finished {
+                // The stream's reply-write stage spans its final frame:
+                // one mark at the `RangeEnd`, not one per chunk.
+                self.mark_reply_written();
                 self.streams.swap_remove(i);
             } else {
                 i += 1;
@@ -541,29 +601,38 @@ impl Connection {
         progress
     }
 
-    /// Flushes as much buffered output as the socket accepts. Returns
-    /// true on progress.
+    /// Flushes as much buffered output as the socket accepts,
+    /// completing reply-write marks as their bytes reach the socket.
+    /// Returns true on progress.
     fn flush(&mut self) -> bool {
         let mut progress = false;
         while self.wpos < self.wbuf.len() {
             match self.stream.write(&self.wbuf[self.wpos..]) {
                 Ok(0) => {
                     self.dead = true;
-                    return progress;
+                    break;
                 }
                 Ok(n) => {
                     self.wpos += n;
+                    self.flushed_total += n as u64;
                     progress = true;
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => return progress,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(_) => {
                     self.dead = true;
-                    return progress;
+                    break;
                 }
             }
         }
-        if self.wpos > 0 {
+        while let Some(&(offset, encoded_at)) = self.wmarks.front() {
+            if offset > self.flushed_total {
+                break;
+            }
+            self.stages.record(Stage::ReplyWrite, encoded_at.elapsed());
+            self.wmarks.pop_front();
+        }
+        if self.wpos > 0 && self.wpos == self.wbuf.len() {
             self.wbuf.clear();
             self.wpos = 0;
         }
@@ -742,6 +811,7 @@ impl Drop for WidxServer {
 fn accept_burst(
     listener: &TcpListener,
     poller: &Arc<Poller>,
+    stages: &Arc<StageTimes>,
     slots: &mut Vec<Option<Connection>>,
     counters: &NetCounters,
 ) -> bool {
@@ -760,7 +830,7 @@ fn accept_burst(
                         slots.len() - 1
                     }
                 };
-                let conn = Connection::new(stream, Arc::clone(poller));
+                let conn = Connection::new(stream, Arc::clone(poller), Arc::clone(stages));
                 if poller
                     .add(&conn.stream, Event::readable(slot + CONN_KEY_BASE))
                     .is_err()
@@ -789,6 +859,7 @@ fn run_event_loop(
     shutdown: &AtomicBool,
     counters: &NetCounters,
 ) {
+    let stages = service.stage_times();
     let mut slots: Vec<Option<Connection>> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
     let mut draining: Option<std::time::Instant> = None;
@@ -853,7 +924,7 @@ fn run_event_loop(
             }
         }
         if accept_ready && accepting {
-            progress |= accept_burst(listener, poller, &mut slots, counters);
+            progress |= accept_burst(listener, poller, &stages, &mut slots, counters);
         }
         // Pump every live connection: ones with socket readiness do IO,
         // ones whose waker fired reap completions, quiet ones cost one
@@ -872,6 +943,20 @@ fn run_event_loop(
                 conn.update_interest(index + CONN_KEY_BASE, config);
             }
         }
+        // Re-publish the loop's gauges: how many connections are live
+        // and how many reply bytes sit unflushed across all of them. A
+        // scrape (the Stats opcode, or `WidxServer::stats`) sees values
+        // at most one loop pass stale.
+        let mut open = 0u64;
+        let mut backlog = 0u64;
+        for conn in slots.iter().flatten() {
+            open += 1;
+            backlog += conn.write_backlog() as u64;
+        }
+        counters.open_connections.store(open, Ordering::Relaxed);
+        counters
+            .write_backlog_bytes
+            .store(backlog, Ordering::Relaxed);
         if let Some(since) = draining {
             if slots.iter().all(Option::is_none) {
                 return;

@@ -61,6 +61,13 @@ const OP_RANGE_SCAN2: u8 = 0x05;
 /// A chunked range scan: answered with zero or more `RangeChunk`
 /// frames followed by one `RangeEnd` (or a single error frame).
 const OP_RANGE_STREAM: u8 = 0x06;
+/// A live-telemetry scrape (empty payload): answered immediately from
+/// the event loop with one [`OP_R_STATS`] frame carrying a JSON
+/// snapshot of the service's stats — no trip through the shard queues.
+/// Like the streaming opcodes, this extends the opcode space without a
+/// version bump: a pre-telemetry server answers `Unsupported` and the
+/// connection survives.
+const OP_STATS: u8 = 0x07;
 
 /// Reply opcodes (high bit set) mirror their requests; `0xEE` is the
 /// error frame.
@@ -72,6 +79,8 @@ const OP_R_RANGE_SCAN: u8 = 0x84;
 const OP_R_RANGE_CHUNK: u8 = 0x85;
 /// End-of-stream marker carrying the total entry count.
 const OP_R_RANGE_END: u8 = 0x86;
+/// A stats snapshot: the payload is the remaining body, UTF-8 JSON.
+const OP_R_STATS: u8 = 0x87;
 const OP_R_ERROR: u8 = 0xEE;
 
 /// Scan-flag bits carried by [`OP_RANGE_SCAN2`] / [`OP_RANGE_STREAM`]
@@ -154,6 +163,9 @@ pub enum WireRequest {
         /// Descending key order when set.
         desc: bool,
     },
+    /// A live-telemetry scrape ([`OP_STATS`]): answered from the event
+    /// loop itself, never submitted to a shard queue.
+    Stats,
 }
 
 /// A decoded reply frame, as the client sees it: a buffered response,
@@ -170,6 +182,12 @@ pub enum Reply {
     RangeEnd {
         /// Total `(key, payload)` entries the stream carried.
         entries: u64,
+    },
+    /// A live-telemetry snapshot answering [`OP_STATS`].
+    Stats {
+        /// The stats document, as the server rendered it
+        /// (`ServiceStats::to_json`).
+        json: String,
     },
 }
 
@@ -375,6 +393,21 @@ pub fn encode_range_stream(buf: &mut Vec<u8>, id: u64, lo: u64, hi: u64, limit: 
     });
 }
 
+/// Encodes one stats-scrape request frame onto `buf` — the client side
+/// of [`OP_STATS`]. The payload is empty; the reply carries the JSON.
+pub fn encode_stats_request(buf: &mut Vec<u8>, id: u64) {
+    frame(buf, OP_STATS, id, |_| {});
+}
+
+/// Encodes one stats-snapshot reply frame onto `buf`. The JSON is
+/// truncated at the frame cap in the (practically unreachable) case a
+/// snapshot outgrows it — a scrape must never kill the event loop.
+pub fn encode_stats_reply(buf: &mut Vec<u8>, id: u64, json: &str) {
+    let body = json.as_bytes();
+    let body = &body[..body.len().min(MAX_BODY_LEN - HEADER_LEN)];
+    frame(buf, OP_R_STATS, id, |b| b.extend_from_slice(body));
+}
+
 /// Encodes one stream-chunk reply frame onto `buf`.
 ///
 /// # Panics
@@ -523,6 +556,14 @@ impl<'a> Cursor<'a> {
         (0..count).map(|_| Ok((self.u64()?, self.u64()?))).collect()
     }
 
+    /// Everything not yet consumed (used by opcodes whose payload is
+    /// "the rest of the body", like the stats JSON).
+    fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.bytes[self.at..];
+        self.at = self.bytes.len();
+        slice
+    }
+
     fn finish(self) -> Result<(), DecodeError> {
         if self.at == self.bytes.len() {
             Ok(())
@@ -623,6 +664,7 @@ fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<WireRequest, Dec
                 desc: scan_flags(&mut c)?,
             }
         }
+        OP_STATS => WireRequest::Stats,
         other => return Err(DecodeError::Opcode(other)),
     };
     c.finish()?;
@@ -648,6 +690,10 @@ fn decode_reply_payload(
         })),
         OP_R_RANGE_CHUNK => Ok(Reply::RangeChunk(c.pairs()?)),
         OP_R_RANGE_END => Ok(Reply::RangeEnd { entries: c.u64()? }),
+        OP_R_STATS => Ok(Reply::Stats {
+            json: String::from_utf8(c.rest().to_vec())
+                .map_err(|_| DecodeError::Payload("stats payload is not UTF-8"))?,
+        }),
         OP_R_ERROR => {
             let code = ErrorCode::from_u8(c.u8()?);
             let _reserved = c.u8()?;
@@ -901,6 +947,64 @@ mod tests {
         match decode_reply(&buf).unwrap() {
             Decoded::Frame { value, .. } => assert_eq!(value, Ok(Reply::RangeChunk(vec![]))),
             other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_frames_roundtrip() {
+        // Request: empty payload under the new 0x07 opcode.
+        let mut buf = Vec::new();
+        encode_stats_request(&mut buf, 21);
+        assert_eq!(buf[5], OP_STATS);
+        assert_eq!(buf.len(), 4 + HEADER_LEN, "empty payload");
+        match decode_request(&buf).unwrap() {
+            Decoded::Frame {
+                consumed,
+                id,
+                value,
+            } => {
+                assert_eq!((consumed, id), (buf.len(), 21));
+                assert_eq!(value, WireRequest::Stats);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+        // A stats request with trailing bytes is malformed, not ignored.
+        let mut buf = Vec::new();
+        frame(&mut buf, OP_STATS, 22, |b| b.push(1));
+        match decode_request(&buf).unwrap() {
+            Decoded::Corrupt { error, .. } => {
+                assert_eq!(error, DecodeError::Payload("trailing bytes in payload"));
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        // Reply: the body is the JSON, verbatim.
+        let json = r#"{"total_keys": 7, "latency": {"count": 3}}"#;
+        let mut buf = Vec::new();
+        encode_stats_reply(&mut buf, 21, json);
+        assert_eq!(buf[5], OP_R_STATS);
+        match decode_reply(&buf).unwrap() {
+            Decoded::Frame { id, value, .. } => {
+                assert_eq!(id, 21);
+                assert_eq!(
+                    value,
+                    Ok(Reply::Stats {
+                        json: json.to_string(),
+                    })
+                );
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+        // Non-UTF-8 stats bodies are corrupt but resynchronizable.
+        let mut buf = Vec::new();
+        frame(&mut buf, OP_R_STATS, 23, |b| {
+            b.extend_from_slice(&[0xFF, 0xFE])
+        });
+        match decode_reply(&buf).unwrap() {
+            Decoded::Corrupt { id, error, .. } => {
+                assert_eq!(id, 23);
+                assert_eq!(error, DecodeError::Payload("stats payload is not UTF-8"));
+            }
+            other => panic!("expected corrupt, got {other:?}"),
         }
     }
 

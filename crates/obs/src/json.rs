@@ -1,0 +1,97 @@
+//! Minimal JSON helpers for the telemetry wire payload.
+//!
+//! The workspace carries no serde; stats payloads are small flat documents
+//! written by hand and read back with naive key scans. These helpers are
+//! deliberately not a JSON parser — they are just enough for benches and
+//! tests to pull numeric fields out of documents this workspace itself
+//! produced.
+
+/// Escape a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn number_after(json: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let needle = format!("\"{key}\"");
+    let at = json[from..].find(&needle)? + from;
+    let rest = &json[at + needle.len()..];
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(rest.len());
+    let parsed: f64 = rest[..end].parse().ok()?;
+    Some((parsed, at + needle.len()))
+}
+
+/// Find the first numeric value of `"key"` in `json`.
+pub fn find_f64(json: &str, key: &str) -> Option<f64> {
+    number_after(json, key, 0).map(|(v, _)| v)
+}
+
+/// Find the first numeric value of `"key"` in `json`, as a `u64`.
+///
+/// Returns `None` if the value is negative, fractional, or absent.
+pub fn find_u64(json: &str, key: &str) -> Option<u64> {
+    let v = find_f64(json, key)?;
+    if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 {
+        Some(v as u64)
+    } else {
+        None
+    }
+}
+
+/// Find every numeric value of `"key"` in `json`, in document order.
+pub fn find_all_f64(json: &str, key: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some((v, next)) = number_after(json, key, from) {
+        out.push(v);
+        from = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn find_helpers_scan_flat_documents() {
+        let doc = r#"{"keys": 120, "rate": 3.5, "nested": {"keys": 7}, "neg": -2}"#;
+        assert_eq!(find_u64(doc, "keys"), Some(120));
+        assert_eq!(find_f64(doc, "rate"), Some(3.5));
+        assert_eq!(find_u64(doc, "rate"), None);
+        assert_eq!(find_u64(doc, "neg"), None);
+        assert_eq!(find_f64(doc, "missing"), None);
+        assert_eq!(find_all_f64(doc, "keys"), vec![120.0, 7.0]);
+    }
+
+    #[test]
+    fn find_tolerates_whitespace_and_exponents() {
+        let doc = "{ \"wall_ms\" :\n 12e2 }";
+        assert_eq!(find_f64(doc, "wall_ms"), Some(1200.0));
+    }
+}

@@ -1,0 +1,34 @@
+//! # widx-obs — live telemetry primitives
+//!
+//! Lock-free building blocks for observing the serving stack while it runs:
+//!
+//! - [`AtomicHistogram`] / [`HistogramSnapshot`]: fixed 64-bucket log2
+//!   latency histograms, recordable from any thread, snapshot-without-reset,
+//!   mergeable in any order.
+//! - [`WorkerCell`] / [`WorkerCellSnapshot`]: a padded bundle of one
+//!   worker's counters plus its latency histogram. Workers publish directly
+//!   into their cell, so a shutdown join is just a final snapshot and
+//!   `live_stats()` is the same snapshot taken earlier.
+//! - [`Stage`] / [`StageTimes`]: the queue-wait / batch-wait / walk /
+//!   gather / reply-write breakdown of a request's life.
+//! - [`PromText`]: Prometheus text-exposition builder.
+//! - [`json`]: tiny escape/extract helpers for the JSON stats payload.
+//!
+//! Everything here is plain `std` atomics — no locks on any record path,
+//! and no dependencies.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cell;
+mod hist;
+pub mod json;
+mod prom;
+mod stage;
+
+pub use cell::{FlushKind, WorkerCell, WorkerCellSnapshot};
+pub use hist::{
+    bucket_ceil, bucket_floor, bucket_of, AtomicHistogram, HistogramSnapshot, HIST_BUCKETS,
+};
+pub use prom::PromText;
+pub use stage::{Stage, StageSnapshot, StageTimes};

@@ -1,0 +1,117 @@
+//! Prometheus text-exposition builder.
+//!
+//! Emits the classic `name{label="value"} 123` line format (exposition
+//! format version 0.0.4) without pulling in a client library. Metric and
+//! label names are supplied by the caller and assumed well-formed; label
+//! values are escaped.
+
+/// Incremental builder for a Prometheus text-exposition document.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit a `# HELP` line for `name`.
+    pub fn help(&mut self, name: &str, text: &str) -> &mut Self {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(text);
+        self.out.push('\n');
+        self
+    }
+
+    /// Emit a `# TYPE` line for `name` (`counter`, `gauge`, `summary`, ...).
+    pub fn type_(&mut self, name: &str, kind: &str) -> &mut Self {
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+        self
+    }
+
+    /// Emit one sample line with optional labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label(v));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            self.out.push_str(&format!("{}", value as i64));
+        } else {
+            self.out.push_str(&format!("{value}"));
+        }
+        self.out.push('\n');
+        self
+    }
+
+    /// Convenience for integer-valued samples.
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) -> &mut Self {
+        self.sample(name, labels, value as f64)
+    }
+
+    /// Finish the document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_help_type_and_samples() {
+        let mut p = PromText::new();
+        p.help("widx_keys_total", "Probed keys.")
+            .type_("widx_keys_total", "counter")
+            .sample_u64("widx_keys_total", &[("tier", "point"), ("shard", "0")], 42)
+            .sample("widx_occupancy", &[], 0.5);
+        let text = p.finish();
+        assert_eq!(
+            text,
+            "# HELP widx_keys_total Probed keys.\n\
+             # TYPE widx_keys_total counter\n\
+             widx_keys_total{tier=\"point\",shard=\"0\"} 42\n\
+             widx_occupancy 0.5\n"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromText::new();
+        p.sample_u64("m", &[("k", "a\"b\\c\nd")], 1);
+        assert_eq!(p.finish(), "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+}

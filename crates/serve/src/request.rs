@@ -7,6 +7,8 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use widx_obs::{Stage, StageTimes, WorkerCell};
+
 /// A probe request submitted to the service.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -167,7 +169,11 @@ pub(crate) struct PendingInner {
     /// loop can skip scanning pending lists that saw no progress.
     waker: Option<Arc<dyn Fn() + Send + Sync>>,
     pub(crate) kind: RequestKind,
-    pub(crate) submitted: Instant,
+    /// When the first shard-part finished — the start of the gather
+    /// window ([`Stage::Gather`] spans first-done to last-done).
+    first_done: Option<Instant>,
+    /// Stage-timing sink, when the owning service attached one.
+    stages: Option<Arc<StageTimes>>,
     pub(crate) done: bool,
 }
 
@@ -177,6 +183,9 @@ pub(crate) struct PendingInner {
 pub(crate) struct ResponseState {
     pub(crate) inner: Mutex<PendingInner>,
     pub(crate) ready: Condvar,
+    /// Submission time — immutable after construction, so the queue-wait
+    /// seam reads it without taking the lock.
+    submitted: Instant,
 }
 
 impl ResponseState {
@@ -188,11 +197,26 @@ impl ResponseState {
                 stream: None,
                 waker: None,
                 kind,
-                submitted: Instant::now(),
+                first_done: None,
+                stages: None,
                 done: parts == 0,
             }),
             ready: Condvar::new(),
+            submitted: Instant::now(),
         }
+    }
+
+    /// Attaches the service's stage-timing sink. Must be called before
+    /// the state is shared (it takes `self` by value precisely so no
+    /// lock is needed).
+    pub(crate) fn with_stages(mut self, stages: &Arc<StageTimes>) -> ResponseState {
+        self.inner.get_mut().expect("pending lock").stages = Some(Arc::clone(stages));
+        self
+    }
+
+    /// Time since the request was submitted (lock-free).
+    pub(crate) fn since_submit(&self) -> std::time::Duration {
+        self.submitted.elapsed()
     }
 
     /// A streaming state: `parts` scatter ranks whose chunks the seam
@@ -279,8 +303,15 @@ impl ResponseState {
 
     /// Called by a range worker when a streaming scan's part for
     /// scatter rank `rank` has fully drained (every chunk pushed).
-    /// Returns the completion latency when this was the final part.
-    pub(crate) fn complete_stream_part(&self, rank: u32) -> Option<std::time::Duration> {
+    /// Returns the completion latency when this was the final part,
+    /// already recorded into `cell` **before** any completion signal —
+    /// a caller whose `wait()` has returned must find the request
+    /// counted by a `live_stats()` scrape.
+    pub(crate) fn complete_stream_part(
+        &self,
+        rank: u32,
+        cell: Option<&WorkerCell>,
+    ) -> Option<std::time::Duration> {
         let mut inner = self.inner.lock().expect("pending lock");
         let stream = inner
             .stream
@@ -288,10 +319,20 @@ impl ResponseState {
             .expect("stream part completed on a buffered request");
         stream.ranks[rank as usize].done = true;
         Self::drain_released(stream);
+        if inner.first_done.is_none() {
+            inner.first_done = Some(Instant::now());
+        }
         inner.parts_left -= 1;
         let latency = if inner.parts_left == 0 {
             inner.done = true;
-            Some(inner.submitted.elapsed())
+            if let (Some(stages), Some(first)) = (inner.stages.as_ref(), inner.first_done) {
+                stages.record(Stage::Gather, first.elapsed());
+            }
+            let latency = self.submitted.elapsed();
+            if let Some(cell) = cell {
+                cell.record_latency(latency);
+            }
+            Some(latency)
         } else {
             None
         };
@@ -309,14 +350,30 @@ impl ResponseState {
 
     /// Called by a shard worker when this request's slice of a batch has
     /// fully drained. Returns the request's completion latency when this
-    /// was the final outstanding part.
-    pub(crate) fn complete_part(&self, items: &[RoutedMatch]) -> Option<std::time::Duration> {
+    /// was the final outstanding part, already recorded into `cell`
+    /// **before** any completion signal — a caller whose `wait()` has
+    /// returned must find the request counted by a `live_stats()`
+    /// scrape.
+    pub(crate) fn complete_part(
+        &self,
+        items: &[RoutedMatch],
+        cell: Option<&WorkerCell>,
+    ) -> Option<std::time::Duration> {
         let mut inner = self.inner.lock().expect("pending lock");
         inner.items.extend_from_slice(items);
+        if inner.first_done.is_none() {
+            inner.first_done = Some(Instant::now());
+        }
         inner.parts_left -= 1;
         if inner.parts_left == 0 {
             inner.done = true;
-            let latency = inner.submitted.elapsed();
+            if let (Some(stages), Some(first)) = (inner.stages.as_ref(), inner.first_done) {
+                stages.record(Stage::Gather, first.elapsed());
+            }
+            let latency = self.submitted.elapsed();
+            if let Some(cell) = cell {
+                cell.record_latency(latency);
+            }
             self.ready.notify_all();
             let waker = inner.waker.clone();
             drop(inner);
@@ -583,9 +640,9 @@ mod tests {
         let state = Arc::new(ResponseState::new(RequestKind::RangeScan { limit: 5 }, 3));
         // Parts complete out of shard order; each part is key-ordered
         // with a disjoint key range. Duplicates (key 20) sit in one part.
-        state.complete_part(&[(1, 20, 1), (1, 20, 2), (1, 25, 0)]);
-        state.complete_part(&[(2, 30, 9), (2, 31, 9)]);
-        state.complete_part(&[(0, 10, 7), (0, 11, 8)]);
+        state.complete_part(&[(1, 20, 1), (1, 20, 2), (1, 25, 0)], None);
+        state.complete_part(&[(2, 30, 9), (2, 31, 9)], None);
+        state.complete_part(&[(0, 10, 7), (0, 11, 8)], None);
         match (PendingResponse { state }).wait() {
             Response::RangeScan { entries } => {
                 assert_eq!(
@@ -601,8 +658,8 @@ mod tests {
     #[test]
     fn completion_assembles_lookup() {
         let state = Arc::new(ResponseState::new(RequestKind::Lookup { key: 5 }, 2));
-        assert!(state.complete_part(&[(0, 5, 50)]).is_none());
-        let latency = state.complete_part(&[(0, 5, 51)]);
+        assert!(state.complete_part(&[(0, 5, 50)], None).is_none());
+        let latency = state.complete_part(&[(0, 5, 51)], None);
         assert!(latency.is_some(), "last part yields the latency");
         let resp = PendingResponse { state }.wait();
         match resp {
@@ -617,7 +674,7 @@ mod tests {
     #[test]
     fn join_rows_survive_routing() {
         let state = Arc::new(ResponseState::new(RequestKind::JoinProbe, 1));
-        state.complete_part(&[(7, 100, 1), (2, 100, 1)]);
+        state.complete_part(&[(7, 100, 1), (2, 100, 1)], None);
         match (PendingResponse { state }).wait() {
             Response::JoinProbe { mut pairs } => {
                 pairs.sort_unstable();
@@ -636,7 +693,7 @@ mod tests {
         let pending = pending
             .wait_timeout(std::time::Duration::from_millis(10))
             .expect_err("not complete yet");
-        state.complete_part(&[(0, 1, 2)]);
+        state.complete_part(&[(0, 1, 2)], None);
         match pending.wait_timeout(std::time::Duration::from_secs(5)) {
             Ok(Response::MultiLookup { matches }) => assert_eq!(matches, vec![(1, 2)]),
             other => panic!("unexpected: {:?}", other.map_err(|_| "timeout")),
@@ -676,13 +733,13 @@ mod tests {
         assert_eq!(stream.try_next(), StreamPoll::Chunk(vec![(2, 0)]));
         assert_eq!(stream.try_next(), StreamPoll::Pending);
         // Rank 0 completes: rank 1's stash releases, in order.
-        assert!(state.complete_stream_part(0).is_none());
+        assert!(state.complete_stream_part(0, None).is_none());
         assert_eq!(stream.try_next(), StreamPoll::Chunk(vec![(20, 0), (21, 0)]));
         assert_eq!(stream.try_next(), StreamPoll::Pending);
         // Ranks 1 and 2 complete (2 pushed nothing): stream ends, and
         // the final completion reports the latency.
-        assert!(state.complete_stream_part(1).is_none());
-        assert!(state.complete_stream_part(2).is_some());
+        assert!(state.complete_stream_part(1, None).is_none());
+        assert!(state.complete_stream_part(2, None).is_some());
         assert_eq!(stream.try_next(), StreamPoll::End);
     }
 
@@ -695,7 +752,7 @@ mod tests {
         state.push_chunk(1, vec![(50, 0), (51, 0), (52, 0)]); // stashed
         state.push_chunk(0, vec![(1, 0), (2, 0)]);
         assert_eq!(stream.next(), Some(vec![(1, 0), (2, 0)]));
-        assert!(state.complete_stream_part(0).is_none());
+        assert!(state.complete_stream_part(0, None).is_none());
         // One entry of rank 1's stash survives the limit; the rest is
         // discarded and the stream ends even though rank 1's part is
         // still "running".
@@ -704,7 +761,7 @@ mod tests {
         assert!(stream.is_ready());
         // The straggler part still completes for latency accounting.
         state.push_chunk(1, vec![(53, 0)]); // dropped
-        assert!(state.complete_stream_part(1).is_some());
+        assert!(state.complete_stream_part(1, None).is_some());
         assert_eq!(stream.try_next(), StreamPoll::End);
     }
 
@@ -733,7 +790,7 @@ mod tests {
         assert_eq!(wakes.load(Ordering::Relaxed), 0, "nothing ready yet");
         state.push_chunk(0, vec![(1, 1)]);
         assert_eq!(wakes.load(Ordering::Relaxed), 1, "chunk ready");
-        state.complete_stream_part(0);
+        state.complete_stream_part(0, None);
         assert_eq!(wakes.load(Ordering::Relaxed), 2, "end of stream");
         // Late registration on an already-ready state fires immediately.
         let late = Arc::new(AtomicU64::new(0));
@@ -756,9 +813,9 @@ mod tests {
         pending.set_waker(move || {
             counter.fetch_add(1, Ordering::Relaxed);
         });
-        state.complete_part(&[(0, 1, 2)]);
+        state.complete_part(&[(0, 1, 2)], None);
         assert_eq!(wakes.load(Ordering::Relaxed), 0, "one part still out");
-        state.complete_part(&[]);
+        state.complete_part(&[], None);
         assert_eq!(wakes.load(Ordering::Relaxed), 1, "completion woke");
         assert!(pending.is_ready());
     }
@@ -772,7 +829,7 @@ mod tests {
         let pusher = std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(20));
             state.push_chunk(0, vec![(7, 7)]);
-            state.complete_stream_part(0);
+            state.complete_stream_part(0, None);
         });
         assert_eq!(stream.next(), Some(vec![(7, 7)]));
         assert_eq!(stream.next(), None);

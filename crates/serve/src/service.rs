@@ -5,6 +5,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use widx_db::hash::HashRecipe;
+use widx_obs::{HistogramSnapshot, StageTimes, WorkerCell};
 use widx_soft::ScanRange;
 
 use crate::batch::BatchPolicy;
@@ -14,7 +15,7 @@ use crate::request::{
     PendingResponse, PendingStream, Request, RequestKind, Response, ResponseState,
 };
 use crate::shard::ShardedIndex;
-use crate::stats::{LatencyRecorder, LatencySummary, ServiceStats, WorkerStats};
+use crate::stats::{LatencySummary, ServiceStats, StageStats, WorkerStats};
 use crate::worker::{run_range_worker, run_worker, RangeWorkerContext, WorkerContext};
 
 /// Tuning knobs for a [`ProbeService`].
@@ -155,13 +156,21 @@ impl std::error::Error for SubmitError {}
 pub struct ProbeService {
     sharded: Arc<ShardedIndex>,
     queues: Vec<Arc<ShardQueue>>,
-    workers: Vec<JoinHandle<(WorkerStats, LatencyRecorder)>>,
+    workers: Vec<JoinHandle<()>>,
     /// The ordered (range-partitioned B+-tree) tier, when built: its
     /// index, per-shard queues, and worker handles. `None` on services
     /// built for point traffic only.
     ordered: Option<Arc<OrderedShardedIndex>>,
     range_queues: Vec<Arc<ShardQueue>>,
-    range_workers: Vec<JoinHandle<(WorkerStats, LatencyRecorder)>>,
+    range_workers: Vec<JoinHandle<()>>,
+    /// Per-worker registry cells (shard order): each worker publishes
+    /// its counters and latencies here while it runs, so stats are a
+    /// read-only snapshot at any time — no join required.
+    cells: Vec<Arc<WorkerCell>>,
+    range_cells: Vec<Arc<WorkerCell>>,
+    /// The shared stage-timing seam (queue-wait / batch-wait / walk /
+    /// gather / reply-write).
+    stages: Arc<StageTimes>,
     started: Instant,
     /// Stop gate: `submit` holds a read guard across all of its queue
     /// pushes; `stop` flips the flag and poisons the queues under the
@@ -265,8 +274,12 @@ impl ProbeService {
         assert!(config.stream_chunk > 0, "need a positive stream chunk");
         let policy = BatchPolicy::new(config.batch_size, config.batch_deadline);
         let sharded = Arc::new(sharded);
+        let stages = Arc::new(StageTimes::new());
         let queues: Vec<Arc<ShardQueue>> = (0..sharded.shard_count())
             .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
+            .collect();
+        let cells: Vec<Arc<WorkerCell>> = (0..sharded.shard_count())
+            .map(|_| Arc::new(WorkerCell::new()))
             .collect();
         let workers = queues
             .iter()
@@ -278,6 +291,8 @@ impl ProbeService {
                     sharded: Arc::clone(&sharded),
                     policy,
                     inflight: config.inflight,
+                    cell: Arc::clone(&cells[shard]),
+                    stages: Arc::clone(&stages),
                 };
                 std::thread::Builder::new()
                     .name(format!("widx-serve-{shard}"))
@@ -287,10 +302,14 @@ impl ProbeService {
             .collect();
         let ordered = ordered.map(Arc::new);
         let mut range_queues = Vec::new();
+        let mut range_cells = Vec::new();
         let mut range_workers = Vec::new();
         if let Some(ordered) = &ordered {
             range_queues = (0..ordered.shard_count())
                 .map(|_| Arc::new(ShardQueue::new(config.queue_capacity)))
+                .collect();
+            range_cells = (0..ordered.shard_count())
+                .map(|_| Arc::new(WorkerCell::new()))
                 .collect();
             range_workers = range_queues
                 .iter()
@@ -303,6 +322,8 @@ impl ProbeService {
                         policy,
                         inflight: config.inflight,
                         stream_chunk: config.stream_chunk,
+                        cell: Arc::clone(&range_cells[shard]),
+                        stages: Arc::clone(&stages),
                     };
                     std::thread::Builder::new()
                         .name(format!("widx-range-{shard}"))
@@ -318,6 +339,9 @@ impl ProbeService {
             ordered,
             range_queues,
             range_workers,
+            cells,
+            range_cells,
+            stages,
             started: Instant::now(),
             stopped: RwLock::new(false),
             joined: None,
@@ -405,7 +429,7 @@ impl ProbeService {
         if let [key] = keys {
             // Fast path: a single-key request touches exactly one shard
             // — skip the per-shard partition scaffolding.
-            let state = Arc::new(ResponseState::new(kind, 1));
+            let state = Arc::new(ResponseState::new(kind, 1).with_stages(&self.stages));
             let job = Job::Probe {
                 entries: vec![(0, *key)],
                 reply: Arc::clone(&state),
@@ -418,7 +442,7 @@ impl ProbeService {
             parts[self.sharded.shard_of(*key)].push((row as u32, *key));
         }
         let live_parts = parts.iter().filter(|p| !p.is_empty()).count();
-        let state = Arc::new(ResponseState::new(kind, live_parts));
+        let state = Arc::new(ResponseState::new(kind, live_parts).with_stages(&self.stages));
         let jobs = parts
             .into_iter()
             .enumerate()
@@ -479,11 +503,12 @@ impl ProbeService {
         };
         let kind = RequestKind::RangeScan { limit };
         let state_for = |parts: usize| {
-            if streaming {
+            let state = if streaming {
                 ResponseState::new_stream(kind, parts, limit)
             } else {
                 ResponseState::new(kind, parts)
-            }
+            };
+            state.with_stages(&self.stages)
         };
         if lo > hi || limit == 0 {
             // Degenerate scans complete immediately: zero parts.
@@ -715,6 +740,59 @@ impl ProbeService {
         }
     }
 
+    /// A coherent [`ServiceStats`] snapshot of the *running* service —
+    /// no shutdown, no join, no pause. Workers keep publishing into
+    /// their lock-free registry cells while this reads them, so the
+    /// numbers are at most one batch stale per worker; counts are
+    /// internally consistent (every latency count is derived from the
+    /// same histogram buckets the percentiles are).
+    ///
+    /// At quiescence (all submitted requests completed) this equals the
+    /// final [`shutdown`](Self::shutdown) snapshot, field for field,
+    /// except `wall` (which keeps advancing), each worker's `idle`
+    /// (which accumulates while the worker blocks on an empty queue),
+    /// and `net` (attached by the network tier, if any).
+    #[must_use]
+    pub fn live_stats(&self) -> ServiceStats {
+        self.snapshot_stats()
+    }
+
+    /// The service's stage-timing seam, shared with whatever front-end
+    /// wants to record phases the service itself cannot see (the
+    /// `widx-net` server records [`reply-write`](widx_obs::Stage) here).
+    #[must_use]
+    pub fn stage_times(&self) -> Arc<StageTimes> {
+        Arc::clone(&self.stages)
+    }
+
+    /// The one materialization path: both `live_stats` and the shutdown
+    /// join read the same registry, so "final stats" is literally the
+    /// last live scrape.
+    fn snapshot_stats(&self) -> ServiceStats {
+        let mut latency = HistogramSnapshot::default();
+        let mut tier = |cells: &[Arc<WorkerCell>]| -> Vec<WorkerStats> {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(shard, cell)| {
+                    let snap = cell.snapshot();
+                    latency.merge_from(&snap.latency);
+                    WorkerStats::from_cell(shard, &snap)
+                })
+                .collect()
+        };
+        let workers = tier(&self.cells);
+        let range_workers = tier(&self.range_cells);
+        ServiceStats {
+            workers,
+            range_workers,
+            latency: LatencySummary::from_histogram(&latency),
+            stages: StageStats::from_snapshot(&self.stages.snapshot()),
+            net: crate::stats::NetStats::default(),
+            wall: self.started.elapsed(),
+        }
+    }
+
     /// Begins shutdown without consuming the service: marks the service
     /// stopped (subsequent [`submit`](ProbeService::submit)s fail with
     /// [`SubmitError::Stopped`]) and enqueues one poison pill per shard
@@ -751,61 +829,24 @@ impl ProbeService {
         if self.workers.is_empty() && self.range_workers.is_empty() {
             // Already joined by a prior pass (an explicit shutdown
             // followed by `Drop`, or concurrent shutdown paths racing a
-            // `stop`): hand back the stats that join produced instead
-            // of panicking over having nothing to join.
-            return self.joined.clone().unwrap_or_else(|| {
-                (
-                    ServiceStats {
-                        workers: Vec::new(),
-                        range_workers: Vec::new(),
-                        latency: LatencySummary::default(),
-                        net: crate::stats::NetStats::default(),
-                        wall: self.started.elapsed(),
-                    },
-                    0,
-                )
-            });
-        }
-        let mut panicked = 0usize;
-        let mut completions = 0u64;
-        let mut samples = Vec::new();
-        let mut join_tier = |handles: Vec<JoinHandle<(WorkerStats, LatencyRecorder)>>| {
-            let mut joined: Vec<(WorkerStats, LatencyRecorder)> = handles
-                .into_iter()
-                .filter_map(|h| match h.join() {
-                    Ok(out) => Some(out),
-                    Err(_) => {
-                        panicked += 1;
-                        None
-                    }
-                })
-                .collect();
-            joined.sort_by_key(|(w, _)| w.shard);
-            let mut workers = Vec::with_capacity(joined.len());
-            for (w, recorder) in joined {
-                completions += recorder.seen();
-                samples.extend(recorder.into_samples());
-                workers.push(w);
+            // `stop`): hand back the stats that pass produced instead
+            // of re-snapshotting with a later wall clock.
+            if let Some(prior) = self.joined.clone() {
+                return prior;
             }
-            workers
-        };
-        let workers = join_tier(std::mem::take(&mut self.workers));
-        let range_workers = join_tier(std::mem::take(&mut self.range_workers));
-        // Percentiles come from the (possibly decimated) samples;
-        // `count` reports true completions. Both tiers complete
-        // requests, so both feed the one latency summary.
-        let mut latency = LatencySummary::from_samples(samples);
-        latency.count = usize::try_from(completions).unwrap_or(usize::MAX);
-        let result = (
-            ServiceStats {
-                workers,
-                range_workers,
-                latency,
-                net: crate::stats::NetStats::default(),
-                wall: self.started.elapsed(),
-            },
-            panicked,
-        );
+            return (self.snapshot_stats(), 0);
+        }
+        // Workers publish into the registry as they run, so the join is
+        // purely a drain barrier: once every worker has halted, the
+        // registry holds its final values and one more live snapshot
+        // *is* the post-mortem report.
+        let mut panicked = 0usize;
+        for handle in self.workers.drain(..).chain(self.range_workers.drain(..)) {
+            if handle.join().is_err() {
+                panicked += 1;
+            }
+        }
+        let result = (self.snapshot_stats(), panicked);
         self.joined = Some(result.clone());
         result
     }

@@ -1,10 +1,18 @@
 //! Serving telemetry: per-worker throughput/occupancy and service-wide
 //! request latency, shaped for the `widx-bench` table machinery.
+//!
+//! Since the live-telemetry refactor the numbers here are *views*: workers
+//! publish into lock-free `widx_obs` registry cells as they run, and both
+//! [`ProbeService::live_stats`](crate::ProbeService::live_stats) and the
+//! shutdown join materialize a [`ServiceStats`] from the same snapshot
+//! path, so the post-mortem report is just the last scrape.
 
 use std::time::Duration;
 
+use widx_obs::{HistogramSnapshot, PromText, Stage, StageSnapshot, WorkerCellSnapshot};
+
 /// Counters one shard worker accumulates over its lifetime.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct WorkerStats {
     /// The worker's shard id.
     pub shard: usize,
@@ -29,6 +37,22 @@ pub struct WorkerStats {
 }
 
 impl WorkerStats {
+    /// Materializes worker stats from a live registry cell snapshot.
+    pub(crate) fn from_cell(shard: usize, cell: &WorkerCellSnapshot) -> WorkerStats {
+        WorkerStats {
+            shard,
+            jobs: cell.jobs,
+            batches: cell.batches,
+            keys: cell.keys,
+            matches: cell.matches,
+            size_flushes: cell.size_flushes,
+            deadline_flushes: cell.deadline_flushes,
+            shutdown_flushes: cell.shutdown_flushes,
+            busy: Duration::from_nanos(cell.busy_ns),
+            idle: Duration::from_nanos(cell.idle_ns),
+        }
+    }
+
     /// Fraction of the worker's lifetime spent probing — the software
     /// analogue of the paper's walker-utilization figure (Figure 5).
     #[must_use]
@@ -63,61 +87,8 @@ impl WorkerStats {
     }
 }
 
-/// Per-worker latency sample store with bounded memory: systematic
-/// decimation keeps at most [`LatencyRecorder::CAP`] samples. Once the
-/// store fills, every other retained sample is dropped and the sampling
-/// stride doubles, so a service that completes requests indefinitely
-/// (the crate's whole point) records evenly spaced samples forever in
-/// ~0.5 MB per worker instead of growing without bound. Workers own
-/// their recorder — no cross-shard lock on the completion path.
-#[derive(Clone, Debug)]
-pub(crate) struct LatencyRecorder {
-    samples: Vec<u64>,
-    stride: u64,
-    seen: u64,
-}
-
-impl LatencyRecorder {
-    /// Maximum retained samples (before stride doubling kicks in).
-    const CAP: usize = 1 << 16;
-
-    pub(crate) fn new() -> LatencyRecorder {
-        LatencyRecorder {
-            samples: Vec::new(),
-            stride: 1,
-            seen: 0,
-        }
-    }
-
-    /// Records one completion latency.
-    pub(crate) fn record(&mut self, latency: Duration) {
-        if self.seen.is_multiple_of(self.stride) {
-            let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
-            self.samples.push(ns);
-            if self.samples.len() >= Self::CAP {
-                let mut keep = false;
-                self.samples.retain(|_| {
-                    keep = !keep;
-                    keep
-                });
-                self.stride *= 2;
-            }
-        }
-        self.seen = self.seen.wrapping_add(1);
-    }
-
-    /// Completions observed (recorded or not).
-    pub(crate) fn seen(&self) -> u64 {
-        self.seen
-    }
-
-    pub(crate) fn into_samples(self) -> Vec<u64> {
-        self.samples
-    }
-}
-
 /// Order statistics over per-request completion latencies.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LatencySummary {
     /// Completed requests measured.
     pub count: usize,
@@ -164,6 +135,85 @@ impl LatencySummary {
             max_ns: samples[count - 1],
         }
     }
+
+    /// Summarizes a live histogram snapshot. Percentiles are quantized to
+    /// the histogram's log2 bucket edges (clamped to the observed
+    /// min/max); count, mean, min, and max are exact.
+    #[must_use]
+    pub fn from_histogram(hist: &HistogramSnapshot) -> LatencySummary {
+        LatencySummary {
+            count: usize::try_from(hist.count()).unwrap_or(usize::MAX),
+            mean_ns: hist.mean_ns(),
+            p50_ns: hist.quantile(0.50),
+            p95_ns: hist.quantile(0.95),
+            p99_ns: hist.quantile(0.99),
+            p999_ns: hist.quantile(0.999),
+            min_ns: hist.min(),
+            max_ns: hist.max(),
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"count\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p95_ns\": {}, \
+             \"p99_ns\": {}, \"p999_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+            self.count,
+            self.mean_ns,
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.p999_ns,
+            self.min_ns,
+            self.max_ns
+        )
+    }
+}
+
+/// Per-stage latency summaries: where a request's life goes between
+/// `submit` and the reply bytes leaving the server.
+///
+/// Counts differ per stage by design: queue-wait counts shard-parts,
+/// batch-wait and walk count batches, gather counts completed requests,
+/// and reply-write counts reply frames (zero unless a `widx-net` server
+/// is attached).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageStats {
+    /// Submit to first worker admission, per request shard-part.
+    pub queue_wait: LatencySummary,
+    /// Batch open to flush decision, per batch.
+    pub batch_wait: LatencySummary,
+    /// Index-walking time, per batch.
+    pub walk: LatencySummary,
+    /// First shard-part done to last shard-part done, per request.
+    pub gather: LatencySummary,
+    /// Reply frame encoded to bytes flushed to the socket, per frame.
+    pub reply_write: LatencySummary,
+}
+
+impl StageStats {
+    /// Materializes stage summaries from a live stage-times snapshot.
+    #[must_use]
+    pub fn from_snapshot(snap: &StageSnapshot) -> StageStats {
+        StageStats {
+            queue_wait: LatencySummary::from_histogram(snap.get(Stage::QueueWait)),
+            batch_wait: LatencySummary::from_histogram(snap.get(Stage::BatchWait)),
+            walk: LatencySummary::from_histogram(snap.get(Stage::Walk)),
+            gather: LatencySummary::from_histogram(snap.get(Stage::Gather)),
+            reply_write: LatencySummary::from_histogram(snap.get(Stage::ReplyWrite)),
+        }
+    }
+
+    /// `(name, summary)` pairs in pipeline order.
+    #[must_use]
+    pub fn named(&self) -> [(&'static str, LatencySummary); 5] {
+        [
+            (Stage::QueueWait.name(), self.queue_wait),
+            (Stage::BatchWait.name(), self.batch_wait),
+            (Stage::Walk.name(), self.walk),
+            (Stage::Gather.name(), self.gather),
+            (Stage::ReplyWrite.name(), self.reply_write),
+        ]
+    }
 }
 
 /// Counters for the network front-end tier (`widx-net`), when the
@@ -184,6 +234,12 @@ pub struct NetStats {
     pub busy_rejects: u64,
     /// Frames that failed to decode (bad version/opcode/payload).
     pub decode_errors: u64,
+    /// Gauge: connections currently open (published by the event loop
+    /// each iteration, so a live scrape sees the current fleet).
+    pub open_connections: u64,
+    /// Gauge: bytes currently buffered for write across all open
+    /// connections (reply backpressure).
+    pub write_backlog_bytes: u64,
 }
 
 impl NetStats {
@@ -195,8 +251,10 @@ impl NetStats {
 }
 
 /// Everything the service measured, returned by
-/// [`ProbeService::shutdown`](crate::ProbeService::shutdown).
-#[derive(Clone, Debug)]
+/// [`ProbeService::live_stats`](crate::ProbeService::live_stats) at any
+/// moment and by [`ProbeService::shutdown`](crate::ProbeService::shutdown)
+/// as the final snapshot.
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServiceStats {
     /// Per-worker counters for the point-probe (hash) tier, in shard
     /// order. `keys` counts probe keys.
@@ -208,10 +266,12 @@ pub struct ServiceStats {
     /// Completion-latency summary across every finished request (both
     /// tiers).
     pub latency: LatencySummary,
+    /// Per-stage breakdown of where request time goes.
+    pub stages: StageStats,
     /// Network front-end counters — all zero unless a `widx-net` server
     /// snapshot was attached with [`ServiceStats::with_net`].
     pub net: NetStats,
-    /// Wall-clock time from service start to shutdown completion.
+    /// Wall-clock time from service start to this snapshot.
     pub wall: Duration,
 }
 
@@ -273,6 +333,199 @@ impl ServiceStats {
             self.total_scan_entries() as f64 / wall
         }
     }
+
+    /// Renders the snapshot as a flat JSON document — the payload of the
+    /// wire protocol's `Stats` reply. Hand-rolled (the workspace carries
+    /// no serde); `widx_obs::json` can read the numeric fields back.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str(&format!(
+            "{{\"wall_ms\": {:.3}, \"total_keys\": {}, \"total_matches\": {}, \
+             \"total_scan_cursors\": {}, \"total_scan_entries\": {},",
+            self.wall.as_secs_f64() * 1e3,
+            self.total_keys(),
+            self.total_matches(),
+            self.total_scan_cursors(),
+            self.total_scan_entries()
+        ));
+        out.push_str(&format!(" \"latency\": {},", self.latency.to_json()));
+        out.push_str(" \"stages\": {");
+        for (i, (name, summary)) in self.stages.named().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(" \"{}\": {}", name, summary.to_json()));
+        }
+        out.push_str("},");
+        for (field, tier) in [
+            ("workers", &self.workers),
+            ("range_workers", &self.range_workers),
+        ] {
+            out.push_str(&format!(" \"{field}\": ["));
+            for (i, w) in tier.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    " {{\"shard\": {}, \"jobs\": {}, \"batches\": {}, \"keys\": {}, \
+                     \"matches\": {}, \"size_flushes\": {}, \"deadline_flushes\": {}, \
+                     \"shutdown_flushes\": {}, \"busy_ns\": {}, \"idle_ns\": {}, \
+                     \"occupancy\": {:.4}}}",
+                    w.shard,
+                    w.jobs,
+                    w.batches,
+                    w.keys,
+                    w.matches,
+                    w.size_flushes,
+                    w.deadline_flushes,
+                    w.shutdown_flushes,
+                    w.busy.as_nanos(),
+                    w.idle.as_nanos(),
+                    w.occupancy()
+                ));
+            }
+            out.push_str("],");
+        }
+        out.push_str(&format!(
+            " \"net\": {{\"connections\": {}, \"frames_in\": {}, \"frames_out\": {}, \
+             \"busy_rejects\": {}, \"decode_errors\": {}, \"open_connections\": {}, \
+             \"write_backlog_bytes\": {}}}}}",
+            self.net.connections,
+            self.net.frames_in,
+            self.net.frames_out,
+            self.net.busy_rejects,
+            self.net.decode_errors,
+            self.net.open_connections,
+            self.net.write_backlog_bytes
+        ));
+        out
+    }
+
+    /// Renders the snapshot in Prometheus text-exposition format (0.0.4),
+    /// suitable for a scrape endpoint or `curl`-style inspection.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut p = PromText::new();
+        p.help("widx_wall_seconds", "Service uptime at snapshot time.")
+            .type_("widx_wall_seconds", "gauge")
+            .sample("widx_wall_seconds", &[], self.wall.as_secs_f64());
+        p.help(
+            "widx_worker_keys_total",
+            "Keys probed / scan cursors fed per worker.",
+        )
+        .type_("widx_worker_keys_total", "counter");
+        p.help(
+            "widx_worker_matches_total",
+            "Matches / scan entries emitted per worker.",
+        )
+        .type_("widx_worker_matches_total", "counter");
+        p.help("widx_worker_batches_total", "Batches flushed per worker.")
+            .type_("widx_worker_batches_total", "counter");
+        p.help(
+            "widx_worker_occupancy",
+            "Fraction of worker lifetime spent walking.",
+        )
+        .type_("widx_worker_occupancy", "gauge");
+        for (tier, workers) in [("point", &self.workers), ("range", &self.range_workers)] {
+            for w in workers.iter() {
+                let shard = w.shard.to_string();
+                let labels = [("tier", tier), ("shard", shard.as_str())];
+                p.sample_u64("widx_worker_keys_total", &labels, w.keys);
+                p.sample_u64("widx_worker_matches_total", &labels, w.matches);
+                p.sample_u64("widx_worker_batches_total", &labels, w.batches);
+                p.sample("widx_worker_occupancy", &labels, w.occupancy());
+            }
+        }
+        p.help(
+            "widx_request_latency_ns",
+            "End-to-end request completion latency.",
+        )
+        .type_("widx_request_latency_ns", "summary");
+        for (q, v) in [
+            ("0.5", self.latency.p50_ns),
+            ("0.95", self.latency.p95_ns),
+            ("0.99", self.latency.p99_ns),
+            ("0.999", self.latency.p999_ns),
+        ] {
+            p.sample_u64("widx_request_latency_ns", &[("quantile", q)], v);
+        }
+        p.sample(
+            "widx_request_latency_ns_sum",
+            &[],
+            self.latency.mean_ns * self.latency.count as f64,
+        );
+        p.sample_u64(
+            "widx_request_latency_ns_count",
+            &[],
+            self.latency.count as u64,
+        );
+        p.help("widx_stage_ns", "Per-stage latency breakdown.")
+            .type_("widx_stage_ns", "summary");
+        for (name, summary) in self.stages.named() {
+            for (q, v) in [("0.5", summary.p50_ns), ("0.99", summary.p99_ns)] {
+                p.sample_u64("widx_stage_ns", &[("stage", name), ("quantile", q)], v);
+            }
+            p.sample(
+                "widx_stage_ns_sum",
+                &[("stage", name)],
+                summary.mean_ns * summary.count as f64,
+            );
+            p.sample_u64(
+                "widx_stage_ns_count",
+                &[("stage", name)],
+                summary.count as u64,
+            );
+        }
+        for (name, help, value) in [
+            (
+                "widx_net_connections_total",
+                "Connections accepted.",
+                self.net.connections,
+            ),
+            (
+                "widx_net_frames_in_total",
+                "Request frames decoded.",
+                self.net.frames_in,
+            ),
+            (
+                "widx_net_frames_out_total",
+                "Reply frames written.",
+                self.net.frames_out,
+            ),
+            (
+                "widx_net_busy_rejects_total",
+                "Requests refused Busy.",
+                self.net.busy_rejects,
+            ),
+            (
+                "widx_net_decode_errors_total",
+                "Frames that failed to decode.",
+                self.net.decode_errors,
+            ),
+        ] {
+            p.help(name, help)
+                .type_(name, "counter")
+                .sample_u64(name, &[], value);
+        }
+        for (name, help, value) in [
+            (
+                "widx_net_open_connections",
+                "Connections currently open.",
+                self.net.open_connections,
+            ),
+            (
+                "widx_net_write_backlog_bytes",
+                "Bytes buffered for write across open connections.",
+                self.net.write_backlog_bytes,
+            ),
+        ] {
+            p.help(name, help)
+                .type_(name, "gauge")
+                .sample_u64(name, &[], value);
+        }
+        p.finish()
+    }
 }
 
 #[cfg(test)]
@@ -326,36 +579,22 @@ mod tests {
     }
 
     #[test]
-    fn recorder_keeps_everything_below_cap() {
-        let mut r = LatencyRecorder::new();
-        for i in 0..1000u64 {
-            r.record(Duration::from_nanos(i));
+    fn latency_from_histogram_tracks_exact_fields() {
+        let h = widx_obs::AtomicHistogram::new();
+        for ns in [100u64, 200, 400, 800] {
+            h.record(ns);
         }
-        assert_eq!(r.seen(), 1000);
-        assert_eq!(r.into_samples(), (0..1000).collect::<Vec<_>>());
-    }
+        let s = LatencySummary::from_histogram(&h.snapshot());
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 800);
+        assert!((s.mean_ns - 375.0).abs() < 1e-9);
+        // Quantiles are bucket-quantized but bounded by the true range.
+        assert!(s.p50_ns >= 100 && s.p50_ns <= 800);
+        assert!(s.p99_ns >= s.p50_ns && s.p99_ns <= 800);
 
-    #[test]
-    fn recorder_bounds_memory_and_keeps_spread() {
-        let mut r = LatencyRecorder::new();
-        let n = (LatencyRecorder::CAP as u64) * 4;
-        for i in 0..n {
-            r.record(Duration::from_nanos(i));
-        }
-        assert_eq!(r.seen(), n);
-        let samples = r.into_samples();
-        assert!(
-            samples.len() < LatencyRecorder::CAP,
-            "decimated: {}",
-            samples.len()
-        );
-        assert!(!samples.is_empty());
-        // Samples still span the full range, not just the warm-up.
-        assert!(
-            *samples.last().unwrap() > n * 3 / 4,
-            "tail retained: {}",
-            samples.last().unwrap()
-        );
+        let empty = LatencySummary::from_histogram(&widx_obs::HistogramSnapshot::default());
+        assert_eq!(empty, LatencySummary::default());
     }
 
     #[test]
@@ -379,6 +618,7 @@ mod tests {
                 ..WorkerStats::default()
             }],
             latency: LatencySummary::default(),
+            stages: StageStats::default(),
             net: NetStats::default(),
             wall: Duration::from_secs(2),
         };
@@ -388,5 +628,20 @@ mod tests {
         assert_eq!(stats.total_scan_entries(), 90);
         assert!((stats.wall_throughput() - 50.0).abs() < 1e-9);
         assert!((stats.scan_throughput() - 45.0).abs() < 1e-9);
+
+        let json = stats.to_json();
+        assert_eq!(widx_obs::json::find_u64(&json, "total_keys"), Some(100));
+        assert_eq!(
+            widx_obs::json::find_u64(&json, "total_scan_entries"),
+            Some(90)
+        );
+        assert_eq!(widx_obs::json::find_f64(&json, "wall_ms"), Some(2000.0));
+
+        let prom = stats.render_prometheus();
+        assert!(prom.contains("widx_worker_keys_total{tier=\"point\",shard=\"0\"} 60"));
+        assert!(prom.contains("widx_worker_matches_total{tier=\"range\",shard=\"0\"} 90"));
+        assert!(prom.contains("# TYPE widx_request_latency_ns summary"));
+        assert!(prom.contains("widx_stage_ns_count{stage=\"walk\"} 0"));
+        assert!(prom.contains("widx_net_open_connections 0"));
     }
 }

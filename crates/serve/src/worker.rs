@@ -7,10 +7,16 @@
 //! drive an [`AmacWalker`] over a hash shard, *range* workers drive a
 //! [`BTreeRangeWalker`] over an ordered (B+-tree) shard, keeping several
 //! resumable scan cursors in flight per batch.
+//!
+//! Workers own no private counters: everything is published straight
+//! into the worker's lock-free [`WorkerCell`] (plus the shared
+//! [`StageTimes`] seam) as batches complete, so a live scrape sees the
+//! same numbers a shutdown join would.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use widx_obs::{FlushKind, Stage, StageTimes, WorkerCell};
 use widx_soft::{AmacWalker, BTreeRangeWalker, ScanRange};
 
 use crate::batch::{BatchPolicy, FlushReason};
@@ -18,7 +24,6 @@ use crate::ordered::OrderedShardedIndex;
 use crate::queue::{Job, ShardQueue};
 use crate::request::{ResponseState, RoutedMatch};
 use crate::shard::ShardedIndex;
-use crate::stats::{LatencyRecorder, WorkerStats};
 
 /// Everything a point-probe worker thread needs.
 pub(crate) struct WorkerContext {
@@ -27,6 +32,10 @@ pub(crate) struct WorkerContext {
     pub(crate) sharded: Arc<ShardedIndex>,
     pub(crate) policy: BatchPolicy,
     pub(crate) inflight: usize,
+    /// This worker's registry cell — the single home of its counters.
+    pub(crate) cell: Arc<WorkerCell>,
+    /// The service-wide stage-timing seam.
+    pub(crate) stages: Arc<StageTimes>,
 }
 
 /// Everything a range-scan worker thread needs.
@@ -38,6 +47,18 @@ pub(crate) struct RangeWorkerContext {
     pub(crate) inflight: usize,
     /// Entries per chunk pushed to the seam on streaming scans.
     pub(crate) stream_chunk: usize,
+    /// This worker's registry cell — the single home of its counters.
+    pub(crate) cell: Arc<WorkerCell>,
+    /// The service-wide stage-timing seam.
+    pub(crate) stages: Arc<StageTimes>,
+}
+
+fn flush_kind(reason: FlushReason) -> FlushKind {
+    match reason {
+        FlushReason::Size => FlushKind::Size,
+        FlushReason::Deadline => FlushKind::Deadline,
+        FlushReason::Shutdown => FlushKind::Shutdown,
+    }
 }
 
 /// A request shard-part participating in the worker's open batch.
@@ -88,24 +109,19 @@ fn attribute_scan(
     }
 }
 
-/// The worker thread body: loops batches until the poison pill, then
-/// returns its counters and the completion latencies it recorded
-/// (workers own their latency store — no cross-shard lock on the
-/// completion path).
-pub(crate) fn run_worker(ctx: &WorkerContext) -> (WorkerStats, LatencyRecorder) {
+/// The worker thread body: loops batches until the poison pill,
+/// publishing every counter into the worker's registry cell as it goes
+/// — shutdown needs no hand-back, a final registry snapshot sees
+/// everything.
+pub(crate) fn run_worker(ctx: &WorkerContext) {
     let index = &ctx.sharded.shards()[ctx.shard];
     let mut walker = AmacWalker::new(index, ctx.inflight);
-    let mut stats = WorkerStats {
-        shard: ctx.shard,
-        ..WorkerStats::default()
-    };
-    let mut latencies = LatencyRecorder::new();
 
     loop {
         // Wait (idle) for the batch-opening job.
         let idle_from = Instant::now();
         let first = ctx.queue.pop();
-        stats.idle += idle_from.elapsed();
+        ctx.cell.add_idle(idle_from.elapsed());
 
         let (entries, reply) = match first {
             Job::Probe { entries, reply } => (entries, reply),
@@ -122,14 +138,13 @@ pub(crate) fn run_worker(ctx: &WorkerContext) -> (WorkerStats, LatencyRecorder) 
             &mut walker,
             entries,
             reply,
-            &mut stats,
-            &mut latencies,
+            &ctx.cell,
+            &ctx.stages,
         );
         if shutdown {
             break;
         }
     }
-    (stats, latencies)
 }
 
 /// Assembles and drains one batch starting from `first_*`. Returns true
@@ -142,14 +157,15 @@ fn run_batch(
     walker: &mut AmacWalker<'_>,
     first_entries: Vec<(u32, u64)>,
     first_reply: Arc<ResponseState>,
-    stats: &mut WorkerStats,
-    latencies: &mut LatencyRecorder,
+    cell: &WorkerCell,
+    stages: &StageTimes,
 ) -> bool {
     let opened = Instant::now();
     // tag (u32, index into `meta`) → (open-job index, probe row).
     let mut meta: Vec<(u32, u32)> = Vec::new();
     let mut open: Vec<OpenJob> = Vec::new();
     let mut raw: Vec<(u32, u64, u64)> = Vec::new();
+    let mut busy = Duration::ZERO;
     let mut shutdown = false;
 
     let admit = |entries: Vec<(u32, u64)>,
@@ -158,14 +174,12 @@ fn run_batch(
                  open: &mut Vec<OpenJob>,
                  raw: &mut Vec<(u32, u64, u64)>,
                  walker: &mut AmacWalker<'_>,
-                 stats: &mut WorkerStats,
-                 latencies: &mut LatencyRecorder| {
-        stats.jobs += 1;
+                 busy: &mut Duration| {
+        cell.add_jobs(1);
+        stages.record(Stage::QueueWait, reply.since_submit());
         if entries.is_empty() {
             // Defensive: never strand a zero-key part.
-            if let Some(latency) = reply.complete_part(&[]) {
-                latencies.record(latency);
-            }
+            reply.complete_part(&[], Some(cell));
             return;
         }
         let open_idx = open.len() as u32;
@@ -179,7 +193,7 @@ fn run_batch(
             meta.push((open_idx, row));
             walker.feed(tag, key, &mut |t, k, p| raw.push((t, k, p)));
         }
-        stats.busy += busy_from.elapsed();
+        *busy += busy_from.elapsed();
     };
 
     admit(
@@ -189,8 +203,7 @@ fn run_batch(
         &mut open,
         &mut raw,
         walker,
-        stats,
-        latencies,
+        &mut busy,
     );
 
     // Keep admitting until the policy closes the batch.
@@ -200,11 +213,11 @@ fn run_batch(
         }
         let idle_from = Instant::now();
         let next = queue.pop_until(policy.flush_deadline(opened));
-        stats.idle += idle_from.elapsed();
+        cell.add_idle(idle_from.elapsed());
         match next {
             Some(Job::Probe { entries, reply }) => {
                 admit(
-                    entries, reply, &mut meta, &mut open, &mut raw, walker, stats, latencies,
+                    entries, reply, &mut meta, &mut open, &mut raw, walker, &mut busy,
                 );
             }
             Some(Job::Scan { .. }) => unreachable!("scan job routed to a point-probe queue"),
@@ -215,28 +228,23 @@ fn run_batch(
             None => break FlushReason::Deadline,
         }
     };
+    stages.record(Stage::BatchWait, opened.elapsed());
 
     // Drain every in-flight probe, then attribute matches to requests.
     let busy_from = Instant::now();
     walker.drain(&mut |t, k, p| raw.push((t, k, p)));
-    stats.busy += busy_from.elapsed();
+    busy += busy_from.elapsed();
 
     for (tag, key, payload) in raw.drain(..) {
         let (open_idx, row) = meta[tag as usize];
         open[open_idx as usize].items.push((row, key, payload));
     }
-    stats.batches += 1;
-    stats.keys += meta.len() as u64;
-    match reason {
-        FlushReason::Size => stats.size_flushes += 1,
-        FlushReason::Deadline => stats.deadline_flushes += 1,
-        FlushReason::Shutdown => stats.shutdown_flushes += 1,
-    }
+    cell.add_batch(meta.len() as u64, flush_kind(reason));
+    cell.add_busy(busy);
+    stages.record(Stage::Walk, busy);
     for job in &open {
-        stats.matches += job.items.len() as u64;
-        if let Some(latency) = job.reply.complete_part(&job.items) {
-            latencies.record(latency);
-        }
+        cell.add_matches(job.items.len() as u64);
+        job.reply.complete_part(&job.items, Some(cell));
     }
     shutdown
 }
@@ -244,19 +252,14 @@ fn run_batch(
 /// The range-worker thread body: identical drain-batches-until-poison
 /// loop, but the walker is a ring of resumable B+-tree scan cursors
 /// over this worker's ordered shard.
-pub(crate) fn run_range_worker(ctx: &RangeWorkerContext) -> (WorkerStats, LatencyRecorder) {
+pub(crate) fn run_range_worker(ctx: &RangeWorkerContext) {
     let tree = &ctx.ordered.shards()[ctx.shard];
     let mut walker = BTreeRangeWalker::new(tree, ctx.inflight);
-    let mut stats = WorkerStats {
-        shard: ctx.shard,
-        ..WorkerStats::default()
-    };
-    let mut latencies = LatencyRecorder::new();
 
     loop {
         let idle_from = Instant::now();
         let first = ctx.queue.pop();
-        stats.idle += idle_from.elapsed();
+        ctx.cell.add_idle(idle_from.elapsed());
 
         let (scans, reply) = match first {
             Job::Scan { scans, reply } => (scans, reply),
@@ -274,14 +277,13 @@ pub(crate) fn run_range_worker(ctx: &RangeWorkerContext) -> (WorkerStats, Latenc
             scans,
             reply,
             ctx.stream_chunk,
-            &mut stats,
-            &mut latencies,
+            &ctx.cell,
+            &ctx.stages,
         );
         if shutdown {
             break;
         }
     }
-    (stats, latencies)
 }
 
 /// Assembles and drains one batch of scan cursors. Emissions are
@@ -297,8 +299,8 @@ fn run_range_batch(
     first_scans: Vec<(u32, ScanRange)>,
     first_reply: Arc<ResponseState>,
     chunk_size: usize,
-    stats: &mut WorkerStats,
-    latencies: &mut LatencyRecorder,
+    cell: &WorkerCell,
+    stages: &StageTimes,
 ) -> bool {
     let opened = Instant::now();
     // tag (index into `meta`) → (open-job index, scatter rank).
@@ -306,6 +308,7 @@ fn run_range_batch(
     let mut open: Vec<OpenScan> = Vec::new();
     // tag → the streaming chunk being built (unused by buffered tags).
     let mut chunks: Vec<Vec<(u64, u64)>> = Vec::new();
+    let mut busy = Duration::ZERO;
     let mut shutdown = false;
 
     let admit = |scans: Vec<(u32, ScanRange)>,
@@ -314,16 +317,14 @@ fn run_range_batch(
                  open: &mut Vec<OpenScan>,
                  chunks: &mut Vec<Vec<(u64, u64)>>,
                  walker: &mut BTreeRangeWalker<'_>,
-                 stats: &mut WorkerStats,
-                 latencies: &mut LatencyRecorder| {
-        stats.jobs += 1;
+                 busy: &mut Duration| {
+        cell.add_jobs(1);
+        stages.record(Stage::QueueWait, reply.since_submit());
         if scans.is_empty() {
             // Defensive: never strand a zero-cursor part. (The planner
             // never scatters an empty streaming part.)
             debug_assert!(!reply.is_streaming(), "empty streaming shard-part");
-            if let Some(latency) = reply.complete_part(&[]) {
-                latencies.record(latency);
-            }
+            reply.complete_part(&[], Some(cell));
             return;
         }
         let streaming = reply.is_streaming();
@@ -345,7 +346,7 @@ fn run_range_batch(
                 attribute_scan(meta, open, chunks, chunk_size, t, k, p);
             });
         }
-        stats.busy += busy_from.elapsed();
+        *busy += busy_from.elapsed();
     };
 
     admit(
@@ -355,8 +356,7 @@ fn run_range_batch(
         &mut open,
         &mut chunks,
         walker,
-        stats,
-        latencies,
+        &mut busy,
     );
 
     let reason = loop {
@@ -365,7 +365,7 @@ fn run_range_batch(
         }
         let idle_from = Instant::now();
         let next = queue.pop_until(policy.flush_deadline(opened));
-        stats.idle += idle_from.elapsed();
+        cell.add_idle(idle_from.elapsed());
         match next {
             Some(Job::Scan { scans, reply }) => {
                 admit(
@@ -375,8 +375,7 @@ fn run_range_batch(
                     &mut open,
                     &mut chunks,
                     walker,
-                    stats,
-                    latencies,
+                    &mut busy,
                 );
             }
             Some(Job::Probe { .. }) => unreachable!("probe job routed to a range queue"),
@@ -387,6 +386,7 @@ fn run_range_batch(
             None => break FlushReason::Deadline,
         }
     };
+    stages.record(Stage::BatchWait, opened.elapsed());
 
     // Drain the ring: emissions attribute inline, in emit order, so
     // each tag's slice (and chunk sequence) stays key-ordered — the
@@ -395,7 +395,7 @@ fn run_range_batch(
     walker.drain(&mut |t, k, p| {
         attribute_scan(&meta, &mut open, &mut chunks, chunk_size, t, k, p);
     });
-    stats.busy += busy_from.elapsed();
+    busy += busy_from.elapsed();
 
     // Flush every streaming tag's tail chunk, then complete the parts.
     for (tag, buf) in chunks.iter_mut().enumerate() {
@@ -406,23 +406,17 @@ fn run_range_batch(
             job.reply.push_chunk(rank, std::mem::take(buf));
         }
     }
-    stats.batches += 1;
-    stats.keys += meta.len() as u64;
-    match reason {
-        FlushReason::Size => stats.size_flushes += 1,
-        FlushReason::Deadline => stats.deadline_flushes += 1,
-        FlushReason::Shutdown => stats.shutdown_flushes += 1,
-    }
+    cell.add_batch(meta.len() as u64, flush_kind(reason));
+    cell.add_busy(busy);
+    stages.record(Stage::Walk, busy);
     for job in &open {
-        stats.matches += job.emitted;
+        cell.add_matches(job.emitted);
         if job.streaming {
             for rank in &job.ranks {
-                if let Some(latency) = job.reply.complete_stream_part(*rank) {
-                    latencies.record(latency);
-                }
+                job.reply.complete_stream_part(*rank, Some(cell));
             }
-        } else if let Some(latency) = job.reply.complete_part(&job.items) {
-            latencies.record(latency);
+        } else {
+            job.reply.complete_part(&job.items, Some(cell));
         }
     }
     shutdown

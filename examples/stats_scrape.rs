@@ -1,0 +1,97 @@
+//! Live telemetry end to end: build a service, put the `widx-net`
+//! server in front, drive background load, and scrape the `Stats` wire
+//! opcode mid-run from a second connection — then render the final
+//! snapshot as Prometheus text exposition.
+//!
+//! Run with: `cargo run --release --example stats_scrape`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use widx_repro::db::hash::HashRecipe;
+use widx_repro::net::{NetConfig, WidxClient, WidxServer};
+use widx_repro::obs::json;
+use widx_repro::serve::{ProbeService, ServeConfig};
+use widx_repro::workloads::datagen;
+
+fn main() {
+    let entries = 1 << 16;
+    let pairs: Vec<(u64, u64)> = datagen::unique_shuffled_keys(7, entries)
+        .into_iter()
+        .enumerate()
+        .map(|(row, key)| (key, row as u64))
+        .collect();
+    let service = Arc::new(ProbeService::build_with_range(
+        HashRecipe::robust64(),
+        pairs,
+        &ServeConfig::default().with_shards(4).with_inflight(8),
+    ));
+    let server = WidxServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    // One connection drives a skewed mixed workload in the background…
+    let stop = AtomicBool::new(false);
+    let stop = &stop;
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut client = WidxClient::connect(addr).expect("load connect");
+            let hot = datagen::zipf_keys(11, 4_096, entries as u64, 0.99);
+            while !stop.load(Ordering::Relaxed) {
+                for chunk in hot.chunks(64) {
+                    for key in chunk {
+                        let _ = client.lookup(*key).expect("lookup");
+                    }
+                    let _ = client
+                        .range_scan(chunk[0], chunk[0] + 128, 128)
+                        .expect("scan");
+                }
+            }
+        });
+
+        // …while a second connection scrapes the Stats opcode. The
+        // reply is one JSON document; `widx_obs::json` pulls fields
+        // out without a parser dependency.
+        let mut scraper = WidxClient::connect(addr).expect("scraper connect");
+        for tick in 1..=5 {
+            std::thread::sleep(Duration::from_millis(20));
+            let doc = scraper.stats_json().expect("stats scrape");
+            println!(
+                "scrape {tick}: {} keys probed, {} requests timed, p99 {} ns, \
+                 {} frames in, {} open connection(s)",
+                json::find_u64(&doc, "total_keys").unwrap_or(0),
+                json::find_u64(&doc, "count").unwrap_or(0),
+                json::find_u64(&doc, "p99_ns").unwrap_or(0),
+                json::find_u64(&doc, "frames_in").unwrap_or(0),
+                json::find_u64(&doc, "open_connections").unwrap_or(0),
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // The same snapshot the wire serves, rendered for a Prometheus
+    // scrape endpoint. Stage quantiles show where request time went.
+    let live = service.live_stats().with_net(server.stats());
+    let prom = live.render_prometheus();
+    for line in prom
+        .lines()
+        .filter(|l| l.contains("widx_stage_ns{") || l.starts_with("widx_net_frames"))
+    {
+        println!("{line}");
+    }
+
+    let _ = server.shutdown();
+    let stats = Arc::try_unwrap(service)
+        .ok()
+        .expect("server released its handle")
+        .shutdown();
+    println!(
+        "\nfinal: {} keys, p50 {:.1} µs / p99 {:.1} µs over {} requests",
+        stats.total_keys(),
+        stats.latency.p50_ns as f64 / 1e3,
+        stats.latency.p99_ns as f64 / 1e3,
+        stats.latency.count,
+    );
+}

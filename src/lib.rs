@@ -13,6 +13,7 @@ pub use widx_energy as energy;
 pub use widx_isa as isa;
 pub use widx_model as model;
 pub use widx_net as net;
+pub use widx_obs as obs;
 pub use widx_serve as serve;
 pub use widx_sim as sim;
 pub use widx_soft as soft;
