@@ -26,9 +26,15 @@
 //! `telemetry_overhead` comparison (seed vs. instrumented reqs/sec)
 //! into this run's JSON.
 //!
+//! `--reactors` takes a comma list (e.g. `--reactors 1,2,4`) and adds a
+//! reactor-count axis to the sweep: every clients × depth cell runs once
+//! per reactor count, and the idle phase spreads its idle population
+//! across the largest count — the front-end sharding axis.
+//!
 //! Usage: `net_throughput [--requests N] [--entries N] [--span N]
-//! [--scan-share F] [--theta T] [--idle-conns N] [--idle-window-ms N]
-//! [--scrape-ms N] [--seed-baseline PATH] [--json PATH] [--smoke]`.
+//! [--scan-share F] [--theta T] [--reactors A,B,..] [--idle-conns N]
+//! [--idle-window-ms N] [--scrape-ms N] [--seed-baseline PATH]
+//! [--json PATH] [--smoke]`.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -49,6 +55,7 @@ struct Args {
     span: u64,
     scan_share: f64,
     theta: f64,
+    reactors: Vec<usize>,
     idle_conns: usize,
     idle_window_ms: u64,
     scrape_ms: Option<u64>,
@@ -63,6 +70,7 @@ fn parse_args() -> Args {
         span: 128,
         scan_share: 0.1,
         theta: 0.99,
+        reactors: vec![1],
         idle_conns: 256,
         idle_window_ms: 500,
         scrape_ms: None,
@@ -81,6 +89,13 @@ fn parse_args() -> Args {
             "--span" => args.span = value().parse().expect("--span"),
             "--scan-share" => args.scan_share = value().parse().expect("--scan-share"),
             "--theta" => args.theta = value().parse().expect("--theta"),
+            "--reactors" => {
+                args.reactors = value()
+                    .split(',')
+                    .map(|n| n.trim().parse().expect("--reactors"))
+                    .collect();
+                assert!(!args.reactors.is_empty(), "--reactors needs at least one");
+            }
             "--idle-conns" => args.idle_conns = value().parse().expect("--idle-conns"),
             "--idle-window-ms" => args.idle_window_ms = value().parse().expect("--idle-window-ms"),
             "--scrape-ms" => args.scrape_ms = Some(value().parse().expect("--scrape-ms")),
@@ -101,6 +116,7 @@ fn parse_args() -> Args {
 
 /// One sweep point's results.
 struct Run {
+    reactors: usize,
     clients: usize,
     depth: usize,
     wall_ms: f64,
@@ -148,15 +164,25 @@ fn build_ops(args: &Args, client: usize, count: usize) -> Vec<Request> {
 /// each pipelining `depth` requests closed-loop. Returns wall time and
 /// client-measured latencies. `Busy` replies are counted and dropped —
 /// the bounded closed loop keeps them rare, and the counter proves it.
-fn run_once(pairs: &[(u64, u64)], args: &Args, clients: usize, depth: usize) -> Run {
+fn run_once(
+    pairs: &[(u64, u64)],
+    args: &Args,
+    reactors: usize,
+    clients: usize,
+    depth: usize,
+) -> Run {
     let config = ServeConfig::default().with_shards(4).with_inflight(8);
     let service = Arc::new(ProbeService::build_with_range(
         HashRecipe::robust64(),
         pairs.iter().copied(),
         &config,
     ));
-    let server = WidxServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
-        .expect("bind loopback");
+    let server = WidxServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        NetConfig::default().with_reactors(reactors),
+    )
+    .expect("bind loopback");
     let addr = server.local_addr();
     let per_client = args.requests.div_ceil(clients);
 
@@ -251,6 +277,7 @@ fn run_once(pairs: &[(u64, u64)], args: &Args, clients: usize, depth: usize) -> 
             .shutdown(),
     );
     Run {
+        reactors,
         clients,
         depth,
         wall_ms: wall.as_secs_f64() * 1e3,
@@ -264,6 +291,7 @@ fn run_once(pairs: &[(u64, u64)], args: &Args, clients: usize, depth: usize) -> 
 
 /// The idle/tail phase's results.
 struct IdleRun {
+    reactors: usize,
     idle_conns: usize,
     active_clients: usize,
     depth: usize,
@@ -297,7 +325,7 @@ fn process_cpu_seconds() -> Option<f64> {
 /// CPU over the zero-load window is the cost of *having* connections,
 /// which a blocking poller makes ~zero and a polling sleep loop does
 /// not.
-fn run_idle_phase(pairs: &[(u64, u64)], args: &Args) -> IdleRun {
+fn run_idle_phase(pairs: &[(u64, u64)], args: &Args, reactors: usize) -> IdleRun {
     const ACTIVE_CLIENTS: usize = 2;
     const DEPTH: usize = 8;
     let config = ServeConfig::default().with_shards(4).with_inflight(8);
@@ -306,8 +334,12 @@ fn run_idle_phase(pairs: &[(u64, u64)], args: &Args) -> IdleRun {
         pairs.iter().copied(),
         &config,
     ));
-    let server = WidxServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
-        .expect("bind loopback");
+    let server = WidxServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        NetConfig::default().with_reactors(reactors),
+    )
+    .expect("bind loopback");
     let addr = server.local_addr();
     let idle: Vec<WidxClient> = (0..args.idle_conns)
         .map(|_| WidxClient::connect(addr).expect("idle connect"))
@@ -384,6 +416,7 @@ fn run_idle_phase(pairs: &[(u64, u64)], args: &Args) -> IdleRun {
             .shutdown(),
     );
     IdleRun {
+        reactors,
         idle_conns: args.idle_conns,
         active_clients: ACTIVE_CLIENTS,
         depth: DEPTH,
@@ -431,15 +464,30 @@ fn render_json(args: &Args, runs: &[Run], idle: &IdleRun, overhead: Option<&Over
     let _ = writeln!(out, "  \"span\": {},", args.span);
     let _ = writeln!(out, "  \"scan_share\": {},", args.scan_share);
     let _ = writeln!(out, "  \"theta\": {},", args.theta);
+    let reactors: Vec<String> = args.reactors.iter().map(usize::to_string).collect();
+    let _ = writeln!(out, "  \"reactors_sweep\": [{}],", reactors.join(", "));
+    // Reactor scaling is meaningless without knowing how many cores the
+    // host could actually run them on.
+    let _ = writeln!(
+        out,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(0, std::num::NonZero::get)
+    );
     out.push_str("  \"runs\": [\n");
     for (i, run) in runs.iter().enumerate() {
         let lat = &run.latency;
         out.push_str("    {");
         let _ = write!(
             out,
-            "\"clients\": {}, \"depth\": {}, \"wall_ms\": {:.3}, \"reqs_per_sec\": {:.0}, \
-             \"busy_replies\": {}, \"live_scrapes\": {}, ",
-            run.clients, run.depth, run.wall_ms, run.reqs_per_sec, run.busy_replies, run.scrapes
+            "\"reactors\": {}, \"clients\": {}, \"depth\": {}, \"wall_ms\": {:.3}, \
+             \"reqs_per_sec\": {:.0}, \"busy_replies\": {}, \"live_scrapes\": {}, ",
+            run.reactors,
+            run.clients,
+            run.depth,
+            run.wall_ms,
+            run.reqs_per_sec,
+            run.busy_replies,
+            run.scrapes
         );
         let _ = write!(
             out,
@@ -465,8 +513,9 @@ fn render_json(args: &Args, runs: &[Run], idle: &IdleRun, overhead: Option<&Over
     out.push_str("  \"idle\": {");
     let _ = write!(
         out,
-        "\"idle_conns\": {}, \"active_clients\": {}, \"depth\": {}, \"requests\": {}, ",
-        idle.idle_conns, idle.active_clients, idle.depth, idle.requests
+        "\"reactors\": {}, \"idle_conns\": {}, \"active_clients\": {}, \"depth\": {}, \
+         \"requests\": {}, ",
+        idle.reactors, idle.idle_conns, idle.active_clients, idle.depth, idle.requests
     );
     let _ = write!(
         out,
@@ -524,6 +573,7 @@ fn main() {
 
     let mut runs = Vec::new();
     let mut t = Table::new(&[
+        "reactors",
         "clients",
         "depth",
         "wall ms",
@@ -533,20 +583,23 @@ fn main() {
         "frames in",
         "busy",
     ]);
-    for &clients in &client_sweep {
-        for &depth in &depth_sweep {
-            let run = run_once(&pairs, &args, clients, depth);
-            t.row(&[
-                run.clients.to_string(),
-                run.depth.to_string(),
-                f2(run.wall_ms),
-                f2(run.reqs_per_sec / 1e3),
-                f1(run.latency.p50_ns as f64 / 1e3),
-                f1(run.latency.p99_ns as f64 / 1e3),
-                run.net.frames_in.to_string(),
-                run.busy_replies.to_string(),
-            ]);
-            runs.push(run);
+    for &reactors in &args.reactors {
+        for &clients in &client_sweep {
+            for &depth in &depth_sweep {
+                let run = run_once(&pairs, &args, reactors, clients, depth);
+                t.row(&[
+                    run.reactors.to_string(),
+                    run.clients.to_string(),
+                    run.depth.to_string(),
+                    f2(run.wall_ms),
+                    f2(run.reqs_per_sec / 1e3),
+                    f1(run.latency.p50_ns as f64 / 1e3),
+                    f1(run.latency.p99_ns as f64 / 1e3),
+                    run.net.frames_in.to_string(),
+                    run.busy_replies.to_string(),
+                ]);
+                runs.push(run);
+            }
         }
     }
     println!("{}", t.render());
@@ -574,12 +627,18 @@ fn main() {
         );
     }
 
+    // The idle population spreads across the largest configured reactor
+    // count: zero-load CPU must stay ~zero per *reactor*, not just in
+    // the single-loop shape.
+    let idle_reactors = args.reactors.iter().copied().max().unwrap_or(1);
     println!(
-        "\n== idle/tail phase: {} idle connections + 2 active clients (depth 8) ==\n",
-        args.idle_conns
+        "\n== idle/tail phase: {} idle connections over {} reactor(s) + 2 active \
+         clients (depth 8) ==\n",
+        args.idle_conns, idle_reactors
     );
-    let idle = run_idle_phase(&pairs, &args);
+    let idle = run_idle_phase(&pairs, &args, idle_reactors);
     let mut t = Table::new(&[
+        "reactors",
         "idle conns",
         "requests",
         "p50 µs",
@@ -588,6 +647,7 @@ fn main() {
         "max µs",
     ]);
     t.row(&[
+        idle.reactors.to_string(),
         idle.idle_conns.to_string(),
         idle.requests.to_string(),
         f1(idle.latency.p50_ns as f64 / 1e3),

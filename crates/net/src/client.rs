@@ -12,6 +12,13 @@
 //! depth bounded (the server's per-connection in-flight cap answers
 //! `Busy` beyond its window, and unread replies eventually exert TCP
 //! backpressure on `send`).
+//!
+//! Pipelined batches can additionally be **corked**
+//! ([`WidxClient::set_corked`]): sends buffer into the client's encode
+//! buffer instead of hitting the socket one frame at a time, and the
+//! whole batch goes out in one write on [`flush`](WidxClient::flush) —
+//! or automatically the moment a `recv` needs the wire (so corking can
+//! never deadlock a request behind its own reply).
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
@@ -106,6 +113,10 @@ impl StreamSlot {
 /// dropped.
 const STREAM_STASH_CAP: usize = 4096;
 
+/// Corked sends self-flush past this many buffered bytes — a cork is a
+/// batching hint, not permission to buffer a whole workload.
+const CORK_FLUSH_BYTES: usize = 64 << 10;
+
 /// A blocking connection to a [`WidxServer`](crate::WidxServer).
 pub struct WidxClient {
     stream: TcpStream,
@@ -116,8 +127,10 @@ pub struct WidxClient {
     stash: VecDeque<(u64, Result<Response, ErrorReply>)>,
     /// Per-stream chunk stashes, keyed by request id.
     streams: HashMap<u64, StreamSlot>,
-    /// Scratch encode buffer, reused across sends.
+    /// Scratch encode buffer, reused across sends; while corked it
+    /// accumulates whole frames awaiting one batched write.
     ebuf: Vec<u8>,
+    corked: bool,
     next_id: u64,
 }
 
@@ -137,8 +150,61 @@ impl WidxClient {
             stash: VecDeque::new(),
             streams: HashMap::new(),
             ebuf: Vec::new(),
+            corked: false,
             next_id: 0,
         })
+    }
+
+    /// Toggles cork (batch) mode. While corked, `send`-family calls
+    /// buffer their frames instead of writing them, so a pipelined
+    /// burst leaves in one syscall; the batch flushes on
+    /// [`flush`](WidxClient::flush), when it outgrows an internal
+    /// threshold, when the cork is removed, or automatically before any
+    /// blocking read. Removing the cork flushes whatever is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Socket-level write failure flushing the buffered batch.
+    pub fn set_corked(&mut self, corked: bool) -> std::io::Result<()> {
+        self.corked = corked;
+        if corked {
+            Ok(())
+        } else {
+            self.flush()
+        }
+    }
+
+    /// Writes every buffered frame to the socket now. A no-op when
+    /// nothing is buffered (in particular, always, when uncorked).
+    ///
+    /// # Errors
+    ///
+    /// Socket-level write failure.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if !self.ebuf.is_empty() {
+            self.stream.write_all(&self.ebuf)?;
+            self.ebuf.clear();
+            if self.ebuf.capacity() > 4 * CORK_FLUSH_BYTES {
+                self.ebuf.shrink_to(CORK_FLUSH_BYTES);
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes currently corked (encoded but unsent) — diagnostics for
+    /// batching tests.
+    #[must_use]
+    pub fn corked_bytes(&self) -> usize {
+        self.ebuf.len()
+    }
+
+    /// Sends or (when corked) retains the frames just encoded into
+    /// `ebuf`, self-flushing an overgrown cork.
+    fn dispatch_encoded(&mut self) -> std::io::Result<()> {
+        if self.corked && self.ebuf.len() < CORK_FLUSH_BYTES {
+            return Ok(());
+        }
+        self.flush()
     }
 
     /// Pipelines one request without waiting; returns the id to pass to
@@ -158,9 +224,8 @@ impl WidxClient {
         }
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);
-        self.ebuf.clear();
         wire::encode_request(&mut self.ebuf, id, request);
-        self.stream.write_all(&self.ebuf)?;
+        self.dispatch_encoded()?;
         Ok(id)
     }
 
@@ -182,9 +247,8 @@ impl WidxClient {
     ) -> std::io::Result<u64> {
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);
-        self.ebuf.clear();
         wire::encode_range_stream(&mut self.ebuf, id, lo, hi, limit, desc);
-        self.stream.write_all(&self.ebuf)?;
+        self.dispatch_encoded()?;
         self.streams.insert(id, StreamSlot::new());
         Ok(id)
     }
@@ -492,9 +556,8 @@ impl WidxClient {
     pub fn stats_json(&mut self) -> Result<String, ClientError> {
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);
-        self.ebuf.clear();
         wire::encode_stats_request(&mut self.ebuf, id);
-        self.stream.write_all(&self.ebuf)?;
+        self.dispatch_encoded()?;
         loop {
             let (got, reply) = self.read_frame()?;
             if got != id {
@@ -571,6 +634,10 @@ impl WidxClient {
                     )));
                 }
                 Ok(Decoded::Incomplete) => {
+                    // About to block on the socket: corked frames must
+                    // go out first, or a request could deadlock behind
+                    // its own unsent bytes.
+                    self.flush()?;
                     let mut chunk = [0u8; 16 * 1024];
                     match self.stream.read(&mut chunk) {
                         Ok(0) => {

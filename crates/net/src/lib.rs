@@ -11,23 +11,30 @@
 //!   scans whose replies should not wait for the slowest shard (`std`
 //!   only, consistent with the repo's `compat/` philosophy; the format
 //!   is specified in `docs/wire-format.md`);
-//! * [`WidxServer`] — a non-blocking event-loop server over `std`
+//! * [`WidxServer`] — a **multi-reactor** event-loop server over `std`
 //!   non-blocking sockets driven by the `compat/` readiness poller
-//!   (epoll on Linux, `poll(2)` elsewhere; see `docs/poller.md`): it
-//!   accepts many connections, decodes pipelined frames, submits into
-//!   the [`ProbeService`](widx_serve::ProbeService) batching queues
-//!   through the non-blocking
+//!   (epoll on Linux, `poll(2)` elsewhere; see `docs/poller.md`): an
+//!   acceptor thread pins connections round-robin onto
+//!   [`NetConfig::reactors`] event-loop threads, each owning its own
+//!   poller, connection slab, and event buffer (see
+//!   `docs/net-reactors.md`). Each reactor decodes pipelined frames,
+//!   submits into the [`ProbeService`](widx_serve::ProbeService)
+//!   batching queues through the non-blocking
 //!   [`try_submit`](widx_serve::ProbeService::try_submit) surface, and
 //!   writes replies back as they complete — possibly **out of order**,
-//!   which request ids make safe. Completions ring the poller's wake
-//!   handle, so the idle path blocks instead of sleeping blind (no
-//!   lost wakeups, near-zero idle CPU). Queue backpressure comes back
-//!   as a typed `Busy` error frame instead of unbounded buffering;
+//!   which request ids make safe — batched into vectored writes from
+//!   per-connection recycled buffers. Completions ring the *owning
+//!   reactor's* wake handle, so the idle path blocks instead of
+//!   sleeping blind (no lost wakeups, near-zero idle CPU). Queue
+//!   backpressure comes back as a typed `Busy` error frame instead of
+//!   unbounded buffering;
 //! * [`WidxClient`] — a blocking client with a pipelining `send`/`recv`
-//!   split (plus synchronous conveniences and the chunk-streaming
-//!   [`range_stream`](WidxClient::range_stream) iterator), used by the
-//!   loopback parity tests, the `net_server`/`stream_scan` examples,
-//!   and the `net_throughput`/`stream_throughput` sweeps.
+//!   split (plus synchronous conveniences, an optional corked batch
+//!   mode ([`set_corked`](WidxClient::set_corked)), and the
+//!   chunk-streaming [`range_stream`](WidxClient::range_stream)
+//!   iterator), used by the loopback parity tests, the
+//!   `net_server`/`stream_scan` examples, and the
+//!   `net_throughput`/`stream_throughput` sweeps.
 //!
 //! Pipelining is what connects the network layer back to the paper:
 //! dozens of independent requests in flight on each connection are

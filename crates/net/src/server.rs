@@ -1,21 +1,33 @@
-//! The non-blocking socket server: one event-loop thread multiplexing
-//! every connection over `std` non-blocking sockets, driven by a
-//! readiness poller (the `compat/` [`poller`] crate: epoll on Linux,
-//! `poll(2)` elsewhere) — accept, decode pipelined frames, `try_submit`
-//! into the probe service's batching queues, and write replies back as
-//! they complete, **possibly out of order** (request ids make that
-//! safe).
+//! The non-blocking socket front-end: a dedicated acceptor thread plus
+//! `NetConfig::reactors` event-loop threads, each owning its own
+//! `compat/` [`poller`] instance, connection slab, and event buffer —
+//! the MICA-style partitioning where a connection is pinned to one
+//! reactor for life and no cross-thread state is shared on the hot
+//! path (see `docs/net-reactors.md`).
 //!
-//! The listener and every connection are registered with the poller;
-//! write interest is toggled on only while a connection has unflushed
-//! reply bytes, and read interest is parked while its write backlog is
-//! over the cap (slow-consumer backpressure) or after EOF. Completions
-//! from the serving tier ring the poller's user-space wake handle
-//! through the `ResponseState` waker hook, so the idle path is a
-//! *blocking* `poller.wait` — no periodic sleep to burn CPU at zero
-//! load, and no check-then-sleep window for a completion to slip
-//! through unobserved (the lost-wakeup race the old readiness-polling
-//! loop had; see `docs/poller.md`).
+//! The acceptor registers only the listener with its poller; accepted
+//! sockets are handed off round-robin through a per-reactor inbox, and
+//! the target reactor's wake handle is rung so a blocked `wait` picks
+//! the socket up immediately. Within a reactor the loop is unchanged
+//! from the single-threaded design: every connection is registered with
+//! *that reactor's* poller, write interest is toggled on only while a
+//! connection has unflushed reply bytes, and read interest is parked
+//! while its write backlog is over the cap (slow-consumer backpressure)
+//! or after EOF. Completions from the serving tier ring the owning
+//! reactor's wake handle through the `ResponseState` waker hook —
+//! routing falls out by construction, because each connection's waker
+//! captures the poller it registered with — so the idle path is a
+//! *blocking* `poller.wait` with no lost-wakeup window (see
+//! `docs/poller.md`).
+//!
+//! The wire path avoids per-frame allocation: replies are encoded into
+//! a per-connection segmented [`WriteBuf`] whose segments are recycled
+//! after flushing (one `writev` per flush batches small pipelined
+//! replies into one syscall), streaming chunks serialize straight out
+//! of the gather seam's buffers (`PendingStream::try_next_with` — no
+//! intermediate owned `Vec` per chunk), and every buffer shrinks back
+//! to the [`BUF_HIGH_WATER`] cap once a burst drains, so one large scan
+//! does not pin memory for the connection's lifetime.
 //!
 //! Backpressure is never buffered away: when a shard queue is at
 //! capacity ([`SubmitError::Busy`]) or a connection exceeds its
@@ -25,30 +37,53 @@
 //! it — TCP pushes back the rest of the way.
 
 use std::collections::VecDeque;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use poller::{Event, Poller};
 use widx_serve::{
-    NetStats, PendingResponse, PendingStream, ProbeService, Stage, StageTimes, StreamPoll,
-    SubmitError,
+    NetStats, PendingResponse, PendingStream, ProbeService, ReactorGauges, ReactorStats, Stage,
+    StageTimes, StreamConsumed, SubmitError,
 };
 
 use crate::wire::{self, Decoded, ErrorCode, ErrorReply, WireRequest};
 
-/// The listener's poller key; connection slot `i` registers as `i + 1`.
+/// The listener's key on the *acceptor's* poller; reactors register
+/// connection slot `i` as `i + CONN_KEY_BASE` on their own pollers.
 const LISTENER_KEY: usize = 0;
 const CONN_KEY_BASE: usize = 1;
 
-/// Wait cap when the loop is fully quiet (no in-flight work anywhere):
+/// Wait cap when a loop is fully quiet (no in-flight work anywhere):
 /// pure insurance — every state change (a new connection, socket
 /// readiness, a completion, shutdown) arrives as a poller event or a
 /// wake, so correctness never rides on this timer firing.
 const QUIET_WAIT_CAP: Duration = Duration::from_secs(1);
+
+/// High-water cap on per-connection buffer capacity retained across
+/// bursts: once a flush empties the write backlog, read/write buffers
+/// above this shrink back down, so one large range scan cannot pin
+/// megabytes for the connection's lifetime.
+pub const BUF_HIGH_WATER: usize = 256 << 10;
+
+/// Target size of one [`WriteBuf`] segment. Frames are never split
+/// across segments (a frame larger than this simply makes an oversized
+/// segment), so a flush can gather whole segments into one `writev`.
+const SEG_TARGET: usize = 64 << 10;
+
+/// Most segments gathered into a single `writev`.
+const MAX_IOV: usize = 16;
+
+/// Flushed segments kept for reuse per connection.
+const SPARE_SEGS: usize = 4;
+
+/// How long the acceptor backs off when `accept()` reports descriptor
+/// exhaustion (`EMFILE`/`ENFILE`) — long enough for the fd pressure to
+/// ease, short enough not to stall a recovering listener.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
 
 /// Tuning knobs for a [`WidxServer`].
 #[derive(Clone, Debug)]
@@ -77,6 +112,10 @@ pub struct NetConfig {
     /// environment variable can override — the switch the CI tiers use
     /// to run the loopback suites against every backend.
     pub poller_backend: Option<String>,
+    /// Reactor (event-loop) threads the server runs. The acceptor pins
+    /// connections to reactors round-robin; each reactor owns its own
+    /// poller, slab, and event buffer. Zero is clamped to one.
+    pub reactors: usize,
 }
 
 impl Default for NetConfig {
@@ -87,6 +126,7 @@ impl Default for NetConfig {
             idle_backoff: Duration::from_micros(100),
             drain_timeout: Duration::from_secs(5),
             poller_backend: None,
+            reactors: 1,
         }
     }
 }
@@ -135,40 +175,197 @@ impl NetConfig {
         self
     }
 
-    /// The configuration the event loop actually runs: public fields
+    /// Sets the reactor-thread count (clamped up to one).
+    #[must_use]
+    pub fn with_reactors(mut self, reactors: usize) -> NetConfig {
+        self.reactors = reactors.max(1);
+        self
+    }
+
+    /// The configuration the event loops actually run: public fields
     /// mean the builder clamps can be bypassed, so [`WidxServer::bind`]
     /// re-applies them here.
     fn normalized(mut self) -> NetConfig {
         self.idle_backoff = self.idle_backoff.max(NetConfig::MIN_IDLE_BACKOFF);
+        self.reactors = self.reactors.max(1);
         self
     }
 }
 
-/// Shared atomic counters behind [`NetStats`] snapshots. The first five
-/// are monotone counters; the last two are gauges the event loop
-/// re-publishes every iteration, so a scrape sees values at most one
-/// loop pass stale.
-#[derive(Default)]
+/// Shared counters behind [`NetStats`] snapshots. The five monotone
+/// counters are written from the acceptor and every reactor; the gauge
+/// table holds one padded [`ReactorGauges`] cell per reactor, each
+/// re-published by its owning loop every pass, so a scrape sees values
+/// at most one loop pass stale.
 struct NetCounters {
     connections: AtomicU64,
     frames_in: AtomicU64,
     frames_out: AtomicU64,
     busy_rejects: AtomicU64,
     decode_errors: AtomicU64,
-    open_connections: AtomicU64,
-    write_backlog_bytes: AtomicU64,
+    reactors: Vec<ReactorGauges>,
 }
 
 impl NetCounters {
+    fn new(reactors: usize) -> NetCounters {
+        NetCounters {
+            connections: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            busy_rejects: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+            reactors: (0..reactors).map(|_| ReactorGauges::new()).collect(),
+        }
+    }
+
     fn snapshot(&self) -> NetStats {
+        let reactors: Vec<ReactorStats> = self
+            .reactors
+            .iter()
+            .map(|g| ReactorStats {
+                open_connections: g.open_connections(),
+                write_backlog_bytes: g.write_backlog_bytes(),
+            })
+            .collect();
         NetStats {
             connections: self.connections.load(Ordering::Relaxed),
             frames_in: self.frames_in.load(Ordering::Relaxed),
             frames_out: self.frames_out.load(Ordering::Relaxed),
             busy_rejects: self.busy_rejects.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
-            open_connections: self.open_connections.load(Ordering::Relaxed),
-            write_backlog_bytes: self.write_backlog_bytes.load(Ordering::Relaxed),
+            open_connections: reactors.iter().map(|r| r.open_connections).sum(),
+            write_backlog_bytes: reactors.iter().map(|r| r.write_backlog_bytes).sum(),
+            reactors,
+        }
+    }
+}
+
+/// A segmented output buffer flushed with vectored writes. Frames are
+/// encoded whole into the current tail segment; a flush gathers up to
+/// [`MAX_IOV`] segments into one `writev`, and fully-written segments
+/// are recycled into a small spare pool instead of reallocated — the
+/// per-connection reply path allocates only while a burst is actively
+/// outgrowing what earlier bursts left behind.
+struct WriteBuf {
+    segs: VecDeque<Vec<u8>>,
+    /// Flush cursor within the front segment.
+    head_pos: usize,
+    /// Total unflushed bytes across all segments.
+    len: usize,
+    spare: Vec<Vec<u8>>,
+}
+
+impl WriteBuf {
+    fn new() -> WriteBuf {
+        WriteBuf {
+            segs: VecDeque::new(),
+            head_pos: 0,
+            len: 0,
+            spare: Vec::new(),
+        }
+    }
+
+    /// Unflushed bytes buffered.
+    fn backlog(&self) -> usize {
+        self.len
+    }
+
+    /// Appends one or more whole frames via `encode`, which receives
+    /// the tail segment to extend. Starts a fresh (recycled when
+    /// possible) segment once the tail passes [`SEG_TARGET`].
+    fn encode_with(&mut self, encode: impl FnOnce(&mut Vec<u8>)) {
+        let need_fresh = match self.segs.back() {
+            None => true,
+            Some(seg) => seg.len() >= SEG_TARGET,
+        };
+        if need_fresh {
+            self.segs.push_back(self.spare.pop().unwrap_or_default());
+        }
+        let seg = self.segs.back_mut().expect("tail segment");
+        let before = seg.len();
+        encode(seg);
+        self.len += seg.len() - before;
+    }
+
+    /// Flushes as much as the socket accepts, one `writev` per syscall.
+    /// Returns `(bytes_flushed, dead)`; `dead` means an unrecoverable
+    /// socket error (including a zero-length write).
+    fn flush(&mut self, stream: &mut TcpStream) -> (usize, bool) {
+        let mut total = 0usize;
+        while self.len > 0 {
+            let written = {
+                let mut iov = [IoSlice::new(&[]); MAX_IOV];
+                let mut n = 0;
+                for (i, seg) in self.segs.iter().enumerate() {
+                    if n == MAX_IOV {
+                        break;
+                    }
+                    let slice = if i == 0 {
+                        &seg[self.head_pos..]
+                    } else {
+                        &seg[..]
+                    };
+                    if slice.is_empty() {
+                        continue;
+                    }
+                    iov[n] = IoSlice::new(slice);
+                    n += 1;
+                }
+                stream.write_vectored(&iov[..n])
+            };
+            match written {
+                Ok(0) => return (total, true),
+                Ok(n) => {
+                    self.advance(n);
+                    total += n;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return (total, true),
+            }
+        }
+        (total, false)
+    }
+
+    /// Consumes `written` flushed bytes from the front, recycling
+    /// fully-written segments.
+    fn advance(&mut self, mut written: usize) {
+        self.len -= written;
+        while written > 0 {
+            let head = self.segs.front().expect("flushed past the backlog");
+            let remaining = head.len() - self.head_pos;
+            if written >= remaining {
+                written -= remaining;
+                self.head_pos = 0;
+                let mut seg = self.segs.pop_front().expect("head segment");
+                // Oversized segments (one giant frame) are dropped, not
+                // pooled — the pool is for steady-state reply traffic.
+                if self.spare.len() < SPARE_SEGS && seg.capacity() <= 2 * SEG_TARGET {
+                    seg.clear();
+                    self.spare.push(seg);
+                }
+            } else {
+                self.head_pos += written;
+                written = 0;
+            }
+        }
+    }
+
+    /// Total heap capacity this buffer retains (live segments plus the
+    /// spare pool) — what [`shrink_to`](WriteBuf::shrink_to) bounds.
+    fn retained_capacity(&self) -> usize {
+        self.segs.iter().map(Vec::capacity).sum::<usize>()
+            + self.spare.iter().map(Vec::capacity).sum::<usize>()
+    }
+
+    /// Drops spare segments until the retained capacity is at most
+    /// `cap`. Called once a flush empties the backlog (live segments
+    /// are gone by then), so a one-off burst cannot pin memory.
+    fn shrink_to(&mut self, cap: usize) {
+        while self.retained_capacity() > cap {
+            if self.spare.pop().is_none() {
+                break;
+            }
         }
     }
 }
@@ -183,14 +380,16 @@ struct OpenStream {
 
 /// One client connection's state machine: buffered input awaiting
 /// decode, in-flight requests awaiting completion, and buffered output
-/// awaiting a writable socket.
+/// awaiting a writable socket. Pinned to one reactor for life — every
+/// field is owned by that reactor's thread.
 struct Connection {
     stream: TcpStream,
-    /// Unconsumed input bytes.
+    /// Unconsumed input bytes; `rpos` is the decode cursor (compacted
+    /// periodically rather than draining per decode pass).
     rbuf: Vec<u8>,
-    /// Reply bytes not yet written; `wpos` is the flush cursor.
-    wbuf: Vec<u8>,
-    wpos: usize,
+    rpos: usize,
+    /// Reply bytes not yet written, segmented for vectored flushes.
+    wbuf: WriteBuf,
     /// Requests submitted to the service, awaiting completion. Scanned
     /// for readiness after a wakeup — completion order, not submission
     /// order, decides reply order.
@@ -200,15 +399,15 @@ struct Connection {
     streams: Vec<OpenStream>,
     /// Completion-wakeup counter: every pending request and stream on
     /// this connection carries a waker that bumps it (and rings the
-    /// poller), so the reap pass can skip connections (and avoid
-    /// scanning their whole pending lists) when nothing completed since
-    /// the last look.
+    /// owning reactor's poller), so the reap pass can skip connections
+    /// (and avoid scanning their whole pending lists) when nothing
+    /// completed since the last look.
     wakes: Arc<AtomicU64>,
     /// The counter value the last reap pass observed.
     wakes_seen: u64,
-    /// The poller the wakers ring — the edge source that makes a
-    /// completion landing mid-`wait` cut the wait short instead of
-    /// going unobserved until a timeout.
+    /// The owning reactor's poller — the edge source the wakers ring,
+    /// which is what routes a completion wakeup to the right reactor:
+    /// the waker closure captures this exact poller.
     poller: Arc<Poller>,
     /// Readiness reported by the last `wait`, consumed by `pump`.
     io_readable: bool,
@@ -228,7 +427,7 @@ struct Connection {
     /// `reply_write` stage (encode-to-flushed time) into them.
     stages: Arc<StageTimes>,
     /// Total bytes ever flushed on this socket (the coordinate system
-    /// for `wmarks`, immune to `wbuf` being cleared and reused).
+    /// for `wmarks`, immune to the write buffer recycling segments).
     flushed_total: u64,
     /// Reply-write marks: `(offset, encoded_at)` pairs meaning "the
     /// frame encoded at `encoded_at` is fully on the socket once
@@ -244,13 +443,18 @@ struct Connection {
 /// bound.
 const MAX_WMARKS: usize = 1024;
 
+/// Compact the read buffer once this many consumed bytes sit in front
+/// of the cursor (amortizes the memmove the old drain-per-pass did on
+/// every decode).
+const RBUF_COMPACT: usize = 32 << 10;
+
 impl Connection {
     fn new(stream: TcpStream, poller: Arc<Poller>, stages: Arc<StageTimes>) -> Connection {
         Connection {
             stream,
             rbuf: Vec::new(),
-            wbuf: Vec::new(),
-            wpos: 0,
+            rpos: 0,
+            wbuf: WriteBuf::new(),
             pending: Vec::new(),
             streams: Vec::new(),
             wakes: Arc::new(AtomicU64::new(0)),
@@ -280,7 +484,7 @@ impl Connection {
     }
 
     fn write_backlog(&self) -> usize {
-        self.wbuf.len() - self.wpos
+        self.wbuf.backlog()
     }
 
     /// In-flight work counted against the per-connection window.
@@ -300,10 +504,11 @@ impl Connection {
 
     /// The completion wakeup installed on every submitted request and
     /// stream: bumps this connection's counter (so the reap pass knows
-    /// *which* connection to scan) and rings the poller's wake handle
-    /// (so a blocked `wait` learns *that* there is something to scan —
-    /// immediately, even if the completion lands in the instant before
-    /// the loop blocks).
+    /// *which* connection to scan) and rings the owning reactor's wake
+    /// handle (so a blocked `wait` learns *that* there is something to
+    /// scan — immediately, even if the completion lands in the instant
+    /// before the loop blocks, and on the right reactor, because the
+    /// closure captures this connection's own poller).
     fn waker(&self) -> impl Fn() + Send + Sync + 'static {
         let wakes = Arc::clone(&self.wakes);
         let poller = Arc::clone(&self.poller);
@@ -362,7 +567,7 @@ impl Connection {
     ) -> bool {
         let mut consumed_total = 0usize;
         loop {
-            match wire::decode_request(&self.rbuf[consumed_total..]) {
+            match wire::decode_request(&self.rbuf[self.rpos + consumed_total..]) {
                 Ok(Decoded::Incomplete) => break,
                 Ok(Decoded::Frame {
                     consumed,
@@ -378,7 +583,8 @@ impl Connection {
                         // window) it is there to observe, and it never
                         // occupies a window slot.
                         let stats = service.live_stats().with_net(counters.snapshot());
-                        wire::encode_stats_reply(&mut self.wbuf, id, &stats.to_json());
+                        self.wbuf
+                            .encode_with(|b| wire::encode_stats_reply(b, id, &stats.to_json()));
                         counters.frames_out.fetch_add(1, Ordering::Relaxed);
                         self.mark_reply_written();
                         continue;
@@ -392,9 +598,10 @@ impl Connection {
                         );
                         continue;
                     }
+                    let waker = self.waker();
                     let submitted = match value {
                         WireRequest::Plain(request) => service.try_submit(request).map(|pending| {
-                            pending.set_waker(self.waker());
+                            pending.set_waker(waker);
                             self.pending.push((id, pending));
                         }),
                         WireRequest::Stream {
@@ -403,7 +610,7 @@ impl Connection {
                             limit,
                             desc,
                         } => service.try_range_stream(lo, hi, limit, desc).map(|stream| {
-                            stream.set_waker(self.waker());
+                            stream.set_waker(waker);
                             self.streams.push(OpenStream {
                                 id,
                                 stream,
@@ -468,22 +675,27 @@ impl Connection {
                         counters,
                     );
                     self.rbuf.clear();
+                    self.rpos = 0;
                     consumed_total = 0;
                     self.closed_for_reads = true;
                     break;
                 }
             }
         }
-        if consumed_total > 0 {
-            self.rbuf.drain(..consumed_total);
-            true
-        } else {
-            false
+        let progress = consumed_total > 0;
+        self.rpos += consumed_total;
+        if self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+            self.rpos = 0;
+        } else if self.rpos >= RBUF_COMPACT {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
         }
+        progress
     }
 
     fn reply_error(&mut self, id: u64, error: &ErrorReply, counters: &NetCounters) {
-        wire::encode_error(&mut self.wbuf, id, error);
+        self.wbuf.encode_with(|b| wire::encode_error(b, id, error));
         counters.frames_out.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -523,7 +735,8 @@ impl Connection {
                 // `wait` cannot block: readiness was just observed.
                 let response = pending.wait();
                 if wire::response_fits(&response) {
-                    wire::encode_response(&mut self.wbuf, id, &response);
+                    self.wbuf
+                        .encode_with(|b| wire::encode_response(b, id, &response));
                     counters.frames_out.fetch_add(1, Ordering::Relaxed);
                     self.mark_reply_written();
                 } else {
@@ -552,41 +765,52 @@ impl Connection {
     /// Writes every consumable chunk of every open stream (then the
     /// `RangeEnd` marker), under the same write-backlog pacing as
     /// buffered replies — a slow reader's chunks wait in the gather
-    /// seam instead of ballooning the connection buffer (the seam's
-    /// footprint is bounded by the scan's own size, as a buffered
-    /// reply's would be; the shards scan to completion either way).
-    /// Returns true on progress.
+    /// seam instead of ballooning the connection buffer. Chunks
+    /// serialize straight out of the seam's own buffers
+    /// ([`PendingStream::try_next_with`]): the bytes go from the
+    /// worker-built chunk into the wire buffer with no owned-`Vec`
+    /// handoff in between, and the chunk's allocation recycles back to
+    /// the pushing worker. Returns true on progress.
     fn reap_streams(&mut self, config: &NetConfig, counters: &NetCounters) -> bool {
         let mut progress = false;
         let mut i = 0;
         while i < self.streams.len() {
             let mut finished = false;
             loop {
-                if self.write_backlog() >= config.max_write_backlog {
+                if self.wbuf.backlog() >= config.max_write_backlog {
                     self.reap_stalled = true;
                     break;
                 }
-                let open = &mut self.streams[i];
-                match open.stream.try_next() {
-                    StreamPoll::Chunk(chunk) => {
-                        // The serve tier caps chunks at `stream_chunk`
-                        // entries; split defensively anyway so a huge
-                        // configured chunk cannot trip the frame cap.
-                        for piece in chunk.chunks(wire::MAX_CHUNK_ENTRIES) {
-                            wire::encode_range_chunk(&mut self.wbuf, open.id, piece);
-                            counters.frames_out.fetch_add(1, Ordering::Relaxed);
-                        }
-                        open.entries += chunk.len() as u64;
+                // Split borrows: the sink serializes into the write
+                // buffer while the stream handle is held mutably.
+                let Connection { streams, wbuf, .. } = self;
+                let open = &mut streams[i];
+                let id = open.id;
+                let mut frames = 0u64;
+                let poll = open.stream.try_next_with(|chunk| {
+                    // The serve tier caps chunks at `stream_chunk`
+                    // entries; split defensively anyway so a huge
+                    // configured chunk cannot trip the frame cap.
+                    for piece in chunk.chunks(wire::MAX_CHUNK_ENTRIES) {
+                        wbuf.encode_with(|b| wire::encode_range_chunk(b, id, piece));
+                        frames += 1;
+                    }
+                });
+                match poll {
+                    StreamConsumed::Consumed(entries) => {
+                        open.entries += entries as u64;
+                        counters.frames_out.fetch_add(frames, Ordering::Relaxed);
                         progress = true;
                     }
-                    StreamPoll::End => {
-                        wire::encode_range_end(&mut self.wbuf, open.id, open.entries);
+                    StreamConsumed::End => {
+                        let total = open.entries;
+                        wbuf.encode_with(|b| wire::encode_range_end(b, id, total));
                         counters.frames_out.fetch_add(1, Ordering::Relaxed);
                         finished = true;
                         progress = true;
                         break;
                     }
-                    StreamPoll::Pending => break,
+                    StreamConsumed::Pending => break,
                 }
             }
             if finished {
@@ -601,30 +825,16 @@ impl Connection {
         progress
     }
 
-    /// Flushes as much buffered output as the socket accepts,
-    /// completing reply-write marks as their bytes reach the socket.
-    /// Returns true on progress.
+    /// Flushes as much buffered output as the socket accepts (one
+    /// `writev` per syscall), completing reply-write marks as their
+    /// bytes reach the socket, and shrinking oversized buffers once the
+    /// backlog fully drains. Returns true on progress.
     fn flush(&mut self) -> bool {
-        let mut progress = false;
-        while self.wpos < self.wbuf.len() {
-            match self.stream.write(&self.wbuf[self.wpos..]) {
-                Ok(0) => {
-                    self.dead = true;
-                    break;
-                }
-                Ok(n) => {
-                    self.wpos += n;
-                    self.flushed_total += n as u64;
-                    progress = true;
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => {
-                    self.dead = true;
-                    break;
-                }
-            }
+        let (flushed, dead) = self.wbuf.flush(&mut self.stream);
+        if dead {
+            self.dead = true;
         }
+        self.flushed_total += flushed as u64;
         while let Some(&(offset, encoded_at)) = self.wmarks.front() {
             if offset > self.flushed_total {
                 break;
@@ -632,11 +842,36 @@ impl Connection {
             self.stages.record(Stage::ReplyWrite, encoded_at.elapsed());
             self.wmarks.pop_front();
         }
-        if self.wpos > 0 && self.wpos == self.wbuf.len() {
-            self.wbuf.clear();
-            self.wpos = 0;
+        if flushed > 0 && self.wbuf.backlog() == 0 {
+            self.shrink_after_drain();
         }
-        progress
+        flushed > 0
+    }
+
+    /// Sheds capacity a finished burst left behind: every per-connection
+    /// buffer above [`BUF_HIGH_WATER`] shrinks back to it, so one large
+    /// range scan does not pin megabytes for the connection's lifetime.
+    fn shrink_after_drain(&mut self) {
+        self.wbuf.shrink_to(BUF_HIGH_WATER);
+        if self.rbuf.capacity() > BUF_HIGH_WATER {
+            self.rbuf.shrink_to(BUF_HIGH_WATER);
+        }
+        if self.pending.is_empty() && self.pending.capacity() > 64 {
+            self.pending.shrink_to(16);
+        }
+        if self.streams.is_empty() && self.streams.capacity() > 64 {
+            self.streams.shrink_to(16);
+        }
+        if self.wmarks.is_empty() && self.wmarks.capacity() > 256 {
+            self.wmarks.shrink_to(64);
+        }
+    }
+
+    /// Total buffer capacity this connection currently retains — what
+    /// the high-water shrink bounds between bursts.
+    #[cfg(test)]
+    fn retained_capacity(&self) -> usize {
+        self.rbuf.capacity() + self.wbuf.retained_capacity()
     }
 
     /// One pass over whatever the last `wait` reported (plus completion
@@ -696,36 +931,49 @@ impl Connection {
     }
 }
 
-/// A running socket front-end over a [`ProbeService`]: one event-loop
-/// thread serving every connection.
+/// One reactor's cross-thread surface: the poller the acceptor rings
+/// and the inbox it hands accepted sockets through. Everything else a
+/// reactor owns lives on its own stack.
+struct ReactorHandle {
+    poller: Arc<Poller>,
+    inbox: Mutex<VecDeque<TcpStream>>,
+}
+
+/// A running socket front-end over a [`ProbeService`]: an acceptor
+/// thread plus [`NetConfig::reactors`] event-loop threads, connections
+/// pinned round-robin.
 ///
 /// # Shutdown
 ///
 /// [`shutdown`](WidxServer::shutdown) stops accepting, stops *reading*,
 /// and drains: every request frame already received is still decoded,
-/// submitted, answered, and flushed before the loop exits — no
-/// accepted request is dropped. The underlying [`ProbeService`] is
-/// caller-owned and keeps running; in-flight frames drain through its
-/// own poison-pill shutdown if the caller stops it afterwards (or
-/// concurrently — accepted submissions complete either way).
+/// submitted, answered, and flushed before the loops exit — no
+/// accepted request is dropped, on any reactor, even when its write
+/// backlog is nonempty at the moment shutdown begins. The underlying
+/// [`ProbeService`] is caller-owned and keeps running; in-flight frames
+/// drain through its own poison-pill shutdown if the caller stops it
+/// afterwards (or concurrently — accepted submissions complete either
+/// way).
 pub struct WidxServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     counters: Arc<NetCounters>,
-    poller: Arc<Poller>,
-    thread: Option<JoinHandle<()>>,
+    accept_poller: Arc<Poller>,
+    reactors: Vec<Arc<ReactorHandle>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl WidxServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port),
-    /// builds the readiness poller (honouring
-    /// [`NetConfig::poller_backend`] / `WIDX_POLLER`), registers the
-    /// listener, and starts the event loop over `service`.
+    /// builds one readiness poller per reactor plus the acceptor's
+    /// (honouring [`NetConfig::poller_backend`] / `WIDX_POLLER`),
+    /// registers the listener, and starts the event loops over
+    /// `service`.
     ///
     /// # Errors
     ///
     /// Any socket-level failure to bind or configure the listener, or
-    /// failure to set up the poller backend.
+    /// failure to set up a poller backend.
     pub fn bind(
         addr: impl ToSocketAddrs,
         service: Arc<ProbeService>,
@@ -735,30 +983,68 @@ impl WidxServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let poller = Arc::new(match &config.poller_backend {
-            Some(backend) => Poller::with_backend(backend)?,
-            None => Poller::new()?,
-        });
-        poller.add(&listener, Event::readable(LISTENER_KEY))?;
+        let build_poller = |config: &NetConfig| -> std::io::Result<Arc<Poller>> {
+            Ok(Arc::new(match &config.poller_backend {
+                Some(backend) => Poller::with_backend(backend)?,
+                None => Poller::new()?,
+            }))
+        };
+        let accept_poller = build_poller(&config)?;
+        accept_poller.add(&listener, Event::readable(LISTENER_KEY))?;
+        let mut reactors = Vec::with_capacity(config.reactors);
+        for _ in 0..config.reactors {
+            reactors.push(Arc::new(ReactorHandle {
+                poller: build_poller(&config)?,
+                inbox: Mutex::new(VecDeque::new()),
+            }));
+        }
         let shutdown = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(NetCounters::default());
-        let thread = {
+        let counters = Arc::new(NetCounters::new(config.reactors));
+        let mut threads = Vec::with_capacity(config.reactors + 1);
+        for (rix, handle) in reactors.iter().enumerate() {
+            let handle = Arc::clone(handle);
+            let service = Arc::clone(&service);
+            let config = config.clone();
             let shutdown = Arc::clone(&shutdown);
             let counters = Arc::clone(&counters);
-            let poller = Arc::clone(&poller);
-            std::thread::Builder::new()
-                .name("widx-net".to_string())
-                .spawn(move || {
-                    run_event_loop(&listener, &poller, &service, &config, &shutdown, &counters);
-                })
-                .expect("spawn net event loop")
-        };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("widx-net-r{rix}"))
+                    .spawn(move || {
+                        run_reactor(rix, &handle, &service, &config, &shutdown, &counters);
+                    })
+                    .expect("spawn net reactor"),
+            );
+        }
+        {
+            let accept_poller = Arc::clone(&accept_poller);
+            let reactors = reactors.clone();
+            let config = config.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("widx-net-accept".to_string())
+                    .spawn(move || {
+                        run_acceptor(
+                            &listener,
+                            &accept_poller,
+                            &reactors,
+                            &config,
+                            &shutdown,
+                            &counters,
+                        );
+                    })
+                    .expect("spawn net acceptor"),
+            );
+        }
         Ok(WidxServer {
             addr,
             shutdown,
             counters,
-            poller,
-            thread: Some(thread),
+            accept_poller,
+            reactors,
+            threads,
         })
     }
 
@@ -768,8 +1054,8 @@ impl WidxServer {
         self.addr
     }
 
-    /// A live snapshot of the network-tier counters; attach the final
-    /// one to the service's stats with
+    /// A live snapshot of the network-tier counters (per-reactor gauges
+    /// included); attach the final one to the service's stats with
     /// [`ServiceStats::with_net`](widx_serve::ServiceStats::with_net).
     #[must_use]
     pub fn stats(&self) -> NetStats {
@@ -777,93 +1063,188 @@ impl WidxServer {
     }
 
     /// Graceful shutdown: stop accepting and reading, drain every
-    /// accepted frame through to a flushed reply, then join the event
-    /// loop. Returns the final counter snapshot.
+    /// accepted frame through to a flushed reply on every reactor, then
+    /// join the threads. Returns the final counter snapshot.
     #[must_use]
     pub fn shutdown(mut self) -> NetStats {
         self.begin_shutdown();
-        if let Some(thread) = self.thread.take() {
+        for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
         self.counters.snapshot()
     }
 
-    /// Publishes the shutdown flag, then rings the wake handle so a
-    /// loop blocked in `poller.wait` observes it now rather than at the
-    /// wait cap — the same no-lost-wakeup contract completions get.
+    /// Publishes the shutdown flag, then rings every loop's wake handle
+    /// so loops blocked in `poller.wait` observe it now rather than at
+    /// the wait cap — the same no-lost-wakeup contract completions get.
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        let _ = self.poller.notify();
+        let _ = self.accept_poller.notify();
+        for reactor in &self.reactors {
+            let _ = reactor.poller.notify();
+        }
     }
 }
 
 impl Drop for WidxServer {
     fn drop(&mut self) {
         self.begin_shutdown();
-        if let Some(thread) = self.thread.take() {
+        for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
     }
 }
 
-/// Accepts every pending connection, registering each with the poller.
-/// Returns true on progress.
-fn accept_burst(
-    listener: &TcpListener,
-    poller: &Arc<Poller>,
-    stages: &Arc<StageTimes>,
-    slots: &mut Vec<Option<Connection>>,
-    counters: &NetCounters,
+/// How the accept loop reacts to an `accept()` error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AcceptErr {
+    /// `EAGAIN`: the pending queue is drained; end this pass.
+    Exhausted,
+    /// Transient, scoped to one would-be connection (`EINTR`,
+    /// `ECONNABORTED`, a peer that vanished mid-handshake): skip it and
+    /// keep accepting — the rest of the queue is fine.
+    Transient,
+    /// Out of file descriptors (`EMFILE`/`ENFILE`): back off briefly so
+    /// fd pressure can ease, then keep accepting. Aborting here (the
+    /// old behaviour for *every* non-`WouldBlock` error) would wedge
+    /// the listener forever on a recoverable condition.
+    Descriptors,
+}
+
+fn classify_accept_error(e: &std::io::Error) -> AcceptErr {
+    if e.kind() == ErrorKind::WouldBlock {
+        return AcceptErr::Exhausted;
+    }
+    // ENFILE (23) / EMFILE (24): no stable `ErrorKind` maps these.
+    if matches!(e.raw_os_error(), Some(23 | 24)) {
+        return AcceptErr::Descriptors;
+    }
+    AcceptErr::Transient
+}
+
+/// Most accept errors tolerated in one pass before yielding back to the
+/// poller — a persistently failing listener must not spin this pass
+/// forever (level-triggered readiness re-reports it next wait).
+const MAX_ACCEPT_ERRORS_PER_PASS: usize = 64;
+
+/// Accepts until the listener is drained, feeding sockets to `sink`.
+/// Errors other than `WouldBlock` never abort the loop: transient ones
+/// are logged and skipped, descriptor exhaustion invokes `backoff`
+/// before continuing, and a bounded error budget ends the pass instead
+/// of spinning. Returns true when at least one socket was accepted.
+fn drain_accepts(
+    accept: &mut dyn FnMut() -> std::io::Result<TcpStream>,
+    sink: &mut dyn FnMut(TcpStream),
+    backoff: &mut dyn FnMut(),
+    log: &mut dyn FnMut(&std::io::Error),
 ) -> bool {
     let mut progress = false;
+    let mut errors = 0usize;
     loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if stream.set_nonblocking(true).is_err() {
-                    continue;
-                }
-                let _ = stream.set_nodelay(true);
-                let slot = match slots.iter().position(Option::is_none) {
-                    Some(free) => free,
-                    None => {
-                        slots.push(None);
-                        slots.len() - 1
-                    }
-                };
-                let conn = Connection::new(stream, Arc::clone(poller), Arc::clone(stages));
-                if poller
-                    .add(&conn.stream, Event::readable(slot + CONN_KEY_BASE))
-                    .is_err()
-                {
-                    // No registration, no edges: refuse the connection
-                    // rather than strand it.
-                    continue;
-                }
-                counters.connections.fetch_add(1, Ordering::Relaxed);
-                slots[slot] = Some(conn);
+        match accept() {
+            Ok(stream) => {
                 progress = true;
+                sink(stream);
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => break,
+            Err(e) => {
+                match classify_accept_error(&e) {
+                    AcceptErr::Exhausted => break,
+                    AcceptErr::Transient => log(&e),
+                    AcceptErr::Descriptors => {
+                        log(&e);
+                        backoff();
+                    }
+                }
+                errors += 1;
+                if errors >= MAX_ACCEPT_ERRORS_PER_PASS {
+                    break;
+                }
+            }
         }
     }
     progress
 }
 
-fn run_event_loop(
+/// The acceptor thread: blocks on its own poller (listener readability
+/// or the shutdown wake), accepts every pending connection, and hands
+/// each off round-robin to a reactor's inbox, ringing that reactor's
+/// wake handle so the pinning takes effect immediately.
+fn run_acceptor(
     listener: &TcpListener,
     poller: &Arc<Poller>,
+    reactors: &[Arc<ReactorHandle>],
+    config: &NetConfig,
+    shutdown: &AtomicBool,
+    counters: &NetCounters,
+) {
+    let mut events: Vec<Event> = Vec::new();
+    let mut next = 0usize;
+    let mut last_log: Option<Instant> = None;
+    loop {
+        // An assume-ready backend has no readiness source: hold it at
+        // polling cadence so accepts are still noticed promptly.
+        let cap = if poller.has_readiness_source() {
+            QUIET_WAIT_CAP
+        } else {
+            config.idle_backoff
+        };
+        if poller.wait(&mut events, Some(cap)).is_err() {
+            events.clear();
+            std::thread::sleep(config.idle_backoff);
+        }
+        if shutdown.load(Ordering::Relaxed) {
+            let _ = poller.delete(listener);
+            return;
+        }
+        // Level-triggered: whatever woke us, draining the accept queue
+        // is always safe (an unready listener answers `WouldBlock`).
+        drain_accepts(
+            &mut || listener.accept().map(|(stream, _)| stream),
+            &mut |stream| {
+                if stream.set_nonblocking(true).is_err() {
+                    return;
+                }
+                let _ = stream.set_nodelay(true);
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let reactor = &reactors[next % reactors.len()];
+                next = next.wrapping_add(1);
+                reactor
+                    .inbox
+                    .lock()
+                    .expect("reactor inbox")
+                    .push_back(stream);
+                let _ = reactor.poller.notify();
+            },
+            &mut || std::thread::sleep(ACCEPT_BACKOFF),
+            &mut |e| {
+                // Rate-limited: fd exhaustion arrives in storms.
+                let now = Instant::now();
+                if last_log.is_none_or(|at| now.duration_since(at) >= Duration::from_secs(1)) {
+                    last_log = Some(now);
+                    eprintln!("widx-net: accept error (continuing): {e}");
+                }
+            },
+        );
+    }
+}
+
+/// One reactor's event loop: registers sockets handed off by the
+/// acceptor with its own poller, then serves them exactly as the old
+/// single-threaded loop did — decode, submit, reap, flush — publishing
+/// its gauges into its own [`ReactorGauges`] cell each pass.
+fn run_reactor(
+    rix: usize,
+    handle: &ReactorHandle,
     service: &ProbeService,
     config: &NetConfig,
     shutdown: &AtomicBool,
     counters: &NetCounters,
 ) {
     let stages = service.stage_times();
+    let poller = &handle.poller;
     let mut slots: Vec<Option<Connection>> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
-    let mut draining: Option<std::time::Instant> = None;
-    let mut accepting = true;
+    let mut draining: Option<Instant> = None;
     // First iteration polls with a zero timeout: service the state that
     // existed before the loop started, then settle into blocking waits.
     let mut progress = true;
@@ -899,32 +1280,51 @@ fn run_event_loop(
         }
         progress = false;
         if draining.is_none() && shutdown.load(Ordering::Relaxed) {
-            // Shutdown begins: stop accepting and reading. Frames whose
-            // bytes already arrived still decode, submit, and answer
-            // below — drain, then halt, like the service itself.
-            draining = Some(std::time::Instant::now());
-            if accepting {
-                let _ = poller.delete(listener);
-                accepting = false;
-            }
+            // Shutdown begins: stop reading (the acceptor has already
+            // stopped accepting). Frames whose bytes already arrived
+            // still decode, submit, and answer below — and a connection
+            // with a nonempty write backlog keeps flushing until every
+            // accepted frame is on the socket: drain, then halt.
+            draining = Some(Instant::now());
             for conn in slots.iter_mut().flatten() {
                 conn.closed_for_reads = true;
             }
             progress = true;
         }
-        let mut accept_ready = false;
-        for event in &events {
-            if event.key == LISTENER_KEY {
-                accept_ready = true;
+        // Adopt connections the acceptor handed off: register each with
+        // *this* reactor's poller — the pinning decision is permanent.
+        // Handoffs racing the start of a drain are closed unserved: a
+        // socket this reactor never read from has no accepted frames.
+        loop {
+            let stream = handle.inbox.lock().expect("reactor inbox").pop_front();
+            let Some(stream) = stream else { break };
+            if draining.is_some() {
                 continue;
             }
-            if let Some(Some(conn)) = slots.get_mut(event.key - CONN_KEY_BASE) {
+            let slot = match slots.iter().position(Option::is_none) {
+                Some(free) => free,
+                None => {
+                    slots.push(None);
+                    slots.len() - 1
+                }
+            };
+            let conn = Connection::new(stream, Arc::clone(poller), Arc::clone(&stages));
+            if poller
+                .add(&conn.stream, Event::readable(slot + CONN_KEY_BASE))
+                .is_err()
+            {
+                // No registration, no edges: refuse the connection
+                // rather than strand it.
+                continue;
+            }
+            slots[slot] = Some(conn);
+            progress = true;
+        }
+        for event in &events {
+            if let Some(Some(conn)) = slots.get_mut(event.key.wrapping_sub(CONN_KEY_BASE)) {
                 conn.io_readable |= event.readable;
                 conn.io_writable |= event.writable;
             }
-        }
-        if accept_ready && accepting {
-            progress |= accept_burst(listener, poller, &stages, &mut slots, counters);
         }
         // Pump every live connection: ones with socket readiness do IO,
         // ones whose waker fired reap completions, quiet ones cost one
@@ -943,20 +1343,17 @@ fn run_event_loop(
                 conn.update_interest(index + CONN_KEY_BASE, config);
             }
         }
-        // Re-publish the loop's gauges: how many connections are live
-        // and how many reply bytes sit unflushed across all of them. A
+        // Re-publish this reactor's gauges: how many connections it
+        // owns and how many reply bytes sit unflushed across them. A
         // scrape (the Stats opcode, or `WidxServer::stats`) sees values
-        // at most one loop pass stale.
+        // at most one loop pass stale; totals are summed at snapshot.
         let mut open = 0u64;
         let mut backlog = 0u64;
         for conn in slots.iter().flatten() {
             open += 1;
             backlog += conn.write_backlog() as u64;
         }
-        counters.open_connections.store(open, Ordering::Relaxed);
-        counters
-            .write_backlog_bytes
-            .store(backlog, Ordering::Relaxed);
+        counters.reactors[rix].publish(open, backlog);
         if let Some(since) = draining {
             if slots.iter().all(Option::is_none) {
                 return;
@@ -1000,5 +1397,210 @@ mod tests {
         let config = NetConfig::default().with_poller_backend("timeout");
         assert_eq!(config.poller_backend.as_deref(), Some("timeout"));
         assert!(NetConfig::default().poller_backend.is_none());
+    }
+
+    #[test]
+    fn reactor_count_is_clamped_to_at_least_one() {
+        assert_eq!(NetConfig::default().reactors, 1);
+        assert_eq!(NetConfig::default().with_reactors(0).reactors, 1);
+        assert_eq!(NetConfig::default().with_reactors(4).reactors, 4);
+        let config = NetConfig {
+            reactors: 0,
+            ..NetConfig::default()
+        };
+        assert_eq!(config.normalized().reactors, 1);
+    }
+
+    fn raw_err(code: i32) -> std::io::Error {
+        std::io::Error::from_raw_os_error(code)
+    }
+
+    /// A connected loopback pair: `(server side, client side)`.
+    fn sock_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (server, client)
+    }
+
+    #[test]
+    fn accept_errors_do_not_abort_the_accept_loop() {
+        // Regression for the old `Err(_) => break`: a scripted accept
+        // path yielding EMFILE, ECONNABORTED, and EIO between real
+        // sockets must still deliver every socket.
+        let (s1, _c1) = sock_pair();
+        let (s2, _c2) = sock_pair();
+        let (s3, _c3) = sock_pair();
+        let mut script: VecDeque<std::io::Result<TcpStream>> = VecDeque::from([
+            Err(raw_err(103)), // ECONNABORTED: peer gave up mid-handshake
+            Ok(s1),
+            Err(raw_err(24)), // EMFILE: out of fds — back off, continue
+            Ok(s2),
+            Err(raw_err(5)), // EIO: unknown transient
+            Ok(s3),
+            Err(std::io::Error::from(ErrorKind::WouldBlock)),
+        ]);
+        let mut accepted = 0usize;
+        let mut backoffs = 0usize;
+        let mut logged = 0usize;
+        let progress = drain_accepts(
+            &mut || script.pop_front().expect("script exhausted"),
+            &mut |_stream| accepted += 1,
+            &mut || backoffs += 1,
+            &mut |_e| logged += 1,
+        );
+        assert!(progress);
+        assert_eq!(accepted, 3, "every socket behind the errors got through");
+        assert_eq!(backoffs, 1, "EMFILE backed off exactly once");
+        assert_eq!(logged, 3, "each non-WouldBlock error was surfaced");
+        assert!(script.is_empty(), "loop ran to the WouldBlock");
+    }
+
+    #[test]
+    fn persistent_accept_errors_end_the_pass_instead_of_spinning() {
+        let mut calls = 0usize;
+        let progress = drain_accepts(
+            &mut || {
+                calls += 1;
+                Err(raw_err(5))
+            },
+            &mut |_stream| {},
+            &mut || {},
+            &mut |_e| {},
+        );
+        assert!(!progress);
+        assert_eq!(calls, MAX_ACCEPT_ERRORS_PER_PASS, "bounded, not infinite");
+    }
+
+    #[test]
+    fn classify_accept_error_buckets() {
+        assert_eq!(
+            classify_accept_error(&std::io::Error::from(ErrorKind::WouldBlock)),
+            AcceptErr::Exhausted
+        );
+        assert_eq!(classify_accept_error(&raw_err(24)), AcceptErr::Descriptors);
+        assert_eq!(classify_accept_error(&raw_err(23)), AcceptErr::Descriptors);
+        assert_eq!(classify_accept_error(&raw_err(103)), AcceptErr::Transient);
+        assert_eq!(
+            classify_accept_error(&std::io::Error::from(ErrorKind::Interrupted)),
+            AcceptErr::Transient
+        );
+    }
+
+    #[test]
+    fn write_buf_batches_frames_and_recycles_segments() {
+        let (mut server, mut client) = sock_pair();
+        server.set_nonblocking(true).expect("nonblocking");
+        let mut wbuf = WriteBuf::new();
+        // Many small "frames" — they should pack into few segments.
+        let mut sent = Vec::new();
+        for i in 0..100u32 {
+            wbuf.encode_with(|b| {
+                b.extend_from_slice(&i.to_le_bytes());
+                sent.extend_from_slice(&i.to_le_bytes());
+            });
+        }
+        assert_eq!(wbuf.backlog(), 400);
+        assert!(wbuf.segs.len() <= 1 + 400 / SEG_TARGET, "small frames pack");
+        let (flushed, dead) = wbuf.flush(&mut server);
+        assert!(!dead);
+        assert_eq!(flushed, 400);
+        assert_eq!(wbuf.backlog(), 0);
+        assert!(wbuf.segs.is_empty());
+        assert!(!wbuf.spare.is_empty(), "flushed segment was recycled");
+        let mut got = vec![0u8; 400];
+        client.read_exact(&mut got).expect("read");
+        assert_eq!(got, sent, "vectored flush preserved byte order");
+    }
+
+    #[test]
+    fn write_buf_shrinks_retained_capacity_to_the_cap() {
+        let (mut server, client) = sock_pair();
+        server.set_nonblocking(true).expect("nonblocking");
+        let mut wbuf = WriteBuf::new();
+        // One burst far above the high-water cap.
+        let big = vec![0xABu8; 2 << 20];
+        wbuf.encode_with(|b| b.extend_from_slice(&big));
+        let reader = std::thread::spawn(move || {
+            let mut stream = client;
+            let mut sink = [0u8; 64 << 10];
+            let mut total = 0usize;
+            while total < 2 << 20 {
+                match stream.read(&mut sink) {
+                    Ok(0) => break,
+                    Ok(n) => total += n,
+                    Err(_) => break,
+                }
+            }
+            total
+        });
+        while wbuf.backlog() > 0 {
+            let (_, dead) = wbuf.flush(&mut server);
+            assert!(!dead);
+            if wbuf.backlog() > 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        wbuf.shrink_to(BUF_HIGH_WATER);
+        assert!(
+            wbuf.retained_capacity() <= BUF_HIGH_WATER,
+            "retained {} > cap {}",
+            wbuf.retained_capacity(),
+            BUF_HIGH_WATER
+        );
+        drop(server);
+        assert_eq!(reader.join().expect("reader"), 2 << 20);
+    }
+
+    #[test]
+    fn connection_buffers_shrink_after_a_large_burst_drains() {
+        // Satellite regression: rbuf/wbuf grew to the largest burst
+        // ever seen and never shrank. Push a multi-megabyte burst
+        // through a real loopback connection, drain it, and assert the
+        // retained capacity came back under the high-water cap.
+        let (server, client) = sock_pair();
+        server.set_nonblocking(true).expect("nonblocking");
+        let poller = Arc::new(Poller::with_backend("timeout").expect("poller"));
+        let mut conn = Connection::new(server, poller, Arc::new(StageTimes::new()));
+        // Simulate a large decoded request having passed through rbuf.
+        conn.rbuf = vec![0u8; 3 << 20];
+        conn.rbuf.clear();
+        assert!(conn.retained_capacity() > BUF_HIGH_WATER);
+        // A burst of reply bytes far over the cap.
+        let payload = vec![0x5Au8; 4 << 20];
+        conn.wbuf.encode_with(|b| b.extend_from_slice(&payload));
+        conn.mark_reply_written();
+        let reader = std::thread::spawn(move || {
+            let mut stream = client;
+            let mut sink = [0u8; 64 << 10];
+            let mut total = 0usize;
+            while total < 4 << 20 {
+                match stream.read(&mut sink) {
+                    Ok(0) => break,
+                    Ok(n) => total += n,
+                    Err(_) => break,
+                }
+            }
+            total
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while conn.write_backlog() > 0 {
+            assert!(Instant::now() < deadline, "drain stalled");
+            conn.flush();
+            if conn.write_backlog() > 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        assert!(!conn.dead);
+        assert!(
+            conn.retained_capacity() <= BUF_HIGH_WATER,
+            "retained {} bytes > {} cap after the burst drained",
+            conn.retained_capacity(),
+            BUF_HIGH_WATER
+        );
+        assert!(conn.wmarks.is_empty(), "reply-write mark completed");
+        drop(conn);
+        assert_eq!(reader.join().expect("reader"), 4 << 20);
     }
 }

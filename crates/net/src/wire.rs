@@ -331,9 +331,15 @@ fn put_pairs(buf: &mut Vec<u8>, pairs: &[(u64, u64)]) {
         buf,
         u32::try_from(pairs.len()).expect("pair count fits u32"),
     );
+    // One reservation and one 16-byte append per pair: `put_pairs` is
+    // the body of every chunk/range reply, so this is the hot serialize
+    // loop of the streaming path.
+    buf.reserve(pairs.len() * 16);
     for (a, b) in pairs {
-        put_u64(buf, *a);
-        put_u64(buf, *b);
+        let mut entry = [0u8; 16];
+        entry[..8].copy_from_slice(&a.to_le_bytes());
+        entry[8..].copy_from_slice(&b.to_le_bytes());
+        buf.extend_from_slice(&entry);
     }
 }
 
@@ -419,6 +425,9 @@ pub fn encode_range_chunk(buf: &mut Vec<u8>, id: u64, entries: &[(u64, u64)]) {
         entries.len() <= MAX_CHUNK_ENTRIES,
         "chunk exceeds the frame cap; split it"
     );
+    // Reserve the whole frame up front — the streaming fast path calls
+    // this straight off the gather seam, so the append must not re-grow.
+    buf.reserve(4 + HEADER_LEN + 4 + entries.len() * 16);
     frame(buf, OP_R_RANGE_CHUNK, id, |b| put_pairs(b, entries));
 }
 

@@ -229,6 +229,59 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Reactor-count parity: the same mixed workload, spread over
+    /// enough connections that every reactor owns several, answers
+    /// oracle-equal at `reactors` ∈ {1, 2, 4} — sharding the front-end
+    /// must be invisible on the wire. Sends are corked per burst, so
+    /// the batched write path is exercised under every reactor count
+    /// (and under both real poller backends via `WIDX_POLLER` in CI).
+    #[test]
+    fn reactor_counts_are_wire_invisible(
+        pairs in prop::collection::vec((0u64..100, any::<u64>()), 0..250),
+        ops in prop::collection::vec(op_strategy(120), 1..40),
+        reactors in (0usize..3).prop_map(|i| 1usize << i), // 1, 2, 4
+    ) {
+        let (service, server, first) = stack(
+            &pairs,
+            2,
+            8,
+            NetConfig::default().with_reactors(reactors),
+        );
+        let mut clients = vec![first];
+        while clients.len() < reactors * 2 {
+            clients.push(WidxClient::connect(server.local_addr()).expect("connect"));
+        }
+        for client in &mut clients {
+            client.set_corked(true).expect("cork");
+        }
+        // Round-robin the workload over the connections (which the
+        // acceptor round-robins over the reactors), pipelining
+        // everything before reaping anything.
+        let ids: Vec<(usize, u64)> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                let c = i % clients.len();
+                (c, clients[c].send(&op.request()).expect("send"))
+            })
+            .collect();
+        for (op, (c, id)) in ops.iter().zip(ids) {
+            let response = clients[c].recv(id).expect("every request answered");
+            op.check(&pairs, &response);
+        }
+        let net = server.shutdown();
+        prop_assert_eq!(net.connections, clients.len() as u64);
+        prop_assert_eq!(net.frames_in, ops.len() as u64);
+        prop_assert_eq!(net.frames_out, ops.len() as u64);
+        prop_assert_eq!(net.decode_errors, 0);
+        prop_assert_eq!(net.reactors.len(), reactors);
+        let _ = unwrap_service(service).shutdown();
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(15))]
 
     /// Streaming parity over real TCP: for every generated scan, the

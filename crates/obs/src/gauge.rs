@@ -1,0 +1,73 @@
+//! Padded per-reactor gauge cells.
+//!
+//! Each net-tier reactor thread owns exactly one [`ReactorGauges`] and
+//! is the only writer to it — it re-publishes its gauges every event-loop
+//! pass, so a scrape sees values at most one pass stale. Readers (the
+//! stats snapshot path) only load. Like [`WorkerCell`](crate::WorkerCell),
+//! the cell is over-aligned so two reactors' cells never share a cache
+//! line when stored contiguously in the server's gauge table.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A padded, lock-free pair of gauges one reactor publishes each loop
+/// pass: how many connections it currently owns and how many reply
+/// bytes sit unflushed across them.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct ReactorGauges {
+    open_connections: AtomicU64,
+    write_backlog_bytes: AtomicU64,
+}
+
+impl ReactorGauges {
+    /// A zeroed cell.
+    #[must_use]
+    pub fn new() -> ReactorGauges {
+        ReactorGauges::default()
+    }
+
+    /// Publishes both gauges (single-writer: the owning reactor).
+    #[inline]
+    pub fn publish(&self, open_connections: u64, write_backlog_bytes: u64) {
+        self.open_connections
+            .store(open_connections, Ordering::Relaxed);
+        self.write_backlog_bytes
+            .store(write_backlog_bytes, Ordering::Relaxed);
+    }
+
+    /// Connections this reactor currently owns.
+    #[must_use]
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Unflushed reply bytes across this reactor's connections.
+    #[must_use]
+    pub fn write_backlog_bytes(&self) -> u64 {
+        self.write_backlog_bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_read_back() {
+        let g = ReactorGauges::new();
+        assert_eq!(g.open_connections(), 0);
+        assert_eq!(g.write_backlog_bytes(), 0);
+        g.publish(3, 4096);
+        assert_eq!(g.open_connections(), 3);
+        assert_eq!(g.write_backlog_bytes(), 4096);
+        // Gauges, not counters: re-publishing overwrites.
+        g.publish(1, 0);
+        assert_eq!(g.open_connections(), 1);
+        assert_eq!(g.write_backlog_bytes(), 0);
+    }
+
+    #[test]
+    fn cells_are_cache_line_padded() {
+        assert!(std::mem::align_of::<ReactorGauges>() >= 128);
+    }
+}

@@ -11,6 +11,9 @@
 //!   `live_stats()` is the same snapshot taken earlier.
 //! - [`Stage`] / [`StageTimes`]: the queue-wait / batch-wait / walk /
 //!   gather / reply-write breakdown of a request's life.
+//! - [`ReactorGauges`]: a padded pair of gauges one net-tier reactor
+//!   re-publishes every event-loop pass (connections owned, unflushed
+//!   reply bytes), stored contiguously without false sharing.
 //! - [`PromText`]: Prometheus text-exposition builder.
 //! - [`json`]: tiny escape/extract helpers for the JSON stats payload.
 //!
@@ -21,12 +24,14 @@
 #![forbid(unsafe_code)]
 
 mod cell;
+mod gauge;
 mod hist;
 pub mod json;
 mod prom;
 mod stage;
 
 pub use cell::{FlushKind, WorkerCell, WorkerCellSnapshot};
+pub use gauge::ReactorGauges;
 pub use hist::{
     bucket_ceil, bucket_floor, bucket_of, AtomicHistogram, HistogramSnapshot, HIST_BUCKETS,
 };

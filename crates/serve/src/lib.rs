@@ -88,11 +88,13 @@ mod worker;
 pub use batch::{BatchPolicy, FlushReason};
 pub use ordered::OrderedShardedIndex;
 pub use queue::PushError;
-pub use request::{PendingResponse, PendingStream, Request, Response, StreamPoll};
+pub use request::{PendingResponse, PendingStream, Request, Response, StreamConsumed, StreamPoll};
 pub use service::{ProbeService, ServeConfig, SubmitError};
 pub use shard::ShardedIndex;
-pub use stats::{LatencySummary, NetStats, ServiceStats, StageStats, WorkerStats};
+pub use stats::{LatencySummary, NetStats, ReactorStats, ServiceStats, StageStats, WorkerStats};
 // Re-exported telemetry primitives, so front-ends (the `widx-net`
 // server records the reply-write stage) need no direct `widx-obs`
 // dependency.
-pub use widx_obs::{AtomicHistogram, HistogramSnapshot, Stage, StageSnapshot, StageTimes};
+pub use widx_obs::{
+    AtomicHistogram, HistogramSnapshot, ReactorGauges, Stage, StageSnapshot, StageTimes,
+};

@@ -148,13 +148,30 @@ struct StreamState {
     ready: VecDeque<Vec<(u64, u64)>>,
     /// Entries the seam may still release before the limit.
     remaining: usize,
+    /// Recycled chunk buffers: consumed in place by
+    /// [`PendingStream::try_next_with`], handed back to the pushing
+    /// worker by [`ResponseState::push_chunk`] so the steady state of a
+    /// long scan allocates no fresh chunk `Vec`s at all.
+    spare: Vec<Vec<(u64, u64)>>,
 }
+
+/// Recycled chunk buffers retained per stream; beyond this they drop,
+/// so a burst of consumed chunks cannot pin memory on a quiet stream.
+const STREAM_SPARE_CAP: usize = 8;
 
 impl StreamState {
     /// Whether the stream can produce nothing further (the consumer
     /// sees `End` once `ready` drains).
     fn finished(&self, all_parts_done: bool) -> bool {
         all_parts_done || self.remaining == 0
+    }
+
+    /// Returns a consumed chunk's buffer to the spare pool (cleared).
+    fn recycle(&mut self, mut chunk: Vec<(u64, u64)>) {
+        if self.spare.len() < STREAM_SPARE_CAP {
+            chunk.clear();
+            self.spare.push(chunk);
+        }
     }
 }
 
@@ -228,6 +245,7 @@ impl ResponseState {
             ranks: (0..parts).map(|_| RankBuf::default()).collect(),
             ready: VecDeque::new(),
             remaining: limit,
+            spare: Vec::new(),
         });
         state
     }
@@ -278,9 +296,18 @@ impl ResponseState {
     /// yielded a chunk for scatter rank `rank`. Chunks for the head
     /// rank become consumable immediately; later ranks stash until the
     /// seam reaches them.
-    pub(crate) fn push_chunk(&self, rank: u32, chunk: Vec<(u64, u64)>) {
+    ///
+    /// Returns a recycled chunk buffer (cleared, capacity intact) when
+    /// the seam has one — the worker's next chunk for this stream can
+    /// reuse it instead of allocating. A chunk pushed after the limit
+    /// exhausted is handed straight back the same way.
+    pub(crate) fn push_chunk(
+        &self,
+        rank: u32,
+        mut chunk: Vec<(u64, u64)>,
+    ) -> Option<Vec<(u64, u64)>> {
         if chunk.is_empty() {
-            return;
+            return Some(chunk);
         }
         let mut inner = self.inner.lock().expect("pending lock");
         let stream = inner
@@ -288,9 +315,13 @@ impl ResponseState {
             .as_mut()
             .expect("chunk pushed to a buffered request");
         if stream.remaining == 0 {
-            return; // Limit already exhausted; the rest is discarded.
+            // Limit already exhausted; the entries are discarded but the
+            // buffer goes back to the worker for its next stream.
+            chunk.clear();
+            return Some(chunk);
         }
         stream.ranks[rank as usize].chunks.push_back(chunk);
+        let spare = stream.spare.pop();
         if Self::drain_released(stream) {
             self.ready.notify_all();
             let waker = inner.waker.clone();
@@ -299,6 +330,7 @@ impl ResponseState {
                 wake();
             }
         }
+        spare
     }
 
     /// Called by a range worker when a streaming scan's part for
@@ -523,6 +555,18 @@ pub enum StreamPoll {
     Pending,
 }
 
+/// What a zero-copy [`PendingStream::try_next_with`] poll observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamConsumed {
+    /// The sink was handed one chunk of this many entries; its buffer
+    /// was recycled into the seam's spare pool for the pushing worker.
+    Consumed(usize),
+    /// The stream is complete: every chunk has been taken. Terminal.
+    End,
+    /// No chunk consumable yet — poll again later (or install a waker).
+    Pending,
+}
+
 /// A handle to a chunk-streaming range scan: chunks become consumable
 /// *while shards are still scanning* — per-shard walkers push chunks as
 /// they yield, and the gather seam forwards them in merged key order
@@ -550,6 +594,35 @@ impl PendingStream {
             StreamPoll::End
         } else {
             StreamPoll::Pending
+        }
+    }
+
+    /// Non-blocking zero-copy poll: when a chunk is consumable, `sink`
+    /// is handed a borrow of it and the buffer is recycled into the
+    /// seam's spare pool — the path the net tier serializes chunks
+    /// straight out of, without the owned-`Vec` handoff of
+    /// [`try_next`](Self::try_next).
+    ///
+    /// `sink` runs under the seam lock: keep it short (serialize and
+    /// return) and never call back into this stream or its service from
+    /// inside it.
+    pub fn try_next_with<F: FnOnce(&[(u64, u64)])>(&mut self, sink: F) -> StreamConsumed {
+        let mut inner = self.state.inner.lock().expect("pending lock");
+        let done = inner.done;
+        let stream = inner
+            .stream
+            .as_mut()
+            .expect("stream handle over a buffered state");
+        if let Some(chunk) = stream.ready.pop_front() {
+            sink(&chunk);
+            let n = chunk.len();
+            stream.recycle(chunk);
+            return StreamConsumed::Consumed(n);
+        }
+        if stream.finished(done) {
+            StreamConsumed::End
+        } else {
+            StreamConsumed::Pending
         }
     }
 
@@ -818,6 +891,69 @@ mod tests {
         state.complete_part(&[], None);
         assert_eq!(wakes.load(Ordering::Relaxed), 1, "completion woke");
         assert!(pending.is_ready());
+    }
+
+    #[test]
+    fn in_place_poll_matches_owned_poll_and_recycles_buffers() {
+        let state = stream_state(2, usize::MAX);
+        let mut stream = PendingStream {
+            state: Arc::clone(&state),
+        };
+        assert_eq!(
+            stream.try_next_with(|_| panic!("nothing ready")),
+            StreamConsumed::Pending
+        );
+        // Nothing consumed yet, so no spare to hand back.
+        let first = vec![(1, 10), (2, 20)];
+        assert!(state.push_chunk(0, first).is_none());
+        let mut seen = Vec::new();
+        assert_eq!(
+            stream.try_next_with(|entries| seen.extend_from_slice(entries)),
+            StreamConsumed::Consumed(2)
+        );
+        assert_eq!(seen, vec![(1, 10), (2, 20)]);
+        // The consumed buffer was recycled: the next push gets it back,
+        // cleared but with its capacity intact.
+        let spare = state.push_chunk(0, vec![(3, 30)]).expect("recycled buffer");
+        assert!(spare.is_empty());
+        assert!(spare.capacity() >= 2);
+        seen.clear();
+        assert_eq!(
+            stream.try_next_with(|entries| seen.extend_from_slice(entries)),
+            StreamConsumed::Consumed(1)
+        );
+        assert_eq!(seen, vec![(3, 30)]);
+        assert_eq!(
+            stream.try_next_with(|_| panic!("pending")),
+            StreamConsumed::Pending
+        );
+        assert!(state.complete_stream_part(0, None).is_none());
+        assert!(state.complete_stream_part(1, None).is_some());
+        assert_eq!(
+            stream.try_next_with(|_| panic!("ended")),
+            StreamConsumed::End
+        );
+    }
+
+    #[test]
+    fn push_after_limit_hands_the_buffer_straight_back() {
+        let state = stream_state(1, 1);
+        let mut stream = PendingStream {
+            state: Arc::clone(&state),
+        };
+        assert!(state.push_chunk(0, vec![(1, 0), (2, 0)]).is_none());
+        assert_eq!(
+            stream.try_next_with(|e| assert_eq!(e, [(1, 0)])),
+            StreamConsumed::Consumed(1)
+        );
+        // Limit exhausted at the seam: the next push's entries are
+        // discarded but its allocation returns to the worker.
+        let back = state.push_chunk(0, vec![(3, 0)]).expect("buffer back");
+        assert!(back.is_empty() && back.capacity() >= 1);
+        assert_eq!(
+            stream.try_next_with(|_| panic!("ended")),
+            StreamConsumed::End
+        );
     }
 
     #[test]

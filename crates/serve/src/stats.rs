@@ -216,12 +216,24 @@ impl StageStats {
     }
 }
 
+/// One reactor's gauge pair, as snapshot into a [`NetStats`]. Each
+/// reactor thread of a multi-reactor `widx-net` server re-publishes its
+/// pair every event-loop pass; the totals in [`NetStats`] are the sums.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Connections currently pinned to this reactor.
+    pub open_connections: u64,
+    /// Bytes currently buffered for write across this reactor's
+    /// connections.
+    pub write_backlog_bytes: u64,
+}
+
 /// Counters for the network front-end tier (`widx-net`), when the
 /// service is exposed over a socket. The serving crate defines the
 /// shape so [`ServiceStats`] can carry it without depending on the
 /// network layer; the `widx-net` server fills it in and attaches it via
 /// [`ServiceStats::with_net`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Connections accepted over the server's lifetime.
     pub connections: u64,
@@ -234,19 +246,31 @@ pub struct NetStats {
     pub busy_rejects: u64,
     /// Frames that failed to decode (bad version/opcode/payload).
     pub decode_errors: u64,
-    /// Gauge: connections currently open (published by the event loop
-    /// each iteration, so a live scrape sees the current fleet).
+    /// Gauge: connections currently open across every reactor
+    /// (published by the event loops each iteration, so a live scrape
+    /// sees the current fleet).
     pub open_connections: u64,
     /// Gauge: bytes currently buffered for write across all open
     /// connections (reply backpressure).
     pub write_backlog_bytes: u64,
+    /// Per-reactor gauge breakdown, in reactor order — one entry per
+    /// event-loop thread. The two gauge totals above are the sums over
+    /// this vector. Empty when no server is attached.
+    pub reactors: Vec<ReactorStats>,
 }
 
 impl NetStats {
     /// Whether any traffic was observed at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        *self == NetStats::default()
+        self.connections == 0
+            && self.frames_in == 0
+            && self.frames_out == 0
+            && self.busy_rejects == 0
+            && self.decode_errors == 0
+            && self.open_connections == 0
+            && self.write_backlog_bytes == 0
+            && self.reactors.iter().all(|r| *r == ReactorStats::default())
     }
 }
 
@@ -390,7 +414,7 @@ impl ServiceStats {
         out.push_str(&format!(
             " \"net\": {{\"connections\": {}, \"frames_in\": {}, \"frames_out\": {}, \
              \"busy_rejects\": {}, \"decode_errors\": {}, \"open_connections\": {}, \
-             \"write_backlog_bytes\": {}}}}}",
+             \"write_backlog_bytes\": {}, \"reactors\": [",
             self.net.connections,
             self.net.frames_in,
             self.net.frames_out,
@@ -399,6 +423,16 @@ impl ServiceStats {
             self.net.open_connections,
             self.net.write_backlog_bytes
         ));
+        for (i, r) in self.net.reactors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                " {{\"reactor\": {}, \"open\": {}, \"backlog_bytes\": {}}}",
+                i, r.open_connections, r.write_backlog_bytes
+            ));
+        }
+        out.push_str("]}}");
         out
     }
 
@@ -524,6 +558,32 @@ impl ServiceStats {
                 .type_(name, "gauge")
                 .sample_u64(name, &[], value);
         }
+        if !self.net.reactors.is_empty() {
+            p.help(
+                "widx_net_reactor_open_connections",
+                "Connections pinned to each reactor.",
+            )
+            .type_("widx_net_reactor_open_connections", "gauge");
+            p.help(
+                "widx_net_reactor_write_backlog_bytes",
+                "Bytes buffered for write per reactor.",
+            )
+            .type_("widx_net_reactor_write_backlog_bytes", "gauge");
+            for (i, r) in self.net.reactors.iter().enumerate() {
+                let reactor = i.to_string();
+                let labels = [("reactor", reactor.as_str())];
+                p.sample_u64(
+                    "widx_net_reactor_open_connections",
+                    &labels,
+                    r.open_connections,
+                );
+                p.sample_u64(
+                    "widx_net_reactor_write_backlog_bytes",
+                    &labels,
+                    r.write_backlog_bytes,
+                );
+            }
+        }
         p.finish()
     }
 }
@@ -643,5 +703,56 @@ mod tests {
         assert!(prom.contains("# TYPE widx_request_latency_ns summary"));
         assert!(prom.contains("widx_stage_ns_count{stage=\"walk\"} 0"));
         assert!(prom.contains("widx_net_open_connections 0"));
+        assert!(
+            !prom.contains("widx_net_reactor_open_connections"),
+            "no per-reactor series without an attached server"
+        );
+    }
+
+    #[test]
+    fn per_reactor_gauges_render_in_json_and_prometheus() {
+        let stats = ServiceStats {
+            workers: vec![],
+            range_workers: vec![],
+            latency: LatencySummary::default(),
+            stages: StageStats::default(),
+            net: NetStats {
+                connections: 3,
+                open_connections: 3,
+                write_backlog_bytes: 700,
+                reactors: vec![
+                    ReactorStats {
+                        open_connections: 2,
+                        write_backlog_bytes: 512,
+                    },
+                    ReactorStats {
+                        open_connections: 1,
+                        write_backlog_bytes: 188,
+                    },
+                ],
+                ..NetStats::default()
+            },
+            wall: Duration::from_secs(1),
+        };
+        let json = stats.to_json();
+        // The *total* stays the first "open_connections" occurrence, so
+        // existing scrapers keep reading it.
+        assert_eq!(widx_obs::json::find_u64(&json, "open_connections"), Some(3));
+        assert!(
+            json.contains("\"reactors\": [ {\"reactor\": 0, \"open\": 2, \"backlog_bytes\": 512}")
+        );
+        assert!(json.contains("{\"reactor\": 1, \"open\": 1, \"backlog_bytes\": 188}"));
+
+        let prom = stats.render_prometheus();
+        assert!(prom.contains("widx_net_open_connections 3"));
+        assert!(prom.contains("widx_net_reactor_open_connections{reactor=\"0\"} 2"));
+        assert!(prom.contains("widx_net_reactor_write_backlog_bytes{reactor=\"1\"} 188"));
+
+        assert!(!stats.net.is_empty());
+        let idle = NetStats {
+            reactors: vec![ReactorStats::default(); 4],
+            ..NetStats::default()
+        };
+        assert!(idle.is_empty(), "zeroed reactors still count as no traffic");
     }
 }

@@ -102,7 +102,12 @@ fn attribute_scan(
         let buf = &mut chunks[tag as usize];
         buf.push((key, payload));
         if buf.len() >= chunk_size {
-            job.reply.push_chunk(rank, std::mem::take(buf));
+            // The seam hands back a consumed chunk's buffer when it has
+            // one: a long scan settles into a closed loop of recycled
+            // allocations instead of one fresh `Vec` per chunk.
+            if let Some(spare) = job.reply.push_chunk(rank, std::mem::take(buf)) {
+                *buf = spare;
+            }
         }
     } else {
         job.items.push((rank, key, payload));
@@ -403,7 +408,7 @@ fn run_range_batch(
             let (open_idx, rank) = meta[tag];
             let job = &open[open_idx as usize];
             debug_assert!(job.streaming, "tail chunk on a buffered part");
-            job.reply.push_chunk(rank, std::mem::take(buf));
+            let _ = job.reply.push_chunk(rank, std::mem::take(buf));
         }
     }
     cell.add_batch(meta.len() as u64, flush_kind(reason));
