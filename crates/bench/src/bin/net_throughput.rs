@@ -31,10 +31,18 @@
 //! per reactor count, and the idle phase spreads its idle population
 //! across the largest count — the front-end sharding axis.
 //!
+//! With `--trace-sample N`, every sweep point arms per-request tracing
+//! (head-sample 1-in-N into the serve tier's flight recorder) and the
+//! per-run trace counts land in the JSON. `--trace-ab` appends an A/B
+//! smoke after the sweep: the same cell once with tracing off and once
+//! armed, asserting the unarmed run records nothing, the armed run
+//! records traces, and printing the throughput delta — the number that
+//! keeps the tracing seam honest about its hot-path cost.
+//!
 //! Usage: `net_throughput [--requests N] [--entries N] [--span N]
 //! [--scan-share F] [--theta T] [--reactors A,B,..] [--idle-conns N]
-//! [--idle-window-ms N] [--scrape-ms N] [--seed-baseline PATH]
-//! [--json PATH] [--smoke]`.
+//! [--idle-window-ms N] [--scrape-ms N] [--trace-sample N] [--trace-ab]
+//! [--seed-baseline PATH] [--json PATH] [--smoke]`.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +67,8 @@ struct Args {
     idle_conns: usize,
     idle_window_ms: u64,
     scrape_ms: Option<u64>,
+    trace_sample: u64,
+    trace_ab: bool,
     seed_baseline: Option<String>,
     json: Option<String>,
 }
@@ -74,6 +84,8 @@ fn parse_args() -> Args {
         idle_conns: 256,
         idle_window_ms: 500,
         scrape_ms: None,
+        trace_sample: 0,
+        trace_ab: false,
         seed_baseline: None,
         json: None,
     };
@@ -99,6 +111,8 @@ fn parse_args() -> Args {
             "--idle-conns" => args.idle_conns = value().parse().expect("--idle-conns"),
             "--idle-window-ms" => args.idle_window_ms = value().parse().expect("--idle-window-ms"),
             "--scrape-ms" => args.scrape_ms = Some(value().parse().expect("--scrape-ms")),
+            "--trace-sample" => args.trace_sample = value().parse().expect("--trace-sample"),
+            "--trace-ab" => args.trace_ab = true,
             "--seed-baseline" => args.seed_baseline = Some(value()),
             "--json" => args.json = Some(value()),
             // Quick CI tier: small workload, the sweep shape unchanged.
@@ -127,6 +141,8 @@ struct Run {
     /// `Stats`-opcode scrapes taken over the wire while the run was hot
     /// (0 without `--scrape-ms`).
     scrapes: u64,
+    /// Flight-recorder commits over the run (0 with tracing unarmed).
+    traces_recorded: u64,
 }
 
 /// The per-client mixed workload: mostly Zipfian lookups, a slice of
@@ -170,8 +186,12 @@ fn run_once(
     reactors: usize,
     clients: usize,
     depth: usize,
+    trace_sample: u64,
 ) -> Run {
-    let config = ServeConfig::default().with_shards(4).with_inflight(8);
+    let mut config = ServeConfig::default().with_shards(4).with_inflight(8);
+    if trace_sample > 0 {
+        config = config.with_trace_sample(trace_sample);
+    }
     let service = Arc::new(ProbeService::build_with_range(
         HashRecipe::robust64(),
         pairs.iter().copied(),
@@ -270,12 +290,10 @@ fn run_once(
     let wall = started.elapsed();
 
     let net = server.shutdown();
-    drop(
-        Arc::try_unwrap(service)
-            .ok()
-            .expect("sole owner")
-            .shutdown(),
-    );
+    let final_stats = Arc::try_unwrap(service)
+        .ok()
+        .expect("sole owner")
+        .shutdown();
     Run {
         reactors,
         clients,
@@ -286,6 +304,7 @@ fn run_once(
         net,
         busy_replies,
         scrapes,
+        traces_recorded: final_stats.trace.recorded,
     }
 }
 
@@ -427,6 +446,44 @@ fn run_idle_phase(pairs: &[(u64, u64)], args: &Args, reactors: usize) -> IdleRun
     }
 }
 
+/// The `--trace-ab` smoke's results: one sweep cell with tracing off,
+/// the same cell armed.
+struct TraceAb {
+    sample: u64,
+    off_reqs_per_sec: f64,
+    on_reqs_per_sec: f64,
+    delta_pct: f64,
+    recorded: u64,
+}
+
+/// One cell (2 clients × depth 8) run twice — tracing unarmed, then
+/// head-sampled — to smoke-check that an unarmed server records
+/// nothing, an armed one records, and the cost stays in the noise.
+fn run_trace_ab(pairs: &[(u64, u64)], args: &Args) -> TraceAb {
+    let sample = if args.trace_sample > 0 {
+        args.trace_sample
+    } else {
+        16
+    };
+    let off = run_once(pairs, args, 1, 2, 8, 0);
+    let on = run_once(pairs, args, 1, 2, 8, sample);
+    assert_eq!(
+        off.traces_recorded, 0,
+        "unarmed run committed traces to the recorder"
+    );
+    assert!(
+        on.traces_recorded > 0,
+        "armed run (1-in-{sample}) recorded nothing"
+    );
+    TraceAb {
+        sample,
+        off_reqs_per_sec: off.reqs_per_sec,
+        on_reqs_per_sec: on.reqs_per_sec,
+        delta_pct: (on.reqs_per_sec - off.reqs_per_sec) / off.reqs_per_sec * 100.0,
+        recorded: on.traces_recorded,
+    }
+}
+
 /// Seed-vs-instrumented throughput comparison computed from a previous
 /// `BENCH_net.json` (`--seed-baseline`).
 struct Overhead {
@@ -454,7 +511,13 @@ fn telemetry_overhead(path: &str, runs: &[Run]) -> Option<Overhead> {
     })
 }
 
-fn render_json(args: &Args, runs: &[Run], idle: &IdleRun, overhead: Option<&Overhead>) -> String {
+fn render_json(
+    args: &Args,
+    runs: &[Run],
+    idle: &IdleRun,
+    overhead: Option<&Overhead>,
+    trace_ab: Option<&TraceAb>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"net_throughput\",");
@@ -464,6 +527,7 @@ fn render_json(args: &Args, runs: &[Run], idle: &IdleRun, overhead: Option<&Over
     let _ = writeln!(out, "  \"span\": {},", args.span);
     let _ = writeln!(out, "  \"scan_share\": {},", args.scan_share);
     let _ = writeln!(out, "  \"theta\": {},", args.theta);
+    let _ = writeln!(out, "  \"trace_sample\": {},", args.trace_sample);
     let reactors: Vec<String> = args.reactors.iter().map(usize::to_string).collect();
     let _ = writeln!(out, "  \"reactors_sweep\": [{}],", reactors.join(", "));
     // Reactor scaling is meaningless without knowing how many cores the
@@ -480,14 +544,16 @@ fn render_json(args: &Args, runs: &[Run], idle: &IdleRun, overhead: Option<&Over
         let _ = write!(
             out,
             "\"reactors\": {}, \"clients\": {}, \"depth\": {}, \"wall_ms\": {:.3}, \
-             \"reqs_per_sec\": {:.0}, \"busy_replies\": {}, \"live_scrapes\": {}, ",
+             \"reqs_per_sec\": {:.0}, \"busy_replies\": {}, \"live_scrapes\": {}, \
+             \"traces_recorded\": {}, ",
             run.reactors,
             run.clients,
             run.depth,
             run.wall_ms,
             run.reqs_per_sec,
             run.busy_replies,
-            run.scrapes
+            run.scrapes,
+            run.traces_recorded
         );
         let _ = write!(
             out,
@@ -543,6 +609,18 @@ fn render_json(args: &Args, runs: &[Run], idle: &IdleRun, overhead: Option<&Over
         );
         out.push('}');
     }
+    if let Some(ab) = trace_ab {
+        // Distinct key names from the sweep rows, so baseline-comparison
+        // scans over "reqs_per_sec" never pick up the A/B cells.
+        out.push_str(",\n  \"trace_ab\": {");
+        let _ = write!(
+            out,
+            "\"sample\": {}, \"off_rps\": {:.0}, \"on_rps\": {:.0}, \
+             \"delta_pct\": {:.2}, \"recorded\": {}",
+            ab.sample, ab.off_reqs_per_sec, ab.on_reqs_per_sec, ab.delta_pct, ab.recorded
+        );
+        out.push('}');
+    }
     out.push_str("\n}\n");
     out
 }
@@ -586,7 +664,7 @@ fn main() {
     for &reactors in &args.reactors {
         for &clients in &client_sweep {
             for &depth in &depth_sweep {
-                let run = run_once(&pairs, &args, reactors, clients, depth);
+                let run = run_once(&pairs, &args, reactors, clients, depth, args.trace_sample);
                 t.row(&[
                     run.reactors.to_string(),
                     run.clients.to_string(),
@@ -626,6 +704,26 @@ fn main() {
             o.seed_reqs_per_sec, o.instrumented_reqs_per_sec, o.delta_pct
         );
     }
+    if args.trace_sample > 0 {
+        let total: u64 = runs.iter().map(|r| r.traces_recorded).sum();
+        println!(
+            "(per-request tracing armed at 1-in-{}: {total} traces committed across the sweep)",
+            args.trace_sample
+        );
+    }
+    let trace_ab = args.trace_ab.then(|| {
+        let ab = run_trace_ab(&pairs, &args);
+        println!(
+            "\n== trace A/B smoke: 2 clients × depth 8, tracing off vs. 1-in-{} ==\n",
+            ab.sample
+        );
+        println!(
+            "off: {:.0} reqs/s; armed: {:.0} reqs/s ({:+.2}%); {} traces recorded, \
+             0 with tracing off",
+            ab.off_reqs_per_sec, ab.on_reqs_per_sec, ab.delta_pct, ab.recorded
+        );
+        ab
+    });
 
     // The idle population spreads across the largest configured reactor
     // count: zero-load CPU must stay ~zero per *reactor*, not just in
@@ -671,7 +769,7 @@ fn main() {
     }
 
     if let Some(path) = &args.json {
-        let json = render_json(&args, &runs, &idle, overhead.as_ref());
+        let json = render_json(&args, &runs, &idle, overhead.as_ref(), trace_ab.as_ref());
         std::fs::write(path, json).expect("write json");
         println!("\nwrote {path}");
     }

@@ -360,7 +360,7 @@ impl WidxClient {
                         self.streams.remove(&id);
                     }
                 }
-                Ok(Reply::Response(_) | Reply::Stats { .. }) => {
+                Ok(Reply::Response(_) | Reply::Stats { .. } | Reply::Trace { .. }) => {
                     // A buffered reply on a stream id: protocol
                     // violation; fault the stream rather than lose sync.
                     slot.fault = Some(StreamFault::Remote(ErrorReply::new(
@@ -383,10 +383,16 @@ impl WidxClient {
         match reply {
             Ok(Reply::Response(response)) => Some((id, Ok(response))),
             // Stream frames for an id we never opened (or already
-            // forgot), and stats snapshots nobody is waiting on
-            // ([`stats_json`](WidxClient::stats_json) reaps its own):
+            // forgot), and stats/trace snapshots nobody is waiting on
+            // ([`stats_json`](WidxClient::stats_json) and
+            // [`traces_json`](WidxClient::traces_json) reap their own):
             // dropping them keeps the connection usable.
-            Ok(Reply::RangeChunk(_) | Reply::RangeEnd { .. } | Reply::Stats { .. }) => None,
+            Ok(
+                Reply::RangeChunk(_)
+                | Reply::RangeEnd { .. }
+                | Reply::Stats { .. }
+                | Reply::Trace { .. },
+            ) => None,
             Err(error) => Some((id, Err(error))),
         }
     }
@@ -569,6 +575,41 @@ impl WidxClient {
             return match reply {
                 Ok(Reply::Stats { json }) => Ok(json),
                 Ok(_) => Err(protocol_violation("mismatched reply variant for Stats")),
+                Err(error) => Err(ClientError::Remote(error)),
+            };
+        }
+    }
+
+    /// Scrapes the server's flight recorder: sends one `Trace` frame
+    /// and blocks for the JSON document of recorded per-request traces
+    /// (answered inline from the event loop, like
+    /// [`stats_json`](WidxClient::stats_json)). The scrape is
+    /// non-destructive — the ring keeps its traces until newer ones
+    /// evict them. Replies to other pipelined ids arriving meanwhile
+    /// are stashed for their own `recv` calls.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] when the server answered with an error
+    /// frame — an `Unsupported` code means a pre-tracing server;
+    /// [`ClientError::Io`] on connection failure or a non-trace reply
+    /// on this id.
+    pub fn traces_json(&mut self) -> Result<String, ClientError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        wire::encode_trace_request(&mut self.ebuf, id);
+        self.dispatch_encoded()?;
+        loop {
+            let (got, reply) = self.read_frame()?;
+            if got != id {
+                if let Some(stashed) = self.route_frame((got, reply)) {
+                    self.stash.push_back(stashed);
+                }
+                continue;
+            }
+            return match reply {
+                Ok(Reply::Trace { json }) => Ok(json),
+                Ok(_) => Err(protocol_violation("mismatched reply variant for Trace")),
                 Err(error) => Err(ClientError::Remote(error)),
             };
         }

@@ -46,8 +46,8 @@ use std::time::{Duration, Instant};
 
 use poller::{Event, Poller};
 use widx_serve::{
-    NetStats, PendingResponse, PendingStream, ProbeService, ReactorGauges, ReactorStats, Stage,
-    StageTimes, StreamConsumed, SubmitError,
+    NetStats, NetTraceCtx, PendingResponse, PendingStream, ProbeService, ReactorGauges,
+    ReactorStats, Stage, StageTimes, StreamConsumed, SubmitError, TraceFinisher,
 };
 
 use crate::wire::{self, Decoded, ErrorCode, ErrorReply, WireRequest};
@@ -429,12 +429,17 @@ struct Connection {
     /// Total bytes ever flushed on this socket (the coordinate system
     /// for `wmarks`, immune to the write buffer recycling segments).
     flushed_total: u64,
-    /// Reply-write marks: `(offset, encoded_at)` pairs meaning "the
-    /// frame encoded at `encoded_at` is fully on the socket once
+    /// Reply-write marks: `(offset, encoded_at, trace)` entries meaning
+    /// "the frame encoded at `encoded_at` is fully on the socket once
     /// `flushed_total` reaches `offset`". Popped in flush order —
     /// offsets are pushed non-decreasing, so the front is always the
-    /// next to complete.
-    wmarks: VecDeque<(u64, Instant)>,
+    /// next to complete. A mark may carry the request's deferred trace,
+    /// which the flush closes (reply-write span) and commits to the
+    /// flight recorder.
+    wmarks: VecDeque<(u64, Instant, Option<TraceFinisher>)>,
+    /// The index of the reactor this connection is pinned to, recorded
+    /// into sampled request traces.
+    rix: u32,
 }
 
 /// Cap on queued reply-write marks per connection: past this, new
@@ -449,7 +454,12 @@ const MAX_WMARKS: usize = 1024;
 const RBUF_COMPACT: usize = 32 << 10;
 
 impl Connection {
-    fn new(stream: TcpStream, poller: Arc<Poller>, stages: Arc<StageTimes>) -> Connection {
+    fn new(
+        stream: TcpStream,
+        poller: Arc<Poller>,
+        stages: Arc<StageTimes>,
+        rix: u32,
+    ) -> Connection {
         Connection {
             stream,
             rbuf: Vec::new(),
@@ -469,17 +479,25 @@ impl Connection {
             stages,
             flushed_total: 0,
             wmarks: VecDeque::new(),
+            rix,
         }
     }
 
     /// Records a reply-write mark for the frame(s) just encoded: the
     /// stage completes when every byte currently buffered has flushed.
-    fn mark_reply_written(&mut self) {
+    /// A deferred request trace rides the mark so the flush can close
+    /// it with the frame's true on-socket time; past the mark cap the
+    /// frame goes unmeasured and the trace commits without a
+    /// reply-write span rather than being lost.
+    fn mark_reply_written(&mut self, trace: Option<TraceFinisher>) {
         if self.wmarks.len() < MAX_WMARKS {
             self.wmarks.push_back((
                 self.flushed_total + self.write_backlog() as u64,
                 Instant::now(),
+                trace,
             ));
+        } else if let Some(trace) = trace {
+            trace.commit();
         }
     }
 
@@ -586,7 +604,18 @@ impl Connection {
                         self.wbuf
                             .encode_with(|b| wire::encode_stats_reply(b, id, &stats.to_json()));
                         counters.frames_out.fetch_add(1, Ordering::Relaxed);
-                        self.mark_reply_written();
+                        self.mark_reply_written(None);
+                        continue;
+                    }
+                    if matches!(value, WireRequest::Trace) {
+                        // Same inline contract as Stats: the flight
+                        // recorder is there to observe the queues, so a
+                        // scrape never waits behind them.
+                        let json = service.traces_json();
+                        self.wbuf
+                            .encode_with(|b| wire::encode_trace_reply(b, id, &json));
+                        counters.frames_out.fetch_add(1, Ordering::Relaxed);
+                        self.mark_reply_written(None);
                         continue;
                     }
                     if self.inflight() >= config.max_inflight_per_conn {
@@ -599,25 +628,40 @@ impl Connection {
                         continue;
                     }
                     let waker = self.waker();
+                    // When tracing is armed, anchor the trace timeline
+                    // at frame-decode time and tag the owning reactor;
+                    // the service decides (head sample or tail slow
+                    // threshold) whether the request actually records.
+                    let net_ctx = service.tracing_armed().then(|| NetTraceCtx {
+                        reactor: self.rix,
+                        id,
+                        decoded_at: Instant::now(),
+                    });
                     let submitted = match value {
-                        WireRequest::Plain(request) => service.try_submit(request).map(|pending| {
-                            pending.set_waker(waker);
-                            self.pending.push((id, pending));
-                        }),
+                        WireRequest::Plain(request) => {
+                            service.try_submit_traced(request, net_ctx).map(|pending| {
+                                pending.set_waker(waker);
+                                self.pending.push((id, pending));
+                            })
+                        }
                         WireRequest::Stream {
                             lo,
                             hi,
                             limit,
                             desc,
-                        } => service.try_range_stream(lo, hi, limit, desc).map(|stream| {
-                            stream.set_waker(waker);
-                            self.streams.push(OpenStream {
-                                id,
-                                stream,
-                                entries: 0,
-                            });
-                        }),
-                        WireRequest::Stats => unreachable!("answered before the in-flight cap"),
+                        } => service
+                            .try_range_stream_traced(lo, hi, limit, desc, net_ctx)
+                            .map(|stream| {
+                                stream.set_waker(waker);
+                                self.streams.push(OpenStream {
+                                    id,
+                                    stream,
+                                    entries: 0,
+                                });
+                            }),
+                        WireRequest::Stats | WireRequest::Trace => {
+                            unreachable!("answered before the in-flight cap")
+                        }
                     };
                     match submitted {
                         Ok(()) => {}
@@ -732,14 +776,24 @@ impl Connection {
             }
             if self.pending[i].1.is_ready() {
                 let (id, pending) = self.pending.swap_remove(i);
+                // A deferred trace detaches here, before `wait` consumes
+                // the handle, and rides the reply-write mark to its
+                // commit at flush time.
+                let trace = pending.take_trace();
                 // `wait` cannot block: readiness was just observed.
                 let response = pending.wait();
                 if wire::response_fits(&response) {
                     self.wbuf
                         .encode_with(|b| wire::encode_response(b, id, &response));
                     counters.frames_out.fetch_add(1, Ordering::Relaxed);
-                    self.mark_reply_written();
+                    self.mark_reply_written(trace);
                 } else {
+                    // The trace still commits — an oversized reply is
+                    // exactly the kind of request worth a flight-recorder
+                    // entry — just without a reply-write span.
+                    if let Some(trace) = trace {
+                        trace.commit();
+                    }
                     // A legal request (e.g. an unbounded RangeScan) can
                     // complete with more entries than any frame may
                     // carry — answer TooLarge rather than letting the
@@ -815,8 +869,10 @@ impl Connection {
             }
             if finished {
                 // The stream's reply-write stage spans its final frame:
-                // one mark at the `RangeEnd`, not one per chunk.
-                self.mark_reply_written();
+                // one mark at the `RangeEnd`, not one per chunk. The
+                // trace (if any) rides the same mark.
+                let trace = self.streams[i].stream.take_trace();
+                self.mark_reply_written(trace);
                 self.streams.swap_remove(i);
             } else {
                 i += 1;
@@ -835,12 +891,17 @@ impl Connection {
             self.dead = true;
         }
         self.flushed_total += flushed as u64;
-        while let Some(&(offset, encoded_at)) = self.wmarks.front() {
-            if offset > self.flushed_total {
-                break;
-            }
+        while self
+            .wmarks
+            .front()
+            .is_some_and(|mark| mark.0 <= self.flushed_total)
+        {
+            let (_, encoded_at, trace) = self.wmarks.pop_front().expect("front just checked");
             self.stages.record(Stage::ReplyWrite, encoded_at.elapsed());
-            self.wmarks.pop_front();
+            if let Some(mut trace) = trace {
+                trace.note_reply_write(encoded_at);
+                trace.commit();
+            }
         }
         if flushed > 0 && self.wbuf.backlog() == 0 {
             self.shrink_after_drain();
@@ -1308,7 +1369,7 @@ fn run_reactor(
                     slots.len() - 1
                 }
             };
-            let conn = Connection::new(stream, Arc::clone(poller), Arc::clone(&stages));
+            let conn = Connection::new(stream, Arc::clone(poller), Arc::clone(&stages), rix as u32);
             if poller
                 .add(&conn.stream, Event::readable(slot + CONN_KEY_BASE))
                 .is_err()
@@ -1562,7 +1623,7 @@ mod tests {
         let (server, client) = sock_pair();
         server.set_nonblocking(true).expect("nonblocking");
         let poller = Arc::new(Poller::with_backend("timeout").expect("poller"));
-        let mut conn = Connection::new(server, poller, Arc::new(StageTimes::new()));
+        let mut conn = Connection::new(server, poller, Arc::new(StageTimes::new()), 0);
         // Simulate a large decoded request having passed through rbuf.
         conn.rbuf = vec![0u8; 3 << 20];
         conn.rbuf.clear();
@@ -1570,7 +1631,7 @@ mod tests {
         // A burst of reply bytes far over the cap.
         let payload = vec![0x5Au8; 4 << 20];
         conn.wbuf.encode_with(|b| b.extend_from_slice(&payload));
-        conn.mark_reply_written();
+        conn.mark_reply_written(None);
         let reader = std::thread::spawn(move || {
             let mut stream = client;
             let mut sink = [0u8; 64 << 10];

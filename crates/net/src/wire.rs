@@ -68,6 +68,12 @@ const OP_RANGE_STREAM: u8 = 0x06;
 /// version bump: a pre-telemetry server answers `Unsupported` and the
 /// connection survives.
 const OP_STATS: u8 = 0x07;
+/// A flight-recorder scrape (empty payload): answered immediately from
+/// the event loop with one [`OP_R_TRACE`] frame carrying the recorder's
+/// gauges plus its recent request traces as JSON. Rule-4 opcode
+/// extension like [`OP_STATS`]: a pre-tracing server answers
+/// `Unsupported` and the connection survives.
+const OP_TRACE: u8 = 0x08;
 
 /// Reply opcodes (high bit set) mirror their requests; `0xEE` is the
 /// error frame.
@@ -81,6 +87,9 @@ const OP_R_RANGE_CHUNK: u8 = 0x85;
 const OP_R_RANGE_END: u8 = 0x86;
 /// A stats snapshot: the payload is the remaining body, UTF-8 JSON.
 const OP_R_STATS: u8 = 0x87;
+/// A flight-recorder snapshot: the payload is the remaining body,
+/// UTF-8 JSON (`FlightRecorder::to_json`).
+const OP_R_TRACE: u8 = 0x88;
 const OP_R_ERROR: u8 = 0xEE;
 
 /// Scan-flag bits carried by [`OP_RANGE_SCAN2`] / [`OP_RANGE_STREAM`]
@@ -166,6 +175,9 @@ pub enum WireRequest {
     /// A live-telemetry scrape ([`OP_STATS`]): answered from the event
     /// loop itself, never submitted to a shard queue.
     Stats,
+    /// A flight-recorder scrape ([`OP_TRACE`]): answered from the event
+    /// loop itself, never submitted to a shard queue.
+    Trace,
 }
 
 /// A decoded reply frame, as the client sees it: a buffered response,
@@ -187,6 +199,12 @@ pub enum Reply {
     Stats {
         /// The stats document, as the server rendered it
         /// (`ServiceStats::to_json`).
+        json: String,
+    },
+    /// A flight-recorder snapshot answering [`OP_TRACE`].
+    Trace {
+        /// The recorder document — gauges plus recent traces, newest
+        /// first (`FlightRecorder::to_json`).
         json: String,
     },
 }
@@ -412,6 +430,22 @@ pub fn encode_stats_reply(buf: &mut Vec<u8>, id: u64, json: &str) {
     let body = json.as_bytes();
     let body = &body[..body.len().min(MAX_BODY_LEN - HEADER_LEN)];
     frame(buf, OP_R_STATS, id, |b| b.extend_from_slice(body));
+}
+
+/// Encodes one flight-recorder scrape request frame onto `buf` — the
+/// client side of [`OP_TRACE`]. The payload is empty; the reply carries
+/// the JSON.
+pub fn encode_trace_request(buf: &mut Vec<u8>, id: u64) {
+    frame(buf, OP_TRACE, id, |_| {});
+}
+
+/// Encodes one flight-recorder reply frame onto `buf`. Like the stats
+/// reply, the JSON is truncated at the frame cap rather than panicking
+/// the event loop (unreachable with default recorder capacities).
+pub fn encode_trace_reply(buf: &mut Vec<u8>, id: u64, json: &str) {
+    let body = json.as_bytes();
+    let body = &body[..body.len().min(MAX_BODY_LEN - HEADER_LEN)];
+    frame(buf, OP_R_TRACE, id, |b| b.extend_from_slice(body));
 }
 
 /// Encodes one stream-chunk reply frame onto `buf`.
@@ -674,6 +708,7 @@ fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<WireRequest, Dec
             }
         }
         OP_STATS => WireRequest::Stats,
+        OP_TRACE => WireRequest::Trace,
         other => return Err(DecodeError::Opcode(other)),
     };
     c.finish()?;
@@ -702,6 +737,10 @@ fn decode_reply_payload(
         OP_R_STATS => Ok(Reply::Stats {
             json: String::from_utf8(c.rest().to_vec())
                 .map_err(|_| DecodeError::Payload("stats payload is not UTF-8"))?,
+        }),
+        OP_R_TRACE => Ok(Reply::Trace {
+            json: String::from_utf8(c.rest().to_vec())
+                .map_err(|_| DecodeError::Payload("trace payload is not UTF-8"))?,
         }),
         OP_R_ERROR => {
             let code = ErrorCode::from_u8(c.u8()?);
@@ -1012,6 +1051,64 @@ mod tests {
             Decoded::Corrupt { id, error, .. } => {
                 assert_eq!(id, 23);
                 assert_eq!(error, DecodeError::Payload("stats payload is not UTF-8"));
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_frames_roundtrip() {
+        // Request: empty payload under the rule-4 0x08 opcode.
+        let mut buf = Vec::new();
+        encode_trace_request(&mut buf, 31);
+        assert_eq!(buf[5], OP_TRACE);
+        assert_eq!(buf.len(), 4 + HEADER_LEN, "empty payload");
+        match decode_request(&buf).unwrap() {
+            Decoded::Frame {
+                consumed,
+                id,
+                value,
+            } => {
+                assert_eq!((consumed, id), (buf.len(), 31));
+                assert_eq!(value, WireRequest::Trace);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+        // A trace request with trailing bytes is malformed, not ignored.
+        let mut buf = Vec::new();
+        frame(&mut buf, OP_TRACE, 32, |b| b.push(1));
+        match decode_request(&buf).unwrap() {
+            Decoded::Corrupt { error, .. } => {
+                assert_eq!(error, DecodeError::Payload("trailing bytes in payload"));
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        // Reply: the body is the JSON, verbatim.
+        let json = r#"{"capacity":256,"depth":1,"traces":[{"id":9,"kind":"lookup"}]}"#;
+        let mut buf = Vec::new();
+        encode_trace_reply(&mut buf, 31, json);
+        assert_eq!(buf[5], OP_R_TRACE);
+        match decode_reply(&buf).unwrap() {
+            Decoded::Frame { id, value, .. } => {
+                assert_eq!(id, 31);
+                assert_eq!(
+                    value,
+                    Ok(Reply::Trace {
+                        json: json.to_string(),
+                    })
+                );
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+        // Non-UTF-8 trace bodies are corrupt but resynchronizable.
+        let mut buf = Vec::new();
+        frame(&mut buf, OP_R_TRACE, 33, |b| {
+            b.extend_from_slice(&[0xFF, 0xFE])
+        });
+        match decode_reply(&buf).unwrap() {
+            Decoded::Corrupt { id, error, .. } => {
+                assert_eq!(id, 33);
+                assert_eq!(error, DecodeError::Payload("trace payload is not UTF-8"));
             }
             other => panic!("expected corrupt, got {other:?}"),
         }

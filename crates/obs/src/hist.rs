@@ -288,6 +288,56 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_on_empty_histogram_are_zero() {
+        let s = AtomicHistogram::new().snapshot();
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(s.quantile(q), 0, "empty q{q}");
+        }
+    }
+
+    #[test]
+    fn percentiles_with_single_bucket_mass_report_that_bucket() {
+        // All mass in one bucket: every percentile must land inside it.
+        let h = AtomicHistogram::new();
+        for _ in 0..10_000 {
+            h.record(1_500); // bucket 10: [1024, 2048)
+        }
+        let s = h.snapshot();
+        for q in [0.5, 0.99, 0.999] {
+            let v = s.quantile(q);
+            assert_eq!(v, 1_500, "single-bucket q{q} clamps to the exact sample");
+            assert!(v >= s.min() && v <= s.max());
+        }
+    }
+
+    #[test]
+    fn percentiles_with_saturated_top_bucket_do_not_panic_or_overflow() {
+        // Bucket 63 absorbs everything >= 2^63; its ceil is u64::MAX.
+        let h = AtomicHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 63);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        for q in [0.5, 0.99, 0.999] {
+            let v = s.quantile(q);
+            assert!(v >= 1u64 << 63, "saturated q{q} stays in the top bucket");
+        }
+        assert_eq!(s.max(), u64::MAX);
+        // Mixed: a low-bucket majority with a saturated tail keeps p50 low
+        // and pushes p999 to the top without panicking.
+        let h = AtomicHistogram::new();
+        for _ in 0..999 {
+            h.record(100);
+        }
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert!(s.quantile(0.5) < 1_000);
+        assert!(s.quantile(0.999) < 1_000); // rank 999 of 1000 is still the low bucket
+        assert_eq!(s.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
     fn merge_is_commutative_and_preserves_totals() {
         let a = {
             let h = AtomicHistogram::new();

@@ -55,6 +55,25 @@ pub fn find_u64(json: &str, key: &str) -> Option<u64> {
     }
 }
 
+/// Find the first string value of `"key"` in `json`.
+///
+/// Returns the raw contents between the quotes — escapes are not
+/// decoded, which is fine for the identifier-shaped strings (request
+/// kinds, stage names) the telemetry documents carry.
+pub fn find_str(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let rest = json[at + needle.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    while end < bytes.len() && bytes[end] != b'"' {
+        end += if bytes[end] == b'\\' { 2 } else { 1 };
+    }
+    (end <= bytes.len()).then(|| rest[..end.min(bytes.len())].to_string())
+}
+
 /// Find every numeric value of `"key"` in `json`, in document order.
 pub fn find_all_f64(json: &str, key: &str) -> Vec<f64> {
     let mut out = Vec::new();
@@ -87,6 +106,15 @@ mod tests {
         assert_eq!(find_u64(doc, "neg"), None);
         assert_eq!(find_f64(doc, "missing"), None);
         assert_eq!(find_all_f64(doc, "keys"), vec![120.0, 7.0]);
+    }
+
+    #[test]
+    fn find_str_scans_string_fields() {
+        let doc = r#"{"kind": "range_scan", "label": "a\"b", "n": 3}"#;
+        assert_eq!(find_str(doc, "kind"), Some("range_scan".to_string()));
+        assert_eq!(find_str(doc, "label"), Some("a\\\"b".to_string()));
+        assert_eq!(find_str(doc, "n"), None);
+        assert_eq!(find_str(doc, "missing"), None);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   re-publishes every event-loop pass (connections owned, unflushed
 //!   reply bytes), stored contiguously without false sharing.
 //! - [`PromText`]: Prometheus text-exposition builder.
+//! - [`FlightRecorder`] / [`RequestTrace`]: the per-request trace seam — a
+//!   bounded ring of completed traces (spans per stage plus walker-level
+//!   [`WalkCounters`]) filled by head sampling and a tail slow-threshold.
 //! - [`json`]: tiny escape/extract helpers for the JSON stats payload.
 //!
 //! Everything here is plain `std` atomics — no locks on any record path,
@@ -29,11 +32,15 @@ mod hist;
 pub mod json;
 mod prom;
 mod stage;
+mod trace;
 
 pub use cell::{FlushKind, WorkerCell, WorkerCellSnapshot};
 pub use gauge::ReactorGauges;
 pub use hist::{
     bucket_ceil, bucket_floor, bucket_of, AtomicHistogram, HistogramSnapshot, HIST_BUCKETS,
 };
-pub use prom::PromText;
+pub use prom::{lint_exposition, PromText};
 pub use stage::{Stage, StageSnapshot, StageTimes};
+pub use trace::{
+    ActiveTrace, FlightRecorder, RecorderStats, RequestTrace, Span, TraceStage, WalkCounters,
+};

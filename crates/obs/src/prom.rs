@@ -87,6 +87,93 @@ impl PromText {
     }
 }
 
+/// Lint a Prometheus text exposition: every metric family named by a
+/// `# HELP` or `# TYPE` line must carry exactly one of each, names must
+/// match `[a-zA-Z_:][a-zA-Z0-9_:]*`, every sample line's metric name must
+/// be valid, and no family may repeat a `# TYPE` line.
+///
+/// Returns the list of violations (empty = clean). Sample names ending in
+/// `_sum` / `_count` / `_bucket` are matched against their base family for
+/// the "samples follow metadata" association, per the summary/histogram
+/// conventions.
+pub fn lint_exposition(text: &str) -> Vec<String> {
+    fn valid_name(name: &str) -> bool {
+        let mut chars = name.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    let mut errors = Vec::new();
+    let mut help_counts: Vec<(String, usize)> = Vec::new();
+    let mut type_counts: Vec<(String, usize)> = Vec::new();
+    let bump = |counts: &mut Vec<(String, usize)>, name: &str| match counts
+        .iter_mut()
+        .find(|(n, _)| n == name)
+    {
+        Some((_, c)) => *c += 1,
+        None => counts.push((name.to_string(), 1)),
+    };
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !valid_name(name) {
+                errors.push(format!("line {lineno}: invalid HELP metric name {name:?}"));
+            }
+            bump(&mut help_counts, name);
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !valid_name(name) {
+                errors.push(format!("line {lineno}: invalid TYPE metric name {name:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "summary" | "histogram" | "untyped"
+            ) {
+                errors.push(format!("line {lineno}: unknown metric type {kind:?}"));
+            }
+            bump(&mut type_counts, name);
+        } else if line.starts_with('#') {
+            // Other comments are allowed and ignored.
+        } else {
+            let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+            let name = &line[..name_end];
+            if !valid_name(name) {
+                errors.push(format!(
+                    "line {lineno}: invalid sample metric name {name:?}"
+                ));
+            }
+        }
+    }
+
+    for (name, count) in &help_counts {
+        if *count != 1 {
+            errors.push(format!("metric {name}: {count} HELP lines (want 1)"));
+        }
+        if !type_counts.iter().any(|(n, _)| n == name) {
+            errors.push(format!("metric {name}: HELP without TYPE"));
+        }
+    }
+    for (name, count) in &type_counts {
+        if *count != 1 {
+            errors.push(format!("metric {name}: {count} TYPE lines (want 1)"));
+        }
+        if !help_counts.iter().any(|(n, _)| n == name) {
+            errors.push(format!("metric {name}: TYPE without HELP"));
+        }
+    }
+    errors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +200,41 @@ mod tests {
         let mut p = PromText::new();
         p.sample_u64("m", &[("k", "a\"b\\c\nd")], 1);
         assert_eq!(p.finish(), "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+
+    #[test]
+    fn lint_accepts_well_formed_exposition() {
+        let mut p = PromText::new();
+        p.help("widx_keys_total", "Probed keys.")
+            .type_("widx_keys_total", "counter")
+            .sample_u64("widx_keys_total", &[("shard", "0")], 42)
+            .help("widx_latency_ns", "Latency summary.")
+            .type_("widx_latency_ns", "summary")
+            .sample_u64("widx_latency_ns_sum", &[], 100)
+            .sample_u64("widx_latency_ns_count", &[], 3);
+        assert_eq!(lint_exposition(&p.finish()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lint_flags_duplicates_missing_pairs_and_bad_names() {
+        let text = "# HELP widx_a one\n\
+                    # TYPE widx_a counter\n\
+                    # TYPE widx_a counter\n\
+                    # HELP widx_b two\n\
+                    # TYPE widx_c widget\n\
+                    widx_a 1\n\
+                    9bad_name 2\n";
+        let errors = lint_exposition(text);
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("widx_a") && e.contains("2 TYPE")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("widx_b") && e.contains("without TYPE")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("widx_c") && e.contains("without HELP")));
+        assert!(errors.iter().any(|e| e.contains("widget")));
+        assert!(errors.iter().any(|e| e.contains("9bad_name")));
     }
 }

@@ -1,0 +1,568 @@
+//! Per-request tracing: spans, walker counters, and the flight recorder.
+//!
+//! The aggregate registry ([`crate::WorkerCell`], [`crate::StageTimes`])
+//! answers "what is the p99"; this module answers "why was *that* request
+//! slow". A sampled (or tail-selected) request carries an [`ActiveTrace`]
+//! through the serving stack; each tier appends [`Span`]s and walker-level
+//! [`WalkCounters`], and the completed [`RequestTrace`] lands in a bounded
+//! [`FlightRecorder`] ring that scrapes can drain as JSON.
+//!
+//! Sampling policy lives with the caller (head 1-in-N plus a tail
+//! slow-threshold); the recorder only stores completed traces and keeps
+//! depth/drop gauges. The untraced hot path never touches the ring.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::json;
+
+/// Minimum gap between two slow-request log lines.
+const SLOW_LOG_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Stages a per-request span can cover.
+///
+/// This is deliberately separate from the aggregate [`crate::Stage`]
+/// taxonomy: traces additionally attribute the network read
+/// (frame-decode-to-submit) leg, and the two enums evolve independently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceStage {
+    /// Frame decoded off the socket up to submission into the service.
+    NetRead,
+    /// Submission until a shard worker admitted the request into a batch.
+    QueueWait,
+    /// Admission until the batch closed (size or deadline).
+    BatchWait,
+    /// Walker execution over the whole batch the request rode in.
+    Walk,
+    /// First part completed until the final part landed (gather seam).
+    Gather,
+    /// Reply bytes encoded until the flush cursor passed them.
+    ReplyWrite,
+}
+
+impl TraceStage {
+    /// Stable snake_case name used in JSON payloads.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceStage::NetRead => "net_read",
+            TraceStage::QueueWait => "queue_wait",
+            TraceStage::BatchWait => "batch_wait",
+            TraceStage::Walk => "walk",
+            TraceStage::Gather => "gather",
+            TraceStage::ReplyWrite => "reply_write",
+        }
+    }
+}
+
+/// One timed stage within a request trace.
+///
+/// `start_ns` is the offset from the trace base (the submit or frame-decode
+/// instant), so spans from different threads share one monotonic timeline.
+#[derive(Clone, Copy, Debug)]
+pub struct Span {
+    /// Which stage this span covers.
+    pub stage: TraceStage,
+    /// Offset of the span start from the trace base, in nanoseconds.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Walker-level memory-parallelism evidence for one request.
+///
+/// Both the hash [`AmacWalker`](../widx_soft) and the B+-tree range walker
+/// publish into this shape; a request batched across several shards merges
+/// one record per shard visit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalkCounters {
+    /// Index nodes touched (hash buckets + overflow nodes, or B+-tree nodes).
+    pub nodes: u64,
+    /// Longest hash chain followed, or B+-tree depth (root to leaf).
+    pub max_chain: u64,
+    /// AMAC step rounds the carrying batch executed.
+    pub rounds: u64,
+    /// Sum of live slots across those rounds (occupancy / rounds = mean MLP).
+    pub occupancy: u64,
+    /// Prefetch instructions issued by the walker.
+    pub prefetches: u64,
+}
+
+impl WalkCounters {
+    /// Merge another record into this one (sums; `max_chain` takes the max).
+    pub fn merge(&mut self, other: &WalkCounters) {
+        self.nodes = self.nodes.saturating_add(other.nodes);
+        self.max_chain = self.max_chain.max(other.max_chain);
+        self.rounds = self.rounds.saturating_add(other.rounds);
+        self.occupancy = self.occupancy.saturating_add(other.occupancy);
+        self.prefetches = self.prefetches.saturating_add(other.prefetches);
+    }
+
+    /// True when no field has been touched.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == WalkCounters::default()
+    }
+}
+
+/// A completed, immutable request trace as stored by the recorder.
+#[derive(Clone, Debug)]
+pub struct RequestTrace {
+    /// Request id (the wire id when the trace was armed by the net tier,
+    /// otherwise a service-local sequence number).
+    pub id: u64,
+    /// Request kind, e.g. `"lookup"` or `"range_scan"`.
+    pub kind: &'static str,
+    /// End-to-end latency in nanoseconds (trace base to completion).
+    pub total_ns: u64,
+    /// True when the request exceeded the slow threshold (tail-sampled).
+    pub slow: bool,
+    /// Reactor that decoded the frame, when the trace crossed the net tier.
+    pub reactor: Option<u32>,
+    /// Shards whose workers touched the request.
+    pub shards: Vec<u32>,
+    /// Per-stage spans, in the order they were recorded.
+    pub spans: Vec<Span>,
+    /// Merged walker counters across all shard visits.
+    pub walk: WalkCounters,
+}
+
+impl RequestTrace {
+    /// Render this trace as a self-contained JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"id\":{},\"kind\":\"{}\",\"total_ns\":{},\"slow\":{}",
+            self.id,
+            json::escape(self.kind),
+            self.total_ns,
+            self.slow
+        ));
+        match self.reactor {
+            Some(rix) => out.push_str(&format!(",\"reactor\":{rix}")),
+            None => out.push_str(",\"reactor\":null"),
+        }
+        out.push_str(",\"shards\":[");
+        for (i, shard) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&shard.to_string());
+        }
+        out.push_str("],\"spans\":[");
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stage\":\"{}\",\"start_ns\":{},\"dur_ns\":{}}}",
+                span.stage.name(),
+                span.start_ns,
+                span.dur_ns
+            ));
+        }
+        out.push_str(&format!(
+            "],\"walk\":{{\"nodes\":{},\"max_chain\":{},\"rounds\":{},\"occupancy\":{},\"prefetches\":{}}}}}",
+            self.walk.nodes,
+            self.walk.max_chain,
+            self.walk.rounds,
+            self.walk.occupancy,
+            self.walk.prefetches
+        ));
+        out
+    }
+}
+
+/// A trace under construction, carried alongside an in-flight request.
+///
+/// All span times are offsets from `base`, so annotations from worker and
+/// reactor threads land on one shared timeline without clock agreement
+/// beyond `Instant` monotonicity.
+#[derive(Debug)]
+pub struct ActiveTrace {
+    base: Instant,
+    id: u64,
+    kind: &'static str,
+    sampled: bool,
+    reactor: Option<u32>,
+    shards: Vec<u32>,
+    spans: Vec<Span>,
+    walk: WalkCounters,
+}
+
+impl ActiveTrace {
+    /// Start a trace. `base` anchors the timeline (frame-decode instant for
+    /// net-armed traces, submit instant otherwise); `sampled` records whether
+    /// head sampling picked this request (tail selection happens at finish).
+    #[must_use]
+    pub fn new(base: Instant, id: u64, kind: &'static str, sampled: bool) -> ActiveTrace {
+        ActiveTrace {
+            base,
+            id,
+            kind,
+            sampled,
+            reactor: None,
+            shards: Vec::new(),
+            spans: Vec::with_capacity(8),
+            walk: WalkCounters::default(),
+        }
+    }
+
+    /// Whether head sampling selected this request.
+    #[must_use]
+    pub fn sampled(&self) -> bool {
+        self.sampled
+    }
+
+    /// The instant the trace timeline is anchored to.
+    #[must_use]
+    pub fn base(&self) -> Instant {
+        self.base
+    }
+
+    /// Record which reactor decoded the request's frame.
+    pub fn set_reactor(&mut self, rix: u32) {
+        self.reactor = Some(rix);
+    }
+
+    /// Note that `shard`'s worker touched the request (deduplicated).
+    pub fn add_shard(&mut self, shard: u32) {
+        if !self.shards.contains(&shard) {
+            self.shards.push(shard);
+        }
+    }
+
+    /// Merge a walker counter record into the trace.
+    pub fn add_walk(&mut self, counters: &WalkCounters) {
+        self.walk.merge(counters);
+    }
+
+    /// Append a span covering `start..end` on the trace timeline.
+    /// Instants before `base` clamp to offset zero.
+    pub fn span_between(&mut self, stage: TraceStage, start: Instant, end: Instant) {
+        let start_ns = dur_ns(start.saturating_duration_since(self.base));
+        let dur = dur_ns(end.saturating_duration_since(start));
+        self.spans.push(Span {
+            stage,
+            start_ns,
+            dur_ns: dur,
+        });
+    }
+
+    /// Append a span starting at `start` with an explicit duration.
+    pub fn span_for(&mut self, stage: TraceStage, start: Instant, dur: Duration) {
+        let start_ns = dur_ns(start.saturating_duration_since(self.base));
+        self.spans.push(Span {
+            stage,
+            start_ns,
+            dur_ns: dur_ns(dur),
+        });
+    }
+
+    /// Seal the trace with its end-to-end latency and tail verdict.
+    #[must_use]
+    pub fn finish(self, total: Duration, slow: bool) -> RequestTrace {
+        RequestTrace {
+            id: self.id,
+            kind: self.kind,
+            total_ns: dur_ns(total),
+            slow,
+            reactor: self.reactor,
+            shards: self.shards,
+            spans: self.spans,
+            walk: self.walk,
+        }
+    }
+}
+
+fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Recorder gauges, scrape-coherent (each field individually atomic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Ring capacity in traces.
+    pub capacity: u64,
+    /// Traces currently held in the ring.
+    pub depth: u64,
+    /// Total traces ever recorded.
+    pub recorded: u64,
+    /// Traces evicted from a full ring.
+    pub dropped: u64,
+    /// Recorded traces that were tail-selected (exceeded the slow threshold).
+    pub slow: u64,
+}
+
+/// Bounded ring of completed request traces plus drop/depth gauges.
+///
+/// The ring is a mutex'd `VecDeque`: only armed traces (sampled or slow)
+/// ever reach [`FlightRecorder::record`], so the untraced hot path never
+/// contends here. Gauges are plain atomics so `stats()` is lock-free.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<RequestTrace>>,
+    depth: AtomicU64,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    slow: AtomicU64,
+    slow_logged: Mutex<Option<Instant>>,
+}
+
+impl FlightRecorder {
+    /// Create a recorder holding up to `capacity` traces (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            depth: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slow: AtomicU64::new(0),
+            slow_logged: Mutex::new(None),
+        }
+    }
+
+    /// Ring capacity in traces.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Commit a completed trace, evicting the oldest when full.
+    pub fn record(&self, trace: RequestTrace) {
+        if trace.slow {
+            self.slow.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(trace);
+        self.depth.store(ring.len() as u64, Ordering::Relaxed);
+        drop(ring);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Apply the commit policy: record when head-sampled or over the slow
+    /// threshold, emit the rate-limited slow log for the latter. Returns
+    /// whether the trace was recorded.
+    pub fn offer(
+        &self,
+        active: ActiveTrace,
+        total: Duration,
+        slow_threshold: Option<Duration>,
+    ) -> bool {
+        let slow = slow_threshold.is_some_and(|t| total >= t);
+        if !(active.sampled() || slow) {
+            return false;
+        }
+        let trace = active.finish(total, slow);
+        if slow {
+            self.log_slow(&trace);
+        }
+        self.record(trace);
+        true
+    }
+
+    /// Copy out the ring contents, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<RequestTrace> {
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.iter().cloned().collect()
+    }
+
+    /// Lock-free gauge snapshot.
+    #[must_use]
+    pub fn stats(&self) -> RecorderStats {
+        RecorderStats {
+            capacity: self.capacity as u64,
+            depth: self.depth.load(Ordering::Relaxed),
+            recorded: self.recorded.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            slow: self.slow.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Render gauges plus recent traces (newest first) as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let stats = self.stats();
+        let traces = self.snapshot();
+        let mut out = String::with_capacity(128 + traces.len() * 256);
+        out.push_str(&format!(
+            "{{\"capacity\":{},\"depth\":{},\"recorded\":{},\"dropped\":{},\"slow\":{},\"traces\":[",
+            stats.capacity, stats.depth, stats.recorded, stats.dropped, stats.slow
+        ));
+        for (i, trace) in traces.iter().rev().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&trace.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Emit the slow-request log line, rate-limited to one per
+    /// [`SLOW_LOG_INTERVAL`].
+    fn log_slow(&self, trace: &RequestTrace) {
+        let mut last = self.slow_logged.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        if last.is_some_and(|at| now.duration_since(at) < SLOW_LOG_INTERVAL) {
+            return;
+        }
+        *last = Some(now);
+        drop(last);
+        eprintln!(
+            "widx slow request: id={} kind={} total_ms={:.3} shards={:?} nodes={} max_chain={}",
+            trace.id,
+            trace.kind,
+            trace.total_ns as f64 / 1e6,
+            trace.shards,
+            trace.walk.nodes,
+            trace.walk.max_chain
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_trace(id: u64, slow: bool) -> RequestTrace {
+        let mut active = ActiveTrace::new(Instant::now(), id, "lookup", true);
+        active.add_shard(1);
+        active.add_shard(1);
+        active.add_walk(&WalkCounters {
+            nodes: 3,
+            max_chain: 2,
+            rounds: 4,
+            occupancy: 9,
+            prefetches: 5,
+        });
+        let start = active.base();
+        active.span_for(TraceStage::Walk, start, Duration::from_micros(10));
+        active.finish(Duration::from_micros(25), slow)
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = FlightRecorder::new(2);
+        for id in 0..5 {
+            rec.record(mk_trace(id, false));
+        }
+        let stats = rec.stats();
+        assert_eq!(stats.capacity, 2);
+        assert_eq!(stats.depth, 2);
+        assert_eq!(stats.recorded, 5);
+        assert_eq!(stats.dropped, 3);
+        assert_eq!(stats.slow, 0);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].id, 3);
+        assert_eq!(snap[1].id, 4);
+    }
+
+    #[test]
+    fn offer_respects_sampling_and_threshold() {
+        let rec = FlightRecorder::new(8);
+        let base = Instant::now();
+        // Not sampled, no threshold: dropped.
+        let active = ActiveTrace::new(base, 1, "lookup", false);
+        assert!(!rec.offer(active, Duration::from_micros(10), None));
+        // Not sampled, under threshold: dropped.
+        let active = ActiveTrace::new(base, 2, "lookup", false);
+        assert!(!rec.offer(
+            active,
+            Duration::from_micros(10),
+            Some(Duration::from_millis(1))
+        ));
+        // Not sampled, over threshold: recorded as slow.
+        let active = ActiveTrace::new(base, 3, "lookup", false);
+        assert!(rec.offer(
+            active,
+            Duration::from_millis(2),
+            Some(Duration::from_millis(1))
+        ));
+        // Sampled, fast: recorded, not slow.
+        let active = ActiveTrace::new(base, 4, "lookup", true);
+        assert!(rec.offer(
+            active,
+            Duration::from_micros(10),
+            Some(Duration::from_millis(1))
+        ));
+        let stats = rec.stats();
+        assert_eq!(stats.recorded, 2);
+        assert_eq!(stats.slow, 1);
+        let snap = rec.snapshot();
+        assert!(snap[0].slow);
+        assert!(!snap[1].slow);
+    }
+
+    #[test]
+    fn walk_counters_merge() {
+        let mut a = WalkCounters {
+            nodes: 1,
+            max_chain: 4,
+            rounds: 2,
+            occupancy: 3,
+            prefetches: 1,
+        };
+        let b = WalkCounters {
+            nodes: 2,
+            max_chain: 3,
+            rounds: 1,
+            occupancy: 5,
+            prefetches: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes, 3);
+        assert_eq!(a.max_chain, 4);
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.occupancy, 8);
+        assert_eq!(a.prefetches, 3);
+        assert!(!a.is_zero());
+        assert!(WalkCounters::default().is_zero());
+    }
+
+    #[test]
+    fn spans_use_base_relative_offsets() {
+        let base = Instant::now();
+        let mut active = ActiveTrace::new(base, 7, "range_scan", true);
+        let start = base + Duration::from_micros(5);
+        let end = start + Duration::from_micros(10);
+        active.span_between(TraceStage::QueueWait, start, end);
+        // An instant before base clamps to offset 0.
+        active.span_between(TraceStage::NetRead, base - Duration::from_micros(1), base);
+        let trace = active.finish(Duration::from_micros(20), false);
+        assert_eq!(trace.spans[0].start_ns, 5_000);
+        assert_eq!(trace.spans[0].dur_ns, 10_000);
+        assert_eq!(trace.spans[1].start_ns, 0);
+        for span in &trace.spans {
+            assert!(span.start_ns + span.dur_ns <= trace.total_ns + 1_000);
+        }
+    }
+
+    #[test]
+    fn json_shape_is_parseable() {
+        let rec = FlightRecorder::new(4);
+        rec.record(mk_trace(42, true));
+        let json_doc = rec.to_json();
+        assert_eq!(json::find_u64(&json_doc, "capacity"), Some(4));
+        assert_eq!(json::find_u64(&json_doc, "depth"), Some(1));
+        assert_eq!(json::find_u64(&json_doc, "recorded"), Some(1));
+        assert_eq!(json::find_u64(&json_doc, "id"), Some(42));
+        assert_eq!(json::find_u64(&json_doc, "nodes"), Some(3));
+        assert!(json_doc.contains("\"kind\":\"lookup\""));
+        assert!(json_doc.contains("\"slow\":true"));
+        assert!(json_doc.contains("\"stage\":\"walk\""));
+    }
+}

@@ -88,13 +88,16 @@ mod worker;
 pub use batch::{BatchPolicy, FlushReason};
 pub use ordered::OrderedShardedIndex;
 pub use queue::PushError;
-pub use request::{PendingResponse, PendingStream, Request, Response, StreamConsumed, StreamPoll};
-pub use service::{ProbeService, ServeConfig, SubmitError};
+pub use request::{
+    PendingResponse, PendingStream, Request, Response, StreamConsumed, StreamPoll, TraceFinisher,
+};
+pub use service::{NetTraceCtx, ProbeService, ServeConfig, SubmitError};
 pub use shard::ShardedIndex;
 pub use stats::{LatencySummary, NetStats, ReactorStats, ServiceStats, StageStats, WorkerStats};
 // Re-exported telemetry primitives, so front-ends (the `widx-net`
 // server records the reply-write stage) need no direct `widx-obs`
 // dependency.
 pub use widx_obs::{
-    AtomicHistogram, HistogramSnapshot, ReactorGauges, Stage, StageSnapshot, StageTimes,
+    AtomicHistogram, FlightRecorder, HistogramSnapshot, ReactorGauges, RecorderStats, RequestTrace,
+    Span, Stage, StageSnapshot, StageTimes, TraceStage, WalkCounters,
 };

@@ -5,9 +5,9 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use widx_obs::{Stage, StageTimes, WorkerCell};
+use widx_obs::{ActiveTrace, FlightRecorder, Stage, StageTimes, TraceStage, WorkerCell};
 
 /// A probe request submitted to the service.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -175,6 +175,52 @@ impl StreamState {
     }
 }
 
+/// Everything a traced request carries until its trace commits: the
+/// span timeline under construction, the recorder to commit into, and
+/// the commit policy. `deferred` marks traces the net tier closes (the
+/// reply-write span outlives the service-side completion), so
+/// [`ResponseState::complete_part`] leaves them in place for
+/// [`PendingResponse::take_trace`] instead of committing at wakeup.
+pub(crate) struct TraceState {
+    pub(crate) active: ActiveTrace,
+    pub(crate) recorder: Arc<FlightRecorder>,
+    pub(crate) slow_threshold: Option<Duration>,
+    pub(crate) deferred: bool,
+}
+
+impl TraceState {
+    /// Commit the trace with latency measured from the trace base to now.
+    fn commit_now(self) {
+        let total = self.active.base().elapsed();
+        self.recorder.offer(self.active, total, self.slow_threshold);
+    }
+}
+
+/// The handle a net-tier reactor uses to close a deferred trace: taken
+/// from a completed request at encode time, annotated with the
+/// reply-write span when the flush cursor passes the reply, then
+/// committed to the flight recorder.
+pub struct TraceFinisher {
+    state: Box<TraceState>,
+}
+
+impl TraceFinisher {
+    /// Append the reply-write span (`start` = reply encoded, now =
+    /// bytes flushed to the socket).
+    pub fn note_reply_write(&mut self, start: Instant) {
+        let now = Instant::now();
+        self.state
+            .active
+            .span_between(TraceStage::ReplyWrite, start, now);
+    }
+
+    /// Seal the trace (end-to-end latency = trace base to now) and
+    /// apply the recorder's sampling/slow-threshold commit policy.
+    pub fn commit(self) {
+        self.state.commit_now();
+    }
+}
+
 pub(crate) struct PendingInner {
     pub(crate) parts_left: usize,
     pub(crate) items: Vec<RoutedMatch>,
@@ -191,6 +237,8 @@ pub(crate) struct PendingInner {
     first_done: Option<Instant>,
     /// Stage-timing sink, when the owning service attached one.
     stages: Option<Arc<StageTimes>>,
+    /// Per-request trace under construction, when sampling armed one.
+    trace: Option<Box<TraceState>>,
     pub(crate) done: bool,
 }
 
@@ -203,6 +251,10 @@ pub(crate) struct ResponseState {
     /// Submission time — immutable after construction, so the queue-wait
     /// seam reads it without taking the lock.
     submitted: Instant,
+    /// Whether a trace rides this request — immutable after
+    /// construction, so workers skip the annotation lock entirely on
+    /// the (default) untraced path.
+    traced: bool,
 }
 
 impl ResponseState {
@@ -216,10 +268,12 @@ impl ResponseState {
                 kind,
                 first_done: None,
                 stages: None,
+                trace: None,
                 done: parts == 0,
             }),
             ready: Condvar::new(),
             submitted: Instant::now(),
+            traced: false,
         }
     }
 
@@ -229,6 +283,49 @@ impl ResponseState {
     pub(crate) fn with_stages(mut self, stages: &Arc<StageTimes>) -> ResponseState {
         self.inner.get_mut().expect("pending lock").stages = Some(Arc::clone(stages));
         self
+    }
+
+    /// Attaches an armed trace. Must be called before the state is
+    /// shared (by value, like [`with_stages`](Self::with_stages)). A
+    /// zero-part request is already complete, so a non-deferred trace
+    /// commits on the spot instead of waiting for a completion that
+    /// will never run.
+    pub(crate) fn with_trace(mut self, trace: Box<TraceState>) -> ResponseState {
+        let inner = self.inner.get_mut().expect("pending lock");
+        if inner.done && !trace.deferred {
+            trace.commit_now();
+            return self;
+        }
+        inner.trace = Some(trace);
+        self.traced = true;
+        self
+    }
+
+    /// Whether a trace rides this request (lock-free).
+    pub(crate) fn is_traced(&self) -> bool {
+        self.traced
+    }
+
+    /// Run `f` over the trace under construction (no-op when the trace
+    /// is absent or already committed). `f` also receives the submit
+    /// instant, the anchor for queue-wait spans. Keep `f` short — it
+    /// runs under the completion lock.
+    pub(crate) fn trace_annotate(&self, f: impl FnOnce(&mut ActiveTrace, Instant)) {
+        let mut inner = self.inner.lock().expect("pending lock");
+        if let Some(trace) = inner.trace.as_deref_mut() {
+            f(&mut trace.active, self.submitted);
+        }
+    }
+
+    /// Detach the trace for the net tier to close (reply-write span +
+    /// commit). Returns `None` when no trace rides the request or it
+    /// was already taken/committed.
+    pub(crate) fn take_trace(&self) -> Option<TraceFinisher> {
+        if !self.traced {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("pending lock");
+        inner.trace.take().map(|state| TraceFinisher { state })
     }
 
     /// Time since the request was submitted (lock-free).
@@ -355,12 +452,14 @@ impl ResponseState {
             inner.first_done = Some(Instant::now());
         }
         inner.parts_left -= 1;
+        let mut commit = None;
         let latency = if inner.parts_left == 0 {
             inner.done = true;
             if let (Some(stages), Some(first)) = (inner.stages.as_ref(), inner.first_done) {
                 stages.record(Stage::Gather, first.elapsed());
             }
             let latency = self.submitted.elapsed();
+            commit = self.close_trace(&mut inner, latency);
             if let Some(cell) = cell {
                 cell.record_latency(latency);
             }
@@ -374,10 +473,38 @@ impl ResponseState {
         self.ready.notify_all();
         let waker = inner.waker.clone();
         drop(inner);
+        if let Some((trace, latency)) = commit {
+            trace
+                .recorder
+                .offer(trace.active, latency, trace.slow_threshold);
+        }
         if let Some(wake) = waker {
             wake();
         }
         latency
+    }
+
+    /// On final-part completion: append the gather span to the trace
+    /// and, for a non-deferred (in-process) trace, detach it for commit
+    /// once the lock drops. Deferred traces stay attached — the net
+    /// tier takes them at encode time and closes them at flush.
+    fn close_trace(
+        &self,
+        inner: &mut PendingInner,
+        latency: Duration,
+    ) -> Option<(Box<TraceState>, Duration)> {
+        let first = inner.first_done;
+        let trace = inner.trace.as_deref_mut()?;
+        if let Some(first) = first {
+            trace
+                .active
+                .span_between(TraceStage::Gather, first, Instant::now());
+        }
+        if trace.deferred {
+            None
+        } else {
+            inner.trace.take().map(|t| (t, latency))
+        }
     }
 
     /// Called by a shard worker when this request's slice of a batch has
@@ -403,12 +530,18 @@ impl ResponseState {
                 stages.record(Stage::Gather, first.elapsed());
             }
             let latency = self.submitted.elapsed();
+            let commit = self.close_trace(&mut inner, latency);
             if let Some(cell) = cell {
                 cell.record_latency(latency);
             }
             self.ready.notify_all();
             let waker = inner.waker.clone();
             drop(inner);
+            if let Some((trace, latency)) = commit {
+                trace
+                    .recorder
+                    .offer(trace.active, latency, trace.slow_threshold);
+            }
             if let Some(wake) = waker {
                 wake();
             }
@@ -540,6 +673,15 @@ impl PendingResponse {
     /// every entry every tick. Replaces any previously installed hook.
     pub fn set_waker(&self, waker: impl Fn() + Send + Sync + 'static) {
         self.state.install_waker(Arc::new(waker));
+    }
+
+    /// Detach this request's trace for the net tier to close (reply-write
+    /// span + commit). Returns `None` when the request is untraced or the
+    /// trace already committed in-process. Call only once the response is
+    /// ready — worker annotations have finished by then.
+    #[must_use]
+    pub fn take_trace(&self) -> Option<TraceFinisher> {
+        self.state.take_trace()
     }
 }
 
@@ -678,6 +820,14 @@ impl PendingStream {
     /// previously installed hook.
     pub fn set_waker(&self, waker: impl Fn() + Send + Sync + 'static) {
         self.state.install_waker(Arc::new(waker));
+    }
+
+    /// Detach this stream's trace for the net tier to close — see
+    /// [`PendingResponse::take_trace`]. Take it only once the stream has
+    /// ended (`StreamPoll::End`), when every shard part has completed.
+    #[must_use]
+    pub fn take_trace(&self) -> Option<TraceFinisher> {
+        self.state.take_trace()
     }
 }
 

@@ -1,18 +1,21 @@
 //! The probe service: shard router, worker pool, and client API.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use widx_db::hash::HashRecipe;
-use widx_obs::{HistogramSnapshot, StageTimes, WorkerCell};
+use widx_obs::{
+    ActiveTrace, FlightRecorder, HistogramSnapshot, StageTimes, TraceStage, WorkerCell,
+};
 use widx_soft::ScanRange;
 
 use crate::batch::BatchPolicy;
 use crate::ordered::OrderedShardedIndex;
 use crate::queue::{Job, PushError, ShardQueue};
 use crate::request::{
-    PendingResponse, PendingStream, Request, RequestKind, Response, ResponseState,
+    PendingResponse, PendingStream, Request, RequestKind, Response, ResponseState, TraceState,
 };
 use crate::shard::ShardedIndex;
 use crate::stats::{LatencySummary, ServiceStats, StageStats, WorkerStats};
@@ -45,6 +48,18 @@ pub struct ServeConfig {
     /// Smaller chunks cut first-chunk latency; larger ones amortize
     /// seam and framing overhead.
     pub stream_chunk: usize,
+    /// Head sampling rate for per-request traces: record every `N`th
+    /// request into the flight recorder. `0` (the default) disables
+    /// head sampling entirely — with no slow threshold either, the
+    /// trace seam is never armed and requests carry zero tracing cost.
+    pub trace_sample: u64,
+    /// Tail sampling: any request whose end-to-end latency reaches this
+    /// threshold is always recorded (regardless of head sampling) and
+    /// emitted to the rate-limited slow-request log. `None` (the
+    /// default) disables tail sampling.
+    pub slow_threshold: Option<Duration>,
+    /// Flight-recorder ring capacity in traces.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +74,9 @@ impl Default for ServeConfig {
             load: 1.0,
             fanout: 8,
             stream_chunk: 512,
+            trace_sample: 0,
+            slow_threshold: None,
+            trace_capacity: 256,
         }
     }
 }
@@ -112,6 +130,27 @@ impl ServeConfig {
         self.stream_chunk = entries;
         self
     }
+
+    /// Sets the head-sampling rate (`0` disables head sampling).
+    #[must_use]
+    pub fn with_trace_sample(mut self, one_in: u64) -> ServeConfig {
+        self.trace_sample = one_in;
+        self
+    }
+
+    /// Sets the tail-sampling slow threshold (`None` disables).
+    #[must_use]
+    pub fn with_slow_threshold(mut self, threshold: Option<Duration>) -> ServeConfig {
+        self.slow_threshold = threshold;
+        self
+    }
+
+    /// Sets the flight-recorder ring capacity in traces.
+    #[must_use]
+    pub fn with_trace_capacity(mut self, traces: usize) -> ServeConfig {
+        self.trace_capacity = traces;
+        self
+    }
 }
 
 /// Why a submission was refused.
@@ -144,6 +183,23 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// What the net tier knows about a request when it submits one on
+/// behalf of a connection — passed to the `*_traced` submission surface
+/// so an armed trace is anchored at the frame-decode instant, carries
+/// the wire request id, and is *deferred*: the service leaves the
+/// completed trace attached for the reactor to close with the
+/// reply-write span (see `PendingResponse::take_trace`).
+#[derive(Clone, Copy, Debug)]
+pub struct NetTraceCtx {
+    /// Index of the reactor that decoded the frame.
+    pub reactor: u32,
+    /// The wire request id.
+    pub id: u64,
+    /// When the frame finished decoding — the trace timeline's base, so
+    /// the net-read (decode-to-submit) leg is on the record.
+    pub decoded_at: Instant,
+}
+
 /// A running probe-serving engine: one worker thread per shard, each
 /// driving AMAC walkers over its own index partition.
 ///
@@ -171,6 +227,14 @@ pub struct ProbeService {
     /// The shared stage-timing seam (queue-wait / batch-wait / walk /
     /// gather / reply-write).
     stages: Arc<StageTimes>,
+    /// The per-request trace ring; always present, only written when
+    /// the sampling knobs arm traces.
+    recorder: Arc<FlightRecorder>,
+    /// Head-sampling counter (every request ticks it while tracing is
+    /// armed; every `trace_sample`th tick arms a trace).
+    trace_seq: AtomicU64,
+    trace_sample: u64,
+    slow_threshold: Option<Duration>,
     started: Instant,
     /// Stop gate: `submit` holds a read guard across all of its queue
     /// pushes; `stop` flips the flag and poisons the queues under the
@@ -342,6 +406,10 @@ impl ProbeService {
             cells,
             range_cells,
             stages,
+            recorder: Arc::new(FlightRecorder::new(config.trace_capacity)),
+            trace_seq: AtomicU64::new(0),
+            trace_sample: config.trace_sample,
+            slow_threshold: config.slow_threshold,
             started: Instant::now(),
             stopped: RwLock::new(false),
             joined: None,
@@ -371,6 +439,60 @@ impl ProbeService {
     #[must_use]
     pub fn range_backlog(&self) -> Vec<usize> {
         self.range_queues.iter().map(|q| q.backlog_keys()).collect()
+    }
+
+    /// Whether the sampling knobs can ever arm a trace — the cheap
+    /// check front-ends use to skip building a [`NetTraceCtx`] when
+    /// tracing is off.
+    #[must_use]
+    pub fn tracing_armed(&self) -> bool {
+        self.trace_sample > 0 || self.slow_threshold.is_some()
+    }
+
+    /// The per-request flight recorder (always present; empty unless
+    /// the sampling knobs arm traces).
+    #[must_use]
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.recorder)
+    }
+
+    /// The flight recorder's gauges plus recent traces as one JSON
+    /// document — the payload of the `Trace` wire opcode.
+    #[must_use]
+    pub fn traces_json(&self) -> String {
+        self.recorder.to_json()
+    }
+
+    /// Decide whether this request carries a trace, and build it. Runs
+    /// at plan time, *before* the request is enqueued, which is what
+    /// makes net-deferred commits race-free: the deferral policy is
+    /// fixed before any worker can complete the request.
+    fn arm_trace(&self, kind: &'static str, net: Option<&NetTraceCtx>) -> Option<Box<TraceState>> {
+        if !self.tracing_armed() {
+            return None;
+        }
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        let sampled = self.trace_sample > 0 && seq.is_multiple_of(self.trace_sample);
+        if !sampled && self.slow_threshold.is_none() {
+            return None;
+        }
+        let (base, id, reactor) = match net {
+            Some(ctx) => (ctx.decoded_at, ctx.id, Some(ctx.reactor)),
+            None => (Instant::now(), seq, None),
+        };
+        let mut active = ActiveTrace::new(base, id, kind, sampled);
+        if let Some(rix) = reactor {
+            active.set_reactor(rix);
+        }
+        if net.is_some() {
+            active.span_between(TraceStage::NetRead, base, Instant::now());
+        }
+        Some(Box::new(TraceState {
+            active,
+            recorder: Arc::clone(&self.recorder),
+            slow_threshold: self.slow_threshold,
+            deferred: net.is_some(),
+        }))
     }
 
     /// Submits a request, blocking only when a target shard queue is
@@ -406,7 +528,7 @@ impl ProbeService {
         if *stopped {
             return Err(SubmitError::Stopped);
         }
-        let (state, parts) = self.plan_keys(kind, keys);
+        let (state, parts) = self.plan_keys(kind, keys, None);
         for (shard, job) in parts {
             self.push_part(&self.queues[shard], job);
         }
@@ -421,15 +543,28 @@ impl ProbeService {
         &self,
         kind: RequestKind,
         keys: &[u64],
+        net: Option<&NetTraceCtx>,
     ) -> (Arc<ResponseState>, Vec<(usize, Job)>) {
         assert!(
             u32::try_from(keys.len()).is_ok(),
             "request exceeds u32 row space"
         );
+        let kind_name = match kind {
+            RequestKind::Lookup { .. } => "lookup",
+            RequestKind::MultiLookup => "multi_lookup",
+            RequestKind::JoinProbe => "join_probe",
+            RequestKind::RangeScan { .. } => "range_scan",
+        };
+        let attach = |state: ResponseState| match self.arm_trace(kind_name, net) {
+            Some(trace) => state.with_trace(trace),
+            None => state,
+        };
         if let [key] = keys {
             // Fast path: a single-key request touches exactly one shard
             // — skip the per-shard partition scaffolding.
-            let state = Arc::new(ResponseState::new(kind, 1).with_stages(&self.stages));
+            let state = Arc::new(attach(
+                ResponseState::new(kind, 1).with_stages(&self.stages),
+            ));
             let job = Job::Probe {
                 entries: vec![(0, *key)],
                 reply: Arc::clone(&state),
@@ -442,7 +577,9 @@ impl ProbeService {
             parts[self.sharded.shard_of(*key)].push((row as u32, *key));
         }
         let live_parts = parts.iter().filter(|p| !p.is_empty()).count();
-        let state = Arc::new(ResponseState::new(kind, live_parts).with_stages(&self.stages));
+        let state = Arc::new(attach(
+            ResponseState::new(kind, live_parts).with_stages(&self.stages),
+        ));
         let jobs = parts
             .into_iter()
             .enumerate()
@@ -474,7 +611,7 @@ impl ProbeService {
         if *stopped {
             return Err(SubmitError::Stopped);
         }
-        let (state, parts) = self.plan_scan(lo, hi, limit, desc, false)?;
+        let (state, parts) = self.plan_scan(lo, hi, limit, desc, false, None)?;
         for (shard, job) in parts {
             self.push_part(&self.range_queues[shard], job);
         }
@@ -497,18 +634,28 @@ impl ProbeService {
         limit: usize,
         desc: bool,
         streaming: bool,
+        net: Option<&NetTraceCtx>,
     ) -> Result<(Arc<ResponseState>, Vec<(usize, Job)>), SubmitError> {
         let Some(ordered) = &self.ordered else {
             return Err(SubmitError::NoOrderedIndex);
         };
         let kind = RequestKind::RangeScan { limit };
+        let kind_name = if streaming {
+            "range_stream"
+        } else {
+            "range_scan"
+        };
         let state_for = |parts: usize| {
             let state = if streaming {
                 ResponseState::new_stream(kind, parts, limit)
             } else {
                 ResponseState::new(kind, parts)
             };
-            state.with_stages(&self.stages)
+            let state = state.with_stages(&self.stages);
+            match self.arm_trace(kind_name, net) {
+                Some(trace) => state.with_trace(trace),
+                None => state,
+            }
         };
         if lo > hi || limit == 0 {
             // Degenerate scans complete immediately: zero parts.
@@ -562,7 +709,7 @@ impl ProbeService {
         if *stopped {
             return Err(SubmitError::Stopped);
         }
-        let (state, parts) = self.plan_scan(lo, hi, limit, desc, true)?;
+        let (state, parts) = self.plan_scan(lo, hi, limit, desc, true, None)?;
         for (shard, job) in parts {
             self.push_part(&self.range_queues[shard], job);
         }
@@ -587,11 +734,31 @@ impl ProbeService {
         limit: usize,
         desc: bool,
     ) -> Result<PendingStream, SubmitError> {
+        self.try_range_stream_traced(lo, hi, limit, desc, None)
+    }
+
+    /// [`try_range_stream`](Self::try_range_stream) with an optional
+    /// network trace context: when the front-end carries a sampled (or
+    /// potentially slow) request, `net` anchors the trace at
+    /// frame-decode time and tags it with the reactor that owns the
+    /// connection. Pass `None` for in-process callers.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`try_range_stream`](Self::try_range_stream).
+    pub fn try_range_stream_traced(
+        &self,
+        lo: u64,
+        hi: u64,
+        limit: usize,
+        desc: bool,
+        net: Option<NetTraceCtx>,
+    ) -> Result<PendingStream, SubmitError> {
         let stopped = self.stopped.read().expect("stop gate");
         if *stopped {
             return Err(SubmitError::Stopped);
         }
-        let (state, parts) = self.plan_scan(lo, hi, limit, desc, true)?;
+        let (state, parts) = self.plan_scan(lo, hi, limit, desc, true, net.as_ref())?;
         let targeted = parts
             .into_iter()
             .map(|(shard, job)| (&*self.range_queues[shard], job))
@@ -614,22 +781,40 @@ impl ProbeService {
     /// once shutdown has begun, or [`SubmitError::NoOrderedIndex`] for a
     /// [`Request::RangeScan`] without a range tier.
     pub fn try_submit(&self, request: Request) -> Result<PendingResponse, SubmitError> {
+        self.try_submit_traced(request, None)
+    }
+
+    /// [`try_submit`](Self::try_submit) with an optional network trace
+    /// context: when the front-end carries a sampled (or potentially
+    /// slow) request, `net` anchors the trace at frame-decode time and
+    /// tags it with the reactor that owns the connection. Pass `None`
+    /// for in-process callers.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`try_submit`](Self::try_submit).
+    pub fn try_submit_traced(
+        &self,
+        request: Request,
+        net: Option<NetTraceCtx>,
+    ) -> Result<PendingResponse, SubmitError> {
         let stopped = self.stopped.read().expect("stop gate");
         if *stopped {
             return Err(SubmitError::Stopped);
         }
+        let net = net.as_ref();
         let (queues, (state, parts)) = match &request {
             Request::Lookup { key } => (
                 &self.queues,
-                self.plan_keys(RequestKind::Lookup { key: *key }, request.keys()),
+                self.plan_keys(RequestKind::Lookup { key: *key }, request.keys(), net),
             ),
             Request::MultiLookup { .. } => (
                 &self.queues,
-                self.plan_keys(RequestKind::MultiLookup, request.keys()),
+                self.plan_keys(RequestKind::MultiLookup, request.keys(), net),
             ),
             Request::JoinProbe { .. } => (
                 &self.queues,
-                self.plan_keys(RequestKind::JoinProbe, request.keys()),
+                self.plan_keys(RequestKind::JoinProbe, request.keys(), net),
             ),
             Request::RangeScan {
                 lo,
@@ -638,7 +823,7 @@ impl ProbeService {
                 desc,
             } => (
                 &self.range_queues,
-                self.plan_scan(*lo, *hi, *limit, *desc, false)?,
+                self.plan_scan(*lo, *hi, *limit, *desc, false, net)?,
             ),
         };
         let targeted = parts
@@ -789,6 +974,7 @@ impl ProbeService {
             latency: LatencySummary::from_histogram(&latency),
             stages: StageStats::from_snapshot(&self.stages.snapshot()),
             net: crate::stats::NetStats::default(),
+            trace: self.recorder.stats(),
             wall: self.started.elapsed(),
         }
     }

@@ -9,7 +9,9 @@
 
 use std::time::Duration;
 
-use widx_obs::{HistogramSnapshot, PromText, Stage, StageSnapshot, WorkerCellSnapshot};
+use widx_obs::{
+    HistogramSnapshot, PromText, RecorderStats, Stage, StageSnapshot, WorkerCellSnapshot,
+};
 
 /// Counters one shard worker accumulates over its lifetime.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -295,6 +297,9 @@ pub struct ServiceStats {
     /// Network front-end counters — all zero unless a `widx-net` server
     /// snapshot was attached with [`ServiceStats::with_net`].
     pub net: NetStats,
+    /// Flight-recorder gauges: ring depth and record/drop/slow totals.
+    /// All zero unless per-request tracing is armed.
+    pub trace: RecorderStats,
     /// Wall-clock time from service start to this snapshot.
     pub wall: Duration,
 }
@@ -364,14 +369,28 @@ impl ServiceStats {
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(2048);
+        let host_cpus = std::thread::available_parallelism().map_or(0, usize::from);
         out.push_str(&format!(
-            "{{\"wall_ms\": {:.3}, \"total_keys\": {}, \"total_matches\": {}, \
+            "{{\"wall_ms\": {:.3}, \"uptime_ms\": {:.3}, \"host_cpus\": {}, \
+             \"version\": \"{}\", \"total_keys\": {}, \"total_matches\": {}, \
              \"total_scan_cursors\": {}, \"total_scan_entries\": {},",
             self.wall.as_secs_f64() * 1e3,
+            self.wall.as_secs_f64() * 1e3,
+            host_cpus,
+            env!("CARGO_PKG_VERSION"),
             self.total_keys(),
             self.total_matches(),
             self.total_scan_cursors(),
             self.total_scan_entries()
+        ));
+        out.push_str(&format!(
+            " \"trace\": {{\"capacity\": {}, \"depth\": {}, \"recorded\": {}, \
+             \"dropped\": {}, \"slow\": {}}},",
+            self.trace.capacity,
+            self.trace.depth,
+            self.trace.recorded,
+            self.trace.dropped,
+            self.trace.slow
         ));
         out.push_str(&format!(" \"latency\": {},", self.latency.to_json()));
         out.push_str(" \"stages\": {");
@@ -558,6 +577,43 @@ impl ServiceStats {
                 .type_(name, "gauge")
                 .sample_u64(name, &[], value);
         }
+        for (name, help, value) in [
+            (
+                "widx_trace_capacity",
+                "Flight-recorder ring capacity in traces.",
+                self.trace.capacity,
+            ),
+            (
+                "widx_trace_depth",
+                "Traces currently held by the flight recorder.",
+                self.trace.depth,
+            ),
+        ] {
+            p.help(name, help)
+                .type_(name, "gauge")
+                .sample_u64(name, &[], value);
+        }
+        for (name, help, value) in [
+            (
+                "widx_trace_recorded_total",
+                "Request traces recorded (head-sampled or slow).",
+                self.trace.recorded,
+            ),
+            (
+                "widx_trace_dropped_total",
+                "Traces evicted from a full flight-recorder ring.",
+                self.trace.dropped,
+            ),
+            (
+                "widx_trace_slow_total",
+                "Recorded traces that exceeded the slow threshold.",
+                self.trace.slow,
+            ),
+        ] {
+            p.help(name, help)
+                .type_(name, "counter")
+                .sample_u64(name, &[], value);
+        }
         if !self.net.reactors.is_empty() {
             p.help(
                 "widx_net_reactor_open_connections",
@@ -680,6 +736,7 @@ mod tests {
             latency: LatencySummary::default(),
             stages: StageStats::default(),
             net: NetStats::default(),
+            trace: RecorderStats::default(),
             wall: Duration::from_secs(2),
         };
         assert_eq!(stats.total_keys(), 100);
@@ -696,6 +753,13 @@ mod tests {
             Some(90)
         );
         assert_eq!(widx_obs::json::find_f64(&json, "wall_ms"), Some(2000.0));
+        assert_eq!(widx_obs::json::find_f64(&json, "uptime_ms"), Some(2000.0));
+        assert!(
+            widx_obs::json::find_u64(&json, "host_cpus").is_some_and(|n| n >= 1),
+            "host_cpus should report at least one CPU"
+        );
+        assert!(json.contains(&format!("\"version\": \"{}\"", env!("CARGO_PKG_VERSION"))));
+        assert!(json.contains("\"trace\": {\"capacity\": 0, \"depth\": 0,"));
 
         let prom = stats.render_prometheus();
         assert!(prom.contains("widx_worker_keys_total{tier=\"point\",shard=\"0\"} 60"));
@@ -703,6 +767,12 @@ mod tests {
         assert!(prom.contains("# TYPE widx_request_latency_ns summary"));
         assert!(prom.contains("widx_stage_ns_count{stage=\"walk\"} 0"));
         assert!(prom.contains("widx_net_open_connections 0"));
+        assert!(prom.contains("# TYPE widx_trace_depth gauge"));
+        assert!(prom.contains("widx_trace_recorded_total 0"));
+        assert!(
+            widx_obs::lint_exposition(&prom).is_empty(),
+            "exposition must pass the Prometheus lint"
+        );
         assert!(
             !prom.contains("widx_net_reactor_open_connections"),
             "no per-reactor series without an attached server"
@@ -732,6 +802,7 @@ mod tests {
                 ],
                 ..NetStats::default()
             },
+            trace: RecorderStats::default(),
             wall: Duration::from_secs(1),
         };
         let json = stats.to_json();

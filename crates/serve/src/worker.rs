@@ -16,7 +16,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use widx_obs::{FlushKind, Stage, StageTimes, WorkerCell};
+use widx_obs::{FlushKind, Stage, StageTimes, TraceStage, WorkerCell};
 use widx_soft::{AmacWalker, BTreeRangeWalker, ScanRange};
 
 use crate::batch::{BatchPolicy, FlushReason};
@@ -65,6 +65,8 @@ fn flush_kind(reason: FlushReason) -> FlushKind {
 struct OpenJob {
     reply: Arc<ResponseState>,
     items: Vec<RoutedMatch>,
+    /// When this part was admitted into the batch (trace span seam).
+    admitted: Instant,
 }
 
 /// A scan shard-part participating in a range worker's open batch.
@@ -74,6 +76,8 @@ struct OpenScan {
     reply: Arc<ResponseState>,
     streaming: bool,
     items: Vec<RoutedMatch>,
+    /// When this part was admitted into the batch (trace span seam).
+    admitted: Instant,
     /// Scatter ranks of this part's cursors (streaming completion is
     /// per rank).
     ranks: Vec<u32>,
@@ -138,6 +142,7 @@ pub(crate) fn run_worker(ctx: &WorkerContext) {
         };
 
         let shutdown = run_batch(
+            ctx.shard,
             &ctx.queue,
             &ctx.policy,
             &mut walker,
@@ -155,8 +160,9 @@ pub(crate) fn run_worker(ctx: &WorkerContext) {
 /// Assembles and drains one batch starting from `first_*`. Returns true
 /// when the poison pill arrived and the worker must halt after this
 /// batch.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn run_batch(
+    shard: usize,
     queue: &ShardQueue,
     policy: &BatchPolicy,
     walker: &mut AmacWalker<'_>,
@@ -191,6 +197,7 @@ fn run_batch(
         open.push(OpenJob {
             reply,
             items: Vec::new(),
+            admitted: Instant::now(),
         });
         let busy_from = Instant::now();
         for (row, key) in entries {
@@ -247,8 +254,19 @@ fn run_batch(
     cell.add_batch(meta.len() as u64, flush_kind(reason));
     cell.add_busy(busy);
     stages.record(Stage::Walk, busy);
+    let batch_done = Instant::now();
+    let walk_counters = walker.take_counters();
     for job in &open {
         cell.add_matches(job.items.len() as u64);
+        if job.reply.is_traced() {
+            job.reply.trace_annotate(|trace, submitted| {
+                trace.add_shard(shard as u32);
+                trace.span_between(TraceStage::QueueWait, submitted, job.admitted);
+                trace.span_between(TraceStage::BatchWait, job.admitted, batch_done);
+                trace.span_for(TraceStage::Walk, opened, busy);
+                trace.add_walk(&walk_counters);
+            });
+        }
         job.reply.complete_part(&job.items, Some(cell));
     }
     shutdown
@@ -276,6 +294,7 @@ pub(crate) fn run_range_worker(ctx: &RangeWorkerContext) {
         };
 
         let shutdown = run_range_batch(
+            ctx.shard,
             &ctx.queue,
             &ctx.policy,
             &mut walker,
@@ -298,6 +317,7 @@ pub(crate) fn run_range_worker(ctx: &RangeWorkerContext) {
 /// poison pill arrived and the worker must halt after this batch.
 #[allow(clippy::too_many_arguments)]
 fn run_range_batch(
+    shard: usize,
     queue: &ShardQueue,
     policy: &BatchPolicy,
     walker: &mut BTreeRangeWalker<'_>,
@@ -338,6 +358,7 @@ fn run_range_batch(
             reply,
             streaming,
             items: Vec::new(),
+            admitted: Instant::now(),
             ranks: Vec::new(),
             emitted: 0,
         });
@@ -414,8 +435,19 @@ fn run_range_batch(
     cell.add_batch(meta.len() as u64, flush_kind(reason));
     cell.add_busy(busy);
     stages.record(Stage::Walk, busy);
+    let batch_done = Instant::now();
+    let walk_counters = walker.take_counters();
     for job in &open {
         cell.add_matches(job.emitted);
+        if job.reply.is_traced() {
+            job.reply.trace_annotate(|trace, submitted| {
+                trace.add_shard(shard as u32);
+                trace.span_between(TraceStage::QueueWait, submitted, job.admitted);
+                trace.span_between(TraceStage::BatchWait, job.admitted, batch_done);
+                trace.span_for(TraceStage::Walk, opened, busy);
+                trace.add_walk(&walk_counters);
+            });
+        }
         if job.streaming {
             for rank in &job.ranks {
                 job.reply.complete_stream_part(*rank, Some(cell));

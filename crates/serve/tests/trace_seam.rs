@@ -1,0 +1,215 @@
+//! Per-request tracing integration tests at the serve tier: the span
+//! seam (queue-wait → batch-wait → walk → gather) must cover a sampled
+//! request's life, walker MLP counters must be attached, tail sampling
+//! must catch slow requests with head sampling off, and an unarmed
+//! service must leave the recorder untouched.
+
+use std::time::Duration;
+
+use widx_db::hash::HashRecipe;
+use widx_serve::{ProbeService, RequestTrace, ServeConfig, TraceStage};
+
+const ENTRIES: u64 = 8192;
+
+fn build(config: ServeConfig) -> ProbeService {
+    ProbeService::build_with_range(
+        HashRecipe::robust64(),
+        (0..ENTRIES).map(|k| (k, k + 1)),
+        &config,
+    )
+}
+
+/// A trace commits just *after* the completion wakeup that releases the
+/// blocked caller, so the last request's commit may still be a few
+/// instructions away when the caller turns around to read the recorder
+/// — poll briefly before asserting on counts.
+fn await_recorded(recorder: &widx_serve::FlightRecorder, n: u64) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while recorder.stats().recorded < n && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+}
+
+fn span_dur(trace: &RequestTrace, stage: TraceStage) -> Option<u64> {
+    trace
+        .spans
+        .iter()
+        .filter(|s| s.stage == stage)
+        .map(|s| s.dur_ns)
+        .max()
+}
+
+#[test]
+fn head_sampled_requests_carry_the_full_span_seam() {
+    let service = build(
+        ServeConfig::default()
+            .with_shards(2)
+            .with_batch_deadline(Duration::from_micros(100))
+            .with_trace_sample(1),
+    );
+
+    for key in 0..32u64 {
+        assert_eq!(service.lookup(key).expect("lookup"), vec![key + 1]);
+    }
+    let keys: Vec<u64> = (0..64).map(|i| i * 97 % ENTRIES).collect();
+    let rows = service.multi_lookup(&keys).expect("multi_lookup");
+    assert_eq!(rows.len(), keys.len());
+    let entries = service.range_scan(100, 4000, 500).expect("range_scan");
+    assert_eq!(entries.len(), 500);
+
+    let recorder = service.flight_recorder();
+    await_recorded(&recorder, 34);
+    let stats = recorder.stats();
+    assert!(
+        stats.recorded >= 34,
+        "every request is head-sampled, got {}",
+        stats.recorded
+    );
+    let traces = recorder.snapshot();
+    assert!(!traces.is_empty());
+
+    // Every completed trace must carry the serve-side seam stages and
+    // a non-trivial walker counter record, and its spans must fit
+    // inside the end-to-end latency.
+    for trace in &traces {
+        for stage in [
+            TraceStage::QueueWait,
+            TraceStage::BatchWait,
+            TraceStage::Walk,
+        ] {
+            assert!(
+                span_dur(trace, stage).is_some(),
+                "{} trace {} missing {} span",
+                trace.kind,
+                trace.id,
+                stage.name()
+            );
+        }
+        assert!(!trace.shards.is_empty(), "no shard recorded");
+        assert!(trace.walk.nodes > 0, "walker visited no nodes");
+        assert!(trace.walk.rounds > 0, "walker ran no rounds");
+        assert!(trace.walk.prefetches > 0, "walker issued no prefetches");
+        for span in &trace.spans {
+            assert!(
+                span.start_ns <= trace.total_ns,
+                "span starts after the request completed"
+            );
+        }
+        // Queue-wait begins at (or near) the submit anchor; the walk
+        // span must not start before it.
+        let queue_start = trace
+            .spans
+            .iter()
+            .find(|s| s.stage == TraceStage::QueueWait)
+            .map(|s| s.start_ns)
+            .expect("queue span");
+        let walk_start = trace
+            .spans
+            .iter()
+            .find(|s| s.stage == TraceStage::Walk)
+            .map(|s| s.start_ns)
+            .expect("walk span");
+        assert!(walk_start >= queue_start, "walk began before queue-wait");
+    }
+
+    // A multi-shard request fans its shard set out.
+    let multi = traces
+        .iter()
+        .find(|t| t.kind == "multi_lookup")
+        .expect("multi_lookup trace");
+    assert!(multi.shards.len() >= 2, "64-key lookup touched one shard");
+
+    let gathered = traces
+        .iter()
+        .filter(|t| span_dur(t, TraceStage::Gather).is_some())
+        .count();
+    assert!(gathered >= 1, "no trace recorded a gather span");
+
+    // The Trace opcode payload parses out of the same recorder.
+    let json = service.traces_json();
+    assert!(json.contains("\"traces\":["));
+    assert!(json.contains("\"walk\":"));
+    let _ = service.shutdown();
+}
+
+#[test]
+fn tail_sampling_catches_slow_requests_without_head_sampling() {
+    let service = build(
+        ServeConfig::default()
+            .with_shards(2)
+            .with_batch_deadline(Duration::from_micros(100))
+            .with_slow_threshold(Some(Duration::from_nanos(1))),
+    );
+    // Head sampling is off; the 1ns threshold tail-selects everything.
+    let entries = service.range_scan(0, ENTRIES, 2000).expect("range_scan");
+    assert_eq!(entries.len(), 2000);
+
+    await_recorded(&service.flight_recorder(), 1);
+    let stats = service.flight_recorder().stats();
+    assert!(stats.recorded >= 1, "slow request not tail-recorded");
+    assert_eq!(stats.slow, stats.recorded, "all records are tail-selected");
+    let traces = service.flight_recorder().snapshot();
+    assert!(traces.iter().all(|t| t.slow));
+    let _ = service.shutdown();
+}
+
+#[test]
+fn unarmed_service_records_nothing() {
+    let service = build(ServeConfig::default().with_shards(2));
+    for key in 0..16u64 {
+        let _ = service.lookup(key).expect("lookup");
+    }
+    let _ = service.range_scan(0, 100, 10).expect("scan");
+    let stats = service.flight_recorder().stats();
+    assert_eq!(stats.recorded, 0);
+    assert_eq!(stats.depth, 0);
+    assert!(service.flight_recorder().snapshot().is_empty());
+    let final_stats = service.shutdown();
+    assert_eq!(final_stats.trace.recorded, 0);
+}
+
+#[test]
+fn recorder_ring_evicts_oldest_and_counts_drops() {
+    let service = build(
+        ServeConfig::default()
+            .with_shards(2)
+            .with_trace_sample(1)
+            .with_trace_capacity(4),
+    );
+    for key in 0..32u64 {
+        let _ = service.lookup(key).expect("lookup");
+    }
+    await_recorded(&service.flight_recorder(), 32);
+    let stats = service.flight_recorder().stats();
+    assert_eq!(stats.depth, 4, "ring holds exactly its capacity");
+    assert!(stats.recorded >= 32);
+    assert_eq!(stats.dropped, stats.recorded - 4);
+    let _ = service.shutdown();
+}
+
+#[test]
+fn streaming_scans_are_traced_too() {
+    let service = build(
+        ServeConfig::default()
+            .with_shards(2)
+            .with_stream_chunk(64)
+            .with_trace_sample(1),
+    );
+    let mut stream = service
+        .range_stream(0, ENTRIES, usize::MAX, false)
+        .expect("stream");
+    let mut total = 0usize;
+    while let Some(chunk) = stream.next_chunk() {
+        total += chunk.len();
+    }
+    assert_eq!(total, ENTRIES as usize);
+    await_recorded(&service.flight_recorder(), 1);
+    let traces = service.flight_recorder().snapshot();
+    let trace = traces
+        .iter()
+        .find(|t| t.kind == "range_stream")
+        .expect("range_stream trace");
+    assert!(trace.walk.nodes > 0);
+    assert!(span_dur(trace, TraceStage::Walk).is_some());
+    let _ = service.shutdown();
+}

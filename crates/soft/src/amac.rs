@@ -22,6 +22,7 @@
 //!   key value appears in several concurrently batched requests.
 
 use widx_db::index::{Bucket, HashIndex, Node, NONE};
+use widx_obs::WalkCounters;
 
 use crate::prefetch::prefetch_read;
 use crate::Match;
@@ -33,8 +34,14 @@ enum Slot {
     Empty,
     /// About to read the bucket header (prefetch issued).
     Header { tag: u32, key: u64, bucket: usize },
-    /// About to read overflow node `node` (prefetch issued).
-    Node { tag: u32, key: u64, node: u32 },
+    /// About to read overflow node `node` (prefetch issued). `depth` is
+    /// the chain position this node occupies (header = 1).
+    Node {
+        tag: u32,
+        key: u64,
+        node: u32,
+        depth: u32,
+    },
 }
 
 /// A resumable ring of AMAC probe state machines over one
@@ -54,6 +61,7 @@ pub struct AmacWalker<'idx> {
     bucket_count: u64,
     slots: Vec<Slot>,
     live: usize,
+    counters: WalkCounters,
 }
 
 impl<'idx> AmacWalker<'idx> {
@@ -72,7 +80,21 @@ impl<'idx> AmacWalker<'idx> {
             bucket_count: index.buckets().len() as u64,
             slots: vec![Slot::Empty; inflight],
             live: 0,
+            counters: WalkCounters::default(),
         }
+    }
+
+    /// Walker-level MLP evidence accumulated since the last
+    /// [`take_counters`](AmacWalker::take_counters).
+    #[must_use]
+    pub fn counters(&self) -> WalkCounters {
+        self.counters
+    }
+
+    /// Returns the accumulated [`WalkCounters`] and resets them, so a
+    /// serving layer can attribute one batch's work to its requests.
+    pub fn take_counters(&mut self) -> WalkCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// Number of probes currently in flight.
@@ -102,6 +124,7 @@ impl<'idx> AmacWalker<'idx> {
             .expect("live < capacity implies an empty slot");
         let bucket = self.index.recipe().bucket_of(key, self.bucket_count) as usize;
         prefetch_read(&self.buckets[bucket]);
+        self.counters.prefetches += 1;
         self.slots[slot] = Slot::Header { tag, key, bucket };
         self.live += 1;
     }
@@ -129,10 +152,14 @@ impl<'idx> AmacWalker<'idx> {
     /// Advances every live probe by one state transition (one node
     /// visit), issuing the next prefetch before yielding.
     fn step_all<F: FnMut(u32, u64, u64)>(&mut self, emit: &mut F) {
+        self.counters.rounds += 1;
+        self.counters.occupancy += self.live as u64;
         for i in 0..self.slots.len() {
             match self.slots[i] {
                 Slot::Empty => {}
                 Slot::Header { tag, key, bucket } => {
+                    self.counters.nodes += 1;
+                    self.counters.max_chain = self.counters.max_chain.max(1);
                     let b = &self.buckets[bucket];
                     if b.count == 0 {
                         self.retire(i);
@@ -145,14 +172,23 @@ impl<'idx> AmacWalker<'idx> {
                         self.retire(i);
                     } else {
                         prefetch_read(&self.nodes[b.next as usize]);
+                        self.counters.prefetches += 1;
                         self.slots[i] = Slot::Node {
                             tag,
                             key,
                             node: b.next,
+                            depth: 2,
                         };
                     }
                 }
-                Slot::Node { tag, key, node } => {
+                Slot::Node {
+                    tag,
+                    key,
+                    node,
+                    depth,
+                } => {
+                    self.counters.nodes += 1;
+                    self.counters.max_chain = self.counters.max_chain.max(u64::from(depth));
                     let n = &self.nodes[node as usize];
                     if n.key == key {
                         emit(tag, key, n.payload);
@@ -161,10 +197,12 @@ impl<'idx> AmacWalker<'idx> {
                         self.retire(i);
                     } else {
                         prefetch_read(&self.nodes[n.next as usize]);
+                        self.counters.prefetches += 1;
                         self.slots[i] = Slot::Node {
                             tag,
                             key,
                             node: n.next,
+                            depth: depth.saturating_add(1),
                         };
                     }
                 }
@@ -276,6 +314,29 @@ mod tests {
         walker.drain(&mut |_t, k, p| out.push((k, p)));
         assert_eq!(walker.in_flight(), 0);
         assert_eq!(out.len(), 4 * 64);
+    }
+
+    #[test]
+    fn counters_track_chain_depth_and_occupancy() {
+        // One bucket with a 5-long chain (header + 4 overflow nodes).
+        let pairs: Vec<(u64, u64)> = (0..5).map(|v| (3u64, v)).collect();
+        let index = HashIndex::build(HashRecipe::robust64(), 1, pairs);
+        let mut walker = AmacWalker::new(&index, 2);
+        assert!(walker.counters().is_zero());
+        let mut out = Vec::new();
+        walker.probe_chunk([(0u32, 3u64)], &mut |_t, k, p| out.push((k, p)));
+        assert_eq!(out.len(), 5);
+        let c = walker.take_counters();
+        assert_eq!(c.nodes, 5, "header + 4 overflow nodes visited");
+        assert_eq!(c.max_chain, 5);
+        assert_eq!(c.rounds, 5, "one live probe advances once per round");
+        assert_eq!(c.occupancy, 5);
+        assert_eq!(c.prefetches, 5, "bucket prefetch + 4 node prefetches");
+        // take_counters resets.
+        assert!(walker.counters().is_zero());
+        // A missing key still visits its (empty or mismatched) bucket.
+        walker.probe_chunk([(0u32, 999u64)], &mut |_t, _k, _p| {});
+        assert!(walker.take_counters().nodes >= 1);
     }
 
     #[test]

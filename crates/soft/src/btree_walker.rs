@@ -30,6 +30,7 @@
 //! interleave arbitrarily.
 
 use widx_db::index::BTreeIndex;
+use widx_obs::WalkCounters;
 
 use crate::prefetch::prefetch_read;
 
@@ -131,6 +132,7 @@ pub struct BTreeRangeWalker<'idx> {
     tree: &'idx BTreeIndex,
     slots: Vec<Cursor>,
     live: usize,
+    counters: WalkCounters,
 }
 
 impl<'idx> BTreeRangeWalker<'idx> {
@@ -146,7 +148,23 @@ impl<'idx> BTreeRangeWalker<'idx> {
             tree,
             slots: vec![Cursor::Empty; inflight],
             live: 0,
+            counters: WalkCounters::default(),
         }
+    }
+
+    /// Walker-level MLP evidence accumulated since the last
+    /// [`take_counters`](BTreeRangeWalker::take_counters). `max_chain`
+    /// reports the tree depth (inner levels + leaf level) of the deepest
+    /// descent fed so far.
+    #[must_use]
+    pub fn counters(&self) -> WalkCounters {
+        self.counters
+    }
+
+    /// Returns the accumulated [`WalkCounters`] and resets them, so a
+    /// serving layer can attribute one batch's work to its requests.
+    pub fn take_counters(&mut self) -> WalkCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// Number of scans currently in flight.
@@ -170,6 +188,10 @@ impl<'idx> BTreeRangeWalker<'idx> {
         if range.is_empty() {
             return;
         }
+        self.counters.max_chain = self
+            .counters
+            .max_chain
+            .max(self.tree.inner_level_count() as u64 + 1);
         while self.live == self.slots.len() {
             self.step_all(emit);
         }
@@ -224,22 +246,29 @@ impl<'idx> BTreeRangeWalker<'idx> {
         self.drain(emit);
     }
 
-    fn prefetch_inner(&self, depth: usize, node: u32) {
+    fn prefetch_inner(&mut self, depth: usize, node: u32) {
         if let [first, ..] = self.tree.inner_keys(depth, node) {
             prefetch_read(first);
+            self.counters.prefetches += 1;
         }
     }
 
-    fn prefetch_leaf(&self, leaf: u32) {
+    fn prefetch_leaf(&mut self, leaf: u32) {
         if let ([first, ..], _) = self.tree.leaf_entries(leaf) {
             prefetch_read(first);
+            self.counters.prefetches += 1;
         }
     }
 
     /// Advances every live cursor by one state transition (one node
     /// visit), issuing the next prefetch before yielding.
     fn step_all<F: FnMut(u32, u64, u64)>(&mut self, emit: &mut F) {
+        self.counters.rounds += 1;
+        self.counters.occupancy += self.live as u64;
         for i in 0..self.slots.len() {
+            if !matches!(self.slots[i], Cursor::Empty) {
+                self.counters.nodes += 1;
+            }
             match self.slots[i] {
                 Cursor::Empty => {}
                 Cursor::Inner {
@@ -799,6 +828,26 @@ mod tests {
         walker.drain(&mut |_, _, _| count += 1);
         assert_eq!(walker.in_flight(), 0);
         assert!(count > 0);
+    }
+
+    #[test]
+    fn counters_track_depth_rounds_and_prefetches() {
+        let t = tree(2000, 8);
+        let mut walker = BTreeRangeWalker::new(&t, 4);
+        assert!(walker.counters().is_zero());
+        let mut n = 0usize;
+        walker.scan_chunk([(0u32, ScanRange::new(0, 300))], &mut |_, _, _| n += 1);
+        assert_eq!(n, 101); // keys 0,3,...,300
+        let c = walker.take_counters();
+        assert_eq!(c.max_chain, t.inner_level_count() as u64 + 1);
+        assert!(c.nodes >= c.max_chain, "visited at least one full descent");
+        assert!(c.rounds >= c.nodes, "single cursor: one node per round");
+        assert_eq!(c.occupancy, c.nodes, "single live cursor each round");
+        assert!(c.prefetches > 0);
+        assert!(walker.counters().is_zero(), "take_counters resets");
+        // Degenerate scans touch nothing.
+        walker.feed(0, ScanRange::new(9, 3), &mut |_, _, _| {});
+        assert!(walker.counters().is_zero());
     }
 
     #[test]

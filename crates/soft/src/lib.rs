@@ -68,6 +68,9 @@ pub use btree_walker::{
 };
 pub use group::probe_group_prefetch;
 pub use scalar::probe_scalar;
+// Walker-level MLP evidence both resumable walkers accumulate; defined in
+// dependency-free `widx-obs` so the trace subsystem shares the shape.
+pub use widx_obs::WalkCounters;
 
 /// A probe result: `(probe key, payload)`.
 pub type Match = (u64, u64);

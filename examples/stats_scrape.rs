@@ -1,7 +1,9 @@
-//! Live telemetry end to end: build a service, put the `widx-net`
-//! server in front, drive background load, and scrape the `Stats` wire
-//! opcode mid-run from a second connection — then render the final
-//! snapshot as Prometheus text exposition.
+//! Live telemetry end to end: build a service with per-request tracing
+//! armed, put the `widx-net` server in front, drive background load,
+//! and scrape the `Stats` wire opcode mid-run from a second connection
+//! — then pull a sampled trace off the `Trace` opcode's flight-recorder
+//! document and render the final snapshot as Prometheus text
+//! exposition.
 //!
 //! Run with: `cargo run --release --example stats_scrape`
 
@@ -25,7 +27,14 @@ fn main() {
     let service = Arc::new(ProbeService::build_with_range(
         HashRecipe::robust64(),
         pairs,
-        &ServeConfig::default().with_shards(4).with_inflight(8),
+        // Head-sample one request in 64 into the flight recorder; any
+        // request over 5 ms is tail-recorded (and slow-logged) even if
+        // sampling skips it.
+        &ServeConfig::default()
+            .with_shards(4)
+            .with_inflight(8)
+            .with_trace_sample(64)
+            .with_slow_threshold(Some(Duration::from_millis(5))),
     ));
     let server = WidxServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
         .expect("bind loopback");
@@ -66,6 +75,28 @@ fn main() {
                 json::find_u64(&doc, "p99_ns").unwrap_or(0),
                 json::find_u64(&doc, "frames_in").unwrap_or(0),
                 json::find_u64(&doc, "open_connections").unwrap_or(0),
+            );
+        }
+        // The Trace opcode returns the flight recorder as one JSON
+        // document: ring gauges plus the recorded traces, newest first,
+        // each with its span timeline and walker counters.
+        let doc = scraper.traces_json().expect("trace scrape");
+        println!(
+            "flight recorder: {} traces recorded ({} slow), depth {}",
+            json::find_u64(&doc, "recorded").unwrap_or(0),
+            json::find_u64(&doc, "slow").unwrap_or(0),
+            json::find_u64(&doc, "depth").unwrap_or(0),
+        );
+        if let Some(at) = doc.find("\"traces\":[{") {
+            let trace = &doc[at..];
+            println!(
+                "newest trace: kind {:?}, {} ns end to end, {} nodes walked \
+                 (chain max {}), {} prefetches",
+                json::find_str(trace, "kind").unwrap_or_default(),
+                json::find_u64(trace, "total_ns").unwrap_or(0),
+                json::find_u64(trace, "nodes").unwrap_or(0),
+                json::find_u64(trace, "max_chain").unwrap_or(0),
+                json::find_u64(trace, "prefetches").unwrap_or(0),
             );
         }
         stop.store(true, Ordering::Relaxed);
