@@ -1,0 +1,227 @@
+//! Raw `perf_event_open(2)` bindings for the Linux backend.
+//!
+//! The workspace builds with no registry access, so the usual `libc`
+//! crate is unavailable; `std` already links the platform C library,
+//! which makes these `extern "C"` declarations resolve at link time
+//! without any external dependency. `perf_event_open` has no libc
+//! wrapper at all — it is reached through `syscall(2)`, whose number
+//! is architecture-specific, so this module is compiled only on the
+//! (os, arch) pairs whose numbers are declared below. It is the
+//! crate's entire unsafe surface — everything above it speaks owned
+//! fds and `io::Result`.
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+use std::os::raw::{c_int, c_long, c_ulong, c_void};
+
+pub type RawFd = c_int;
+
+extern "C" {
+    // syscall(2) and ioctl(2) are variadic and must be declared so: on
+    // ABIs where variadic and fixed arguments travel differently, a
+    // fixed declaration would hand the kernel garbage argument words.
+    fn syscall(num: c_long, ...) -> c_long;
+    fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+#[cfg(target_arch = "x86_64")]
+const SYS_PERF_EVENT_OPEN: c_long = 298;
+#[cfg(target_arch = "aarch64")]
+const SYS_PERF_EVENT_OPEN: c_long = 241;
+
+pub const PERF_TYPE_HARDWARE: u32 = 0;
+pub const PERF_TYPE_HW_CACHE: u32 = 3;
+
+pub const PERF_COUNT_HW_CPU_CYCLES: u64 = 0;
+pub const PERF_COUNT_HW_INSTRUCTIONS: u64 = 1;
+pub const PERF_COUNT_HW_CACHE_MISSES: u64 = 3;
+
+/// dTLB read misses: cache id `DTLB` (3), op `READ` (0 << 8), result
+/// `MISS` (1 << 16).
+pub const PERF_HW_CACHE_DTLB_READ_MISS: u64 = 3 | (1 << 16);
+
+const PERF_FORMAT_TOTAL_TIME_ENABLED: u64 = 1 << 0;
+const PERF_FORMAT_TOTAL_TIME_RUNNING: u64 = 1 << 1;
+const PERF_FORMAT_GROUP: u64 = 1 << 3;
+
+// Bits of the `flags` bitfield word in `perf_event_attr`.
+const ATTR_DISABLED: u64 = 1 << 0;
+const ATTR_EXCLUDE_KERNEL: u64 = 1 << 5;
+const ATTR_EXCLUDE_HV: u64 = 1 << 6;
+
+const PERF_FLAG_FD_CLOEXEC: c_ulong = 1 << 3;
+
+const PERF_EVENT_IOC_ENABLE: c_ulong = 0x2400;
+const PERF_EVENT_IOC_DISABLE: c_ulong = 0x2401;
+const PERF_EVENT_IOC_RESET: c_ulong = 0x2403;
+const PERF_IOC_FLAG_GROUP: c_ulong = 1;
+
+/// `PERF_ATTR_SIZE_VER5`: the attr layout below, 112 bytes. The kernel
+/// accepts any size it knows about, so pinning VER5 keeps the struct
+/// independent of whatever headers the build host carries.
+const PERF_ATTR_SIZE_VER5: u32 = 112;
+
+/// The kernel's `perf_event_attr`, laid out to `PERF_ATTR_SIZE_VER5`.
+/// All fields after `flags` exist only to make the size honest — the
+/// counting-mode events this crate opens leave them zero.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct perf_event_attr {
+    pub type_: u32,
+    pub size: u32,
+    pub config: u64,
+    pub sample_period: u64,
+    pub sample_type: u64,
+    pub read_format: u64,
+    pub flags: u64,
+    pub wakeup_events: u32,
+    pub bp_type: u32,
+    pub config1: u64,
+    pub config2: u64,
+    pub branch_sample_type: u64,
+    pub sample_regs_user: u64,
+    pub sample_stack_user: u32,
+    pub clockid: i32,
+    pub sample_regs_intr: u64,
+    pub aux_watermark: u32,
+    pub sample_max_stack: u16,
+    pub __reserved_2: u16,
+}
+
+/// A counting-mode attr: excluded from kernel and hypervisor so it
+/// works at `perf_event_paranoid = 2`, started disabled when it leads
+/// a group (followers inherit the leader's enable state), and — for
+/// the leader — read back as one group buffer with the enabled/running
+/// times needed for multiplex scaling.
+pub fn counting_attr(type_: u32, config: u64, leader: bool) -> perf_event_attr {
+    perf_event_attr {
+        type_,
+        size: PERF_ATTR_SIZE_VER5,
+        config,
+        sample_period: 0,
+        sample_type: 0,
+        read_format: if leader {
+            PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING
+        } else {
+            0
+        },
+        flags: ATTR_EXCLUDE_KERNEL | ATTR_EXCLUDE_HV | if leader { ATTR_DISABLED } else { 0 },
+        wakeup_events: 0,
+        bp_type: 0,
+        config1: 0,
+        config2: 0,
+        branch_sample_type: 0,
+        sample_regs_user: 0,
+        sample_stack_user: 0,
+        clockid: 0,
+        sample_regs_intr: 0,
+        aux_watermark: 0,
+        sample_max_stack: 0,
+        __reserved_2: 0,
+    }
+}
+
+/// Converts a C return value into an `io::Result`, reading `errno`
+/// through `std` on failure.
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned perf event fd that closes on drop.
+#[derive(Debug)]
+pub struct OwnedFd(pub RawFd);
+
+impl Drop for OwnedFd {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this handle and closed exactly once.
+        unsafe {
+            let _ = close(self.0);
+        }
+    }
+}
+
+/// Opens one counter on the calling thread (pid 0, any cpu), joining
+/// `group_fd`'s counter group (`-1` starts a new group).
+pub fn perf_event_open(attr: &perf_event_attr, group_fd: RawFd) -> io::Result<OwnedFd> {
+    // SAFETY: `attr` outlives the call and carries its own `size`, which
+    // the kernel validates before reading past it; the remaining
+    // arguments are plain integers.
+    let fd = unsafe {
+        syscall(
+            SYS_PERF_EVENT_OPEN,
+            attr as *const perf_event_attr,
+            0_i32,  // pid: the calling thread
+            -1_i32, // cpu: wherever the thread runs
+            group_fd,
+            PERF_FLAG_FD_CLOEXEC,
+        )
+    };
+    if fd < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(OwnedFd(fd as RawFd))
+    }
+}
+
+/// Starts every counter in `leader`'s group.
+pub fn group_enable(leader: RawFd) -> io::Result<()> {
+    // SAFETY: plain ioctl on an fd we own; the flag argument is an integer.
+    cvt(unsafe { ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) })?;
+    Ok(())
+}
+
+/// Stops every counter in `leader`'s group (counts and enabled/running
+/// times freeze until re-enabled).
+pub fn group_disable(leader: RawFd) -> io::Result<()> {
+    // SAFETY: plain ioctl on an fd we own; the flag argument is an integer.
+    cvt(unsafe { ioctl(leader, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP) })?;
+    Ok(())
+}
+
+/// Zeroes every counter value in `leader`'s group. Note the kernel does
+/// *not* reset `time_enabled`/`time_running` — callers that need
+/// windowed times must difference snapshots instead.
+pub fn group_reset(leader: RawFd) -> io::Result<()> {
+    // SAFETY: plain ioctl on an fd we own; the flag argument is an integer.
+    cvt(unsafe { ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) })?;
+    Ok(())
+}
+
+/// Reads the leader's `PERF_FORMAT_GROUP` buffer into `out` as u64
+/// words — `{nr, time_enabled, time_running, value[0..nr]}` — and
+/// returns how many words the kernel filled.
+pub fn read_group(leader: RawFd, out: &mut [u64]) -> io::Result<usize> {
+    // SAFETY: `out` is a valid writable region of its own byte length.
+    let n = unsafe { read(leader, out.as_mut_ptr().cast(), std::mem::size_of_val(out)) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize / std::mem::size_of::<u64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_layout_is_ver5_sized() {
+        assert_eq!(
+            std::mem::size_of::<perf_event_attr>(),
+            PERF_ATTR_SIZE_VER5 as usize
+        );
+        let attr = counting_attr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, true);
+        assert_eq!(attr.size, PERF_ATTR_SIZE_VER5);
+        assert_eq!(attr.flags & ATTR_DISABLED, ATTR_DISABLED);
+        let follower = counting_attr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, false);
+        assert_eq!(follower.flags & ATTR_DISABLED, 0);
+        assert_eq!(follower.read_format, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! The env-denied syscall path, asserted (not skipped): `WIDX_PROF_DENY`
+//! makes the hardware open behave exactly like a kernel refusal, so
+//! `CounterGroup::new()` must degrade to the soft backend with a
+//! recorded reason, and a *forced* hardware backend must error.
+//!
+//! This lives in its own integration-test binary because it mutates
+//! process environment: integration tests run as separate processes,
+//! so the override cannot leak into the unit tests' backend selection.
+
+use perf_event::{CounterGroup, DEFAULT_BACKEND};
+
+#[test]
+fn denied_hardware_open_falls_back_to_soft() {
+    std::env::set_var("WIDX_PROF_DENY", "1");
+    std::env::remove_var("WIDX_PROF");
+
+    let mut group = CounterGroup::new();
+    assert_eq!(group.backend(), "soft");
+    assert!(!group.has_hw_counters());
+
+    if DEFAULT_BACKEND == "linux" {
+        // On hardware-capable platforms the degradation must be real —
+        // a refusal that was observed and recorded, not a skip.
+        let reason = group.fallback_reason().expect("fallback reason recorded");
+        assert!(
+            reason.contains("linux"),
+            "reason names the backend: {reason}"
+        );
+        let denied = match CounterGroup::with_backend("linux") {
+            Err(err) => err,
+            Ok(_) => panic!("forced hw must error"),
+        };
+        assert_eq!(denied.kind(), std::io::ErrorKind::PermissionDenied);
+    }
+
+    // The degraded group still works end to end.
+    group.enable().expect("soft enable");
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    let snap = group.read().expect("soft read");
+    assert!(snap.time_enabled_ns > 0);
+    assert_eq!(snap.cycles, 0);
+    group.disable().expect("soft disable");
+}

@@ -96,7 +96,13 @@ fn main() {
     run("ablation_skew", &[kernel_probes]);
     run(
         "serve_throughput",
-        &["--probes", serve_probes, "--entries", serve_entries],
+        &[
+            "--probes",
+            serve_probes,
+            "--entries",
+            serve_entries,
+            "--profile",
+        ],
     );
     baseline("serve_throughput", "BENCH_serve.json");
     run(

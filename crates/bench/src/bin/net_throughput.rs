@@ -39,10 +39,17 @@
 //! records traces, and printing the throughput delta — the number that
 //! keeps the tracing seam honest about its hot-path cost.
 //!
+//! With `--profile`, every sweep point's service opens per-worker
+//! `perf-event` counter groups (`ServeConfig::with_profile`), the
+//! per-run JSON carries the per-stage counter breakdown, and each run
+//! ends with a `Profile` wire-opcode scrape — the 0x09 frame answered
+//! inline from the event loop — so the opcode path is exercised under
+//! real load.
+//!
 //! Usage: `net_throughput [--requests N] [--entries N] [--span N]
 //! [--scan-share F] [--theta T] [--reactors A,B,..] [--idle-conns N]
 //! [--idle-window-ms N] [--scrape-ms N] [--trace-sample N] [--trace-ab]
-//! [--seed-baseline PATH] [--json PATH] [--smoke]`.
+//! [--profile] [--seed-baseline PATH] [--json PATH] [--smoke]`.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -69,6 +76,7 @@ struct Args {
     scrape_ms: Option<u64>,
     trace_sample: u64,
     trace_ab: bool,
+    profile: bool,
     seed_baseline: Option<String>,
     json: Option<String>,
 }
@@ -86,6 +94,7 @@ fn parse_args() -> Args {
         scrape_ms: None,
         trace_sample: 0,
         trace_ab: false,
+        profile: false,
         seed_baseline: None,
         json: None,
     };
@@ -113,6 +122,7 @@ fn parse_args() -> Args {
             "--scrape-ms" => args.scrape_ms = Some(value().parse().expect("--scrape-ms")),
             "--trace-sample" => args.trace_sample = value().parse().expect("--trace-sample"),
             "--trace-ab" => args.trace_ab = true,
+            "--profile" => args.profile = true,
             "--seed-baseline" => args.seed_baseline = Some(value()),
             "--json" => args.json = Some(value()),
             // Quick CI tier: small workload, the sweep shape unchanged.
@@ -143,6 +153,8 @@ struct Run {
     scrapes: u64,
     /// Flight-recorder commits over the run (0 with tracing unarmed).
     traces_recorded: u64,
+    /// Per-stage counter breakdown (`--profile` only).
+    prof: Option<widx_obs::ProfSnapshot>,
 }
 
 /// The per-client mixed workload: mostly Zipfian lookups, a slice of
@@ -188,7 +200,10 @@ fn run_once(
     depth: usize,
     trace_sample: u64,
 ) -> Run {
-    let mut config = ServeConfig::default().with_shards(4).with_inflight(8);
+    let mut config = ServeConfig::default()
+        .with_shards(4)
+        .with_inflight(8)
+        .with_profile(args.profile);
     if trace_sample > 0 {
         config = config.with_trace_sample(trace_sample);
     }
@@ -289,6 +304,18 @@ fn run_once(
     });
     let wall = started.elapsed();
 
+    // With profiling on, scrape the Profile opcode once over the wire
+    // before teardown: the 0x09 frame is answered inline from the
+    // event loop, and the reply must say profiling is live.
+    if args.profile {
+        let mut scraper = WidxClient::connect(addr).expect("profile scrape connect");
+        let json = scraper.profile_json().expect("profile scrape");
+        assert!(
+            json.starts_with("{\"enabled\": true,"),
+            "profiled server answered {json}"
+        );
+    }
+
     let net = server.shutdown();
     let final_stats = Arc::try_unwrap(service)
         .ok()
@@ -305,6 +332,7 @@ fn run_once(
         busy_replies,
         scrapes,
         traces_recorded: final_stats.trace.recorded,
+        prof: final_stats.prof,
     }
 }
 
@@ -537,6 +565,8 @@ fn render_json(
         "  \"host_cpus\": {},",
         std::thread::available_parallelism().map_or(0, std::num::NonZero::get)
     );
+    let _ = writeln!(out, "  \"host\": {},", widx_bench::prof::host_json());
+    let _ = writeln!(out, "  \"profile\": {},", args.profile);
     out.push_str("  \"runs\": [\n");
     for (i, run) in runs.iter().enumerate() {
         let lat = &run.latency;
@@ -561,6 +591,9 @@ fn render_json(
              \"p95\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}, ",
             lat.count, lat.mean_ns, lat.p50_ns, lat.p95_ns, lat.p99_ns, lat.p999_ns, lat.max_ns
         );
+        if let Some(prof) = &run.prof {
+            let _ = write!(out, "\"prof\": {}, ", prof.to_json());
+        }
         let _ = write!(
             out,
             "\"net\": {{\"connections\": {}, \"frames_in\": {}, \"frames_out\": {}, \
@@ -692,6 +725,20 @@ fn main() {
         let total: u64 = runs.iter().map(|r| r.scrapes).sum();
         println!(
             "(Stats-opcode scraper: {total} mid-run wire scrapes, counters monotone throughout)"
+        );
+    }
+    if args.profile {
+        let (backend, hw, _) = widx_bench::prof::prof_backend();
+        let windows: u64 = runs
+            .iter()
+            .filter_map(|r| r.prof.as_ref())
+            .map(|p| p.total().windows)
+            .sum();
+        println!(
+            "(per-worker profiling on: backend {backend}, hw counters {}, \
+             {windows} counter windows across the sweep; Profile opcode \
+             scraped once per run)",
+            if hw { "on" } else { "off" }
         );
     }
     let overhead = args

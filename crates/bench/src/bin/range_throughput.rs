@@ -144,6 +144,7 @@ fn render_json(args: &Args, runs: &[Run]) -> String {
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"range_throughput\",");
     let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"host\": {},", widx_bench::prof::host_json());
     let _ = writeln!(out, "  \"entries\": {},", args.entries);
     let _ = writeln!(out, "  \"scans\": {},", args.scans);
     let _ = writeln!(out, "  \"span\": {},", args.span);

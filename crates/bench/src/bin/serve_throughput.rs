@@ -15,20 +15,35 @@
 //! doubles as a concurrency test for the lock-free registry, and the
 //! scrape count lands in the JSON so overhead runs are comparable.
 //!
+//! With `--profile`, every worker thread opens a `perf-event` counter
+//! group (hardware counters where the kernel grants them, the software
+//! clock otherwise — the JSON says which), the per-run output carries
+//! the per-stage cycle breakdown, and a paper-style per-engine sweep
+//! (scalar / group-prefetch / AMAC over the same Zipfian probes)
+//! reports IPC, LLC MPKI, stall fraction, and effective MLP per
+//! walker engine — Figure 2 of the paper, measured live.
+//!
 //! Usage: `serve_throughput [--shards N] [--probes N] [--entries N]
-//! [--theta T] [--req-size N] [--scrape-ms N] [--smoke] [--json PATH]`.
+//! [--theta T] [--req-size N] [--scrape-ms N] [--profile] [--smoke]
+//! [--json PATH]`.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use widx_bench::prof::{engines_json, host_json, profile_engines, render_engine_table};
 use widx_bench::table::{f1, f2, pct, Table};
 use widx_db::hash::HashRecipe;
+use widx_db::index::HashIndex;
 use widx_serve::{ProbeService, Request, ServeConfig, ServiceStats};
 use widx_workloads::datagen;
 
 const SEED: u64 = 0xD15C0;
 const CLIENTS: usize = 4;
+/// AMAC ring size / group-prefetch width for the per-engine profiled
+/// sweep (matches the serving tier's default walker shape).
+const PROFILE_INFLIGHT: usize = 8;
+const PROFILE_GROUP: usize = 16;
 
 struct Args {
     shards: Option<usize>,
@@ -37,6 +52,7 @@ struct Args {
     theta: f64,
     req_size: usize,
     scrape_ms: Option<u64>,
+    profile: bool,
     smoke: bool,
     json: Option<String>,
 }
@@ -49,6 +65,7 @@ fn parse_args() -> Args {
         theta: 0.99,
         req_size: 128,
         scrape_ms: None,
+        profile: false,
         smoke: false,
         json: None,
     };
@@ -65,6 +82,7 @@ fn parse_args() -> Args {
             "--theta" => args.theta = value().parse().expect("--theta"),
             "--req-size" => args.req_size = value().parse().expect("--req-size"),
             "--scrape-ms" => args.scrape_ms = Some(value().parse().expect("--scrape-ms")),
+            "--profile" => args.profile = true,
             "--smoke" => args.smoke = true,
             "--json" => args.json = Some(value()),
             other => panic!("unknown flag {other}"),
@@ -98,6 +116,7 @@ struct Run {
 /// Drives `probes` through a freshly built service with `CLIENTS`
 /// pipelining client threads. With `scrape_ms`, a telemetry thread
 /// polls `live_stats()` concurrently, asserting monotone counters.
+#[allow(clippy::too_many_arguments)]
 fn run_once(
     pairs: &[(u64, u64)],
     probes: &[u64],
@@ -106,11 +125,13 @@ fn run_once(
     batch_size: usize,
     req_size: usize,
     scrape_ms: Option<u64>,
+    profile: bool,
 ) -> Run {
     let config = ServeConfig::default()
         .with_shards(shards)
         .with_inflight(inflight)
-        .with_batch_size(batch_size);
+        .with_batch_size(batch_size)
+        .with_profile(profile);
     let service = ProbeService::build(HashRecipe::robust64(), pairs.iter().copied(), &config);
 
     let started = Instant::now();
@@ -179,16 +200,21 @@ fn run_once(
     }
 }
 
-fn render_json(args: &Args, runs: &[Run]) -> String {
+fn render_json(args: &Args, runs: &[Run], engines: &[widx_bench::prof::EngineProfile]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"serve_throughput\",");
     let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"host\": {},", host_json());
     let _ = writeln!(out, "  \"entries\": {},", args.entries);
     let _ = writeln!(out, "  \"probes\": {},", args.probes);
     let _ = writeln!(out, "  \"theta\": {},", args.theta);
     let _ = writeln!(out, "  \"req_size\": {},", args.req_size);
     let _ = writeln!(out, "  \"clients\": {CLIENTS},");
+    let _ = writeln!(out, "  \"profile\": {},", args.profile);
+    if args.profile {
+        let _ = writeln!(out, "  \"engine_profiles\": {},", engines_json(engines));
+    }
     out.push_str("  \"runs\": [\n");
     for (i, run) in runs.iter().enumerate() {
         let lat = &run.stats.latency;
@@ -205,6 +231,9 @@ fn render_json(args: &Args, runs: &[Run]) -> String {
              \"p95\": {}, \"p99\": {}, \"max\": {}}}, ",
             lat.count, lat.mean_ns, lat.p50_ns, lat.p95_ns, lat.p99_ns, lat.max_ns
         );
+        if let Some(prof) = &run.stats.prof {
+            let _ = write!(out, "\"prof\": {}, ", prof.to_json());
+        }
         out.push_str("\"workers\": [");
         for (j, w) in run.stats.workers.iter().enumerate() {
             let _ = write!(
@@ -284,6 +313,7 @@ fn main() {
                     batch_size,
                     args.req_size,
                     args.scrape_ms,
+                    args.profile,
                 );
                 let occ = run
                     .stats
@@ -325,8 +355,36 @@ fn main() {
         println!("(live-stats scraper: {total} mid-run scrapes, counters monotone throughout)");
     }
 
+    // The per-engine profiled sweep: the same Zipfian probes through
+    // scalar / group-prefetch / AMAC walkers on one thread, each under
+    // a counter group — the paper's cycle-breakdown figure, live.
+    let mut engines = Vec::new();
+    if args.profile {
+        let (backend, hw, fallback) = widx_bench::prof::prof_backend();
+        println!(
+            "\n== per-engine profile (backend {backend}, hw counters {}) ==",
+            if hw { "on" } else { "off" }
+        );
+        if let Some(reason) = fallback {
+            println!("(hardware counters unavailable — {reason}; software clock backend)");
+        }
+        let index = HashIndex::build(
+            HashRecipe::robust64(),
+            args.entries as usize,
+            pairs.iter().copied(),
+        );
+        engines = profile_engines(&index, &probes, PROFILE_INFLIGHT, PROFILE_GROUP);
+        println!("{}", render_engine_table(&engines));
+        println!(
+            "(effective MLP = LLC-misses x {} cycles / walk cycles; \
+             soft MLP = walker occupancy / rounds — AMAC should hold the \
+             highest MLP, the paper's inter-key parallelism claim)",
+            widx_obs::MISS_LATENCY_CYCLES
+        );
+    }
+
     if let Some(path) = &args.json {
-        let json = render_json(&args, &runs);
+        let json = render_json(&args, &runs, &engines);
         std::fs::write(path, json).expect("write json");
         println!("\nwrote {path}");
     }

@@ -7,5 +7,6 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod prof;
 pub mod runner;
 pub mod table;

@@ -360,7 +360,12 @@ impl WidxClient {
                         self.streams.remove(&id);
                     }
                 }
-                Ok(Reply::Response(_) | Reply::Stats { .. } | Reply::Trace { .. }) => {
+                Ok(
+                    Reply::Response(_)
+                    | Reply::Stats { .. }
+                    | Reply::Trace { .. }
+                    | Reply::Profile { .. },
+                ) => {
                     // A buffered reply on a stream id: protocol
                     // violation; fault the stream rather than lose sync.
                     slot.fault = Some(StreamFault::Remote(ErrorReply::new(
@@ -391,7 +396,8 @@ impl WidxClient {
                 Reply::RangeChunk(_)
                 | Reply::RangeEnd { .. }
                 | Reply::Stats { .. }
-                | Reply::Trace { .. },
+                | Reply::Trace { .. }
+                | Reply::Profile { .. },
             ) => None,
             Err(error) => Some((id, Err(error))),
         }
@@ -610,6 +616,42 @@ impl WidxClient {
             return match reply {
                 Ok(Reply::Trace { json }) => Ok(json),
                 Ok(_) => Err(protocol_violation("mismatched reply variant for Trace")),
+                Err(error) => Err(ClientError::Remote(error)),
+            };
+        }
+    }
+
+    /// Scrapes the server's hardware-profiling counters: sends one
+    /// `Profile` frame and blocks for the JSON document of per-stage
+    /// counter totals and derived ratios (answered inline from the
+    /// event loop, like [`stats_json`](WidxClient::stats_json)). A
+    /// server built without `--profile` answers
+    /// `{"enabled": false}` rather than an error. Replies to other
+    /// pipelined ids arriving meanwhile are stashed for their own
+    /// `recv` calls.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] when the server answered with an error
+    /// frame — an `Unsupported` code means a pre-profiling server;
+    /// [`ClientError::Io`] on connection failure or a non-profile reply
+    /// on this id.
+    pub fn profile_json(&mut self) -> Result<String, ClientError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        wire::encode_profile_request(&mut self.ebuf, id);
+        self.dispatch_encoded()?;
+        loop {
+            let (got, reply) = self.read_frame()?;
+            if got != id {
+                if let Some(stashed) = self.route_frame((got, reply)) {
+                    self.stash.push_back(stashed);
+                }
+                continue;
+            }
+            return match reply {
+                Ok(Reply::Profile { json }) => Ok(json),
+                Ok(_) => Err(protocol_violation("mismatched reply variant for Profile")),
                 Err(error) => Err(ClientError::Remote(error)),
             };
         }

@@ -618,6 +618,18 @@ impl Connection {
                         self.mark_reply_written(None);
                         continue;
                     }
+                    if matches!(value, WireRequest::Profile) {
+                        // Same inline contract as Stats: the counter
+                        // snapshot is a handful of atomic loads, and a
+                        // profiling scrape must not perturb the queues
+                        // it is attributing stalls to.
+                        let json = service.profile_json();
+                        self.wbuf
+                            .encode_with(|b| wire::encode_profile_reply(b, id, &json));
+                        counters.frames_out.fetch_add(1, Ordering::Relaxed);
+                        self.mark_reply_written(None);
+                        continue;
+                    }
                     if self.inflight() >= config.max_inflight_per_conn {
                         counters.busy_rejects.fetch_add(1, Ordering::Relaxed);
                         self.reply_error(
@@ -659,7 +671,7 @@ impl Connection {
                                     entries: 0,
                                 });
                             }),
-                        WireRequest::Stats | WireRequest::Trace => {
+                        WireRequest::Stats | WireRequest::Trace | WireRequest::Profile => {
                             unreachable!("answered before the in-flight cap")
                         }
                     };

@@ -74,6 +74,13 @@ const OP_STATS: u8 = 0x07;
 /// extension like [`OP_STATS`]: a pre-tracing server answers
 /// `Unsupported` and the connection survives.
 const OP_TRACE: u8 = 0x08;
+/// A hardware-profiling scrape (empty payload): answered immediately
+/// from the event loop with one [`OP_R_PROFILE`] frame carrying the
+/// service's per-stage counter breakdown as JSON
+/// (`ProbeService::profile_json`). Rule-4 opcode extension like
+/// [`OP_STATS`]: a pre-profiling server answers `Unsupported` and the
+/// connection survives.
+const OP_PROFILE: u8 = 0x09;
 
 /// Reply opcodes (high bit set) mirror their requests; `0xEE` is the
 /// error frame.
@@ -90,6 +97,9 @@ const OP_R_STATS: u8 = 0x87;
 /// A flight-recorder snapshot: the payload is the remaining body,
 /// UTF-8 JSON (`FlightRecorder::to_json`).
 const OP_R_TRACE: u8 = 0x88;
+/// A profiling snapshot: the payload is the remaining body, UTF-8 JSON
+/// (`ProbeService::profile_json`).
+const OP_R_PROFILE: u8 = 0x89;
 const OP_R_ERROR: u8 = 0xEE;
 
 /// Scan-flag bits carried by [`OP_RANGE_SCAN2`] / [`OP_RANGE_STREAM`]
@@ -178,6 +188,9 @@ pub enum WireRequest {
     /// A flight-recorder scrape ([`OP_TRACE`]): answered from the event
     /// loop itself, never submitted to a shard queue.
     Trace,
+    /// A hardware-profiling scrape ([`OP_PROFILE`]): answered from the
+    /// event loop itself, never submitted to a shard queue.
+    Profile,
 }
 
 /// A decoded reply frame, as the client sees it: a buffered response,
@@ -205,6 +218,12 @@ pub enum Reply {
     Trace {
         /// The recorder document — gauges plus recent traces, newest
         /// first (`FlightRecorder::to_json`).
+        json: String,
+    },
+    /// A profiling snapshot answering [`OP_PROFILE`].
+    Profile {
+        /// The profile document — backend, per-stage counters, and
+        /// derived ratios (`ProbeService::profile_json`).
         json: String,
     },
 }
@@ -446,6 +465,22 @@ pub fn encode_trace_reply(buf: &mut Vec<u8>, id: u64, json: &str) {
     let body = json.as_bytes();
     let body = &body[..body.len().min(MAX_BODY_LEN - HEADER_LEN)];
     frame(buf, OP_R_TRACE, id, |b| b.extend_from_slice(body));
+}
+
+/// Encodes one profiling scrape request frame onto `buf` — the client
+/// side of [`OP_PROFILE`]. The payload is empty; the reply carries the
+/// JSON.
+pub fn encode_profile_request(buf: &mut Vec<u8>, id: u64) {
+    frame(buf, OP_PROFILE, id, |_| {});
+}
+
+/// Encodes one profiling reply frame onto `buf`. Like the stats reply,
+/// the JSON is truncated at the frame cap rather than panicking the
+/// event loop (unreachable: a profile document is a few hundred bytes).
+pub fn encode_profile_reply(buf: &mut Vec<u8>, id: u64, json: &str) {
+    let body = json.as_bytes();
+    let body = &body[..body.len().min(MAX_BODY_LEN - HEADER_LEN)];
+    frame(buf, OP_R_PROFILE, id, |b| b.extend_from_slice(body));
 }
 
 /// Encodes one stream-chunk reply frame onto `buf`.
@@ -709,6 +744,7 @@ fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<WireRequest, Dec
         }
         OP_STATS => WireRequest::Stats,
         OP_TRACE => WireRequest::Trace,
+        OP_PROFILE => WireRequest::Profile,
         other => return Err(DecodeError::Opcode(other)),
     };
     c.finish()?;
@@ -741,6 +777,10 @@ fn decode_reply_payload(
         OP_R_TRACE => Ok(Reply::Trace {
             json: String::from_utf8(c.rest().to_vec())
                 .map_err(|_| DecodeError::Payload("trace payload is not UTF-8"))?,
+        }),
+        OP_R_PROFILE => Ok(Reply::Profile {
+            json: String::from_utf8(c.rest().to_vec())
+                .map_err(|_| DecodeError::Payload("profile payload is not UTF-8"))?,
         }),
         OP_R_ERROR => {
             let code = ErrorCode::from_u8(c.u8()?);
@@ -1109,6 +1149,64 @@ mod tests {
             Decoded::Corrupt { id, error, .. } => {
                 assert_eq!(id, 33);
                 assert_eq!(error, DecodeError::Payload("trace payload is not UTF-8"));
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profile_frames_roundtrip() {
+        // Request: empty payload under the rule-4 0x09 opcode.
+        let mut buf = Vec::new();
+        encode_profile_request(&mut buf, 41);
+        assert_eq!(buf[5], OP_PROFILE);
+        assert_eq!(buf.len(), 4 + HEADER_LEN, "empty payload");
+        match decode_request(&buf).unwrap() {
+            Decoded::Frame {
+                consumed,
+                id,
+                value,
+            } => {
+                assert_eq!((consumed, id), (buf.len(), 41));
+                assert_eq!(value, WireRequest::Profile);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+        // A profile request with trailing bytes is malformed, not ignored.
+        let mut buf = Vec::new();
+        frame(&mut buf, OP_PROFILE, 42, |b| b.push(1));
+        match decode_request(&buf).unwrap() {
+            Decoded::Corrupt { error, .. } => {
+                assert_eq!(error, DecodeError::Payload("trailing bytes in payload"));
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        // Reply: the body is the JSON, verbatim.
+        let json = r#"{"enabled": true, "prof": {"backend":"soft","hw":false}}"#;
+        let mut buf = Vec::new();
+        encode_profile_reply(&mut buf, 41, json);
+        assert_eq!(buf[5], OP_R_PROFILE);
+        match decode_reply(&buf).unwrap() {
+            Decoded::Frame { id, value, .. } => {
+                assert_eq!(id, 41);
+                assert_eq!(
+                    value,
+                    Ok(Reply::Profile {
+                        json: json.to_string(),
+                    })
+                );
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+        // Non-UTF-8 profile bodies are corrupt but resynchronizable.
+        let mut buf = Vec::new();
+        frame(&mut buf, OP_R_PROFILE, 43, |b| {
+            b.extend_from_slice(&[0xFF, 0xFE])
+        });
+        match decode_reply(&buf).unwrap() {
+            Decoded::Corrupt { id, error, .. } => {
+                assert_eq!(id, 43);
+                assert_eq!(error, DecodeError::Payload("profile payload is not UTF-8"));
             }
             other => panic!("expected corrupt, got {other:?}"),
         }

@@ -56,15 +56,13 @@ fn slow_request_is_tail_recorded_with_the_full_span_seam() {
 
     // A net-armed trace commits on the reactor thread once the reply
     // bytes flush — an instant *after* the client can observe the
-    // reply — so give the commit a moment to land.
+    // reply. `flush` waits out every armed trace's commit ticket, so
+    // the asserts below are deterministic, not racy lower bounds.
     let recorder = service.flight_recorder();
-    let deadline = std::time::Instant::now() + Duration::from_secs(2);
-    while recorder.stats().recorded == 0 && std::time::Instant::now() < deadline {
-        std::thread::yield_now();
-    }
+    recorder.flush();
     let stats = recorder.stats();
-    assert!(stats.recorded >= 1, "slow scan not tail-recorded");
-    assert!(stats.slow >= 1, "slow counter did not move");
+    assert_eq!(stats.recorded, 1, "slow scan not tail-recorded");
+    assert_eq!(stats.slow, 1, "slow counter did not move");
 
     let traces = recorder.snapshot();
     let trace = traces

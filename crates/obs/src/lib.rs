@@ -18,10 +18,15 @@
 //! - [`FlightRecorder`] / [`RequestTrace`]: the per-request trace seam — a
 //!   bounded ring of completed traces (spans per stage plus walker-level
 //!   [`WalkCounters`]) filled by head sampling and a tail slow-threshold.
+//! - [`ThreadProfiler`] / [`ProfCell`] / [`ProfSnapshot`]: hardware
+//!   counter windows (cycles, instructions, LLC/dTLB misses) scoped to
+//!   the same stage seam, with derived IPC / MPKI / stall-fraction /
+//!   effective-MLP and a software-counter cross-check.
 //! - [`json`]: tiny escape/extract helpers for the JSON stats payload.
 //!
-//! Everything here is plain `std` atomics — no locks on any record path,
-//! and no dependencies.
+//! Everything here is plain `std` atomics — no locks on any record path.
+//! The only dependency is the vendored `perf-event` shim the `prof`
+//! module sits on (which keeps its `unsafe` on its side of the fence).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +35,7 @@ mod cell;
 mod gauge;
 mod hist;
 pub mod json;
+mod prof;
 mod prom;
 mod stage;
 mod trace;
@@ -39,8 +45,12 @@ pub use gauge::ReactorGauges;
 pub use hist::{
     bucket_ceil, bucket_floor, bucket_of, AtomicHistogram, HistogramSnapshot, HIST_BUCKETS,
 };
+pub use prof::{
+    ProfCell, ProfMark, ProfSnapshot, ProfStageSnapshot, ThreadProfiler, MISS_LATENCY_CYCLES,
+};
 pub use prom::{lint_exposition, PromText};
 pub use stage::{Stage, StageSnapshot, StageTimes};
 pub use trace::{
-    ActiveTrace, FlightRecorder, RecorderStats, RequestTrace, Span, TraceStage, WalkCounters,
+    ActiveTrace, FlightRecorder, PendingCommit, RecorderStats, RequestTrace, Span, TraceStage,
+    WalkCounters,
 };

@@ -46,7 +46,7 @@ impl Stage {
     }
 
     #[inline]
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             Stage::QueueWait => 0,
             Stage::BatchWait => 1,

@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::json;
@@ -311,6 +311,8 @@ pub struct FlightRecorder {
     dropped: AtomicU64,
     slow: AtomicU64,
     slow_logged: Mutex<Option<Instant>>,
+    pending: Mutex<u64>,
+    drained: Condvar,
 }
 
 impl FlightRecorder {
@@ -326,6 +328,8 @@ impl FlightRecorder {
             dropped: AtomicU64::new(0),
             slow: AtomicU64::new(0),
             slow_logged: Mutex::new(None),
+            pending: Mutex::new(0),
+            drained: Condvar::new(),
         }
     }
 
@@ -411,6 +415,39 @@ impl FlightRecorder {
         out
     }
 
+    /// Take a commit ticket: the recorder counts the trace as
+    /// *pending* until the returned guard drops.
+    ///
+    /// A trace commits strictly *after* the completion wakeup that
+    /// releases the blocked caller, so "the call returned" does not
+    /// imply "the trace is in the ring". Holding a ticket for the
+    /// lifetime of each armed trace (dropped after the commit decision)
+    /// gives [`flush`](FlightRecorder::flush) a deterministic barrier —
+    /// no poll-briefly-before-asserting in tests.
+    #[must_use]
+    pub fn begin_commit(self: &Arc<FlightRecorder>) -> PendingCommit {
+        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        *pending += 1;
+        drop(pending);
+        PendingCommit {
+            recorder: Arc::clone(self),
+        }
+    }
+
+    /// Block until every outstanding commit ticket has dropped, i.e.
+    /// every armed trace whose caller has already been released has
+    /// reached its commit decision. Returns immediately when nothing
+    /// is pending.
+    pub fn flush(&self) {
+        let mut pending = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        while *pending > 0 {
+            pending = self
+                .drained
+                .wait(pending)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
     /// Emit the slow-request log line, rate-limited to one per
     /// [`SLOW_LOG_INTERVAL`].
     fn log_slow(&self, trace: &RequestTrace) {
@@ -430,6 +467,28 @@ impl FlightRecorder {
             trace.walk.nodes,
             trace.walk.max_chain
         );
+    }
+}
+
+/// RAII commit ticket from [`FlightRecorder::begin_commit`]; dropping
+/// it (after the trace's commit decision) releases any
+/// [`FlightRecorder::flush`] waiting on the recorder.
+#[derive(Debug)]
+pub struct PendingCommit {
+    recorder: Arc<FlightRecorder>,
+}
+
+impl Drop for PendingCommit {
+    fn drop(&mut self) {
+        let mut pending = self
+            .recorder
+            .pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        *pending = pending.saturating_sub(1);
+        if *pending == 0 {
+            self.recorder.drained.notify_all();
+        }
     }
 }
 
@@ -549,6 +608,30 @@ mod tests {
         for span in &trace.spans {
             assert!(span.start_ns + span.dur_ns <= trace.total_ns + 1_000);
         }
+    }
+
+    #[test]
+    fn flush_waits_for_outstanding_commit_tickets() {
+        let rec = Arc::new(FlightRecorder::new(4));
+        // No tickets: flush returns immediately.
+        rec.flush();
+
+        let ticket = rec.begin_commit();
+        let other = Arc::clone(&rec);
+        let committer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            other.record(mk_trace(1, false));
+            drop(ticket);
+        });
+        rec.flush();
+        // The barrier released only after the commit landed.
+        assert_eq!(rec.stats().recorded, 1);
+        committer.join().unwrap();
+
+        // Tickets dropped without a record (unsampled trace) release too.
+        let ticket = rec.begin_commit();
+        drop(ticket);
+        rec.flush();
     }
 
     #[test]

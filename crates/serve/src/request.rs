@@ -7,7 +7,9 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use widx_obs::{ActiveTrace, FlightRecorder, Stage, StageTimes, TraceStage, WorkerCell};
+use widx_obs::{
+    ActiveTrace, FlightRecorder, PendingCommit, Stage, StageTimes, TraceStage, WorkerCell,
+};
 
 /// A probe request submitted to the service.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -186,6 +188,13 @@ pub(crate) struct TraceState {
     pub(crate) recorder: Arc<FlightRecorder>,
     pub(crate) slow_threshold: Option<Duration>,
     pub(crate) deferred: bool,
+    /// Barrier ticket taken when the trace was armed. Every commit path
+    /// runs its `offer` *before* this field drops (fields drop after the
+    /// statement that moved `active` out), so once
+    /// [`FlightRecorder::flush`] returns, the recorder has seen this
+    /// trace's commit decision — including a deferred trace whose
+    /// finisher was dropped without committing.
+    pub(crate) _commit_ticket: PendingCommit,
 }
 
 impl TraceState {

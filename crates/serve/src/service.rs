@@ -7,7 +7,8 @@ use std::time::{Duration, Instant};
 
 use widx_db::hash::HashRecipe;
 use widx_obs::{
-    ActiveTrace, FlightRecorder, HistogramSnapshot, StageTimes, TraceStage, WorkerCell,
+    ActiveTrace, FlightRecorder, HistogramSnapshot, ProfCell, ProfSnapshot, StageTimes, TraceStage,
+    WorkerCell,
 };
 use widx_soft::ScanRange;
 
@@ -60,6 +61,16 @@ pub struct ServeConfig {
     pub slow_threshold: Option<Duration>,
     /// Flight-recorder ring capacity in traces.
     pub trace_capacity: usize,
+    /// Hardware profiling: when set, every worker thread opens a
+    /// `perf-event` counter group (cycles, instructions, LLC misses,
+    /// dTLB misses) and attributes windows to the stage seam, so
+    /// [`ProbeService::live_stats`] and the `Profile` wire opcode carry
+    /// a per-stage cycle breakdown with derived IPC / MPKI /
+    /// stall-fraction / effective-MLP. On hosts without usable hardware
+    /// counters the groups degrade to the software backend (the
+    /// snapshot says so) — enabling this never fails. Off by default:
+    /// unprofiled workers pay nothing.
+    pub profile: bool,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +88,7 @@ impl Default for ServeConfig {
             trace_sample: 0,
             slow_threshold: None,
             trace_capacity: 256,
+            profile: false,
         }
     }
 }
@@ -149,6 +161,14 @@ impl ServeConfig {
     #[must_use]
     pub fn with_trace_capacity(mut self, traces: usize) -> ServeConfig {
         self.trace_capacity = traces;
+        self
+    }
+
+    /// Enables per-worker hardware profiling (see
+    /// [`profile`](ServeConfig::profile)).
+    #[must_use]
+    pub fn with_profile(mut self, profile: bool) -> ServeConfig {
+        self.profile = profile;
         self
     }
 }
@@ -224,6 +244,11 @@ pub struct ProbeService {
     /// read-only snapshot at any time — no join required.
     cells: Vec<Arc<WorkerCell>>,
     range_cells: Vec<Arc<WorkerCell>>,
+    /// Per-worker hardware-profiling cells (shard order), populated only
+    /// when the config enabled profiling — both empty otherwise, which
+    /// is also how `snapshot_stats` knows profiling is off.
+    prof_cells: Vec<Arc<ProfCell>>,
+    range_prof_cells: Vec<Arc<ProfCell>>,
     /// The shared stage-timing seam (queue-wait / batch-wait / walk /
     /// gather / reply-write).
     stages: Arc<StageTimes>,
@@ -345,6 +370,14 @@ impl ProbeService {
         let cells: Vec<Arc<WorkerCell>> = (0..sharded.shard_count())
             .map(|_| Arc::new(WorkerCell::new()))
             .collect();
+        let prof_for = |count: usize| -> Vec<Arc<ProfCell>> {
+            if config.profile {
+                (0..count).map(|_| Arc::new(ProfCell::new())).collect()
+            } else {
+                Vec::new()
+            }
+        };
+        let prof_cells = prof_for(sharded.shard_count());
         let workers = queues
             .iter()
             .enumerate()
@@ -357,6 +390,7 @@ impl ProbeService {
                     inflight: config.inflight,
                     cell: Arc::clone(&cells[shard]),
                     stages: Arc::clone(&stages),
+                    prof: prof_cells.get(shard).cloned(),
                 };
                 std::thread::Builder::new()
                     .name(format!("widx-serve-{shard}"))
@@ -367,6 +401,7 @@ impl ProbeService {
         let ordered = ordered.map(Arc::new);
         let mut range_queues = Vec::new();
         let mut range_cells = Vec::new();
+        let mut range_prof_cells = Vec::new();
         let mut range_workers = Vec::new();
         if let Some(ordered) = &ordered {
             range_queues = (0..ordered.shard_count())
@@ -375,6 +410,7 @@ impl ProbeService {
             range_cells = (0..ordered.shard_count())
                 .map(|_| Arc::new(WorkerCell::new()))
                 .collect();
+            range_prof_cells = prof_for(ordered.shard_count());
             range_workers = range_queues
                 .iter()
                 .enumerate()
@@ -388,6 +424,7 @@ impl ProbeService {
                         stream_chunk: config.stream_chunk,
                         cell: Arc::clone(&range_cells[shard]),
                         stages: Arc::clone(&stages),
+                        prof: range_prof_cells.get(shard).cloned(),
                     };
                     std::thread::Builder::new()
                         .name(format!("widx-range-{shard}"))
@@ -405,6 +442,8 @@ impl ProbeService {
             range_workers,
             cells,
             range_cells,
+            prof_cells,
+            range_prof_cells,
             stages,
             recorder: Arc::new(FlightRecorder::new(config.trace_capacity)),
             trace_seq: AtomicU64::new(0),
@@ -463,6 +502,39 @@ impl ProbeService {
         self.recorder.to_json()
     }
 
+    /// Whether the service was built with hardware profiling enabled
+    /// ([`ServeConfig::with_profile`]).
+    #[must_use]
+    pub fn profiling_enabled(&self) -> bool {
+        !self.prof_cells.is_empty() || !self.range_prof_cells.is_empty()
+    }
+
+    /// The merged profiling snapshot across every worker, or `None`
+    /// when the service was built without profiling.
+    #[must_use]
+    pub fn prof_snapshot(&self) -> Option<ProfSnapshot> {
+        if !self.profiling_enabled() {
+            return None;
+        }
+        let mut merged = ProfSnapshot::default();
+        for cell in self.prof_cells.iter().chain(&self.range_prof_cells) {
+            merged.merge(&cell.snapshot());
+        }
+        Some(merged)
+    }
+
+    /// The profiling snapshot as a self-describing JSON document — the
+    /// payload of the `Profile` wire opcode. An unprofiled service
+    /// answers `{"enabled": false}` rather than erroring, so a scraper
+    /// can probe for the capability.
+    #[must_use]
+    pub fn profile_json(&self) -> String {
+        match self.prof_snapshot() {
+            Some(snap) => format!("{{\"enabled\": true, \"prof\": {}}}", snap.to_json()),
+            None => "{\"enabled\": false}".to_owned(),
+        }
+    }
+
     /// Decide whether this request carries a trace, and build it. Runs
     /// at plan time, *before* the request is enqueued, which is what
     /// makes net-deferred commits race-free: the deferral policy is
@@ -492,6 +564,7 @@ impl ProbeService {
             recorder: Arc::clone(&self.recorder),
             slow_threshold: self.slow_threshold,
             deferred: net.is_some(),
+            _commit_ticket: self.recorder.begin_commit(),
         }))
     }
 
@@ -975,6 +1048,7 @@ impl ProbeService {
             stages: StageStats::from_snapshot(&self.stages.snapshot()),
             net: crate::stats::NetStats::default(),
             trace: self.recorder.stats(),
+            prof: self.prof_snapshot(),
             wall: self.started.elapsed(),
         }
     }

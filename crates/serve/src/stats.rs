@@ -10,7 +10,8 @@
 use std::time::Duration;
 
 use widx_obs::{
-    HistogramSnapshot, PromText, RecorderStats, Stage, StageSnapshot, WorkerCellSnapshot,
+    HistogramSnapshot, ProfSnapshot, PromText, RecorderStats, Stage, StageSnapshot,
+    WorkerCellSnapshot,
 };
 
 /// Counters one shard worker accumulates over its lifetime.
@@ -300,6 +301,12 @@ pub struct ServiceStats {
     /// Flight-recorder gauges: ring depth and record/drop/slow totals.
     /// All zero unless per-request tracing is armed.
     pub trace: RecorderStats,
+    /// Hardware-profiling snapshot merged across every worker: per-stage
+    /// cycles/instructions/misses with derived IPC / MPKI / stall
+    /// fraction / effective MLP, plus the software walker cross-check.
+    /// `None` unless the service was built with
+    /// `ServeConfig::with_profile(true)`.
+    pub prof: Option<ProfSnapshot>,
     /// Wall-clock time from service start to this snapshot.
     pub wall: Duration,
 }
@@ -392,6 +399,9 @@ impl ServiceStats {
             self.trace.dropped,
             self.trace.slow
         ));
+        if let Some(prof) = &self.prof {
+            out.push_str(&format!(" \"prof\": {},", prof.to_json()));
+        }
         out.push_str(&format!(" \"latency\": {},", self.latency.to_json()));
         out.push_str(" \"stages\": {");
         for (i, (name, summary)) in self.stages.named().iter().enumerate() {
@@ -614,6 +624,9 @@ impl ServiceStats {
                 .type_(name, "counter")
                 .sample_u64(name, &[], value);
         }
+        if let Some(prof) = &self.prof {
+            self.render_prof_prometheus(&mut p, prof);
+        }
         if !self.net.reactors.is_empty() {
             p.help(
                 "widx_net_reactor_open_connections",
@@ -641,6 +654,122 @@ impl ServiceStats {
             }
         }
         p.finish()
+    }
+
+    /// The `widx_prof_*` series: per-stage hardware counters, derived
+    /// memory-boundedness gauges (only when their denominators ticked —
+    /// the `soft` backend emits none), and the software walker
+    /// cross-check.
+    fn render_prof_prometheus(&self, p: &mut PromText, prof: &ProfSnapshot) {
+        use widx_obs::ProfStageSnapshot;
+
+        p.help(
+            "widx_prof_workers",
+            "Worker counter groups merged into the profile.",
+        )
+        .type_("widx_prof_workers", "gauge")
+        .sample_u64("widx_prof_workers", &[], prof.workers);
+        p.help(
+            "widx_prof_hw",
+            "1 when the profile carries real hardware counts.",
+        )
+        .type_("widx_prof_hw", "gauge")
+        .sample_u64("widx_prof_hw", &[], u64::from(prof.hw));
+        for (name, help) in [
+            (
+                "widx_prof_cycles_total",
+                "Core cycles attributed per stage.",
+            ),
+            (
+                "widx_prof_instructions_total",
+                "Instructions retired per stage.",
+            ),
+            ("widx_prof_llc_misses_total", "LLC misses per stage."),
+            ("widx_prof_dtlb_misses_total", "dTLB misses per stage."),
+            (
+                "widx_prof_windows_total",
+                "Counter windows recorded per stage.",
+            ),
+        ] {
+            p.help(name, help).type_(name, "counter");
+        }
+        for stage in Stage::ALL {
+            let s = prof.get(stage);
+            let labels = [("stage", stage.name())];
+            p.sample_u64("widx_prof_cycles_total", &labels, s.cycles);
+            p.sample_u64("widx_prof_instructions_total", &labels, s.instructions);
+            p.sample_u64("widx_prof_llc_misses_total", &labels, s.llc_misses);
+            p.sample_u64("widx_prof_dtlb_misses_total", &labels, s.dtlb_misses);
+            p.sample_u64("widx_prof_windows_total", &labels, s.windows);
+        }
+        type Derived = fn(&ProfStageSnapshot) -> Option<f64>;
+        let derived: [(&str, &str, Derived); 4] = [
+            (
+                "widx_prof_ipc",
+                "Instructions per cycle per stage.",
+                ProfStageSnapshot::ipc,
+            ),
+            (
+                "widx_prof_llc_mpki",
+                "LLC misses per thousand instructions per stage.",
+                ProfStageSnapshot::llc_mpki,
+            ),
+            (
+                "widx_prof_stall_fraction",
+                "First-order fraction of stage cycles under an LLC miss.",
+                ProfStageSnapshot::stall_fraction,
+            ),
+            (
+                "widx_prof_effective_mlp",
+                "Miss-latency-weighted cycles over actual cycles per stage.",
+                ProfStageSnapshot::effective_mlp,
+            ),
+        ];
+        for (name, help, get) in derived {
+            if Stage::ALL.into_iter().all(|s| get(prof.get(s)).is_none()) {
+                continue;
+            }
+            p.help(name, help).type_(name, "gauge");
+            for stage in Stage::ALL {
+                if let Some(v) = get(prof.get(stage)) {
+                    p.sample(name, &[("stage", stage.name())], v);
+                }
+            }
+        }
+        for (name, help, value) in [
+            (
+                "widx_prof_walk_nodes_total",
+                "Index nodes visited by profiled walkers.",
+                prof.walk.nodes,
+            ),
+            (
+                "widx_prof_walk_rounds_total",
+                "Walker ring rounds across profiled batches.",
+                prof.walk.rounds,
+            ),
+            (
+                "widx_prof_walk_occupancy_total",
+                "Live walker slots summed over rounds.",
+                prof.walk.occupancy,
+            ),
+            (
+                "widx_prof_walk_prefetches_total",
+                "Prefetches issued by profiled walkers.",
+                prof.walk.prefetches,
+            ),
+        ] {
+            p.help(name, help)
+                .type_(name, "counter")
+                .sample_u64(name, &[], value);
+        }
+        if let Some(mlp) = prof.soft_mlp() {
+            p.help(
+                "widx_prof_soft_mlp",
+                "Software MLP cross-check: walker occupancy per round.",
+            )
+            .type_("widx_prof_soft_mlp", "gauge")
+            .sample("widx_prof_soft_mlp", &[], mlp);
+        }
     }
 }
 
@@ -737,6 +866,7 @@ mod tests {
             stages: StageStats::default(),
             net: NetStats::default(),
             trace: RecorderStats::default(),
+            prof: None,
             wall: Duration::from_secs(2),
         };
         assert_eq!(stats.total_keys(), 100);
@@ -761,6 +891,11 @@ mod tests {
         assert!(json.contains(&format!("\"version\": \"{}\"", env!("CARGO_PKG_VERSION"))));
         assert!(json.contains("\"trace\": {\"capacity\": 0, \"depth\": 0,"));
 
+        assert!(
+            !json.contains("\"prof\""),
+            "no prof block without profiling"
+        );
+
         let prom = stats.render_prometheus();
         assert!(prom.contains("widx_worker_keys_total{tier=\"point\",shard=\"0\"} 60"));
         assert!(prom.contains("widx_worker_matches_total{tier=\"range\",shard=\"0\"} 90"));
@@ -777,6 +912,85 @@ mod tests {
             !prom.contains("widx_net_reactor_open_connections"),
             "no per-reactor series without an attached server"
         );
+        assert!(
+            !prom.contains("widx_prof_"),
+            "no prof series without profiling"
+        );
+    }
+
+    #[test]
+    fn prof_snapshot_renders_in_json_and_prometheus() {
+        let mut prof = ProfSnapshot {
+            backend: "linux",
+            hw: true,
+            workers: 2,
+            ..ProfSnapshot::default()
+        };
+        // Index 2 is `Stage::Walk` in `Stage::ALL` order.
+        prof.stages[2] = widx_obs::ProfStageSnapshot {
+            windows: 4,
+            cycles: 10_000,
+            instructions: 5_000,
+            llc_misses: 100,
+            dtlb_misses: 10,
+            time_ns: 7_000,
+        };
+        prof.walk = widx_obs::WalkCounters {
+            nodes: 400,
+            max_chain: 3,
+            rounds: 100,
+            occupancy: 380,
+            prefetches: 400,
+        };
+        let stats = ServiceStats {
+            workers: vec![],
+            range_workers: vec![],
+            latency: LatencySummary::default(),
+            stages: StageStats::default(),
+            net: NetStats::default(),
+            trace: RecorderStats::default(),
+            prof: Some(prof),
+            wall: Duration::from_secs(1),
+        };
+
+        let json = stats.to_json();
+        assert!(json.contains("\"prof\": {\"backend\":\"linux\",\"hw\":true,"));
+        assert!(json.contains("\"soft_mlp\":3.8000"));
+
+        let prom = stats.render_prometheus();
+        assert!(prom.contains("widx_prof_workers 2"));
+        assert!(prom.contains("widx_prof_hw 1"));
+        assert!(prom.contains("widx_prof_cycles_total{stage=\"walk\"} 10000"));
+        assert!(prom.contains("widx_prof_ipc{stage=\"walk\"} 0.5"));
+        assert!(prom.contains("widx_prof_effective_mlp{stage=\"walk\"} 2"));
+        assert!(prom.contains("widx_prof_stall_fraction{stage=\"walk\"} 1"));
+        assert!(prom.contains("widx_prof_walk_prefetches_total 400"));
+        assert!(prom.contains("widx_prof_soft_mlp 3.8"));
+        assert!(
+            widx_obs::lint_exposition(&prom).is_empty(),
+            "prof series must pass the Prometheus lint"
+        );
+
+        // A soft-backend profile emits the counter series (all zero)
+        // but none of the derived gauges — their denominators never
+        // ticked — and still lints clean.
+        let soft = ServiceStats {
+            prof: Some(ProfSnapshot {
+                backend: "soft",
+                workers: 1,
+                ..ProfSnapshot::default()
+            }),
+            ..stats
+        };
+        let prom = soft.render_prometheus();
+        assert!(prom.contains("widx_prof_hw 0"));
+        assert!(prom.contains("widx_prof_cycles_total{stage=\"walk\"} 0"));
+        assert!(!prom.contains("widx_prof_ipc"), "no IPC without cycles");
+        assert!(
+            !prom.contains("widx_prof_soft_mlp"),
+            "no MLP without rounds"
+        );
+        assert!(widx_obs::lint_exposition(&prom).is_empty());
     }
 
     #[test]
@@ -803,6 +1017,7 @@ mod tests {
                 ..NetStats::default()
             },
             trace: RecorderStats::default(),
+            prof: None,
             wall: Duration::from_secs(1),
         };
         let json = stats.to_json();

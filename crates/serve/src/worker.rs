@@ -16,7 +16,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use widx_obs::{FlushKind, Stage, StageTimes, TraceStage, WorkerCell};
+use widx_obs::{FlushKind, ProfCell, Stage, StageTimes, ThreadProfiler, TraceStage, WorkerCell};
 use widx_soft::{AmacWalker, BTreeRangeWalker, ScanRange};
 
 use crate::batch::{BatchPolicy, FlushReason};
@@ -36,6 +36,10 @@ pub(crate) struct WorkerContext {
     pub(crate) cell: Arc<WorkerCell>,
     /// The service-wide stage-timing seam.
     pub(crate) stages: Arc<StageTimes>,
+    /// Hardware-profiling cell, when the service enabled profiling: the
+    /// worker opens a per-thread counter group and publishes stage
+    /// windows here.
+    pub(crate) prof: Option<Arc<ProfCell>>,
 }
 
 /// Everything a range-scan worker thread needs.
@@ -51,6 +55,18 @@ pub(crate) struct RangeWorkerContext {
     pub(crate) cell: Arc<WorkerCell>,
     /// The service-wide stage-timing seam.
     pub(crate) stages: Arc<StageTimes>,
+    /// Hardware-profiling cell, when the service enabled profiling.
+    pub(crate) prof: Option<Arc<ProfCell>>,
+}
+
+/// Opens the worker's per-thread counter group when profiling is on.
+/// Must run on the worker thread itself — the group binds to the
+/// calling thread.
+fn attach_profiler(prof: &Option<Arc<ProfCell>>) -> ThreadProfiler {
+    match prof {
+        Some(cell) => ThreadProfiler::attach(Arc::clone(cell)),
+        None => ThreadProfiler::disabled(),
+    }
 }
 
 fn flush_kind(reason: FlushReason) -> FlushKind {
@@ -125,11 +141,17 @@ fn attribute_scan(
 pub(crate) fn run_worker(ctx: &WorkerContext) {
     let index = &ctx.sharded.shards()[ctx.shard];
     let mut walker = AmacWalker::new(index, ctx.inflight);
+    let mut prof = attach_profiler(&ctx.prof);
 
     loop {
-        // Wait (idle) for the batch-opening job.
+        // Wait (idle) for the batch-opening job. The profiling window
+        // lands in queue-wait: a blocked thread accrues almost no
+        // cycles, so this column stays near zero unless the worker is
+        // spinning.
         let idle_from = Instant::now();
+        let mark = prof.mark();
         let first = ctx.queue.pop();
+        prof.record(Stage::QueueWait, mark);
         ctx.cell.add_idle(idle_from.elapsed());
 
         let (entries, reply) = match first {
@@ -150,6 +172,7 @@ pub(crate) fn run_worker(ctx: &WorkerContext) {
             reply,
             &ctx.cell,
             &ctx.stages,
+            &mut prof,
         );
         if shutdown {
             break;
@@ -170,6 +193,7 @@ fn run_batch(
     first_reply: Arc<ResponseState>,
     cell: &WorkerCell,
     stages: &StageTimes,
+    prof: &mut ThreadProfiler,
 ) -> bool {
     let opened = Instant::now();
     // tag (u32, index into `meta`) → (open-job index, probe row).
@@ -185,7 +209,8 @@ fn run_batch(
                  open: &mut Vec<OpenJob>,
                  raw: &mut Vec<(u32, u64, u64)>,
                  walker: &mut AmacWalker<'_>,
-                 busy: &mut Duration| {
+                 busy: &mut Duration,
+                 prof: &mut ThreadProfiler| {
         cell.add_jobs(1);
         stages.record(Stage::QueueWait, reply.since_submit());
         if entries.is_empty() {
@@ -200,11 +225,13 @@ fn run_batch(
             admitted: Instant::now(),
         });
         let busy_from = Instant::now();
+        let mark = prof.mark();
         for (row, key) in entries {
             let tag = u32::try_from(meta.len()).expect("batch exceeds u32 tags");
             meta.push((open_idx, row));
             walker.feed(tag, key, &mut |t, k, p| raw.push((t, k, p)));
         }
+        prof.record(Stage::Walk, mark);
         *busy += busy_from.elapsed();
     };
 
@@ -216,6 +243,7 @@ fn run_batch(
         &mut raw,
         walker,
         &mut busy,
+        prof,
     );
 
     // Keep admitting until the policy closes the batch.
@@ -224,12 +252,14 @@ fn run_batch(
             break reason;
         }
         let idle_from = Instant::now();
+        let mark = prof.mark();
         let next = queue.pop_until(policy.flush_deadline(opened));
+        prof.record(Stage::BatchWait, mark);
         cell.add_idle(idle_from.elapsed());
         match next {
             Some(Job::Probe { entries, reply }) => {
                 admit(
-                    entries, reply, &mut meta, &mut open, &mut raw, walker, &mut busy,
+                    entries, reply, &mut meta, &mut open, &mut raw, walker, &mut busy, prof,
                 );
             }
             Some(Job::Scan { .. }) => unreachable!("scan job routed to a point-probe queue"),
@@ -244,7 +274,9 @@ fn run_batch(
 
     // Drain every in-flight probe, then attribute matches to requests.
     let busy_from = Instant::now();
+    let mark = prof.mark();
     walker.drain(&mut |t, k, p| raw.push((t, k, p)));
+    prof.record(Stage::Walk, mark);
     busy += busy_from.elapsed();
 
     for (tag, key, payload) in raw.drain(..) {
@@ -256,6 +288,8 @@ fn run_batch(
     stages.record(Stage::Walk, busy);
     let batch_done = Instant::now();
     let walk_counters = walker.take_counters();
+    prof.add_walk(&walk_counters);
+    let gather_mark = prof.mark();
     for job in &open {
         cell.add_matches(job.items.len() as u64);
         if job.reply.is_traced() {
@@ -269,6 +303,7 @@ fn run_batch(
         }
         job.reply.complete_part(&job.items, Some(cell));
     }
+    prof.record(Stage::Gather, gather_mark);
     shutdown
 }
 
@@ -278,10 +313,13 @@ fn run_batch(
 pub(crate) fn run_range_worker(ctx: &RangeWorkerContext) {
     let tree = &ctx.ordered.shards()[ctx.shard];
     let mut walker = BTreeRangeWalker::new(tree, ctx.inflight);
+    let mut prof = attach_profiler(&ctx.prof);
 
     loop {
         let idle_from = Instant::now();
+        let mark = prof.mark();
         let first = ctx.queue.pop();
+        prof.record(Stage::QueueWait, mark);
         ctx.cell.add_idle(idle_from.elapsed());
 
         let (scans, reply) = match first {
@@ -303,6 +341,7 @@ pub(crate) fn run_range_worker(ctx: &RangeWorkerContext) {
             ctx.stream_chunk,
             &ctx.cell,
             &ctx.stages,
+            &mut prof,
         );
         if shutdown {
             break;
@@ -326,6 +365,7 @@ fn run_range_batch(
     chunk_size: usize,
     cell: &WorkerCell,
     stages: &StageTimes,
+    prof: &mut ThreadProfiler,
 ) -> bool {
     let opened = Instant::now();
     // tag (index into `meta`) → (open-job index, scatter rank).
@@ -342,7 +382,8 @@ fn run_range_batch(
                  open: &mut Vec<OpenScan>,
                  chunks: &mut Vec<Vec<(u64, u64)>>,
                  walker: &mut BTreeRangeWalker<'_>,
-                 busy: &mut Duration| {
+                 busy: &mut Duration,
+                 prof: &mut ThreadProfiler| {
         cell.add_jobs(1);
         stages.record(Stage::QueueWait, reply.since_submit());
         if scans.is_empty() {
@@ -363,6 +404,7 @@ fn run_range_batch(
             emitted: 0,
         });
         let busy_from = Instant::now();
+        let mark = prof.mark();
         for (rank, range) in scans {
             let tag = u32::try_from(meta.len()).expect("batch exceeds u32 tags");
             meta.push((open_idx, rank));
@@ -372,6 +414,7 @@ fn run_range_batch(
                 attribute_scan(meta, open, chunks, chunk_size, t, k, p);
             });
         }
+        prof.record(Stage::Walk, mark);
         *busy += busy_from.elapsed();
     };
 
@@ -383,6 +426,7 @@ fn run_range_batch(
         &mut chunks,
         walker,
         &mut busy,
+        prof,
     );
 
     let reason = loop {
@@ -390,7 +434,9 @@ fn run_range_batch(
             break reason;
         }
         let idle_from = Instant::now();
+        let mark = prof.mark();
         let next = queue.pop_until(policy.flush_deadline(opened));
+        prof.record(Stage::BatchWait, mark);
         cell.add_idle(idle_from.elapsed());
         match next {
             Some(Job::Scan { scans, reply }) => {
@@ -402,6 +448,7 @@ fn run_range_batch(
                     &mut chunks,
                     walker,
                     &mut busy,
+                    prof,
                 );
             }
             Some(Job::Probe { .. }) => unreachable!("probe job routed to a range queue"),
@@ -418,9 +465,11 @@ fn run_range_batch(
     // each tag's slice (and chunk sequence) stays key-ordered — the
     // invariant the gather side's rank-ordered release relies on.
     let busy_from = Instant::now();
+    let mark = prof.mark();
     walker.drain(&mut |t, k, p| {
         attribute_scan(&meta, &mut open, &mut chunks, chunk_size, t, k, p);
     });
+    prof.record(Stage::Walk, mark);
     busy += busy_from.elapsed();
 
     // Flush every streaming tag's tail chunk, then complete the parts.
@@ -437,6 +486,8 @@ fn run_range_batch(
     stages.record(Stage::Walk, busy);
     let batch_done = Instant::now();
     let walk_counters = walker.take_counters();
+    prof.add_walk(&walk_counters);
+    let gather_mark = prof.mark();
     for job in &open {
         cell.add_matches(job.emitted);
         if job.reply.is_traced() {
@@ -456,5 +507,6 @@ fn run_range_batch(
             job.reply.complete_part(&job.items, Some(cell));
         }
     }
+    prof.record(Stage::Gather, gather_mark);
     shutdown
 }

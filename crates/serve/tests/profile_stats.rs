@@ -1,0 +1,88 @@
+//! Hardware-profiling plumbing at the serve tier: a service built with
+//! `with_profile(true)` carries a per-stage counter breakdown in its
+//! stats (JSON and Prometheus included), the walker cross-check
+//! counters accumulate real work, and an unprofiled service pays — and
+//! reports — nothing.
+
+use widx_db::hash::HashRecipe;
+use widx_serve::{ProbeService, ServeConfig};
+
+const ENTRIES: u64 = 4096;
+
+fn build(config: ServeConfig) -> ProbeService {
+    ProbeService::build_with_range(
+        HashRecipe::robust64(),
+        (0..ENTRIES).map(|k| (k, k + 1)),
+        &config,
+    )
+}
+
+#[test]
+fn profiled_service_reports_per_stage_breakdown() {
+    let service = build(ServeConfig::default().with_shards(2).with_profile(true));
+    assert!(service.profiling_enabled());
+
+    let keys: Vec<u64> = (0..512).map(|i| i * 31 % (ENTRIES * 2)).collect();
+    let rows = service.multi_lookup(&keys).expect("multi_lookup");
+    assert!(!rows.is_empty());
+    let entries = service.range_scan(0, 1000, 400).expect("range_scan");
+    assert_eq!(entries.len(), 400);
+
+    let stats = service.live_stats();
+    let prof = stats.prof.as_ref().expect("profiled service carries prof");
+    // Both tiers attached: 2 point + 2 range workers.
+    assert_eq!(prof.workers, 4);
+    assert_ne!(prof.backend, "none", "workers attached a counter group");
+    // The walkers really ran under the profiler: the software
+    // cross-check counters saw the probes and the scan.
+    assert!(prof.walk.nodes > 0, "no nodes visited");
+    assert!(prof.walk.rounds > 0, "no walker rounds");
+    assert!(prof.walk.prefetches > 0, "no prefetches issued");
+    assert!(
+        prof.soft_mlp().is_some_and(|mlp| mlp > 0.0),
+        "software MLP derives from the walk counters"
+    );
+    // Counter windows were recorded into the seam stages either way;
+    // cycles are only nonzero on a real hardware backend.
+    let total = prof.total();
+    assert!(total.windows > 0, "no counter windows recorded");
+    if prof.hw {
+        assert!(total.cycles > 0, "hardware backend counted no cycles");
+    } else {
+        assert!(
+            prof.fallback.is_some() || prof.backend == "soft",
+            "a degraded backend explains itself"
+        );
+    }
+
+    // The snapshot rides the stats JSON, the Profile opcode payload,
+    // and the Prometheus exposition.
+    let json = stats.to_json();
+    assert!(json.contains("\"prof\": {\"backend\":"));
+    let profile = service.profile_json();
+    assert!(profile.starts_with("{\"enabled\": true,"));
+    assert!(profile.contains("\"stages\":{\"queue_wait\":"));
+    let prom = stats.render_prometheus();
+    assert!(prom.contains("widx_prof_workers 4"));
+    assert!(prom.contains("widx_prof_windows_total{stage=\"walk\"}"));
+    assert!(
+        widx_obs::lint_exposition(&prom).is_empty(),
+        "profiled exposition passes the Prometheus lint"
+    );
+
+    // The shutdown snapshot keeps the profile.
+    let final_stats = service.shutdown();
+    assert!(final_stats.prof.is_some());
+}
+
+#[test]
+fn unprofiled_service_carries_no_profile() {
+    let service = build(ServeConfig::default().with_shards(2));
+    assert!(!service.profiling_enabled());
+    let _ = service.lookup(7).expect("lookup");
+    let stats = service.live_stats();
+    assert!(stats.prof.is_none());
+    assert_eq!(service.profile_json(), "{\"enabled\": false}");
+    assert!(!stats.to_json().contains("\"prof\""));
+    assert!(!stats.render_prometheus().contains("widx_prof_"));
+}

@@ -19,17 +19,6 @@ fn build(config: ServeConfig) -> ProbeService {
     )
 }
 
-/// A trace commits just *after* the completion wakeup that releases the
-/// blocked caller, so the last request's commit may still be a few
-/// instructions away when the caller turns around to read the recorder
-/// — poll briefly before asserting on counts.
-fn await_recorded(recorder: &widx_serve::FlightRecorder, n: u64) {
-    let deadline = std::time::Instant::now() + Duration::from_secs(2);
-    while recorder.stats().recorded < n && std::time::Instant::now() < deadline {
-        std::thread::yield_now();
-    }
-}
-
 fn span_dur(trace: &RequestTrace, stage: TraceStage) -> Option<u64> {
     trace
         .spans
@@ -57,13 +46,15 @@ fn head_sampled_requests_carry_the_full_span_seam() {
     let entries = service.range_scan(100, 4000, 500).expect("range_scan");
     assert_eq!(entries.len(), 500);
 
+    // A trace commits just *after* the completion wakeup that releases
+    // the blocked caller; `flush` waits out every armed trace's commit
+    // ticket, so the counts below are exact, not racy lower bounds.
     let recorder = service.flight_recorder();
-    await_recorded(&recorder, 34);
+    recorder.flush();
     let stats = recorder.stats();
-    assert!(
-        stats.recorded >= 34,
-        "every request is head-sampled, got {}",
-        stats.recorded
+    assert_eq!(
+        stats.recorded, 34,
+        "every request is head-sampled and committed by flush time"
     );
     let traces = recorder.snapshot();
     assert!(!traces.is_empty());
@@ -144,9 +135,9 @@ fn tail_sampling_catches_slow_requests_without_head_sampling() {
     let entries = service.range_scan(0, ENTRIES, 2000).expect("range_scan");
     assert_eq!(entries.len(), 2000);
 
-    await_recorded(&service.flight_recorder(), 1);
+    service.flight_recorder().flush();
     let stats = service.flight_recorder().stats();
-    assert!(stats.recorded >= 1, "slow request not tail-recorded");
+    assert_eq!(stats.recorded, 1, "the slow request is tail-recorded");
     assert_eq!(stats.slow, stats.recorded, "all records are tail-selected");
     let traces = service.flight_recorder().snapshot();
     assert!(traces.iter().all(|t| t.slow));
@@ -179,10 +170,10 @@ fn recorder_ring_evicts_oldest_and_counts_drops() {
     for key in 0..32u64 {
         let _ = service.lookup(key).expect("lookup");
     }
-    await_recorded(&service.flight_recorder(), 32);
+    service.flight_recorder().flush();
     let stats = service.flight_recorder().stats();
     assert_eq!(stats.depth, 4, "ring holds exactly its capacity");
-    assert!(stats.recorded >= 32);
+    assert_eq!(stats.recorded, 32);
     assert_eq!(stats.dropped, stats.recorded - 4);
     let _ = service.shutdown();
 }
@@ -203,7 +194,8 @@ fn streaming_scans_are_traced_too() {
         total += chunk.len();
     }
     assert_eq!(total, ENTRIES as usize);
-    await_recorded(&service.flight_recorder(), 1);
+    service.flight_recorder().flush();
+    assert_eq!(service.flight_recorder().stats().recorded, 1);
     let traces = service.flight_recorder().snapshot();
     let trace = traces
         .iter()

@@ -217,12 +217,18 @@ impl<'idx> AmacWalker<'idx> {
 }
 
 /// Probes `keys` with `inflight` interleaved state machines, appending
-/// every `(key, payload)` match to `out`.
+/// every `(key, payload)` match to `out`. Returns the walk's
+/// [`WalkCounters`].
 ///
 /// # Panics
 ///
 /// Panics if `inflight` is zero.
-pub fn probe_amac(index: &HashIndex, keys: &[u64], inflight: usize, out: &mut Vec<Match>) {
+pub fn probe_amac(
+    index: &HashIndex,
+    keys: &[u64],
+    inflight: usize,
+    out: &mut Vec<Match>,
+) -> WalkCounters {
     let mut walker = AmacWalker::new(index, inflight);
     walker.probe_chunk(
         keys.iter().map(|&k| (0u32, k)),
@@ -230,6 +236,7 @@ pub fn probe_amac(index: &HashIndex, keys: &[u64], inflight: usize, out: &mut Ve
             out.push((key, payload));
         },
     );
+    walker.take_counters()
 }
 
 #[cfg(test)]

@@ -406,19 +406,25 @@ impl<'idx> BTreeRangeWalker<'idx> {
 /// Scans `scans` one at a time — the serial baseline, implemented over
 /// the same public accessors the walkers use (and therefore an
 /// implementation independent of [`BTreeIndex::range_scan`]). Emits
-/// `(scan index, key, payload)`.
+/// `(scan index, key, payload)`. Returns the walk's [`WalkCounters`]:
+/// node visits (inner descent + leaves consumed) match the interleaved
+/// engines exactly; one scan is in flight at a time, so
+/// `rounds == occupancy == nodes` and nothing is prefetched.
 pub fn scan_btree_scalar<F: FnMut(u32, u64, u64)>(
     tree: &BTreeIndex,
     scans: &[ScanRange],
     emit: &mut F,
-) {
+) -> WalkCounters {
+    let mut counters = WalkCounters::default();
     for (i, range) in scans.iter().enumerate() {
         if range.is_empty() {
             continue;
         }
+        counters.max_chain = counters.max_chain.max(tree.inner_level_count() as u64 + 1);
         let tag = i as u32;
         let mut node = 0u32;
         for depth in 0..tree.inner_level_count() {
+            counters.nodes += 1;
             let keys = tree.inner_keys(depth, node);
             let slot = if range.desc {
                 keys.partition_point(|k| *k <= range.hi)
@@ -432,6 +438,7 @@ pub fn scan_btree_scalar<F: FnMut(u32, u64, u64)>(
         let mut seek = true;
         if range.desc {
             'rchain: while remaining > 0 {
+                counters.nodes += 1;
                 let (keys, payloads) = tree.leaf_entries(leaf);
                 let mut slot = if seek {
                     keys.partition_point(|k| *k <= range.hi)
@@ -456,6 +463,7 @@ pub fn scan_btree_scalar<F: FnMut(u32, u64, u64)>(
             continue;
         }
         'chain: while remaining > 0 {
+            counters.nodes += 1;
             let (keys, payloads) = tree.leaf_entries(leaf);
             let mut slot = if seek {
                 keys.partition_point(|k| *k < range.lo)
@@ -478,12 +486,19 @@ pub fn scan_btree_scalar<F: FnMut(u32, u64, u64)>(
             seek = false;
         }
     }
+    counters.rounds = counters.nodes;
+    counters.occupancy = counters.nodes;
+    counters
 }
 
 /// Scans `scans` in stage-synchronized groups of `group` cursors
 /// (Chen et al.-style group prefetching): the whole group descends one
 /// level together, then scans leaves in lock-step, each stage issuing
 /// the next stage's prefetches. Emits `(scan index, key, payload)`.
+/// Returns the walk's [`WalkCounters`]: node visits and prefetches
+/// match the AMAC walker exactly (same traversal, different schedule);
+/// each lock-step pass counts as one round with its live cursor count
+/// as occupancy.
 ///
 /// # Panics
 ///
@@ -493,8 +508,9 @@ pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
     scans: &[ScanRange],
     group: usize,
     emit: &mut F,
-) {
+) -> WalkCounters {
     assert!(group > 0, "group size must be positive");
+    let mut counters = WalkCounters::default();
     /// One group member's leaf-phase state; `done` doubles as the
     /// degenerate-scan marker.
     struct Member {
@@ -506,13 +522,37 @@ pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
     for (chunk_idx, chunk) in scans.chunks(group).enumerate() {
         let base = (chunk_idx * group) as u32;
         let mut nodes = vec![0u32; chunk.len()];
+        // Stage 0: prefetch the root for every live member — the same
+        // first touch the AMAC walker issues at feed time.
+        let mut live = 0u64;
+        for range in chunk {
+            if range.is_empty() {
+                continue;
+            }
+            live += 1;
+            counters.max_chain = counters.max_chain.max(tree.inner_level_count() as u64 + 1);
+            if tree.inner_level_count() > 0 {
+                if let [first, ..] = tree.inner_keys(0, 0) {
+                    prefetch_read(first);
+                    counters.prefetches += 1;
+                }
+            } else if let ([first, ..], _) = tree.leaf_entries(0) {
+                prefetch_read(first);
+                counters.prefetches += 1;
+            }
+        }
         // Stage 1..h: descend the whole group one level per stage
         // (toward `lo` ascending, toward `hi` descending).
         for depth in 0..tree.inner_level_count() {
+            if live > 0 {
+                counters.rounds += 1;
+                counters.occupancy += live;
+            }
             for (i, range) in chunk.iter().enumerate() {
                 if range.is_empty() {
                     continue;
                 }
+                counters.nodes += 1;
                 let keys = tree.inner_keys(depth, nodes[i]);
                 let slot = if range.desc {
                     keys.partition_point(|k| *k <= range.hi)
@@ -523,9 +563,11 @@ pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
                 if depth + 1 < tree.inner_level_count() {
                     if let [first, ..] = tree.inner_keys(depth + 1, nodes[i]) {
                         prefetch_read(first);
+                        counters.prefetches += 1;
                     }
                 } else if let ([first, ..], _) = tree.leaf_entries(nodes[i]) {
                     prefetch_read(first);
+                    counters.prefetches += 1;
                 }
             }
         }
@@ -542,11 +584,14 @@ pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
             .collect();
         loop {
             let mut any = false;
+            let mut pass_live = 0u64;
             for (i, m) in members.iter_mut().enumerate() {
                 if m.done {
                     continue;
                 }
                 any = true;
+                pass_live += 1;
+                counters.nodes += 1;
                 let range = &chunk[i];
                 let (keys, payloads) = tree.leaf_entries(m.leaf);
                 if range.desc {
@@ -571,6 +616,7 @@ pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
                     } else {
                         if let ([first, ..], _) = tree.leaf_entries(m.leaf - 1) {
                             prefetch_read(first);
+                            counters.prefetches += 1;
                         }
                         m.leaf -= 1;
                         m.seek = false;
@@ -599,6 +645,7 @@ pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
                 } else {
                     if let ([first, ..], _) = tree.leaf_entries(next) {
                         prefetch_read(first);
+                        counters.prefetches += 1;
                     }
                     m.leaf = next;
                     m.seek = false;
@@ -607,13 +654,16 @@ pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
             if !any {
                 break;
             }
+            counters.rounds += 1;
+            counters.occupancy += pass_live;
         }
     }
+    counters
 }
 
 /// Scans `scans` with `inflight` interleaved cursor state machines —
 /// the one-shot form of [`BTreeRangeWalker`]. Emits `(scan index, key,
-/// payload)`.
+/// payload)`. Returns the walk's [`WalkCounters`].
 ///
 /// # Panics
 ///
@@ -623,7 +673,7 @@ pub fn scan_btree_amac<F: FnMut(u32, u64, u64)>(
     scans: &[ScanRange],
     inflight: usize,
     emit: &mut F,
-) {
+) -> WalkCounters {
     let mut walker = BTreeRangeWalker::new(tree, inflight);
     walker.scan_chunk(
         scans
@@ -632,6 +682,7 @@ pub fn scan_btree_amac<F: FnMut(u32, u64, u64)>(
             .map(|(i, range)| (i as u32, *range)),
         emit,
     );
+    walker.take_counters()
 }
 
 #[cfg(test)]

@@ -8,17 +8,29 @@
 //! the paper attributes to vector-style approaches.
 
 use widx_db::index::{HashIndex, NONE};
+use widx_obs::WalkCounters;
 
 use crate::prefetch::prefetch_read;
 use crate::Match;
 
 /// Probes `keys` in groups of `group` keys, appending matches to `out`.
+/// Returns the walk's [`WalkCounters`]: node visits and prefetches match
+/// the AMAC walker exactly (same traversal, different schedule); each
+/// lock-step pass over the group counts as one round with its live key
+/// count as occupancy, so `occupancy ÷ rounds` reads the group's mean
+/// in-flight width.
 ///
 /// # Panics
 ///
 /// Panics if `group` is zero.
-pub fn probe_group_prefetch(index: &HashIndex, keys: &[u64], group: usize, out: &mut Vec<Match>) {
+pub fn probe_group_prefetch(
+    index: &HashIndex,
+    keys: &[u64],
+    group: usize,
+    out: &mut Vec<Match>,
+) -> WalkCounters {
     assert!(group > 0, "group size must be positive");
+    let mut counters = WalkCounters::default();
     let buckets = index.buckets();
     let nodes = index.nodes();
     let recipe = index.recipe();
@@ -33,9 +45,15 @@ pub fn probe_group_prefetch(index: &HashIndex, keys: &[u64], group: usize, out: 
             let b = recipe.bucket_of(key, bucket_count) as usize;
             bucket_ids[i] = b;
             prefetch_read(&buckets[b]);
+            counters.prefetches += 1;
         }
-        // Stage 2: visit headers, prefetch first overflow nodes.
+        // Stage 2: visit headers, prefetch first overflow nodes — one
+        // lock-step round with the whole chunk in flight.
+        counters.rounds += 1;
+        counters.occupancy += chunk.len() as u64;
         for (i, &key) in chunk.iter().enumerate() {
+            counters.nodes += 1;
+            counters.max_chain = counters.max_chain.max(1);
             let b = &buckets[bucket_ids[i]];
             if b.count == 0 {
                 cursors[i] = NONE;
@@ -47,17 +65,22 @@ pub fn probe_group_prefetch(index: &HashIndex, keys: &[u64], group: usize, out: 
             cursors[i] = b.next;
             if b.next != NONE {
                 prefetch_read(&nodes[b.next as usize]);
+                counters.prefetches += 1;
             }
         }
         // Stage 3+: walk chains in lock-step until the group drains.
+        let mut depth = 1u64;
         loop {
-            let mut any = false;
+            let mut live = 0u64;
+            depth += 1;
             for (i, &key) in chunk.iter().enumerate() {
                 let cur = cursors[i];
                 if cur == NONE {
                     continue;
                 }
-                any = true;
+                live += 1;
+                counters.nodes += 1;
+                counters.max_chain = counters.max_chain.max(depth);
                 let n = &nodes[cur as usize];
                 if n.key == key {
                     out.push((key, n.payload));
@@ -65,13 +88,17 @@ pub fn probe_group_prefetch(index: &HashIndex, keys: &[u64], group: usize, out: 
                 cursors[i] = n.next;
                 if n.next != NONE {
                     prefetch_read(&nodes[n.next as usize]);
+                    counters.prefetches += 1;
                 }
             }
-            if !any {
+            if live == 0 {
                 break;
             }
+            counters.rounds += 1;
+            counters.occupancy += live;
         }
     }
+    counters
 }
 
 #[cfg(test)]
@@ -86,13 +113,15 @@ mod tests {
         let index = HashIndex::build(HashRecipe::robust64(), 32, pairs);
         let probes: Vec<u64> = (0..150).collect();
         let mut scalar = Vec::new();
-        probe_scalar(&index, &probes, &mut scalar);
+        let sc = probe_scalar(&index, &probes, &mut scalar);
         scalar.sort_unstable();
         for group in [1, 3, 8, 64, 200] {
             let mut gp = Vec::new();
-            probe_group_prefetch(&index, &probes, group, &mut gp);
+            let gc = probe_group_prefetch(&index, &probes, group, &mut gp);
             gp.sort_unstable();
             assert_eq!(scalar, gp, "group={group}");
+            assert_eq!(gc.nodes, sc.nodes, "same traversal, group={group}");
+            assert_eq!(gc.max_chain, sc.max_chain, "group={group}");
         }
     }
 

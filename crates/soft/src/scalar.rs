@@ -2,19 +2,49 @@
 //! its bucket to the end, then move to the next key — every node miss
 //! stalls the core.
 
-use widx_db::index::HashIndex;
+use widx_db::index::{HashIndex, NONE};
+use widx_obs::WalkCounters;
 
 use crate::Match;
 
 /// Probes `keys` one at a time, appending every `(key, payload)` match
-/// to `out`.
-pub fn probe_scalar(index: &HashIndex, keys: &[u64], out: &mut Vec<Match>) {
+/// to `out`. Returns the walk's [`WalkCounters`]: the serial loop keeps
+/// exactly one probe in flight, so `rounds == occupancy == nodes`
+/// (soft MLP 1.0) and no prefetches are issued — the node-visit count
+/// is the cross-engine parity invariant the interleaved walkers are
+/// tested against.
+pub fn probe_scalar(index: &HashIndex, keys: &[u64], out: &mut Vec<Match>) -> WalkCounters {
+    let mut counters = WalkCounters::default();
+    let buckets = index.buckets();
+    let nodes = index.nodes();
+    let recipe = index.recipe();
+    let bucket_count = buckets.len() as u64;
     for &key in keys {
-        index.walk(key, |payload| {
-            out.push((key, payload));
-            true
-        });
+        let b = &buckets[recipe.bucket_of(key, bucket_count) as usize];
+        counters.nodes += 1;
+        counters.max_chain = counters.max_chain.max(1);
+        if b.count == 0 {
+            continue;
+        }
+        if b.key == key {
+            out.push((key, b.payload));
+        }
+        let mut cur = b.next;
+        let mut depth = 1u64;
+        while cur != NONE {
+            let n = &nodes[cur as usize];
+            depth += 1;
+            counters.nodes += 1;
+            counters.max_chain = counters.max_chain.max(depth);
+            if n.key == key {
+                out.push((key, n.payload));
+            }
+            cur = n.next;
+        }
     }
+    counters.rounds = counters.nodes;
+    counters.occupancy = counters.nodes;
+    counters
 }
 
 #[cfg(test)]
@@ -30,17 +60,26 @@ mod tests {
             [(1u64, 10u64), (2, 20), (1, 11)],
         );
         let mut out = Vec::new();
-        probe_scalar(&index, &[1, 2, 3], &mut out);
+        let counters = probe_scalar(&index, &[1, 2, 3], &mut out);
         out.sort_unstable();
         assert_eq!(out, vec![(1, 10), (1, 11), (2, 20)]);
+        assert!(counters.nodes >= 3, "every probe visits its header");
+        assert_eq!(
+            counters.rounds, counters.nodes,
+            "serial: one visit per round"
+        );
+        assert_eq!(counters.occupancy, counters.nodes, "serial MLP is 1.0");
+        assert_eq!(counters.prefetches, 0, "the baseline never prefetches");
     }
 
     #[test]
     fn empty_inputs() {
         let index = HashIndex::build(HashRecipe::robust64(), 8, std::iter::empty());
         let mut out = Vec::new();
-        probe_scalar(&index, &[], &mut out);
-        probe_scalar(&index, &[42], &mut out);
+        assert!(probe_scalar(&index, &[], &mut out).is_zero());
+        let counters = probe_scalar(&index, &[42], &mut out);
         assert!(out.is_empty());
+        assert_eq!(counters.nodes, 1, "a missing key still visits its header");
+        assert_eq!(counters.max_chain, 1);
     }
 }

@@ -1,0 +1,114 @@
+//! Cross-engine [`WalkCounters`] parity: the scalar, group-prefetch,
+//! and AMAC engines traverse the same nodes for the same workload, so
+//! their node-visit counts, deepest-chain depths, and emitted matches
+//! must be identical — only the *schedule* (rounds/occupancy) and the
+//! prefetch discipline may differ. This is the invariant that lets the
+//! profiling layer compare MLP across engines: the work is constant,
+//! only the overlap changes.
+
+use proptest::prelude::*;
+use widx_db::hash::HashRecipe;
+use widx_db::index::{BTreeIndex, HashIndex};
+use widx_obs::WalkCounters;
+use widx_soft::{
+    probe_amac, probe_group_prefetch, probe_scalar, scan_btree_amac, scan_btree_group,
+    scan_btree_scalar, ScanRange,
+};
+
+/// Asserts the work-side counter parity contract between the serial
+/// baseline and an interleaved engine.
+fn assert_work_parity(name: &str, scalar: &WalkCounters, other: &WalkCounters) {
+    assert_eq!(other.nodes, scalar.nodes, "{name}: node visits");
+    assert_eq!(other.max_chain, scalar.max_chain, "{name}: deepest chain");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hash probing: identical node visits and matches across all three
+    /// engines; group and AMAC issue the same prefetches (one per node
+    /// they will visit); the serial baseline issues none.
+    #[test]
+    fn hash_walkers_report_identical_work(
+        pairs in prop::collection::vec((0u64..120, any::<u64>()), 0..400),
+        probes in prop::collection::vec(0u64..150, 0..300),
+        buckets in 1usize..64,
+        group in 1usize..24,
+        inflight in 1usize..24,
+    ) {
+        let index = HashIndex::build(HashRecipe::robust64(), buckets, pairs);
+
+        let mut scalar_out = Vec::new();
+        let sc = probe_scalar(&index, &probes, &mut scalar_out);
+        let mut group_out = Vec::new();
+        let gc = probe_group_prefetch(&index, &probes, group, &mut group_out);
+        let mut amac_out = Vec::new();
+        let ac = probe_amac(&index, &probes, inflight, &mut amac_out);
+
+        scalar_out.sort_unstable();
+        group_out.sort_unstable();
+        amac_out.sort_unstable();
+        prop_assert_eq!(&scalar_out, &group_out, "group matches");
+        prop_assert_eq!(&scalar_out, &amac_out, "AMAC matches");
+
+        assert_work_parity("group", &sc, &gc);
+        assert_work_parity("amac", &sc, &ac);
+        prop_assert_eq!(gc.prefetches, ac.prefetches, "same prefetch count");
+        prop_assert_eq!(sc.prefetches, 0u64, "baseline never prefetches");
+
+        // The serial loop keeps exactly one probe in flight.
+        prop_assert_eq!(sc.rounds, sc.nodes);
+        prop_assert_eq!(sc.occupancy, sc.nodes);
+        // Interleaving never *adds* work: total slot-rounds are bounded
+        // by the node visits actually performed.
+        prop_assert_eq!(ac.occupancy, ac.nodes, "AMAC occupancy counts live visits");
+    }
+
+    /// B+-tree range scans: identical leaf-and-inner visit counts and
+    /// per-scan results across the three walkers, same prefetch count
+    /// for the two interleaved ones.
+    #[test]
+    fn btree_walkers_report_identical_work(
+        entries in prop::collection::vec(0u64..400, 0..300),
+        ranges in prop::collection::vec(
+            (0u64..420, 0u64..420, 0usize..40, any::<bool>()),
+            0..60,
+        ),
+        fanout in 2usize..16,
+        group in 1usize..12,
+        inflight in 1usize..12,
+    ) {
+        let tree = BTreeIndex::build(fanout, entries.iter().enumerate().map(|(r, k)| (*k, r as u64)));
+        let scans: Vec<ScanRange> = ranges
+            .iter()
+            .map(|&(lo, hi, limit, desc)| {
+                let r = ScanRange::new(lo, hi).with_limit(limit);
+                if desc { r.descending() } else { r }
+            })
+            .collect();
+
+        #[allow(clippy::type_complexity)]
+        let collect = |run: &mut dyn FnMut(&mut dyn FnMut(u32, u64, u64)) -> WalkCounters| {
+            let mut per_scan = vec![Vec::new(); scans.len()];
+            let counters = run(&mut |tag, key, payload| per_scan[tag as usize].push((key, payload)));
+            (per_scan, counters)
+        };
+        let (scalar_out, sc) =
+            collect(&mut |emit| scan_btree_scalar(&tree, &scans, &mut |a, b, c| emit(a, b, c)));
+        let (group_out, gc) =
+            collect(&mut |emit| scan_btree_group(&tree, &scans, group, &mut |a, b, c| emit(a, b, c)));
+        let (amac_out, ac) =
+            collect(&mut |emit| scan_btree_amac(&tree, &scans, inflight, &mut |a, b, c| emit(a, b, c)));
+
+        prop_assert_eq!(&scalar_out, &group_out, "group scan results");
+        prop_assert_eq!(&scalar_out, &amac_out, "AMAC scan results");
+
+        assert_work_parity("group", &sc, &gc);
+        assert_work_parity("amac", &sc, &ac);
+        prop_assert_eq!(gc.prefetches, ac.prefetches, "same prefetch count");
+        prop_assert_eq!(sc.prefetches, 0u64, "baseline never prefetches");
+        prop_assert_eq!(sc.rounds, sc.nodes);
+        prop_assert_eq!(sc.occupancy, sc.nodes);
+        prop_assert_eq!(ac.occupancy, ac.nodes, "AMAC occupancy counts live visits");
+    }
+}

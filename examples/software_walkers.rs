@@ -43,13 +43,13 @@ fn main() {
     };
 
     let scalar = time("scalar (Listing 1)", &|out| {
-        probe_scalar(&index, &probes, out)
+        probe_scalar(&index, &probes, out);
     });
     let gp = time("group prefetch (G=8)", &|out| {
-        probe_group_prefetch(&index, &probes, 8, out)
+        probe_group_prefetch(&index, &probes, 8, out);
     });
     let amac = time("AMAC (8 in flight)", &|out| {
-        probe_amac(&index, &probes, 8, out)
+        probe_amac(&index, &probes, 8, out);
     });
 
     println!(

@@ -1,9 +1,10 @@
 //! Live telemetry end to end: build a service with per-request tracing
-//! armed, put the `widx-net` server in front, drive background load,
-//! and scrape the `Stats` wire opcode mid-run from a second connection
-//! — then pull a sampled trace off the `Trace` opcode's flight-recorder
-//! document and render the final snapshot as Prometheus text
-//! exposition.
+//! armed and hardware profiling on, put the `widx-net` server in
+//! front, drive background load, and scrape the `Stats` wire opcode
+//! mid-run from a second connection — then pull a sampled trace off
+//! the `Trace` opcode's flight-recorder document, scrape the `Profile`
+//! opcode's per-stage counter breakdown, and render the final snapshot
+//! as Prometheus text exposition.
 //!
 //! Run with: `cargo run --release --example stats_scrape`
 
@@ -34,7 +35,10 @@ fn main() {
             .with_shards(4)
             .with_inflight(8)
             .with_trace_sample(64)
-            .with_slow_threshold(Some(Duration::from_millis(5))),
+            .with_slow_threshold(Some(Duration::from_millis(5)))
+            // Per-worker perf_event counter windows over the stage seam
+            // (software clock backend on hosts without a PMU).
+            .with_profile(true),
     ));
     let server = WidxServer::bind("127.0.0.1:0", Arc::clone(&service), NetConfig::default())
         .expect("bind loopback");
@@ -99,6 +103,24 @@ fn main() {
                 json::find_u64(trace, "prefetches").unwrap_or(0),
             );
         }
+        // The Profile opcode returns the merged hardware-counter
+        // snapshot: backend in use, per-stage windows, and the
+        // walkers' software MLP cross-check. An unprofiled server
+        // would answer {"enabled": false} instead.
+        let doc = scraper.profile_json().expect("profile scrape");
+        println!(
+            "profile: backend {:?} (hw counters: {}), {} windows, \
+             {} nodes walked at soft MLP {:.2}",
+            json::find_str(&doc, "backend").unwrap_or_default(),
+            doc.contains("\"hw\":true"),
+            doc.find("\"total\":")
+                .and_then(|at| json::find_u64(&doc[at..], "windows"))
+                .unwrap_or(0),
+            doc.find("\"walk\":")
+                .and_then(|at| json::find_u64(&doc[at..], "nodes"))
+                .unwrap_or(0),
+            json::find_f64(&doc, "soft_mlp").unwrap_or(0.0),
+        );
         stop.store(true, Ordering::Relaxed);
     });
 

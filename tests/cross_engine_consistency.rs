@@ -136,9 +136,15 @@ fn btree_range_walkers_agree_on_key_sets() {
         run(&mut |tag, key, payload| per_scan[tag as usize].push((key, payload)));
         per_scan
     };
-    let scalar = collect(&|emit| scan_btree_scalar(&tree, &scans, &mut |a, b, c| emit(a, b, c)));
-    let grouped = collect(&|emit| scan_btree_group(&tree, &scans, 8, &mut |a, b, c| emit(a, b, c)));
-    let amac = collect(&|emit| scan_btree_amac(&tree, &scans, 8, &mut |a, b, c| emit(a, b, c)));
+    let scalar = collect(&|emit| {
+        scan_btree_scalar(&tree, &scans, &mut |a, b, c| emit(a, b, c));
+    });
+    let grouped = collect(&|emit| {
+        scan_btree_group(&tree, &scans, 8, &mut |a, b, c| emit(a, b, c));
+    });
+    let amac = collect(&|emit| {
+        scan_btree_amac(&tree, &scans, 8, &mut |a, b, c| emit(a, b, c));
+    });
 
     let oracle: Vec<Vec<(u64, u64)>> = scans
         .iter()
