@@ -491,8 +491,7 @@ mod tests {
         assert!(["linux", "soft"].contains(&group.backend()));
         // `new()` honors WIDX_PROF, so judge against what was actually
         // requested: serving the requested backend is not a fallback.
-        let requested =
-            std::env::var("WIDX_PROF").unwrap_or_else(|_| DEFAULT_BACKEND.to_string());
+        let requested = std::env::var("WIDX_PROF").unwrap_or_else(|_| DEFAULT_BACKEND.to_string());
         if group.backend() == requested {
             assert!(group.fallback_reason().is_none());
         } else {

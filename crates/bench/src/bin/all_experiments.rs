@@ -105,6 +105,24 @@ fn main() {
         ],
     );
     baseline("serve_throughput", "BENCH_serve.json");
+    // Mixed read/write sweeps through the mutable serving tier: the
+    // YCSB-B 95/5 shape and the YCSB-A 50/50 shape, one shard point
+    // each — write barriers and epoch reclamation on the hot path.
+    for write_frac in ["0.05", "0.5"] {
+        run(
+            "serve_throughput",
+            &[
+                "--probes",
+                serve_probes,
+                "--entries",
+                serve_entries,
+                "--shards",
+                "4",
+                "--write-frac",
+                write_frac,
+            ],
+        );
+    }
     run(
         "range_throughput",
         &["--scans", range_scans, "--entries", range_entries],
@@ -122,6 +140,23 @@ fn main() {
         ],
     );
     baseline("net_throughput", "BENCH_net.json");
+    // The same two mixed shapes over loopback TCP: write opcodes on the
+    // wire, acks pipelined with reads.
+    for write_frac in ["0.05", "0.5"] {
+        run(
+            "net_throughput",
+            &[
+                "--requests",
+                net_requests,
+                "--entries",
+                net_entries,
+                "--idle-conns",
+                "0",
+                "--write-frac",
+                write_frac,
+            ],
+        );
+    }
     run(
         "stream_throughput",
         &[

@@ -46,10 +46,18 @@
 //! inline from the event loop — so the opcode path is exercised under
 //! real load.
 //!
+//! With `--write-frac F`, that fraction of each connection's requests
+//! become single-pair `Insert` frames over the same Zipfian keys
+//! (F=0.05 is the YCSB-B 95/5 shape, F=0.5 the YCSB-A 50/50 shape) —
+//! the write opcodes measured on the wire, with per-key acks reaped
+//! like any other pipelined reply and the server's write counters
+//! landing in the JSON.
+//!
 //! Usage: `net_throughput [--requests N] [--entries N] [--span N]
-//! [--scan-share F] [--theta T] [--reactors A,B,..] [--idle-conns N]
-//! [--idle-window-ms N] [--scrape-ms N] [--trace-sample N] [--trace-ab]
-//! [--profile] [--seed-baseline PATH] [--json PATH] [--smoke]`.
+//! [--scan-share F] [--write-frac F] [--theta T] [--reactors A,B,..]
+//! [--idle-conns N] [--idle-window-ms N] [--scrape-ms N]
+//! [--trace-sample N] [--trace-ab] [--profile] [--seed-baseline PATH]
+//! [--json PATH] [--smoke]`.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -69,6 +77,7 @@ struct Args {
     entries: u64,
     span: u64,
     scan_share: f64,
+    write_frac: f64,
     theta: f64,
     reactors: Vec<usize>,
     idle_conns: usize,
@@ -87,6 +96,7 @@ fn parse_args() -> Args {
         entries: 1 << 18,
         span: 128,
         scan_share: 0.1,
+        write_frac: 0.0,
         theta: 0.99,
         reactors: vec![1],
         idle_conns: 256,
@@ -109,6 +119,13 @@ fn parse_args() -> Args {
             "--entries" => args.entries = value().parse().expect("--entries"),
             "--span" => args.span = value().parse().expect("--span"),
             "--scan-share" => args.scan_share = value().parse().expect("--scan-share"),
+            "--write-frac" => {
+                args.write_frac = value().parse().expect("--write-frac");
+                assert!(
+                    (0.0..=1.0).contains(&args.write_frac),
+                    "--write-frac must be in [0, 1]"
+                );
+            }
             "--theta" => args.theta = value().parse().expect("--theta"),
             "--reactors" => {
                 args.reactors = value()
@@ -153,12 +170,16 @@ struct Run {
     scrapes: u64,
     /// Flight-recorder commits over the run (0 with tracing unarmed).
     traces_recorded: u64,
+    /// Write ops applied across both tiers (0 without `--write-frac`).
+    write_ops: u64,
     /// Per-stage counter breakdown (`--profile` only).
     prof: Option<widx_obs::ProfSnapshot>,
 }
 
 /// The per-client mixed workload: mostly Zipfian lookups, a slice of
-/// bounded range scans over the same hot keys.
+/// bounded range scans over the same hot keys, and (with
+/// `--write-frac`) a deterministic error-diffusion slice of single-pair
+/// inserts — every run at a given fraction issues the identical mix.
 fn build_ops(args: &Args, client: usize, count: usize) -> Vec<Request> {
     let keys = datagen::zipf_keys(
         SEED ^ (client as u64).wrapping_mul(0x9E37),
@@ -171,10 +192,17 @@ fn build_ops(args: &Args, client: usize, count: usize) -> Vec<Request> {
     } else {
         ((1.0 / args.scan_share) as usize).max(1)
     };
+    let mut write_debt = 0.0f64;
     keys.into_iter()
         .enumerate()
         .map(|(i, key)| {
-            if (i + 1) % every == 0 {
+            write_debt += args.write_frac;
+            if write_debt >= 1.0 {
+                write_debt -= 1.0;
+                Request::Insert {
+                    pairs: vec![(key, key ^ SEED)],
+                }
+            } else if (i + 1) % every == 0 {
                 Request::RangeScan {
                     lo: key,
                     hi: key.saturating_add(args.span),
@@ -332,6 +360,7 @@ fn run_once(
         busy_replies,
         scrapes,
         traces_recorded: final_stats.trace.recorded,
+        write_ops: final_stats.total_write_ops(),
         prof: final_stats.prof,
     }
 }
@@ -554,6 +583,7 @@ fn render_json(
     let _ = writeln!(out, "  \"entries\": {},", args.entries);
     let _ = writeln!(out, "  \"span\": {},", args.span);
     let _ = writeln!(out, "  \"scan_share\": {},", args.scan_share);
+    let _ = writeln!(out, "  \"write_frac\": {},", args.write_frac);
     let _ = writeln!(out, "  \"theta\": {},", args.theta);
     let _ = writeln!(out, "  \"trace_sample\": {},", args.trace_sample);
     let reactors: Vec<String> = args.reactors.iter().map(usize::to_string).collect();
@@ -575,7 +605,7 @@ fn render_json(
             out,
             "\"reactors\": {}, \"clients\": {}, \"depth\": {}, \"wall_ms\": {:.3}, \
              \"reqs_per_sec\": {:.0}, \"busy_replies\": {}, \"live_scrapes\": {}, \
-             \"traces_recorded\": {}, ",
+             \"traces_recorded\": {}, \"write_ops\": {}, ",
             run.reactors,
             run.clients,
             run.depth,
@@ -583,7 +613,8 @@ fn render_json(
             run.reqs_per_sec,
             run.busy_replies,
             run.scrapes,
-            run.traces_recorded
+            run.traces_recorded,
+            run.write_ops
         );
         let _ = write!(
             out,
@@ -672,13 +703,14 @@ fn main() {
         .collect();
 
     println!(
-        "== net_throughput: {} entries, {} Zipf({}) requests ({}% range scans, span {}), \
-         loopback TCP ==\n",
+        "== net_throughput: {} entries, {} Zipf({}) requests ({}% range scans, span {}, \
+         {}% writes), loopback TCP ==\n",
         args.entries,
         args.requests,
         args.theta,
         (args.scan_share * 100.0) as u32,
         args.span,
+        (args.write_frac * 100.0) as u32,
     );
     println!("(seed {SEED:#x}; per-run net counters in --json output)\n");
 
@@ -693,6 +725,7 @@ fn main() {
         "p99 µs",
         "frames in",
         "busy",
+        "write ops",
     ]);
     for &reactors in &args.reactors {
         for &clients in &client_sweep {
@@ -708,6 +741,7 @@ fn main() {
                     f1(run.latency.p99_ns as f64 / 1e3),
                     run.net.frames_in.to_string(),
                     run.busy_replies.to_string(),
+                    run.write_ops.to_string(),
                 ]);
                 runs.push(run);
             }

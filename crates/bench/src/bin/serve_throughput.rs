@@ -23,9 +23,15 @@
 //! reports IPC, LLC MPKI, stall fraction, and effective MLP per
 //! walker engine — Figure 2 of the paper, measured live.
 //!
+//! With `--write-frac F`, that fraction of requests become `Insert`
+//! batches over the same Zipfian key stream (F=0.05 is the YCSB-B
+//! 95/5 shape, F=0.5 the YCSB-A 50/50 shape) — the sweep then measures
+//! the mutable serving tier with write barriers and epoch reclamation
+//! on the hot path, and each run reports its write-op counters.
+//!
 //! Usage: `serve_throughput [--shards N] [--probes N] [--entries N]
-//! [--theta T] [--req-size N] [--scrape-ms N] [--profile] [--smoke]
-//! [--json PATH]`.
+//! [--theta T] [--req-size N] [--write-frac F] [--scrape-ms N]
+//! [--profile] [--smoke] [--json PATH]`.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -51,6 +57,7 @@ struct Args {
     entries: u64,
     theta: f64,
     req_size: usize,
+    write_frac: f64,
     scrape_ms: Option<u64>,
     profile: bool,
     smoke: bool,
@@ -64,6 +71,7 @@ fn parse_args() -> Args {
         entries: 1 << 18,
         theta: 0.99,
         req_size: 128,
+        write_frac: 0.0,
         scrape_ms: None,
         profile: false,
         smoke: false,
@@ -81,6 +89,13 @@ fn parse_args() -> Args {
             "--entries" => args.entries = value().parse().expect("--entries"),
             "--theta" => args.theta = value().parse().expect("--theta"),
             "--req-size" => args.req_size = value().parse().expect("--req-size"),
+            "--write-frac" => {
+                args.write_frac = value().parse().expect("--write-frac");
+                assert!(
+                    (0.0..=1.0).contains(&args.write_frac),
+                    "--write-frac must be in [0, 1]"
+                );
+            }
             "--scrape-ms" => args.scrape_ms = Some(value().parse().expect("--scrape-ms")),
             "--profile" => args.profile = true,
             "--smoke" => args.smoke = true,
@@ -116,6 +131,10 @@ struct Run {
 /// Drives `probes` through a freshly built service with `CLIENTS`
 /// pipelining client threads. With `scrape_ms`, a telemetry thread
 /// polls `live_stats()` concurrently, asserting monotone counters.
+/// With `write_frac > 0`, each client turns that fraction of its
+/// requests into `Insert` batches over the same keys (deterministic
+/// error-diffusion pick, so every run at a given fraction issues the
+/// identical mix).
 #[allow(clippy::too_many_arguments)]
 fn run_once(
     pairs: &[(u64, u64)],
@@ -124,6 +143,7 @@ fn run_once(
     inflight: usize,
     batch_size: usize,
     req_size: usize,
+    write_frac: f64,
     scrape_ms: Option<u64>,
     profile: bool,
 ) -> Run {
@@ -146,10 +166,18 @@ fn run_once(
             clients.push(scope.spawn(move || {
                 // Pipeline up to 32 requests per client before reaping.
                 let mut window = Vec::with_capacity(32);
+                let mut write_debt = 0.0f64;
                 for req in slice.chunks(req_size) {
-                    let pending = service
-                        .submit(Request::MultiLookup { keys: req.to_vec() })
-                        .expect("service running");
+                    write_debt += write_frac;
+                    let request = if write_debt >= 1.0 {
+                        write_debt -= 1.0;
+                        Request::Insert {
+                            pairs: req.iter().map(|k| (*k, k ^ SEED)).collect(),
+                        }
+                    } else {
+                        Request::MultiLookup { keys: req.to_vec() }
+                    };
+                    let pending = service.submit(request).expect("service running");
                     window.push(pending);
                     if window.len() == 32 {
                         for p in window.drain(..) {
@@ -210,6 +238,7 @@ fn render_json(args: &Args, runs: &[Run], engines: &[widx_bench::prof::EnginePro
     let _ = writeln!(out, "  \"probes\": {},", args.probes);
     let _ = writeln!(out, "  \"theta\": {},", args.theta);
     let _ = writeln!(out, "  \"req_size\": {},", args.req_size);
+    let _ = writeln!(out, "  \"write_frac\": {},", args.write_frac);
     let _ = writeln!(out, "  \"clients\": {CLIENTS},");
     let _ = writeln!(out, "  \"profile\": {},", args.profile);
     if args.profile {
@@ -222,8 +251,17 @@ fn render_json(args: &Args, runs: &[Run], engines: &[widx_bench::prof::EnginePro
         let _ = write!(
             out,
             "\"shards\": {}, \"inflight\": {}, \"batch_size\": {}, \
-             \"wall_ms\": {:.3}, \"keys_per_sec\": {:.0}, \"live_scrapes\": {}, ",
-            run.shards, run.inflight, run.batch_size, run.wall_ms, run.keys_per_sec, run.scrapes
+             \"wall_ms\": {:.3}, \"keys_per_sec\": {:.0}, \"live_scrapes\": {}, \
+             \"write_ops\": {}, \"write_batches\": {}, \"epoch_reclaimed\": {}, ",
+            run.shards,
+            run.inflight,
+            run.batch_size,
+            run.wall_ms,
+            run.keys_per_sec,
+            run.scrapes,
+            run.stats.total_write_ops(),
+            run.stats.total_write_batches(),
+            run.stats.epoch_reclaimed,
         );
         let _ = write!(
             out,
@@ -285,8 +323,9 @@ fn main() {
     );
 
     println!(
-        "== serve_throughput: {} entries, {} Zipf({}) probes, {} clients, req-size {} ==\n",
-        args.entries, args.probes, args.theta, CLIENTS, args.req_size
+        "== serve_throughput: {} entries, {} Zipf({}) probes, {} clients, req-size {}, \
+         write-frac {} ==\n",
+        args.entries, args.probes, args.theta, CLIENTS, args.req_size, args.write_frac
     );
     println!("(seed {SEED:#x}; per-worker detail in --json output)\n");
 
@@ -301,6 +340,7 @@ fn main() {
         "p99 µs",
         "occupancy",
         "mean batch",
+        "write ops",
     ]);
     for &shards in &shard_sweep {
         for &inflight in inflight_sweep {
@@ -312,6 +352,7 @@ fn main() {
                     inflight,
                     batch_size,
                     args.req_size,
+                    args.write_frac,
                     args.scrape_ms,
                     args.profile,
                 );
@@ -339,6 +380,7 @@ fn main() {
                     f1(run.stats.latency.p99_ns as f64 / 1e3),
                     pct(occ),
                     f1(mean_batch),
+                    run.stats.total_write_ops().to_string(),
                 ]);
                 runs.push(run);
             }

@@ -1,39 +1,98 @@
-//! A static B+-tree index — the paper's Section 7 notes Widx "can easily
-//! be extended to accelerate other index structures, such as balanced
+//! A B+-tree index — the paper's Section 7 notes Widx "can easily be
+//! extended to accelerate other index structures, such as balanced
 //! trees, which are also common in DBMSs"; this is the tree that
 //! extension targets.
 //!
 //! The tree is built bottom-up over sorted entries into flat node
-//! arrays, which both keeps lookups allocation-free and makes the
-//! structure directly materializable into simulated memory.
+//! *arenas* (one per level, plus the leaf arena), which keeps lookups
+//! allocation-free and makes the structure directly materializable into
+//! simulated memory. Unlike the original frozen build, the arenas are
+//! **mutable**: [`insert`](BTreeIndex::insert) splits full leaves (and
+//! full inner nodes, growing a new root level when the root itself
+//! splits), [`delete`](BTreeIndex::delete) merges underfull leaves into
+//! a same-parent sibling and unlinks emptied nodes, and freed slots are
+//! *retired* into an epoch list (see [`crate::epoch`]) instead of being
+//! reused immediately — a resumable range cursor holding a leaf index
+//! across batches can never find the slot silently repurposed.
+//!
+//! Concurrency-relevant structure for the walkers upstairs:
+//!
+//! * leaves form a doubly linked chain ([`leaf_next`](
+//!   BTreeIndex::leaf_next) / [`leaf_prev`](BTreeIndex::leaf_prev)) in
+//!   key order — range scans step links, never adjacent array slots;
+//! * every leaf slot carries a monotonically increasing
+//!   [`version`](BTreeIndex::leaf_version), bumped on any content or
+//!   link change, on retirement, and on reuse — a saved `(leaf, slot,
+//!   version)` cursor position is valid iff the version still matches
+//!   (Wormhole-style leaf validation);
+//! * the tree height never shrinks: emptied inner nodes are unlinked,
+//!   but surviving single-child ancestors simply pass descents through.
+//!   Separator keys may go stale (they remain correct lower bounds),
+//!   which is why scans land by separator and then follow the chain.
 
-/// Sentinel child index.
+use std::sync::Arc;
+
+use crate::epoch::{EpochDomain, RetireList};
+
+/// Sentinel node index ("no node").
 const NONE: u32 = u32::MAX;
 
 /// An inner node: separator keys and child indices.
 #[derive(Clone, Debug)]
 struct Inner {
-    /// `keys[i]` is the smallest key reachable through `children[i+1]`.
+    /// `keys[i]` is the smallest key reachable through `children[i+1]`
+    /// at the time the separator was created (a lower bound; deletions
+    /// may leave it stale, insertions keep it exact).
     keys: Vec<u64>,
-    /// Child node indices (into the next level down).
+    /// Child node indices (into the next level down, or the leaf arena
+    /// for level 0).
     children: Vec<u32>,
+    /// Owning inner node one level up, or [`NONE`] for the root.
+    parent: u32,
 }
 
-/// A leaf node: sorted keys with payloads.
+/// A leaf node: sorted keys with payloads, chain links, and a version.
 #[derive(Clone, Debug)]
 struct Leaf {
     keys: Vec<u64>,
     payloads: Vec<u64>,
+    /// In-order successor leaf, or [`NONE`].
+    next: u32,
+    /// In-order predecessor leaf, or [`NONE`].
+    prev: u32,
+    /// Owning inner node at level 0, or [`NONE`] when the tree is a
+    /// single leaf.
+    parent: u32,
+    /// Bumped on every content/link change, retirement, and reuse.
+    /// Never reset — a slot's version is monotone over its lifetime.
+    version: u64,
 }
 
-/// A static B+-tree over `u64` keys (duplicates allowed).
+/// A B+-tree over `u64` keys (duplicates allowed) supporting online
+/// mutation with epoch-based node reclamation.
 #[derive(Clone, Debug)]
 pub struct BTreeIndex {
     fanout: usize,
-    /// Levels of inner nodes, root level last. Empty when the tree is a
-    /// single leaf.
+    /// Levels of inner nodes, root level last; the root is always node
+    /// 0 of the top level. Empty when the tree is a single leaf.
     levels: Vec<Vec<Inner>>,
+    /// Leaf arena; may contain retired/free slots after mutation.
     leaves: Vec<Leaf>,
+    /// First live leaf in key order.
+    head: u32,
+    /// Last live leaf in key order.
+    tail: u32,
+    /// Live (chained) leaves.
+    live_leaves: usize,
+    /// Total entries.
+    len: usize,
+    /// Retired/free leaf slots awaiting epoch-safe reuse.
+    leaf_retire: RetireList,
+    /// Retired/free inner slots, one list per level (parallel to
+    /// `levels`).
+    inner_retire: Vec<RetireList>,
+    /// The reclamation domain mutations stamp retirements against.
+    domain: Arc<EpochDomain>,
 }
 
 impl BTreeIndex {
@@ -52,19 +111,34 @@ impl BTreeIndex {
         // scans in exactly the same order as one tree over everything —
         // the property the ordered-serving oracle tests rely on.
         entries.sort_by_key(|(k, _)| *k);
+        let len = entries.len();
 
         let mut leaves = Vec::new();
         for chunk in entries.chunks(fanout.max(1)) {
             leaves.push(Leaf {
                 keys: chunk.iter().map(|(k, _)| *k).collect(),
                 payloads: chunk.iter().map(|(_, p)| *p).collect(),
+                next: NONE,
+                prev: NONE,
+                parent: NONE,
+                version: 1,
             });
         }
         if leaves.is_empty() {
             leaves.push(Leaf {
                 keys: Vec::new(),
                 payloads: Vec::new(),
+                next: NONE,
+                prev: NONE,
+                parent: NONE,
+                version: 1,
             });
+        }
+        let leaf_count = leaves.len() as u32;
+        for (i, leaf) in leaves.iter_mut().enumerate() {
+            let i = i as u32;
+            leaf.prev = if i == 0 { NONE } else { i - 1 };
+            leaf.next = if i + 1 == leaf_count { NONE } else { i + 1 };
         }
 
         // Build inner levels bottom-up until one root remains.
@@ -86,7 +160,19 @@ impl BTreeIndex {
                     .map(|c| level_first_keys[*c as usize])
                     .collect();
                 next_first_keys.push(level_first_keys[child as usize]);
-                inners.push(Inner { keys, children });
+                let me = inners.len() as u32;
+                for c in &children {
+                    if let Some(level_below) = levels.last_mut() {
+                        level_below[*c as usize].parent = me;
+                    } else {
+                        leaves[*c as usize].parent = me;
+                    }
+                }
+                inners.push(Inner {
+                    keys,
+                    children,
+                    parent: NONE,
+                });
                 child = end as u32;
             }
             width = inners.len();
@@ -94,11 +180,32 @@ impl BTreeIndex {
             level_first_keys = next_first_keys;
         }
 
+        let inner_retire = levels.iter().map(|_| RetireList::default()).collect();
         BTreeIndex {
             fanout,
+            head: 0,
+            tail: leaf_count - 1,
+            live_leaves: leaves.len(),
+            len,
             levels,
             leaves,
+            leaf_retire: RetireList::default(),
+            inner_retire,
+            domain: EpochDomain::new(),
         }
+    }
+
+    /// Attaches the epoch domain mutations stamp retirements against —
+    /// call once, before serving, so all of a service's indexes share
+    /// one domain (and its `widx_epoch_*` gauges).
+    pub fn set_domain(&mut self, domain: Arc<EpochDomain>) {
+        self.domain = domain;
+    }
+
+    /// The epoch domain this index retires into.
+    #[must_use]
+    pub fn domain(&self) -> &Arc<EpochDomain> {
+        &self.domain
     }
 
     /// The tree's fanout.
@@ -116,17 +223,403 @@ impl BTreeIndex {
     /// Total entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.leaves.iter().map(|l| l.keys.len()).sum()
+        self.len
     }
 
     /// Whether the tree holds no entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 
-    /// Looks up the first payload under `key`, also reporting the number
-    /// of nodes visited (the traversal length Widx would walk).
+    /// Descends from the root to a leaf. `upper` picks the rightmost
+    /// leaf whose range can hold `key` (`<=` separators — insert and
+    /// descending-scan entry); otherwise the leftmost (`<` — ascending
+    /// scans, deletes). Callers follow the leaf chain from there.
+    fn descend_leaf(&self, key: u64, upper: bool) -> u32 {
+        if self.levels.is_empty() {
+            return self.head;
+        }
+        let mut node = 0u32;
+        for level in self.levels.iter().rev() {
+            let n = &level[node as usize];
+            let slot = if upper {
+                n.keys.partition_point(|k| *k <= key)
+            } else {
+                n.keys.partition_point(|k| *k < key)
+            };
+            node = n.children[slot];
+        }
+        node
+    }
+
+    /// Inserts one `(key, payload)` entry. Duplicates are allowed and
+    /// keep insertion order (the new entry lands after every existing
+    /// entry of the same key, matching the stable build order).
+    pub fn insert(&mut self, key: u64, payload: u64) {
+        let leaf = self.descend_leaf(key, true);
+        let l = &mut self.leaves[leaf as usize];
+        let slot = l.keys.partition_point(|k| *k <= key);
+        l.keys.insert(slot, key);
+        l.payloads.insert(slot, payload);
+        l.version += 1;
+        self.len += 1;
+        if self.leaves[leaf as usize].keys.len() > self.fanout {
+            self.split_leaf(leaf);
+        }
+    }
+
+    /// Removes **every** entry stored under `key`, returning how many
+    /// were removed. Emptied leaves are unlinked and retired; underfull
+    /// leaves merge into a same-parent sibling when the result fits.
+    pub fn delete(&mut self, key: u64) -> usize {
+        let mut removed = 0usize;
+        loop {
+            // Land on the leftmost leaf whose range covers `key`, then
+            // follow the chain — separators may be stale lower bounds,
+            // so the landing leaf can sit one or more links early.
+            let mut leaf = self.descend_leaf(key, false);
+            let target = loop {
+                let l = &self.leaves[leaf as usize];
+                let start = l.keys.partition_point(|k| *k < key);
+                let end = l.keys.partition_point(|k| *k <= key);
+                if start < end {
+                    break Some((leaf, start, end));
+                }
+                if l.keys.last().is_some_and(|k| *k > key) || l.next == NONE {
+                    break None;
+                }
+                leaf = l.next;
+            };
+            let Some((leaf, start, end)) = target else {
+                return removed;
+            };
+            let l = &mut self.leaves[leaf as usize];
+            l.keys.drain(start..end);
+            l.payloads.drain(start..end);
+            l.version += 1;
+            self.len -= end - start;
+            removed += end - start;
+            self.rebalance_leaf(leaf);
+            // Duplicates may span further leaves; re-descend (the
+            // rebalance may have restructured links and parents).
+        }
+    }
+
+    /// Replaces every entry under `key` with the single entry `(key,
+    /// payload)`. Returns `true` if at least one entry existed (the
+    /// update applied); `false` leaves the tree unchanged — an update
+    /// never inserts a missing key.
+    pub fn update(&mut self, key: u64, payload: u64) -> bool {
+        if self.delete(key) == 0 {
+            return false;
+        }
+        self.insert(key, payload);
+        true
+    }
+
+    /// Splits `leaf` (over fanout) into itself (lower half) and a new
+    /// right sibling, promoting the sibling's first key to the parent.
+    fn split_leaf(&mut self, leaf: u32) {
+        let mid = self.leaves[leaf as usize].keys.len() / 2;
+        let right_keys = self.leaves[leaf as usize].keys.split_off(mid);
+        let right_payloads = self.leaves[leaf as usize].payloads.split_off(mid);
+        let sep = right_keys[0];
+        let old_next = self.leaves[leaf as usize].next;
+        let parent = self.leaves[leaf as usize].parent;
+        let right = self.alloc_leaf(right_keys, right_payloads, old_next, leaf, parent);
+        let l = &mut self.leaves[leaf as usize];
+        l.next = right;
+        l.version += 1;
+        if old_next == NONE {
+            self.tail = right;
+        } else {
+            let n = &mut self.leaves[old_next as usize];
+            n.prev = right;
+            n.version += 1;
+        }
+        self.live_leaves += 1;
+        self.promote(0, parent, sep, leaf, right);
+    }
+
+    /// Inserts separator `sep` and child `right` after child `left`
+    /// into the parent at level `li` (the level the *parent* lives at),
+    /// splitting upward as needed. `parent == NONE` grows a new root
+    /// level with children `[left, right]`.
+    fn promote(&mut self, li: usize, parent: u32, sep: u64, left: u32, right: u32) {
+        if parent == NONE {
+            debug_assert_eq!(li, self.levels.len(), "only the root has no parent");
+            self.levels.push(vec![Inner {
+                keys: vec![sep],
+                children: vec![left, right],
+                parent: NONE,
+            }]);
+            self.inner_retire.push(RetireList::default());
+            self.set_parent(li, left, 0);
+            self.set_parent(li, right, 0);
+            return;
+        }
+        let p = &mut self.levels[li][parent as usize];
+        let slot = p
+            .children
+            .iter()
+            .position(|c| *c == left)
+            .expect("split child under its parent");
+        p.keys.insert(slot, sep);
+        p.children.insert(slot + 1, right);
+        self.set_parent(li, right, parent);
+        if self.levels[li][parent as usize].children.len() <= self.fanout {
+            return;
+        }
+        // Split the parent: left half stays in place, the right half
+        // moves to a fresh node, and the middle separator is promoted.
+        let mid = self.levels[li][parent as usize].children.len() / 2;
+        let right_children = self.levels[li][parent as usize].children.split_off(mid);
+        let mut right_keys = self.levels[li][parent as usize].keys.split_off(mid - 1);
+        let promoted = right_keys.remove(0);
+        let grand = self.levels[li][parent as usize].parent;
+        let rnode = self.alloc_inner(li, right_keys, right_children.clone(), grand);
+        for c in right_children {
+            self.set_parent(li, c, rnode);
+        }
+        self.promote(li + 1, grand, promoted, parent, rnode);
+    }
+
+    /// Sets the parent pointer of a child of an inner node at level
+    /// `li` (the child is a leaf when `li == 0`).
+    fn set_parent(&mut self, li: usize, child: u32, parent: u32) {
+        if li == 0 {
+            self.leaves[child as usize].parent = parent;
+        } else {
+            self.levels[li - 1][child as usize].parent = parent;
+        }
+    }
+
+    /// Allocates a leaf slot (reusing a reclaimed one when available).
+    fn alloc_leaf(
+        &mut self,
+        keys: Vec<u64>,
+        payloads: Vec<u64>,
+        next: u32,
+        prev: u32,
+        parent: u32,
+    ) -> u32 {
+        self.leaf_retire.reclaim(&self.domain);
+        match self.leaf_retire.alloc() {
+            Some(slot) => {
+                let l = &mut self.leaves[slot as usize];
+                l.keys = keys;
+                l.payloads = payloads;
+                l.next = next;
+                l.prev = prev;
+                l.parent = parent;
+                l.version += 1;
+                slot
+            }
+            None => {
+                self.leaves.push(Leaf {
+                    keys,
+                    payloads,
+                    next,
+                    prev,
+                    parent,
+                    version: 1,
+                });
+                (self.leaves.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Allocates an inner slot at level `li`.
+    fn alloc_inner(&mut self, li: usize, keys: Vec<u64>, children: Vec<u32>, parent: u32) -> u32 {
+        self.inner_retire[li].reclaim(&self.domain);
+        match self.inner_retire[li].alloc() {
+            Some(slot) => {
+                self.levels[li][slot as usize] = Inner {
+                    keys,
+                    children,
+                    parent,
+                };
+                slot
+            }
+            None => {
+                self.levels[li].push(Inner {
+                    keys,
+                    children,
+                    parent,
+                });
+                (self.levels[li].len() - 1) as u32
+            }
+        }
+    }
+
+    /// After a removal from `leaf`: retire it if it emptied, or merge
+    /// it with a same-parent sibling if it underflowed and the merge
+    /// fits in one leaf.
+    fn rebalance_leaf(&mut self, leaf: u32) {
+        if self.leaves[leaf as usize].keys.is_empty() {
+            if self.live_leaves == 1 {
+                return; // the last leaf stays (an empty tree keeps one leaf)
+            }
+            self.unlink_and_retire_leaf(leaf);
+            return;
+        }
+        if self.leaves[leaf as usize].keys.len() * 2 >= self.fanout {
+            return; // no underflow
+        }
+        let parent = self.leaves[leaf as usize].parent;
+        if parent == NONE {
+            return; // root leaf: nothing to merge with
+        }
+        let slot = self.levels[0][parent as usize]
+            .children
+            .iter()
+            .position(|c| *c == leaf)
+            .expect("leaf under its parent");
+        let siblings = &self.levels[0][parent as usize].children;
+        // Prefer absorbing the right sibling; fall back to merging into
+        // the left one. Only same-parent merges, so the parent loses
+        // exactly one child and one separator.
+        let right = siblings.get(slot + 1).copied();
+        let left = if slot > 0 {
+            Some(siblings[slot - 1])
+        } else {
+            None
+        };
+        if let Some(right) = right {
+            let fits = self.leaves[leaf as usize].keys.len()
+                + self.leaves[right as usize].keys.len()
+                <= self.fanout;
+            if fits {
+                self.absorb_right_leaf(leaf, right);
+                return;
+            }
+        }
+        if let Some(left) = left {
+            let fits = self.leaves[left as usize].keys.len()
+                + self.leaves[leaf as usize].keys.len()
+                <= self.fanout;
+            if fits {
+                self.absorb_right_leaf(left, leaf);
+            }
+        }
+    }
+
+    /// Moves every entry of `right` into `left` (its chain
+    /// predecessor under the same parent), then unlinks and retires
+    /// `right`.
+    fn absorb_right_leaf(&mut self, left: u32, right: u32) {
+        let mut keys = std::mem::take(&mut self.leaves[right as usize].keys);
+        let mut payloads = std::mem::take(&mut self.leaves[right as usize].payloads);
+        let l = &mut self.leaves[left as usize];
+        l.keys.append(&mut keys);
+        l.payloads.append(&mut payloads);
+        l.version += 1;
+        self.unlink_and_retire_leaf(right);
+    }
+
+    /// Unlinks `leaf` from the chain, removes it from its parent, and
+    /// retires its slot at the current epoch.
+    fn unlink_and_retire_leaf(&mut self, leaf: u32) {
+        let (next, prev, parent) = {
+            let l = &self.leaves[leaf as usize];
+            (l.next, l.prev, l.parent)
+        };
+        if prev == NONE {
+            self.head = next;
+        } else {
+            let p = &mut self.leaves[prev as usize];
+            p.next = next;
+            p.version += 1;
+        }
+        if next == NONE {
+            self.tail = prev;
+        } else {
+            let n = &mut self.leaves[next as usize];
+            n.prev = prev;
+            n.version += 1;
+        }
+        let l = &mut self.leaves[leaf as usize];
+        l.keys = Vec::new();
+        l.payloads = Vec::new();
+        l.next = NONE;
+        l.prev = NONE;
+        l.parent = NONE;
+        l.version += 1;
+        self.live_leaves -= 1;
+        let stamp = self.domain.current();
+        self.leaf_retire.retire(leaf, stamp, &self.domain);
+        if parent != NONE {
+            self.remove_child(0, parent, leaf);
+        }
+    }
+
+    /// Removes `child` from the inner node `parent` at level `li`,
+    /// retiring emptied inner nodes up the tree. The root inner node is
+    /// never retired (the tree keeps its height).
+    fn remove_child(&mut self, li: usize, parent: u32, child: u32) {
+        let p = &mut self.levels[li][parent as usize];
+        let slot = p
+            .children
+            .iter()
+            .position(|c| *c == child)
+            .expect("child under its parent");
+        p.children.remove(slot);
+        if slot == 0 {
+            if !p.keys.is_empty() {
+                p.keys.remove(0);
+            }
+        } else {
+            p.keys.remove(slot - 1);
+        }
+        if p.children.is_empty() {
+            let grand = p.parent;
+            debug_assert!(grand != NONE, "the root cannot empty while a leaf lives");
+            p.parent = NONE;
+            let stamp = self.domain.current();
+            self.inner_retire[li].retire(parent, stamp, &self.domain);
+            if grand != NONE {
+                self.remove_child(li + 1, grand, parent);
+            }
+        }
+    }
+
+    /// Moves every retired slot (leaves and inner nodes) whose epoch
+    /// stamp is older than all pinned epochs to the free lists; returns
+    /// how many moved.
+    pub fn reclaim(&mut self) -> usize {
+        let mut n = self.leaf_retire.reclaim(&self.domain);
+        for list in &mut self.inner_retire {
+            n += list.reclaim(&self.domain);
+        }
+        n
+    }
+
+    /// Slots (leaves + inner nodes) retired and not yet reclaimed.
+    #[must_use]
+    pub fn retired_nodes(&self) -> usize {
+        self.leaf_retire.retired_len()
+            + self
+                .inner_retire
+                .iter()
+                .map(RetireList::retired_len)
+                .sum::<usize>()
+    }
+
+    /// Slots reclaimed and ready for reuse.
+    #[must_use]
+    pub fn free_nodes(&self) -> usize {
+        self.leaf_retire.free_len()
+            + self
+                .inner_retire
+                .iter()
+                .map(RetireList::free_len)
+                .sum::<usize>()
+    }
+
+    /// Looks up the first payload under `key` (in the rightmost leaf
+    /// holding it), also reporting the number of nodes visited (the
+    /// traversal length Widx would walk).
     #[must_use]
     pub fn lookup_counted(&self, key: u64) -> (Option<u64>, usize) {
         let mut visits = 0usize;
@@ -138,6 +631,9 @@ impl BTreeIndex {
             let slot = node.keys.partition_point(|k| *k <= key);
             idx = node.children[slot];
             debug_assert_ne!(idx, NONE);
+        }
+        if self.levels.is_empty() {
+            idx = self.head;
         }
         visits += 1;
         let leaf = &self.leaves[idx as usize];
@@ -157,7 +653,7 @@ impl BTreeIndex {
     }
 
     /// All `(key, payload)` entries with `lo <= key <= hi`, in key order
-    /// (duplicates in build order), truncated to the first `limit` —
+    /// (duplicates in insertion order), truncated to the first `limit` —
     /// the serial range-scan oracle the walker engines are checked
     /// against. Empty when `lo > hi` or `limit == 0`.
     #[must_use]
@@ -166,19 +662,12 @@ impl BTreeIndex {
         if lo > hi || limit == 0 {
             return out;
         }
-        // Descend toward the *leftmost* leaf that can hold a key >= lo:
-        // strict comparison, unlike `lookup`'s `<=`, because duplicates
-        // of one key may span several leaves.
-        let mut idx = 0u32;
-        for level in self.levels.iter().rev() {
-            let node = &level[idx as usize];
-            idx = node.children[node.keys.partition_point(|k| *k < lo)];
-        }
-        let mut leaf = idx as usize;
-        let mut slot = self.leaves[leaf].keys.partition_point(|k| *k < lo);
-        // Walk the leaf chain (leaves are stored in key order).
+        // Land on the leftmost leaf whose range can reach `lo`, then
+        // walk the chain.
+        let mut leaf = self.descend_leaf(lo, false);
+        let mut slot = self.leaves[leaf as usize].keys.partition_point(|k| *k < lo);
         loop {
-            let l = &self.leaves[leaf];
+            let l = &self.leaves[leaf as usize];
             while slot < l.keys.len() {
                 let key = l.keys[slot];
                 if key > hi {
@@ -190,16 +679,16 @@ impl BTreeIndex {
                 }
                 slot += 1;
             }
-            leaf += 1;
-            if leaf == self.leaves.len() {
+            if l.next == NONE {
                 return out;
             }
+            leaf = l.next;
             slot = 0;
         }
     }
 
     /// All `(key, payload)` entries with `lo <= key <= hi`, in
-    /// *descending* key order (duplicates in reverse build order),
+    /// *descending* key order (duplicates in reverse insertion order),
     /// truncated to the first `limit` — the serial oracle for
     /// `ORDER BY key DESC` scans and the reverse walker engines. Empty
     /// when `lo > hi` or `limit == 0`.
@@ -209,20 +698,15 @@ impl BTreeIndex {
         if lo > hi || limit == 0 {
             return out;
         }
-        // Descend toward the *rightmost* leaf that can hold a key <= hi:
-        // `<=` comparison (like `lookup`), because duplicates of `hi`
-        // may span several leaves and the last one is wanted.
-        let mut idx = 0u32;
-        for level in self.levels.iter().rev() {
-            let node = &level[idx as usize];
-            idx = node.children[node.keys.partition_point(|k| *k <= hi)];
-        }
-        let mut leaf = idx as usize;
+        // Land on the rightmost leaf whose range can reach `hi`, then
+        // walk the chain backwards.
+        let mut leaf = self.descend_leaf(hi, true);
         // Everything below this slot is <= hi; walk it downward.
-        let mut slot = self.leaves[leaf].keys.partition_point(|k| *k <= hi);
-        // Walk the leaf chain backwards (leaves are stored in key order).
+        let mut slot = self.leaves[leaf as usize]
+            .keys
+            .partition_point(|k| *k <= hi);
         loop {
-            let l = &self.leaves[leaf];
+            let l = &self.leaves[leaf as usize];
             while slot > 0 {
                 slot -= 1;
                 let key = l.keys[slot];
@@ -234,11 +718,11 @@ impl BTreeIndex {
                     return out;
                 }
             }
-            if leaf == 0 {
+            if l.prev == NONE {
                 return out;
             }
-            leaf -= 1;
-            slot = self.leaves[leaf].keys.len();
+            leaf = l.prev;
+            slot = self.leaves[leaf as usize].keys.len();
         }
     }
 
@@ -250,7 +734,7 @@ impl BTreeIndex {
 
     /// Separator keys of inner node `node`, `depth` levels below the
     /// root (depth 0 is the root). `keys()[i]` is the smallest key
-    /// reachable through child `i + 1`.
+    /// reachable through child `i + 1` (a lower bound after deletions).
     ///
     /// # Panics
     ///
@@ -263,7 +747,7 @@ impl BTreeIndex {
 
     /// Child index `slot` of inner node `node` at `depth` below the
     /// root. The result indexes the next inner level down, or the leaf
-    /// array when `depth == inner_level_count() - 1`.
+    /// arena when `depth == inner_level_count() - 1`.
     ///
     /// # Panics
     ///
@@ -274,15 +758,59 @@ impl BTreeIndex {
         level[node as usize].children[slot]
     }
 
-    /// Number of leaves (always at least 1; an empty tree has one empty
-    /// leaf).
+    /// Size of the leaf arena (equal to the live leaf count for a
+    /// freshly built tree; after mutation the arena may contain retired
+    /// slots — use [`live_leaf_count`](Self::live_leaf_count) and the
+    /// chain accessors for traversal).
     #[must_use]
     pub fn leaf_count(&self) -> usize {
         self.leaves.len()
     }
 
-    /// Keys and payloads of `leaf`, in key order. Leaf `i + 1` is the
-    /// in-order successor of leaf `i` (the chain a range scan follows).
+    /// Leaves currently linked into the chain (always at least 1; an
+    /// empty tree keeps one empty leaf).
+    #[must_use]
+    pub fn live_leaf_count(&self) -> usize {
+        self.live_leaves
+    }
+
+    /// The first live leaf in key order.
+    #[must_use]
+    pub fn first_leaf(&self) -> u32 {
+        self.head
+    }
+
+    /// The last live leaf in key order.
+    #[must_use]
+    pub fn last_leaf(&self) -> u32 {
+        self.tail
+    }
+
+    /// The in-order successor of `leaf`, if any.
+    #[must_use]
+    pub fn leaf_next(&self, leaf: u32) -> Option<u32> {
+        let next = self.leaves[leaf as usize].next;
+        (next != NONE).then_some(next)
+    }
+
+    /// The in-order predecessor of `leaf`, if any.
+    #[must_use]
+    pub fn leaf_prev(&self, leaf: u32) -> Option<u32> {
+        let prev = self.leaves[leaf as usize].prev;
+        (prev != NONE).then_some(prev)
+    }
+
+    /// The version of `leaf`'s slot: monotone over the slot's lifetime,
+    /// bumped on every content or link change, retirement, and reuse. A
+    /// saved cursor position `(leaf, slot, version)` is still exact iff
+    /// the version matches.
+    #[must_use]
+    pub fn leaf_version(&self, leaf: u32) -> u64 {
+        self.leaves[leaf as usize].version
+    }
+
+    /// Keys and payloads of `leaf`, in key order. Follow
+    /// [`leaf_next`](Self::leaf_next) for the in-order successor.
     ///
     /// # Panics
     ///
@@ -293,13 +821,36 @@ impl BTreeIndex {
         (&l.keys, &l.payloads)
     }
 
+    /// Every entry in key order (duplicates in insertion order) — a
+    /// full chain walk.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut leaf = self.head;
+        loop {
+            let l = &self.leaves[leaf as usize];
+            out.extend(l.keys.iter().copied().zip(l.payloads.iter().copied()));
+            if l.next == NONE {
+                return out;
+            }
+            leaf = l.next;
+        }
+    }
+
     /// Exports the tree's structure as plain data, for materialization
-    /// into simulated memory.
+    /// into simulated memory. The export is *compacted*: a mutated
+    /// tree is re-packed into dense arrays (leaf `i + 1` is the
+    /// in-order successor of leaf `i`), so retired arena slots never
+    /// leak into simulated memory.
     #[must_use]
     pub fn export(&self) -> BTreeExport {
+        // Rebuilding from the (already sorted) entry stream reproduces
+        // the canonical bottom-up packing; the stable sort inside
+        // `build` keeps duplicate order intact.
+        let packed = BTreeIndex::build(self.fanout, self.entries());
         BTreeExport {
-            fanout: self.fanout,
-            levels: self
+            fanout: packed.fanout,
+            levels: packed
                 .levels
                 .iter()
                 .map(|level| {
@@ -309,7 +860,7 @@ impl BTreeIndex {
                         .collect()
                 })
                 .collect(),
-            leaves: self
+            leaves: packed
                 .leaves
                 .iter()
                 .map(|l| (l.keys.clone(), l.payloads.clone()))
@@ -489,5 +1040,270 @@ mod tests {
         let large = BTreeIndex::build(8, (0..4096u64).map(|k| (k, k)));
         assert!(large.height() > small.height());
         assert!(large.height() <= 5);
+    }
+
+    // ---- mutation ----
+
+    /// Checks the full structural invariant set after a mutation storm:
+    /// chain order, link symmetry, live-leaf count, length, and scan
+    /// agreement with a fresh build over the same entries.
+    fn check_invariants(t: &BTreeIndex) {
+        let entries = t.entries();
+        assert_eq!(entries.len(), t.len(), "len matches chain walk");
+        assert!(
+            entries.windows(2).all(|w| w[0].0 <= w[1].0),
+            "chain is key-ordered"
+        );
+        // Chain link symmetry + live count.
+        let mut live = 0usize;
+        let mut leaf = t.first_leaf();
+        let mut prev = None;
+        loop {
+            live += 1;
+            assert_eq!(t.leaf_prev(leaf), prev, "prev link of {leaf}");
+            prev = Some(leaf);
+            match t.leaf_next(leaf) {
+                Some(next) => leaf = next,
+                None => break,
+            }
+        }
+        assert_eq!(leaf, t.last_leaf());
+        assert_eq!(live, t.live_leaf_count());
+        // Every entry findable by descent; scans agree with a rebuild.
+        let fresh = BTreeIndex::build(t.fanout(), entries.clone());
+        assert_eq!(
+            t.range_scan(0, u64::MAX, usize::MAX),
+            fresh.range_scan(0, u64::MAX, usize::MAX)
+        );
+        assert_eq!(
+            t.range_scan_desc(0, u64::MAX, usize::MAX),
+            fresh.range_scan_desc(0, u64::MAX, usize::MAX)
+        );
+    }
+
+    #[test]
+    fn insert_grows_from_empty_through_root_splits() {
+        let mut t = BTreeIndex::build(4, std::iter::empty());
+        for k in 0..500u64 {
+            t.insert(k * 2, k);
+        }
+        assert_eq!(t.len(), 500);
+        assert!(t.height() >= 4, "root split grew levels: {}", t.height());
+        for k in 0..500u64 {
+            assert_eq!(t.lookup(k * 2), Some(k), "key {}", k * 2);
+            assert_eq!(t.lookup(k * 2 + 1), None);
+        }
+        check_invariants(&t);
+    }
+
+    #[test]
+    fn interleaved_inserts_keep_scan_order() {
+        let mut t = BTreeIndex::build(4, (0..200u64).map(|k| (k * 4, k)));
+        // Insert between, before, and after existing keys, plus dups.
+        for k in 0..200u64 {
+            t.insert(k * 4 + 2, 1000 + k);
+        }
+        t.insert(0, 7777);
+        t.insert(u64::MAX, 8888);
+        check_invariants(&t);
+        let got = t.range_scan(0, 10, usize::MAX);
+        assert_eq!(
+            got,
+            vec![
+                (0, 0),
+                (0, 7777),
+                (2, 1000),
+                (4, 1),
+                (6, 1001),
+                (8, 2),
+                (10, 1002)
+            ]
+        );
+    }
+
+    #[test]
+    fn inserted_duplicates_follow_existing_ones() {
+        let mut t = BTreeIndex::build(4, (0..10u64).map(|_| (5, 0)));
+        t.insert(5, 1);
+        t.insert(5, 2);
+        let payloads: Vec<u64> = t
+            .range_scan(5, 5, usize::MAX)
+            .iter()
+            .map(|(_, p)| *p)
+            .collect();
+        assert_eq!(&payloads[10..], &[1, 2], "new dups land after old ones");
+    }
+
+    #[test]
+    fn delete_removes_runs_spanning_leaves() {
+        let mut pairs: Vec<(u64, u64)> = (0..40u64).map(|i| (77, i)).collect();
+        pairs.extend((0..100u64).map(|k| (k * 2, k)));
+        let mut t = BTreeIndex::build(4, pairs);
+        assert_eq!(t.delete(77), 40);
+        assert_eq!(t.range_scan(77, 77, usize::MAX), vec![]);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.delete(77), 0, "second delete misses");
+        check_invariants(&t);
+    }
+
+    #[test]
+    fn delete_everything_leaves_a_valid_empty_tree() {
+        let mut t = BTreeIndex::build(4, (0..300u64).map(|k| (k, k)));
+        for k in 0..300u64 {
+            assert_eq!(t.delete(k), 1, "key {k}");
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.live_leaf_count(), 1, "one (empty) leaf survives");
+        assert_eq!(t.range_scan(0, u64::MAX, usize::MAX), vec![]);
+        assert!(t.retired_nodes() + t.free_nodes() > 0, "nodes were retired");
+        // The tree remains usable.
+        t.insert(42, 1);
+        assert_eq!(t.lookup(42), Some(1));
+        check_invariants(&t);
+    }
+
+    #[test]
+    fn underfull_leaves_merge_into_siblings() {
+        let mut t = BTreeIndex::build(8, (0..256u64).map(|k| (k, k)));
+        let before = t.live_leaf_count();
+        // Thin the tree out: delete three of every four keys.
+        for k in 0..256u64 {
+            if k % 4 != 0 {
+                t.delete(k);
+            }
+        }
+        assert!(
+            t.live_leaf_count() < before,
+            "merges shrank the chain: {} -> {}",
+            before,
+            t.live_leaf_count()
+        );
+        check_invariants(&t);
+    }
+
+    #[test]
+    fn update_replaces_all_or_misses() {
+        let mut t = BTreeIndex::build(4, [(5u64, 1u64), (5, 2), (6, 3)]);
+        assert!(t.update(5, 99));
+        assert_eq!(t.range_scan(5, 5, usize::MAX), vec![(5, 99)]);
+        assert!(!t.update(42, 7), "update never inserts");
+        assert_eq!(t.lookup(42), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn retired_leaf_slots_reused_only_after_reclaim() {
+        let mut t = BTreeIndex::build(2, (0..16u64).map(|k| (k, k)));
+        let domain = t.domain().clone();
+        let worker = domain.register();
+        let pin = worker.pin();
+        for k in 0..8u64 {
+            t.delete(k);
+        }
+        let retired = t.retired_nodes();
+        assert!(retired > 0, "deletions retired nodes");
+        assert_eq!(t.reclaim(), 0, "pin blocks reclamation");
+        drop(pin);
+        domain.advance();
+        assert_eq!(t.reclaim(), retired);
+        assert_eq!(t.retired_nodes(), 0);
+        let arena = t.leaf_count();
+        for k in 100..140u64 {
+            t.insert(k, k);
+        }
+        assert!(t.leaf_count() <= arena + 40, "free slots were reused");
+        check_invariants(&t);
+    }
+
+    #[test]
+    fn versions_bump_on_every_touch() {
+        let mut t = BTreeIndex::build(4, (0..8u64).map(|k| (k, k)));
+        let leaf = t.descend_leaf(0, false);
+        let v0 = t.leaf_version(leaf);
+        t.insert(0, 99);
+        assert!(t.leaf_version(leaf) > v0, "insert bumps");
+        let v1 = t.leaf_version(leaf);
+        t.delete(0);
+        assert!(t.leaf_version(leaf) > v1, "delete bumps");
+    }
+
+    #[test]
+    fn mutation_oracle_against_std_btreemap() {
+        use std::collections::BTreeMap;
+        let mut t = BTreeIndex::build(4, std::iter::empty());
+        let mut oracle: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for step in 0..6000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (state >> 33) % 128;
+            match state % 5 {
+                0..=2 => {
+                    t.insert(key, step);
+                    oracle.entry(key).or_default().push(step);
+                }
+                3 => {
+                    let removed = t.delete(key);
+                    let want = oracle.remove(&key).map_or(0, |v| v.len());
+                    assert_eq!(removed, want, "delete {key} at step {step}");
+                }
+                _ => {
+                    let applied = t.update(key, step);
+                    match oracle.get_mut(&key) {
+                        Some(v) if !v.is_empty() => {
+                            assert!(applied);
+                            v.clear();
+                            v.push(step);
+                        }
+                        _ => assert!(!applied),
+                    }
+                }
+            }
+            if step % 700 == 0 {
+                t.domain().advance();
+                t.reclaim();
+            }
+        }
+        let want: Vec<(u64, u64)> = oracle
+            .iter()
+            .flat_map(|(k, vs)| vs.iter().map(move |v| (*k, *v)))
+            .collect();
+        assert_eq!(t.range_scan(0, u64::MAX, usize::MAX), want);
+        let mut rev = want.clone();
+        rev.reverse();
+        assert_eq!(t.range_scan_desc(0, u64::MAX, usize::MAX), rev);
+        check_invariants(&t);
+        // Quiescence: advance + reclaim drains the retire lists.
+        t.domain().advance();
+        t.reclaim();
+        assert_eq!(t.retired_nodes(), 0);
+    }
+
+    #[test]
+    fn export_compacts_a_mutated_tree() {
+        let mut t = BTreeIndex::build(4, (0..64u64).map(|k| (k, k)));
+        for k in 0..32u64 {
+            t.delete(k * 2);
+        }
+        for k in 100..130u64 {
+            t.insert(k, k);
+        }
+        let export = t.export();
+        assert_eq!(
+            export.leaves.iter().map(|(k, _)| k.len()).sum::<usize>(),
+            t.len()
+        );
+        // Exported leaves are dense and chained in key order.
+        let flat: Vec<u64> = export
+            .leaves
+            .iter()
+            .flat_map(|(k, _)| k.iter().copied())
+            .collect();
+        assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+        assert!(export
+            .leaves
+            .iter()
+            .all(|(k, _)| !k.is_empty() || t.is_empty()));
     }
 }

@@ -4,7 +4,18 @@
 //! information (e.g., number of items per bucket) with the first node of
 //! the bucket, potentially eliminating a pointer dereference for the
 //! first node". Overflow nodes live in a pool and are linked by index.
+//!
+//! The index is **mutable**: [`insert`](HashIndex::insert),
+//! [`delete`](HashIndex::delete), and [`update`](HashIndex::update)
+//! serve the online write path. Unlinked overflow nodes are never freed
+//! directly — their pool slots are *retired* into an epoch list (see
+//! [`crate::epoch`]) and reused only once no walker pinned at an older
+//! epoch remains in flight, so an in-flight probe holding a node index
+//! across a yield can never observe the slot repurposed.
 
+use std::sync::Arc;
+
+use crate::epoch::{EpochDomain, RetireList};
 use crate::hash::HashRecipe;
 
 /// Sentinel for "no next node".
@@ -66,6 +77,12 @@ pub struct HashIndex {
     recipe: HashRecipe,
     buckets: Vec<Bucket>,
     nodes: Vec<Node>,
+    /// Entry count (buckets' `count` fields summed, maintained online).
+    len: usize,
+    /// Retired/free overflow-pool slots awaiting epoch-safe reuse.
+    retire: RetireList,
+    /// The reclamation domain mutations stamp retirements against.
+    domain: Arc<EpochDomain>,
 }
 
 impl HashIndex {
@@ -87,6 +104,9 @@ impl HashIndex {
             recipe,
             buckets: vec![Bucket::EMPTY; bucket_count],
             nodes: Vec::new(),
+            len: 0,
+            retire: RetireList::default(),
+            domain: EpochDomain::new(),
         };
         for (key, payload) in pairs {
             index.insert(key, payload);
@@ -94,7 +114,24 @@ impl HashIndex {
         index
     }
 
-    fn insert(&mut self, key: u64, payload: u64) {
+    /// Attaches the epoch domain mutations stamp retirements against —
+    /// call once, before serving, so all of a service's indexes share
+    /// one domain (and its `widx_epoch_*` gauges).
+    pub fn set_domain(&mut self, domain: Arc<EpochDomain>) {
+        self.domain = domain;
+    }
+
+    /// The epoch domain this index retires into.
+    #[must_use]
+    pub fn domain(&self) -> &Arc<EpochDomain> {
+        &self.domain
+    }
+
+    /// Inserts one `(key, payload)` entry (duplicates allowed).
+    ///
+    /// Reuses a reclaimed pool slot when one is free; otherwise grows
+    /// the pool.
+    pub fn insert(&mut self, key: u64, payload: u64) {
         let b = self.recipe.bucket_of(key, self.buckets.len() as u64) as usize;
         let bucket = &mut self.buckets[b];
         if bucket.count == 0 {
@@ -103,14 +140,107 @@ impl HashIndex {
             bucket.next = NONE;
         } else {
             // Prepend after the header to keep insertion O(1).
-            self.nodes.push(Node {
+            let node = Node {
                 key,
                 payload,
                 next: bucket.next,
-            });
-            bucket.next = (self.nodes.len() - 1) as u32;
+            };
+            let slot = match self.retire.alloc() {
+                Some(slot) => {
+                    self.nodes[slot as usize] = node;
+                    slot
+                }
+                None => {
+                    self.nodes.push(node);
+                    (self.nodes.len() - 1) as u32
+                }
+            };
+            self.buckets[b].next = slot;
         }
-        bucket.count += 1;
+        self.buckets[b].count += 1;
+        self.len += 1;
+    }
+
+    /// Removes **every** entry stored under `key`, returning how many
+    /// were removed. Unlinked overflow nodes are retired at the current
+    /// epoch, not freed.
+    pub fn delete(&mut self, key: u64) -> usize {
+        let b = self.recipe.bucket_of(key, self.buckets.len() as u64) as usize;
+        if self.buckets[b].count == 0 {
+            return 0;
+        }
+        let stamp = self.domain.current();
+        let mut removed = 0usize;
+        // Pass 1: unlink matching overflow nodes (the header is handled
+        // after, so a promoted node is guaranteed not to match).
+        let mut cur = self.buckets[b].next;
+        let mut prev: Option<u32> = None;
+        while cur != NONE {
+            let node = self.nodes[cur as usize];
+            if node.key == key {
+                match prev {
+                    Some(p) => self.nodes[p as usize].next = node.next,
+                    None => self.buckets[b].next = node.next,
+                }
+                self.retire.retire(cur, stamp, &self.domain);
+                removed += 1;
+            } else {
+                prev = Some(cur);
+            }
+            cur = node.next;
+        }
+        // Pass 2: the inline header entry.
+        if self.buckets[b].key == key {
+            let first = self.buckets[b].next;
+            if first == NONE {
+                // Bucket drains completely below.
+            } else {
+                // Promote the first surviving overflow node into the
+                // header and retire its pool slot.
+                let node = self.nodes[first as usize];
+                self.buckets[b].key = node.key;
+                self.buckets[b].payload = node.payload;
+                self.buckets[b].next = node.next;
+                self.retire.retire(first, stamp, &self.domain);
+            }
+            removed += 1;
+        }
+        self.buckets[b].count -= removed as u32;
+        if self.buckets[b].count == 0 {
+            self.buckets[b] = Bucket::EMPTY;
+        }
+        self.len -= removed;
+        removed
+    }
+
+    /// Replaces every entry under `key` with the single entry `(key,
+    /// payload)`. Returns `true` if at least one entry existed (the
+    /// update applied); `false` leaves the index unchanged — an update
+    /// never inserts a missing key.
+    pub fn update(&mut self, key: u64, payload: u64) -> bool {
+        if self.delete(key) == 0 {
+            return false;
+        }
+        self.insert(key, payload);
+        true
+    }
+
+    /// Moves every retired pool slot whose epoch stamp is older than
+    /// all pinned epochs to the free list; returns how many moved.
+    pub fn reclaim(&mut self) -> usize {
+        self.retire.reclaim(&self.domain)
+    }
+
+    /// Pool slots retired and not yet reclaimed.
+    #[must_use]
+    pub fn retired_nodes(&self) -> usize {
+        self.retire.retired_len()
+    }
+
+    /// Pool slots reclaimed and ready for reuse.
+    #[must_use]
+    pub fn free_nodes(&self) -> usize {
+        self.retire.free_len()
     }
 
     /// The hash recipe used for key placement.
@@ -140,13 +270,13 @@ impl HashIndex {
     /// Total entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.buckets.iter().map(|b| b.count as usize).sum()
+        self.len
     }
 
     /// Whether the index holds no entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 
     /// Looks up the first payload stored under `key`.
@@ -331,6 +461,140 @@ mod tests {
         let idx = index_of(&[(5, 50)]);
         assert_eq!(idx.nodes().len(), 0);
         assert_eq!(idx.lookup(5), Some(50));
+    }
+
+    #[test]
+    fn insert_then_lookup_online() {
+        let mut idx = index_of(&[]);
+        for k in 0..500u64 {
+            idx.insert(k, k * 2);
+        }
+        assert_eq!(idx.len(), 500);
+        for k in 0..500u64 {
+            assert_eq!(idx.lookup(k), Some(k * 2), "key {k}");
+        }
+    }
+
+    #[test]
+    fn delete_removes_all_duplicates_and_reports_count() {
+        let mut idx = index_of(&[(7, 1), (7, 2), (7, 3), (9, 4)]);
+        assert_eq!(idx.delete(7), 3);
+        assert_eq!(idx.lookup_all(7), Vec::<u64>::new());
+        assert_eq!(idx.lookup(9), Some(4));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.delete(7), 0, "second delete is a miss");
+        assert!(idx.retired_nodes() + idx.free_nodes() > 0);
+    }
+
+    #[test]
+    fn delete_promotes_surviving_overflow_into_header() {
+        // Force one bucket: header holds the first insert, overflow the
+        // rest. Deleting the header's key must keep the others findable.
+        let pairs: Vec<(u64, u64)> = vec![(1, 10), (2, 20), (3, 30)];
+        let mut idx = HashIndex::build(HashRecipe::robust64(), 1, pairs);
+        for k in [1u64, 2, 3] {
+            assert_eq!(idx.delete(k), 1, "key {k}");
+            for other in [1u64, 2, 3] {
+                let want = if other > k { Some(other * 10) } else { None };
+                assert_eq!(idx.lookup(other), want, "after deleting {k}");
+            }
+        }
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn update_replaces_all_or_misses() {
+        let mut idx = index_of(&[(5, 1), (5, 2), (6, 3)]);
+        assert!(idx.update(5, 99));
+        assert_eq!(idx.lookup_all(5), vec![99]);
+        assert!(!idx.update(42, 7), "update never inserts");
+        assert_eq!(idx.lookup(42), None);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn retired_slots_reused_only_after_reclaim() {
+        let mut idx = HashIndex::build(HashRecipe::robust64(), 1, (0..8u64).map(|k| (k, k)));
+        let pool = idx.nodes().len();
+        assert_eq!(idx.delete(3), 1);
+        // No reclaim yet: the retired slot must not be reused.
+        idx.insert(100, 100);
+        assert_eq!(idx.nodes().len(), pool + 1, "grew instead of reusing");
+        // The stamp was taken at the current epoch, which is never safe;
+        // one advance makes a quiescent domain reclaim it.
+        idx.domain().advance();
+        assert_eq!(idx.reclaim(), 1, "quiescent domain reclaims after advance");
+        idx.insert(101, 101);
+        assert_eq!(idx.nodes().len(), pool + 1, "reused the reclaimed slot");
+        for k in (0..8u64).filter(|k| *k != 3).chain([100, 101]) {
+            assert_eq!(idx.lookup(k), Some(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn pinned_epoch_blocks_reuse() {
+        let mut idx = HashIndex::build(HashRecipe::robust64(), 1, (0..4u64).map(|k| (k, k)));
+        let domain = idx.domain().clone();
+        let worker = domain.register();
+        let pin = worker.pin();
+        idx.delete(2);
+        assert_eq!(idx.reclaim(), 0, "pin predates the retirement");
+        assert_eq!(idx.retired_nodes(), 1);
+        drop(pin);
+        domain.advance();
+        assert_eq!(idx.reclaim(), 1);
+        assert_eq!(idx.retired_nodes(), 0);
+        assert_eq!(domain.reclaimed(), 1);
+    }
+
+    #[test]
+    fn mutation_oracle_against_std_hashmap() {
+        use std::collections::HashMap;
+        let mut idx = HashIndex::build(HashRecipe::robust64(), 16, std::iter::empty());
+        let mut oracle: HashMap<u64, Vec<u64>> = HashMap::new();
+        // Deterministic mixed workload over a small key space so
+        // inserts, deletes, updates, and misses all occur.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for step in 0..4000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (state >> 33) % 64;
+            let payload = step;
+            match state % 4 {
+                0 | 1 => {
+                    idx.insert(key, payload);
+                    oracle.entry(key).or_default().push(payload);
+                }
+                2 => {
+                    let removed = idx.delete(key);
+                    let want = oracle.remove(&key).map_or(0, |v| v.len());
+                    assert_eq!(removed, want, "delete {key} at step {step}");
+                }
+                _ => {
+                    let applied = idx.update(key, payload);
+                    match oracle.get_mut(&key) {
+                        Some(v) if !v.is_empty() => {
+                            assert!(applied);
+                            v.clear();
+                            v.push(payload);
+                        }
+                        _ => assert!(!applied),
+                    }
+                }
+            }
+            if step % 512 == 0 {
+                idx.reclaim();
+            }
+        }
+        for key in 0..64u64 {
+            let mut got = idx.lookup_all(key);
+            got.sort_unstable();
+            let mut want = oracle.get(&key).cloned().unwrap_or_default();
+            want.sort_unstable();
+            assert_eq!(got, want, "key {key}");
+        }
+        assert_eq!(idx.len(), oracle.values().map(Vec::len).sum::<usize>());
     }
 
     #[test]

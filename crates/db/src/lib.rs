@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod column;
+pub mod epoch;
 pub mod exec;
 pub mod hash;
 pub mod index;

@@ -552,6 +552,58 @@ impl WidxClient {
         }
     }
 
+    /// Blocking convenience mirroring
+    /// [`ProbeService::insert`](widx_serve::ProbeService::insert), batched:
+    /// inserts every `(key, payload)` pair and returns one ack per pair
+    /// in request order (always `true` — inserts cannot miss).
+    ///
+    /// # Errors
+    ///
+    /// As [`recv`](WidxClient::recv); an `Unsupported` remote error
+    /// means a read-only (pre-writes) server.
+    pub fn insert(&mut self, pairs: &[(u64, u64)]) -> Result<Vec<bool>, ClientError> {
+        match self.call(&Request::Insert {
+            pairs: pairs.to_vec(),
+        })? {
+            Response::Write { acks } => Ok(acks),
+            _ => Err(protocol_violation("mismatched reply variant for Insert")),
+        }
+    }
+
+    /// Blocking convenience mirroring
+    /// [`ProbeService::delete`](widx_serve::ProbeService::delete), batched:
+    /// removes every entry under each key and returns one ack per key
+    /// (`true` when the key existed).
+    ///
+    /// # Errors
+    ///
+    /// As [`insert`](WidxClient::insert).
+    pub fn delete(&mut self, keys: &[u64]) -> Result<Vec<bool>, ClientError> {
+        match self.call(&Request::Delete {
+            keys: keys.to_vec(),
+        })? {
+            Response::Write { acks } => Ok(acks),
+            _ => Err(protocol_violation("mismatched reply variant for Delete")),
+        }
+    }
+
+    /// Blocking convenience mirroring
+    /// [`ProbeService::update`](widx_serve::ProbeService::update), batched:
+    /// rewrites the payload under each existing key — a miss is acked
+    /// `false` and never inserts.
+    ///
+    /// # Errors
+    ///
+    /// As [`insert`](WidxClient::insert).
+    pub fn update(&mut self, pairs: &[(u64, u64)]) -> Result<Vec<bool>, ClientError> {
+        match self.call(&Request::Update {
+            pairs: pairs.to_vec(),
+        })? {
+            Response::Write { acks } => Ok(acks),
+            _ => Err(protocol_violation("mismatched reply variant for Update")),
+        }
+    }
+
     /// Scrapes the server's live telemetry: sends one `Stats` frame and
     /// blocks for the JSON snapshot (the server answers it from the
     /// event loop, ahead of queued probe work). Replies to other

@@ -392,8 +392,10 @@ struct Connection {
     wbuf: WriteBuf,
     /// Requests submitted to the service, awaiting completion. Scanned
     /// for readiness after a wakeup — completion order, not submission
-    /// order, decides reply order.
-    pending: Vec<(u64, PendingResponse)>,
+    /// order, decides reply order. The `WriteKind` (present on mutation
+    /// requests) picks the mirrored reply opcode, which the completed
+    /// `Response::Write` alone cannot.
+    pending: Vec<(u64, Option<wire::WriteKind>, PendingResponse)>,
     /// Chunked scans submitted to the service: chunks are written as
     /// the gather seam releases them, interleaved with other replies.
     streams: Vec<OpenStream>,
@@ -651,9 +653,10 @@ impl Connection {
                     });
                     let submitted = match value {
                         WireRequest::Plain(request) => {
+                            let wkind = wire::WriteKind::of(&request);
                             service.try_submit_traced(request, net_ctx).map(|pending| {
                                 pending.set_waker(waker);
-                                self.pending.push((id, pending));
+                                self.pending.push((id, wkind, pending));
                             })
                         }
                         WireRequest::Stream {
@@ -786,8 +789,8 @@ impl Connection {
                 self.reap_stalled = true;
                 break;
             }
-            if self.pending[i].1.is_ready() {
-                let (id, pending) = self.pending.swap_remove(i);
+            if self.pending[i].2.is_ready() {
+                let (id, wkind, pending) = self.pending.swap_remove(i);
                 // A deferred trace detaches here, before `wait` consumes
                 // the handle, and rides the reply-write mark to its
                 // commit at flush time.
@@ -795,8 +798,15 @@ impl Connection {
                 // `wait` cannot block: readiness was just observed.
                 let response = pending.wait();
                 if wire::response_fits(&response) {
-                    self.wbuf
-                        .encode_with(|b| wire::encode_response(b, id, &response));
+                    self.wbuf.encode_with(|b| {
+                        if let (widx_serve::Response::Write { acks }, Some(kind)) =
+                            (&response, wkind)
+                        {
+                            wire::encode_write_reply(b, id, kind, acks);
+                        } else {
+                            wire::encode_response(b, id, &response);
+                        }
+                    });
                     counters.frames_out.fetch_add(1, Ordering::Relaxed);
                     self.mark_reply_written(trace);
                 } else {

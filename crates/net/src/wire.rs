@@ -81,6 +81,18 @@ const OP_TRACE: u8 = 0x08;
 /// [`OP_STATS`]: a pre-profiling server answers `Unsupported` and the
 /// connection survives.
 const OP_PROFILE: u8 = 0x09;
+/// Insert `(key, payload)` pairs (payload: pair list). Rule-4 opcode
+/// extension like [`OP_STATS`]: a read-only peer answers `Unsupported`
+/// and the connection survives. Answered with [`OP_R_INSERT`] carrying
+/// one ack byte per pair, in request order.
+const OP_INSERT: u8 = 0x0A;
+/// Delete every entry under each key (payload: key list). Answered
+/// with [`OP_R_DELETE`]; an ack byte is 1 when the key existed.
+const OP_DELETE: u8 = 0x0B;
+/// Update the payload under each key without inserting on miss
+/// (payload: pair list). Answered with [`OP_R_UPDATE`]; an ack byte is
+/// 1 when the key existed and was rewritten.
+const OP_UPDATE: u8 = 0x0C;
 
 /// Reply opcodes (high bit set) mirror their requests; `0xEE` is the
 /// error frame.
@@ -100,6 +112,16 @@ const OP_R_TRACE: u8 = 0x88;
 /// A profiling snapshot: the payload is the remaining body, UTF-8 JSON
 /// (`ProbeService::profile_json`).
 const OP_R_PROFILE: u8 = 0x89;
+/// Per-key insert acks: `u32` count then one byte per submitted pair
+/// (1 = applied), in request order.
+const OP_R_INSERT: u8 = 0x8A;
+/// Per-key delete acks: `u32` count then one byte per submitted key
+/// (1 = the key existed and its entries were removed).
+const OP_R_DELETE: u8 = 0x8B;
+/// Per-key update acks: `u32` count then one byte per submitted pair
+/// (1 = the key existed and its payload was rewritten; 0 = miss, no
+/// insert happened).
+const OP_R_UPDATE: u8 = 0x8C;
 const OP_R_ERROR: u8 = 0xEE;
 
 /// Scan-flag bits carried by [`OP_RANGE_SCAN2`] / [`OP_RANGE_STREAM`]
@@ -112,6 +134,43 @@ const SCAN_FLAG_DESC: u8 = 0x01;
 /// split larger chunks; the serve tier's `stream_chunk` sits far below
 /// this in practice.
 pub const MAX_CHUNK_ENTRIES: usize = (MAX_BODY_LEN - HEADER_LEN - 4) / 16;
+
+/// Which mutation opcode a request or reply frame travels under. A
+/// `Response::Write` carries only the acks — not the verb — so the
+/// server remembers the request's kind and passes it back to
+/// [`encode_write_reply`] to pick the mirrored reply opcode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteKind {
+    /// [`OP_INSERT`] / [`OP_R_INSERT`].
+    Insert,
+    /// [`OP_DELETE`] / [`OP_R_DELETE`].
+    Delete,
+    /// [`OP_UPDATE`] / [`OP_R_UPDATE`].
+    Update,
+}
+
+impl WriteKind {
+    /// The kind of a write request, `None` for read requests. Servers
+    /// call this at decode time so the completed `Response::Write` can
+    /// be answered under the mirrored opcode.
+    #[must_use]
+    pub fn of(request: &Request) -> Option<WriteKind> {
+        match request {
+            Request::Insert { .. } => Some(WriteKind::Insert),
+            Request::Delete { .. } => Some(WriteKind::Delete),
+            Request::Update { .. } => Some(WriteKind::Update),
+            _ => None,
+        }
+    }
+
+    fn reply_opcode(self) -> u8 {
+        match self {
+            WriteKind::Insert => OP_R_INSERT,
+            WriteKind::Delete => OP_R_DELETE,
+            WriteKind::Update => OP_R_UPDATE,
+        }
+    }
+}
 
 /// Machine-readable reason carried by an error frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -422,7 +481,20 @@ pub fn encode_request(buf: &mut Vec<u8>, id: u64, request: &Request) {
             put_u64(b, limit_to_wire(*limit));
             b.push(SCAN_FLAG_DESC);
         }),
+        Request::Insert { pairs } => frame(buf, OP_INSERT, id, |b| put_pairs(b, pairs)),
+        Request::Delete { keys } => frame(buf, OP_DELETE, id, |b| put_keys(b, keys)),
+        Request::Update { pairs } => frame(buf, OP_UPDATE, id, |b| put_pairs(b, pairs)),
     }
+}
+
+/// Encodes one write-ack reply frame onto `buf`, under the reply
+/// opcode mirroring `kind` — one ack byte per submitted key/pair, in
+/// request order.
+pub fn encode_write_reply(buf: &mut Vec<u8>, id: u64, kind: WriteKind, acks: &[bool]) {
+    frame(buf, kind.reply_opcode(), id, |b| {
+        put_u32(b, u32::try_from(acks.len()).expect("ack count fits u32"));
+        b.extend(acks.iter().map(|ack| u8::from(*ack)));
+    });
 }
 
 /// Encodes one chunked-scan request frame onto `buf` — the client side
@@ -519,6 +591,11 @@ pub fn encode_response(buf: &mut Vec<u8>, id: u64, response: &Response) {
         Response::RangeScan { entries } => {
             frame(buf, OP_R_RANGE_SCAN, id, |b| put_pairs(b, entries));
         }
+        Response::Write { .. } => {
+            // The verb (insert/delete/update) is not recoverable from
+            // the response alone, and the reply opcode must mirror it.
+            panic!("write replies need their request kind; use encode_write_reply");
+        }
     }
 }
 
@@ -534,6 +611,8 @@ pub fn request_fits(request: &Request) -> bool {
             4 + keys.len().saturating_mul(8)
         }
         Request::RangeScan { .. } => 25,
+        Request::Insert { pairs } | Request::Update { pairs } => 4 + pairs.len().saturating_mul(16),
+        Request::Delete { keys } => 4 + keys.len().saturating_mul(8),
     };
     HEADER_LEN + payload <= MAX_BODY_LEN
 }
@@ -550,6 +629,7 @@ pub fn response_fits(response: &Response) -> bool {
         Response::MultiLookup { matches } => 4 + matches.len().saturating_mul(16),
         Response::JoinProbe { pairs } => 4 + pairs.len().saturating_mul(16),
         Response::RangeScan { entries } => 4 + entries.len().saturating_mul(16),
+        Response::Write { acks } => 4 + acks.len(),
     };
     HEADER_LEN + payload <= MAX_BODY_LEN
 }
@@ -632,6 +712,16 @@ impl<'a> Cursor<'a> {
             return Err(DecodeError::Payload("pair count exceeds payload"));
         }
         (0..count).map(|_| Ok((self.u64()?, self.u64()?))).collect()
+    }
+
+    fn acks(&mut self) -> Result<Vec<bool>, DecodeError> {
+        let count = self.u32()? as usize;
+        let raw = self.take(count)?;
+        if raw.iter().any(|b| *b > 1) {
+            // Ack bytes are reserved beyond 0/1, like header bits.
+            return Err(DecodeError::Payload("ack byte is not 0 or 1"));
+        }
+        Ok(raw.iter().map(|b| *b == 1).collect())
     }
 
     /// Everything not yet consumed (used by opcodes whose payload is
@@ -745,6 +835,9 @@ fn decode_request_payload(opcode: u8, payload: &[u8]) -> Result<WireRequest, Dec
         OP_STATS => WireRequest::Stats,
         OP_TRACE => WireRequest::Trace,
         OP_PROFILE => WireRequest::Profile,
+        OP_INSERT => WireRequest::Plain(Request::Insert { pairs: c.pairs()? }),
+        OP_DELETE => WireRequest::Plain(Request::Delete { keys: c.keys()? }),
+        OP_UPDATE => WireRequest::Plain(Request::Update { pairs: c.pairs()? }),
         other => return Err(DecodeError::Opcode(other)),
     };
     c.finish()?;
@@ -782,6 +875,9 @@ fn decode_reply_payload(
             json: String::from_utf8(c.rest().to_vec())
                 .map_err(|_| DecodeError::Payload("profile payload is not UTF-8"))?,
         }),
+        OP_R_INSERT | OP_R_DELETE | OP_R_UPDATE => {
+            Ok(Reply::Response(Response::Write { acks: c.acks()? }))
+        }
         OP_R_ERROR => {
             let code = ErrorCode::from_u8(c.u8()?);
             let _reserved = c.u8()?;
@@ -1210,6 +1306,141 @@ mod tests {
             }
             other => panic!("expected corrupt, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn write_request_frames_roundtrip() {
+        roundtrip_request(&Request::Insert {
+            pairs: vec![(1, 10), (u64::MAX, 0)],
+        });
+        roundtrip_request(&Request::Insert { pairs: vec![] });
+        roundtrip_request(&Request::Delete {
+            keys: vec![3, 3, 9],
+        });
+        roundtrip_request(&Request::Update {
+            pairs: vec![(7, 70)],
+        });
+        // Each verb travels under its own rule-4 opcode.
+        for (request, opcode) in [
+            (
+                Request::Insert {
+                    pairs: vec![(1, 2)],
+                },
+                OP_INSERT,
+            ),
+            (Request::Delete { keys: vec![1] }, OP_DELETE),
+            (
+                Request::Update {
+                    pairs: vec![(1, 2)],
+                },
+                OP_UPDATE,
+            ),
+        ] {
+            let mut buf = Vec::new();
+            encode_request(&mut buf, 1, &request);
+            assert_eq!(buf[5], opcode);
+        }
+    }
+
+    #[test]
+    fn write_reply_frames_roundtrip_under_mirrored_opcodes() {
+        for (kind, opcode) in [
+            (WriteKind::Insert, OP_R_INSERT),
+            (WriteKind::Delete, OP_R_DELETE),
+            (WriteKind::Update, OP_R_UPDATE),
+        ] {
+            let acks = vec![true, false, true];
+            let mut buf = Vec::new();
+            encode_write_reply(&mut buf, 17, kind, &acks);
+            assert_eq!(buf[5], opcode);
+            match decode_reply(&buf).unwrap() {
+                Decoded::Frame {
+                    consumed,
+                    id,
+                    value,
+                } => {
+                    assert_eq!((consumed, id), (buf.len(), 17));
+                    assert_eq!(value, Ok(Reply::Response(Response::Write { acks })));
+                }
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+        // Empty ack lists are legal (an empty batch round-trips).
+        let mut buf = Vec::new();
+        encode_write_reply(&mut buf, 1, WriteKind::Insert, &[]);
+        match decode_reply(&buf).unwrap() {
+            Decoded::Frame { value, .. } => {
+                assert_eq!(value, Ok(Reply::Response(Response::Write { acks: vec![] })));
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_kind_maps_requests() {
+        assert_eq!(
+            WriteKind::of(&Request::Insert { pairs: vec![] }),
+            Some(WriteKind::Insert)
+        );
+        assert_eq!(
+            WriteKind::of(&Request::Delete { keys: vec![] }),
+            Some(WriteKind::Delete)
+        );
+        assert_eq!(
+            WriteKind::of(&Request::Update { pairs: vec![] }),
+            Some(WriteKind::Update)
+        );
+        assert_eq!(WriteKind::of(&Request::Lookup { key: 1 }), None);
+    }
+
+    #[test]
+    fn undefined_ack_bytes_are_malformed() {
+        let mut buf = Vec::new();
+        frame(&mut buf, OP_R_DELETE, 5, |b| {
+            put_u32(b, 2);
+            b.push(1);
+            b.push(2); // reserved value
+        });
+        match decode_reply(&buf).unwrap() {
+            Decoded::Corrupt { id, error, .. } => {
+                assert_eq!(id, 5);
+                assert_eq!(error, DecodeError::Payload("ack byte is not 0 or 1"));
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        // An ack count past the payload is caught by the cursor.
+        let mut buf = Vec::new();
+        frame(&mut buf, OP_R_INSERT, 6, |b| {
+            put_u32(b, 9);
+            b.push(1);
+        });
+        match decode_reply(&buf).unwrap() {
+            Decoded::Corrupt { error, .. } => {
+                assert!(matches!(error, DecodeError::Payload(_)), "{error:?}");
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_fits_helpers_agree_with_the_cap() {
+        let max_pairs = (MAX_BODY_LEN - HEADER_LEN - 4) / 16;
+        assert!(request_fits(&Request::Insert {
+            pairs: vec![(0, 0); max_pairs],
+        }));
+        assert!(!request_fits(&Request::Update {
+            pairs: vec![(0, 0); max_pairs + 1],
+        }));
+        let max_keys = (MAX_BODY_LEN - HEADER_LEN - 4) / 8;
+        assert!(request_fits(&Request::Delete {
+            keys: vec![0; max_keys],
+        }));
+        assert!(!request_fits(&Request::Delete {
+            keys: vec![0; max_keys + 1],
+        }));
+        assert!(response_fits(&Response::Write {
+            acks: vec![true; 1024],
+        }));
     }
 
     #[test]

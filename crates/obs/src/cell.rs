@@ -34,6 +34,9 @@ pub struct WorkerCell {
     shutdown_flushes: AtomicU64,
     busy_ns: AtomicU64,
     idle_ns: AtomicU64,
+    write_ops: AtomicU64,
+    write_applied: AtomicU64,
+    write_batches: AtomicU64,
     latency: AtomicHistogram,
 }
 
@@ -85,6 +88,16 @@ impl WorkerCell {
         self.idle_ns.fetch_add(dur_ns(d), Ordering::Relaxed);
     }
 
+    /// Count one applied write batch: `ops` individual write operations
+    /// of which `applied` took effect (an insert always applies; a
+    /// delete/update of an absent key is a miss).
+    #[inline]
+    pub fn add_write_batch(&self, ops: u64, applied: u64) {
+        self.write_batches.fetch_add(1, Ordering::Relaxed);
+        self.write_ops.fetch_add(ops, Ordering::Relaxed);
+        self.write_applied.fetch_add(applied, Ordering::Relaxed);
+    }
+
     /// Record one end-to-end request latency observed at this worker.
     #[inline]
     pub fn record_latency(&self, d: Duration) {
@@ -108,6 +121,9 @@ impl WorkerCell {
             shutdown_flushes: self.shutdown_flushes.load(Ordering::Relaxed),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
             idle_ns: self.idle_ns.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            write_applied: self.write_applied.load(Ordering::Relaxed),
+            write_batches: self.write_batches.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
         }
     }
@@ -134,6 +150,14 @@ pub struct WorkerCellSnapshot {
     pub busy_ns: u64,
     /// Nanoseconds spent parked on the queue.
     pub idle_ns: u64,
+    /// Individual write operations (insert/delete/update) applied at
+    /// this worker's shard.
+    pub write_ops: u64,
+    /// Write operations that took effect (inserts always; deletes and
+    /// updates only when the key existed).
+    pub write_applied: u64,
+    /// Write batches applied at batch barriers.
+    pub write_batches: u64,
     /// End-to-end request latencies observed at this worker.
     pub latency: HistogramSnapshot,
 }
@@ -152,6 +176,8 @@ mod tests {
         cell.add_matches(17);
         cell.add_busy(Duration::from_micros(10));
         cell.add_idle(Duration::from_micros(4));
+        cell.add_write_batch(8, 6);
+        cell.add_write_batch(2, 2);
         cell.record_latency(Duration::from_micros(1));
         let s = cell.snapshot();
         assert_eq!(s.jobs, 3);
@@ -163,6 +189,9 @@ mod tests {
         assert_eq!(s.shutdown_flushes, 1);
         assert_eq!(s.busy_ns, 10_000);
         assert_eq!(s.idle_ns, 4_000);
+        assert_eq!(s.write_ops, 10);
+        assert_eq!(s.write_applied, 8);
+        assert_eq!(s.write_batches, 2);
         assert_eq!(s.latency.count(), 1);
     }
 

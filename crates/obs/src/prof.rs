@@ -64,7 +64,7 @@ struct ProfMeta {
 /// its [`ThreadProfiler`]; any observer snapshots it live.
 #[derive(Debug, Default)]
 pub struct ProfCell {
-    per: [StageBin; 5],
+    per: [StageBin; 6],
     walk: WalkBin,
     meta: OnceLock<ProfMeta>,
 }
@@ -327,7 +327,7 @@ pub struct ProfSnapshot {
     /// Worker cells merged into this snapshot.
     pub workers: u64,
     /// Per-[`Stage`] accumulations, indexed in [`Stage::ALL`] order.
-    pub stages: [ProfStageSnapshot; 5],
+    pub stages: [ProfStageSnapshot; 6],
     /// Software walker totals across all profiled batches.
     pub walk: WalkCounters,
 }
@@ -339,7 +339,7 @@ impl Default for ProfSnapshot {
             hw: false,
             fallback: None,
             workers: 0,
-            stages: [ProfStageSnapshot::default(); 5],
+            stages: [ProfStageSnapshot::default(); 6],
             walk: WalkCounters::default(),
         }
     }

@@ -18,6 +18,9 @@ pub enum Stage {
     BatchWait,
     /// Time spent actually walking the index, per batch.
     Walk,
+    /// Time spent applying a write batch to the index (the shard worker
+    /// is its shard's sole writer, so this is pure mutation time).
+    Write,
     /// First part completed to last part completed (cross-shard gather).
     Gather,
     /// Reply frame encoded to reply bytes flushed to the socket.
@@ -26,10 +29,11 @@ pub enum Stage {
 
 impl Stage {
     /// All stages, in pipeline order.
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 6] = [
         Stage::QueueWait,
         Stage::BatchWait,
         Stage::Walk,
+        Stage::Write,
         Stage::Gather,
         Stage::ReplyWrite,
     ];
@@ -40,6 +44,7 @@ impl Stage {
             Stage::QueueWait => "queue_wait",
             Stage::BatchWait => "batch_wait",
             Stage::Walk => "walk",
+            Stage::Write => "write",
             Stage::Gather => "gather",
             Stage::ReplyWrite => "reply_write",
         }
@@ -51,8 +56,9 @@ impl Stage {
             Stage::QueueWait => 0,
             Stage::BatchWait => 1,
             Stage::Walk => 2,
-            Stage::Gather => 3,
-            Stage::ReplyWrite => 4,
+            Stage::Write => 3,
+            Stage::Gather => 4,
+            Stage::ReplyWrite => 5,
         }
     }
 }
@@ -60,7 +66,7 @@ impl Stage {
 /// One shared latency histogram per [`Stage`].
 #[derive(Debug, Default)]
 pub struct StageTimes {
-    hists: [AtomicHistogram; 5],
+    hists: [AtomicHistogram; 6],
 }
 
 impl StageTimes {
@@ -80,7 +86,7 @@ impl StageTimes {
         &self.hists[stage.index()]
     }
 
-    /// Snapshot all five stages without resetting them.
+    /// Snapshot all six stages without resetting them.
     pub fn snapshot(&self) -> StageSnapshot {
         StageSnapshot {
             per: std::array::from_fn(|i| self.hists[i].snapshot()),
@@ -88,10 +94,10 @@ impl StageTimes {
     }
 }
 
-/// Point-in-time copy of all five stage histograms.
+/// Point-in-time copy of all six stage histograms.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StageSnapshot {
-    per: [HistogramSnapshot; 5],
+    per: [HistogramSnapshot; 6],
 }
 
 impl StageSnapshot {
@@ -125,7 +131,14 @@ mod tests {
         let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            ["queue_wait", "batch_wait", "walk", "gather", "reply_write"]
+            [
+                "queue_wait",
+                "batch_wait",
+                "walk",
+                "write",
+                "gather",
+                "reply_write"
+            ]
         );
     }
 }

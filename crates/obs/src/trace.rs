@@ -36,6 +36,9 @@ pub enum TraceStage {
     BatchWait,
     /// Walker execution over the whole batch the request rode in.
     Walk,
+    /// Write application at the batch barrier (the shard worker is the
+    /// sole writer for its shard).
+    Write,
     /// First part completed until the final part landed (gather seam).
     Gather,
     /// Reply bytes encoded until the flush cursor passed them.
@@ -51,6 +54,7 @@ impl TraceStage {
             TraceStage::QueueWait => "queue_wait",
             TraceStage::BatchWait => "batch_wait",
             TraceStage::Walk => "walk",
+            TraceStage::Write => "write",
             TraceStage::Gather => "gather",
             TraceStage::ReplyWrite => "reply_write",
         }

@@ -9,24 +9,42 @@
 //! key interval overlaps, and gathering their per-shard (already
 //! key-ordered, disjoint) result streams back into one ordered reply is
 //! a concatenation, not a merge sort.
+//!
+//! Writes route by [`write_shard_of`](OrderedShardedIndex::write_shard_of),
+//! which is *pure* in the boundaries (plus one build-time constant for
+//! the saturated-`u64::MAX` corner). Purity is the single-home
+//! invariant: every copy of a key ever inserted lands in the one shard
+//! the function names, so deletes and updates are single-shard
+//! operations no matter what sequence of writes preceded them. The
+//! read-side [`shard_of`](OrderedShardedIndex::shard_of) may walk back
+//! over shards a delete storm emptied; the write side never does.
 
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use widx_db::epoch::EpochDomain;
 use widx_db::index::{build_range_sharded, BTreeIndex};
 
 /// A B+-tree index range-partitioned into independent shards, one per
 /// serving worker. Scans route by boundary-key span; builds split the
 /// sorted entry stream into roughly equal contiguous chunks (duplicates
-/// of one key never straddle a boundary).
+/// of one key never straddle a boundary). Every shard retires replaced
+/// nodes into the same [`EpochDomain`].
 pub struct OrderedShardedIndex {
-    shards: Vec<BTreeIndex>,
+    shards: Vec<RwLock<BTreeIndex>>,
     /// `shards - 1` non-decreasing boundary keys; shard `i` owns keys
     /// `k` with `boundaries[i-1] <= k < boundaries[i]` (unbounded at
     /// the ends).
     boundaries: Vec<u64>,
+    /// Build-time home for `key == u64::MAX` when the trailing
+    /// saturated boundary collides with it (see
+    /// [`write_shard_of`](Self::write_shard_of)).
+    max_key_home: usize,
 }
 
 impl OrderedShardedIndex {
     /// Partitions `pairs` into `shards` contiguous key ranges and
-    /// builds one B+-tree of the given `fanout` per range.
+    /// builds one B+-tree of the given `fanout` per range, all retiring
+    /// into `domain`.
     ///
     /// # Panics
     ///
@@ -35,10 +53,31 @@ impl OrderedShardedIndex {
     pub fn build(
         fanout: usize,
         shards: usize,
+        domain: &Arc<EpochDomain>,
         pairs: impl IntoIterator<Item = (u64, u64)>,
     ) -> OrderedShardedIndex {
-        let (shards, boundaries) = build_range_sharded(fanout, shards, pairs);
-        OrderedShardedIndex { shards, boundaries }
+        let (built, boundaries) = build_range_sharded(fanout, shards, pairs);
+        // If the data ends at u64::MAX, the trailing empty shards carry
+        // a saturated boundary equal to the key itself; the pure write
+        // route (`partition_point(|b| *b <= key)`, which for `u64::MAX`
+        // is every boundary) would point past the data. Freeze the
+        // actual home now — boundaries never change, so the exception
+        // is as static as the rest of the function.
+        let mut max_key_home = boundaries.len();
+        while max_key_home > 0 && built[max_key_home].is_empty() {
+            max_key_home -= 1;
+        }
+        OrderedShardedIndex {
+            shards: built
+                .into_iter()
+                .map(|mut t| {
+                    t.set_domain(Arc::clone(domain));
+                    RwLock::new(t)
+                })
+                .collect(),
+            boundaries,
+            max_key_home,
+        }
     }
 
     /// Number of shards.
@@ -47,10 +86,24 @@ impl OrderedShardedIndex {
         self.shards.len()
     }
 
-    /// The per-shard trees, in key order.
-    #[must_use]
-    pub fn shards(&self) -> &[BTreeIndex] {
-        &self.shards
+    /// Read access to shard `shard`. Walker batches hold this guard for
+    /// the duration of one batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned (a worker panicked mid-write).
+    pub fn read(&self, shard: usize) -> RwLockReadGuard<'_, BTreeIndex> {
+        self.shards[shard].read().expect("ordered shard lock")
+    }
+
+    /// Write access to shard `shard` — reserved for the shard's owning
+    /// worker at batch barriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn write(&self, shard: usize) -> RwLockWriteGuard<'_, BTreeIndex> {
+        self.shards[shard].write().expect("ordered shard lock")
     }
 
     /// The boundary keys between shards (`shard_count() - 1` of them,
@@ -60,7 +113,9 @@ impl OrderedShardedIndex {
         &self.boundaries
     }
 
-    /// The shard owning `key`.
+    /// The shard a *read* for `key` lands on: boundary routing, walking
+    /// back over shards that have been emptied (a probe there would
+    /// just miss; the walk-back finds data the build placed lower).
     #[must_use]
     pub fn shard_of(&self, key: u64) -> usize {
         let mut shard = self.boundaries.partition_point(|b| *b <= key);
@@ -68,10 +123,25 @@ impl OrderedShardedIndex {
         // `last_key + 1`; when the data itself ends at `u64::MAX` that
         // boundary collides with the key, over-routing it into the
         // empty tail — walk back to the shard that actually holds data.
-        while shard > 0 && self.shards[shard].is_empty() {
+        while shard > 0 && self.read(shard).is_empty() {
             shard -= 1;
         }
         shard
+    }
+
+    /// The shard a *write* for `key` belongs to. Pure in the (frozen)
+    /// boundaries — no dependence on which shards currently hold data —
+    /// so every write of a key, ever, lands in the same shard: inserts
+    /// cannot dual-home a key, and deletes/updates are single-shard.
+    /// The one exception is itself static: `key == u64::MAX` under a
+    /// saturated tail boundary routes to the build-time
+    /// `max_key_home`.
+    #[must_use]
+    pub fn write_shard_of(&self, key: u64) -> usize {
+        if key == u64::MAX && self.boundaries.last() == Some(&u64::MAX) {
+            return self.max_key_home;
+        }
+        self.boundaries.partition_point(|b| *b <= key)
     }
 
     /// The inclusive span of shards the range `[lo, hi]` can touch, as
@@ -94,7 +164,7 @@ impl OrderedShardedIndex {
     /// Total entries across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(BTreeIndex::len).sum()
+        (0..self.shards.len()).map(|s| self.read(s).len()).sum()
     }
 
     /// Whether the ordered index holds no entries.
@@ -113,8 +183,8 @@ impl OrderedShardedIndex {
             return out;
         }
         let (first, last) = self.shard_span(lo, hi);
-        for shard in &self.shards[first..=last] {
-            out.extend(shard.range_scan(lo, hi, limit - out.len()));
+        for shard in first..=last {
+            out.extend(self.read(shard).range_scan(lo, hi, limit - out.len()));
             if out.len() == limit {
                 break;
             }
@@ -134,8 +204,8 @@ impl OrderedShardedIndex {
             return out;
         }
         let (first, last) = self.shard_span(lo, hi);
-        for shard in self.shards[first..=last].iter().rev() {
-            out.extend(shard.range_scan_desc(lo, hi, limit - out.len()));
+        for shard in (first..=last).rev() {
+            out.extend(self.read(shard).range_scan_desc(lo, hi, limit - out.len()));
             if out.len() == limit {
                 break;
             }
@@ -149,7 +219,12 @@ mod tests {
     use super::*;
 
     fn ordered(shards: usize, entries: u64) -> OrderedShardedIndex {
-        OrderedShardedIndex::build(8, shards, (0..entries).map(|k| (k * 2, k)))
+        OrderedShardedIndex::build(
+            8,
+            shards,
+            &EpochDomain::new(),
+            (0..entries).map(|k| (k * 2, k)),
+        )
     }
 
     #[test]
@@ -159,16 +234,17 @@ mod tests {
         assert_eq!(idx.len(), 1000);
         for k in (0..2000u64).step_by(2) {
             let owner = idx.shard_of(k);
-            let hit: Vec<usize> = idx
-                .shards()
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| t.lookup(k).is_some())
-                .map(|(s, _)| s)
+            let hit: Vec<usize> = (0..idx.shard_count())
+                .filter(|s| idx.read(*s).lookup(k).is_some())
                 .collect();
             assert_eq!(hit, vec![owner], "key {k}");
             let (first, last) = idx.shard_span(k, k);
             assert!((first..=last).contains(&owner), "span covers owner for {k}");
+            assert_eq!(
+                idx.write_shard_of(k),
+                owner,
+                "write route agrees while data is in place for {k}"
+            );
         }
     }
 
@@ -218,7 +294,7 @@ mod tests {
         // A scan spanning all shards, cut mid-way through the second.
         let all = idx.scan(0, u64::MAX, usize::MAX);
         assert_eq!(all.len(), 1000);
-        let per_shard = idx.shards()[0].len();
+        let per_shard = idx.read(0).len();
         let limit = per_shard + 3;
         let got = idx.scan(0, u64::MAX, limit);
         assert_eq!(got.len(), limit);
@@ -232,7 +308,7 @@ mod tests {
         assert!(idx.boundaries().is_empty());
         assert_eq!(idx.scan(0, 300, usize::MAX).len(), 100);
 
-        let empty = OrderedShardedIndex::build(4, 3, std::iter::empty());
+        let empty = OrderedShardedIndex::build(4, 3, &EpochDomain::new(), std::iter::empty());
         assert!(empty.is_empty());
         assert_eq!(empty.scan(0, u64::MAX, usize::MAX), vec![]);
     }
@@ -241,7 +317,7 @@ mod tests {
     fn duplicates_stay_colocated_and_ordered() {
         let mut pairs: Vec<(u64, u64)> = (0..100u64).map(|k| (k, 0)).collect();
         pairs.extend((0..50u64).map(|p| (40, p + 1)));
-        let idx = OrderedShardedIndex::build(4, 4, pairs);
+        let idx = OrderedShardedIndex::build(4, 4, &EpochDomain::new(), pairs);
         let dups: Vec<u64> = idx
             .scan(40, 40, usize::MAX)
             .into_iter()
@@ -262,16 +338,62 @@ mod tests {
     fn max_key_routes_to_its_data_despite_saturated_boundary() {
         // Data ending at u64::MAX with empty trailing shards: the
         // saturated boundary equals the key, which must still route to
-        // the shard holding it, and scans must find it.
-        let idx = OrderedShardedIndex::build(4, 3, [(u64::MAX, 7u64), (u64::MAX, 8)]);
+        // the shard holding it — for reads, writes, and scans.
+        let idx = OrderedShardedIndex::build(
+            4,
+            3,
+            &EpochDomain::new(),
+            [(u64::MAX, 7u64), (u64::MAX, 8)],
+        );
         let owner = idx.shard_of(u64::MAX);
         assert!(
-            idx.shards()[owner].lookup(u64::MAX).is_some(),
+            idx.read(owner).lookup(u64::MAX).is_some(),
             "owner shard holds the key"
         );
+        assert_eq!(idx.write_shard_of(u64::MAX), owner);
         assert_eq!(
             idx.scan(u64::MAX, u64::MAX, usize::MAX),
             vec![(u64::MAX, 7), (u64::MAX, 8)]
         );
+    }
+
+    #[test]
+    fn write_route_is_stable_under_any_write_sequence() {
+        let idx = ordered(4, 500);
+        // Empty a middle shard completely, then keep writing the same
+        // keys: the pure route keeps naming the now-empty shard, so a
+        // later insert + delete pair stays consistent (no dual-homing).
+        let victim_lo = idx.boundaries()[0];
+        let victim_hi = idx.boundaries()[1] - 1;
+        for k in victim_lo..=victim_hi {
+            idx.write(idx.write_shard_of(k)).delete(k);
+        }
+        assert!(idx.read(1).is_empty(), "shard 1 emptied");
+        for k in victim_lo..=victim_hi.min(victim_lo + 50) {
+            let home = idx.write_shard_of(k);
+            assert_eq!(home, 1, "route ignores emptiness");
+            idx.write(home).insert(k, 777);
+            assert_eq!(idx.scan(k, k, usize::MAX), vec![(k, 777)]);
+            assert_eq!(idx.write(idx.write_shard_of(k)).delete(k), 1);
+            assert!(idx.scan(k, k, usize::MAX).is_empty());
+        }
+    }
+
+    #[test]
+    fn writes_within_the_span_stay_scannable() {
+        let idx = ordered(4, 500);
+        // Insert brand-new keys between existing ones across all shards
+        // through the write route; scans must see them in order.
+        for k in (1..999u64).step_by(2) {
+            idx.write(idx.write_shard_of(k)).insert(k, k + 10_000);
+        }
+        let all = idx.scan(0, 1000, usize::MAX);
+        let mut want: Vec<(u64, u64)> = (0..500u64).map(|k| (k * 2, k)).collect();
+        want.extend((1..999u64).step_by(2).map(|k| (k, k + 10_000)));
+        want.sort_by_key(|(k, _)| *k);
+        assert_eq!(all, want);
+        let mut rev = all.clone();
+        rev.reverse();
+        assert_eq!(idx.scan_desc(0, 1000, usize::MAX), rev);
     }
 }

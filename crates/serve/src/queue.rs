@@ -16,7 +16,7 @@ use std::time::Instant;
 use widx_core::POISON_KEY;
 use widx_soft::ScanRange;
 
-use crate::request::ResponseState;
+use crate::request::{ResponseState, WriteOp};
 
 /// One unit of shard work.
 pub(crate) enum Job {
@@ -32,6 +32,18 @@ pub(crate) enum Job {
         scans: Vec<(u32, ScanRange)>,
         reply: Arc<ResponseState>,
     },
+    /// Apply `ops` (`(request op index, op)` pairs, every key owned by
+    /// this shard) under the shard's write guard at the worker's next
+    /// batch barrier. `ack` marks the authoritative tier: hash-tier
+    /// parts report per-op `(op, key, applied)` rows back to the reply;
+    /// ordered-tier parts apply the same mutations but complete empty
+    /// (the hash tier owns the acks, so a dual-tier write never
+    /// double-reports).
+    Write {
+        ops: Vec<(u32, WriteOp)>,
+        ack: bool,
+        reply: Arc<ResponseState>,
+    },
     /// Poison pill: the worker finishes queued work, then halts. Carries
     /// [`widx_core::POISON_KEY`] to mirror the accelerator's termination
     /// protocol (being an enum variant, it cannot collide with a real
@@ -40,12 +52,13 @@ pub(crate) enum Job {
 }
 
 impl Job {
-    /// Queue-occupancy weight: probe keys, or scan cursors — both are
-    /// "walker slots' worth of work" for capacity accounting.
+    /// Queue-occupancy weight: probe keys, scan cursors, or write ops —
+    /// all are "walker slots' worth of work" for capacity accounting.
     fn key_count(&self) -> usize {
         match self {
             Job::Probe { entries, .. } => entries.len(),
             Job::Scan { scans, .. } => scans.len(),
+            Job::Write { ops, .. } => ops.len(),
             Job::Poison { .. } => 0,
         }
     }
@@ -271,6 +284,31 @@ mod tests {
         assert_eq!(q.backlog_keys(), 2, "one unit per cursor");
         match q.pop() {
             Job::Scan { scans, .. } => assert_eq!(scans.len(), 2),
+            _ => panic!("unexpected job kind"),
+        }
+        assert_eq!(q.backlog_keys(), 0);
+    }
+
+    #[test]
+    fn write_jobs_count_ops_toward_capacity() {
+        let q = ShardQueue::new(4);
+        let reply = Arc::new(ResponseState::new(RequestKind::Write { ops: 3 }, 1));
+        q.push(Job::Write {
+            ops: vec![
+                (0, WriteOp::Insert { key: 1, payload: 2 }),
+                (1, WriteOp::Delete { key: 9 }),
+                (2, WriteOp::Update { key: 1, payload: 3 }),
+            ],
+            ack: true,
+            reply,
+        })
+        .unwrap();
+        assert_eq!(q.backlog_keys(), 3, "one unit per write op");
+        match q.pop() {
+            Job::Write { ops, ack, .. } => {
+                assert_eq!(ops.len(), 3);
+                assert!(ack);
+            }
             _ => panic!("unexpected job kind"),
         }
         assert_eq!(q.backlog_keys(), 0);

@@ -11,6 +11,49 @@ use widx_obs::{
     ActiveTrace, FlightRecorder, PendingCommit, Stage, StageTimes, TraceStage, WorkerCell,
 };
 
+/// One write operation, as routed to the shard that owns its key. The
+/// owning shard worker applies it under the shard's write guard at a
+/// batch barrier — the single-writer-per-shard model that keeps the
+/// shard locks structurally uncontended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Append `payload` under `key` (duplicates accumulate, after any
+    /// existing payloads for the key). Always applies.
+    Insert {
+        /// The key to insert under.
+        key: u64,
+        /// The payload to store.
+        payload: u64,
+    },
+    /// Remove *every* payload stored under `key`. Applies when at least
+    /// one entry existed; a miss acks `false`.
+    Delete {
+        /// The key to remove.
+        key: u64,
+    },
+    /// Replace every payload under `key` with the single `payload`.
+    /// Applies only when the key existed — an update never inserts, a
+    /// miss acks `false` and leaves the index unchanged.
+    Update {
+        /// The key to update.
+        key: u64,
+        /// The replacement payload.
+        payload: u64,
+    },
+}
+
+impl WriteOp {
+    /// The key this operation routes by.
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        match self {
+            WriteOp::Insert { key, .. } | WriteOp::Delete { key } | WriteOp::Update { key, .. } => {
+                *key
+            }
+        }
+    }
+}
+
 /// A probe request submitted to the service.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -51,18 +94,64 @@ pub enum Request {
         /// reverse build order, the *largest* keys surviving `limit`.
         desc: bool,
     },
+    /// Insert `(key, payload)` pairs. Every pair applies; the response
+    /// acks each one `true`, in request order.
+    Insert {
+        /// The `(key, payload)` pairs to insert.
+        pairs: Vec<(u64, u64)>,
+    },
+    /// Delete every payload under each key. Each key acks `true` when
+    /// at least one entry existed, `false` on a miss.
+    Delete {
+        /// The keys to delete.
+        keys: Vec<u64>,
+    },
+    /// Replace every payload under each key with the paired payload.
+    /// Each pair acks `true` when the key existed; a miss acks `false`
+    /// and inserts nothing.
+    Update {
+        /// The `(key, replacement payload)` pairs.
+        pairs: Vec<(u64, u64)>,
+    },
 }
 
 impl Request {
     /// The probe keys of this request, in row order (empty for a
     /// [`RangeScan`](Request::RangeScan), which is bounded by keys
-    /// rather than enumerating them).
+    /// rather than enumerating them, and for write requests, which
+    /// route through the write planner instead).
     #[must_use]
     pub fn keys(&self) -> &[u64] {
         match self {
             Request::Lookup { key } => std::slice::from_ref(key),
             Request::MultiLookup { keys } | Request::JoinProbe { keys } => keys,
-            Request::RangeScan { .. } => &[],
+            Request::RangeScan { .. } | Request::Insert { .. } | Request::Update { .. } => &[],
+            Request::Delete { keys } => keys,
+        }
+    }
+
+    /// The flat operation list of a write request (`None` for reads).
+    /// Operation order is request order — the order response acks are
+    /// reported in.
+    #[must_use]
+    pub fn write_ops(&self) -> Option<Vec<WriteOp>> {
+        match self {
+            Request::Insert { pairs } => Some(
+                pairs
+                    .iter()
+                    .map(|&(key, payload)| WriteOp::Insert { key, payload })
+                    .collect(),
+            ),
+            Request::Delete { keys } => {
+                Some(keys.iter().map(|&key| WriteOp::Delete { key }).collect())
+            }
+            Request::Update { pairs } => Some(
+                pairs
+                    .iter()
+                    .map(|&(key, payload)| WriteOp::Update { key, payload })
+                    .collect(),
+            ),
+            _ => None,
         }
     }
 }
@@ -70,10 +159,18 @@ impl Request {
 /// What kind of response a request assembles into.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum RequestKind {
-    Lookup { key: u64 },
+    Lookup {
+        key: u64,
+    },
     MultiLookup,
     JoinProbe,
-    RangeScan { limit: usize },
+    RangeScan {
+        limit: usize,
+    },
+    /// A write batch of `ops` operations; acks assemble positionally.
+    Write {
+        ops: usize,
+    },
 }
 
 /// A completed probe response.
@@ -106,6 +203,15 @@ pub enum Response {
         /// `(key, payload)` entries in request key order.
         entries: Vec<(u64, u64)>,
     },
+    /// Per-operation acknowledgements for a write request
+    /// ([`Request::Insert`]/[`Delete`](Request::Delete)/
+    /// [`Update`](Request::Update)), in request operation order: `true`
+    /// when the operation took effect (inserts always; deletes and
+    /// updates only when the key existed).
+    Write {
+        /// Applied/miss flag per operation, positionally.
+        acks: Vec<bool>,
+    },
 }
 
 impl Response {
@@ -119,6 +225,7 @@ impl Response {
             Response::MultiLookup { matches } => matches.len(),
             Response::JoinProbe { pairs } => pairs.len(),
             Response::RangeScan { entries } => entries.len(),
+            Response::Write { acks } => acks.iter().filter(|a| **a).count(),
         }
     }
 }
@@ -666,6 +773,18 @@ impl PendingResponse {
                 entries.truncate(limit);
                 Response::RangeScan { entries }
             }
+            RequestKind::Write { ops } => {
+                // Items are `(op index, key, applied)` rows from the
+                // authoritative (hash) tier's shard workers; the ordered
+                // tier's parts complete empty. Unreported ops cannot
+                // happen — every op is routed to exactly one hash shard
+                // — but default to a miss ack defensively.
+                let mut acks = vec![false; ops];
+                for (op, _key, applied) in items {
+                    acks[op as usize] = applied != 0;
+                }
+                Response::Write { acks }
+            }
         }
     }
 
@@ -885,6 +1004,60 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn write_acks_assemble_positionally_from_routed_rows() {
+        // 4 ops scattered over two hash parts plus one ordered-tier
+        // part that completes empty; op 2 missed.
+        let state = Arc::new(ResponseState::new(RequestKind::Write { ops: 4 }, 3));
+        state.complete_part(&[(0, 10, 1), (2, 30, 0)], None);
+        state.complete_part(&[], None); // ordered tier: no acks
+        state.complete_part(&[(1, 20, 1), (3, 40, 1)], None);
+        match (PendingResponse { state }).wait() {
+            Response::Write { acks } => assert_eq!(acks, vec![true, true, false, true]),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_requests_expose_ops_and_route_keys() {
+        let ins = Request::Insert {
+            pairs: vec![(1, 10), (2, 20)],
+        };
+        assert_eq!(ins.keys(), &[] as &[u64]);
+        assert_eq!(
+            ins.write_ops().unwrap(),
+            vec![
+                WriteOp::Insert {
+                    key: 1,
+                    payload: 10
+                },
+                WriteOp::Insert {
+                    key: 2,
+                    payload: 20
+                },
+            ]
+        );
+        let del = Request::Delete { keys: vec![7, 8] };
+        assert_eq!(del.keys(), &[7, 8]);
+        assert_eq!(
+            del.write_ops().unwrap(),
+            vec![WriteOp::Delete { key: 7 }, WriteOp::Delete { key: 8 }]
+        );
+        let upd = Request::Update {
+            pairs: vec![(3, 9)],
+        };
+        assert_eq!(
+            upd.write_ops().unwrap(),
+            vec![WriteOp::Update { key: 3, payload: 9 }]
+        );
+        assert_eq!(upd.write_ops().unwrap()[0].key(), 3);
+        assert!(Request::Lookup { key: 1 }.write_ops().is_none());
+        let resp = Response::Write {
+            acks: vec![true, false, true],
+        };
+        assert_eq!(resp.match_count(), 2, "applied ops count as matches");
     }
 
     #[test]

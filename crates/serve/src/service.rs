@@ -5,6 +5,7 @@ use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use widx_db::epoch::EpochDomain;
 use widx_db::hash::HashRecipe;
 use widx_obs::{
     ActiveTrace, FlightRecorder, HistogramSnapshot, ProfCell, ProfSnapshot, StageTimes, TraceStage,
@@ -17,6 +18,7 @@ use crate::ordered::OrderedShardedIndex;
 use crate::queue::{Job, PushError, ShardQueue};
 use crate::request::{
     PendingResponse, PendingStream, Request, RequestKind, Response, ResponseState, TraceState,
+    WriteOp,
 };
 use crate::shard::ShardedIndex;
 use crate::stats::{LatencySummary, ServiceStats, StageStats, WorkerStats};
@@ -250,8 +252,12 @@ pub struct ProbeService {
     prof_cells: Vec<Arc<ProfCell>>,
     range_prof_cells: Vec<Arc<ProfCell>>,
     /// The shared stage-timing seam (queue-wait / batch-wait / walk /
-    /// gather / reply-write).
+    /// write / gather / reply-write).
     stages: Arc<StageTimes>,
+    /// The service-wide epoch-reclamation domain: every shard (both
+    /// tiers) retires into it, every worker registers with it, and its
+    /// retired/reclaimed gauges surface as `widx_epoch_*` metrics.
+    domain: Arc<EpochDomain>,
     /// The per-request trace ring; always present, only written when
     /// the sampling knobs arm traces.
     recorder: Arc<FlightRecorder>,
@@ -292,6 +298,7 @@ impl ProbeService {
             config.shards,
             config.min_buckets,
             config.load,
+            &EpochDomain::new(),
             pairs,
         );
         ProbeService::start(sharded, config)
@@ -314,14 +321,16 @@ impl ProbeService {
         config: &ServeConfig,
     ) -> ProbeService {
         let pairs: Vec<(u64, u64)> = pairs.into_iter().collect();
+        let domain = EpochDomain::new();
         let sharded = ShardedIndex::build(
             recipe,
             config.shards,
             config.min_buckets,
             config.load,
+            &domain,
             pairs.iter().copied(),
         );
-        let ordered = OrderedShardedIndex::build(config.fanout, config.shards, pairs);
+        let ordered = OrderedShardedIndex::build(config.fanout, config.shards, &domain, pairs);
         ProbeService::start_with_ordered(sharded, ordered, config)
     }
 
@@ -362,6 +371,20 @@ impl ProbeService {
         assert!(config.inflight > 0, "need at least one in-flight probe");
         assert!(config.stream_chunk > 0, "need a positive stream chunk");
         let policy = BatchPolicy::new(config.batch_size, config.batch_deadline);
+        // Re-home every shard onto one service-owned domain, whatever
+        // domain(s) the tiers were built against: workers advance and
+        // reclaim against *this* domain, so a foreign domain would
+        // strand retired nodes. Freshly built tiers have retired
+        // nothing, so re-homing is a pure pointer swap.
+        let domain = EpochDomain::new();
+        for shard in 0..sharded.shard_count() {
+            sharded.write(shard).set_domain(Arc::clone(&domain));
+        }
+        if let Some(ordered) = &ordered {
+            for shard in 0..ordered.shard_count() {
+                ordered.write(shard).set_domain(Arc::clone(&domain));
+            }
+        }
         let sharded = Arc::new(sharded);
         let stages = Arc::new(StageTimes::new());
         let queues: Vec<Arc<ShardQueue>> = (0..sharded.shard_count())
@@ -391,6 +414,7 @@ impl ProbeService {
                     cell: Arc::clone(&cells[shard]),
                     stages: Arc::clone(&stages),
                     prof: prof_cells.get(shard).cloned(),
+                    domain: Arc::clone(&domain),
                 };
                 std::thread::Builder::new()
                     .name(format!("widx-serve-{shard}"))
@@ -425,6 +449,7 @@ impl ProbeService {
                         cell: Arc::clone(&range_cells[shard]),
                         stages: Arc::clone(&stages),
                         prof: range_prof_cells.get(shard).cloned(),
+                        domain: Arc::clone(&domain),
                     };
                     std::thread::Builder::new()
                         .name(format!("widx-range-{shard}"))
@@ -445,6 +470,7 @@ impl ProbeService {
             prof_cells,
             range_prof_cells,
             stages,
+            domain,
             recorder: Arc::new(FlightRecorder::new(config.trace_capacity)),
             trace_seq: AtomicU64::new(0),
             trace_sample: config.trace_sample,
@@ -465,6 +491,13 @@ impl ProbeService {
     #[must_use]
     pub fn ordered(&self) -> Option<&OrderedShardedIndex> {
         self.ordered.as_deref()
+    }
+
+    /// The service-wide epoch-reclamation domain (both tiers retire
+    /// into it; its gauges back the `widx_epoch_*` metrics).
+    #[must_use]
+    pub fn epoch_domain(&self) -> Arc<EpochDomain> {
+        Arc::clone(&self.domain)
     }
 
     /// Keys currently queued per shard (backlog snapshot).
@@ -589,8 +622,109 @@ impl ProbeService {
             } => {
                 return self.submit_scan(*lo, *hi, *limit, *desc);
             }
+            Request::Insert { .. } | Request::Delete { .. } | Request::Update { .. } => {
+                let ops = request.write_ops().expect("write request variant");
+                return self.submit_write(Self::write_kind_name(&request), ops);
+            }
         };
         self.submit_keys(kind, request.keys())
+    }
+
+    /// The trace kind label of a write request variant.
+    fn write_kind_name(request: &Request) -> &'static str {
+        match request {
+            Request::Insert { .. } => "insert",
+            Request::Delete { .. } => "delete",
+            Request::Update { .. } => "update",
+            _ => unreachable!("not a write request"),
+        }
+    }
+
+    /// The blocking write submission path: scatters `ops` over both
+    /// tiers' owning shards and enqueues every part under the stop
+    /// gate's read guard (all-or-nothing with respect to `stop`).
+    fn submit_write(
+        &self,
+        kind_name: &'static str,
+        ops: Vec<WriteOp>,
+    ) -> Result<PendingResponse, SubmitError> {
+        let stopped = self.stopped.read().expect("stop gate");
+        if *stopped {
+            return Err(SubmitError::Stopped);
+        }
+        let (state, parts) = self.plan_write(kind_name, &ops, None);
+        for (range_tier, shard, job) in parts {
+            let queue = if range_tier {
+                &self.range_queues[shard]
+            } else {
+                &self.queues[shard]
+            };
+            self.push_part(queue, job);
+        }
+        drop(stopped);
+        Ok(PendingResponse { state })
+    }
+
+    /// Scatters a write over the shards that own its keys: the hash
+    /// tier routes by `shard_of` and carries the acks (its parts report
+    /// `(op, key, applied)` rows); the ordered tier, when built, routes
+    /// by the *pure* `write_shard_of` and applies the same mutations
+    /// silently (parts complete empty). Returned parts are `(range
+    /// tier, shard, job)` in a fixed order — hash shards ascending,
+    /// then ordered shards ascending — the single consistent lock
+    /// order every multi-queue pusher must use.
+    #[allow(clippy::type_complexity)]
+    fn plan_write(
+        &self,
+        kind_name: &'static str,
+        ops: &[WriteOp],
+        net: Option<&NetTraceCtx>,
+    ) -> (Arc<ResponseState>, Vec<(bool, usize, Job)>) {
+        assert!(
+            u32::try_from(ops.len()).is_ok(),
+            "request exceeds u32 op space"
+        );
+        let kind = RequestKind::Write { ops: ops.len() };
+        let mut hash_parts: Vec<Vec<(u32, WriteOp)>> = vec![Vec::new(); self.sharded.shard_count()];
+        for (i, op) in ops.iter().enumerate() {
+            hash_parts[self.sharded.shard_of(op.key())].push((i as u32, *op));
+        }
+        let mut ordered_parts: Vec<Vec<(u32, WriteOp)>> = Vec::new();
+        if let Some(ordered) = &self.ordered {
+            ordered_parts = vec![Vec::new(); ordered.shard_count()];
+            for (i, op) in ops.iter().enumerate() {
+                ordered_parts[ordered.write_shard_of(op.key())].push((i as u32, *op));
+            }
+        }
+        let live = hash_parts.iter().filter(|p| !p.is_empty()).count()
+            + ordered_parts.iter().filter(|p| !p.is_empty()).count();
+        let state = ResponseState::new(kind, live).with_stages(&self.stages);
+        let state = Arc::new(match self.arm_trace(kind_name, net) {
+            Some(trace) => state.with_trace(trace),
+            None => state,
+        });
+        let mut jobs = Vec::with_capacity(live);
+        for (shard, part) in hash_parts.into_iter().enumerate() {
+            if !part.is_empty() {
+                let job = Job::Write {
+                    ops: part,
+                    ack: true,
+                    reply: Arc::clone(&state),
+                };
+                jobs.push((false, shard, job));
+            }
+        }
+        for (shard, part) in ordered_parts.into_iter().enumerate() {
+            if !part.is_empty() {
+                let job = Job::Write {
+                    ops: part,
+                    ack: false,
+                    reply: Arc::clone(&state),
+                };
+                jobs.push((true, shard, job));
+            }
+        }
+        (state, jobs)
     }
 
     /// The real submission path: partitions `keys` by shard and
@@ -627,6 +761,7 @@ impl ProbeService {
             RequestKind::MultiLookup => "multi_lookup",
             RequestKind::JoinProbe => "join_probe",
             RequestKind::RangeScan { .. } => "range_scan",
+            RequestKind::Write { .. } => unreachable!("writes plan through plan_write"),
         };
         let attach = |state: ResponseState| match self.arm_trace(kind_name, net) {
             Some(trace) => state.with_trace(trace),
@@ -876,6 +1011,27 @@ impl ProbeService {
             return Err(SubmitError::Stopped);
         }
         let net = net.as_ref();
+        if matches!(
+            &request,
+            Request::Insert { .. } | Request::Delete { .. } | Request::Update { .. }
+        ) {
+            let ops = request.write_ops().expect("write request variant");
+            let (state, parts) = self.plan_write(Self::write_kind_name(&request), &ops, net);
+            let targeted = parts
+                .into_iter()
+                .map(|(range_tier, shard, job)| {
+                    let queue = if range_tier {
+                        &*self.range_queues[shard]
+                    } else {
+                        &*self.queues[shard]
+                    };
+                    (queue, job)
+                })
+                .collect();
+            crate::queue::try_push_all(targeted).map_err(|_| SubmitError::Busy)?;
+            drop(stopped);
+            return Ok(PendingResponse { state });
+        }
         let (queues, (state, parts)) = match &request {
             Request::Lookup { key } => (
                 &self.queues,
@@ -898,6 +1054,9 @@ impl ProbeService {
                 &self.range_queues,
                 self.plan_scan(*lo, *hi, *limit, *desc, false, net)?,
             ),
+            Request::Insert { .. } | Request::Delete { .. } | Request::Update { .. } => {
+                unreachable!("write requests early-return above")
+            }
         };
         let targeted = parts
             .into_iter()
@@ -954,6 +1113,45 @@ impl ProbeService {
         match self.submit_keys(RequestKind::JoinProbe, keys)?.wait() {
             Response::JoinProbe { pairs } => Ok(pairs),
             _ => unreachable!("join-probe requests assemble join-probe responses"),
+        }
+    }
+
+    /// Blocking convenience: insert `payload` under `key` through the
+    /// owning shard worker(s). Returns once the write has been applied
+    /// to every tier (always `true` — inserts cannot miss).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Stopped`] once shutdown has begun.
+    pub fn insert(&self, key: u64, payload: u64) -> Result<bool, SubmitError> {
+        self.write_one(WriteOp::Insert { key, payload }, "insert")
+    }
+
+    /// Blocking convenience: delete every payload under `key`. `Ok(true)`
+    /// when at least one entry existed.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Stopped`] once shutdown has begun.
+    pub fn delete(&self, key: u64) -> Result<bool, SubmitError> {
+        self.write_one(WriteOp::Delete { key }, "delete")
+    }
+
+    /// Blocking convenience: replace every payload under `key` with
+    /// `payload`. `Ok(true)` when the key existed; a miss changes
+    /// nothing and returns `Ok(false)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Stopped`] once shutdown has begun.
+    pub fn update(&self, key: u64, payload: u64) -> Result<bool, SubmitError> {
+        self.write_one(WriteOp::Update { key, payload }, "update")
+    }
+
+    fn write_one(&self, op: WriteOp, kind_name: &'static str) -> Result<bool, SubmitError> {
+        match self.submit_write(kind_name, vec![op])?.wait() {
+            Response::Write { acks } => Ok(acks[0]),
+            _ => unreachable!("write requests assemble write responses"),
         }
     }
 
@@ -1049,6 +1247,8 @@ impl ProbeService {
             net: crate::stats::NetStats::default(),
             trace: self.recorder.stats(),
             prof: self.prof_snapshot(),
+            epoch_retired: self.domain.retired(),
+            epoch_reclaimed: self.domain.reclaimed(),
             wall: self.started.elapsed(),
         }
     }
@@ -1104,6 +1304,19 @@ impl ProbeService {
         for handle in self.workers.drain(..).chain(self.range_workers.drain(..)) {
             if handle.join().is_err() {
                 panicked += 1;
+            }
+        }
+        // Every worker has halted, so no epoch pins remain: one final
+        // advance makes every outstanding retirement safe, and a sweep
+        // over both tiers drains the retire lists — the final snapshot
+        // reports `epoch_retired == 0` whenever writes ever happened.
+        self.domain.advance();
+        for shard in 0..self.sharded.shard_count() {
+            let _ = self.sharded.write(shard).reclaim();
+        }
+        if let Some(ordered) = &self.ordered {
+            for shard in 0..ordered.shard_count() {
+                let _ = ordered.write(shard).reclaim();
             }
         }
         let result = (self.snapshot_stats(), panicked);
@@ -1498,5 +1711,175 @@ mod tests {
                 entries: (0..50u64).map(|k| (k * 2, k)).collect()
             }
         );
+    }
+
+    #[test]
+    fn insert_update_delete_roundtrip() {
+        let s = service(100, &ServeConfig::default());
+        // Fresh key: miss, insert, hit, update, delete, miss again.
+        assert_eq!(s.lookup(5000).unwrap(), Vec::<u64>::new());
+        assert!(s.insert(5000, 42).unwrap());
+        assert_eq!(s.lookup(5000).unwrap(), vec![42]);
+        assert!(s.update(5000, 43).unwrap());
+        assert_eq!(s.lookup(5000).unwrap(), vec![43]);
+        assert!(s.delete(5000).unwrap());
+        assert_eq!(s.lookup(5000).unwrap(), Vec::<u64>::new());
+        assert!(!s.delete(5000).unwrap(), "second delete misses");
+        // Update never inserts on miss.
+        assert!(!s.update(6000, 1).unwrap());
+        assert_eq!(s.lookup(6000).unwrap(), Vec::<u64>::new());
+        // Duplicate inserts stack payloads; one delete clears them all.
+        assert!(s.insert(7000, 1).unwrap());
+        assert!(s.insert(7000, 2).unwrap());
+        let mut got = s.lookup(7000).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        assert!(s.delete(7000).unwrap());
+        assert_eq!(s.lookup(7000).unwrap(), Vec::<u64>::new());
+        let stats = s.shutdown();
+        assert_eq!(stats.total_write_ops(), 8);
+        assert_eq!(stats.total_write_applied(), 6, "two misses unacked");
+        assert_eq!(stats.epoch_retired, 0, "final sweep drained retirements");
+    }
+
+    #[test]
+    fn writes_propagate_to_both_tiers() {
+        // range_service stores (k*2, k): odd keys are absent, so 2001
+        // is a fresh key visible to both point probes and range scans.
+        let s = range_service(1000, &ServeConfig::default());
+        assert!(s.insert(2001, 555).unwrap());
+        assert_eq!(s.lookup(2001).unwrap(), vec![555]);
+        assert_eq!(
+            s.range_scan(1996, 2002, usize::MAX).unwrap(),
+            vec![(1996, 998), (1998, 999), (2001, 555)],
+            "the ordered tier sees the insert, in key order"
+        );
+        assert!(s.update(2001, 556).unwrap());
+        assert_eq!(
+            s.range_scan_desc(2001, 2001, usize::MAX).unwrap(),
+            vec![(2001, 556)]
+        );
+        assert!(s.delete(2001).unwrap());
+        assert_eq!(s.lookup(2001).unwrap(), Vec::<u64>::new());
+        assert_eq!(s.range_scan(2001, 2001, usize::MAX).unwrap(), vec![]);
+        let stats = s.shutdown();
+        assert!(
+            stats.range_workers.iter().map(|w| w.write_ops).sum::<u64>() > 0,
+            "ordered-tier workers applied writes"
+        );
+        assert_eq!(stats.epoch_retired, 0);
+    }
+
+    #[test]
+    fn batched_writes_ack_positionally() {
+        let s = service(100, &ServeConfig::default());
+        // A batch spanning shards: acks come back in request order.
+        let pairs: Vec<(u64, u64)> = (200..232).map(|k| (k, k + 1)).collect();
+        let pending = s
+            .submit(Request::Insert {
+                pairs: pairs.clone(),
+            })
+            .unwrap();
+        assert_eq!(
+            pending.wait(),
+            Response::Write {
+                acks: vec![true; 32]
+            }
+        );
+        // Delete interleaving hits (even positions) and misses.
+        let keys: Vec<u64> = (0..32u64)
+            .map(|i| if i % 2 == 0 { 200 + i } else { 900 + i })
+            .collect();
+        match s.submit(Request::Delete { keys }).unwrap().wait() {
+            Response::Write { acks } => {
+                assert_eq!(acks.len(), 32);
+                for (i, ack) in acks.iter().enumerate() {
+                    assert_eq!(*ack, i % 2 == 0, "ack {i} positional");
+                }
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // An empty batch completes instantly with no acks.
+        assert_eq!(
+            s.submit(Request::Update { pairs: vec![] }).unwrap().wait(),
+            Response::Write { acks: vec![] }
+        );
+    }
+
+    #[test]
+    fn writes_after_stop_are_refused_but_accepted_writes_drain() {
+        let s = service(100, &ServeConfig::default());
+        let pending = s
+            .submit(Request::Insert {
+                pairs: vec![(300, 1), (301, 2)],
+            })
+            .unwrap();
+        s.stop();
+        assert_eq!(s.insert(302, 3), Err(SubmitError::Stopped));
+        assert_eq!(s.delete(300), Err(SubmitError::Stopped));
+        assert_eq!(
+            pending.wait(),
+            Response::Write {
+                acks: vec![true, true]
+            },
+            "accepted writes drain before the halt"
+        );
+        let stats = s.shutdown();
+        assert_eq!(stats.total_write_applied(), 2);
+    }
+
+    #[test]
+    fn quiescent_live_stats_match_the_final_snapshot_for_writes() {
+        // The drain-before-snapshot contract: once every submitted
+        // response has resolved, the live write counters already equal
+        // what shutdown will report — workers publish a write batch
+        // into the registry *before* completing its reply.
+        let s = range_service(500, &ServeConfig::default().with_batch_size(8));
+        let mut pendings = Vec::new();
+        for k in 0..200u64 {
+            pendings.push(
+                s.submit(Request::Insert {
+                    pairs: vec![(3000 + k, k)],
+                })
+                .unwrap(),
+            );
+            pendings.push(s.submit(Request::Lookup { key: k * 2 }).unwrap());
+            if k % 3 == 0 {
+                pendings.push(
+                    s.submit(Request::Delete {
+                        keys: vec![3000 + k, 7],
+                    })
+                    .unwrap(),
+                );
+            }
+        }
+        for p in pendings {
+            let _ = p.wait();
+        }
+        let live = s.live_stats();
+        let total_ops = live.total_write_ops();
+        let total_applied = live.total_write_applied();
+        let total_batches = live.total_write_batches();
+        // Each op lands in both tiers (one hash shard, one ordered
+        // shard), so the cross-tier sum counts every op twice.
+        assert_eq!(total_ops, (200 + 67 * 2) * 2, "every accepted op published");
+        let stats = s.shutdown();
+        assert_eq!(stats.total_write_ops(), total_ops);
+        assert_eq!(stats.total_write_applied(), total_applied);
+        assert_eq!(stats.total_write_batches(), total_batches);
+        for (live_w, final_w) in live
+            .workers
+            .iter()
+            .chain(live.range_workers.iter())
+            .zip(stats.workers.iter().chain(stats.range_workers.iter()))
+        {
+            assert_eq!(live_w.write_ops, final_w.write_ops);
+            assert_eq!(live_w.write_applied, final_w.write_applied);
+            assert_eq!(live_w.write_batches, final_w.write_batches);
+        }
+        // Churn retired nodes; the final sweep reclaimed every one.
+        assert!(stats.epoch_reclaimed > 0, "churn retired index nodes");
+        assert_eq!(stats.epoch_retired, 0, "quiescence drains the lists");
+        assert!(stats.epoch_reclaimed >= live.epoch_reclaimed);
     }
 }

@@ -1,21 +1,34 @@
 //! The sharded index: N independent [`HashIndex`] partitions routed by
 //! [`HashRecipe::shard_of`], built through the shard-aware build path in
 //! `widx_db::index`.
+//!
+//! Since the serving tier accepts online writes, each shard sits behind
+//! its own `RwLock`. The lock is *structurally* uncontended: the shard
+//! worker is the sole writer for its shard and takes the write guard
+//! only at batch barriers, while readers (walker batches, stats
+//! scrapes, oracles) share the read guard. The lock's job is to make
+//! the `&mut` visible to the borrow checker and memory model, not to
+//! arbitrate between competing writers — there are none.
 
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use widx_db::epoch::EpochDomain;
 use widx_db::hash::HashRecipe;
 use widx_db::index::{build_sharded, HashIndex, IndexStats};
 
 /// A hash index partitioned into independent shards, one per serving
 /// worker. Probes route by `recipe.shard_of(key, shards)`; builds size
-/// each shard's bucket array for its own entry count.
+/// each shard's bucket array for its own entry count. Every shard
+/// retires replaced nodes into the same [`EpochDomain`].
 pub struct ShardedIndex {
     recipe: HashRecipe,
-    shards: Vec<HashIndex>,
+    shards: Vec<RwLock<HashIndex>>,
 }
 
 impl ShardedIndex {
     /// Partitions `pairs` into `shards` indexes, each sized for ~`load`
-    /// entries per bucket with at least `min_buckets` buckets.
+    /// entries per bucket with at least `min_buckets` buckets, all
+    /// retiring into `domain`.
     ///
     /// # Panics
     ///
@@ -27,12 +40,19 @@ impl ShardedIndex {
         shards: usize,
         min_buckets: usize,
         load: f64,
+        domain: &Arc<EpochDomain>,
         pairs: impl IntoIterator<Item = (u64, u64)>,
     ) -> ShardedIndex {
         let built = build_sharded(&recipe, shards, min_buckets, load, pairs);
         ShardedIndex {
             recipe,
-            shards: built,
+            shards: built
+                .into_iter()
+                .map(|mut s| {
+                    s.set_domain(Arc::clone(domain));
+                    RwLock::new(s)
+                })
+                .collect(),
         }
     }
 
@@ -42,16 +62,31 @@ impl ShardedIndex {
         self.shards.len()
     }
 
-    /// The shard that owns `key`.
+    /// The shard that owns `key` — reads and writes route identically,
+    /// so a shard worker is the sole writer for everything it serves.
     #[must_use]
     pub fn shard_of(&self, key: u64) -> usize {
         self.recipe.shard_of(key, self.shards.len() as u64) as usize
     }
 
-    /// The per-shard indexes, in shard order.
-    #[must_use]
-    pub fn shards(&self) -> &[HashIndex] {
-        &self.shards
+    /// Read access to shard `shard`. Walker batches hold this guard for
+    /// the duration of one batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned (a worker panicked mid-write).
+    pub fn read(&self, shard: usize) -> RwLockReadGuard<'_, HashIndex> {
+        self.shards[shard].read().expect("hash shard lock")
+    }
+
+    /// Write access to shard `shard` — reserved for the shard's owning
+    /// worker at batch barriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned.
+    pub fn write(&self, shard: usize) -> RwLockWriteGuard<'_, HashIndex> {
+        self.shards[shard].write().expect("hash shard lock")
     }
 
     /// The routing/bucketing recipe.
@@ -63,7 +98,7 @@ impl ShardedIndex {
     /// Total entries across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(HashIndex::len).sum()
+        (0..self.shards.len()).map(|s| self.read(s).len()).sum()
     }
 
     /// Whether the sharded index holds no entries.
@@ -76,13 +111,15 @@ impl ShardedIndex {
     /// the whole sharded structure.
     #[must_use]
     pub fn lookup_all(&self, key: u64) -> Vec<u64> {
-        self.shards[self.shard_of(key)].lookup_all(key)
+        self.read(self.shard_of(key)).lookup_all(key)
     }
 
     /// Per-shard shape statistics, in shard order.
     #[must_use]
     pub fn shard_stats(&self) -> Vec<IndexStats> {
-        self.shards.iter().map(HashIndex::stats).collect()
+        (0..self.shards.len())
+            .map(|s| self.read(s).stats())
+            .collect()
     }
 }
 
@@ -96,6 +133,7 @@ mod tests {
             shards,
             8,
             1.0,
+            &EpochDomain::new(),
             (0..entries).map(|k| (k, k + 1000)),
         )
     }
@@ -108,8 +146,12 @@ mod tests {
         for k in 0..2000 {
             assert_eq!(idx.lookup_all(k), vec![k + 1000]);
             let owner = idx.shard_of(k);
-            for (s, shard) in idx.shards().iter().enumerate() {
-                assert_eq!(shard.lookup(k).is_some(), s == owner, "key {k} shard {s}");
+            for s in 0..idx.shard_count() {
+                assert_eq!(
+                    idx.read(s).lookup(k).is_some(),
+                    s == owner,
+                    "key {k} shard {s}"
+                );
             }
         }
     }
@@ -117,7 +159,7 @@ mod tests {
     #[test]
     fn shards_are_load_balanced() {
         let idx = sharded(8, 16_384);
-        let sizes: Vec<usize> = idx.shards().iter().map(HashIndex::len).collect();
+        let sizes: Vec<usize> = (0..idx.shard_count()).map(|s| idx.read(s).len()).collect();
         let mean = 16_384 / 8;
         for (s, size) in sizes.iter().enumerate() {
             assert!(
@@ -130,7 +172,14 @@ mod tests {
     #[test]
     fn duplicates_stay_colocated() {
         let pairs = vec![(7u64, 1u64), (7, 2), (7, 3), (9, 4)];
-        let idx = ShardedIndex::build(HashRecipe::robust64(), 3, 4, 1.0, pairs);
+        let idx = ShardedIndex::build(
+            HashRecipe::robust64(),
+            3,
+            4,
+            1.0,
+            &EpochDomain::new(),
+            pairs,
+        );
         let mut got = idx.lookup_all(7);
         got.sort_unstable();
         assert_eq!(got, vec![1, 2, 3]);
@@ -146,8 +195,33 @@ mod tests {
 
     #[test]
     fn empty_build() {
-        let idx = ShardedIndex::build(HashRecipe::robust64(), 2, 4, 1.0, std::iter::empty());
+        let idx = ShardedIndex::build(
+            HashRecipe::robust64(),
+            2,
+            4,
+            1.0,
+            &EpochDomain::new(),
+            std::iter::empty(),
+        );
         assert!(idx.is_empty());
         assert_eq!(idx.lookup_all(5), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn writes_through_the_shard_locks_stay_routed() {
+        let idx = sharded(4, 100);
+        // Insert/delete/update through the owner shard's write guard —
+        // exactly what the shard worker does at a batch barrier.
+        for k in 200..260u64 {
+            idx.write(idx.shard_of(k)).insert(k, k * 2);
+        }
+        for k in 200..260u64 {
+            assert_eq!(idx.lookup_all(k), vec![k * 2]);
+        }
+        assert_eq!(idx.write(idx.shard_of(210)).delete(210), 1);
+        assert!(idx.lookup_all(210).is_empty());
+        assert!(idx.write(idx.shard_of(220)).update(220, 9));
+        assert_eq!(idx.lookup_all(220), vec![9]);
+        assert_eq!(idx.len(), 100 + 60 - 1);
     }
 }

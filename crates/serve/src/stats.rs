@@ -33,6 +33,14 @@ pub struct WorkerStats {
     pub deadline_flushes: u64,
     /// Final partial batches flushed at shutdown.
     pub shutdown_flushes: u64,
+    /// Mutation operations applied at write barriers (insert/delete/update).
+    pub write_ops: u64,
+    /// Mutation operations that took effect (insert always; delete/update
+    /// only when the key existed).
+    pub write_applied: u64,
+    /// Write barriers executed (batches of mutations applied under the
+    /// shard's write guard).
+    pub write_batches: u64,
     /// Time spent probing (walker running).
     pub busy: Duration,
     /// Time spent waiting for work.
@@ -51,6 +59,9 @@ impl WorkerStats {
             size_flushes: cell.size_flushes,
             deadline_flushes: cell.deadline_flushes,
             shutdown_flushes: cell.shutdown_flushes,
+            write_ops: cell.write_ops,
+            write_applied: cell.write_applied,
+            write_batches: cell.write_batches,
             busy: Duration::from_nanos(cell.busy_ns),
             idle: Duration::from_nanos(cell.idle_ns),
         }
@@ -187,6 +198,8 @@ pub struct StageStats {
     pub batch_wait: LatencySummary,
     /// Index-walking time, per batch.
     pub walk: LatencySummary,
+    /// Write-application time at batch barriers, per write batch.
+    pub write: LatencySummary,
     /// First shard-part done to last shard-part done, per request.
     pub gather: LatencySummary,
     /// Reply frame encoded to bytes flushed to the socket, per frame.
@@ -201,6 +214,7 @@ impl StageStats {
             queue_wait: LatencySummary::from_histogram(snap.get(Stage::QueueWait)),
             batch_wait: LatencySummary::from_histogram(snap.get(Stage::BatchWait)),
             walk: LatencySummary::from_histogram(snap.get(Stage::Walk)),
+            write: LatencySummary::from_histogram(snap.get(Stage::Write)),
             gather: LatencySummary::from_histogram(snap.get(Stage::Gather)),
             reply_write: LatencySummary::from_histogram(snap.get(Stage::ReplyWrite)),
         }
@@ -208,11 +222,12 @@ impl StageStats {
 
     /// `(name, summary)` pairs in pipeline order.
     #[must_use]
-    pub fn named(&self) -> [(&'static str, LatencySummary); 5] {
+    pub fn named(&self) -> [(&'static str, LatencySummary); 6] {
         [
             (Stage::QueueWait.name(), self.queue_wait),
             (Stage::BatchWait.name(), self.batch_wait),
             (Stage::Walk.name(), self.walk),
+            (Stage::Write.name(), self.write),
             (Stage::Gather.name(), self.gather),
             (Stage::ReplyWrite.name(), self.reply_write),
         ]
@@ -307,6 +322,14 @@ pub struct ServiceStats {
     /// `None` unless the service was built with
     /// `ServeConfig::with_profile(true)`.
     pub prof: Option<ProfSnapshot>,
+    /// Epoch-reclamation gauge: nodes retired by mutations over the
+    /// service's lifetime (superseded bucket arrays, split/merged
+    /// leaves) awaiting a safe epoch.
+    pub epoch_retired: u64,
+    /// Epoch-reclamation gauge: retired nodes actually freed once no
+    /// walker could still hold a reference. At quiescence this equals
+    /// [`ServiceStats::epoch_retired`].
+    pub epoch_reclaimed: u64,
     /// Wall-clock time from service start to this snapshot.
     pub wall: Duration,
 }
@@ -347,6 +370,36 @@ impl ServiceStats {
         self.range_workers.iter().map(|w| w.matches).sum()
     }
 
+    /// Total mutation operations applied across both tiers.
+    #[must_use]
+    pub fn total_write_ops(&self) -> u64 {
+        self.workers
+            .iter()
+            .chain(self.range_workers.iter())
+            .map(|w| w.write_ops)
+            .sum()
+    }
+
+    /// Total mutation operations that took effect across both tiers.
+    #[must_use]
+    pub fn total_write_applied(&self) -> u64 {
+        self.workers
+            .iter()
+            .chain(self.range_workers.iter())
+            .map(|w| w.write_applied)
+            .sum()
+    }
+
+    /// Total write barriers executed across both tiers.
+    #[must_use]
+    pub fn total_write_batches(&self) -> u64 {
+        self.workers
+            .iter()
+            .chain(self.range_workers.iter())
+            .map(|w| w.write_batches)
+            .sum()
+    }
+
     /// Service-level throughput: keys probed per wall-clock second.
     #[must_use]
     pub fn wall_throughput(&self) -> f64 {
@@ -380,7 +433,10 @@ impl ServiceStats {
         out.push_str(&format!(
             "{{\"wall_ms\": {:.3}, \"uptime_ms\": {:.3}, \"host_cpus\": {}, \
              \"version\": \"{}\", \"total_keys\": {}, \"total_matches\": {}, \
-             \"total_scan_cursors\": {}, \"total_scan_entries\": {},",
+             \"total_scan_cursors\": {}, \"total_scan_entries\": {}, \
+             \"total_write_ops\": {}, \"total_write_applied\": {}, \
+             \"total_write_batches\": {}, \"epoch_retired\": {}, \
+             \"epoch_reclaimed\": {},",
             self.wall.as_secs_f64() * 1e3,
             self.wall.as_secs_f64() * 1e3,
             host_cpus,
@@ -388,7 +444,12 @@ impl ServiceStats {
             self.total_keys(),
             self.total_matches(),
             self.total_scan_cursors(),
-            self.total_scan_entries()
+            self.total_scan_entries(),
+            self.total_write_ops(),
+            self.total_write_applied(),
+            self.total_write_batches(),
+            self.epoch_retired,
+            self.epoch_reclaimed
         ));
         out.push_str(&format!(
             " \"trace\": {{\"capacity\": {}, \"depth\": {}, \"recorded\": {}, \
@@ -423,7 +484,9 @@ impl ServiceStats {
                 out.push_str(&format!(
                     " {{\"shard\": {}, \"jobs\": {}, \"batches\": {}, \"keys\": {}, \
                      \"matches\": {}, \"size_flushes\": {}, \"deadline_flushes\": {}, \
-                     \"shutdown_flushes\": {}, \"busy_ns\": {}, \"idle_ns\": {}, \
+                     \"shutdown_flushes\": {}, \"write_ops\": {}, \
+                     \"write_applied\": {}, \"write_batches\": {}, \
+                     \"busy_ns\": {}, \"idle_ns\": {}, \
                      \"occupancy\": {:.4}}}",
                     w.shard,
                     w.jobs,
@@ -433,6 +496,9 @@ impl ServiceStats {
                     w.size_flushes,
                     w.deadline_flushes,
                     w.shutdown_flushes,
+                    w.write_ops,
+                    w.write_applied,
+                    w.write_batches,
                     w.busy.as_nanos(),
                     w.idle.as_nanos(),
                     w.occupancy()
@@ -490,6 +556,21 @@ impl ServiceStats {
             "Fraction of worker lifetime spent walking.",
         )
         .type_("widx_worker_occupancy", "gauge");
+        p.help(
+            "widx_write_ops_total",
+            "Mutation operations applied per worker.",
+        )
+        .type_("widx_write_ops_total", "counter");
+        p.help(
+            "widx_write_applied_total",
+            "Mutation operations that took effect per worker.",
+        )
+        .type_("widx_write_applied_total", "counter");
+        p.help(
+            "widx_write_batches_total",
+            "Write barriers executed per worker.",
+        )
+        .type_("widx_write_batches_total", "counter");
         for (tier, workers) in [("point", &self.workers), ("range", &self.range_workers)] {
             for w in workers.iter() {
                 let shard = w.shard.to_string();
@@ -498,7 +579,26 @@ impl ServiceStats {
                 p.sample_u64("widx_worker_matches_total", &labels, w.matches);
                 p.sample_u64("widx_worker_batches_total", &labels, w.batches);
                 p.sample("widx_worker_occupancy", &labels, w.occupancy());
+                p.sample_u64("widx_write_ops_total", &labels, w.write_ops);
+                p.sample_u64("widx_write_applied_total", &labels, w.write_applied);
+                p.sample_u64("widx_write_batches_total", &labels, w.write_batches);
             }
+        }
+        for (name, help, value) in [
+            (
+                "widx_epoch_retired",
+                "Nodes retired by mutations, awaiting a safe epoch.",
+                self.epoch_retired,
+            ),
+            (
+                "widx_epoch_reclaimed",
+                "Retired nodes freed after every walker moved past them.",
+                self.epoch_reclaimed,
+            ),
+        ] {
+            p.help(name, help)
+                .type_(name, "gauge")
+                .sample_u64(name, &[], value);
         }
         p.help(
             "widx_request_latency_ns",
@@ -849,11 +949,17 @@ mod tests {
                 WorkerStats {
                     keys: 60,
                     matches: 50,
+                    write_ops: 12,
+                    write_applied: 9,
+                    write_batches: 3,
                     ..WorkerStats::default()
                 },
                 WorkerStats {
                     keys: 40,
                     matches: 30,
+                    write_ops: 8,
+                    write_applied: 8,
+                    write_batches: 2,
                     ..WorkerStats::default()
                 },
             ],
@@ -867,12 +973,17 @@ mod tests {
             net: NetStats::default(),
             trace: RecorderStats::default(),
             prof: None,
+            epoch_retired: 7,
+            epoch_reclaimed: 7,
             wall: Duration::from_secs(2),
         };
         assert_eq!(stats.total_keys(), 100);
         assert_eq!(stats.total_matches(), 80);
         assert_eq!(stats.total_scan_cursors(), 6);
         assert_eq!(stats.total_scan_entries(), 90);
+        assert_eq!(stats.total_write_ops(), 20);
+        assert_eq!(stats.total_write_applied(), 17);
+        assert_eq!(stats.total_write_batches(), 5);
         assert!((stats.wall_throughput() - 50.0).abs() < 1e-9);
         assert!((stats.scan_throughput() - 45.0).abs() < 1e-9);
 
@@ -884,6 +995,13 @@ mod tests {
         );
         assert_eq!(widx_obs::json::find_f64(&json, "wall_ms"), Some(2000.0));
         assert_eq!(widx_obs::json::find_f64(&json, "uptime_ms"), Some(2000.0));
+        assert_eq!(widx_obs::json::find_u64(&json, "total_write_ops"), Some(20));
+        assert_eq!(
+            widx_obs::json::find_u64(&json, "total_write_applied"),
+            Some(17)
+        );
+        assert_eq!(widx_obs::json::find_u64(&json, "epoch_retired"), Some(7));
+        assert_eq!(widx_obs::json::find_u64(&json, "epoch_reclaimed"), Some(7));
         assert!(
             widx_obs::json::find_u64(&json, "host_cpus").is_some_and(|n| n >= 1),
             "host_cpus should report at least one CPU"
@@ -899,6 +1017,12 @@ mod tests {
         let prom = stats.render_prometheus();
         assert!(prom.contains("widx_worker_keys_total{tier=\"point\",shard=\"0\"} 60"));
         assert!(prom.contains("widx_worker_matches_total{tier=\"range\",shard=\"0\"} 90"));
+        assert!(prom.contains("widx_write_ops_total{tier=\"point\",shard=\"0\"} 12"));
+        assert!(prom.contains("widx_write_applied_total{tier=\"point\",shard=\"0\"} 9"));
+        assert!(prom.contains("widx_write_batches_total{tier=\"range\",shard=\"0\"} 0"));
+        assert!(prom.contains("widx_epoch_retired 7"));
+        assert!(prom.contains("widx_epoch_reclaimed 7"));
+        assert!(prom.contains("widx_stage_ns_count{stage=\"write\"} 0"));
         assert!(prom.contains("# TYPE widx_request_latency_ns summary"));
         assert!(prom.contains("widx_stage_ns_count{stage=\"walk\"} 0"));
         assert!(prom.contains("widx_net_open_connections 0"));
@@ -950,6 +1074,8 @@ mod tests {
             net: NetStats::default(),
             trace: RecorderStats::default(),
             prof: Some(prof),
+            epoch_retired: 0,
+            epoch_reclaimed: 0,
             wall: Duration::from_secs(1),
         };
 
@@ -1018,6 +1144,8 @@ mod tests {
             },
             trace: RecorderStats::default(),
             prof: None,
+            epoch_retired: 0,
+            epoch_reclaimed: 0,
             wall: Duration::from_secs(1),
         };
         let json = stats.to_json();

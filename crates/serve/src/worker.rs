@@ -12,17 +12,30 @@
 //! into the worker's lock-free [`WorkerCell`] (plus the shared
 //! [`StageTimes`] seam) as batches complete, so a live scrape sees the
 //! same numbers a shutdown join would.
+//!
+//! # Writes and epochs
+//!
+//! The serving tier is mutable: each worker is the *sole writer* for
+//! its shard. Walker batches run under the shard's read guard with an
+//! epoch pinned; [`Job::Write`] batches are applied under the write
+//! guard at batch barriers (never mid-batch), then the worker advances
+//! the epoch and reclaims nodes the mutations retired. The shard lock
+//! is structurally uncontended — its job is memory-model visibility,
+//! not writer arbitration — and the epoch pin is what keeps resumable
+//! cursor state (leaf hints held *across* batches by the soft tier)
+//! safe to validate against retired-but-unreclaimed nodes.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use widx_db::epoch::EpochDomain;
 use widx_obs::{FlushKind, ProfCell, Stage, StageTimes, ThreadProfiler, TraceStage, WorkerCell};
 use widx_soft::{AmacWalker, BTreeRangeWalker, ScanRange};
 
 use crate::batch::{BatchPolicy, FlushReason};
 use crate::ordered::OrderedShardedIndex;
 use crate::queue::{Job, ShardQueue};
-use crate::request::{ResponseState, RoutedMatch};
+use crate::request::{ResponseState, RoutedMatch, WriteOp};
 use crate::shard::ShardedIndex;
 
 /// Everything a point-probe worker thread needs.
@@ -40,6 +53,9 @@ pub(crate) struct WorkerContext {
     /// worker opens a per-thread counter group and publishes stage
     /// windows here.
     pub(crate) prof: Option<Arc<ProfCell>>,
+    /// The service-wide reclamation domain: pinned per walker batch,
+    /// advanced (and reclaimed against) after write barriers.
+    pub(crate) domain: Arc<EpochDomain>,
 }
 
 /// Everything a range-scan worker thread needs.
@@ -57,6 +73,117 @@ pub(crate) struct RangeWorkerContext {
     pub(crate) stages: Arc<StageTimes>,
     /// Hardware-profiling cell, when the service enabled profiling.
     pub(crate) prof: Option<Arc<ProfCell>>,
+    /// The service-wide reclamation domain (see [`WorkerContext`]).
+    pub(crate) domain: Arc<EpochDomain>,
+}
+
+/// A write part stashed mid-batch, applied at the next batch barrier.
+pub(crate) struct WriteJob {
+    ops: Vec<(u32, WriteOp)>,
+    ack: bool,
+    reply: Arc<ResponseState>,
+}
+
+/// Anything a write barrier can mutate: both index flavours expose the
+/// same insert/delete/update/reclaim surface, so one barrier routine
+/// serves both worker kinds.
+trait WriteTarget {
+    fn apply(&mut self, op: WriteOp) -> bool;
+    fn reclaim_retired(&mut self) -> usize;
+}
+
+impl WriteTarget for widx_db::index::HashIndex {
+    fn apply(&mut self, op: WriteOp) -> bool {
+        match op {
+            WriteOp::Insert { key, payload } => {
+                self.insert(key, payload);
+                true
+            }
+            WriteOp::Delete { key } => self.delete(key) > 0,
+            WriteOp::Update { key, payload } => self.update(key, payload),
+        }
+    }
+
+    fn reclaim_retired(&mut self) -> usize {
+        self.reclaim()
+    }
+}
+
+impl WriteTarget for widx_db::index::BTreeIndex {
+    fn apply(&mut self, op: WriteOp) -> bool {
+        match op {
+            WriteOp::Insert { key, payload } => {
+                self.insert(key, payload);
+                true
+            }
+            WriteOp::Delete { key } => self.delete(key) > 0,
+            WriteOp::Update { key, payload } => self.update(key, payload),
+        }
+    }
+
+    fn reclaim_retired(&mut self) -> usize {
+        self.reclaim()
+    }
+}
+
+/// Applies stashed write parts under the caller's write guard — the
+/// batch barrier. Per part: apply every op, publish the write counters
+/// *before* completing the part (a caller whose `wait()` returned must
+/// find the write counted by a `live_stats()` scrape), ack `(op, key,
+/// applied)` rows when this tier is authoritative. Then advance the
+/// epoch and reclaim — the nodes these mutations retired become safe
+/// one advance later, so a quiescent service always drains its retired
+/// list on the final barrier.
+fn apply_write_barrier<T: WriteTarget>(
+    shard: usize,
+    target: &mut T,
+    jobs: Vec<WriteJob>,
+    domain: &EpochDomain,
+    cell: &WorkerCell,
+    stages: &StageTimes,
+    prof: &mut ThreadProfiler,
+) {
+    debug_assert!(!jobs.is_empty(), "empty write barrier");
+    let mark = prof.mark();
+    let barrier_from = Instant::now();
+    for job in jobs {
+        cell.add_jobs(1);
+        stages.record(Stage::QueueWait, job.reply.since_submit());
+        let opened = Instant::now();
+        let mut items: Vec<RoutedMatch> = Vec::new();
+        let total = job.ops.len() as u64;
+        let mut applied_total = 0u64;
+        for (op_idx, op) in job.ops {
+            let key = op.key();
+            let applied = target.apply(op);
+            applied_total += u64::from(applied);
+            if job.ack {
+                items.push((op_idx, key, u64::from(applied)));
+            }
+        }
+        let took = opened.elapsed();
+        stages.record(Stage::Write, took);
+        cell.add_write_batch(total, applied_total);
+        if job.ack {
+            cell.add_matches(applied_total);
+        }
+        if job.reply.is_traced() {
+            job.reply.trace_annotate(|trace, submitted| {
+                trace.add_shard(shard as u32);
+                trace.span_between(TraceStage::QueueWait, submitted, opened);
+                trace.span_for(TraceStage::Write, opened, took);
+            });
+        }
+        job.reply.complete_part(&items, Some(cell));
+    }
+    // The barrier's mutations retired nodes at the *current* epoch;
+    // advance so they stamp strictly below every future pin, then
+    // reclaim whatever is already safe (pinned cursors elsewhere keep
+    // their epoch's garbage alive until they unpin).
+    domain.advance();
+    let _ = target.reclaim_retired();
+    cell.add_busy(barrier_from.elapsed());
+    prof.record(Stage::Write, mark);
 }
 
 /// Opens the worker's per-thread counter group when profiling is on.
@@ -139,9 +266,8 @@ fn attribute_scan(
 /// — shutdown needs no hand-back, a final registry snapshot sees
 /// everything.
 pub(crate) fn run_worker(ctx: &WorkerContext) {
-    let index = &ctx.sharded.shards()[ctx.shard];
-    let mut walker = AmacWalker::new(index, ctx.inflight);
     let mut prof = attach_profiler(&ctx.prof);
+    let epoch = ctx.domain.register();
 
     loop {
         // Wait (idle) for the batch-opening job. The profiling window
@@ -157,23 +283,67 @@ pub(crate) fn run_worker(ctx: &WorkerContext) {
         let (entries, reply) = match first {
             Job::Probe { entries, reply } => (entries, reply),
             Job::Scan { .. } => unreachable!("scan job routed to a point-probe queue"),
+            Job::Write { ops, ack, reply } => {
+                // A write opening a batch is its own barrier: apply it
+                // immediately under the write guard (nothing is reading
+                // — this worker is the shard's only writer and its only
+                // walker driver).
+                let jobs = vec![WriteJob { ops, ack, reply }];
+                let mut guard = ctx.sharded.write(ctx.shard);
+                apply_write_barrier(
+                    ctx.shard,
+                    &mut *guard,
+                    jobs,
+                    &ctx.domain,
+                    &ctx.cell,
+                    &ctx.stages,
+                    &mut prof,
+                );
+                continue;
+            }
             Job::Poison { key } => {
                 debug_assert_eq!(key, widx_core::POISON_KEY);
                 break; // Poison with an empty batch: halt immediately.
             }
         };
 
-        let shutdown = run_batch(
-            ctx.shard,
-            &ctx.queue,
-            &ctx.policy,
-            &mut walker,
-            entries,
-            reply,
-            &ctx.cell,
-            &ctx.stages,
-            &mut prof,
-        );
+        // Walker batch: pin an epoch and hold the shard's read guard
+        // for the batch's whole lifetime, so nothing mutates (or
+        // reclaims) under the in-flight AMAC ring. The walker is
+        // rebuilt per batch — it borrows the guard.
+        let mut writes: Vec<WriteJob> = Vec::new();
+        let shutdown = {
+            let _pin = epoch.pin();
+            let guard = ctx.sharded.read(ctx.shard);
+            let mut walker = AmacWalker::new(&guard, ctx.inflight);
+            run_batch(
+                ctx.shard,
+                &ctx.queue,
+                &ctx.policy,
+                &mut walker,
+                entries,
+                reply,
+                &mut writes,
+                &ctx.cell,
+                &ctx.stages,
+                &mut prof,
+            )
+        };
+        // Batch barrier: the read guard is gone; apply every write the
+        // batch loop stashed (shutdown included — queued writes always
+        // land before the final snapshot).
+        if !writes.is_empty() {
+            let mut guard = ctx.sharded.write(ctx.shard);
+            apply_write_barrier(
+                ctx.shard,
+                &mut *guard,
+                writes,
+                &ctx.domain,
+                &ctx.cell,
+                &ctx.stages,
+                &mut prof,
+            );
+        }
         if shutdown {
             break;
         }
@@ -191,6 +361,7 @@ fn run_batch(
     walker: &mut AmacWalker<'_>,
     first_entries: Vec<(u32, u64)>,
     first_reply: Arc<ResponseState>,
+    writes: &mut Vec<WriteJob>,
     cell: &WorkerCell,
     stages: &StageTimes,
     prof: &mut ThreadProfiler,
@@ -263,6 +434,11 @@ fn run_batch(
                 );
             }
             Some(Job::Scan { .. }) => unreachable!("scan job routed to a point-probe queue"),
+            Some(Job::Write { ops, ack, reply }) => {
+                // Writes never interleave into an open walker batch:
+                // stash for the barrier right after this batch closes.
+                writes.push(WriteJob { ops, ack, reply });
+            }
             Some(Job::Poison { .. }) => {
                 shutdown = true;
                 break FlushReason::Shutdown;
@@ -311,9 +487,8 @@ fn run_batch(
 /// loop, but the walker is a ring of resumable B+-tree scan cursors
 /// over this worker's ordered shard.
 pub(crate) fn run_range_worker(ctx: &RangeWorkerContext) {
-    let tree = &ctx.ordered.shards()[ctx.shard];
-    let mut walker = BTreeRangeWalker::new(tree, ctx.inflight);
     let mut prof = attach_profiler(&ctx.prof);
+    let epoch = ctx.domain.register();
 
     loop {
         let idle_from = Instant::now();
@@ -325,24 +500,57 @@ pub(crate) fn run_range_worker(ctx: &RangeWorkerContext) {
         let (scans, reply) = match first {
             Job::Scan { scans, reply } => (scans, reply),
             Job::Probe { .. } => unreachable!("probe job routed to a range queue"),
+            Job::Write { ops, ack, reply } => {
+                let jobs = vec![WriteJob { ops, ack, reply }];
+                let mut guard = ctx.ordered.write(ctx.shard);
+                apply_write_barrier(
+                    ctx.shard,
+                    &mut *guard,
+                    jobs,
+                    &ctx.domain,
+                    &ctx.cell,
+                    &ctx.stages,
+                    &mut prof,
+                );
+                continue;
+            }
             Job::Poison { key } => {
                 debug_assert_eq!(key, widx_core::POISON_KEY);
                 break;
             }
         };
 
-        let shutdown = run_range_batch(
-            ctx.shard,
-            &ctx.queue,
-            &ctx.policy,
-            &mut walker,
-            scans,
-            reply,
-            ctx.stream_chunk,
-            &ctx.cell,
-            &ctx.stages,
-            &mut prof,
-        );
+        let mut writes: Vec<WriteJob> = Vec::new();
+        let shutdown = {
+            let _pin = epoch.pin();
+            let guard = ctx.ordered.read(ctx.shard);
+            let mut walker = BTreeRangeWalker::new(&guard, ctx.inflight);
+            run_range_batch(
+                ctx.shard,
+                &ctx.queue,
+                &ctx.policy,
+                &mut walker,
+                scans,
+                reply,
+                &mut writes,
+                ctx.stream_chunk,
+                &ctx.cell,
+                &ctx.stages,
+                &mut prof,
+            )
+        };
+        if !writes.is_empty() {
+            let mut guard = ctx.ordered.write(ctx.shard);
+            apply_write_barrier(
+                ctx.shard,
+                &mut *guard,
+                writes,
+                &ctx.domain,
+                &ctx.cell,
+                &ctx.stages,
+                &mut prof,
+            );
+        }
         if shutdown {
             break;
         }
@@ -362,6 +570,7 @@ fn run_range_batch(
     walker: &mut BTreeRangeWalker<'_>,
     first_scans: Vec<(u32, ScanRange)>,
     first_reply: Arc<ResponseState>,
+    writes: &mut Vec<WriteJob>,
     chunk_size: usize,
     cell: &WorkerCell,
     stages: &StageTimes,
@@ -452,6 +661,9 @@ fn run_range_batch(
                 );
             }
             Some(Job::Probe { .. }) => unreachable!("probe job routed to a range queue"),
+            Some(Job::Write { ops, ack, reply }) => {
+                writes.push(WriteJob { ops, ack, reply });
+            }
             Some(Job::Poison { .. }) => {
                 shutdown = true;
                 break FlushReason::Shutdown;

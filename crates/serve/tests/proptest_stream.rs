@@ -229,8 +229,8 @@ proptest! {
         let ordered = service.ordered().unwrap();
         let mut limits: Vec<usize> = vec![0, 1, full.len(), full.len() + 5];
         let mut acc = 0usize;
-        for tree in ordered.shards().iter().rev() {
-            acc += tree.len();
+        for shard in (0..ordered.shard_count()).rev() {
+            acc += ordered.read(shard).len();
             limits.extend([acc.saturating_sub(1), acc, acc + 1]);
         }
         for limit in limits {

@@ -201,14 +201,17 @@ impl<'idx> BTreeRangeWalker<'idx> {
             .position(|s| matches!(s, Cursor::Empty))
             .expect("live < capacity implies an empty slot");
         self.slots[slot] = if self.tree.inner_level_count() == 0 {
-            self.prefetch_leaf(0);
+            // No inner levels means a single live leaf (splits grow a
+            // level immediately, and levels never shrink).
+            let leaf = self.tree.first_leaf();
+            self.prefetch_leaf(leaf);
             Cursor::Leaf {
                 tag,
                 lo: range.lo,
                 hi: range.hi,
                 remaining: range.limit,
                 desc: range.desc,
-                leaf: 0,
+                leaf,
                 seek: true,
             }
         } else {
@@ -345,19 +348,21 @@ impl<'idx> BTreeRangeWalker<'idx> {
                             remaining -= 1;
                             slot -= 1;
                         }
-                        if past_lo || remaining == 0 || leaf == 0 {
-                            self.retire(i);
-                        } else {
-                            self.prefetch_leaf(leaf - 1);
-                            self.slots[i] = Cursor::Leaf {
-                                tag,
-                                lo,
-                                hi,
-                                remaining,
-                                desc,
-                                leaf: leaf - 1,
-                                seek: false,
-                            };
+                        let prev = self.tree.leaf_prev(leaf);
+                        match prev {
+                            Some(prev) if !past_lo && remaining > 0 => {
+                                self.prefetch_leaf(prev);
+                                self.slots[i] = Cursor::Leaf {
+                                    tag,
+                                    lo,
+                                    hi,
+                                    remaining,
+                                    desc,
+                                    leaf: prev,
+                                    seek: false,
+                                };
+                            }
+                            _ => self.retire(i),
                         }
                         continue;
                     }
@@ -377,20 +382,20 @@ impl<'idx> BTreeRangeWalker<'idx> {
                         remaining -= 1;
                         slot += 1;
                     }
-                    let next = leaf + 1;
-                    if past_hi || remaining == 0 || (next as usize) >= self.tree.leaf_count() {
-                        self.retire(i);
-                    } else {
-                        self.prefetch_leaf(next);
-                        self.slots[i] = Cursor::Leaf {
-                            tag,
-                            lo,
-                            hi,
-                            remaining,
-                            leaf: next,
-                            desc,
-                            seek: false,
-                        };
+                    match self.tree.leaf_next(leaf) {
+                        Some(next) if !past_hi && remaining > 0 => {
+                            self.prefetch_leaf(next);
+                            self.slots[i] = Cursor::Leaf {
+                                tag,
+                                lo,
+                                hi,
+                                remaining,
+                                leaf: next,
+                                desc,
+                                seek: false,
+                            };
+                        }
+                        _ => self.retire(i),
                     }
                 }
             }
@@ -433,7 +438,11 @@ pub fn scan_btree_scalar<F: FnMut(u32, u64, u64)>(
             };
             node = tree.inner_child(depth, node, slot);
         }
-        let mut leaf = node;
+        let mut leaf = if tree.inner_level_count() == 0 {
+            tree.first_leaf()
+        } else {
+            node
+        };
         let mut remaining = range.limit;
         let mut seek = true;
         if range.desc {
@@ -454,10 +463,10 @@ pub fn scan_btree_scalar<F: FnMut(u32, u64, u64)>(
                     remaining -= 1;
                     slot -= 1;
                 }
-                if leaf == 0 {
-                    break;
+                match tree.leaf_prev(leaf) {
+                    Some(prev) => leaf = prev,
+                    None => break,
                 }
-                leaf -= 1;
                 seek = false;
             }
             continue;
@@ -479,9 +488,9 @@ pub fn scan_btree_scalar<F: FnMut(u32, u64, u64)>(
                 remaining -= 1;
                 slot += 1;
             }
-            leaf += 1;
-            if (leaf as usize) >= tree.leaf_count() {
-                break;
+            match tree.leaf_next(leaf) {
+                Some(next) => leaf = next,
+                None => break,
             }
             seek = false;
         }
@@ -536,7 +545,7 @@ pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
                     prefetch_read(first);
                     counters.prefetches += 1;
                 }
-            } else if let ([first, ..], _) = tree.leaf_entries(0) {
+            } else if let ([first, ..], _) = tree.leaf_entries(tree.first_leaf()) {
                 prefetch_read(first);
                 counters.prefetches += 1;
             }
@@ -576,7 +585,11 @@ pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
             .iter()
             .zip(&nodes)
             .map(|(range, node)| Member {
-                leaf: *node,
+                leaf: if tree.inner_level_count() == 0 {
+                    tree.first_leaf()
+                } else {
+                    *node
+                },
                 seek: true,
                 remaining: range.limit,
                 done: range.is_empty(),
@@ -611,15 +624,16 @@ pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
                         m.remaining -= 1;
                         slot -= 1;
                     }
-                    if past_lo || m.remaining == 0 || m.leaf == 0 {
-                        m.done = true;
-                    } else {
-                        if let ([first, ..], _) = tree.leaf_entries(m.leaf - 1) {
-                            prefetch_read(first);
-                            counters.prefetches += 1;
+                    match tree.leaf_prev(m.leaf) {
+                        Some(prev) if !past_lo && m.remaining > 0 => {
+                            if let ([first, ..], _) = tree.leaf_entries(prev) {
+                                prefetch_read(first);
+                                counters.prefetches += 1;
+                            }
+                            m.leaf = prev;
+                            m.seek = false;
                         }
-                        m.leaf -= 1;
-                        m.seek = false;
+                        _ => m.done = true,
                     }
                     continue;
                 }
@@ -639,16 +653,16 @@ pub fn scan_btree_group<F: FnMut(u32, u64, u64)>(
                     m.remaining -= 1;
                     slot += 1;
                 }
-                let next = m.leaf + 1;
-                if past_hi || m.remaining == 0 || (next as usize) >= tree.leaf_count() {
-                    m.done = true;
-                } else {
-                    if let ([first, ..], _) = tree.leaf_entries(next) {
-                        prefetch_read(first);
-                        counters.prefetches += 1;
+                match tree.leaf_next(m.leaf) {
+                    Some(next) if !past_hi && m.remaining > 0 => {
+                        if let ([first, ..], _) = tree.leaf_entries(next) {
+                            prefetch_read(first);
+                            counters.prefetches += 1;
+                        }
+                        m.leaf = next;
+                        m.seek = false;
                     }
-                    m.leaf = next;
-                    m.seek = false;
+                    _ => m.done = true,
                 }
             }
             if !any {

@@ -1,0 +1,364 @@
+//! A range cursor that survives index mutations between chunks.
+//!
+//! [`BTreeRangeWalker`](crate::BTreeRangeWalker) streams a scan in one
+//! sitting: the borrow of the tree lives as long as the walker. A
+//! serving tier that interleaves *write batches* between a long scan's
+//! chunks cannot hold that borrow — the writer needs `&mut` — so the
+//! cursor must be able to detach, let mutations happen, and resume.
+//!
+//! [`ResumableScan`] saves its position as a `(leaf, slot, version)`
+//! hint. Leaf versions (see
+//! [`BTreeIndex::leaf_version`](widx_db::index::BTreeIndex::leaf_version))
+//! are bumped on every content or link change, retirement, and reuse,
+//! so at resume time a matching version proves the leaf is byte-for-byte
+//! the one the cursor left: the scan continues at the exact slot, paying
+//! nothing. On a mismatch the cursor *re-descends* from just past the
+//! last key it emitted — correct, one extra root-to-leaf walk.
+//!
+//! Epochs make the hint *checkable at all*: the serving tier pins an
+//! epoch for the duration of each chunk, so the leaf slot the hint
+//! names cannot be reclaimed-and-reused while unpinned hints are dead
+//! anyway (any reuse bumps the version, which the resume check
+//! catches). Versions give safety; epochs bound garbage and keep hints
+//! alive long enough to be worth saving.
+//!
+//! Semantics under concurrent mutation (the caller serializes chunks
+//! against writes — e.g. a read lock per chunk):
+//!
+//! * emitted keys are strictly within `[lo, hi]`, in scan order, and
+//!   never torn — every `(key, payload)` was present in the tree during
+//!   the chunk that emitted it;
+//! * keys untouched by writers are emitted exactly once;
+//! * after a re-descent, *duplicates* of the last emitted key that the
+//!   cursor had not yet reached are skipped (the re-descent starts past
+//!   that key). Exact-resume (matching version) never skips.
+
+use widx_db::index::BTreeIndex;
+
+use crate::btree_walker::ScanRange;
+
+/// A detached, resumable range scan over a [`BTreeIndex`].
+///
+/// Feed it the tree at each [`next_chunk`](Self::next_chunk) call; the
+/// cursor holds no borrow in between, so the tree may be mutated (under
+/// the caller's write lock) between chunks.
+#[derive(Clone, Debug)]
+pub struct ResumableScan {
+    lo: u64,
+    hi: u64,
+    remaining: usize,
+    desc: bool,
+    /// Saved position: ascending, the next slot to emit; descending,
+    /// the number of candidate slots left in the leaf (next emission at
+    /// `slot - 1`). Valid iff the leaf's version still matches.
+    hint: Option<(u32, usize, u64)>,
+    /// Last key handed out — the re-descent boundary after a version
+    /// mismatch.
+    last_key: Option<u64>,
+    done: bool,
+    /// Chunks that resumed via a matching version (no re-descent).
+    exact_resumes: u64,
+    /// Chunks that had to re-descend from the root.
+    redescents: u64,
+}
+
+impl ResumableScan {
+    /// A cursor over `range`, positioned before the first match.
+    #[must_use]
+    pub fn new(range: ScanRange) -> ResumableScan {
+        ResumableScan {
+            lo: range.lo,
+            hi: range.hi,
+            remaining: range.limit,
+            desc: range.desc,
+            hint: None,
+            last_key: None,
+            done: range.is_empty(),
+            exact_resumes: 0,
+            redescents: 0,
+        }
+    }
+
+    /// Whether the scan has emitted everything it ever will.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Entries still allowed under the scan's limit.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// How many chunks resumed exactly (saved version still valid).
+    #[must_use]
+    pub fn exact_resumes(&self) -> u64 {
+        self.exact_resumes
+    }
+
+    /// How many chunks re-descended after a version mismatch.
+    #[must_use]
+    pub fn redescents(&self) -> u64 {
+        self.redescents
+    }
+
+    /// Emits up to `max` further matches into `out`, returning how many
+    /// were emitted. The caller must hold the tree stable (e.g. a read
+    /// lock plus an epoch pin) for the duration of the call; between
+    /// calls the tree may be mutated freely.
+    pub fn next_chunk(
+        &mut self,
+        tree: &BTreeIndex,
+        max: usize,
+        out: &mut Vec<(u64, u64)>,
+    ) -> usize {
+        if self.done || max == 0 {
+            return 0;
+        }
+        let start = self.position(tree);
+        let Some((mut leaf, mut slot)) = start else {
+            self.done = true;
+            return 0;
+        };
+        let mut emitted = 0usize;
+        loop {
+            let (keys, payloads) = tree.leaf_entries(leaf);
+            if self.desc {
+                while slot > 0 {
+                    if emitted == max {
+                        self.hint = Some((leaf, slot, tree.leaf_version(leaf)));
+                        return emitted;
+                    }
+                    let key = keys[slot - 1];
+                    if key < self.lo {
+                        self.done = true;
+                        return emitted;
+                    }
+                    out.push((key, payloads[slot - 1]));
+                    self.last_key = Some(key);
+                    self.remaining -= 1;
+                    emitted += 1;
+                    slot -= 1;
+                    if self.remaining == 0 {
+                        self.done = true;
+                        return emitted;
+                    }
+                }
+                match tree.leaf_prev(leaf) {
+                    Some(prev) => {
+                        leaf = prev;
+                        slot = tree.leaf_entries(leaf).0.len();
+                    }
+                    None => {
+                        self.done = true;
+                        return emitted;
+                    }
+                }
+            } else {
+                while slot < keys.len() {
+                    if emitted == max {
+                        self.hint = Some((leaf, slot, tree.leaf_version(leaf)));
+                        return emitted;
+                    }
+                    let key = keys[slot];
+                    if key > self.hi {
+                        self.done = true;
+                        return emitted;
+                    }
+                    out.push((key, payloads[slot]));
+                    self.last_key = Some(key);
+                    self.remaining -= 1;
+                    emitted += 1;
+                    slot += 1;
+                    if self.remaining == 0 {
+                        self.done = true;
+                        return emitted;
+                    }
+                }
+                match tree.leaf_next(leaf) {
+                    Some(next) => {
+                        leaf = next;
+                        slot = 0;
+                    }
+                    None => {
+                        self.done = true;
+                        return emitted;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Where to continue: the saved hint if its version still holds,
+    /// otherwise a fresh descent past the last emitted key. `None`
+    /// means the scan is over.
+    fn position(&mut self, tree: &BTreeIndex) -> Option<(u32, usize)> {
+        if let Some((leaf, slot, version)) = self.hint.take() {
+            if (leaf as usize) < tree.leaf_count() && tree.leaf_version(leaf) == version {
+                self.exact_resumes += 1;
+                return Some((leaf, slot));
+            }
+        }
+        if self.last_key.is_some() {
+            self.redescents += 1;
+        }
+        if self.desc {
+            let hi = match self.last_key {
+                None => self.hi,
+                Some(k) => k.checked_sub(1)?,
+            };
+            if hi < self.lo {
+                return None;
+            }
+            let leaf = descend(tree, hi, true);
+            let slot = tree.leaf_entries(leaf).0.partition_point(|k| *k <= hi);
+            Some((leaf, slot))
+        } else {
+            let lo = match self.last_key {
+                None => self.lo,
+                Some(k) => k.checked_add(1)?,
+            };
+            if lo > self.hi {
+                return None;
+            }
+            let leaf = descend(tree, lo, false);
+            let slot = tree.leaf_entries(leaf).0.partition_point(|k| *k < lo);
+            Some((leaf, slot))
+        }
+    }
+}
+
+/// Root-to-leaf descent over the public accessors — `upper` lands on
+/// the rightmost leaf whose range can reach `key`, otherwise the
+/// leftmost (chain walking covers stale-separator slack either way).
+fn descend(tree: &BTreeIndex, key: u64, upper: bool) -> u32 {
+    if tree.inner_level_count() == 0 {
+        return tree.first_leaf();
+    }
+    let mut node = 0u32;
+    for depth in 0..tree.inner_level_count() {
+        let keys = tree.inner_keys(depth, node);
+        let slot = if upper {
+            keys.partition_point(|k| *k <= key)
+        } else {
+            keys.partition_point(|k| *k < key)
+        };
+        node = tree.inner_child(depth, node, slot);
+    }
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_chunked(tree: &BTreeIndex, range: ScanRange, chunk: usize) -> Vec<(u64, u64)> {
+        let mut cursor = ResumableScan::new(range);
+        let mut out = Vec::new();
+        while !cursor.is_done() {
+            let n = cursor.next_chunk(tree, chunk, &mut out);
+            if n == 0 && cursor.is_done() {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn chunked_scan_matches_oracle_in_both_directions() {
+        let tree = BTreeIndex::build(4, (0..800u64).map(|k| (k * 3, k)));
+        for chunk in [1usize, 7, 64, 10_000] {
+            for (lo, hi) in [(0, u64::MAX), (100, 1000), (301, 301), (900, 100)] {
+                let asc = collect_chunked(&tree, ScanRange::new(lo, hi), chunk);
+                assert_eq!(asc, tree.range_scan(lo, hi, usize::MAX), "asc {lo}..{hi}");
+                let desc = collect_chunked(&tree, ScanRange::new(lo, hi).descending(), chunk);
+                assert_eq!(
+                    desc,
+                    tree.range_scan_desc(lo, hi, usize::MAX),
+                    "desc {lo}..{hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn limit_spans_chunks() {
+        let tree = BTreeIndex::build(8, (0..500u64).map(|k| (k, k)));
+        let got = collect_chunked(&tree, ScanRange::new(10, 400).with_limit(33), 10);
+        assert_eq!(got, tree.range_scan(10, 400, 33));
+    }
+
+    #[test]
+    fn untouched_tree_resumes_exactly() {
+        let tree = BTreeIndex::build(4, (0..400u64).map(|k| (k, k)));
+        let mut cursor = ResumableScan::new(ScanRange::new(0, u64::MAX));
+        let mut out = Vec::new();
+        while !cursor.is_done() {
+            cursor.next_chunk(&tree, 16, &mut out);
+        }
+        assert_eq!(cursor.redescents(), 0, "no mutation, no re-descent");
+        assert!(cursor.exact_resumes() > 0);
+    }
+
+    #[test]
+    fn mutation_behind_the_cursor_does_not_disturb_it() {
+        let mut tree = BTreeIndex::build(4, (500..1000u64).map(|k| (k, k)));
+        let mut cursor = ResumableScan::new(ScanRange::new(500, u64::MAX));
+        let mut out = Vec::new();
+        cursor.next_chunk(&tree, 100, &mut out);
+        // Churn keys strictly below the cursor: splits/merges there may
+        // invalidate the saved leaf, but resumed output stays exact for
+        // the untouched tail.
+        for k in 0..400u64 {
+            tree.insert(k, k);
+        }
+        for k in 0..400u64 {
+            if k % 2 == 0 {
+                tree.delete(k);
+            }
+        }
+        while !cursor.is_done() {
+            cursor.next_chunk(&tree, 100, &mut out);
+        }
+        assert_eq!(out, (500..1000u64).map(|k| (k, k)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn version_mismatch_redescends_without_loss_of_stable_keys() {
+        let mut tree = BTreeIndex::build(4, (0..300u64).map(|k| (k * 2, k)));
+        let mut cursor = ResumableScan::new(ScanRange::new(0, u64::MAX));
+        let mut out = Vec::new();
+        while !cursor.is_done() {
+            cursor.next_chunk(&tree, 25, &mut out);
+            // Insert an *odd* key right where the cursor paused: the
+            // saved leaf's version changes, forcing a re-descent.
+            if let Some((last, _)) = out.last().copied() {
+                if !cursor.is_done() {
+                    tree.insert(last + 1, 9000 + last);
+                }
+            }
+        }
+        assert!(cursor.redescents() > 0, "churn forced re-descents");
+        // Every original (even) key is emitted exactly once, in order.
+        let evens: Vec<(u64, u64)> = out.iter().copied().filter(|(k, _)| k % 2 == 0).collect();
+        assert_eq!(evens, (0..300u64).map(|k| (k * 2, k)).collect::<Vec<_>>());
+        assert!(out.windows(2).all(|w| w[0].0 <= w[1].0), "scan order kept");
+    }
+
+    #[test]
+    fn degenerate_ranges_finish_immediately() {
+        let tree = BTreeIndex::build(4, (0..50u64).map(|k| (k, k)));
+        for range in [
+            ScanRange::new(9, 3),
+            ScanRange::new(0, 10).with_limit(0),
+            ScanRange::new(9, 3).descending(),
+        ] {
+            let mut cursor = ResumableScan::new(range);
+            assert!(cursor.is_done());
+            let mut out = Vec::new();
+            assert_eq!(cursor.next_chunk(&tree, 10, &mut out), 0);
+            assert!(out.is_empty());
+        }
+    }
+}

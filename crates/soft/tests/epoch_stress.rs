@@ -1,0 +1,186 @@
+//! Epoch-reclamation stress: a writer churns B+-tree leaf splits and
+//! merges while resumable range cursors stream chunks on other threads.
+//!
+//! The contract under test (ISSUE satellite: write-path stress):
+//!
+//! * **no torn reads** — every chunk a cursor emits contains exactly
+//!   the stable keys it should, in order, even though the leaf arena is
+//!   being split, merged, retired, and reused underneath the saved
+//!   cursor hints;
+//! * **quiescent reclamation** — once writers and readers stop, one
+//!   epoch advance plus a reclaim drains the retired-node count to
+//!   zero (`widx_epoch_retired` would read 0, `widx_epoch_reclaimed`
+//!   the total churn).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread;
+
+use widx_db::epoch::EpochDomain;
+use widx_db::index::BTreeIndex;
+use widx_soft::{ResumableScan, ScanRange};
+
+/// Keys the readers scan; the writer never touches this range.
+const STABLE_LO: u64 = 1_000_000;
+const STABLE_HI: u64 = 1_000_499;
+
+fn stable_entries() -> Vec<(u64, u64)> {
+    (STABLE_LO..=STABLE_HI).map(|k| (k, k * 7)).collect()
+}
+
+#[test]
+fn cursors_stream_unharmed_while_writer_churns_and_epochs_reclaim() {
+    let domain = EpochDomain::new();
+    let mut tree = BTreeIndex::build(4, stable_entries());
+    tree.set_domain(Arc::clone(&domain));
+    // Seed some churn-range keys so the first deletes hit.
+    for k in 0..2000u64 {
+        tree.insert(k, k);
+    }
+    let tree = Arc::new(RwLock::new(tree));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Writer: bursts of inserts (forcing leaf splits) and deletes
+    // (forcing merges and retirements), an epoch advance after every
+    // burst, and a reclaim pass — the same rhythm the serving tier's
+    // shard worker uses at batch barriers.
+    let writer = {
+        let tree = Arc::clone(&tree);
+        let domain = Arc::clone(&domain);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut round = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                {
+                    let mut t = tree.write().unwrap();
+                    for i in 0..64u64 {
+                        t.insert((round * 64 + i) % 5000, round);
+                    }
+                    for i in 0..48u64 {
+                        t.delete((round * 37 + i * 3) % 5000);
+                    }
+                }
+                domain.advance();
+                {
+                    let mut t = tree.write().unwrap();
+                    t.reclaim();
+                }
+                round += 1;
+                thread::yield_now();
+            }
+            round
+        })
+    };
+
+    // Readers: repeated full scans of the stable range, chunk by
+    // chunk, pinning an epoch and taking the read lock per chunk. The
+    // cursor's saved (leaf, slot, version) hints go stale whenever the
+    // writer splits or merges nearby leaves; resume must still produce
+    // the exact stable multiset every time.
+    let mut readers = Vec::new();
+    for desc in [false, true] {
+        let tree = Arc::clone(&tree);
+        let domain = Arc::clone(&domain);
+        readers.push(thread::spawn(move || {
+            let handle = domain.register();
+            let mut want = stable_entries();
+            if desc {
+                want.reverse();
+            }
+            let mut redescents = 0u64;
+            for _ in 0..60 {
+                let range = if desc {
+                    ScanRange::new(STABLE_LO, STABLE_HI).descending()
+                } else {
+                    ScanRange::new(STABLE_LO, STABLE_HI)
+                };
+                let mut cursor = ResumableScan::new(range);
+                let mut out = Vec::new();
+                while !cursor.is_done() {
+                    let pin = handle.pin();
+                    let t = tree.read().unwrap();
+                    cursor.next_chunk(&t, 32, &mut out);
+                    drop(t);
+                    drop(pin);
+                    thread::yield_now();
+                }
+                assert_eq!(out, want, "torn or lost read (desc={desc})");
+                redescents += cursor.redescents();
+            }
+            redescents
+        }));
+    }
+
+    let mut total_redescents = 0u64;
+    for r in readers {
+        total_redescents += r.join().expect("reader panicked");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let rounds = writer.join().expect("writer panicked");
+    assert!(rounds > 0, "writer made progress");
+
+    // Quiescence: everything retired during the churn becomes
+    // reclaimable after one advance, and the gauge drains to zero.
+    domain.advance();
+    let mut t = tree.write().unwrap();
+    t.reclaim();
+    assert_eq!(domain.retired(), 0, "retired gauge drains at quiescence");
+    assert!(domain.reclaimed() > 0, "churn actually retired nodes");
+    assert_eq!(t.retired_nodes(), 0);
+    // The churn was real enough to invalidate at least one saved hint
+    // across 120 scans, or the tree barely moved — either way the
+    // stable range survived; record the count for flake forensics.
+    eprintln!(
+        "epoch stress: {} writer rounds, {} reclaimed, {} re-descents",
+        rounds,
+        domain.reclaimed(),
+        total_redescents
+    );
+}
+
+#[test]
+fn pinned_cursor_blocks_reclaim_until_released() {
+    let domain = EpochDomain::new();
+    let mut tree = BTreeIndex::build(4, (0..256u64).map(|k| (k, k)));
+    tree.set_domain(Arc::clone(&domain));
+    let handle = domain.register();
+
+    // A cursor parks mid-scan with an epoch pinned.
+    let pin = handle.pin();
+    let mut cursor = ResumableScan::new(ScanRange::new(0, u64::MAX));
+    let mut out = Vec::new();
+    cursor.next_chunk(&tree, 10, &mut out);
+
+    // The writer deletes enough to retire leaves and advances.
+    for k in 64..192u64 {
+        tree.delete(k);
+    }
+    domain.advance();
+    assert!(domain.retired() > 0);
+    assert_eq!(tree.reclaim(), 0, "pin holds every retirement");
+
+    // Release the pin: everything drains.
+    drop(pin);
+    let retired = domain.retired();
+    assert_eq!(tree.reclaim() as u64, retired);
+    assert_eq!(domain.retired(), 0);
+
+    // The parked cursor resumes (re-descending if its leaf changed)
+    // and still sees every surviving key exactly once.
+    while !cursor.is_done() {
+        let _pin = handle.pin();
+        cursor.next_chunk(&tree, 50, &mut out);
+    }
+    let survivors: Vec<(u64, u64)> = out
+        .iter()
+        .copied()
+        .filter(|(k, _)| !(64..192).contains(k))
+        .collect();
+    assert_eq!(
+        survivors,
+        (0..64u64)
+            .chain(192..256)
+            .map(|k| (k, k))
+            .collect::<Vec<_>>()
+    );
+}

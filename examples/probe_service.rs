@@ -21,15 +21,13 @@ fn main() {
         .with_inflight(8)
         .with_batch_size(64);
     let service = ProbeService::build(HashRecipe::robust64(), pairs, &config);
+    let sharded = service.sharded();
     println!(
         "serving {} entries over {} shards (sizes: {:?})",
-        service.sharded().len(),
-        service.sharded().shard_count(),
-        service
-            .sharded()
-            .shards()
-            .iter()
-            .map(|s| s.len())
+        sharded.len(),
+        sharded.shard_count(),
+        (0..sharded.shard_count())
+            .map(|s| sharded.read(s).len())
             .collect::<Vec<_>>(),
     );
 
@@ -72,6 +70,20 @@ fn main() {
         Response::MultiLookup { matches } => println!("multi-lookup(1,2,3) -> {matches:?}"),
         other => panic!("unexpected response {other:?}"),
     }
+
+    // Online writes ride the same shard queues: the shard's own worker
+    // applies them at batch barriers, so reads in flight never see a
+    // torn index.
+    let fresh = (entries as u64) * 3;
+    assert!(service.insert(fresh, 777).expect("running"));
+    assert_eq!(service.lookup(fresh).expect("running"), vec![777]);
+    assert!(service.update(fresh, 778).expect("running"));
+    assert!(service.delete(fresh).expect("running"));
+    assert!(
+        !service.delete(fresh).expect("running"),
+        "second delete misses"
+    );
+    println!("writes: insert/update/delete round-tripped through the shard queues");
 
     // Drain-then-halt shutdown returns the telemetry.
     let stats = service.shutdown();
